@@ -1,0 +1,166 @@
+//! Branch target buffer and return-address stack.
+
+use jrt_trace::Addr;
+
+/// A direct-mapped branch target buffer.
+///
+/// Taken branches and indirect transfers need a predicted *target* in
+/// addition to a direction; the front end fetches from the BTB's
+/// stored target and squashes if the resolved target differs. The
+/// paper uses a 1K-entry BTB.
+#[derive(Debug, Clone)]
+pub struct Btb {
+    entries: Vec<Option<(Addr, Addr)>>, // (tag pc, target)
+}
+
+impl Btb {
+    /// Creates a BTB with `entries` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    pub fn new(entries: usize) -> Self {
+        assert!(entries.is_power_of_two(), "entries must be a power of two");
+        Btb {
+            entries: vec![None; entries],
+        }
+    }
+
+    /// The paper's 1K-entry configuration.
+    pub fn paper() -> Self {
+        Self::new(1024)
+    }
+
+    fn index(&self, pc: Addr) -> usize {
+        ((pc >> 2) as usize) & (self.entries.len() - 1)
+    }
+
+    /// Looks up the predicted target for the transfer at `pc`.
+    /// Returns `None` on a BTB miss (no entry, or tag mismatch).
+    pub fn predict(&self, pc: Addr) -> Option<Addr> {
+        match self.entries[self.index(pc)] {
+            Some((tag, target)) if tag == pc => Some(target),
+            _ => None,
+        }
+    }
+
+    /// Installs/updates the entry for `pc` with the resolved target.
+    pub fn update(&mut self, pc: Addr, target: Addr) {
+        let idx = self.index(pc);
+        self.entries[idx] = Some((pc, target));
+    }
+
+    /// Predicts and trains in one step; returns `true` if the
+    /// prediction matched the resolved target.
+    pub fn predict_and_update(&mut self, pc: Addr, target: Addr) -> bool {
+        let correct = self.predict(pc) == Some(target);
+        self.update(pc, target);
+        correct
+    }
+}
+
+/// A fixed-depth return-address stack.
+///
+/// Calls push their fall-through address; returns pop and predict it.
+/// Overflow wraps (oldest entries are lost), underflow mispredicts.
+#[derive(Debug, Clone)]
+pub struct ReturnStack {
+    stack: Vec<Addr>,
+    depth: usize,
+}
+
+impl ReturnStack {
+    /// Creates a RAS of the given depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn new(depth: usize) -> Self {
+        assert!(depth > 0, "depth must be positive");
+        ReturnStack {
+            stack: Vec::with_capacity(depth),
+            depth,
+        }
+    }
+
+    /// Typical hardware depth used in the evaluation.
+    pub fn paper() -> Self {
+        Self::new(8)
+    }
+
+    /// Records a call whose return address is `ret_addr`.
+    pub fn push(&mut self, ret_addr: Addr) {
+        if self.stack.len() == self.depth {
+            self.stack.remove(0);
+        }
+        self.stack.push(ret_addr);
+    }
+
+    /// Pops the predicted return target; `None` when empty.
+    pub fn pop(&mut self) -> Option<Addr> {
+        self.stack.pop()
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Whether the stack is empty.
+    pub fn is_empty(&self) -> bool {
+        self.stack.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn btb_miss_then_hit() {
+        let mut b = Btb::paper();
+        assert_eq!(b.predict(0x4000), None);
+        assert!(!b.predict_and_update(0x4000, 0x8000));
+        assert!(b.predict_and_update(0x4000, 0x8000));
+    }
+
+    #[test]
+    fn btb_detects_target_change() {
+        let mut b = Btb::paper();
+        b.update(0x4000, 0x8000);
+        assert!(!b.predict_and_update(0x4000, 0x9000), "changed target must mispredict");
+        assert_eq!(b.predict(0x4000), Some(0x9000));
+    }
+
+    #[test]
+    fn btb_tag_mismatch_is_miss() {
+        let mut b = Btb::new(4);
+        b.update(0x4000, 0x8000);
+        // 0x4000 + 4*4*4 maps to the same index with a different tag.
+        let alias = 0x4000 + 4 * 4 * 4;
+        assert_eq!(b.predict(alias), None);
+    }
+
+    #[test]
+    fn ras_predicts_nested_returns() {
+        let mut r = ReturnStack::paper();
+        r.push(0x100);
+        r.push(0x200);
+        assert_eq!(r.pop(), Some(0x200));
+        assert_eq!(r.pop(), Some(0x100));
+        assert_eq!(r.pop(), None);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn ras_overflow_drops_oldest() {
+        let mut r = ReturnStack::new(2);
+        r.push(1);
+        r.push(2);
+        r.push(3);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.pop(), Some(3));
+        assert_eq!(r.pop(), Some(2));
+        assert_eq!(r.pop(), None, "oldest entry was dropped");
+    }
+}

@@ -1,0 +1,745 @@
+//! Label-based bytecode assembler.
+//!
+//! [`MethodAsm`] builds one method with forward/backward labels and
+//! symbolic class/field/method references; [`ClassAsm`] collects
+//! methods and fields into a [`ClassFile`], interning all symbolic
+//! references into the class's constant pool.
+
+use crate::class::{ClassFile, FieldDef, MethodDef, MethodFlags};
+use crate::op::{ArrayKind, Cond, Op};
+use crate::pool::{Const, ConstPool, CpIndex, RetKind};
+use std::collections::HashMap;
+
+/// An assembler label; create with [`MethodAsm::new_label`], place
+/// with [`MethodAsm::bind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(u32);
+
+/// Assembles one method.
+///
+/// Branch instructions take [`Label`]s; targets are resolved when the
+/// enclosing [`ClassAsm`] is finished. Constant-pool operands are given
+/// symbolically (class/field/method names) and interned into the
+/// class pool.
+#[derive(Debug, Clone)]
+pub struct MethodAsm {
+    name: String,
+    nargs: u8,
+    ret: RetKind,
+    flags: MethodFlags,
+    pool: ConstPool,
+    ops: Vec<Op>,
+    binds: HashMap<u32, usize>,
+    next_label: u32,
+    max_local: u16,
+}
+
+impl MethodAsm {
+    /// Starts a static method with `nargs` int/ref arguments returning
+    /// void. Use [`returns`](MethodAsm::returns) to change the return
+    /// kind.
+    pub fn new(name: &str, nargs: u8) -> Self {
+        MethodAsm {
+            name: name.to_owned(),
+            nargs,
+            ret: RetKind::Void,
+            flags: MethodFlags {
+                is_static: true,
+                ..MethodFlags::default()
+            },
+            pool: ConstPool::new(),
+            ops: Vec::new(),
+            binds: HashMap::new(),
+            next_label: 0,
+            max_local: u16::from(nargs),
+        }
+    }
+
+    /// Starts an instance method (`this` in local 0, arguments in
+    /// locals 1..=nargs).
+    pub fn new_instance(name: &str, nargs: u8) -> Self {
+        let mut m = Self::new(name, nargs);
+        m.flags.is_static = false;
+        m.max_local = u16::from(nargs) + 1;
+        m
+    }
+
+    /// Declares a native method: no bytecode; the VM dispatches to an
+    /// intrinsic registered under `(class, name)`.
+    pub fn native(name: &str, nargs: u8, ret: RetKind) -> Self {
+        let mut m = Self::new(name, nargs);
+        m.flags.is_native = true;
+        m.ret = ret;
+        m
+    }
+
+    /// Sets the return kind (builder style).
+    pub fn returns(mut self, ret: RetKind) -> Self {
+        self.ret = ret;
+        self
+    }
+
+    /// Marks the method synchronized: the VM brackets the body with
+    /// monitor enter/exit on the receiver (or the class object for
+    /// static methods).
+    pub fn synchronized(mut self) -> Self {
+        self.flags.is_synchronized = true;
+        self
+    }
+
+    /// Allocates a fresh, unbound label.
+    pub fn new_label(&mut self) -> Label {
+        let l = Label(self.next_label);
+        self.next_label += 1;
+        l
+    }
+
+    /// Binds `label` to the next emitted instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already bound.
+    pub fn bind(&mut self, label: Label) -> &mut Self {
+        let prev = self.binds.insert(label.0, self.ops.len());
+        assert!(prev.is_none(), "label bound twice");
+        self
+    }
+
+    fn touch_local(&mut self, n: u8) {
+        self.max_local = self.max_local.max(u16::from(n) + 1);
+    }
+
+    /// Emits a raw instruction. Branch-target fields of instructions
+    /// emitted this way must already be resolved byte offsets; prefer
+    /// the label-taking helpers.
+    pub fn op(&mut self, op: Op) -> &mut Self {
+        self.ops.push(op);
+        self
+    }
+
+    // ---- constants & locals -------------------------------------------------
+
+    /// Pushes an int constant.
+    pub fn iconst(&mut self, v: i32) -> &mut Self {
+        self.op(Op::IConst(v))
+    }
+
+    /// Pushes null.
+    pub fn aconst_null(&mut self) -> &mut Self {
+        self.op(Op::AConstNull)
+    }
+
+    /// Pushes int local `n`.
+    pub fn iload(&mut self, n: u8) -> &mut Self {
+        self.touch_local(n);
+        self.op(Op::ILoad(n))
+    }
+
+    /// Pops into int local `n`.
+    pub fn istore(&mut self, n: u8) -> &mut Self {
+        self.touch_local(n);
+        self.op(Op::IStore(n))
+    }
+
+    /// Pushes reference local `n`.
+    pub fn aload(&mut self, n: u8) -> &mut Self {
+        self.touch_local(n);
+        self.op(Op::ALoad(n))
+    }
+
+    /// Pops into reference local `n`.
+    pub fn astore(&mut self, n: u8) -> &mut Self {
+        self.touch_local(n);
+        self.op(Op::AStore(n))
+    }
+
+    /// Adds `d` to int local `n`.
+    pub fn iinc(&mut self, n: u8, d: i16) -> &mut Self {
+        self.touch_local(n);
+        self.op(Op::IInc(n, d))
+    }
+
+    // ---- stack --------------------------------------------------------------
+
+    /// Discards the top of stack.
+    pub fn pop(&mut self) -> &mut Self {
+        self.op(Op::Pop)
+    }
+
+    /// Duplicates the top of stack.
+    pub fn dup(&mut self) -> &mut Self {
+        self.op(Op::Dup)
+    }
+
+    /// Duplicates the top of stack under the second element.
+    pub fn dup_x1(&mut self) -> &mut Self {
+        self.op(Op::DupX1)
+    }
+
+    /// Swaps the top two elements.
+    pub fn swap(&mut self) -> &mut Self {
+        self.op(Op::Swap)
+    }
+
+    // ---- arithmetic ---------------------------------------------------------
+
+    /// Integer add.
+    pub fn iadd(&mut self) -> &mut Self {
+        self.op(Op::IAdd)
+    }
+    /// Integer subtract.
+    pub fn isub(&mut self) -> &mut Self {
+        self.op(Op::ISub)
+    }
+    /// Integer multiply.
+    pub fn imul(&mut self) -> &mut Self {
+        self.op(Op::IMul)
+    }
+    /// Integer divide.
+    pub fn idiv(&mut self) -> &mut Self {
+        self.op(Op::IDiv)
+    }
+    /// Integer remainder.
+    pub fn irem(&mut self) -> &mut Self {
+        self.op(Op::IRem)
+    }
+    /// Integer negate.
+    pub fn ineg(&mut self) -> &mut Self {
+        self.op(Op::INeg)
+    }
+    /// Shift left.
+    pub fn ishl(&mut self) -> &mut Self {
+        self.op(Op::IShl)
+    }
+    /// Arithmetic shift right.
+    pub fn ishr(&mut self) -> &mut Self {
+        self.op(Op::IShr)
+    }
+    /// Logical shift right.
+    pub fn iushr(&mut self) -> &mut Self {
+        self.op(Op::IUshr)
+    }
+    /// Bitwise and.
+    pub fn iand(&mut self) -> &mut Self {
+        self.op(Op::IAnd)
+    }
+    /// Bitwise or.
+    pub fn ior(&mut self) -> &mut Self {
+        self.op(Op::IOr)
+    }
+    /// Bitwise xor.
+    pub fn ixor(&mut self) -> &mut Self {
+        self.op(Op::IXor)
+    }
+
+    // ---- control flow -------------------------------------------------------
+
+    fn branch(&mut self, make: impl FnOnce(u32) -> Op, label: Label) -> &mut Self {
+        self.op(make(label.0))
+    }
+
+    /// Branch if top == 0.
+    pub fn if_eq(&mut self, l: Label) -> &mut Self {
+        self.branch(|t| Op::If(Cond::Eq, t), l)
+    }
+    /// Branch if top != 0.
+    pub fn if_ne(&mut self, l: Label) -> &mut Self {
+        self.branch(|t| Op::If(Cond::Ne, t), l)
+    }
+    /// Branch if top < 0.
+    pub fn if_lt(&mut self, l: Label) -> &mut Self {
+        self.branch(|t| Op::If(Cond::Lt, t), l)
+    }
+    /// Branch if top >= 0.
+    pub fn if_ge(&mut self, l: Label) -> &mut Self {
+        self.branch(|t| Op::If(Cond::Ge, t), l)
+    }
+    /// Branch if top > 0.
+    pub fn if_gt(&mut self, l: Label) -> &mut Self {
+        self.branch(|t| Op::If(Cond::Gt, t), l)
+    }
+    /// Branch if top <= 0.
+    pub fn if_le(&mut self, l: Label) -> &mut Self {
+        self.branch(|t| Op::If(Cond::Le, t), l)
+    }
+
+    /// Branch if the two top ints are equal.
+    pub fn if_icmp_eq(&mut self, l: Label) -> &mut Self {
+        self.branch(|t| Op::IfICmp(Cond::Eq, t), l)
+    }
+    /// Branch if the two top ints differ.
+    pub fn if_icmp_ne(&mut self, l: Label) -> &mut Self {
+        self.branch(|t| Op::IfICmp(Cond::Ne, t), l)
+    }
+    /// Branch if second-from-top < top.
+    pub fn if_icmp_lt(&mut self, l: Label) -> &mut Self {
+        self.branch(|t| Op::IfICmp(Cond::Lt, t), l)
+    }
+    /// Branch if second-from-top >= top.
+    pub fn if_icmp_ge(&mut self, l: Label) -> &mut Self {
+        self.branch(|t| Op::IfICmp(Cond::Ge, t), l)
+    }
+    /// Branch if second-from-top > top.
+    pub fn if_icmp_gt(&mut self, l: Label) -> &mut Self {
+        self.branch(|t| Op::IfICmp(Cond::Gt, t), l)
+    }
+    /// Branch if second-from-top <= top.
+    pub fn if_icmp_le(&mut self, l: Label) -> &mut Self {
+        self.branch(|t| Op::IfICmp(Cond::Le, t), l)
+    }
+
+    /// Branch if the top reference is null.
+    pub fn ifnull(&mut self, l: Label) -> &mut Self {
+        self.branch(Op::IfNull, l)
+    }
+    /// Branch if the top reference is non-null.
+    pub fn ifnonnull(&mut self, l: Label) -> &mut Self {
+        self.branch(Op::IfNonNull, l)
+    }
+    /// Branch if the two top references are identical.
+    pub fn if_acmp_eq(&mut self, l: Label) -> &mut Self {
+        self.branch(Op::IfACmpEq, l)
+    }
+    /// Branch if the two top references differ.
+    pub fn if_acmp_ne(&mut self, l: Label) -> &mut Self {
+        self.branch(Op::IfACmpNe, l)
+    }
+
+    /// Unconditional branch.
+    pub fn goto(&mut self, l: Label) -> &mut Self {
+        self.branch(Op::Goto, l)
+    }
+
+    /// Indexed jump table over consecutive keys starting at `low`.
+    pub fn tableswitch(&mut self, low: i32, default: Label, targets: &[Label]) -> &mut Self {
+        self.op(Op::TableSwitch {
+            low,
+            default: default.0,
+            targets: targets.iter().map(|l| l.0).collect(),
+        })
+    }
+
+    // ---- objects, fields, arrays ---------------------------------------------
+
+    /// Allocates an instance of `class`.
+    pub fn new_obj(&mut self, class: &str) -> &mut Self {
+        let cp = self.pool.intern(Const::Class {
+            name: class.to_owned(),
+        });
+        self.op(Op::New(cp))
+    }
+
+    fn field_cp(&mut self, class: &str, field: &str) -> CpIndex {
+        self.pool.intern(Const::Field {
+            class: class.to_owned(),
+            name: field.to_owned(),
+        })
+    }
+
+    /// Loads an instance field (pops objectref).
+    pub fn getfield(&mut self, class: &str, field: &str) -> &mut Self {
+        let cp = self.field_cp(class, field);
+        self.op(Op::GetField(cp))
+    }
+
+    /// Stores an instance field (pops objectref, value).
+    pub fn putfield(&mut self, class: &str, field: &str) -> &mut Self {
+        let cp = self.field_cp(class, field);
+        self.op(Op::PutField(cp))
+    }
+
+    /// Loads a static field.
+    pub fn getstatic(&mut self, class: &str, field: &str) -> &mut Self {
+        let cp = self.field_cp(class, field);
+        self.op(Op::GetStatic(cp))
+    }
+
+    /// Stores a static field.
+    pub fn putstatic(&mut self, class: &str, field: &str) -> &mut Self {
+        let cp = self.field_cp(class, field);
+        self.op(Op::PutStatic(cp))
+    }
+
+    /// Allocates an array of the given kind (pops length).
+    pub fn newarray(&mut self, kind: ArrayKind) -> &mut Self {
+        self.op(Op::NewArray(kind))
+    }
+
+    /// Pushes the length of the popped array.
+    pub fn arraylength(&mut self) -> &mut Self {
+        self.op(Op::ArrayLength)
+    }
+
+    /// Int-array load.
+    pub fn iaload(&mut self) -> &mut Self {
+        self.op(Op::ArrLoad(ArrayKind::Int))
+    }
+    /// Int-array store.
+    pub fn iastore(&mut self) -> &mut Self {
+        self.op(Op::ArrStore(ArrayKind::Int))
+    }
+    /// Char-array load.
+    pub fn caload(&mut self) -> &mut Self {
+        self.op(Op::ArrLoad(ArrayKind::Char))
+    }
+    /// Char-array store.
+    pub fn castore(&mut self) -> &mut Self {
+        self.op(Op::ArrStore(ArrayKind::Char))
+    }
+    /// Byte-array load.
+    pub fn baload(&mut self) -> &mut Self {
+        self.op(Op::ArrLoad(ArrayKind::Byte))
+    }
+    /// Byte-array store.
+    pub fn bastore(&mut self) -> &mut Self {
+        self.op(Op::ArrStore(ArrayKind::Byte))
+    }
+    /// Ref-array load.
+    pub fn aaload(&mut self) -> &mut Self {
+        self.op(Op::ArrLoad(ArrayKind::Ref))
+    }
+    /// Ref-array store.
+    pub fn aastore(&mut self) -> &mut Self {
+        self.op(Op::ArrStore(ArrayKind::Ref))
+    }
+
+    // ---- calls & returns ------------------------------------------------------
+
+    fn method_cp(&mut self, class: &str, name: &str, nargs: u8, ret: RetKind) -> CpIndex {
+        self.pool.intern(Const::Method {
+            class: class.to_owned(),
+            name: name.to_owned(),
+            nargs,
+            ret,
+        })
+    }
+
+    /// Calls a static method.
+    pub fn invokestatic(&mut self, class: &str, name: &str, nargs: u8, ret: RetKind) -> &mut Self {
+        let cp = self.method_cp(class, name, nargs, ret);
+        self.op(Op::InvokeStatic(cp))
+    }
+
+    /// Calls a virtual method (receiver + args on the stack).
+    pub fn invokevirtual(&mut self, class: &str, name: &str, nargs: u8, ret: RetKind) -> &mut Self {
+        let cp = self.method_cp(class, name, nargs, ret);
+        self.op(Op::InvokeVirtual(cp))
+    }
+
+    /// Calls a method directly, bypassing virtual dispatch.
+    pub fn invokespecial(&mut self, class: &str, name: &str, nargs: u8, ret: RetKind) -> &mut Self {
+        let cp = self.method_cp(class, name, nargs, ret);
+        self.op(Op::InvokeSpecial(cp))
+    }
+
+    /// Returns void.
+    pub fn ret(&mut self) -> &mut Self {
+        self.op(Op::Return)
+    }
+
+    /// Returns an int.
+    pub fn ireturn(&mut self) -> &mut Self {
+        self.op(Op::IReturn)
+    }
+
+    /// Returns a reference.
+    pub fn areturn(&mut self) -> &mut Self {
+        self.op(Op::AReturn)
+    }
+
+    /// Enters the popped object's monitor.
+    pub fn monitorenter(&mut self) -> &mut Self {
+        self.op(Op::MonitorEnter)
+    }
+
+    /// Exits the popped object's monitor.
+    pub fn monitorexit(&mut self) -> &mut Self {
+        self.op(Op::MonitorExit)
+    }
+
+    /// Finishes the method against the enclosing class's pool:
+    /// re-interns symbolic constants and resolves labels to byte
+    /// offsets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a label was used but never bound.
+    pub(crate) fn finish(mut self, class_pool: &mut ConstPool) -> MethodDef {
+        // Remap constant-pool operands from the method-local pool into
+        // the class pool.
+        let remap = |pool: &ConstPool, class_pool: &mut ConstPool, cp: CpIndex| -> CpIndex {
+            let c = pool.get(cp).expect("local constant exists").clone();
+            class_pool.intern(c)
+        };
+        for op in &mut self.ops {
+            match op {
+                Op::New(cp)
+                | Op::GetField(cp)
+                | Op::PutField(cp)
+                | Op::GetStatic(cp)
+                | Op::PutStatic(cp)
+                | Op::InvokeStatic(cp)
+                | Op::InvokeVirtual(cp)
+                | Op::InvokeSpecial(cp) => *cp = remap(&self.pool, class_pool, *cp),
+                _ => {}
+            }
+        }
+
+        // First pass: compute the byte offset of each instruction.
+        let mut offsets = Vec::with_capacity(self.ops.len() + 1);
+        let mut scratch = Vec::new();
+        let mut off = 0u32;
+        for op in &self.ops {
+            offsets.push(off);
+            scratch.clear();
+            op.encode(&mut scratch);
+            off += scratch.len() as u32;
+        }
+        offsets.push(off); // one past the end, for labels bound at the tail
+
+        // Second pass: resolve labels.
+        let resolve = |label_id: u32| -> u32 {
+            let op_index = *self
+                .binds
+                .get(&label_id)
+                .unwrap_or_else(|| panic!("label {label_id} used but never bound"));
+            offsets[op_index]
+        };
+        for op in &mut self.ops {
+            match op {
+                Op::If(_, t)
+                | Op::IfICmp(_, t)
+                | Op::IfNull(t)
+                | Op::IfNonNull(t)
+                | Op::IfACmpEq(t)
+                | Op::IfACmpNe(t)
+                | Op::Goto(t) => *t = resolve(*t),
+                Op::TableSwitch {
+                    default, targets, ..
+                } => {
+                    *default = resolve(*default);
+                    for t in targets {
+                        *t = resolve(*t);
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // Final encode.
+        let mut code = Vec::new();
+        for op in &self.ops {
+            op.encode(&mut code);
+        }
+
+        MethodDef {
+            name: self.name,
+            nargs: self.nargs,
+            ret: self.ret,
+            max_locals: self.max_local,
+            max_stack: 0, // computed by the verifier at link time
+            code,
+            flags: self.flags,
+        }
+    }
+}
+
+/// Assembles one class.
+#[derive(Debug, Clone)]
+pub struct ClassAsm {
+    name: String,
+    super_name: Option<String>,
+    fields: Vec<FieldDef>,
+    methods: Vec<MethodAsm>,
+}
+
+impl ClassAsm {
+    /// Starts a class with no superclass.
+    pub fn new(name: &str) -> Self {
+        ClassAsm {
+            name: name.to_owned(),
+            super_name: None,
+            fields: Vec::new(),
+            methods: Vec::new(),
+        }
+    }
+
+    /// Starts a class extending `super_name`.
+    pub fn with_super(name: &str, super_name: &str) -> Self {
+        let mut c = Self::new(name);
+        c.super_name = Some(super_name.to_owned());
+        c
+    }
+
+    /// The class's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Declares an instance field.
+    pub fn add_field(&mut self, name: &str) -> &mut Self {
+        self.fields.push(FieldDef {
+            name: name.to_owned(),
+            is_static: false,
+        });
+        self
+    }
+
+    /// Declares a static field.
+    pub fn add_static_field(&mut self, name: &str) -> &mut Self {
+        self.fields.push(FieldDef {
+            name: name.to_owned(),
+            is_static: true,
+        });
+        self
+    }
+
+    /// Adds an assembled method.
+    pub fn add_method(&mut self, m: MethodAsm) -> &mut Self {
+        self.methods.push(m);
+        self
+    }
+
+    /// Finishes the class, producing its [`ClassFile`].
+    pub fn finish(self) -> ClassFile {
+        let mut pool = ConstPool::new();
+        let methods = self
+            .methods
+            .into_iter()
+            .map(|m| m.finish(&mut pool))
+            .collect();
+        ClassFile {
+            name: self.name,
+            super_name: self.super_name,
+            fields: self.fields,
+            methods,
+            pool,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Op;
+
+    #[test]
+    fn labels_resolve_forward_and_backward() {
+        let mut m = MethodAsm::new("m", 0);
+        let top = m.new_label();
+        let end = m.new_label();
+        m.iconst(0).istore(0);
+        m.bind(top);
+        m.iload(0).iconst(10).if_icmp_ge(end);
+        m.iinc(0, 1).goto(top);
+        m.bind(end);
+        m.ret();
+        let mut pool = ConstPool::new();
+        let def = m.finish(&mut pool);
+
+        // Decode the whole method and check the branch targets land on
+        // instruction boundaries.
+        let mut pc = 0;
+        let mut boundaries = Vec::new();
+        while pc < def.code.len() {
+            boundaries.push(pc as u32);
+            let (_, len) = Op::decode(&def.code, pc).unwrap();
+            pc += len;
+        }
+        let mut pc = 0;
+        while pc < def.code.len() {
+            let (op, len) = Op::decode(&def.code, pc).unwrap();
+            for t in op.branch_targets() {
+                assert!(boundaries.contains(&t), "target {t} not on a boundary");
+            }
+            pc += len;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "never bound")]
+    fn unbound_label_panics() {
+        let mut m = MethodAsm::new("m", 0);
+        let l = m.new_label();
+        m.goto(l).ret();
+        let mut pool = ConstPool::new();
+        m.finish(&mut pool);
+    }
+
+    #[test]
+    fn symbolic_refs_intern_into_class_pool() {
+        let mut c = ClassAsm::new("Main");
+        c.add_field("x");
+        let mut a = MethodAsm::new("a", 0);
+        a.getstatic("Main", "x").pop().ret();
+        let mut b = MethodAsm::new("b", 0);
+        b.getstatic("Main", "x").pop().ret();
+        c.add_method(a);
+        c.add_method(b);
+        let cf = c.finish();
+        // One shared field constant for both methods.
+        let field_consts = cf
+            .pool
+            .iter()
+            .filter(|e| matches!(e, Const::Field { .. }))
+            .count();
+        assert_eq!(field_consts, 1);
+    }
+
+    #[test]
+    fn max_locals_tracks_usage() {
+        let mut m = MethodAsm::new("m", 2);
+        m.iconst(1).istore(7).ret();
+        let mut pool = ConstPool::new();
+        let def = m.finish(&mut pool);
+        assert_eq!(def.max_locals, 8);
+        assert_eq!(def.arg_slots(), 2);
+    }
+
+    #[test]
+    fn instance_method_counts_this() {
+        let mut m = MethodAsm::new_instance("m", 1);
+        m.ret();
+        let mut pool = ConstPool::new();
+        let def = m.finish(&mut pool);
+        assert_eq!(def.max_locals, 2);
+        assert_eq!(def.arg_slots(), 2);
+        assert!(!def.flags.is_static);
+    }
+
+    #[test]
+    fn native_method_has_no_code() {
+        let m = MethodAsm::native("print", 1, RetKind::Void);
+        let mut pool = ConstPool::new();
+        let def = m.finish(&mut pool);
+        assert!(def.flags.is_native);
+        assert!(def.code.is_empty());
+    }
+
+    #[test]
+    fn tableswitch_labels_resolve() {
+        let mut m = MethodAsm::new("m", 1);
+        let a = m.new_label();
+        let b = m.new_label();
+        let d = m.new_label();
+        m.iload(0).tableswitch(0, d, &[a, b]);
+        m.bind(a);
+        m.iconst(1).ireturn();
+        m.bind(b);
+        m.iconst(2).ireturn();
+        m.bind(d);
+        m.iconst(0).ireturn();
+        let mut pool = ConstPool::new();
+        let def = m.returns(RetKind::Int).finish(&mut pool);
+        let (op, _) = Op::decode(&def.code, 2).unwrap(); // after iload(0)
+        match op {
+            Op::TableSwitch {
+                default, targets, ..
+            } => {
+                assert_eq!(targets.len(), 2);
+                assert!(default > targets[1]);
+            }
+            other => panic!("expected tableswitch, got {other:?}"),
+        }
+    }
+}

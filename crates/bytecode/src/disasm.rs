@@ -1,0 +1,158 @@
+//! Bytecode disassembler for debugging and golden tests.
+
+use crate::class::MethodDef;
+use crate::error::BytecodeError;
+use crate::op::Op;
+use crate::pool::{Const, ConstPool};
+use std::fmt::Write as _;
+
+/// Disassembles one method into one line per instruction
+/// (`offset: mnemonic operands`).
+///
+/// # Errors
+///
+/// Returns an error if the code array does not decode cleanly.
+///
+/// # Examples
+///
+/// ```
+/// use jrt_bytecode::{ClassAsm, MethodAsm, Program, disasm};
+///
+/// let mut c = ClassAsm::new("Main");
+/// let mut m = MethodAsm::new("main", 0);
+/// m.iconst(7).istore(0).ret();
+/// c.add_method(m);
+/// let p = Program::build(vec![c], "Main", "main")?;
+/// let text = disasm::disassemble(p.method_def(p.entry()), &p.class_file(p.entry().class).pool)?;
+/// assert!(text.contains("iconst 7"));
+/// # Ok::<(), jrt_bytecode::BytecodeError>(())
+/// ```
+pub fn disassemble(def: &MethodDef, pool: &ConstPool) -> Result<String, BytecodeError> {
+    let mut out = String::new();
+    if def.flags.is_native {
+        writeln!(out, "  <native {}>", def.name).expect("write to string");
+        return Ok(out);
+    }
+    let mut pc = 0usize;
+    while pc < def.code.len() {
+        let (op, len) = Op::decode(&def.code, pc)?;
+        writeln!(out, "{pc:6}: {}", render(&op, pool)).expect("write to string");
+        pc += len;
+    }
+    Ok(out)
+}
+
+fn cp_text(pool: &ConstPool, idx: crate::pool::CpIndex) -> String {
+    match pool.get(idx) {
+        Some(Const::Class { name }) => name.clone(),
+        Some(Const::Field { class, name }) => format!("{class}.{name}"),
+        Some(Const::Method {
+            class, name, nargs, ..
+        }) => format!("{class}::{name}/{nargs}"),
+        Some(Const::Int(v)) => v.to_string(),
+        Some(Const::Utf8(s)) => format!("{s:?}"),
+        None => format!("<bad {idx}>"),
+    }
+}
+
+fn render(op: &Op, pool: &ConstPool) -> String {
+    match op {
+        Op::Nop => "nop".into(),
+        Op::IConst(v) => format!("iconst {v}"),
+        Op::AConstNull => "aconst_null".into(),
+        Op::ILoad(n) => format!("iload {n}"),
+        Op::IStore(n) => format!("istore {n}"),
+        Op::ALoad(n) => format!("aload {n}"),
+        Op::AStore(n) => format!("astore {n}"),
+        Op::Pop => "pop".into(),
+        Op::Dup => "dup".into(),
+        Op::DupX1 => "dup_x1".into(),
+        Op::Swap => "swap".into(),
+        Op::IAdd => "iadd".into(),
+        Op::ISub => "isub".into(),
+        Op::IMul => "imul".into(),
+        Op::IDiv => "idiv".into(),
+        Op::IRem => "irem".into(),
+        Op::INeg => "ineg".into(),
+        Op::IShl => "ishl".into(),
+        Op::IShr => "ishr".into(),
+        Op::IUshr => "iushr".into(),
+        Op::IAnd => "iand".into(),
+        Op::IOr => "ior".into(),
+        Op::IXor => "ixor".into(),
+        Op::IInc(n, d) => format!("iinc {n}, {d}"),
+        Op::If(c, t) => format!("if{} -> {t}", c.suffix()),
+        Op::IfICmp(c, t) => format!("if_icmp{} -> {t}", c.suffix()),
+        Op::IfNull(t) => format!("ifnull -> {t}"),
+        Op::IfNonNull(t) => format!("ifnonnull -> {t}"),
+        Op::IfACmpEq(t) => format!("if_acmpeq -> {t}"),
+        Op::IfACmpNe(t) => format!("if_acmpne -> {t}"),
+        Op::Goto(t) => format!("goto -> {t}"),
+        Op::TableSwitch {
+            low,
+            default,
+            targets,
+        } => format!("tableswitch low={low} targets={targets:?} default={default}"),
+        Op::New(cp) => format!("new {}", cp_text(pool, *cp)),
+        Op::GetField(cp) => format!("getfield {}", cp_text(pool, *cp)),
+        Op::PutField(cp) => format!("putfield {}", cp_text(pool, *cp)),
+        Op::GetStatic(cp) => format!("getstatic {}", cp_text(pool, *cp)),
+        Op::PutStatic(cp) => format!("putstatic {}", cp_text(pool, *cp)),
+        Op::NewArray(k) => format!("newarray {}", k.prefix()),
+        Op::ArrayLength => "arraylength".into(),
+        Op::ArrLoad(k) => format!("{}aload", k.prefix()),
+        Op::ArrStore(k) => format!("{}astore", k.prefix()),
+        Op::InvokeStatic(cp) => format!("invokestatic {}", cp_text(pool, *cp)),
+        Op::InvokeVirtual(cp) => format!("invokevirtual {}", cp_text(pool, *cp)),
+        Op::InvokeSpecial(cp) => format!("invokespecial {}", cp_text(pool, *cp)),
+        Op::Return => "return".into(),
+        Op::IReturn => "ireturn".into(),
+        Op::AReturn => "areturn".into(),
+        Op::MonitorEnter => "monitorenter".into(),
+        Op::MonitorExit => "monitorexit".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::{ClassAsm, MethodAsm};
+    use crate::class::Program;
+    use crate::pool::RetKind;
+
+    #[test]
+    fn disassembles_every_opcode_shape() {
+        let mut c = ClassAsm::new("Main");
+        c.add_field("x");
+        c.add_static_field("s");
+        let mut helper = MethodAsm::new("helper", 1).returns(RetKind::Int);
+        helper.iload(0).ireturn();
+        c.add_method(helper);
+        let mut m = MethodAsm::new("main", 0);
+        let end = m.new_label();
+        m.iconst(3)
+            .invokestatic("Main", "helper", 1, RetKind::Int)
+            .istore(0);
+        m.iload(0).if_le(end);
+        m.getstatic("Main", "s").pop();
+        m.bind(end);
+        m.ret();
+        c.add_method(m);
+        let p = Program::build(vec![c], "Main", "main").unwrap();
+        let cf = p.class_file(p.entry().class);
+        let (_, def) = cf.method("main").unwrap();
+        let text = disassemble(def, &cf.pool).unwrap();
+        assert!(text.contains("invokestatic Main::helper/1"));
+        assert!(text.contains("getstatic Main.s"));
+        assert!(text.contains("ifle"));
+    }
+
+    #[test]
+    fn native_method_renders_placeholder() {
+        let m = MethodAsm::native("print", 1, RetKind::Void);
+        let mut pool = ConstPool::new();
+        let def = m.finish(&mut pool);
+        let text = disassemble(&def, &pool).unwrap();
+        assert!(text.contains("<native print>"));
+    }
+}

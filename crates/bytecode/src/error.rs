@@ -1,0 +1,98 @@
+//! Error type for bytecode construction, decoding, and verification.
+
+use std::fmt;
+
+/// Errors produced while encoding, decoding, assembling, or verifying
+/// bytecode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BytecodeError {
+    /// An instruction's operands extend past the end of the code array.
+    Truncated(usize),
+    /// Unknown opcode byte at the given offset.
+    BadOpcode {
+        /// Offset of the bad opcode.
+        pc: usize,
+        /// The unknown opcode byte.
+        opcode: u8,
+    },
+    /// Invalid condition code in an `if` encoding.
+    BadCond(u8),
+    /// Invalid array-kind code in an array instruction.
+    BadArrayKind(u8),
+    /// A constant-pool index is out of range or refers to the wrong
+    /// kind of entry.
+    BadConstant {
+        /// The offending pool index.
+        index: u16,
+        /// What the instruction expected to find there.
+        expected: &'static str,
+    },
+    /// A branch target does not land on an instruction boundary.
+    BadBranchTarget {
+        /// Offset of the branching instruction.
+        pc: usize,
+        /// The invalid target offset.
+        target: u32,
+    },
+    /// Operand stack underflow or inconsistent depth at a join point.
+    BadStack {
+        /// Offset where the inconsistency was found.
+        pc: usize,
+        /// Explanation.
+        detail: String,
+    },
+    /// A local-variable index is outside the method's frame.
+    BadLocal {
+        /// Offset of the offending instruction.
+        pc: usize,
+        /// The out-of-range index.
+        index: u8,
+    },
+    /// Control flow can fall off the end of the code array.
+    FallsOffEnd,
+    /// A return instruction disagrees with the method's return kind.
+    BadReturn {
+        /// Offset of the offending return.
+        pc: usize,
+    },
+    /// A class, method, or field was referenced but not defined.
+    Unresolved(String),
+    /// A class was defined more than once.
+    DuplicateClass(String),
+    /// A label was used but never bound (assembler misuse).
+    UnboundLabel(u32),
+}
+
+impl fmt::Display for BytecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BytecodeError::Truncated(pc) => write!(f, "truncated instruction at offset {pc}"),
+            BytecodeError::BadOpcode { pc, opcode } => {
+                write!(f, "unknown opcode {opcode:#04x} at offset {pc}")
+            }
+            BytecodeError::BadCond(c) => write!(f, "invalid condition code {c}"),
+            BytecodeError::BadArrayKind(c) => write!(f, "invalid array kind code {c}"),
+            BytecodeError::BadConstant { index, expected } => {
+                write!(f, "constant pool entry {index} is not a {expected}")
+            }
+            BytecodeError::BadBranchTarget { pc, target } => {
+                write!(f, "branch at {pc} targets non-instruction offset {target}")
+            }
+            BytecodeError::BadStack { pc, detail } => {
+                write!(f, "operand stack error at {pc}: {detail}")
+            }
+            BytecodeError::BadLocal { pc, index } => {
+                write!(f, "local {index} out of range at offset {pc}")
+            }
+            BytecodeError::FallsOffEnd => write!(f, "control flow falls off the end of the code"),
+            BytecodeError::BadReturn { pc } => {
+                write!(f, "return at {pc} disagrees with method return kind")
+            }
+            BytecodeError::Unresolved(what) => write!(f, "unresolved reference to {what}"),
+            BytecodeError::DuplicateClass(name) => write!(f, "class {name} defined twice"),
+            BytecodeError::UnboundLabel(id) => write!(f, "label {id} used but never bound"),
+        }
+    }
+}
+
+impl std::error::Error for BytecodeError {}

@@ -1,0 +1,66 @@
+//! The `javart` bytecode ISA: a miniature JVM instruction set.
+//!
+//! The paper's subject is how JVM *execution techniques* (interpreting
+//! the stack-machine bytecode vs. JIT-translating it to native code)
+//! interact with the hardware. This crate defines the portable program
+//! representation those techniques consume:
+//!
+//! * [`Op`] — a stack-machine instruction set modelled on the JVM's:
+//!   constants, typed locals, integer arithmetic, arrays, objects with
+//!   fields, static/virtual/special invocation, conditional branches,
+//!   `tableswitch`, monitors, and returns; with a byte
+//!   [`encoding`](Op::encode) and [`decoder`](Op::decode);
+//! * [`ConstPool`] / [`Const`] — per-class constant pools holding
+//!   class/field/method references resolved at class-load time;
+//! * [`ClassFile`], [`MethodDef`], [`FieldDef`], [`Program`] — the
+//!   class format with single inheritance and virtual dispatch;
+//! * [`ClassAsm`] / [`MethodAsm`] — a label-based assembler used by
+//!   the `jrt-workloads` crate to author the SpecJVM98-analog
+//!   benchmarks;
+//! * [`verify`](verify::verify_program) — a structural verifier
+//!   (decode validity, jump targets, operand-stack depth consistency,
+//!   locals bounds, constant-pool indices) run at class-load time;
+//! * [`disasm`](disasm::disassemble) — a disassembler for debugging
+//!   and golden tests.
+//!
+//! # Examples
+//!
+//! Assemble, verify, and disassemble a method that sums 1..=10:
+//!
+//! ```
+//! use jrt_bytecode::{ClassAsm, MethodAsm, Program, RetKind};
+//!
+//! let mut class = ClassAsm::new("Main");
+//! let mut m = MethodAsm::new("main", 0).returns(RetKind::Int);
+//! let (sum, i) = (0, 1);
+//! m.iconst(0).istore(sum).iconst(1).istore(i);
+//! let top = m.new_label();
+//! let done = m.new_label();
+//! m.bind(top);
+//! m.iload(i).iconst(10).if_icmp_gt(done);
+//! m.iload(sum).iload(i).iadd().istore(sum);
+//! m.iinc(i, 1).goto(top);
+//! m.bind(done);
+//! m.iload(sum).ireturn();
+//! class.add_method(m);
+//! let program = Program::build(vec![class], "Main", "main")?;
+//! assert!(program.class("Main").is_some());
+//! # Ok::<(), jrt_bytecode::BytecodeError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod asm;
+mod class;
+pub mod disasm;
+mod error;
+mod op;
+mod pool;
+pub mod verify;
+
+pub use asm::{ClassAsm, Label, MethodAsm};
+pub use class::{ClassFile, ClassId, FieldDef, MethodDef, MethodFlags, MethodId, Program};
+pub use error::BytecodeError;
+pub use op::{ArrayKind, Cond, Op};
+pub use pool::{Const, ConstPool, CpIndex, RetKind};

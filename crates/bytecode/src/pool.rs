@@ -1,0 +1,233 @@
+//! Per-class constant pools.
+
+use crate::error::BytecodeError;
+use std::fmt;
+
+/// Index into a class's constant pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CpIndex(pub u16);
+
+impl fmt::Display for CpIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Return kind of a method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RetKind {
+    /// Returns nothing.
+    Void,
+    /// Returns an int.
+    Int,
+    /// Returns a reference.
+    Ref,
+}
+
+impl RetKind {
+    /// Number of stack slots pushed by a call returning this kind.
+    pub fn slots(self) -> u32 {
+        match self {
+            RetKind::Void => 0,
+            RetKind::Int | RetKind::Ref => 1,
+        }
+    }
+}
+
+/// One constant-pool entry.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Const {
+    /// Reference to a class by name.
+    Class {
+        /// Class name.
+        name: String,
+    },
+    /// Reference to an instance or static field.
+    Field {
+        /// Declaring class name.
+        class: String,
+        /// Field name.
+        name: String,
+    },
+    /// Reference to a method.
+    Method {
+        /// Declaring class name.
+        class: String,
+        /// Method name.
+        name: String,
+        /// Number of declared arguments (excluding `this`).
+        nargs: u8,
+        /// Return kind.
+        ret: RetKind,
+    },
+    /// An integer constant.
+    Int(i32),
+    /// A UTF-8 string constant (used for string data in workloads).
+    Utf8(String),
+}
+
+/// A class's constant pool: an append-only, deduplicating table of
+/// [`Const`] entries.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ConstPool {
+    entries: Vec<Const>,
+}
+
+impl ConstPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns an entry, returning its index. Identical entries share
+    /// one slot.
+    pub fn intern(&mut self, c: Const) -> CpIndex {
+        if let Some(pos) = self.entries.iter().position(|e| *e == c) {
+            return CpIndex(pos as u16);
+        }
+        let idx = u16::try_from(self.entries.len()).expect("constant pool overflow");
+        self.entries.push(c);
+        CpIndex(idx)
+    }
+
+    /// Looks up an entry.
+    pub fn get(&self, idx: CpIndex) -> Option<&Const> {
+        self.entries.get(usize::from(idx.0))
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over all entries.
+    pub fn iter(&self) -> impl Iterator<Item = &Const> {
+        self.entries.iter()
+    }
+
+    /// Fetches a class reference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BytecodeError::BadConstant`] if the index is out of
+    /// range or not a class entry.
+    pub fn class_ref(&self, idx: CpIndex) -> Result<&str, BytecodeError> {
+        match self.get(idx) {
+            Some(Const::Class { name }) => Ok(name),
+            _ => Err(BytecodeError::BadConstant {
+                index: idx.0,
+                expected: "class reference",
+            }),
+        }
+    }
+
+    /// Fetches a field reference as `(class, field)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BytecodeError::BadConstant`] if the index is out of
+    /// range or not a field entry.
+    pub fn field_ref(&self, idx: CpIndex) -> Result<(&str, &str), BytecodeError> {
+        match self.get(idx) {
+            Some(Const::Field { class, name }) => Ok((class, name)),
+            _ => Err(BytecodeError::BadConstant {
+                index: idx.0,
+                expected: "field reference",
+            }),
+        }
+    }
+
+    /// Fetches a method reference as `(class, name, nargs, ret)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BytecodeError::BadConstant`] if the index is out of
+    /// range or not a method entry.
+    pub fn method_ref(&self, idx: CpIndex) -> Result<(&str, &str, u8, RetKind), BytecodeError> {
+        match self.get(idx) {
+            Some(Const::Method {
+                class,
+                name,
+                nargs,
+                ret,
+            }) => Ok((class, name, *nargs, *ret)),
+            _ => Err(BytecodeError::BadConstant {
+                index: idx.0,
+                expected: "method reference",
+            }),
+        }
+    }
+
+    /// Approximate size in bytes of this pool's loaded representation,
+    /// used for the simulated class area and footprint accounting.
+    pub fn loaded_size(&self) -> u32 {
+        self.entries
+            .iter()
+            .map(|e| match e {
+                Const::Class { name } => 8 + name.len() as u32,
+                Const::Field { class, name } => 12 + (class.len() + name.len()) as u32,
+                Const::Method { class, name, .. } => 16 + (class.len() + name.len()) as u32,
+                Const::Int(_) => 8,
+                Const::Utf8(s) => 8 + s.len() as u32,
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_dedups() {
+        let mut p = ConstPool::new();
+        let a = p.intern(Const::Int(7));
+        let b = p.intern(Const::Int(7));
+        let c = p.intern(Const::Int(8));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn typed_getters() {
+        let mut p = ConstPool::new();
+        let cls = p.intern(Const::Class {
+            name: "Main".into(),
+        });
+        let fld = p.intern(Const::Field {
+            class: "Main".into(),
+            name: "x".into(),
+        });
+        let mth = p.intern(Const::Method {
+            class: "Main".into(),
+            name: "run".into(),
+            nargs: 2,
+            ret: RetKind::Int,
+        });
+        assert_eq!(p.class_ref(cls).unwrap(), "Main");
+        assert_eq!(p.field_ref(fld).unwrap(), ("Main", "x"));
+        assert_eq!(p.method_ref(mth).unwrap(), ("Main", "run", 2, RetKind::Int));
+        assert!(p.class_ref(fld).is_err());
+        assert!(p.field_ref(CpIndex(99)).is_err());
+    }
+
+    #[test]
+    fn loaded_size_is_positive() {
+        let mut p = ConstPool::new();
+        p.intern(Const::Utf8("hello".into()));
+        assert!(p.loaded_size() >= 13);
+    }
+
+    #[test]
+    fn ret_kind_slots() {
+        assert_eq!(RetKind::Void.slots(), 0);
+        assert_eq!(RetKind::Int.slots(), 1);
+        assert_eq!(RetKind::Ref.slots(), 1);
+    }
+}

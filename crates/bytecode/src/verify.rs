@@ -1,0 +1,423 @@
+//! Structural bytecode verification.
+//!
+//! Run at link time ([`Program::link`](crate::Program::link)) on every
+//! method:
+//!
+//! * the code array decodes into a contiguous instruction sequence;
+//! * every branch target lands on an instruction boundary;
+//! * operand-stack depth is consistent: no underflow, and all paths
+//!   reaching a join agree on the depth (this also computes
+//!   `max_stack`);
+//! * local-variable indices stay inside the frame;
+//! * constant-pool operands have the right entry kind;
+//! * control cannot fall off the end of the method;
+//! * return instructions match the method's declared return kind.
+//!
+//! Whole-program resolution ([`check_resolution`]) additionally checks
+//! that every symbolic class/field/method reference resolves against
+//! the defined classes and that inheritance is acyclic.
+
+use crate::class::{MethodDef, Program};
+use crate::error::BytecodeError;
+use crate::op::Op;
+use crate::pool::{Const, ConstPool, RetKind};
+use std::collections::{HashMap, HashSet};
+
+/// Verifies one method and returns its computed `max_stack`.
+///
+/// # Errors
+///
+/// Returns the first structural error found; see the module
+/// documentation for the checked properties.
+pub fn verify_method(def: &MethodDef, pool: &ConstPool) -> Result<u16, BytecodeError> {
+    if def.flags.is_native {
+        return Ok(0);
+    }
+
+    // Decode pass: instruction boundaries.
+    let mut at: HashMap<u32, (Op, usize)> = HashMap::new();
+    let mut pc = 0usize;
+    while pc < def.code.len() {
+        let (op, len) = Op::decode(&def.code, pc)?;
+        at.insert(pc as u32, (op, len));
+        pc += len;
+    }
+
+    // Abstract interpretation over stack depth.
+    let mut depth_at: HashMap<u32, u32> = HashMap::new();
+    let mut work = vec![(0u32, 0u32)];
+    let mut max_depth = 0u32;
+
+    while let Some((pc, depth)) = work.pop() {
+        match depth_at.get(&pc) {
+            Some(&d) if d == depth => continue,
+            Some(&d) => {
+                return Err(BytecodeError::BadStack {
+                    pc: pc as usize,
+                    detail: format!("join depth mismatch: {d} vs {depth}"),
+                })
+            }
+            None => {
+                depth_at.insert(pc, depth);
+            }
+        }
+
+        let (op, len) = at.get(&pc).ok_or(BytecodeError::BadBranchTarget {
+            pc: pc as usize,
+            target: pc,
+        })?;
+
+        check_locals(op, pc, def.max_locals)?;
+        let (pops, pushes) = stack_effect(op, pc, pool)?;
+        if depth < pops {
+            return Err(BytecodeError::BadStack {
+                pc: pc as usize,
+                detail: format!("underflow: depth {depth}, pops {pops}"),
+            });
+        }
+        let next_depth = depth - pops + pushes;
+        max_depth = max_depth.max(next_depth).max(depth);
+
+        check_return(op, pc, def.ret)?;
+
+        for target in op.branch_targets() {
+            if !at.contains_key(&target) {
+                return Err(BytecodeError::BadBranchTarget {
+                    pc: pc as usize,
+                    target,
+                });
+            }
+            work.push((target, next_depth));
+        }
+        if op.falls_through() {
+            let next = pc + *len as u32;
+            if next as usize >= def.code.len() {
+                return Err(BytecodeError::FallsOffEnd);
+            }
+            work.push((next, next_depth));
+        }
+    }
+
+    Ok(u16::try_from(max_depth).unwrap_or(u16::MAX))
+}
+
+fn check_locals(op: &Op, pc: u32, max_locals: u16) -> Result<(), BytecodeError> {
+    let idx = match op {
+        Op::ILoad(n) | Op::IStore(n) | Op::ALoad(n) | Op::AStore(n) | Op::IInc(n, _) => *n,
+        _ => return Ok(()),
+    };
+    if u16::from(idx) >= max_locals {
+        return Err(BytecodeError::BadLocal {
+            pc: pc as usize,
+            index: idx,
+        });
+    }
+    Ok(())
+}
+
+fn check_return(op: &Op, pc: u32, ret: RetKind) -> Result<(), BytecodeError> {
+    let ok = match op {
+        Op::Return => ret == RetKind::Void,
+        Op::IReturn => ret == RetKind::Int,
+        Op::AReturn => ret == RetKind::Ref,
+        _ => return Ok(()),
+    };
+    if ok {
+        Ok(())
+    } else {
+        Err(BytecodeError::BadReturn { pc: pc as usize })
+    }
+}
+
+/// (pops, pushes) of one instruction; validates constant-pool operand
+/// kinds along the way.
+fn stack_effect(op: &Op, pc: u32, pool: &ConstPool) -> Result<(u32, u32), BytecodeError> {
+    let _ = pc;
+    Ok(match op {
+        Op::Nop | Op::IInc(_, _) | Op::Goto(_) => (0, 0),
+        Op::IConst(_) | Op::AConstNull | Op::ILoad(_) | Op::ALoad(_) => (0, 1),
+        Op::IStore(_) | Op::AStore(_) | Op::Pop => (1, 0),
+        Op::Dup => (1, 2),
+        Op::DupX1 => (2, 3),
+        Op::Swap => (2, 2),
+        Op::IAdd
+        | Op::ISub
+        | Op::IMul
+        | Op::IDiv
+        | Op::IRem
+        | Op::IShl
+        | Op::IShr
+        | Op::IUshr
+        | Op::IAnd
+        | Op::IOr
+        | Op::IXor => (2, 1),
+        Op::INeg => (1, 1),
+        Op::If(_, _) | Op::IfNull(_) | Op::IfNonNull(_) | Op::TableSwitch { .. } => (1, 0),
+        Op::IfICmp(_, _) | Op::IfACmpEq(_) | Op::IfACmpNe(_) => (2, 0),
+        Op::New(cp) => {
+            pool.class_ref(*cp)?;
+            (0, 1)
+        }
+        Op::GetField(cp) => {
+            pool.field_ref(*cp)?;
+            (1, 1)
+        }
+        Op::PutField(cp) => {
+            pool.field_ref(*cp)?;
+            (2, 0)
+        }
+        Op::GetStatic(cp) => {
+            pool.field_ref(*cp)?;
+            (0, 1)
+        }
+        Op::PutStatic(cp) => {
+            pool.field_ref(*cp)?;
+            (1, 0)
+        }
+        Op::NewArray(_) => (1, 1),
+        Op::ArrayLength => (1, 1),
+        Op::ArrLoad(_) => (2, 1),
+        Op::ArrStore(_) => (3, 0),
+        Op::InvokeStatic(cp) => {
+            let (_, _, nargs, ret) = pool.method_ref(*cp)?;
+            (u32::from(nargs), ret.slots())
+        }
+        Op::InvokeVirtual(cp) | Op::InvokeSpecial(cp) => {
+            let (_, _, nargs, ret) = pool.method_ref(*cp)?;
+            (u32::from(nargs) + 1, ret.slots())
+        }
+        Op::Return => (0, 0),
+        Op::IReturn | Op::AReturn => (1, 0),
+        Op::MonitorEnter | Op::MonitorExit => (1, 0),
+    })
+}
+
+/// Checks that every symbolic reference in every class resolves and
+/// that inheritance is acyclic.
+///
+/// # Errors
+///
+/// Returns [`BytecodeError::Unresolved`] naming the first dangling
+/// reference or cyclic class.
+pub fn check_resolution(program: &Program) -> Result<(), BytecodeError> {
+    for class in program.classes() {
+        // Acyclic, resolvable inheritance.
+        let mut visited = HashSet::new();
+        let mut cur = class.name.clone();
+        visited.insert(cur.clone());
+        while let Some(s) = program
+            .class(&cur)
+            .map(|id| program.class_file(id).super_name.clone())
+            .ok_or_else(|| BytecodeError::Unresolved(format!("class {cur}")))?
+        {
+            if !visited.insert(s.clone()) {
+                return Err(BytecodeError::Unresolved(format!(
+                    "cyclic inheritance through {s}"
+                )));
+            }
+            if program.class(&s).is_none() {
+                return Err(BytecodeError::Unresolved(format!("superclass {s}")));
+            }
+            cur = s;
+        }
+
+        // Pool references.
+        for entry in class.pool.iter() {
+            match entry {
+                Const::Class { name } => {
+                    if program.class(name).is_none() {
+                        return Err(BytecodeError::Unresolved(format!("class {name}")));
+                    }
+                }
+                Const::Field { class: c, name } => {
+                    let cid = program
+                        .class(c)
+                        .ok_or_else(|| BytecodeError::Unresolved(format!("class {c}")))?;
+                    let found = program
+                        .ancestry(cid)
+                        .iter()
+                        .any(|&a| program.class_file(a).fields.iter().any(|f| f.name == *name));
+                    if !found {
+                        return Err(BytecodeError::Unresolved(format!("field {c}.{name}")));
+                    }
+                }
+                Const::Method {
+                    class: c,
+                    name,
+                    nargs,
+                    ret,
+                } => {
+                    let mid = program.resolve_method(c, name).ok_or_else(|| {
+                        BytecodeError::Unresolved(format!("method {c}::{name}"))
+                    })?;
+                    let def = program.method_def(mid);
+                    if def.nargs != *nargs || def.ret != *ret {
+                        return Err(BytecodeError::Unresolved(format!(
+                            "method {c}::{name} signature mismatch"
+                        )));
+                    }
+                }
+                Const::Int(_) | Const::Utf8(_) => {}
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Re-verifies an already-linked program (both resolution and
+/// per-method checks). [`Program::link`] runs this automatically.
+///
+/// # Errors
+///
+/// Returns the first verification error.
+pub fn verify_program(program: &Program) -> Result<(), BytecodeError> {
+    check_resolution(program)?;
+    for class in program.classes() {
+        for m in &class.methods {
+            verify_method(m, &class.pool)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::{ClassAsm, MethodAsm};
+    use crate::pool::RetKind;
+
+    fn finish(m: MethodAsm) -> (MethodDef, ConstPool) {
+        let mut pool = ConstPool::new();
+        let def = m.finish(&mut pool);
+        (def, pool)
+    }
+
+    #[test]
+    fn computes_max_stack() {
+        let mut m = MethodAsm::new("m", 0);
+        m.iconst(1).iconst(2).iconst(3).iadd().iadd().istore(0).ret();
+        let (def, pool) = finish(m);
+        assert_eq!(verify_method(&def, &pool).unwrap(), 3);
+    }
+
+    #[test]
+    fn rejects_underflow() {
+        let mut m = MethodAsm::new("m", 0);
+        m.iadd().ret();
+        let (def, pool) = finish(m);
+        assert!(matches!(
+            verify_method(&def, &pool),
+            Err(BytecodeError::BadStack { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_join_depth_mismatch() {
+        // One path pushes an extra value before the join.
+        let mut m = MethodAsm::new("m", 1);
+        let join = m.new_label();
+        let side = m.new_label();
+        m.iload(0).if_eq(side);
+        m.iconst(1).goto(join);
+        m.bind(side);
+        m.iconst(1).iconst(2).goto(join);
+        m.bind(join);
+        m.istore(0).ret();
+        let (def, pool) = finish(m);
+        assert!(matches!(
+            verify_method(&def, &pool),
+            Err(BytecodeError::BadStack { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_fall_off_end() {
+        let mut m = MethodAsm::new("m", 0);
+        m.iconst(1).istore(0); // no return
+        let (def, pool) = finish(m);
+        assert!(matches!(
+            verify_method(&def, &pool),
+            Err(BytecodeError::FallsOffEnd)
+        ));
+    }
+
+    #[test]
+    fn rejects_wrong_return_kind() {
+        let mut m = MethodAsm::new("m", 0); // returns Void
+        m.iconst(1).ireturn();
+        let (def, pool) = finish(m);
+        assert!(matches!(
+            verify_method(&def, &pool),
+            Err(BytecodeError::BadReturn { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_local_out_of_range() {
+        // Hand-build a method whose max_locals is too small.
+        let mut m = MethodAsm::new("m", 0);
+        m.iconst(0).istore(3).ret();
+        let (mut def, pool) = finish(m);
+        def.max_locals = 2;
+        assert!(matches!(
+            verify_method(&def, &pool),
+            Err(BytecodeError::BadLocal { .. })
+        ));
+    }
+
+    #[test]
+    fn native_methods_skip_verification() {
+        let m = MethodAsm::native("n", 3, RetKind::Int);
+        let (def, pool) = finish(m);
+        assert_eq!(verify_method(&def, &pool).unwrap(), 0);
+    }
+
+    #[test]
+    fn resolution_catches_missing_method() {
+        let mut c = ClassAsm::new("Main");
+        let mut m = MethodAsm::new("main", 0);
+        m.invokestatic("Main", "missing", 0, RetKind::Void).ret();
+        c.add_method(m);
+        assert!(matches!(
+            Program::build(vec![c], "Main", "main"),
+            Err(BytecodeError::Unresolved(_))
+        ));
+    }
+
+    #[test]
+    fn resolution_catches_signature_mismatch() {
+        let mut c = ClassAsm::new("Main");
+        let mut target = MethodAsm::new("f", 2);
+        target.ret();
+        c.add_method(target);
+        let mut m = MethodAsm::new("main", 0);
+        m.iconst(1).invokestatic("Main", "f", 1, RetKind::Void).ret();
+        c.add_method(m);
+        assert!(matches!(
+            Program::build(vec![c], "Main", "main"),
+            Err(BytecodeError::Unresolved(_))
+        ));
+    }
+
+    #[test]
+    fn resolution_catches_cyclic_inheritance() {
+        let a = ClassAsm::with_super("A", "B");
+        let b = ClassAsm::with_super("B", "A");
+        let mut main = ClassAsm::new("Main");
+        let mut m = MethodAsm::new("main", 0);
+        m.ret();
+        main.add_method(m);
+        assert!(Program::build(vec![a, b, main], "Main", "main").is_err());
+    }
+
+    #[test]
+    fn link_fills_max_stack() {
+        let mut c = ClassAsm::new("Main");
+        let mut m = MethodAsm::new("main", 0);
+        m.iconst(1).iconst(2).iadd().istore(0).ret();
+        c.add_method(m);
+        let p = Program::build(vec![c], "Main", "main").unwrap();
+        let def = p.method_def(p.entry());
+        assert_eq!(def.max_stack, 2);
+    }
+}

@@ -1,0 +1,191 @@
+//! Windowed miss-rate sampling (Figure 6 of the paper).
+//!
+//! The paper plots the number of cache misses over the course of
+//! execution for `db` in interpreter and JIT modes, showing class-load
+//! spikes at startup for the interpreter and clustered
+//! translation-write-miss spikes for the JIT. [`Timeline`] reproduces
+//! that measurement: it divides the instruction stream into fixed-size
+//! windows and records per-window reference and miss counts.
+
+/// One sampled window.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TimelineSample {
+    /// Instructions retired in this window.
+    pub instructions: u64,
+    /// I-cache misses in this window.
+    pub i_misses: u64,
+    /// D-cache references in this window.
+    pub d_refs: u64,
+    /// D-cache misses in this window.
+    pub d_misses: u64,
+    /// Misses (I + D) attributed to the JIT translate phase.
+    pub translate_misses: u64,
+}
+
+impl TimelineSample {
+    /// D-cache miss rate within the window.
+    pub fn d_miss_rate(&self) -> f64 {
+        if self.d_refs == 0 {
+            0.0
+        } else {
+            self.d_misses as f64 / self.d_refs as f64
+        }
+    }
+}
+
+/// Windowed sampler of cache behaviour over time.
+#[derive(Debug, Clone)]
+pub struct Timeline {
+    window: u64,
+    current: TimelineSample,
+    samples: Vec<TimelineSample>,
+}
+
+impl Timeline {
+    /// Creates a sampler with the given window size (instructions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: u64) -> Self {
+        assert!(window > 0, "window must be positive");
+        Timeline {
+            window,
+            current: TimelineSample::default(),
+            samples: Vec::new(),
+        }
+    }
+
+    /// Records one instruction's outcomes: I-fetch hit/miss, the
+    /// D-access hit/miss for memory instructions, and whether the
+    /// instruction belongs to the translate phase.
+    pub fn record(&mut self, i_hit: bool, d_hit: Option<bool>, translate: bool) {
+        self.current.instructions += 1;
+        if !i_hit {
+            self.current.i_misses += 1;
+            if translate {
+                self.current.translate_misses += 1;
+            }
+        }
+        if let Some(h) = d_hit {
+            self.current.d_refs += 1;
+            if !h {
+                self.current.d_misses += 1;
+                if translate {
+                    self.current.translate_misses += 1;
+                }
+            }
+        }
+        if self.current.instructions == self.window {
+            self.samples.push(self.current);
+            self.current = TimelineSample::default();
+        }
+    }
+
+    /// Pushes a trailing partial window, if any.
+    pub fn flush(&mut self) {
+        if self.current.instructions > 0 {
+            self.samples.push(self.current);
+            self.current = TimelineSample::default();
+        }
+    }
+
+    /// The collected samples.
+    pub fn samples(&self) -> &[TimelineSample] {
+        &self.samples
+    }
+
+    /// Number of windows whose misses are dominated (>50%) by the
+    /// translate phase — the clustered translation spikes the paper
+    /// observes in JIT mode (always zero under interpretation).
+    pub fn translate_clusters(&self) -> usize {
+        self.samples
+            .iter()
+            .filter(|s| {
+                let total = s.i_misses + s.d_misses;
+                total > 0 && s.translate_misses * 2 > total
+            })
+            .count()
+    }
+
+    /// Number of "spike" windows: windows whose miss count exceeds
+    /// `factor` times the mean miss count. The paper's qualitative
+    /// observation is that the JIT mode shows many more such spikes
+    /// (clustered translations) than the interpreter.
+    pub fn spike_count(&self, factor: f64) -> usize {
+        let n = self.samples.len();
+        if n == 0 {
+            return 0;
+        }
+        let mean: f64 =
+            self.samples.iter().map(|s| (s.i_misses + s.d_misses) as f64).sum::<f64>() / n as f64;
+        self.samples
+            .iter()
+            .filter(|s| (s.i_misses + s.d_misses) as f64 > factor * mean)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_split_correctly() {
+        let mut t = Timeline::new(3);
+        for k in 0..7 {
+            t.record(k % 2 == 0, Some(k % 3 == 0), false);
+        }
+        t.flush();
+        assert_eq!(t.samples().len(), 3);
+        assert_eq!(t.samples()[0].instructions, 3);
+        assert_eq!(t.samples()[2].instructions, 1);
+        let total_d: u64 = t.samples().iter().map(|s| s.d_refs).sum();
+        assert_eq!(total_d, 7);
+    }
+
+    #[test]
+    fn miss_rate_within_window() {
+        let mut t = Timeline::new(2);
+        t.record(true, Some(false), false);
+        t.record(true, Some(true), false);
+        t.flush();
+        assert!((t.samples()[0].d_miss_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spikes_detected() {
+        let mut t = Timeline::new(1);
+        // 9 quiet windows, 1 spike.
+        for _ in 0..9 {
+            t.record(true, Some(true), false);
+        }
+        t.record(false, Some(false), true);
+        t.flush();
+        assert_eq!(t.spike_count(2.0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_rejected() {
+        Timeline::new(0);
+    }
+
+    #[test]
+    fn translate_clusters_counted() {
+        let mut t = Timeline::new(2);
+        t.record(false, Some(false), true); // 2 translate misses
+        t.record(true, None, false);
+        t.record(false, None, false); // 1 non-translate miss
+        t.record(true, None, false);
+        t.flush();
+        assert_eq!(t.translate_clusters(), 1);
+    }
+
+    #[test]
+    fn empty_timeline_has_no_spikes() {
+        let t = Timeline::new(10);
+        assert_eq!(t.spike_count(2.0), 0);
+        assert!(t.samples().is_empty());
+    }
+}

@@ -1,0 +1,22 @@
+//! Regenerates the paper's fig3 result. Usage: `fig3_write_misses [tiny|s1|s10]`.
+
+use jrt_experiments::fig3;
+use jrt_workloads::Size;
+
+fn parse_size() -> Size {
+    match std::env::args().nth(1).as_deref() {
+        Some("tiny") => Size::Tiny,
+        Some("s10") => Size::S10,
+        None | Some("s1") => Size::S1,
+        Some(other) => {
+            eprintln!("unknown size {other:?}; use tiny|s1|s10");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let size = parse_size();
+    let r = fig3::run(size);
+    println!("{}", r.table());
+}

@@ -1,0 +1,18 @@
+//! Measures the paper's Section 6 install-into-I-cache proposal.
+
+use jrt_experiments::proposal;
+use jrt_workloads::Size;
+
+fn main() {
+    let size = match std::env::args().nth(1).as_deref() {
+        Some("tiny") => Size::Tiny,
+        Some("s10") => Size::S10,
+        None | Some("s1") => Size::S1,
+        Some(other) => {
+            eprintln!("unknown size {other:?}; use tiny|s1|s10");
+            std::process::exit(2);
+        }
+    };
+    let r = proposal::run(size);
+    println!("{}", r.table());
+}

@@ -1,0 +1,22 @@
+//! Runs every experiment and writes EXPERIMENTS.md.
+//! Usage: `run_all [tiny|s1|s10] [output-path]`.
+
+use jrt_experiments::report;
+use jrt_workloads::Size;
+
+fn main() {
+    let size = match std::env::args().nth(1).as_deref() {
+        Some("tiny") => Size::Tiny,
+        Some("s10") => Size::S10,
+        None | Some("s1") => Size::S1,
+        Some(other) => {
+            eprintln!("unknown size {other:?}; use tiny|s1|s10");
+            std::process::exit(2);
+        }
+    };
+    let out = std::env::args().nth(2).unwrap_or_else(|| "EXPERIMENTS.md".into());
+    let r = report::run_all(size);
+    let md = r.to_markdown();
+    std::fs::write(&out, &md).expect("write report");
+    println!("wrote {out}");
+}

@@ -1,0 +1,8 @@
+//! Runs the input-size sweep (Section 2's s1/s10 observation).
+
+use jrt_experiments::sizes;
+
+fn main() {
+    let r = sizes::run();
+    println!("{}", r.table());
+}

@@ -1,0 +1,126 @@
+//! Figure 2 — instruction mix, cumulative over the suite.
+//!
+//! The paper reports 15–20% control transfers and 25–40% memory
+//! accesses in both modes, with the interpreter about 5 percentage
+//! points heavier on memory (in-memory operand stack) and much
+//! heavier on indirect jumps (`switch` dispatch), while the JIT shows
+//! more direct branches and calls.
+
+use crate::runner::{check, run_mode, Mode};
+use crate::table::{pct, Table};
+use jrt_trace::InstMix;
+use jrt_workloads::{suite, Size};
+
+/// Cumulative mixes for the two modes, plus the per-benchmark
+/// breakdown the paper's companion report carries.
+#[derive(Debug, Clone)]
+pub struct Fig2 {
+    /// Interpreter-mode cumulative mix.
+    pub interp: InstMix,
+    /// JIT-mode cumulative mix.
+    pub jit: InstMix,
+    /// Per-benchmark (name, interp mix, jit mix).
+    pub per_benchmark: Vec<(&'static str, InstMix, InstMix)>,
+}
+
+impl Fig2 {
+    /// Renders the table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "Figure 2: instruction mix (cumulative over SpecJVM98 analogs)",
+            &["category", "interp", "jit"],
+        );
+        let s_i = self.interp.summary();
+        let s_j = self.jit.summary();
+        for (name, a, b) in [
+            ("ALU", s_i.alu, s_j.alu),
+            ("loads", s_i.loads, s_j.loads),
+            ("stores", s_i.stores, s_j.stores),
+            ("memory (total)", s_i.memory, s_j.memory),
+            ("cond branches", s_i.branches, s_j.branches),
+            ("calls", s_i.calls, s_j.calls),
+            ("indirect jumps", s_i.indirect_jumps, s_j.indirect_jumps),
+            ("returns", s_i.returns, s_j.returns),
+            ("transfers (total)", s_i.transfers, s_j.transfers),
+            ("indirect share of transfers",
+                self.interp.indirect_share_of_transfers(),
+                self.jit.indirect_share_of_transfers()),
+        ] {
+            t.row(vec![name.into(), pct(a), pct(b)]);
+        }
+        t
+    }
+}
+
+impl Fig2 {
+    /// Per-benchmark mix table (the individual mixes the paper defers
+    /// to its companion technical report).
+    pub fn per_benchmark_table(&self) -> Table {
+        let mut t = Table::new(
+            "Instruction mix per benchmark",
+            &["benchmark", "mode", "memory", "transfers", "indirect-of-transfers"],
+        );
+        for (name, mi, mj) in &self.per_benchmark {
+            t.row(vec![
+                (*name).into(),
+                "interp".into(),
+                pct(mi.memory_fraction()),
+                pct(mi.transfer_fraction()),
+                pct(mi.indirect_share_of_transfers()),
+            ]);
+            t.row(vec![
+                (*name).into(),
+                "jit".into(),
+                pct(mj.memory_fraction()),
+                pct(mj.transfer_fraction()),
+                pct(mj.indirect_share_of_transfers()),
+            ]);
+        }
+        t
+    }
+}
+
+/// Runs the Figure 2 experiment.
+pub fn run(size: Size) -> Fig2 {
+    let mut interp = InstMix::new();
+    let mut jit = InstMix::new();
+    let mut per_benchmark = Vec::new();
+    for spec in suite() {
+        let program = (spec.build)(size);
+        let mut mi = InstMix::new();
+        let r = run_mode(&program, Mode::Interp, &mut mi);
+        check(&spec, size, &r);
+        interp.merge(&mi);
+
+        let mut mj = InstMix::new();
+        let r = run_mode(&program, Mode::Jit, &mut mj);
+        check(&spec, size, &r);
+        jit.merge(&mj);
+        per_benchmark.push((spec.name, mi, mj));
+    }
+    Fig2 {
+        interp,
+        jit,
+        per_benchmark,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_shape_matches_paper() {
+        let f = run(Size::Tiny);
+        // Memory heavier under interpretation.
+        assert!(f.interp.memory_fraction() > f.jit.memory_fraction());
+        // Both in a plausible band.
+        assert!(f.interp.memory_fraction() > 0.30 && f.interp.memory_fraction() < 0.60);
+        assert!(f.jit.memory_fraction() > 0.10 && f.jit.memory_fraction() < 0.45);
+        // Indirect transfers dominate the interpreter's control flow.
+        assert!(
+            f.interp.indirect_share_of_transfers() > f.jit.indirect_share_of_transfers() * 1.5
+        );
+        assert_eq!(f.table().len(), 10);
+    }
+}

@@ -1,0 +1,126 @@
+//! Figure 4 — average miss rates vs. a C-like execution.
+//!
+//! The paper compares SpecJVM98 under both JVM modes against SPECint
+//! and C++ programs. We have no 1990s C binaries, so the C-like
+//! comparator is an **AOT proxy**: the same programs' JIT-mode traces
+//! with the translation and class-loading phases removed — i.e., the
+//! execution of compiled code alone, which is what an ahead-of-time
+//! compiled C program of the same algorithm would run. The paper's
+//! shape: the interpreter has the best locality on both caches; JIT
+//! I-cache behaviour is close to compiled code; JIT D-cache is the
+//! worst of all (write misses).
+
+use crate::runner::{check, run_mode, Mode};
+use crate::table::{pct, Table};
+use jrt_cache::SplitCaches;
+use jrt_trace::{Phase, PhaseFilter};
+use jrt_workloads::{suite, Size};
+
+/// Average miss rates for one execution style.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig4Row {
+    /// Style label.
+    pub label: &'static str,
+    /// Mean I-cache miss rate over the suite.
+    pub i_miss: f64,
+    /// Mean D-cache miss rate over the suite.
+    pub d_miss: f64,
+}
+
+/// The full Figure 4 result.
+#[derive(Debug, Clone)]
+pub struct Fig4 {
+    /// interp / jit / C-like rows.
+    pub rows: Vec<Fig4Row>,
+}
+
+impl Fig4 {
+    /// Renders the table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "Figure 4: average miss rates (64K/32B; C-like = AOT proxy)",
+            &["execution", "I-miss", "D-miss"],
+        );
+        for r in &self.rows {
+            t.row(vec![r.label.into(), pct(r.i_miss), pct(r.d_miss)]);
+        }
+        t
+    }
+
+    /// Row accessor.
+    pub fn get(&self, label: &str) -> Option<&Fig4Row> {
+        self.rows.iter().find(|r| r.label == label)
+    }
+}
+
+fn is_app_phase(p: Phase) -> bool {
+    !matches!(p, Phase::Translate | Phase::ClassLoad)
+}
+
+/// Runs the Figure 4 experiment.
+pub fn run(size: Size) -> Fig4 {
+    let (mut ii, mut id, mut ji, mut jd, mut ci, mut cd) = (0.0, 0.0, 0.0, 0.0, 0.0, 0.0);
+    let n = suite().len() as f64;
+    for spec in suite() {
+        let program = (spec.build)(size);
+
+        let mut caches = SplitCaches::paper_l1();
+        let r = run_mode(&program, Mode::Interp, &mut caches);
+        check(&spec, size, &r);
+        ii += caches.icache().stats().miss_rate();
+        id += caches.dcache().stats().miss_rate();
+
+        let mut caches = SplitCaches::paper_l1();
+        let r = run_mode(&program, Mode::Jit, &mut caches);
+        check(&spec, size, &r);
+        ji += caches.icache().stats().miss_rate();
+        jd += caches.dcache().stats().miss_rate();
+
+        // AOT proxy: the same run with translate/class-load filtered
+        // out before the caches.
+        let mut filtered = PhaseFilter::new(SplitCaches::paper_l1(), is_app_phase);
+        let r = run_mode(&program, Mode::Jit, &mut filtered);
+        check(&spec, size, &r);
+        ci += filtered.inner().icache().stats().miss_rate();
+        cd += filtered.inner().dcache().stats().miss_rate();
+    }
+    Fig4 {
+        rows: vec![
+            Fig4Row {
+                label: "interp",
+                i_miss: ii / n,
+                d_miss: id / n,
+            },
+            Fig4Row {
+                label: "jit",
+                i_miss: ji / n,
+                d_miss: jd / n,
+            },
+            Fig4Row {
+                label: "c-like",
+                i_miss: ci / n,
+                d_miss: cd / n,
+            },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interp_locality_is_best_jit_dcache_worst() {
+        let f = run(Size::Tiny);
+        let interp = f.get("interp").unwrap();
+        let jit = f.get("jit").unwrap();
+        let c = f.get("c-like").unwrap();
+        // Interpreter beats both on the I-cache.
+        assert!(interp.i_miss < jit.i_miss);
+        assert!(interp.i_miss < c.i_miss);
+        // JIT D-cache is the worst of the three (write misses).
+        assert!(jit.d_miss >= c.d_miss);
+        assert!(jit.d_miss > interp.d_miss);
+        assert_eq!(f.table().len(), 3);
+    }
+}

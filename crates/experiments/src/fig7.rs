@@ -1,0 +1,124 @@
+//! Figure 7 — effect of associativity (8 KB caches, 32-byte lines,
+//! 1/2/4/8-way).
+//!
+//! The paper: higher associativity reduces misses, with the largest
+//! step from direct-mapped to 2-way.
+
+use crate::runner::{check, run_mode, Mode};
+use crate::table::{pct, Table};
+use jrt_cache::{CacheConfig, SplitCaches};
+use jrt_workloads::{suite, Size};
+
+/// Associativities swept.
+pub const ASSOCS: [u32; 4] = [1, 2, 4, 8];
+
+/// Aggregated miss rates per associativity for one mode.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig7Row {
+    /// Execution mode.
+    pub mode: Mode,
+    /// I-cache miss rate per associativity (suite aggregate).
+    pub i_miss: [f64; 4],
+    /// D-cache miss rate per associativity.
+    pub d_miss: [f64; 4],
+}
+
+/// The full Figure 7 result.
+#[derive(Debug, Clone)]
+pub struct Fig7 {
+    /// One row per mode.
+    pub rows: Vec<Fig7Row>,
+}
+
+impl Fig7 {
+    /// Renders the table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "Figure 7: associativity sweep (8K, 32B lines), suite aggregate",
+            &["mode", "cache", "1-way", "2-way", "4-way", "8-way"],
+        );
+        for r in &self.rows {
+            t.row(vec![
+                r.mode.label().into(),
+                "I".into(),
+                pct(r.i_miss[0]),
+                pct(r.i_miss[1]),
+                pct(r.i_miss[2]),
+                pct(r.i_miss[3]),
+            ]);
+            t.row(vec![
+                r.mode.label().into(),
+                "D".into(),
+                pct(r.d_miss[0]),
+                pct(r.d_miss[1]),
+                pct(r.d_miss[2]),
+                pct(r.d_miss[3]),
+            ]);
+        }
+        t
+    }
+}
+
+fn run_one(size: Size, mode: Mode) -> Fig7Row {
+    // One pass per benchmark drives all four configurations.
+    let mut refs = [(0u64, 0u64); 4]; // (i_refs, d_refs)
+    let mut misses = [(0u64, 0u64); 4];
+    for spec in suite() {
+        let program = (spec.build)(size);
+        let mut sweep: Vec<SplitCaches> = ASSOCS
+            .iter()
+            .map(|&a| {
+                SplitCaches::new(CacheConfig::paper_assoc_sweep(a), CacheConfig::paper_assoc_sweep(a))
+            })
+            .collect();
+        let r = run_mode(&program, mode, &mut sweep);
+        check(&spec, size, &r);
+        for (k, caches) in sweep.iter().enumerate() {
+            refs[k].0 += caches.icache().stats().refs();
+            refs[k].1 += caches.dcache().stats().refs();
+            misses[k].0 += caches.icache().stats().misses();
+            misses[k].1 += caches.dcache().stats().misses();
+        }
+    }
+    let mut i_miss = [0.0; 4];
+    let mut d_miss = [0.0; 4];
+    for k in 0..4 {
+        i_miss[k] = misses[k].0 as f64 / refs[k].0.max(1) as f64;
+        d_miss[k] = misses[k].1 as f64 / refs[k].1.max(1) as f64;
+    }
+    Fig7Row { mode, i_miss, d_miss }
+}
+
+/// Runs the Figure 7 experiment.
+pub fn run(size: Size) -> Fig7 {
+    Fig7 {
+        rows: Mode::BOTH.iter().map(|&m| run_one(size, m)).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn associativity_monotonically_helps() {
+        let f = run(Size::Tiny);
+        for r in &f.rows {
+            for (k, &ways) in ASSOCS.iter().enumerate().skip(1) {
+                assert!(
+                    r.d_miss[k] <= r.d_miss[k - 1] * 1.05,
+                    "{:?} D {}-way {} vs {}",
+                    r.mode,
+                    ways,
+                    r.d_miss[k],
+                    r.d_miss[k - 1]
+                );
+                assert!(r.i_miss[k] <= r.i_miss[k - 1] * 1.05);
+            }
+            // Largest step: 1-way -> 2-way.
+            let step1 = r.d_miss[0] - r.d_miss[1];
+            let step2 = r.d_miss[1] - r.d_miss[2];
+            assert!(step1 >= step2 * 0.8, "{:?}: {} vs {}", r.mode, step1, step2);
+        }
+    }
+}

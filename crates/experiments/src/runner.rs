@@ -1,0 +1,107 @@
+//! Shared experiment plumbing: modes, oracle derivation, runs.
+
+use jrt_bytecode::Program;
+use jrt_trace::{CountingSink, TraceSink};
+use jrt_vm::{OracleDecisions, RunResult, SyncKind, Vm, VmConfig};
+use jrt_workloads::{Size, Spec};
+
+/// Execution mode of an experiment run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Pure interpretation.
+    Interp,
+    /// Translate on first invocation (Kaffe default).
+    Jit,
+    /// The paper's per-method oracle ("opt").
+    Opt,
+}
+
+impl Mode {
+    /// The two modes compared throughout Section 4.
+    pub const BOTH: [Mode; 2] = [Mode::Interp, Mode::Jit];
+
+    /// Table label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Mode::Interp => "interp",
+            Mode::Jit => "jit",
+            Mode::Opt => "opt",
+        }
+    }
+}
+
+/// Derives the paper's oracle for `program` by profiling one
+/// interpreter run and one JIT run.
+pub fn derive_oracle(program: &Program) -> OracleDecisions {
+    let interp = Vm::new(program, VmConfig::interpreter())
+        .run(&mut CountingSink::new())
+        .expect("profiling run (interp)");
+    let jit = Vm::new(program, VmConfig::jit())
+        .run(&mut CountingSink::new())
+        .expect("profiling run (jit)");
+    OracleDecisions::from_profiles(&interp.profile, &jit.profile)
+}
+
+/// Runs `program` under `mode`, streaming into `sink`.
+///
+/// # Panics
+///
+/// Panics if the program faults — workloads are self-checking and
+/// must not fail.
+pub fn run_mode(program: &Program, mode: Mode, sink: &mut impl TraceSink) -> RunResult {
+    let cfg = match mode {
+        Mode::Interp => VmConfig::interpreter(),
+        Mode::Jit => VmConfig::jit(),
+        Mode::Opt => VmConfig::oracle(derive_oracle(program)),
+    };
+    Vm::new(program, cfg).run(sink).expect("workload runs clean")
+}
+
+/// Runs `program` under `mode` with an explicit monitor scheme.
+pub fn run_mode_sync(
+    program: &Program,
+    mode: Mode,
+    sync: SyncKind,
+    sink: &mut impl TraceSink,
+) -> RunResult {
+    let cfg = match mode {
+        Mode::Interp => VmConfig::interpreter(),
+        Mode::Jit => VmConfig::jit(),
+        Mode::Opt => VmConfig::oracle(derive_oracle(program)),
+    }
+    .with_sync(sync);
+    Vm::new(program, cfg).run(sink).expect("workload runs clean")
+}
+
+/// Verifies the run returned the workload's expected checksum.
+pub fn check(spec: &Spec, size: Size, result: &RunResult) {
+    assert_eq!(
+        result.exit_value,
+        Some((spec.expected)(size)),
+        "{} checksum mismatch in {} mode",
+        spec.name,
+        result.mode
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jrt_workloads::hello;
+
+    #[test]
+    fn all_three_modes_agree_on_hello() {
+        let p = hello::program(Size::Tiny);
+        for mode in [Mode::Interp, Mode::Jit, Mode::Opt] {
+            let r = run_mode(&p, mode, &mut CountingSink::new());
+            assert_eq!(r.exit_value, Some(hello::expected(Size::Tiny)), "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Mode::Interp.label(), "interp");
+        assert_eq!(Mode::Jit.label(), "jit");
+        assert_eq!(Mode::Opt.label(), "opt");
+    }
+}

@@ -1,0 +1,217 @@
+//! The JDK 1.1.6-style monitor cache ("fat" locks).
+
+use crate::monitor::{
+    EnterOutcome, ExitOutcome, LockCost, MonitorError, MonitorTable, ObjHandle, SyncEngine,
+    SyncStats, ThreadId,
+};
+use std::collections::HashMap;
+
+/// Number of buckets in the JDK 1.1.6 monitor cache.
+pub const MONITOR_CACHE_BUCKETS: usize = 128;
+
+// Cycle cost components of the monitor-cache path. The values model a
+// late-1990s RISC: an uncontended global lock acquisition is a couple
+// of dozen cycles (atomic + fence), a hash is a few ALU ops, each
+// chain link is a dependent load, and monitor creation allocates.
+const CACHE_LOCK_CYCLES: u64 = 16;
+const HASH_CYCLES: u64 = 5;
+const LINK_CYCLES: u64 = 4;
+const MONITOR_OP_CYCLES: u64 = 10;
+const MONITOR_ALLOC_CYCLES: u64 = 24;
+
+/// The monitor cache of Sun's JDK 1.1.6: an open-hashing table with
+/// [`MONITOR_CACHE_BUCKETS`] buckets leading to the monitors of all
+/// currently-locked objects, itself guarded by one global lock.
+///
+/// Space-efficient (storage proportional to live monitors, zero bits
+/// in object headers) but slow even when uncontended: every operation
+/// pays the global lock, the hash, and a chain walk.
+#[derive(Debug, Default)]
+pub struct FatLockEngine {
+    table: MonitorTable,
+    // For chain-walk cost: which bucket each live monitor hashes to.
+    buckets: HashMap<usize, Vec<ObjHandle>>,
+    stats: SyncStats,
+}
+
+impl FatLockEngine {
+    /// Creates an empty monitor cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket_of(obj: ObjHandle) -> usize {
+        // The JDK hashes the object's handle address.
+        (obj as usize).wrapping_mul(2654435761) % MONITOR_CACHE_BUCKETS
+    }
+
+    /// Position of `obj` in its bucket chain (0-based), or the chain
+    /// length if absent (a full traversal happens before insertion).
+    fn chain_walk(&self, obj: ObjHandle) -> u64 {
+        let b = Self::bucket_of(obj);
+        match self.buckets.get(&b) {
+            Some(chain) => chain
+                .iter()
+                .position(|&o| o == obj)
+                .map_or(chain.len() as u64, |p| p as u64 + 1),
+            None => 0,
+        }
+    }
+
+    fn lookup_cost(&self, obj: ObjHandle, alloc: bool) -> LockCost {
+        let links = self.chain_walk(obj);
+        let cycles = CACHE_LOCK_CYCLES
+            + HASH_CYCLES
+            + links * LINK_CYCLES
+            + MONITOR_OP_CYCLES
+            + if alloc { MONITOR_ALLOC_CYCLES } else { 0 };
+        // Global lock = 1 atomic + 1 store to release; hash = pure ALU;
+        // each link = 1 load; monitor op = ~2 loads + 1 store.
+        LockCost::new(cycles, 2 + links as u32 + 2, 2 + u32::from(alloc), true)
+    }
+
+    fn insert_bucket(&mut self, obj: ObjHandle) {
+        let b = Self::bucket_of(obj);
+        let chain = self.buckets.entry(b).or_default();
+        if !chain.contains(&obj) {
+            chain.push(obj);
+        }
+    }
+
+    fn remove_bucket(&mut self, obj: ObjHandle) {
+        let b = Self::bucket_of(obj);
+        if let Some(chain) = self.buckets.get_mut(&b) {
+            chain.retain(|&o| o != obj);
+            if chain.is_empty() {
+                self.buckets.remove(&b);
+            }
+        }
+    }
+}
+
+impl SyncEngine for FatLockEngine {
+    fn monitor_enter(&mut self, obj: ObjHandle, thread: ThreadId) -> EnterOutcome {
+        let case = self.table.classify(obj, thread);
+        let alloc = self.table.depth(obj) == 0;
+        let cost = self.lookup_cost(obj, alloc);
+        self.stats.total_cycles += cost.cycles;
+        self.stats.fat_path += 1;
+        if case == crate::SyncCase::Contended {
+            // Blocked threads do not count as completed enters; the
+            // retry will classify again.
+            return EnterOutcome::Blocked { cost };
+        }
+        self.stats.record_case(case);
+        self.table.acquire(obj, thread);
+        self.insert_bucket(obj);
+        EnterOutcome::Acquired { case, cost }
+    }
+
+    fn monitor_exit(
+        &mut self,
+        obj: ObjHandle,
+        thread: ThreadId,
+    ) -> Result<ExitOutcome, MonitorError> {
+        let cost = self.lookup_cost(obj, false);
+        let left = self.table.release(obj, thread)?;
+        self.stats.exits += 1;
+        self.stats.total_cycles += cost.cycles;
+        if left == 0 {
+            self.remove_bucket(obj);
+            Ok(ExitOutcome::Released { cost })
+        } else {
+            Ok(ExitOutcome::StillHeld { cost })
+        }
+    }
+
+    fn stats(&self) -> &SyncStats {
+        &self.stats
+    }
+
+    fn name(&self) -> &'static str {
+        "monitor-cache"
+    }
+
+    fn header_bits(&self) -> u32 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SyncCase;
+
+    #[test]
+    fn uncontended_enter_exit() {
+        let mut e = FatLockEngine::new();
+        match e.monitor_enter(1, 1) {
+            EnterOutcome::Acquired { case, cost } => {
+                assert_eq!(case, SyncCase::Unlocked);
+                assert!(cost.cycles >= CACHE_LOCK_CYCLES + MONITOR_ALLOC_CYCLES);
+                assert!(cost.atomic);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(
+            e.monitor_exit(1, 1),
+            Ok(ExitOutcome::Released { .. })
+        ));
+    }
+
+    #[test]
+    fn recursion_is_case_b_and_cheaper_than_alloc() {
+        let mut e = FatLockEngine::new();
+        let EnterOutcome::Acquired { cost: first, .. } = e.monitor_enter(1, 1) else {
+            panic!("acquired");
+        };
+        let EnterOutcome::Acquired { case, cost } = e.monitor_enter(1, 1) else {
+            panic!("acquired");
+        };
+        assert_eq!(case, SyncCase::ShallowRecursive);
+        assert!(cost.cycles < first.cycles, "no realloc on recursion");
+        assert!(matches!(
+            e.monitor_exit(1, 1),
+            Ok(ExitOutcome::StillHeld { .. })
+        ));
+    }
+
+    #[test]
+    fn contention_blocks() {
+        let mut e = FatLockEngine::new();
+        e.monitor_enter(1, 1);
+        assert!(matches!(e.monitor_enter(1, 2), EnterOutcome::Blocked { .. }));
+        // Blocked attempts don't inflate the case counts.
+        assert_eq!(e.stats().enters(), 1);
+    }
+
+    #[test]
+    fn chain_collisions_increase_cost() {
+        let mut e = FatLockEngine::new();
+        // Find two handles hashing to the same bucket.
+        let a = 1u32;
+        let b = (1..100_000u32)
+            .find(|&h| h != a && FatLockEngine::bucket_of(h) == FatLockEngine::bucket_of(a))
+            .expect("collision exists");
+        e.monitor_enter(a, 1);
+        let EnterOutcome::Acquired { cost: deep, .. } = e.monitor_enter(b, 1) else {
+            panic!("acquired");
+        };
+        let mut fresh = FatLockEngine::new();
+        let EnterOutcome::Acquired { cost: shallow, .. } = fresh.monitor_enter(b, 1) else {
+            panic!("acquired");
+        };
+        assert!(deep.cycles > shallow.cycles, "chain walk costs cycles");
+    }
+
+    #[test]
+    fn exit_without_owning_errors() {
+        let mut e = FatLockEngine::new();
+        assert!(e.monitor_exit(9, 3).is_err());
+    }
+
+    #[test]
+    fn zero_header_bits() {
+        assert_eq!(FatLockEngine::new().header_bits(), 0);
+    }
+}

@@ -1,0 +1,347 @@
+//! Shared monitor semantics: cases, costs, statistics, and the engine
+//! interface.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifies a thread. The thin-lock header reserves 15 bits for it,
+/// as in Bacon et al.
+pub type ThreadId = u16;
+
+/// Maximum thread id representable in a thin lock (15 bits).
+pub const MAX_THIN_THREAD: ThreadId = (1 << 15) - 1;
+
+/// A handle naming a synchronized object.
+pub type ObjHandle = u32;
+
+/// The recursion depth at which a thin lock's 8-bit count saturates
+/// and the lock inflates (case (b)/(c) boundary in the paper).
+pub const THIN_RECURSION_LIMIT: u32 = 256;
+
+/// The paper's four-way classification of `monitorenter` operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SyncCase {
+    /// (a) locking an unlocked object.
+    Unlocked,
+    /// (b) recursive locking with depth < 256.
+    ShallowRecursive,
+    /// (c) recursive locking with depth >= 256.
+    DeepRecursive,
+    /// (d) locking an object held by another thread.
+    Contended,
+}
+
+impl SyncCase {
+    /// All cases in (a)–(d) order.
+    pub const ALL: [SyncCase; 4] = [
+        SyncCase::Unlocked,
+        SyncCase::ShallowRecursive,
+        SyncCase::DeepRecursive,
+        SyncCase::Contended,
+    ];
+
+    /// The paper's letter for the case.
+    pub fn letter(self) -> char {
+        match self {
+            SyncCase::Unlocked => 'a',
+            SyncCase::ShallowRecursive => 'b',
+            SyncCase::DeepRecursive => 'c',
+            SyncCase::Contended => 'd',
+        }
+    }
+}
+
+impl fmt::Display for SyncCase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({})", self.letter())
+    }
+}
+
+/// Cost of one lock operation in the engine's cycle model, plus the
+/// memory operations the VM should emit into the native trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LockCost {
+    /// Modelled cycles.
+    pub cycles: u64,
+    /// Data loads performed.
+    pub loads: u32,
+    /// Data stores performed.
+    pub stores: u32,
+    /// Whether an atomic (CAS) operation was used.
+    pub atomic: bool,
+}
+
+impl LockCost {
+    /// Builds a cost record.
+    pub fn new(cycles: u64, loads: u32, stores: u32, atomic: bool) -> Self {
+        LockCost {
+            cycles,
+            loads,
+            stores,
+            atomic,
+        }
+    }
+}
+
+/// Result of a `monitorenter`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnterOutcome {
+    /// The monitor was acquired (or recursion deepened).
+    Acquired {
+        /// Which of the paper's four cases this operation was.
+        case: SyncCase,
+        /// Modelled cost.
+        cost: LockCost,
+    },
+    /// The monitor is held by another thread; the VM should block the
+    /// thread and retry after the owner exits.
+    Blocked {
+        /// Cost of discovering the contention.
+        cost: LockCost,
+    },
+}
+
+/// Result of a successful `monitorexit`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExitOutcome {
+    /// The monitor was fully released.
+    Released {
+        /// Modelled cost.
+        cost: LockCost,
+    },
+    /// Recursion decreased but the thread still owns the monitor.
+    StillHeld {
+        /// Modelled cost.
+        cost: LockCost,
+    },
+}
+
+/// Monitor protocol violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MonitorError {
+    /// `monitorexit` on a monitor the thread does not own.
+    NotOwner {
+        /// The object whose monitor was misused.
+        obj: ObjHandle,
+        /// The offending thread.
+        thread: ThreadId,
+    },
+}
+
+impl fmt::Display for MonitorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MonitorError::NotOwner { obj, thread } => {
+                write!(f, "thread {thread} does not own monitor of object {obj}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MonitorError {}
+
+/// Statistics accumulated by a [`SyncEngine`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SyncStats {
+    /// `monitorenter` count per [`SyncCase`] (a, b, c, d order).
+    pub case_counts: [u64; 4],
+    /// `monitorexit` count.
+    pub exits: u64,
+    /// Total modelled cycles across enters and exits.
+    pub total_cycles: u64,
+    /// Enters that found the lock inflated (fat path taken).
+    pub fat_path: u64,
+}
+
+impl SyncStats {
+    /// Total `monitorenter` operations.
+    pub fn enters(&self) -> u64 {
+        self.case_counts.iter().sum()
+    }
+
+    /// Fraction of enters in the given case.
+    pub fn case_fraction(&self, case: SyncCase) -> f64 {
+        let t = self.enters();
+        if t == 0 {
+            0.0
+        } else {
+            self.case_counts[case_index(case)] as f64 / t as f64
+        }
+    }
+
+    /// Mean cycles per synchronization operation (enter + exit).
+    pub fn cycles_per_op(&self) -> f64 {
+        let ops = self.enters() + self.exits;
+        if ops == 0 {
+            0.0
+        } else {
+            self.total_cycles as f64 / ops as f64
+        }
+    }
+
+    pub(crate) fn record_case(&mut self, case: SyncCase) {
+        self.case_counts[case_index(case)] += 1;
+    }
+}
+
+pub(crate) fn case_index(case: SyncCase) -> usize {
+    SyncCase::ALL
+        .iter()
+        .position(|&c| c == case)
+        .expect("case present in ALL")
+}
+
+/// A monitor implementation: the strategy object compared in
+/// Figure 11(ii).
+pub trait SyncEngine {
+    /// Attempts `monitorenter` for `thread` on `obj`.
+    fn monitor_enter(&mut self, obj: ObjHandle, thread: ThreadId) -> EnterOutcome;
+
+    /// Performs `monitorexit`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MonitorError::NotOwner`] if `thread` does not hold
+    /// the monitor.
+    fn monitor_exit(
+        &mut self,
+        obj: ObjHandle,
+        thread: ThreadId,
+    ) -> Result<ExitOutcome, MonitorError>;
+
+    /// Accumulated statistics.
+    fn stats(&self) -> &SyncStats;
+
+    /// Engine name for table output.
+    fn name(&self) -> &'static str;
+
+    /// Per-object header bits this scheme requires (Table discussion:
+    /// 0 for the monitor cache, 24 for thin locks, 1 for the 1-bit
+    /// variant).
+    fn header_bits(&self) -> u32;
+}
+
+/// Canonical owner/depth bookkeeping shared by all engines: the
+/// semantics of monitors are identical across schemes; only the cost
+/// model differs.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct MonitorTable {
+    states: HashMap<ObjHandle, (ThreadId, u32)>, // owner, depth
+}
+
+impl MonitorTable {
+    /// Classifies an enter without mutating.
+    pub(crate) fn classify(&self, obj: ObjHandle, thread: ThreadId) -> SyncCase {
+        match self.states.get(&obj) {
+            None => SyncCase::Unlocked,
+            Some((owner, depth)) if *owner == thread => {
+                if *depth < THIN_RECURSION_LIMIT {
+                    SyncCase::ShallowRecursive
+                } else {
+                    SyncCase::DeepRecursive
+                }
+            }
+            Some(_) => SyncCase::Contended,
+        }
+    }
+
+    /// Applies an acquire (caller has checked it is not contended).
+    pub(crate) fn acquire(&mut self, obj: ObjHandle, thread: ThreadId) {
+        let entry = self.states.entry(obj).or_insert((thread, 0));
+        debug_assert_eq!(entry.0, thread);
+        entry.1 += 1;
+    }
+
+    /// Applies a release; returns the remaining depth.
+    pub(crate) fn release(
+        &mut self,
+        obj: ObjHandle,
+        thread: ThreadId,
+    ) -> Result<u32, MonitorError> {
+        match self.states.get_mut(&obj) {
+            Some((owner, depth)) if *owner == thread => {
+                *depth -= 1;
+                let left = *depth;
+                if left == 0 {
+                    self.states.remove(&obj);
+                }
+                Ok(left)
+            }
+            _ => Err(MonitorError::NotOwner { obj, thread }),
+        }
+    }
+
+    /// Current depth held by any owner.
+    pub(crate) fn depth(&self, obj: ObjHandle) -> u32 {
+        self.states.get(&obj).map_or(0, |(_, d)| *d)
+    }
+
+    /// Current owner and depth, if locked.
+    pub(crate) fn owner_depth(&self, obj: ObjHandle) -> Option<(ThreadId, u32)> {
+        self.states.get(&obj).copied()
+    }
+
+    /// Number of live (locked) monitors.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn live(&self) -> usize {
+        self.states.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_cases() {
+        let mut t = MonitorTable::default();
+        assert_eq!(t.classify(1, 5), SyncCase::Unlocked);
+        t.acquire(1, 5);
+        assert_eq!(t.classify(1, 5), SyncCase::ShallowRecursive);
+        assert_eq!(t.classify(1, 6), SyncCase::Contended);
+        for _ in 0..300 {
+            t.acquire(1, 5);
+        }
+        assert_eq!(t.classify(1, 5), SyncCase::DeepRecursive);
+    }
+
+    #[test]
+    fn release_tracks_depth() {
+        let mut t = MonitorTable::default();
+        t.acquire(7, 1);
+        t.acquire(7, 1);
+        assert_eq!(t.release(7, 1).unwrap(), 1);
+        assert_eq!(t.release(7, 1).unwrap(), 0);
+        assert_eq!(t.live(), 0);
+        assert!(t.release(7, 1).is_err());
+    }
+
+    #[test]
+    fn release_by_non_owner_fails() {
+        let mut t = MonitorTable::default();
+        t.acquire(7, 1);
+        assert!(matches!(
+            t.release(7, 2),
+            Err(MonitorError::NotOwner { obj: 7, thread: 2 })
+        ));
+    }
+
+    #[test]
+    fn stats_fractions() {
+        let mut s = SyncStats::default();
+        s.record_case(SyncCase::Unlocked);
+        s.record_case(SyncCase::Unlocked);
+        s.record_case(SyncCase::ShallowRecursive);
+        s.record_case(SyncCase::Contended);
+        assert_eq!(s.enters(), 4);
+        assert!((s.case_fraction(SyncCase::Unlocked) - 0.5).abs() < 1e-12);
+        assert!((s.case_fraction(SyncCase::DeepRecursive)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn case_letters() {
+        assert_eq!(SyncCase::Unlocked.letter(), 'a');
+        assert_eq!(SyncCase::Contended.letter(), 'd');
+        assert_eq!(SyncCase::Contended.to_string(), "(d)");
+    }
+}

@@ -1,0 +1,196 @@
+//! Simulated address-space layout.
+//!
+//! The runtime places each kind of memory in its own disjoint region so
+//! that cache studies can attribute traffic (e.g. *bytecode read as
+//! data* by the interpreter, or *write misses into the code cache*
+//! during JIT code installation — Figure 5 of the paper).
+
+use crate::Addr;
+use std::fmt;
+
+/// Base addresses and sizes of the simulated regions.
+///
+/// Regions are generously sized and never overlap; allocation within a
+/// region is the responsibility of the owning subsystem.
+pub mod layout {
+    use crate::Addr;
+
+    /// Interpreter + VM runtime text (handler bodies live here).
+    pub const VM_TEXT_BASE: Addr = 0x0001_0000;
+    /// End of VM text.
+    pub const VM_TEXT_END: Addr = 0x00F0_0000;
+    /// JIT translator's own code.
+    pub const TRANSLATOR_TEXT_BASE: Addr = 0x0100_0000;
+    /// End of translator text.
+    pub const TRANSLATOR_TEXT_END: Addr = 0x01F0_0000;
+    /// Code cache: JIT-generated native code is installed here.
+    pub const CODE_CACHE_BASE: Addr = 0x0200_0000;
+    /// End of the code cache.
+    pub const CODE_CACHE_END: Addr = 0x07FF_FFFF;
+    /// Ahead-of-time compiled application text ("C-like" mode).
+    pub const NATIVE_TEXT_BASE: Addr = 0x0800_0000;
+    /// End of native application text.
+    pub const NATIVE_TEXT_END: Addr = 0x0FFF_FFFF;
+    /// Class area: loaded bytecode streams, constant pools, metadata.
+    pub const CLASS_AREA_BASE: Addr = 0x1000_0000;
+    /// End of the class area.
+    pub const CLASS_AREA_END: Addr = 0x1FFF_FFFF;
+    /// Java heap: objects and arrays.
+    pub const HEAP_BASE: Addr = 0x2000_0000;
+    /// End of the Java heap.
+    pub const HEAP_END: Addr = 0x2FFF_FFFF;
+    /// Thread stacks: frames, operand stacks, locals.
+    pub const STACK_BASE: Addr = 0x3000_0000;
+    /// End of the stack area.
+    pub const STACK_END: Addr = 0x3FFF_FFFF;
+    /// VM data: translator work buffers, monitor cache, tables.
+    pub const VM_DATA_BASE: Addr = 0x4000_0000;
+    /// End of VM data.
+    pub const VM_DATA_END: Addr = 0x4FFF_FFFF;
+}
+
+/// A named region of the simulated address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Region {
+    /// Interpreter and VM runtime code.
+    VmText,
+    /// JIT translator code.
+    TranslatorText,
+    /// JIT-generated code (the code cache).
+    CodeCache,
+    /// Ahead-of-time compiled application code.
+    NativeText,
+    /// Loaded classes: bytecode streams and constant pools.
+    ClassArea,
+    /// Java object heap.
+    Heap,
+    /// Thread stacks (frames, operand stacks, locals).
+    Stack,
+    /// Miscellaneous VM data structures.
+    VmData,
+}
+
+impl Region {
+    /// All regions, in address order.
+    pub const ALL: [Region; 8] = [
+        Region::VmText,
+        Region::TranslatorText,
+        Region::CodeCache,
+        Region::NativeText,
+        Region::ClassArea,
+        Region::Heap,
+        Region::Stack,
+        Region::VmData,
+    ];
+
+    /// Classifies an address into its region.
+    ///
+    /// Addresses outside all defined regions (including address 0)
+    /// return `None`.
+    pub fn classify(addr: Addr) -> Option<Region> {
+        use layout::*;
+        Some(match addr {
+            a if (VM_TEXT_BASE..VM_TEXT_END).contains(&a) => Region::VmText,
+            a if (TRANSLATOR_TEXT_BASE..TRANSLATOR_TEXT_END).contains(&a) => {
+                Region::TranslatorText
+            }
+            a if (CODE_CACHE_BASE..=CODE_CACHE_END).contains(&a) => Region::CodeCache,
+            a if (NATIVE_TEXT_BASE..=NATIVE_TEXT_END).contains(&a) => Region::NativeText,
+            a if (CLASS_AREA_BASE..=CLASS_AREA_END).contains(&a) => Region::ClassArea,
+            a if (HEAP_BASE..=HEAP_END).contains(&a) => Region::Heap,
+            a if (STACK_BASE..=STACK_END).contains(&a) => Region::Stack,
+            a if (VM_DATA_BASE..=VM_DATA_END).contains(&a) => Region::VmData,
+            _ => return None,
+        })
+    }
+
+    /// Returns `true` for regions that hold executable code.
+    pub fn is_code(self) -> bool {
+        matches!(
+            self,
+            Region::VmText | Region::TranslatorText | Region::CodeCache | Region::NativeText
+        )
+    }
+
+    /// Short label used in table output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Region::VmText => "vm-text",
+            Region::TranslatorText => "xlate-text",
+            Region::CodeCache => "code-cache",
+            Region::NativeText => "native-text",
+            Region::ClassArea => "class-area",
+            Region::Heap => "heap",
+            Region::Stack => "stack",
+            Region::VmData => "vm-data",
+        }
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_bases() {
+        assert_eq!(Region::classify(layout::VM_TEXT_BASE), Some(Region::VmText));
+        assert_eq!(
+            Region::classify(layout::TRANSLATOR_TEXT_BASE),
+            Some(Region::TranslatorText)
+        );
+        assert_eq!(
+            Region::classify(layout::CODE_CACHE_BASE),
+            Some(Region::CodeCache)
+        );
+        assert_eq!(
+            Region::classify(layout::NATIVE_TEXT_BASE),
+            Some(Region::NativeText)
+        );
+        assert_eq!(
+            Region::classify(layout::CLASS_AREA_BASE),
+            Some(Region::ClassArea)
+        );
+        assert_eq!(Region::classify(layout::HEAP_BASE), Some(Region::Heap));
+        assert_eq!(Region::classify(layout::STACK_BASE), Some(Region::Stack));
+        assert_eq!(Region::classify(layout::VM_DATA_BASE), Some(Region::VmData));
+    }
+
+    #[test]
+    fn classify_out_of_range() {
+        assert_eq!(Region::classify(0), None);
+        assert_eq!(Region::classify(0xFFFF_FFFF_FFFF), None);
+    }
+
+    #[test]
+    fn code_regions() {
+        assert!(Region::VmText.is_code());
+        assert!(Region::CodeCache.is_code());
+        assert!(Region::NativeText.is_code());
+        assert!(!Region::Heap.is_code());
+        assert!(!Region::Stack.is_code());
+    }
+
+    #[test]
+    fn regions_are_disjoint_and_ordered() {
+        use layout::*;
+        let bounds = [
+            (VM_TEXT_BASE, VM_TEXT_END),
+            (TRANSLATOR_TEXT_BASE, TRANSLATOR_TEXT_END),
+            (CODE_CACHE_BASE, CODE_CACHE_END),
+            (NATIVE_TEXT_BASE, NATIVE_TEXT_END),
+            (CLASS_AREA_BASE, CLASS_AREA_END),
+            (HEAP_BASE, HEAP_END),
+            (STACK_BASE, STACK_END),
+            (VM_DATA_BASE, VM_DATA_END),
+        ];
+        for w in bounds.windows(2) {
+            assert!(w[0].1 <= w[1].0, "regions overlap: {:?}", w);
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! VM configuration: execution mode, JIT policy, sync engine choice.
+
+use crate::profile::ProfileTable;
+use jrt_bytecode::MethodId;
+use std::collections::HashMap;
+
+/// When (or whether) to translate a method to native code — the
+/// question of Section 3 of the paper.
+#[derive(Debug, Clone, Default)]
+pub enum JitPolicy {
+    /// Translate every method on its first invocation (the Kaffe /
+    /// JDK 1.2 default the paper calls the "naive heuristic").
+    #[default]
+    FirstInvocation,
+    /// Interpret a method until its invocation count reaches the
+    /// threshold, then translate (a HotSpot-style counter heuristic;
+    /// included as an ablation of the design space the paper opens).
+    Threshold(u32),
+    /// The paper's *opt* oracle: per-method decisions computed offline
+    /// from a profile — translate method `i` on first invocation iff
+    /// `n_i > N_i = T_i / (I_i − E_i)`, otherwise always interpret.
+    Oracle(OracleDecisions),
+}
+
+/// Per-method translate/interpret decisions for [`JitPolicy::Oracle`].
+#[derive(Debug, Clone, Default)]
+pub struct OracleDecisions {
+    decisions: HashMap<MethodId, bool>,
+}
+
+impl OracleDecisions {
+    /// Computes the oracle from interpreter and JIT profiles of the
+    /// same program (the paper's `opt` bar in Figure 1).
+    ///
+    /// For each method: `I_i` = mean interpret cycles per invocation,
+    /// `E_i` = mean translated-code cycles per invocation, `T_i` =
+    /// translation cycles, `n_i` = invocation count. Translate iff
+    /// `I_i > E_i` and `n_i > T_i / (I_i − E_i)`.
+    pub fn from_profiles(interp: &ProfileTable, jit: &ProfileTable) -> Self {
+        let mut decisions = HashMap::new();
+        for (mid, ip) in interp.iter() {
+            let Some(jp) = jit.get(mid) else { continue };
+            let n = ip.invocations.max(1) as f64;
+            let i_per = ip.interp_cycles as f64 / n;
+            let e_per = jp.native_cycles as f64 / jp.invocations.max(1) as f64;
+            let t = jp.translate_cycles as f64;
+            let translate = i_per > e_per && n > t / (i_per - e_per);
+            decisions.insert(mid, translate);
+        }
+        OracleDecisions { decisions }
+    }
+
+    /// Forces a decision for one method (tests, what-if studies).
+    pub fn set(&mut self, method: MethodId, translate: bool) {
+        self.decisions.insert(method, translate);
+    }
+
+    /// Whether to translate `method`; methods absent from the profile
+    /// default to interpretation.
+    pub fn should_translate(&self, method: MethodId) -> bool {
+        self.decisions.get(&method).copied().unwrap_or(false)
+    }
+
+    /// Number of methods decided.
+    pub fn len(&self) -> usize {
+        self.decisions.len()
+    }
+
+    /// Whether no decisions are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.decisions.is_empty()
+    }
+}
+
+/// How the VM executes bytecode.
+#[derive(Debug, Clone)]
+pub enum ExecMode {
+    /// Pure interpretation.
+    Interp,
+    /// JIT compilation governed by a [`JitPolicy`]; methods the policy
+    /// declines to translate are interpreted.
+    Jit(JitPolicy),
+}
+
+impl Default for ExecMode {
+    fn default() -> Self {
+        ExecMode::Jit(JitPolicy::default())
+    }
+}
+
+impl ExecMode {
+    /// Short label for tables ("interp" / "jit" / "opt" / "thresh").
+    pub fn label(&self) -> &'static str {
+        match self {
+            ExecMode::Interp => "interp",
+            ExecMode::Jit(JitPolicy::FirstInvocation) => "jit",
+            ExecMode::Jit(JitPolicy::Threshold(_)) => "thresh",
+            ExecMode::Jit(JitPolicy::Oracle(_)) => "opt",
+        }
+    }
+}
+
+/// Which monitor implementation the VM uses (Section 5).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum SyncKind {
+    /// JDK 1.1.6 monitor cache (fat locks).
+    #[default]
+    MonitorCache,
+    /// Bacon-style 24-bit thin locks.
+    ThinLock,
+    /// The paper's proposed 1-bit lock.
+    OneBit,
+}
+
+impl SyncKind {
+    /// All kinds, in paper order.
+    pub const ALL: [SyncKind; 3] = [SyncKind::MonitorCache, SyncKind::ThinLock, SyncKind::OneBit];
+}
+
+/// Full VM configuration.
+#[derive(Debug, Clone)]
+pub struct VmConfig {
+    /// Execution mode.
+    pub mode: ExecMode,
+    /// Monitor implementation.
+    pub sync: SyncKind,
+    /// Heap budget in bytes before a GC is triggered.
+    pub gc_threshold: u64,
+    /// Scheduler quantum in bytecodes.
+    pub quantum: u32,
+    /// Whether to enable per-method profiling (needed to derive the
+    /// oracle; small overhead otherwise).
+    pub profiling: bool,
+    /// Upper bound on executed bytecodes (guards against runaway
+    /// programs; `u64::MAX` = unlimited).
+    pub max_bytecodes: u64,
+    /// picoJava-style folding in the interpreter (Section 4.4): runs
+    /// of up to four simple bytecodes (constants, local moves,
+    /// arithmetic, stack shuffles) share one dispatch, mitigating the
+    /// dispatch jump's target misprediction.
+    pub folding: bool,
+}
+
+impl Default for VmConfig {
+    fn default() -> Self {
+        VmConfig {
+            mode: ExecMode::default(),
+            sync: SyncKind::default(),
+            gc_threshold: 24 << 20,
+            quantum: 200,
+            profiling: true,
+            max_bytecodes: u64::MAX,
+            folding: false,
+        }
+    }
+}
+
+impl VmConfig {
+    /// Interpreter-mode configuration.
+    pub fn interpreter() -> Self {
+        VmConfig {
+            mode: ExecMode::Interp,
+            ..VmConfig::default()
+        }
+    }
+
+    /// JIT-mode (translate on first invocation) configuration.
+    pub fn jit() -> Self {
+        VmConfig {
+            mode: ExecMode::Jit(JitPolicy::FirstInvocation),
+            ..VmConfig::default()
+        }
+    }
+
+    /// Oracle ("opt") configuration from precomputed decisions.
+    pub fn oracle(decisions: OracleDecisions) -> Self {
+        VmConfig {
+            mode: ExecMode::Jit(JitPolicy::Oracle(decisions)),
+            ..VmConfig::default()
+        }
+    }
+
+    /// Sets the monitor implementation (builder style).
+    pub fn with_sync(mut self, sync: SyncKind) -> Self {
+        self.sync = sync;
+        self
+    }
+
+    /// Enables interpreter instruction folding (builder style).
+    pub fn with_folding(mut self) -> Self {
+        self.folding = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jrt_bytecode::{ClassId, MethodId};
+
+    fn mid(i: u32) -> MethodId {
+        MethodId {
+            class: ClassId(0),
+            index: i,
+        }
+    }
+
+    #[test]
+    fn oracle_translates_hot_methods() {
+        let mut interp = ProfileTable::default();
+        let mut jit = ProfileTable::default();
+        // Hot method: 1000 invocations, interp 100 cyc/inv, exec 20,
+        // translate 500 -> N = 500/80 = 6.25 < 1000 -> translate.
+        interp.record_invocation(mid(0));
+        jit.record_invocation(mid(0));
+        {
+            let p = interp.get_mut(mid(0));
+            p.invocations = 1000;
+            p.interp_cycles = 100_000;
+        }
+        {
+            let p = jit.get_mut(mid(0));
+            p.invocations = 1000;
+            p.native_cycles = 20_000;
+            p.translate_cycles = 500;
+        }
+        // Cold method: 1 invocation, translate cost dominates.
+        interp.record_invocation(mid(1));
+        jit.record_invocation(mid(1));
+        {
+            let p = interp.get_mut(mid(1));
+            p.invocations = 1;
+            p.interp_cycles = 100;
+        }
+        {
+            let p = jit.get_mut(mid(1));
+            p.invocations = 1;
+            p.native_cycles = 20;
+            p.translate_cycles = 5000;
+        }
+        let d = OracleDecisions::from_profiles(&interp, &jit);
+        assert!(d.should_translate(mid(0)));
+        assert!(!d.should_translate(mid(1)));
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn mode_labels() {
+        assert_eq!(ExecMode::Interp.label(), "interp");
+        assert_eq!(ExecMode::Jit(JitPolicy::FirstInvocation).label(), "jit");
+        assert_eq!(
+            ExecMode::Jit(JitPolicy::Oracle(OracleDecisions::default())).label(),
+            "opt"
+        );
+        assert_eq!(ExecMode::Jit(JitPolicy::Threshold(5)).label(), "thresh");
+    }
+
+    #[test]
+    fn unknown_method_defaults_to_interpret() {
+        let d = OracleDecisions::default();
+        assert!(!d.should_translate(mid(9)));
+        assert!(d.is_empty());
+    }
+}

@@ -1,0 +1,110 @@
+//! Native-trace emission for the two execution engines.
+//!
+//! Both engines run the same semantic core ([`crate::step`]); an
+//! [`Emit`] implementation translates each semantic micro-action into
+//! the native instructions the corresponding real engine would
+//! execute:
+//!
+//! * [`InterpEmitter`] — the `switch`-threaded interpreter: every
+//!   bytecode starts with a dispatch (opcode *data* load from the
+//!   bytecode area + table lookup + register-indirect jump into the
+//!   handler), operands live on an in-memory operand stack, and
+//!   immediates are fetched from the bytecode stream (more data
+//!   loads);
+//! * [`JitEmitter`] — translated native code: instructions are fetched
+//!   from the method's code-cache addresses (per-method I-footprint),
+//!   operand-stack and leading locals live in registers, bytecode
+//!   branches become direct native branches, and calls are direct
+//!   when the site is monomorphic.
+
+pub(crate) mod interp;
+pub(crate) mod jit;
+
+pub(crate) use interp::InterpEmitter;
+pub(crate) use jit::JitEmitter;
+
+use jrt_sync::LockCost;
+use jrt_trace::{Addr, InstClass, TraceSink};
+
+/// The flavor of a method invocation, which decides the native call
+/// instruction the engines emit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum InvokeKind {
+    /// `invokestatic` / `invokespecial`: direct call.
+    Direct,
+    /// `invokevirtual` at a site that has only ever seen one target:
+    /// the JIT devirtualizes it into a direct call.
+    VirtualMono,
+    /// `invokevirtual` with multiple observed targets: indirect call.
+    VirtualPoly,
+}
+
+/// Emission interface shared by the engines. One emitter instance
+/// lives for the duration of a single bytecode.
+pub(crate) trait Emit {
+    /// Instructions emitted so far by this emitter.
+    fn count(&self) -> u64;
+
+    /// Per-bytecode prologue (interpreter dispatch; nothing for JIT).
+    fn begin(&mut self, sink: &mut dyn TraceSink);
+
+    /// Fetch `n` bytes of instruction operands from the bytecode
+    /// stream (interpreter only — translated code has immediates
+    /// inline).
+    fn operand_fetch(&mut self, sink: &mut dyn TraceSink, n: u32);
+
+    /// Pop one operand-stack slot whose simulated address is `addr`.
+    fn stack_pop(&mut self, sink: &mut dyn TraceSink, addr: Addr);
+
+    /// Push one operand-stack slot.
+    fn stack_push(&mut self, sink: &mut dyn TraceSink, addr: Addr);
+
+    /// Read local `n`.
+    fn local_read(&mut self, sink: &mut dyn TraceSink, n: usize, addr: Addr);
+
+    /// Write local `n`.
+    fn local_write(&mut self, sink: &mut dyn TraceSink, n: usize, addr: Addr);
+
+    /// A data load from the heap/class/VM-data areas.
+    fn heap_load(&mut self, sink: &mut dyn TraceSink, addr: Addr, size: u8);
+
+    /// A data store.
+    fn heap_store(&mut self, sink: &mut dyn TraceSink, addr: Addr, size: u8);
+
+    /// An arithmetic operation of the given class.
+    fn alu(&mut self, sink: &mut dyn TraceSink, class: InstClass);
+
+    /// A (never-taken) null-pointer check.
+    fn null_check(&mut self, sink: &mut dyn TraceSink);
+
+    /// A (never-taken) array-bounds check.
+    fn bounds_check(&mut self, sink: &mut dyn TraceSink);
+
+    /// A bytecode conditional branch resolved with direction `taken`.
+    fn cond_branch(&mut self, sink: &mut dyn TraceSink, taken: bool, bc_target: u32);
+
+    /// A bytecode `goto`.
+    fn goto_(&mut self, sink: &mut dyn TraceSink, bc_target: u32);
+
+    /// A `tableswitch` landing on `bc_target`.
+    fn switch(&mut self, sink: &mut dyn TraceSink, bc_target: u32, ncases: usize);
+
+    /// A method invocation to native entry `entry`; returns the
+    /// native return address the callee should return to.
+    fn invoke(&mut self, sink: &mut dyn TraceSink, kind: InvokeKind, entry: Addr) -> Addr;
+
+    /// A method return to `ret_to`.
+    fn ret(&mut self, sink: &mut dyn TraceSink, ret_to: Addr);
+
+    /// Callee frame setup (locals zeroing, bookkeeping) — VM runtime
+    /// work.
+    fn frame_setup(&mut self, sink: &mut dyn TraceSink, nlocals: usize, locals_addr: Addr);
+
+    /// A monitor operation of the given modelled cost, touching the
+    /// lock word / monitor-cache structures at `lock_addr`.
+    fn sync_op(&mut self, sink: &mut dyn TraceSink, cost: LockCost, lock_addr: Addr);
+
+    /// Object/array allocation of `bytes` at `addr` (header
+    /// initialization and allocator bookkeeping).
+    fn alloc(&mut self, sink: &mut dyn TraceSink, addr: Addr, bytes: u32);
+}

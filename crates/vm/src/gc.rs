@@ -1,0 +1,194 @@
+//! Mark-sweep garbage collection with trace emission.
+//!
+//! The paper defers the GC's architectural impact to future work, but
+//! a runtime needs one; ours is a simple stop-the-world mark-sweep
+//! whose marking loads and sweeping stores are emitted into the trace
+//! under [`Phase::Gc`] so its (modest) footprint is visible in the
+//! cache studies rather than silently free.
+
+use crate::heap::Heap;
+use crate::loader::Linker;
+use crate::thread::ThreadState;
+use jrt_trace::{layout, Addr, NativeInst, Phase, TraceSink};
+
+const GC_TEXT: Addr = layout::VM_TEXT_BASE + 0x7_0000;
+const GC_TEXT_SIZE: Addr = 0x2000;
+/// Cap on emitted GC instructions per collection, so a large heap
+/// cannot flood the trace.
+const MAX_GC_EMISSION: u64 = 200_000;
+
+/// Result of one collection.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct GcResult {
+    /// Handles reclaimed.
+    pub freed: u64,
+    /// Bytes reclaimed.
+    pub freed_bytes: u64,
+    /// Trace instructions emitted.
+    pub emitted: u64,
+}
+
+/// Runs a full stop-the-world mark-sweep collection.
+pub(crate) fn collect(
+    heap: &mut Heap,
+    threads: &[ThreadState],
+    linker: &Linker,
+    sink: &mut dyn TraceSink,
+) -> GcResult {
+    let mut emitted = 0u64;
+    let mut pc = GC_TEXT;
+    let step_pc = |pc: &mut Addr| {
+        let p = *pc;
+        *pc += 4;
+        if *pc >= GC_TEXT + GC_TEXT_SIZE {
+            *pc = GC_TEXT;
+        }
+        p
+    };
+
+    heap.clear_marks();
+
+    // Mark from roots.
+    let mut work: Vec<u32> = Vec::new();
+    for t in threads {
+        work.extend(t.roots());
+    }
+    work.extend(linker.static_roots());
+    work.extend(linker.class_objects());
+
+    while let Some(h) = work.pop() {
+        if let Some(children) = heap.mark(h) {
+            if emitted < MAX_GC_EMISSION {
+                // Header read + mark write for each newly marked node.
+                if let Ok(addr) = heap.header_addr(h) {
+                    sink.accept(&NativeInst::load(step_pc(&mut pc), addr, 4, Phase::Gc).with_dst(12));
+                    sink.accept(
+                        &NativeInst::store(step_pc(&mut pc), addr + 4, 4, Phase::Gc)
+                            .with_srcs(12, None),
+                    );
+                    emitted += 2;
+                }
+            }
+            work.extend(children);
+        }
+    }
+
+    // Sweep: visit every live allocation, free the unmarked.
+    let live = heap.live_handles();
+    for (_, addr) in &live {
+        if emitted >= MAX_GC_EMISSION {
+            break;
+        }
+        sink.accept(&NativeInst::load(step_pc(&mut pc), *addr, 4, Phase::Gc).with_dst(13));
+        emitted += 1;
+    }
+    let (freed, freed_bytes) = heap.sweep();
+    for _ in 0..freed.len().min(1024) {
+        sink.accept(&NativeInst::store(
+            step_pc(&mut pc),
+            layout::VM_DATA_BASE + 0x40_0000,
+            4,
+            Phase::Gc,
+        ));
+        emitted += 1;
+    }
+
+    GcResult {
+        freed: freed.len() as u64,
+        freed_bytes,
+        emitted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heap::Value;
+    use jrt_bytecode::{ClassAsm, ClassId, MethodAsm, Program};
+    use jrt_trace::CountingSink;
+
+    fn empty_linker() -> (Program, Linker) {
+        let mut c = ClassAsm::new("Main");
+        let mut m = MethodAsm::new("main", 0);
+        m.ret();
+        c.add_method(m);
+        let p = Program::build(vec![c], "Main", "main").unwrap();
+        let linker = Linker::new(p.num_classes());
+        (p, linker)
+    }
+
+    #[test]
+    fn unreferenced_objects_are_collected() {
+        let (_p, linker) = empty_linker();
+        let mut heap = Heap::new();
+        let _garbage = heap.alloc_object(ClassId(0), 2).unwrap();
+        let kept = heap.alloc_object(ClassId(0), 1).unwrap();
+
+        let mut t = ThreadState::new(0);
+        let def = jrt_bytecode::MethodDef {
+            name: "m".into(),
+            nargs: 0,
+            ret: jrt_bytecode::RetKind::Void,
+            max_locals: 2,
+            max_stack: 2,
+            code: vec![44],
+            flags: jrt_bytecode::MethodFlags {
+                is_static: true,
+                ..Default::default()
+            },
+        };
+        t.push_frame(
+            jrt_bytecode::MethodId {
+                class: ClassId(0),
+                index: 0,
+            },
+            &def,
+            vec![Value::Ref(kept)],
+        );
+
+        let mut sink = CountingSink::new();
+        let r = collect(&mut heap, &[t], &linker, &mut sink);
+        assert_eq!(r.freed, 1);
+        assert!(r.freed_bytes >= 16);
+        assert!(r.emitted > 0);
+        assert_eq!(sink.phase(Phase::Gc), r.emitted);
+        assert!(heap.get_field(kept, 0).is_ok());
+    }
+
+    #[test]
+    fn transitively_reachable_survive() {
+        let (_p, linker) = empty_linker();
+        let mut heap = Heap::new();
+        let a = heap.alloc_object(ClassId(0), 1).unwrap();
+        let b = heap.alloc_object(ClassId(0), 1).unwrap();
+        let c = heap.alloc_object(ClassId(0), 0).unwrap();
+        heap.set_field(a, 0, Value::Ref(b)).unwrap();
+        heap.set_field(b, 0, Value::Ref(c)).unwrap();
+
+        let mut t = ThreadState::new(0);
+        let def = jrt_bytecode::MethodDef {
+            name: "m".into(),
+            nargs: 0,
+            ret: jrt_bytecode::RetKind::Void,
+            max_locals: 1,
+            max_stack: 1,
+            code: vec![44],
+            flags: jrt_bytecode::MethodFlags {
+                is_static: true,
+                ..Default::default()
+            },
+        };
+        t.push_frame(
+            jrt_bytecode::MethodId {
+                class: ClassId(0),
+                index: 0,
+            },
+            &def,
+            vec![Value::Ref(a)],
+        );
+        let mut sink = CountingSink::new();
+        let r = collect(&mut heap, &[t], &linker, &mut sink);
+        assert_eq!(r.freed, 0);
+        assert_eq!(heap.live_count(), 3);
+    }
+}

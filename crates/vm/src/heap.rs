@@ -1,0 +1,619 @@
+//! The simulated Java heap: objects, arrays, and values.
+//!
+//! Every allocation is assigned a virtual address in the
+//! [`Heap`](jrt_trace::Region::Heap) region of the simulated address
+//! space, so that loads/stores emitted for field and array accesses
+//! carry realistic addresses (object layout drives the D-cache
+//! studies, Figures 3–8). Addresses are bump-allocated and never
+//! reused; liveness is tracked separately so the collector
+//! (the `gc` module) can reclaim *handles* and account live bytes.
+
+use jrt_bytecode::{ArrayKind, ClassId};
+use jrt_trace::{layout, Addr};
+use std::fmt;
+
+/// A reference to a heap object; `0` is reserved (null is represented
+/// by [`Value::Null`]).
+pub type Handle = u32;
+
+/// A JVM value: our ISA is 32-bit-slot based, like the paper's
+/// UltraSPARC-era JVMs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Value {
+    /// The null reference.
+    #[default]
+    Null,
+    /// A 32-bit integer.
+    Int(i32),
+    /// An object or array reference.
+    Ref(Handle),
+}
+
+impl Value {
+    /// Extracts an int. [`Value::Null`] reads as 0: fields, statics,
+    /// and locals start as the all-zeros word, exactly as in the JVM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is a reference (verified bytecode cannot
+    /// trigger this; it indicates a VM bug).
+    pub fn as_int(self) -> i32 {
+        match self {
+            Value::Int(v) => v,
+            Value::Null => 0,
+            other => panic!("expected int, found {other:?}"),
+        }
+    }
+
+    /// Extracts a reference handle; `None` for null.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is an int.
+    pub fn as_ref(self) -> Option<Handle> {
+        match self {
+            Value::Ref(h) => Some(h),
+            Value::Null => None,
+            other => panic!("expected reference, found {other:?}"),
+        }
+    }
+
+    /// Encodes the value into a raw 32-bit slot (for array storage).
+    pub fn to_raw(self) -> i32 {
+        match self {
+            Value::Null => 0,
+            Value::Int(v) => v,
+            Value::Ref(h) => h as i32,
+        }
+    }
+
+    /// Decodes a raw slot as a reference (0 = null).
+    pub fn ref_from_raw(raw: i32) -> Value {
+        if raw == 0 {
+            Value::Null
+        } else {
+            Value::Ref(raw as Handle)
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Ref(h) => write!(f, "@{h}"),
+        }
+    }
+}
+
+/// Heap errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeapError {
+    /// The heap region of the address space is exhausted.
+    OutOfMemory,
+    /// A handle does not name a live allocation (VM bug or GC bug).
+    BadHandle(Handle),
+    /// Array index out of bounds.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: i32,
+        /// The array length.
+        len: u32,
+    },
+    /// Array allocation with negative length.
+    NegativeArraySize(i32),
+}
+
+impl fmt::Display for HeapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HeapError::OutOfMemory => write!(f, "simulated heap exhausted"),
+            HeapError::BadHandle(h) => write!(f, "dangling handle @{h}"),
+            HeapError::IndexOutOfBounds { index, len } => {
+                write!(f, "array index {index} out of bounds for length {len}")
+            }
+            HeapError::NegativeArraySize(n) => write!(f, "negative array size {n}"),
+        }
+    }
+}
+
+impl std::error::Error for HeapError {}
+
+/// Object header bytes (class word + lock word), as in the thin-lock
+/// design discussion.
+pub const OBJECT_HEADER: u32 = 8;
+/// Array header bytes (class word + lock word + length).
+pub const ARRAY_HEADER: u32 = 12;
+
+#[derive(Debug, Clone)]
+enum Slot {
+    Free,
+    Object {
+        class: ClassId,
+        fields: Vec<Value>,
+        addr: Addr,
+        bytes: u32,
+        marked: bool,
+    },
+    Array {
+        kind: ArrayKind,
+        data: Vec<i32>,
+        addr: Addr,
+        bytes: u32,
+        marked: bool,
+    },
+}
+
+/// Allocation statistics for Table 1 footprint accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HeapStats {
+    /// Bytes allocated over the whole run.
+    pub allocated_bytes: u64,
+    /// Currently live bytes.
+    pub live_bytes: u64,
+    /// High-water mark of live bytes.
+    pub peak_bytes: u64,
+    /// Objects allocated.
+    pub objects: u64,
+    /// Arrays allocated.
+    pub arrays: u64,
+}
+
+/// The simulated heap.
+#[derive(Debug)]
+pub struct Heap {
+    slots: Vec<Slot>,
+    free: Vec<Handle>,
+    cursor: Addr,
+    stats: HeapStats,
+    allocated_since_gc: u64,
+}
+
+impl Default for Heap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Heap {
+    /// Creates an empty heap.
+    pub fn new() -> Self {
+        Heap {
+            slots: vec![Slot::Free], // slot 0 unused: handle 0 reserved
+            free: Vec::new(),
+            cursor: layout::HEAP_BASE,
+            stats: HeapStats::default(),
+            allocated_since_gc: 0,
+        }
+    }
+
+    fn take_handle(&mut self) -> Handle {
+        if let Some(h) = self.free.pop() {
+            h
+        } else {
+            self.slots.push(Slot::Free);
+            (self.slots.len() - 1) as Handle
+        }
+    }
+
+    fn bump(&mut self, bytes: u32) -> Result<Addr, HeapError> {
+        let addr = self.cursor;
+        let aligned = (u64::from(bytes) + 7) & !7;
+        if addr + aligned > layout::HEAP_END {
+            return Err(HeapError::OutOfMemory);
+        }
+        self.cursor += aligned;
+        self.stats.allocated_bytes += aligned;
+        self.stats.live_bytes += aligned;
+        self.stats.peak_bytes = self.stats.peak_bytes.max(self.stats.live_bytes);
+        self.allocated_since_gc += aligned;
+        Ok(addr)
+    }
+
+    /// Allocates an object with `nfields` fields (all initialized to
+    /// [`Value::Null`]-equivalent zero of their kind: `Null`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::OutOfMemory`] when the heap region is
+    /// exhausted.
+    pub fn alloc_object(&mut self, class: ClassId, nfields: usize) -> Result<Handle, HeapError> {
+        let bytes = OBJECT_HEADER + 4 * nfields as u32;
+        let addr = self.bump(bytes)?;
+        let h = self.take_handle();
+        self.slots[h as usize] = Slot::Object {
+            class,
+            fields: vec![Value::Null; nfields],
+            addr,
+            bytes,
+            marked: false,
+        };
+        self.stats.objects += 1;
+        Ok(h)
+    }
+
+    /// Allocates an array.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::NegativeArraySize`] for a negative length
+    /// or [`HeapError::OutOfMemory`] when the region is exhausted.
+    pub fn alloc_array(&mut self, kind: ArrayKind, len: i32) -> Result<Handle, HeapError> {
+        if len < 0 {
+            return Err(HeapError::NegativeArraySize(len));
+        }
+        let bytes = ARRAY_HEADER + kind.elem_size() * len as u32;
+        let addr = self.bump(bytes)?;
+        let h = self.take_handle();
+        self.slots[h as usize] = Slot::Array {
+            kind,
+            data: vec![0; len as usize],
+            addr,
+            bytes,
+            marked: false,
+        };
+        self.stats.arrays += 1;
+        Ok(h)
+    }
+
+    fn object(&self, h: Handle) -> Result<(&ClassId, &Vec<Value>, Addr), HeapError> {
+        match self.slots.get(h as usize) {
+            Some(Slot::Object {
+                class,
+                fields,
+                addr,
+                ..
+            }) => Ok((class, fields, *addr)),
+            _ => Err(HeapError::BadHandle(h)),
+        }
+    }
+
+    /// Class of the object behind `h`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::BadHandle`] if `h` is not a live object.
+    pub fn class_of(&self, h: Handle) -> Result<ClassId, HeapError> {
+        self.object(h).map(|(c, _, _)| *c)
+    }
+
+    /// Reads field `idx`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::BadHandle`] for dead handles or arrays.
+    pub fn get_field(&self, h: Handle, idx: usize) -> Result<Value, HeapError> {
+        let (_, fields, _) = self.object(h)?;
+        fields.get(idx).copied().ok_or(HeapError::BadHandle(h))
+    }
+
+    /// Writes field `idx`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::BadHandle`] for dead handles or arrays.
+    pub fn set_field(&mut self, h: Handle, idx: usize, v: Value) -> Result<(), HeapError> {
+        match self.slots.get_mut(h as usize) {
+            Some(Slot::Object { fields, .. }) if idx < fields.len() => {
+                fields[idx] = v;
+                Ok(())
+            }
+            _ => Err(HeapError::BadHandle(h)),
+        }
+    }
+
+    /// Simulated address of field `idx` of object `h`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::BadHandle`] for dead handles or arrays.
+    pub fn field_addr(&self, h: Handle, idx: usize) -> Result<Addr, HeapError> {
+        let (_, _, addr) = self.object(h)?;
+        Ok(addr + u64::from(OBJECT_HEADER) + 4 * idx as u64)
+    }
+
+    /// Simulated address of the object header (lock word), used by
+    /// monitor operations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::BadHandle`] for dead handles.
+    pub fn header_addr(&self, h: Handle) -> Result<Addr, HeapError> {
+        match self.slots.get(h as usize) {
+            Some(Slot::Object { addr, .. }) | Some(Slot::Array { addr, .. }) => Ok(*addr),
+            _ => Err(HeapError::BadHandle(h)),
+        }
+    }
+
+    /// Array length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::BadHandle`] for dead handles or objects.
+    pub fn array_len(&self, h: Handle) -> Result<u32, HeapError> {
+        match self.slots.get(h as usize) {
+            Some(Slot::Array { data, .. }) => Ok(data.len() as u32),
+            _ => Err(HeapError::BadHandle(h)),
+        }
+    }
+
+    /// Reads array element `idx` as a raw slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::IndexOutOfBounds`] or
+    /// [`HeapError::BadHandle`].
+    pub fn array_get(&self, h: Handle, idx: i32) -> Result<i32, HeapError> {
+        match self.slots.get(h as usize) {
+            Some(Slot::Array { data, .. }) => {
+                if idx < 0 || idx as usize >= data.len() {
+                    Err(HeapError::IndexOutOfBounds {
+                        index: idx,
+                        len: data.len() as u32,
+                    })
+                } else {
+                    Ok(data[idx as usize])
+                }
+            }
+            _ => Err(HeapError::BadHandle(h)),
+        }
+    }
+
+    /// Writes array element `idx`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::IndexOutOfBounds`] or
+    /// [`HeapError::BadHandle`].
+    pub fn array_set(&mut self, h: Handle, idx: i32, raw: i32) -> Result<(), HeapError> {
+        match self.slots.get_mut(h as usize) {
+            Some(Slot::Array { data, .. }) => {
+                if idx < 0 || idx as usize >= data.len() {
+                    Err(HeapError::IndexOutOfBounds {
+                        index: idx,
+                        len: data.len() as u32,
+                    })
+                } else {
+                    data[idx as usize] = raw;
+                    Ok(())
+                }
+            }
+            _ => Err(HeapError::BadHandle(h)),
+        }
+    }
+
+    /// Element kind of the array behind `h`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::BadHandle`] for dead handles or objects.
+    pub fn array_kind(&self, h: Handle) -> Result<ArrayKind, HeapError> {
+        match self.slots.get(h as usize) {
+            Some(Slot::Array { kind, .. }) => Ok(*kind),
+            _ => Err(HeapError::BadHandle(h)),
+        }
+    }
+
+    /// Simulated address of array element `idx`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::BadHandle`] for dead handles or objects.
+    pub fn elem_addr(&self, h: Handle, idx: i32) -> Result<Addr, HeapError> {
+        match self.slots.get(h as usize) {
+            Some(Slot::Array { kind, addr, .. }) => Ok(*addr
+                + u64::from(ARRAY_HEADER)
+                + u64::from(kind.elem_size()) * idx.max(0) as u64),
+            _ => Err(HeapError::BadHandle(h)),
+        }
+    }
+
+    /// Allocation statistics.
+    pub fn stats(&self) -> HeapStats {
+        self.stats
+    }
+
+    /// Bytes allocated since the last collection (GC trigger input).
+    pub fn allocated_since_gc(&self) -> u64 {
+        self.allocated_since_gc
+    }
+
+    // ---- GC support (used by crate::gc) ------------------------------------
+
+    pub(crate) fn clear_marks(&mut self) {
+        for s in &mut self.slots {
+            match s {
+                Slot::Object { marked, .. } | Slot::Array { marked, .. } => *marked = false,
+                Slot::Free => {}
+            }
+        }
+    }
+
+    /// Marks `h`; returns the references it holds (for the mark
+    /// worklist) the first time it is marked, `None` if already marked
+    /// or dead.
+    pub(crate) fn mark(&mut self, h: Handle) -> Option<Vec<Handle>> {
+        match self.slots.get_mut(h as usize) {
+            Some(Slot::Object { fields, marked, .. }) => {
+                if *marked {
+                    return None;
+                }
+                *marked = true;
+                Some(
+                    fields
+                        .iter()
+                        .filter_map(|v| match v {
+                            Value::Ref(r) => Some(*r),
+                            _ => None,
+                        })
+                        .collect(),
+                )
+            }
+            Some(Slot::Array {
+                kind: ArrayKind::Ref,
+                data,
+                marked,
+                ..
+            }) => {
+                if *marked {
+                    return None;
+                }
+                *marked = true;
+                Some(data.iter().filter(|&&r| r != 0).map(|&r| r as Handle).collect())
+            }
+            Some(Slot::Array { marked, .. }) => {
+                if *marked {
+                    return None;
+                }
+                *marked = true;
+                Some(Vec::new())
+            }
+            _ => None,
+        }
+    }
+
+    /// Sweeps unmarked slots; returns (freed handles, freed bytes).
+    pub(crate) fn sweep(&mut self) -> (Vec<Handle>, u64) {
+        let mut freed = Vec::new();
+        let mut bytes = 0u64;
+        for (i, s) in self.slots.iter_mut().enumerate().skip(1) {
+            let dead_bytes = match s {
+                Slot::Object { marked: false, bytes, .. }
+                | Slot::Array { marked: false, bytes, .. } => Some(u64::from(*bytes)),
+                _ => None,
+            };
+            if let Some(b) = dead_bytes {
+                *s = Slot::Free;
+                freed.push(i as Handle);
+                bytes += (b + 7) & !7;
+            }
+        }
+        self.stats.live_bytes -= bytes;
+        self.free.extend(freed.iter().copied());
+        self.allocated_since_gc = 0;
+        (freed, bytes)
+    }
+
+    /// Number of live allocations.
+    pub fn live_count(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| !matches!(s, Slot::Free))
+            .count()
+    }
+
+    /// Iterates over live handles and their header addresses (the GC
+    /// trace generator visits these).
+    pub(crate) fn live_handles(&self) -> Vec<(Handle, Addr)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .skip(1)
+            .filter_map(|(i, s)| match s {
+                Slot::Object { addr, .. } | Slot::Array { addr, .. } => {
+                    Some((i as Handle, *addr))
+                }
+                Slot::Free => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_roundtrip() {
+        let mut h = Heap::new();
+        let o = h.alloc_object(ClassId(3), 2).unwrap();
+        assert_eq!(h.class_of(o).unwrap(), ClassId(3));
+        h.set_field(o, 1, Value::Int(42)).unwrap();
+        assert_eq!(h.get_field(o, 1).unwrap(), Value::Int(42));
+        assert_eq!(h.get_field(o, 0).unwrap(), Value::Null);
+        assert!(h.get_field(o, 2).is_err());
+    }
+
+    #[test]
+    fn array_roundtrip_and_bounds() {
+        let mut h = Heap::new();
+        let a = h.alloc_array(ArrayKind::Int, 3).unwrap();
+        assert_eq!(h.array_len(a).unwrap(), 3);
+        h.array_set(a, 2, 7).unwrap();
+        assert_eq!(h.array_get(a, 2).unwrap(), 7);
+        assert!(matches!(
+            h.array_get(a, 3),
+            Err(HeapError::IndexOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            h.array_get(a, -1),
+            Err(HeapError::IndexOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            h.alloc_array(ArrayKind::Int, -5),
+            Err(HeapError::NegativeArraySize(-5))
+        ));
+    }
+
+    #[test]
+    fn addresses_live_in_heap_region() {
+        let mut h = Heap::new();
+        let o = h.alloc_object(ClassId(0), 1).unwrap();
+        let a = h.alloc_array(ArrayKind::Char, 10).unwrap();
+        for addr in [
+            h.field_addr(o, 0).unwrap(),
+            h.header_addr(o).unwrap(),
+            h.elem_addr(a, 9).unwrap(),
+        ] {
+            assert_eq!(jrt_trace::Region::classify(addr), Some(jrt_trace::Region::Heap));
+        }
+        // char elements are 2 bytes apart
+        assert_eq!(
+            h.elem_addr(a, 1).unwrap() - h.elem_addr(a, 0).unwrap(),
+            2
+        );
+    }
+
+    #[test]
+    fn stats_track_peak() {
+        let mut h = Heap::new();
+        h.alloc_object(ClassId(0), 4).unwrap();
+        let s = h.stats();
+        assert_eq!(s.objects, 1);
+        assert!(s.peak_bytes >= 24);
+        assert_eq!(s.live_bytes, s.peak_bytes);
+    }
+
+    #[test]
+    fn mark_sweep_reclaims_unreachable() {
+        let mut h = Heap::new();
+        let keep = h.alloc_object(ClassId(0), 1).unwrap();
+        let child = h.alloc_object(ClassId(0), 0).unwrap();
+        let _dead = h.alloc_object(ClassId(0), 0).unwrap();
+        h.set_field(keep, 0, Value::Ref(child)).unwrap();
+
+        h.clear_marks();
+        let mut work = vec![keep];
+        while let Some(x) = work.pop() {
+            if let Some(children) = h.mark(x) {
+                work.extend(children);
+            }
+        }
+        let (freed, bytes) = h.sweep();
+        assert_eq!(freed.len(), 1);
+        assert!(bytes >= 8);
+        assert!(h.get_field(keep, 0).is_ok());
+        assert_eq!(h.live_count(), 2);
+        // Freed handle is reused.
+        let again = h.alloc_object(ClassId(0), 0).unwrap();
+        assert_eq!(again, freed[0]);
+    }
+
+    #[test]
+    fn value_raw_roundtrip() {
+        assert_eq!(Value::ref_from_raw(Value::Null.to_raw()), Value::Null);
+        assert_eq!(Value::ref_from_raw(Value::Ref(7).to_raw()), Value::Ref(7));
+        assert_eq!(Value::Int(-3).to_raw(), -3);
+    }
+}

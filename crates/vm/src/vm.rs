@@ -1,0 +1,438 @@
+//! The VM facade: scheduler, GC triggering, thread lifecycle, and
+//! run-level reporting.
+
+use crate::config::{ExecMode, JitPolicy, SyncKind, VmConfig};
+use crate::gc;
+use crate::heap::{Heap, HeapError, Value};
+use crate::jit::JitState;
+use crate::loader::Linker;
+use crate::profile::ProfileTable;
+use crate::step::{self, StepOutcome};
+use crate::thread::{ThreadState, ThreadStatus};
+use jrt_bytecode::{MethodId, Program};
+use jrt_sync::{FatLockEngine, OneBitLockEngine, SyncEngine, SyncStats, ThinLockEngine};
+use jrt_trace::TraceSink;
+use std::fmt;
+
+/// Runtime errors surfaced by [`Vm::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmError {
+    /// Null dereference (the analog of `NullPointerException`).
+    NullPointer {
+        /// `Class::method` where it happened.
+        method: String,
+        /// Bytecode offset.
+        pc: u32,
+    },
+    /// Integer division by zero.
+    DivideByZero {
+        /// `Class::method` where it happened.
+        method: String,
+        /// Bytecode offset.
+        pc: u32,
+    },
+    /// Heap fault.
+    Heap(HeapError),
+    /// Monitor protocol violation.
+    Monitor(String),
+    /// Intrinsic failure.
+    Intrinsic(String),
+    /// Activation stack exceeded its depth bound.
+    StackOverflow {
+        /// The method that overflowed.
+        method: String,
+    },
+    /// All live threads are blocked on monitors or joins.
+    Deadlock,
+    /// The configured `max_bytecodes` budget was exhausted.
+    BudgetExceeded,
+    /// Invariant violation inside the VM (a bug).
+    Internal(String),
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::NullPointer { method, pc } => {
+                write!(f, "null pointer dereference in {method} at {pc}")
+            }
+            VmError::DivideByZero { method, pc } => {
+                write!(f, "division by zero in {method} at {pc}")
+            }
+            VmError::Heap(e) => write!(f, "heap fault: {e}"),
+            VmError::Monitor(e) => write!(f, "monitor violation: {e}"),
+            VmError::Intrinsic(e) => write!(f, "intrinsic failure: {e}"),
+            VmError::StackOverflow { method } => write!(f, "stack overflow in {method}"),
+            VmError::Deadlock => write!(f, "deadlock: all threads blocked"),
+            VmError::BudgetExceeded => write!(f, "bytecode execution budget exceeded"),
+            VmError::Internal(e) => write!(f, "vm internal error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+/// Console output captured from the `Sys.print_*` intrinsics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Output {
+    /// Integers printed with `Sys.print_int`.
+    pub ints: Vec<i32>,
+    /// Characters printed with `Sys.print_char`.
+    pub chars: String,
+}
+
+/// Aggregate run counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VmCounters {
+    /// Bytecodes executed (all threads).
+    pub bytecodes: u64,
+    /// Trace instructions emitted by class loading.
+    pub classload_insts: u64,
+    /// Garbage collections run.
+    pub gc_runs: u64,
+    /// Bytes reclaimed by GC.
+    pub gc_freed_bytes: u64,
+    /// Methods translated by the JIT.
+    pub methods_translated: u32,
+    /// Trace instructions emitted by the translator (sum of `T_i`).
+    pub translate_insts: u64,
+    /// Threads created (including the main thread).
+    pub threads_created: u32,
+}
+
+/// Memory-footprint breakdown for the Table 1 study.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Footprint {
+    /// Loaded class images (code + pools + tables).
+    pub class_bytes: u64,
+    /// Fixed VM text/data (interpreter, runtime, loader).
+    pub vm_base_bytes: u64,
+    /// Peak live Java heap.
+    pub heap_peak_bytes: u64,
+    /// Thread stacks.
+    pub stack_bytes: u64,
+    /// JIT code cache (zero for the interpreter).
+    pub code_cache_bytes: u64,
+    /// Translator text + work buffers (zero for the interpreter).
+    pub translator_bytes: u64,
+}
+
+impl Footprint {
+    /// Total resident bytes.
+    pub fn total(&self) -> u64 {
+        self.class_bytes
+            + self.vm_base_bytes
+            + self.heap_peak_bytes
+            + self.stack_bytes
+            + self.code_cache_bytes
+            + self.translator_bytes
+    }
+}
+
+/// Result of one program run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Int returned by the entry method, if any.
+    pub exit_value: Option<i32>,
+    /// Captured console output.
+    pub output: Output,
+    /// Aggregate counters.
+    pub counters: VmCounters,
+    /// Per-method cost profiles (`I_i`, `T_i`, `E_i`, `n_i`).
+    pub profile: ProfileTable,
+    /// Synchronization statistics from the monitor engine.
+    pub sync_stats: SyncStats,
+    /// Memory footprint (Table 1).
+    pub footprint: Footprint,
+    /// Mode label ("interp" / "jit" / "opt" / "thresh").
+    pub mode: &'static str,
+}
+
+/// Everything one [`step`](crate::step) needs, split by field so the
+/// borrow checker can see the disjointness.
+pub(crate) struct StepEnv<'a> {
+    pub program: &'a Program,
+    pub linker: &'a mut Linker,
+    pub heap: &'a mut Heap,
+    pub jit: &'a mut JitState,
+    pub sync: &'a mut dyn SyncEngine,
+    pub profile: &'a mut ProfileTable,
+    pub mode: &'a ExecMode,
+    pub profiling: bool,
+    pub out: &'a mut Output,
+    pub classload_insts: &'a mut u64,
+    pub folding: bool,
+}
+
+/// The `javart` virtual machine. See the crate docs for the model.
+pub struct Vm<'p> {
+    program: &'p Program,
+    config: VmConfig,
+    heap: Heap,
+    linker: Linker,
+    jit: JitState,
+    sync: Box<dyn SyncEngine>,
+    profile: ProfileTable,
+    counters: VmCounters,
+    out: Output,
+    threads: Vec<ThreadState>,
+}
+
+impl fmt::Debug for Vm<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Vm")
+            .field("mode", &self.config.mode.label())
+            .field("threads", &self.threads.len())
+            .field("bytecodes", &self.counters.bytecodes)
+            .finish()
+    }
+}
+
+impl<'p> Vm<'p> {
+    /// Creates a VM for `program` under `config`.
+    pub fn new(program: &'p Program, config: VmConfig) -> Self {
+        let sync: Box<dyn SyncEngine> = match config.sync {
+            SyncKind::MonitorCache => Box::new(FatLockEngine::new()),
+            SyncKind::ThinLock => Box::new(ThinLockEngine::new()),
+            SyncKind::OneBit => Box::new(OneBitLockEngine::new()),
+        };
+        Vm {
+            program,
+            config,
+            heap: Heap::new(),
+            linker: Linker::new(program.num_classes()),
+            jit: JitState::new(),
+            sync,
+            profile: ProfileTable::new(),
+            counters: VmCounters::default(),
+            out: Output::default(),
+            threads: Vec::new(),
+        }
+    }
+
+    fn decide_jit(&self, callee: MethodId) -> bool {
+        match &self.config.mode {
+            ExecMode::Interp => false,
+            ExecMode::Jit(policy) => match policy {
+                JitPolicy::FirstInvocation => true,
+                JitPolicy::Threshold(k) => {
+                    self.jit.is_compiled(callee)
+                        || self
+                            .profile
+                            .get(callee)
+                            .is_some_and(|p| p.invocations + 1 >= u64::from(*k))
+                }
+                JitPolicy::Oracle(d) => d.should_translate(callee),
+            },
+        }
+    }
+
+    /// Starts a thread whose root activation is `method(args)`.
+    fn start_thread(
+        &mut self,
+        method: MethodId,
+        args: Vec<Value>,
+        sink: &mut dyn TraceSink,
+    ) -> Result<u16, VmError> {
+        let tid = self.threads.len() as u16;
+        let def = self.program.method_def(method);
+        if def.flags.is_native {
+            return Err(VmError::Internal("thread root cannot be native".into()));
+        }
+        let use_jit = self.decide_jit(method);
+        if use_jit && !self.jit.is_compiled(method) {
+            let code_addr = self.linker.code_addr(method);
+            let t = self.jit.translate(method, def, code_addr, sink);
+            self.profile.get_mut(method).translate_cycles += t;
+        }
+        let mut thread = ThreadState::new(tid);
+        thread.push_frame(method, def, args);
+        {
+            let f = thread.frame_mut();
+            f.jit = use_jit;
+            if def.flags.is_synchronized {
+                f.sync_pending = Some(if def.flags.is_static {
+                    self.linker.class(method.class).class_object
+                } else {
+                    f.locals[0].as_ref().expect("non-null receiver")
+                });
+            }
+        }
+        if self.config.profiling {
+            self.profile.record_invocation(method);
+        }
+        self.threads.push(thread);
+        self.counters.threads_created += 1;
+        Ok(tid)
+    }
+
+    fn run_gc(&mut self, sink: &mut dyn TraceSink) {
+        let r = gc::collect(&mut self.heap, &self.threads, &self.linker, sink);
+        self.counters.gc_runs += 1;
+        self.counters.gc_freed_bytes += r.freed_bytes;
+    }
+
+    /// Runs the program to completion, streaming the native trace into
+    /// `sink`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first runtime fault; see [`VmError`].
+    pub fn run(mut self, sink: &mut impl TraceSink) -> Result<RunResult, VmError> {
+        self.run_dyn(sink as &mut dyn TraceSink)
+    }
+
+    fn run_dyn(&mut self, sink: &mut dyn TraceSink) -> Result<RunResult, VmError> {
+        // Load the entry class and start the main thread.
+        let entry = self.program.entry();
+        self.counters.classload_insts +=
+            self.linker
+                .ensure_loaded(entry.class, self.program, &mut self.heap, sink);
+        self.start_thread(entry, Vec::new(), sink)?;
+
+        // Round-robin scheduler.
+        loop {
+            let mut progressed = false;
+            let mut all_done = true;
+
+            for tid in 0..self.threads.len() {
+                // Resolve joins whose target finished.
+                if let ThreadStatus::Joining(t) = self.threads[tid].status {
+                    if self
+                        .threads
+                        .get(usize::from(t))
+                        .is_none_or(|th| th.status == ThreadStatus::Done)
+                    {
+                        self.threads[tid].status = ThreadStatus::Ready;
+                    }
+                }
+                match self.threads[tid].status {
+                    ThreadStatus::Done => continue,
+                    ThreadStatus::Joining(_) => {
+                        all_done = false;
+                        continue;
+                    }
+                    ThreadStatus::Blocked(_) | ThreadStatus::Ready => {
+                        all_done = false;
+                        self.threads[tid].status = ThreadStatus::Ready;
+                    }
+                }
+
+                if self.heap.allocated_since_gc() > self.config.gc_threshold {
+                    self.run_gc(sink);
+                }
+
+                for _ in 0..self.config.quantum {
+                    if self.counters.bytecodes >= self.config.max_bytecodes {
+                        return Err(VmError::BudgetExceeded);
+                    }
+                    let outcome = {
+                        let mut env = StepEnv {
+                            program: self.program,
+                            linker: &mut self.linker,
+                            heap: &mut self.heap,
+                            jit: &mut self.jit,
+                            sync: self.sync.as_mut(),
+                            profile: &mut self.profile,
+                            mode: &self.config.mode,
+                            profiling: self.config.profiling,
+                            out: &mut self.out,
+                            classload_insts: &mut self.counters.classload_insts,
+                            folding: self.config.folding,
+                        };
+                        step::step(&mut env, &mut self.threads[tid], sink)?
+                    };
+                    self.counters.bytecodes += 1;
+                    match outcome {
+                        StepOutcome::Continue => {
+                            progressed = true;
+                        }
+                        StepOutcome::Blocked => {
+                            break;
+                        }
+                        StepOutcome::ThreadDone => {
+                            progressed = true;
+                            break;
+                        }
+                        StepOutcome::Spawn { target } => {
+                            progressed = true;
+                            let rcls = self.heap.class_of(target).map_err(VmError::Heap)?;
+                            let run = self
+                                .linker
+                                .class(rcls)
+                                .vtable_lookup("run")
+                                .ok_or_else(|| {
+                                    VmError::Intrinsic("spawn target has no run()".into())
+                                })?;
+                            let new_tid =
+                                self.start_thread(run, vec![Value::Ref(target)], sink)?;
+                            self.threads[tid]
+                                .frame_mut()
+                                .stack
+                                .push(Value::Int(i32::from(new_tid)));
+                        }
+                        StepOutcome::Join(target) => {
+                            progressed = true;
+                            if usize::from(target) >= self.threads.len() {
+                                return Err(VmError::Intrinsic(format!(
+                                    "join of unknown thread {target}"
+                                )));
+                            }
+                            if self.threads[usize::from(target)].status != ThreadStatus::Done {
+                                self.threads[tid].status = ThreadStatus::Joining(target);
+                            }
+                            break;
+                        }
+                    }
+                }
+            }
+
+            if all_done {
+                break;
+            }
+            if !progressed {
+                return Err(VmError::Deadlock);
+            }
+        }
+
+        sink.finish();
+        Ok(self.build_result())
+    }
+
+    fn build_result(&mut self) -> RunResult {
+        self.counters.methods_translated = self.jit.methods_translated;
+        self.counters.translate_insts = self.jit.translate_insts;
+
+        let translated_any = self.jit.methods_translated > 0;
+        let footprint = Footprint {
+            class_bytes: self.linker.loaded_bytes,
+            // Interpreter + runtime text/data: the resident cost of
+            // the JVM binary plus mapped system libraries (a couple of
+            // MB in the JDK 1.1.6 era).
+            vm_base_bytes: 1792 * 1024,
+            heap_peak_bytes: self.heap.stats().peak_bytes,
+            stack_bytes: self.threads.len() as u64 * 16 * 1024,
+            code_cache_bytes: self.jit.code_cache_bytes,
+            translator_bytes: if translated_any {
+                128 * 1024 + self.jit.translator_buffer_bytes
+            } else {
+                0
+            },
+        };
+
+        let exit_value = self.threads.first().and_then(|t| match t.result {
+            Some(Value::Int(v)) => Some(v),
+            _ => None,
+        });
+
+        RunResult {
+            exit_value,
+            output: std::mem::take(&mut self.out),
+            counters: self.counters,
+            profile: std::mem::take(&mut self.profile),
+            sync_stats: *self.sync.stats(),
+            footprint,
+            mode: self.config.mode.label(),
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Prints per-benchmark dynamic trace sizes at `s1`: bytecodes,
+//! native instructions per mode, and the translate-phase share — the
+//! calibration view used to tune the workloads against Figure 1.
+//!
+//! ```sh
+//! cargo run --release -p jrt-workloads --example calibrate
+//! ```
+use jrt_trace::CountingSink;
+use jrt_vm::{Vm, VmConfig};
+use jrt_workloads::{suite_with_hello, Size};
+
+fn main() {
+    for spec in suite_with_hello() {
+        let p = (spec.build)(Size::S1);
+        let t0 = std::time::Instant::now();
+        let mut s1 = CountingSink::new();
+        let ri = Vm::new(&p, VmConfig::interpreter()).run(&mut s1).unwrap();
+        let ti = t0.elapsed();
+        let t0 = std::time::Instant::now();
+        let mut s2 = CountingSink::new();
+        let rj = Vm::new(&p, VmConfig::jit()).run(&mut s2).unwrap();
+        let tj = t0.elapsed();
+        assert_eq!(ri.exit_value, Some((spec.expected)(Size::S1)), "{}", spec.name);
+        assert_eq!(rj.exit_value, ri.exit_value, "{}", spec.name);
+        println!(
+            "{:10} bytecodes={:>10} interp_insts={:>11} ({:>6.2?}) jit_insts={:>11} ({:>6.2?}) xlate={:>9}",
+            spec.name, rj.counters.bytecodes, s1.total(), ti, s2.total(), tj,
+            s2.phase(jrt_trace::Phase::Translate),
+        );
+    }
+}

@@ -1,0 +1,377 @@
+//! `compress` — LZW compression and expansion (the SPEC `129.compress`
+//! analog).
+//!
+//! Generates a compressible byte buffer, LZW-compresses it with a
+//! hash-probed dictionary, expands the code stream back, verifies the
+//! round trip, and returns a checksum of the code stream. Like the
+//! original, the work concentrates in a handful of hot methods
+//! (`lookup`, `insert`, `compress`, `expandAll`) that are reused
+//! enormously — the paper's archetype of an execution-dominated,
+//! JIT-friendly program.
+
+use crate::common::{add_rng, host_lib_checksum, library, HostRng, Size};
+use jrt_bytecode::{ArrayKind, ClassAsm, MethodAsm, Program, RetKind};
+
+const DICT: i32 = 4096;
+const HASH: i32 = 8192;
+const ALPHA: i32 = 6; // symbols 'a'..='f'
+const SEED: i32 = 7;
+
+fn input_len(size: Size) -> i32 {
+    size.scale(12288)
+}
+
+/// Builds the program.
+pub fn program(size: Size) -> Program {
+    let n = input_len(size);
+    let mut c = ClassAsm::new("Compress");
+    add_rng(&mut c);
+    for f in [
+        "prefix", "append", "hashtab", "prefix2", "append2", "stack",
+    ] {
+        c.add_static_field(f);
+    }
+
+    // gen(arr, n): fill with 'a' + next(ALPHA)
+    {
+        let mut m = MethodAsm::new("gen", 2);
+        let (arr, n, i) = (0u8, 1u8, 2u8);
+        let top = m.new_label();
+        let done = m.new_label();
+        m.iconst(0).istore(i);
+        m.bind(top);
+        m.iload(i).iload(n).if_icmp_ge(done);
+        m.aload(arr).iload(i);
+        m.iconst(ALPHA)
+            .invokestatic("Compress", "next", 1, RetKind::Int)
+            .iconst(97)
+            .iadd();
+        m.bastore();
+        m.iinc(i, 1).goto(top);
+        m.bind(done);
+        m.ret();
+        c.add_method(m);
+    }
+
+    // lookup(w, ch) -> code or -1
+    {
+        let mut m = MethodAsm::new("lookup", 2).returns(RetKind::Int);
+        let (w, ch, h, e, code) = (0u8, 1u8, 2u8, 3u8, 4u8);
+        let probe = m.new_label();
+        let miss = m.new_label();
+        let next_probe = m.new_label();
+        // h = ((w << 5) ^ ch) & (HASH-1)
+        m.iload(w).iconst(5).ishl().iload(ch).ixor().iconst(HASH - 1).iand().istore(h);
+        m.bind(probe);
+        m.getstatic("Compress", "hashtab").iload(h).iaload().istore(e);
+        m.iload(e).if_eq(miss);
+        m.iload(e).iconst(1).isub().istore(code);
+        // prefix[code-256] == w ?
+        m.getstatic("Compress", "prefix").iload(code).iconst(256).isub().iaload();
+        m.iload(w).if_icmp_ne(next_probe);
+        m.getstatic("Compress", "append").iload(code).iconst(256).isub().iaload();
+        m.iload(ch).if_icmp_ne(next_probe);
+        m.iload(code).ireturn();
+        m.bind(next_probe);
+        m.iload(h).iconst(1).iadd().iconst(HASH - 1).iand().istore(h);
+        m.goto(probe);
+        m.bind(miss);
+        m.iconst(-1).ireturn();
+        c.add_method(m);
+    }
+
+    // insert(w, ch, code)
+    {
+        let mut m = MethodAsm::new("insert", 3);
+        let (w, ch, code, h) = (0u8, 1u8, 2u8, 3u8);
+        let probe = m.new_label();
+        let place = m.new_label();
+        m.iload(w).iconst(5).ishl().iload(ch).ixor().iconst(HASH - 1).iand().istore(h);
+        m.bind(probe);
+        m.getstatic("Compress", "hashtab").iload(h).iaload().if_eq(place);
+        m.iload(h).iconst(1).iadd().iconst(HASH - 1).iand().istore(h);
+        m.goto(probe);
+        m.bind(place);
+        m.getstatic("Compress", "hashtab").iload(h).iload(code).iconst(1).iadd().iastore();
+        m.getstatic("Compress", "prefix").iload(code).iconst(256).isub().iload(w).iastore();
+        m.getstatic("Compress", "append").iload(code).iconst(256).isub().iload(ch).iastore();
+        m.ret();
+        c.add_method(m);
+    }
+
+    // compress(in, n, out) -> outLen
+    {
+        let mut m = MethodAsm::new("compress", 3).returns(RetKind::Int);
+        let (inp, n, out, w, out_len, next_code, i, ch, k) =
+            (0u8, 1u8, 2u8, 3u8, 4u8, 5u8, 6u8, 7u8, 8u8);
+        let top = m.new_label();
+        let end = m.new_label();
+        let found = m.new_label();
+        let no_grow = m.new_label();
+        let cont = m.new_label();
+        m.aload(inp).iconst(0).baload().istore(w);
+        m.iconst(0).istore(out_len);
+        m.iconst(256).istore(next_code);
+        m.iconst(1).istore(i);
+        m.bind(top);
+        m.iload(i).iload(n).if_icmp_ge(end);
+        m.aload(inp).iload(i).baload().istore(ch);
+        m.iload(w).iload(ch).invokestatic("Compress", "lookup", 2, RetKind::Int).istore(k);
+        m.iload(k).if_ge(found);
+        // emit w
+        m.aload(out).iload(out_len).iload(w).iastore();
+        m.iinc(out_len, 1);
+        // grow dictionary
+        m.iload(next_code).iconst(DICT).if_icmp_ge(no_grow);
+        m.iload(w).iload(ch).iload(next_code)
+            .invokestatic("Compress", "insert", 3, RetKind::Void);
+        m.iinc(next_code, 1);
+        m.bind(no_grow);
+        m.iload(ch).istore(w);
+        m.goto(cont);
+        m.bind(found);
+        m.iload(k).istore(w);
+        m.bind(cont);
+        m.iinc(i, 1).goto(top);
+        m.bind(end);
+        m.aload(out).iload(out_len).iload(w).iastore();
+        m.iinc(out_len, 1);
+        m.iload(out_len).ireturn();
+        c.add_method(m);
+    }
+
+    // expand(code) -> depth ; writes reversed expansion into `stack`
+    {
+        let mut m = MethodAsm::new("expand", 1).returns(RetKind::Int);
+        let (code, d) = (0u8, 1u8);
+        let top = m.new_label();
+        let done = m.new_label();
+        m.iconst(0).istore(d);
+        m.bind(top);
+        m.iload(code).iconst(256).if_icmp_lt(done);
+        m.getstatic("Compress", "stack").iload(d);
+        m.getstatic("Compress", "append2").iload(code).iconst(256).isub().iaload();
+        m.iastore();
+        m.iinc(d, 1);
+        m.getstatic("Compress", "prefix2").iload(code).iconst(256).isub().iaload().istore(code);
+        m.goto(top);
+        m.bind(done);
+        m.getstatic("Compress", "stack").iload(d).iload(code).iastore();
+        m.iinc(d, 1);
+        m.iload(d).ireturn();
+        c.add_method(m);
+    }
+
+    // decompress(codes, m, out) -> outLen
+    {
+        let mut me = MethodAsm::new("decompress", 3).returns(RetKind::Int);
+        let (codes, mm, out, next_code, prev, out_len, i, cur, d, j) =
+            (0u8, 1u8, 2u8, 3u8, 4u8, 5u8, 6u8, 7u8, 8u8, 9u8);
+        let top = me.new_label();
+        let end = me.new_label();
+        let known = me.new_label();
+        let write = me.new_label();
+        let wl = me.new_label();
+        let wdone = me.new_label();
+        let no_extra = me.new_label();
+        let no_grow = me.new_label();
+        me.iconst(256).istore(next_code);
+        me.aload(codes).iconst(0).iaload().istore(prev);
+        me.aload(out).iconst(0).iload(prev).bastore();
+        me.iconst(1).istore(out_len);
+        me.iconst(1).istore(i);
+        me.bind(top);
+        me.iload(i).iload(mm).if_icmp_ge(end);
+        me.aload(codes).iload(i).iaload().istore(cur);
+        me.iload(cur).iload(next_code).if_icmp_lt(known);
+        // KwKwK: expansion(prev) then its first char again
+        me.iload(prev).invokestatic("Compress", "expand", 1, RetKind::Int).istore(d);
+        me.goto(write);
+        me.bind(known);
+        me.iload(cur).invokestatic("Compress", "expand", 1, RetKind::Int).istore(d);
+        me.bind(write);
+        me.iload(d).iconst(1).isub().istore(j);
+        me.bind(wl);
+        me.iload(j).if_lt(wdone);
+        me.aload(out).iload(out_len);
+        me.getstatic("Compress", "stack").iload(j).iaload();
+        me.bastore();
+        me.iinc(out_len, 1);
+        me.iinc(j, -1).goto(wl);
+        me.bind(wdone);
+        // KwKwK extra first char
+        me.iload(cur).iload(next_code).if_icmp_lt(no_extra);
+        me.aload(out).iload(out_len);
+        me.getstatic("Compress", "stack").iload(d).iconst(1).isub().iaload();
+        me.bastore();
+        me.iinc(out_len, 1);
+        me.bind(no_extra);
+        // grow decoder dictionary
+        me.iload(next_code).iconst(DICT).if_icmp_ge(no_grow);
+        me.getstatic("Compress", "prefix2").iload(next_code).iconst(256).isub()
+            .iload(prev).iastore();
+        me.getstatic("Compress", "append2").iload(next_code).iconst(256).isub();
+        me.getstatic("Compress", "stack").iload(d).iconst(1).isub().iaload();
+        me.iastore();
+        me.iinc(next_code, 1);
+        me.bind(no_grow);
+        me.iload(cur).istore(prev);
+        me.iinc(i, 1).goto(top);
+        me.bind(end);
+        me.iload(out_len).ireturn();
+        c.add_method(me);
+    }
+
+    // checksum(arr, n) -> s
+    {
+        let mut m = MethodAsm::new("checksum", 2).returns(RetKind::Int);
+        let (arr, n, s, i) = (0u8, 1u8, 2u8, 3u8);
+        let top = m.new_label();
+        let done = m.new_label();
+        m.iconst(0).istore(s).iconst(0).istore(i);
+        m.bind(top);
+        m.iload(i).iload(n).if_icmp_ge(done);
+        m.iload(s).iconst(31).imul().aload(arr).iload(i).iaload().iadd().istore(s);
+        m.iinc(i, 1).goto(top);
+        m.bind(done);
+        m.iload(s).ireturn();
+        c.add_method(m);
+    }
+
+    // main
+    {
+        let mut m = MethodAsm::new("main", 0).returns(RetKind::Int);
+        let (inp, codes, out2, mlen, dlen, i, lib) = (0u8, 1u8, 2u8, 3u8, 4u8, 5u8, 6u8);
+        m.invokestatic("LibInit", "boot", 0, RetKind::Int).istore(lib);
+        m.iconst(n).newarray(ArrayKind::Byte).astore(inp);
+        m.iconst(n + 1).newarray(ArrayKind::Int).astore(codes);
+        m.iconst(n + 16).newarray(ArrayKind::Byte).astore(out2);
+        m.iconst(DICT - 256).newarray(ArrayKind::Int).putstatic("Compress", "prefix");
+        m.iconst(DICT - 256).newarray(ArrayKind::Int).putstatic("Compress", "append");
+        m.iconst(HASH).newarray(ArrayKind::Int).putstatic("Compress", "hashtab");
+        m.iconst(DICT - 256).newarray(ArrayKind::Int).putstatic("Compress", "prefix2");
+        m.iconst(DICT - 256).newarray(ArrayKind::Int).putstatic("Compress", "append2");
+        m.iconst(DICT + 64).newarray(ArrayKind::Int).putstatic("Compress", "stack");
+        m.iconst(SEED).invokestatic("Compress", "srand", 1, RetKind::Void);
+        m.aload(inp).iconst(n).invokestatic("Compress", "gen", 2, RetKind::Void);
+        m.aload(inp).iconst(n).aload(codes)
+            .invokestatic("Compress", "compress", 3, RetKind::Int)
+            .istore(mlen);
+        m.aload(codes).iload(mlen).aload(out2)
+            .invokestatic("Compress", "decompress", 3, RetKind::Int)
+            .istore(dlen);
+        // verify round trip
+        let bad_len = m.new_label();
+        let vloop = m.new_label();
+        let vdone = m.new_label();
+        let bad_data = m.new_label();
+        m.iload(dlen).iconst(n).if_icmp_ne(bad_len);
+        m.iconst(0).istore(i);
+        m.bind(vloop);
+        m.iload(i).iconst(n).if_icmp_ge(vdone);
+        m.aload(inp).iload(i).baload();
+        m.aload(out2).iload(i).baload();
+        m.if_icmp_ne(bad_data);
+        m.iinc(i, 1).goto(vloop);
+        m.bind(vdone);
+        m.aload(codes).iload(mlen)
+            .invokestatic("Compress", "checksum", 2, RetKind::Int);
+        m.iload(mlen).iconst(16).ishl().ixor();
+        m.iload(lib).ixor();
+        m.ireturn();
+        m.bind(bad_len);
+        m.iconst(-1).ireturn();
+        m.bind(bad_data);
+        m.iconst(-2).ireturn();
+        c.add_method(m);
+    }
+
+    let mut classes = vec![c];
+    classes.extend(library(size));
+    Program::build(classes, "Compress", "main").expect("compress assembles")
+}
+
+/// Host-side reference implementation: generates the same input,
+/// compresses it, and returns the same checksum the bytecode returns.
+pub fn expected(size: Size) -> i32 {
+    let n = input_len(size) as usize;
+    let mut rng = HostRng::new(SEED);
+    let input: Vec<i32> = (0..n).map(|_| 97 + rng.next(ALPHA)).collect();
+
+    // LZW compress.
+    let mut prefix = vec![0i32; (DICT - 256) as usize];
+    let mut append = vec![0i32; (DICT - 256) as usize];
+    let mut hashtab = vec![0i32; HASH as usize];
+    let mut codes = Vec::new();
+    let mut next_code = 256i32;
+    let mut w = input[0];
+    let lookup = |prefix: &[i32], append: &[i32], hashtab: &[i32], w: i32, ch: i32| -> i32 {
+        let mut h = ((w << 5) ^ ch) & (HASH - 1);
+        loop {
+            let e = hashtab[h as usize];
+            if e == 0 {
+                return -1;
+            }
+            let code = e - 1;
+            if prefix[(code - 256) as usize] == w && append[(code - 256) as usize] == ch {
+                return code;
+            }
+            h = (h + 1) & (HASH - 1);
+        }
+    };
+    for &ch in &input[1..] {
+        let k = lookup(&prefix, &append, &hashtab, w, ch);
+        if k >= 0 {
+            w = k;
+        } else {
+            codes.push(w);
+            if next_code < DICT {
+                let mut h = ((w << 5) ^ ch) & (HASH - 1);
+                while hashtab[h as usize] != 0 {
+                    h = (h + 1) & (HASH - 1);
+                }
+                hashtab[h as usize] = next_code + 1;
+                prefix[(next_code - 256) as usize] = w;
+                append[(next_code - 256) as usize] = ch;
+                next_code += 1;
+            }
+            w = ch;
+        }
+    }
+    codes.push(w);
+
+    let mut s = 0i32;
+    for &c in &codes {
+        s = s.wrapping_mul(31).wrapping_add(c);
+    }
+    s ^ ((codes.len() as i32) << 16) ^ host_lib_checksum(size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jrt_trace::CountingSink;
+    use jrt_vm::{Vm, VmConfig};
+
+    #[test]
+    fn round_trips_and_matches_reference() {
+        let p = program(Size::Tiny);
+        let want = expected(Size::Tiny);
+        assert!(want != -1 && want != -2);
+        for cfg in [VmConfig::interpreter(), VmConfig::jit()] {
+            let r = Vm::new(&p, cfg).run(&mut CountingSink::new()).unwrap();
+            assert_eq!(r.exit_value, Some(want));
+        }
+    }
+
+    #[test]
+    fn compresses_at_s1() {
+        let p = program(Size::S1);
+        let r = Vm::new(&p, VmConfig::jit())
+            .run(&mut CountingSink::new())
+            .unwrap();
+        assert_eq!(r.exit_value, Some(expected(Size::S1)));
+        // Small alphabet must actually compress.
+        assert!(r.counters.bytecodes > 100_000);
+    }
+}

@@ -1,0 +1,309 @@
+//! `db` — an in-memory record store (the SPEC `209.db` analog).
+//!
+//! A table of small `Record` objects serves a script of add / find /
+//! modify / remove operations with periodic sorts. Like the original,
+//! the program is made of many short methods operating on a small
+//! database that is reused heavily — at `s1` the translation cost of
+//! all those little methods is a large share of JIT execution time
+//! (Figure 1's `db` bar). The container methods are `synchronized`,
+//! mirroring the original's use of `java.util.Vector` — this is where
+//! most of the suite's monitor traffic comes from (Section 5).
+
+use crate::common::{add_rng, host_lib_checksum, library, HostRng, Size};
+use jrt_bytecode::{ArrayKind, ClassAsm, MethodAsm, Program, RetKind};
+
+const SEED: i32 = 11;
+const ID_SPACE: i32 = 512;
+
+fn capacity(size: Size) -> i32 {
+    size.scale(96)
+}
+
+fn num_ops(size: Size) -> i32 {
+    size.scale(320)
+}
+
+/// Builds the program.
+pub fn program(size: Size) -> Program {
+    let cap = capacity(size);
+    let ops = num_ops(size);
+
+    let mut rec = ClassAsm::new("Record");
+    rec.add_field("id");
+    rec.add_field("val");
+
+    let mut c = ClassAsm::new("Db");
+    add_rng(&mut c);
+    c.add_static_field("table");
+    c.add_static_field("count");
+    c.add_static_field("hits");
+
+    // add(id, val)
+    {
+        let mut m = MethodAsm::new("add", 2).synchronized();
+        let (id, val, r) = (0u8, 1u8, 2u8);
+        m.new_obj("Record").astore(r);
+        m.aload(r).iload(id).putfield("Record", "id");
+        m.aload(r).iload(val).putfield("Record", "val");
+        m.getstatic("Db", "table").getstatic("Db", "count").aload(r).aastore();
+        m.getstatic("Db", "count").iconst(1).iadd().putstatic("Db", "count");
+        m.ret();
+        c.add_method(m);
+    }
+
+    // find(id) -> index or -1 (linear scan, like 209.db's Vector scans)
+    {
+        let mut m = MethodAsm::new("find", 1).returns(RetKind::Int).synchronized();
+        let (id, i) = (0u8, 1u8);
+        let top = m.new_label();
+        let miss = m.new_label();
+        let next = m.new_label();
+        m.iconst(0).istore(i);
+        m.bind(top);
+        m.iload(i).getstatic("Db", "count").if_icmp_ge(miss);
+        m.getstatic("Db", "table").iload(i).aaload().getfield("Record", "id");
+        m.iload(id).if_icmp_ne(next);
+        m.iload(i).ireturn();
+        m.bind(next);
+        m.iinc(i, 1).goto(top);
+        m.bind(miss);
+        m.iconst(-1).ireturn();
+        c.add_method(m);
+    }
+
+    // modify(id, dv): find and bump val; counts a hit on success
+    {
+        let mut m = MethodAsm::new("modify", 2).synchronized();
+        let (id, dv, k, r) = (0u8, 1u8, 2u8, 3u8);
+        let out = m.new_label();
+        m.iload(id).invokestatic("Db", "find", 1, RetKind::Int).istore(k);
+        m.iload(k).if_lt(out);
+        m.getstatic("Db", "table").iload(k).aaload().astore(r);
+        m.aload(r).aload(r).getfield("Record", "val").iload(dv).iadd()
+            .putfield("Record", "val");
+        m.getstatic("Db", "hits").iconst(1).iadd().putstatic("Db", "hits");
+        m.bind(out);
+        m.ret();
+        c.add_method(m);
+    }
+
+    // remove(id): find; replace with the last record
+    {
+        let mut m = MethodAsm::new("remove", 1).synchronized();
+        let (id, k) = (0u8, 1u8);
+        let out = m.new_label();
+        m.iload(id).invokestatic("Db", "find", 1, RetKind::Int).istore(k);
+        m.iload(k).if_lt(out);
+        m.getstatic("Db", "count").iconst(1).isub().putstatic("Db", "count");
+        m.getstatic("Db", "table").iload(k);
+        m.getstatic("Db", "table").getstatic("Db", "count").aaload();
+        m.aastore();
+        m.bind(out);
+        m.ret();
+        c.add_method(m);
+    }
+
+    // sort(): insertion sort by val then id (stable total order)
+    {
+        let mut m = MethodAsm::new("sort", 0);
+        let (i, j, r) = (0u8, 1u8, 2u8);
+        let top = m.new_label();
+        let done = m.new_label();
+        let inner = m.new_label();
+        let inner_done = m.new_label();
+        let shift = m.new_label();
+        m.iconst(1).istore(i);
+        m.bind(top);
+        m.iload(i).getstatic("Db", "count").if_icmp_ge(done);
+        m.getstatic("Db", "table").iload(i).aaload().astore(r);
+        m.iload(i).iconst(1).isub().istore(j);
+        m.bind(inner);
+        m.iload(j).if_lt(inner_done);
+        // key(table[j]) > key(r) ? shift : done
+        m.getstatic("Db", "table").iload(j).aaload()
+            .invokestatic("Db", "key", 1, RetKind::Int);
+        m.aload(r).invokestatic("Db", "key", 1, RetKind::Int);
+        m.if_icmp_gt(shift);
+        m.goto(inner_done);
+        m.bind(shift);
+        m.getstatic("Db", "table").iload(j).iconst(1).iadd();
+        m.getstatic("Db", "table").iload(j).aaload();
+        m.aastore();
+        m.iinc(j, -1).goto(inner);
+        m.bind(inner_done);
+        m.getstatic("Db", "table").iload(j).iconst(1).iadd().aload(r).aastore();
+        m.iinc(i, 1).goto(top);
+        m.bind(done);
+        m.ret();
+        c.add_method(m);
+    }
+
+    // key(rec) -> sort key
+    {
+        let mut m = MethodAsm::new("key", 1).returns(RetKind::Int);
+        m.aload(0).getfield("Record", "val").iconst(ID_SPACE).imul();
+        m.aload(0).getfield("Record", "id").iadd();
+        m.ireturn();
+        c.add_method(m);
+    }
+
+    // checksum() over the table
+    {
+        let mut m = MethodAsm::new("checksum", 0).returns(RetKind::Int);
+        let (s, i, r) = (0u8, 1u8, 2u8);
+        let top = m.new_label();
+        let done = m.new_label();
+        m.iconst(0).istore(s).iconst(0).istore(i);
+        m.bind(top);
+        m.iload(i).getstatic("Db", "count").if_icmp_ge(done);
+        m.getstatic("Db", "table").iload(i).aaload().astore(r);
+        m.iload(s).iconst(31).imul();
+        m.aload(r).getfield("Record", "id").iadd();
+        m.iconst(7).imul();
+        m.aload(r).getfield("Record", "val").iadd();
+        m.istore(s);
+        m.iinc(i, 1).goto(top);
+        m.bind(done);
+        m.iload(s).ireturn();
+        c.add_method(m);
+    }
+
+    // main: drive the op script
+    {
+        let mut m = MethodAsm::new("main", 0).returns(RetKind::Int);
+        let (k, op, lib) = (0u8, 1u8, 2u8);
+        m.invokestatic("LibInit", "boot", 0, RetKind::Int).istore(lib);
+        m.iconst(cap).newarray(ArrayKind::Ref).putstatic("Db", "table");
+        m.iconst(SEED).invokestatic("Db", "srand", 1, RetKind::Void);
+        let top = m.new_label();
+        let done = m.new_label();
+        let do_add = m.new_label();
+        let do_find = m.new_label();
+        let do_remove = m.new_label();
+        let do_modify = m.new_label();
+        let after = m.new_label();
+        let no_sort = m.new_label();
+        let add_full = m.new_label();
+        m.iconst(0).istore(k);
+        m.bind(top);
+        m.iload(k).iconst(ops).if_icmp_ge(done);
+        m.iconst(4).invokestatic("Db", "next", 1, RetKind::Int).istore(op);
+        m.iload(op).tableswitch(0, after, &[do_add, do_find, do_remove, do_modify]);
+        m.bind(do_add);
+        m.getstatic("Db", "count").iconst(cap).if_icmp_ge(add_full);
+        m.iconst(ID_SPACE).invokestatic("Db", "next", 1, RetKind::Int);
+        m.iconst(1000).invokestatic("Db", "next", 1, RetKind::Int);
+        m.invokestatic("Db", "add", 2, RetKind::Void);
+        m.goto(after);
+        m.bind(add_full);
+        m.iconst(ID_SPACE).invokestatic("Db", "next", 1, RetKind::Int);
+        m.invokestatic("Db", "remove", 1, RetKind::Void);
+        m.goto(after);
+        m.bind(do_find);
+        m.iconst(ID_SPACE).invokestatic("Db", "next", 1, RetKind::Int);
+        m.invokestatic("Db", "find", 1, RetKind::Int);
+        m.pop();
+        m.goto(after);
+        m.bind(do_remove);
+        m.iconst(ID_SPACE).invokestatic("Db", "next", 1, RetKind::Int);
+        m.invokestatic("Db", "remove", 1, RetKind::Void);
+        m.goto(after);
+        m.bind(do_modify);
+        m.iconst(ID_SPACE).invokestatic("Db", "next", 1, RetKind::Int);
+        m.iconst(100).invokestatic("Db", "next", 1, RetKind::Int);
+        m.invokestatic("Db", "modify", 2, RetKind::Void);
+        m.goto(after);
+        m.bind(after);
+        // periodic sort
+        m.iload(k).iconst(63).iand().if_ne(no_sort);
+        m.invokestatic("Db", "sort", 0, RetKind::Void);
+        m.bind(no_sort);
+        m.iinc(k, 1).goto(top);
+        m.bind(done);
+        m.invokestatic("Db", "sort", 0, RetKind::Void);
+        m.invokestatic("Db", "checksum", 0, RetKind::Int);
+        m.getstatic("Db", "hits").iconst(16).ishl().ixor();
+        m.iload(lib).ixor();
+        m.ireturn();
+        c.add_method(m);
+    }
+
+    let mut classes = vec![rec, c];
+    classes.extend(library(size));
+    Program::build(classes, "Db", "main").expect("db assembles")
+}
+
+/// Host-side reference implementation.
+pub fn expected(size: Size) -> i32 {
+    let cap = capacity(size) as usize;
+    let ops = num_ops(size);
+    let mut rng = HostRng::new(SEED);
+    let mut table: Vec<(i32, i32)> = Vec::with_capacity(cap); // (id, val)
+    let mut hits = 0i32;
+
+    let key = |r: (i32, i32)| r.1 * ID_SPACE + r.0;
+    let find = |table: &[(i32, i32)], id: i32| table.iter().position(|r| r.0 == id);
+
+    for k in 0..ops {
+        let op = rng.next(4);
+        match op {
+            0 => {
+                if table.len() < cap {
+                    let id = rng.next(ID_SPACE);
+                    let val = rng.next(1000);
+                    table.push((id, val));
+                } else {
+                    let id = rng.next(ID_SPACE);
+                    if let Some(i) = find(&table, id) {
+                        table.swap_remove(i);
+                    }
+                }
+            }
+            1 => {
+                let _ = rng.next(ID_SPACE);
+            }
+            2 => {
+                let id = rng.next(ID_SPACE);
+                if let Some(i) = find(&table, id) {
+                    table.swap_remove(i);
+                }
+            }
+            _ => {
+                let id = rng.next(ID_SPACE);
+                let dv = rng.next(100);
+                if let Some(i) = find(&table, id) {
+                    table[i].1 += dv;
+                    hits += 1;
+                }
+            }
+        }
+        if k & 63 == 0 {
+            // Insertion sort matches the bytecode's stability.
+            table.sort_by_key(|&r| key(r));
+        }
+    }
+    table.sort_by_key(|&r| key(r));
+
+    let mut s = 0i32;
+    for &(id, val) in &table {
+        s = s.wrapping_mul(31).wrapping_add(id).wrapping_mul(7).wrapping_add(val);
+    }
+    s ^ (hits << 16) ^ host_lib_checksum(size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jrt_trace::CountingSink;
+    use jrt_vm::{Vm, VmConfig};
+
+    #[test]
+    fn matches_reference_in_both_modes() {
+        let p = program(Size::Tiny);
+        let want = expected(Size::Tiny);
+        for cfg in [VmConfig::interpreter(), VmConfig::jit()] {
+            let r = Vm::new(&p, cfg).run(&mut CountingSink::new()).unwrap();
+            assert_eq!(r.exit_value, Some(want));
+        }
+    }
+}

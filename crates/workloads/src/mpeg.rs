@@ -1,0 +1,296 @@
+//! `mpeg` — fixed-point block decoding (the SPEC `222.mpegaudio`
+//! analog).
+//!
+//! Decodes a stream of 8×8 coefficient blocks: dequantization, a
+//! separable integer inverse DCT (O(N²) 1-D transforms with a scaled
+//! cosine table), and saturation. Like the original, virtually all
+//! time is spent in a couple of tight integer kernels that are
+//! re-entered for every block — the paper's best case for method
+//! reuse and JIT amortization.
+
+use crate::common::{add_rng, host_lib_checksum, library, HostRng, Size};
+use jrt_bytecode::{ArrayKind, ClassAsm, MethodAsm, Program, RetKind};
+
+const SEED: i32 = 31;
+/// Cosine table scale (Q11 fixed point).
+const CSCALE: i32 = 2048;
+
+fn num_blocks(size: Size) -> i32 {
+    size.scale(144)
+}
+
+/// The Q11 cosine table `round(cos((2x+1)uπ/16) * 2048)`, u-major.
+fn cos_table() -> [i32; 64] {
+    let mut t = [0i32; 64];
+    for u in 0..8 {
+        for x in 0..8 {
+            let v = ((2.0 * x as f64 + 1.0) * u as f64 * std::f64::consts::PI / 16.0).cos();
+            t[u * 8 + x] = (v * f64::from(CSCALE)).round() as i32;
+        }
+    }
+    t
+}
+
+/// Quantization table: `1 + ((u + v*2) % 12)`.
+fn quant(i: usize) -> i32 {
+    1 + ((i % 8) + (i / 8) * 2) as i32 % 12
+}
+
+/// Builds the program.
+pub fn program(size: Size) -> Program {
+    let blocks = num_blocks(size);
+    let cos = cos_table();
+
+    let mut c = ClassAsm::new("Mpeg");
+    add_rng(&mut c);
+    for f in ["cos", "quant", "blk", "tmp"] {
+        c.add_static_field(f);
+    }
+
+    // gen(): fill blk with sparse coefficients
+    {
+        let mut m = MethodAsm::new("gen", 0);
+        let i = 0u8;
+        let top = m.new_label();
+        let done = m.new_label();
+        let sparse = m.new_label();
+        let store = m.new_label();
+        m.iconst(0).istore(i);
+        m.bind(top);
+        m.iload(i).iconst(64).if_icmp_ge(done);
+        // 1-in-4 coefficients nonzero (plus DC handled below)
+        m.iconst(4).invokestatic("Mpeg", "next", 1, RetKind::Int).if_ne(sparse);
+        m.iconst(512).invokestatic("Mpeg", "next", 1, RetKind::Int).iconst(256).isub();
+        m.goto(store);
+        m.bind(sparse);
+        m.iconst(0);
+        m.bind(store);
+        m.istore(1);
+        m.getstatic("Mpeg", "blk").iload(i).iload(1).iastore();
+        m.iinc(i, 1).goto(top);
+        m.bind(done);
+        // DC always present
+        m.getstatic("Mpeg", "blk").iconst(0);
+        m.iconst(1024).invokestatic("Mpeg", "next", 1, RetKind::Int).iconst(512).isub();
+        m.iastore();
+        m.ret();
+        c.add_method(m);
+    }
+
+    // dequant(): blk[i] *= quant[i]
+    {
+        let mut m = MethodAsm::new("dequant", 0);
+        let i = 0u8;
+        let top = m.new_label();
+        let done = m.new_label();
+        m.iconst(0).istore(i);
+        m.bind(top);
+        m.iload(i).iconst(64).if_icmp_ge(done);
+        m.getstatic("Mpeg", "blk").iload(i);
+        m.getstatic("Mpeg", "blk").iload(i).iaload();
+        m.getstatic("Mpeg", "quant").iload(i).iaload();
+        m.imul().iastore();
+        m.iinc(i, 1).goto(top);
+        m.bind(done);
+        m.ret();
+        c.add_method(m);
+    }
+
+    // idct1d(src, dst, base, stride): dst[base + x*stride] =
+    //   (sum_u cos[u*8+x] * src[base + u*stride]) >> 11
+    {
+        let mut m = MethodAsm::new("idct1d", 4);
+        let (src, dst, base, stride, x, u, acc) = (0u8, 1u8, 2u8, 3u8, 4u8, 5u8, 6u8);
+        let xloop = m.new_label();
+        let xdone = m.new_label();
+        let uloop = m.new_label();
+        let udone = m.new_label();
+        m.iconst(0).istore(x);
+        m.bind(xloop);
+        m.iload(x).iconst(8).if_icmp_ge(xdone);
+        m.iconst(0).istore(acc);
+        m.iconst(0).istore(u);
+        m.bind(uloop);
+        m.iload(u).iconst(8).if_icmp_ge(udone);
+        m.iload(acc);
+        m.getstatic("Mpeg", "cos").iload(u).iconst(8).imul().iload(x).iadd().iaload();
+        m.aload(src).iload(base).iload(u).iload(stride).imul().iadd().iaload();
+        m.imul().iadd().istore(acc);
+        m.iinc(u, 1).goto(uloop);
+        m.bind(udone);
+        m.aload(dst).iload(base).iload(x).iload(stride).imul().iadd();
+        m.iload(acc).iconst(11).ishr();
+        m.iastore();
+        m.iinc(x, 1).goto(xloop);
+        m.bind(xdone);
+        m.ret();
+        c.add_method(m);
+    }
+
+    // idct2d(): rows blk->tmp, then columns tmp->blk, then saturate
+    {
+        let mut m = MethodAsm::new("idct2d", 0);
+        let (r, col, i, v) = (0u8, 1u8, 2u8, 3u8);
+        let rows = m.new_label();
+        let rdone = m.new_label();
+        let cols = m.new_label();
+        let cdone = m.new_label();
+        m.iconst(0).istore(r);
+        m.bind(rows);
+        m.iload(r).iconst(8).if_icmp_ge(rdone);
+        m.getstatic("Mpeg", "blk").getstatic("Mpeg", "tmp");
+        m.iload(r).iconst(8).imul().iconst(1)
+            .invokestatic("Mpeg", "idct1d", 4, RetKind::Void);
+        m.iinc(r, 1).goto(rows);
+        m.bind(rdone);
+        m.iconst(0).istore(col);
+        m.bind(cols);
+        m.iload(col).iconst(8).if_icmp_ge(cdone);
+        m.getstatic("Mpeg", "tmp").getstatic("Mpeg", "blk");
+        m.iload(col).iconst(8)
+            .invokestatic("Mpeg", "idct1d", 4, RetKind::Void);
+        m.iinc(col, 1).goto(cols);
+        m.bind(cdone);
+        // saturation pass to [-256, 255]
+        let sat = m.new_label();
+        let sdone = m.new_label();
+        let clamp_lo = m.new_label();
+        let clamp_hi = m.new_label();
+        let store = m.new_label();
+        m.iconst(0).istore(i);
+        m.bind(sat);
+        m.iload(i).iconst(64).if_icmp_ge(sdone);
+        m.getstatic("Mpeg", "blk").iload(i).iaload().istore(v);
+        m.iload(v).iconst(-256).if_icmp_lt(clamp_lo);
+        m.iload(v).iconst(255).if_icmp_gt(clamp_hi);
+        m.goto(store);
+        m.bind(clamp_lo);
+        m.iconst(-256).istore(v);
+        m.goto(store);
+        m.bind(clamp_hi);
+        m.iconst(255).istore(v);
+        m.bind(store);
+        m.getstatic("Mpeg", "blk").iload(i).iload(v).iastore();
+        m.iinc(i, 1).goto(sat);
+        m.bind(sdone);
+        m.ret();
+        c.add_method(m);
+    }
+
+    // main: decode `blocks` blocks, fold a checksum
+    {
+        let mut m = MethodAsm::new("main", 0).returns(RetKind::Int);
+        let (b, s, i, lib) = (0u8, 1u8, 2u8, 3u8);
+        m.invokestatic("LibInit", "boot", 0, RetKind::Int).istore(lib);
+        m.iconst(64).newarray(ArrayKind::Int).putstatic("Mpeg", "cos");
+        m.iconst(64).newarray(ArrayKind::Int).putstatic("Mpeg", "quant");
+        m.iconst(64).newarray(ArrayKind::Int).putstatic("Mpeg", "blk");
+        m.iconst(64).newarray(ArrayKind::Int).putstatic("Mpeg", "tmp");
+        for (i, &cv) in cos.iter().enumerate() {
+            m.getstatic("Mpeg", "cos").iconst(i as i32).iconst(cv).iastore();
+            m.getstatic("Mpeg", "quant").iconst(i as i32).iconst(quant(i)).iastore();
+        }
+        m.iconst(SEED).invokestatic("Mpeg", "srand", 1, RetKind::Void);
+        let top = m.new_label();
+        let done = m.new_label();
+        let fold = m.new_label();
+        let fdone = m.new_label();
+        m.iconst(0).istore(b).iconst(0).istore(s);
+        m.bind(top);
+        m.iload(b).iconst(blocks).if_icmp_ge(done);
+        m.invokestatic("Mpeg", "gen", 0, RetKind::Void);
+        m.invokestatic("Mpeg", "dequant", 0, RetKind::Void);
+        m.invokestatic("Mpeg", "idct2d", 0, RetKind::Void);
+        m.iconst(0).istore(i);
+        m.bind(fold);
+        m.iload(i).iconst(64).if_icmp_ge(fdone);
+        m.iload(s).iconst(31).imul();
+        m.getstatic("Mpeg", "blk").iload(i).iaload().iadd();
+        m.istore(s);
+        m.iinc(i, 1).goto(fold);
+        m.bind(fdone);
+        m.iinc(b, 1).goto(top);
+        m.bind(done);
+        m.iload(s).iload(lib).ixor().ireturn();
+        c.add_method(m);
+    }
+
+    let mut classes = vec![c];
+    classes.extend(library(size));
+    Program::build(classes, "Mpeg", "main").expect("mpeg assembles")
+}
+
+/// Host-side reference implementation.
+pub fn expected(size: Size) -> i32 {
+    let blocks = num_blocks(size);
+    let cos = cos_table();
+    let mut rng = HostRng::new(SEED);
+    let mut s = 0i32;
+
+    for _ in 0..blocks {
+        let mut blk = [0i32; 64];
+        for slot in blk.iter_mut() {
+            *slot = if rng.next(4) == 0 {
+                rng.next(512) - 256
+            } else {
+                0
+            };
+        }
+        blk[0] = rng.next(1024) - 512;
+        for (i, slot) in blk.iter_mut().enumerate() {
+            *slot = slot.wrapping_mul(quant(i));
+        }
+        // rows
+        let mut tmp = [0i32; 64];
+        for r in 0..8 {
+            idct1d(&cos, &blk, &mut tmp, r * 8, 1);
+        }
+        // cols
+        let mut out = [0i32; 64];
+        for c in 0..8 {
+            idct1d(&cos, &tmp, &mut out, c, 8);
+        }
+        for v in out.iter_mut() {
+            *v = (*v).clamp(-256, 255);
+        }
+        for &v in &out {
+            s = s.wrapping_mul(31).wrapping_add(v);
+        }
+    }
+    s ^ host_lib_checksum(size)
+}
+
+fn idct1d(cos: &[i32; 64], src: &[i32; 64], dst: &mut [i32; 64], base: usize, stride: usize) {
+    for x in 0..8 {
+        let mut acc = 0i32;
+        for u in 0..8 {
+            acc = acc.wrapping_add(cos[u * 8 + x].wrapping_mul(src[base + u * stride]));
+        }
+        dst[base + x * stride] = acc >> 11;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jrt_trace::CountingSink;
+    use jrt_vm::{Vm, VmConfig};
+
+    #[test]
+    fn matches_reference_in_both_modes() {
+        let p = program(Size::Tiny);
+        let want = expected(Size::Tiny);
+        for cfg in [VmConfig::interpreter(), VmConfig::jit()] {
+            let r = Vm::new(&p, cfg).run(&mut CountingSink::new()).unwrap();
+            assert_eq!(r.exit_value, Some(want));
+        }
+    }
+
+    #[test]
+    fn cos_table_is_symmetric_dc() {
+        let t = cos_table();
+        for (x, &v) in t.iter().take(8).enumerate() {
+            assert_eq!(v, CSCALE, "u=0 row is flat at x={x}");
+        }
+    }
+}

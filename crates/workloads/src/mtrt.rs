@@ -1,0 +1,354 @@
+//! `mtrt` — a two-thread fixed-point ray tracer (the SPEC `227.mtrt`
+//! analog, the suite's only multithreaded program).
+//!
+//! Two worker threads render disjoint halves of a small sphere scene
+//! into a shared framebuffer (integer math throughout, with a
+//! bit-by-bit integer square root), bumping a *synchronized* progress
+//! counter per row — which makes `mtrt` the benchmark that exercises
+//! monitor contention (case (d) of the Section 5 classification),
+//! exactly as in the paper.
+
+use crate::common::{add_rng, host_lib_checksum, library, sys_class, HostRng, Size};
+use jrt_bytecode::{ArrayKind, ClassAsm, MethodAsm, Program, RetKind};
+
+const SEED: i32 = 41;
+const NSPHERES: i32 = 5;
+const HEIGHT: i32 = 24;
+
+fn width(size: Size) -> i32 {
+    size.scale(96)
+}
+
+/// Builds the program.
+pub fn program(size: Size) -> Program {
+    let w = width(size);
+
+    // Scene holds the spheres and framebuffer as statics, the RNG,
+    // the intersection math, and the synchronized progress counter.
+    let mut scene = ClassAsm::new("Scene");
+    add_rng(&mut scene);
+    for f in ["cx", "cy", "cz", "cr", "fb", "progress"] {
+        scene.add_static_field(f);
+    }
+
+    // bump(): synchronized progress counter — the contended monitor.
+    {
+        let mut m = MethodAsm::new("bump", 0).synchronized();
+        m.getstatic("Scene", "progress").iconst(1).iadd().putstatic("Scene", "progress");
+        m.ret();
+        scene.add_method(m);
+    }
+
+    // isqrt(v): bit-by-bit integer square root
+    {
+        let mut m = MethodAsm::new("isqrt", 1).returns(RetKind::Int);
+        let (v, res, bit) = (0u8, 1u8, 2u8);
+        let shrink = m.new_label();
+        let shrink_top = m.new_label();
+        let loop_top = m.new_label();
+        let done = m.new_label();
+        let no_sub = m.new_label();
+        let cont = m.new_label();
+        let nonpos = m.new_label();
+        m.iload(v).if_le(nonpos);
+        m.iconst(0).istore(res);
+        m.iconst(1 << 30).istore(bit);
+        m.bind(shrink_top);
+        m.iload(bit).iload(v).if_icmp_le(shrink);
+        m.iload(bit).iconst(2).iushr().istore(bit);
+        m.goto(shrink_top);
+        m.bind(shrink);
+        m.bind(loop_top);
+        m.iload(bit).if_eq(done);
+        m.iload(v).iload(res).iload(bit).iadd().if_icmp_lt(no_sub);
+        m.iload(v).iload(res).iload(bit).iadd().isub().istore(v);
+        m.iload(res).iconst(1).iushr().iload(bit).iadd().istore(res);
+        m.goto(cont);
+        m.bind(no_sub);
+        m.iload(res).iconst(1).iushr().istore(res);
+        m.bind(cont);
+        m.iload(bit).iconst(2).iushr().istore(bit);
+        m.goto(loop_top);
+        m.bind(done);
+        m.iload(res).ireturn();
+        m.bind(nonpos);
+        m.iconst(0).ireturn();
+        scene.add_method(m);
+    }
+
+    // trace(px, py) -> pixel value
+    //
+    // Ray from origin (0,0,-200) with direction (px-W/2, py-H/2, 32);
+    // nearest sphere by discriminant test; shade from the
+    // intersection parameter, background is a cheap hash.
+    {
+        let mut m = MethodAsm::new("trace", 2).returns(RetKind::Int);
+        let (px, py, dx, dy, dz, best, hit, s, ox, oy, oz, b, cc, disc, t) =
+            (0u8, 1u8, 2u8, 3u8, 4u8, 5u8, 6u8, 7u8, 8u8, 9u8, 10u8, 11u8, 12u8, 13u8, 14u8);
+        let sloop = m.new_label();
+        let sdone = m.new_label();
+        let snext = m.new_label();
+        let take = m.new_label();
+        let background = m.new_label();
+        m.iload(px).iconst(w / 2).isub().istore(dx);
+        m.iload(py).iconst(HEIGHT / 2).isub().istore(dy);
+        m.iconst(32).istore(dz);
+        m.iconst(1 << 30).istore(best);
+        m.iconst(-1).istore(hit);
+        m.iconst(0).istore(s);
+        m.bind(sloop);
+        m.iload(s).iconst(NSPHERES).if_icmp_ge(sdone);
+        // oc = center - origin ; origin = (0, 0, -200)
+        m.getstatic("Scene", "cx").iload(s).iaload().istore(ox);
+        m.getstatic("Scene", "cy").iload(s).iaload().istore(oy);
+        m.getstatic("Scene", "cz").iload(s).iaload().iconst(200).iadd().istore(oz);
+        // b = oc . dir
+        m.iload(ox).iload(dx).imul();
+        m.iload(oy).iload(dy).imul().iadd();
+        m.iload(oz).iload(dz).imul().iadd();
+        m.istore(b);
+        m.iload(b).if_le(snext); // sphere behind the ray
+        // cc = |oc|^2 - r^2
+        m.iload(ox).iload(ox).imul();
+        m.iload(oy).iload(oy).imul().iadd();
+        m.iload(oz).iload(oz).imul().iadd();
+        m.getstatic("Scene", "cr").iload(s).iaload().dup().imul().isub();
+        m.istore(cc);
+        // disc = b*b/|d|^2 - cc   (scaled discriminant test)
+        m.iload(b).iload(b).imul();
+        m.iload(dx).iload(dx).imul()
+            .iload(dy).iload(dy).imul().iadd()
+            .iload(dz).iload(dz).imul().iadd();
+        m.idiv();
+        m.iload(cc).isub();
+        m.istore(disc);
+        m.iload(disc).if_le(snext);
+        // t = b - isqrt(disc * |d|^2-ish): use t = b - isqrt(disc)*8
+        m.iload(b);
+        m.iload(disc).invokestatic("Scene", "isqrt", 1, RetKind::Int).iconst(8).imul();
+        m.isub().istore(t);
+        m.iload(t).if_le(snext);
+        m.iload(t).iload(best).if_icmp_ge(snext);
+        m.goto(take);
+        m.bind(take);
+        m.iload(t).istore(best);
+        m.iload(s).istore(hit);
+        m.bind(snext);
+        m.iinc(s, 1).goto(sloop);
+        m.bind(sdone);
+        m.iload(hit).if_lt(background);
+        // shade: mix sphere id and depth
+        m.iload(hit).iconst(1).iadd().iconst(40).imul();
+        m.iload(best).iconst(10).ishr().iconst(63).iand().iadd();
+        m.iconst(255).iand();
+        m.ireturn();
+        m.bind(background);
+        m.iload(px).iload(py).ixor().iconst(15).iand();
+        m.ireturn();
+        scene.add_method(m);
+    }
+
+    // Worker: renders rows [from, to)
+    let mut worker = ClassAsm::new("Worker");
+    worker.add_field("from");
+    worker.add_field("to");
+    {
+        let mut m = MethodAsm::new_instance("run", 0);
+        let (y, x) = (1u8, 2u8);
+        let yloop = m.new_label();
+        let ydone = m.new_label();
+        let xloop = m.new_label();
+        let xdone = m.new_label();
+        m.aload(0).getfield("Worker", "from").istore(y);
+        m.bind(yloop);
+        m.iload(y).aload(0).getfield("Worker", "to").if_icmp_ge(ydone);
+        m.iconst(0).istore(x);
+        m.bind(xloop);
+        m.iload(x).iconst(w).if_icmp_ge(xdone);
+        m.getstatic("Scene", "fb").iload(y).iconst(w).imul().iload(x).iadd();
+        m.iload(x).iload(y).invokestatic("Scene", "trace", 2, RetKind::Int);
+        m.iastore();
+        m.iinc(x, 1).goto(xloop);
+        m.bind(xdone);
+        m.invokestatic("Scene", "bump", 0, RetKind::Void);
+        m.iinc(y, 1).goto(yloop);
+        m.bind(ydone);
+        m.ret();
+        worker.add_method(m);
+    }
+
+    // Main: build scene, spawn two workers, join, checksum.
+    let mut main = ClassAsm::new("Main");
+    {
+        let mut m = MethodAsm::new("main", 0).returns(RetKind::Int);
+        let (w0, w1, t0, t1, s, i, lib) = (0u8, 1u8, 2u8, 3u8, 4u8, 5u8, 6u8);
+        m.invokestatic("LibInit", "boot", 0, RetKind::Int).istore(lib);
+        for f in ["cx", "cy", "cz", "cr"] {
+            m.iconst(NSPHERES).newarray(ArrayKind::Int).putstatic("Scene", f);
+        }
+        m.iconst(w * HEIGHT).newarray(ArrayKind::Int).putstatic("Scene", "fb");
+        m.iconst(SEED).invokestatic("Scene", "srand", 1, RetKind::Void);
+        let gen = m.new_label();
+        let gdone = m.new_label();
+        m.iconst(0).istore(i);
+        m.bind(gen);
+        m.iload(i).iconst(NSPHERES).if_icmp_ge(gdone);
+        m.getstatic("Scene", "cx").iload(i)
+            .iconst(200).invokestatic("Scene", "next", 1, RetKind::Int).iconst(100).isub()
+            .iastore();
+        m.getstatic("Scene", "cy").iload(i)
+            .iconst(200).invokestatic("Scene", "next", 1, RetKind::Int).iconst(100).isub()
+            .iastore();
+        m.getstatic("Scene", "cz").iload(i)
+            .iconst(160).invokestatic("Scene", "next", 1, RetKind::Int).iconst(40).iadd()
+            .iastore();
+        m.getstatic("Scene", "cr").iload(i)
+            .iconst(30).invokestatic("Scene", "next", 1, RetKind::Int).iconst(10).iadd()
+            .iastore();
+        m.iinc(i, 1).goto(gen);
+        m.bind(gdone);
+        // two workers over the top/bottom halves
+        m.new_obj("Worker").astore(w0);
+        m.aload(w0).iconst(0).putfield("Worker", "from");
+        m.aload(w0).iconst(HEIGHT / 2).putfield("Worker", "to");
+        m.new_obj("Worker").astore(w1);
+        m.aload(w1).iconst(HEIGHT / 2).putfield("Worker", "from");
+        m.aload(w1).iconst(HEIGHT).putfield("Worker", "to");
+        m.aload(w0).invokestatic("Sys", "spawn", 1, RetKind::Int).istore(t0);
+        m.aload(w1).invokestatic("Sys", "spawn", 1, RetKind::Int).istore(t1);
+        m.iload(t0).invokestatic("Sys", "join", 1, RetKind::Void);
+        m.iload(t1).invokestatic("Sys", "join", 1, RetKind::Void);
+        // checksum framebuffer
+        let fold = m.new_label();
+        let fdone = m.new_label();
+        m.iconst(0).istore(s).iconst(0).istore(i);
+        m.bind(fold);
+        m.iload(i).iconst(w * HEIGHT).if_icmp_ge(fdone);
+        m.iload(s).iconst(31).imul();
+        m.getstatic("Scene", "fb").iload(i).iaload().iadd();
+        m.istore(s);
+        m.iinc(i, 1).goto(fold);
+        m.bind(fdone);
+        m.iload(s).getstatic("Scene", "progress").iconst(24).ishl().ixor();
+        m.iload(lib).ixor();
+        m.ireturn();
+        main.add_method(m);
+    }
+
+    let mut classes = vec![scene, worker, main, sys_class()];
+    classes.extend(library(size));
+    Program::build(classes, "Main", "main").expect("mtrt assembles")
+}
+
+/// Host-side reference implementation (worker results are independent
+/// of scheduling, so the checksum is deterministic).
+pub fn expected(size: Size) -> i32 {
+    let w = width(size);
+    let mut rng = HostRng::new(SEED);
+    let n = NSPHERES as usize;
+    let (mut cx, mut cy, mut cz, mut cr) = (vec![0; n], vec![0; n], vec![0; n], vec![0; n]);
+    for i in 0..n {
+        cx[i] = rng.next(200) - 100;
+        cy[i] = rng.next(200) - 100;
+        cz[i] = rng.next(160) + 40;
+        cr[i] = rng.next(30) + 10;
+    }
+
+    let isqrt = |v: i32| -> i32 {
+        if v <= 0 {
+            return 0;
+        }
+        let (mut v, mut res, mut bit) = (v, 0i32, 1i32 << 30);
+        while bit > v {
+            bit = ((bit as u32) >> 2) as i32;
+        }
+        while bit != 0 {
+            if v >= res + bit {
+                v -= res + bit;
+                res = (((res as u32) >> 1) as i32) + bit;
+            } else {
+                res = ((res as u32) >> 1) as i32;
+            }
+            bit = ((bit as u32) >> 2) as i32;
+        }
+        res
+    };
+
+    let trace = |px: i32, py: i32| -> i32 {
+        let dx = px - w / 2;
+        let dy = py - HEIGHT / 2;
+        let dz = 32;
+        let mut best = 1 << 30;
+        let mut hit = -1;
+        for s in 0..n {
+            let ox = cx[s];
+            let oy = cy[s];
+            let oz = cz[s] + 200;
+            let b = ox
+                .wrapping_mul(dx)
+                .wrapping_add(oy.wrapping_mul(dy))
+                .wrapping_add(oz.wrapping_mul(dz));
+            if b <= 0 {
+                continue;
+            }
+            let cc = ox
+                .wrapping_mul(ox)
+                .wrapping_add(oy.wrapping_mul(oy))
+                .wrapping_add(oz.wrapping_mul(oz))
+                .wrapping_sub(cr[s].wrapping_mul(cr[s]));
+            let d2 = dx
+                .wrapping_mul(dx)
+                .wrapping_add(dy.wrapping_mul(dy))
+                .wrapping_add(dz.wrapping_mul(dz));
+            let disc = b.wrapping_mul(b).wrapping_div(d2).wrapping_sub(cc);
+            if disc <= 0 {
+                continue;
+            }
+            let t = b - isqrt(disc) * 8;
+            if t <= 0 || t >= best {
+                continue;
+            }
+            best = t;
+            hit = s as i32;
+        }
+        if hit >= 0 {
+            ((hit + 1) * 40 + ((best >> 10) & 63)) & 255
+        } else {
+            (px ^ py) & 15
+        }
+    };
+
+    let mut s = 0i32;
+    for i in 0..(w * HEIGHT) {
+        let (x, y) = (i % w, i / w);
+        s = s.wrapping_mul(31).wrapping_add(trace(x, y));
+    }
+    s ^ (HEIGHT << 24) ^ host_lib_checksum(size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jrt_trace::CountingSink;
+    use jrt_vm::{SyncKind, Vm, VmConfig};
+
+    #[test]
+    fn matches_reference_in_both_modes() {
+        let p = program(Size::Tiny);
+        let want = expected(Size::Tiny);
+        for cfg in [VmConfig::interpreter(), VmConfig::jit()] {
+            let r = Vm::new(&p, cfg).run(&mut CountingSink::new()).unwrap();
+            assert_eq!(r.exit_value, Some(want));
+            assert_eq!(r.counters.threads_created, 3);
+        }
+    }
+
+    #[test]
+    fn produces_monitor_traffic() {
+        let p = program(Size::Tiny);
+        let r = Vm::new(&p, VmConfig::jit().with_sync(SyncKind::ThinLock))
+            .run(&mut CountingSink::new())
+            .unwrap();
+        assert_eq!(r.sync_stats.enters(), u64::from(HEIGHT as u32));
+    }
+}

@@ -1,0 +1,54 @@
+//! Adaptive-JIT policy study: the design space Section 3 of the paper
+//! opens (when, or whether, to translate a method).
+//!
+//! Compares four policies on every benchmark:
+//! * pure interpretation,
+//! * translate on first invocation (the Kaffe/JDK-1.2 heuristic),
+//! * count-threshold translation (the HotSpot-style descendant of the
+//!   paper's question),
+//! * the paper's per-method oracle (`opt`).
+//!
+//! ```sh
+//! cargo run --release --example adaptive_jit [tiny|s1]
+//! ```
+
+use javart::experiments::runner::derive_oracle;
+use javart::trace::CountingSink;
+use javart::vm::{ExecMode, JitPolicy, Vm, VmConfig};
+use javart::workloads::{suite_with_hello, Size};
+
+fn main() {
+    let size = match std::env::args().nth(1).as_deref() {
+        Some("s1") => Size::S1,
+        _ => Size::Tiny,
+    };
+    println!(
+        "{:10} {:>12} {:>12} {:>12} {:>12} {:>10}",
+        "benchmark", "interp", "jit-first", "thresh(8)", "opt", "opt-saves"
+    );
+    for spec in suite_with_hello() {
+        let program = (spec.build)(size);
+        let run = |cfg: VmConfig| -> u64 {
+            let mut sink = CountingSink::new();
+            let r = Vm::new(&program, cfg).run(&mut sink).expect("clean run");
+            assert_eq!(r.exit_value, Some((spec.expected)(size)), "{}", spec.name);
+            sink.total()
+        };
+        let interp = run(VmConfig::interpreter());
+        let jit = run(VmConfig::jit());
+        let thresh = run(VmConfig {
+            mode: ExecMode::Jit(JitPolicy::Threshold(8)),
+            ..VmConfig::default()
+        });
+        let opt = run(VmConfig::oracle(derive_oracle(&program)));
+        println!(
+            "{:10} {:>12} {:>12} {:>12} {:>12} {:>9.1}%",
+            spec.name,
+            interp,
+            jit,
+            thresh,
+            opt,
+            (1.0 - opt as f64 / jit as f64) * 100.0
+        );
+    }
+}

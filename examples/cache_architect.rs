@@ -1,0 +1,64 @@
+//! Cache-architect study: sweep geometry for a JVM workload the way
+//! Section 4.3 of the paper does, all from one execution per mode
+//! (the trace fans out to every configuration).
+//!
+//! ```sh
+//! cargo run --release --example cache_architect [tiny|s1]
+//! ```
+
+use javart::cache::{CacheConfig, SplitCaches};
+use javart::vm::{Vm, VmConfig};
+use javart::workloads::{db, Size};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let size = match std::env::args().nth(1).as_deref() {
+        Some("s1") => Size::S1,
+        _ => Size::Tiny,
+    };
+    let program = db::program(size);
+
+    for (label, cfg) in [
+        ("interp", VmConfig::interpreter()),
+        ("jit", VmConfig::jit()),
+    ] {
+        // One run drives 8 cache configurations: a size sweep and the
+        // paper's associativity sweep.
+        let sizes = [8 * 1024u64, 16 * 1024, 32 * 1024, 64 * 1024];
+        let mut sweep: Vec<SplitCaches> = sizes
+            .iter()
+            .map(|&s| SplitCaches::new(CacheConfig::new(s, 32, 2), CacheConfig::new(s, 32, 4)))
+            .collect();
+        let assoc: Vec<SplitCaches> = [1u32, 2, 4, 8]
+            .iter()
+            .map(|&a| {
+                SplitCaches::new(
+                    CacheConfig::paper_assoc_sweep(a),
+                    CacheConfig::paper_assoc_sweep(a),
+                )
+            })
+            .collect();
+        let mut sinks = (std::mem::take(&mut sweep), assoc);
+        let r = Vm::new(&program, cfg).run(&mut sinks)?;
+        assert_eq!(r.exit_value, Some(db::expected(size)));
+
+        println!("-- db, {label} mode --");
+        println!("  capacity sweep (32B lines):");
+        for (s, caches) in sizes.iter().zip(&sinks.0) {
+            println!(
+                "    {:>3}K: I-miss {:6.3}%  D-miss {:6.3}%",
+                s / 1024,
+                caches.icache().stats().miss_rate() * 100.0,
+                caches.dcache().stats().miss_rate() * 100.0
+            );
+        }
+        println!("  associativity sweep (8K, 32B):");
+        for (a, caches) in [1, 2, 4, 8].iter().zip(&sinks.1) {
+            println!(
+                "    {a}-way: I-miss {:6.3}%  D-miss {:6.3}%",
+                caches.icache().stats().miss_rate() * 100.0,
+                caches.dcache().stats().miss_rate() * 100.0
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! Quickstart: assemble a small program, run it under both engines,
+//! and watch the architectural difference.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use javart::bytecode::{ClassAsm, MethodAsm, Program, RetKind};
+use javart::cache::SplitCaches;
+use javart::trace::InstMix;
+use javart::vm::{Vm, VmConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A method that sums the first 10,000 integers, invoked once per
+    // outer iteration so the JIT can amortize its translation.
+    let mut class = ClassAsm::new("Main");
+
+    let mut sum = MethodAsm::new("sum", 1).returns(RetKind::Int);
+    let (n, acc, i) = (0u8, 1u8, 2u8);
+    let top = sum.new_label();
+    let done = sum.new_label();
+    sum.iconst(0).istore(acc).iconst(1).istore(i);
+    sum.bind(top);
+    sum.iload(i).iload(n).if_icmp_gt(done);
+    sum.iload(acc).iload(i).iadd().istore(acc);
+    sum.iinc(i, 1).goto(top);
+    sum.bind(done);
+    sum.iload(acc).ireturn();
+    class.add_method(sum);
+
+    let mut main = MethodAsm::new("main", 0).returns(RetKind::Int);
+    let (k, last) = (0u8, 1u8);
+    let top = main.new_label();
+    let done = main.new_label();
+    main.iconst(0).istore(k);
+    main.bind(top);
+    main.iload(k).iconst(50).if_icmp_ge(done);
+    main.iconst(10_000)
+        .invokestatic("Main", "sum", 1, RetKind::Int)
+        .istore(last);
+    main.iinc(k, 1).goto(top);
+    main.bind(done);
+    main.iload(last).ireturn();
+    class.add_method(main);
+
+    let program = Program::build(vec![class], "Main", "main")?;
+
+    for (label, cfg) in [
+        ("interpreter", VmConfig::interpreter()),
+        ("JIT        ", VmConfig::jit()),
+    ] {
+        let mut sinks = (InstMix::new(), SplitCaches::paper_l1());
+        let result = Vm::new(&program, cfg).run(&mut sinks)?;
+        let (mix, caches) = sinks;
+        println!(
+            "{label}: result={} native-insts={} mem={:5.1}% indirect-of-transfers={:5.1}% \
+             I-miss={:.3}% D-miss={:.3}%",
+            result.exit_value.unwrap_or(-1),
+            mix.total(),
+            mix.memory_fraction() * 100.0,
+            mix.indirect_share_of_transfers() * 100.0,
+            caches.icache().stats().miss_rate() * 100.0,
+            caches.dcache().stats().miss_rate() * 100.0,
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! Synchronization shoot-out: the Section 5 comparison, live.
+//!
+//! Runs the multithreaded ray tracer (the suite's contended workload)
+//! and the `db` record store (synchronized `Vector`-style container)
+//! under all three monitor implementations and prints the case mix
+//! and cost comparison.
+//!
+//! ```sh
+//! cargo run --release --example sync_shootout [tiny|s1]
+//! ```
+
+use javart::sync::SyncCase;
+use javart::trace::NullSink;
+use javart::vm::{SyncKind, Vm, VmConfig};
+use javart::workloads::{db, mtrt, Size};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let size = match std::env::args().nth(1).as_deref() {
+        Some("s1") => Size::S1,
+        _ => Size::Tiny,
+    };
+
+    for (name, program, expected) in [
+        ("mtrt", mtrt::program(size), mtrt::expected(size)),
+        ("db", db::program(size), db::expected(size)),
+    ] {
+        println!("== {name} ==");
+        let mut baseline = 0u64;
+        for kind in SyncKind::ALL {
+            let r = Vm::new(&program, VmConfig::jit().with_sync(kind)).run(&mut NullSink)?;
+            assert_eq!(r.exit_value, Some(expected));
+            let s = r.sync_stats;
+            if kind == SyncKind::MonitorCache {
+                baseline = s.total_cycles;
+            }
+            println!(
+                "  {:13?}: enters={:7} cycles={:9} cyc/op={:6.1} speedup={:4.2}x  \
+                 cases a/b/c/d = {:.0}%/{:.0}%/{:.0}%/{:.0}%",
+                kind,
+                s.enters(),
+                s.total_cycles,
+                s.cycles_per_op(),
+                baseline as f64 / s.total_cycles as f64,
+                s.case_fraction(SyncCase::Unlocked) * 100.0,
+                s.case_fraction(SyncCase::ShallowRecursive) * 100.0,
+                s.case_fraction(SyncCase::DeepRecursive) * 100.0,
+                s.case_fraction(SyncCase::Contended) * 100.0,
+            );
+        }
+    }
+    Ok(())
+}

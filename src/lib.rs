@@ -1,0 +1,68 @@
+//! `javart` — a research reproduction of *Architectural Issues in
+//! Java Runtime Systems* (HPCA 2000).
+//!
+//! The paper characterizes how the two dominant JVM execution
+//! techniques of the era — bytecode **interpretation** and
+//! **just-in-time translation** — interact with processor hardware:
+//! instruction mix, branch prediction, cache behaviour,
+//! instruction-level parallelism, and monitor synchronization, using
+//! SpecJVM98 traces collected with Shade on UltraSPARC machines.
+//!
+//! This workspace rebuilds that entire experimental apparatus in Rust:
+//!
+//! * [`bytecode`] — a miniature JVM instruction set, class format,
+//!   assembler, and verifier;
+//! * [`vm`] — the runtime: heap + GC, green threads, lazy class
+//!   loading, an interpreter engine and a JIT translation engine that
+//!   share one semantic core while emitting the distinct SPARC-like
+//!   native instruction traces a real machine would execute, plus the
+//!   paper's translate-or-interpret policies (including the Figure 1
+//!   oracle);
+//! * [`trace`] — the synthetic Shade: the native-instruction event
+//!   model and trace-sink plumbing;
+//! * [`cache`], [`bpred`], [`ilp`] — the architectural simulators
+//!   (set-associative caches, the four Table 2 branch predictors, a
+//!   trace-driven out-of-order core);
+//! * [`sync`] — the Section 5 monitor substrates: JDK 1.1.6 monitor
+//!   cache, Bacon thin locks, and the proposed 1-bit lock;
+//! * [`workloads`] — deterministic SpecJVM98-analog programs written
+//!   in the bytecode ISA, self-checked against host-side reference
+//!   implementations;
+//! * [`experiments`] — one driver per paper table/figure and the
+//!   EXPERIMENTS.md report generator.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use javart::vm::{Vm, VmConfig};
+//! use javart::workloads::{compress, Size};
+//! use javart::trace::CountingSink;
+//! use javart::cache::SplitCaches;
+//!
+//! // Build the LZW benchmark and run it under the JIT while a
+//! // cache model watches the native trace.
+//! let program = compress::program(Size::Tiny);
+//! let mut sinks = (CountingSink::new(), SplitCaches::paper_l1());
+//! let result = Vm::new(&program, VmConfig::jit()).run(&mut sinks)?;
+//!
+//! assert_eq!(result.exit_value, Some(compress::expected(Size::Tiny)));
+//! println!(
+//!     "{} native instructions, D-miss rate {:.2}%",
+//!     sinks.0.total(),
+//!     sinks.1.dcache().stats().miss_rate() * 100.0
+//! );
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use jrt_bpred as bpred;
+pub use jrt_bytecode as bytecode;
+pub use jrt_cache as cache;
+pub use jrt_experiments as experiments;
+pub use jrt_ilp as ilp;
+pub use jrt_sync as sync;
+pub use jrt_trace as trace;
+pub use jrt_vm as vm;
+pub use jrt_workloads as workloads;

@@ -1,0 +1,188 @@
+//! Cross-crate invariants behind the paper's headline claims, checked
+//! end-to-end on the real workloads (quick `Tiny` inputs; the S1
+//! numbers live in EXPERIMENTS.md).
+
+use javart::cache::SplitCaches;
+use javart::trace::{CountingSink, InstMix, Phase};
+use javart::vm::{Vm, VmConfig};
+use javart::workloads::{suite, suite_with_hello, Size};
+
+/// Section 3: translated code executes far fewer native instructions
+/// than interpretation of the same bytecodes. (At `Tiny` scale the
+/// one-shot translation cost can exceed the total saving — that is
+/// Figure 1's whole point — so the scale-invariant comparison is on
+/// the execution portions.)
+#[test]
+fn translated_code_beats_interpretation() {
+    for spec in suite_with_hello() {
+        let program = (spec.build)(Size::Tiny);
+        let mut i = CountingSink::new();
+        Vm::new(&program, VmConfig::interpreter()).run(&mut i).unwrap();
+        let mut j = CountingSink::new();
+        Vm::new(&program, VmConfig::jit()).run(&mut j).unwrap();
+        let interp_exec = i.total() - i.phase(Phase::ClassLoad);
+        let jit_exec = j.total() - j.phase(Phase::ClassLoad) - j.phase(Phase::Translate);
+        assert!(
+            interp_exec > 2 * jit_exec,
+            "{}: interp-exec {} vs jit-exec {}",
+            spec.name,
+            interp_exec,
+            jit_exec
+        );
+    }
+}
+
+/// Section 3: translation happens once per method — re-runs of hot
+/// methods execute from the code cache (no Translate-phase growth
+/// proportional to invocations).
+#[test]
+fn translation_is_one_shot() {
+    // mpeg decodes many blocks through the same methods: translate
+    // instructions must be a small fraction.
+    let program = javart::workloads::mpeg::program(Size::Tiny);
+    let mut sink = CountingSink::new();
+    let r = Vm::new(&program, VmConfig::jit()).run(&mut sink).unwrap();
+    assert!(r.counters.methods_translated > 0);
+    let translate_frac = sink.phase(Phase::Translate) as f64 / sink.total() as f64;
+    assert!(
+        translate_frac < 0.5,
+        "mpeg should amortize translation, got {translate_frac}"
+    );
+}
+
+/// Section 4.1: the interpreter's memory-access share exceeds the
+/// JIT's (stack-in-memory vs. stack-in-registers) on every benchmark.
+#[test]
+fn interpreter_memory_share_exceeds_jit_everywhere() {
+    for spec in suite() {
+        let program = (spec.build)(Size::Tiny);
+        let mut i = InstMix::new();
+        Vm::new(&program, VmConfig::interpreter()).run(&mut i).unwrap();
+        let mut j = InstMix::new();
+        Vm::new(&program, VmConfig::jit()).run(&mut j).unwrap();
+        assert!(
+            i.memory_fraction() > j.memory_fraction(),
+            "{}: {} vs {}",
+            spec.name,
+            i.memory_fraction(),
+            j.memory_fraction()
+        );
+    }
+}
+
+/// Section 4.3: bytecode is data for the interpreter — its D-cache
+/// sees class-area reads; the JIT's post-translation execution reads
+/// bytecode only during translation.
+#[test]
+fn bytecode_is_data_only_for_the_interpreter() {
+    use javart::trace::Region;
+
+    let program = javart::workloads::jack::program(Size::Tiny);
+
+    let mut caches = SplitCaches::paper_l1();
+    Vm::new(&program, VmConfig::interpreter()).run(&mut caches).unwrap();
+    let interp_class_reads = caches.dcache().region_stats(Region::ClassArea).reads;
+
+    let mut caches = SplitCaches::paper_l1();
+    Vm::new(&program, VmConfig::jit()).run(&mut caches).unwrap();
+    let jit_class_reads = caches.dcache().region_stats(Region::ClassArea).reads;
+
+    assert!(
+        interp_class_reads > 3 * jit_class_reads,
+        "interp {interp_class_reads} vs jit {jit_class_reads}"
+    );
+}
+
+/// Section 4.3: JIT-mode code-cache traffic exists and is written
+/// exactly once per generated word (installation), then only fetched.
+#[test]
+fn code_cache_written_by_translation_only() {
+    use javart::trace::Region;
+
+    let program = javart::workloads::db::program(Size::Tiny);
+    let mut caches = SplitCaches::paper_l1();
+    Vm::new(&program, VmConfig::jit()).run(&mut caches).unwrap();
+    let cc = caches.dcache().region_stats(Region::CodeCache);
+    assert!(cc.writes > 0, "installation writes the code cache");
+    // The only data reads of the code cache are embedded jump tables
+    // (tableswitch) — true double-caching, tiny next to installation.
+    assert!(
+        cc.reads * 10 < cc.writes,
+        "code-cache data reads {} should be rare vs writes {}",
+        cc.reads,
+        cc.writes
+    );
+    // And the I-cache fetches from the code cache.
+    let icc = caches.icache().region_stats(Region::CodeCache);
+    assert!(icc.reads > 0);
+}
+
+/// Table 1: the JIT's memory overhead comes from the code cache and
+/// translator buffers; the interpreter never allocates either.
+#[test]
+fn footprint_delta_is_exactly_the_translator_side() {
+    for spec in suite() {
+        let program = (spec.build)(Size::Tiny);
+        let i = Vm::new(&program, VmConfig::interpreter())
+            .run(&mut CountingSink::new())
+            .unwrap();
+        let j = Vm::new(&program, VmConfig::jit())
+            .run(&mut CountingSink::new())
+            .unwrap();
+        assert_eq!(i.footprint.code_cache_bytes, 0, "{}", spec.name);
+        assert_eq!(i.footprint.translator_bytes, 0, "{}", spec.name);
+        assert_eq!(i.footprint.class_bytes, j.footprint.class_bytes, "{}", spec.name);
+        assert!(j.footprint.total() > i.footprint.total(), "{}", spec.name);
+    }
+}
+
+/// Section 5: only the multithreaded benchmark sees contention.
+#[test]
+fn contention_only_in_mtrt() {
+    for spec in suite() {
+        let program = (spec.build)(Size::Tiny);
+        let r = Vm::new(&program, VmConfig::jit())
+            .run(&mut CountingSink::new())
+            .unwrap();
+        let contended = r.sync_stats.case_counts[3];
+        if spec.multithreaded {
+            // mtrt *may* contend (depends on interleaving, which is
+            // deterministic, so assert it does at this size).
+            assert!(r.sync_stats.enters() > 0, "{}", spec.name);
+        } else {
+            assert_eq!(contended, 0, "{}: single-threaded contention?", spec.name);
+        }
+    }
+}
+
+/// The suite exercises every execution phase the tracer defines.
+#[test]
+fn all_phases_appear_in_a_jit_run() {
+    // mtrt covers translation, execution, runtime, sync, class load…
+    let program = javart::workloads::mtrt::program(Size::Tiny);
+    let mut sink = CountingSink::new();
+    Vm::new(&program, VmConfig::jit()).run(&mut sink).unwrap();
+    for phase in [
+        Phase::Translate,
+        Phase::NativeExec,
+        Phase::Runtime,
+        Phase::Sync,
+        Phase::ClassLoad,
+    ] {
+        assert!(sink.phase(phase) > 0, "phase {phase} missing from trace");
+    }
+    // …and compress (dictionary-heavy allocation) exercises the GC
+    // under a small threshold.
+    let program = javart::workloads::compress::program(Size::Tiny);
+    let cfg = VmConfig {
+        gc_threshold: 16 * 1024,
+        ..VmConfig::jit()
+    };
+    let mut sink = CountingSink::new();
+    let r = Vm::new(&program, cfg).run(&mut sink).unwrap();
+    assert_eq!(
+        r.exit_value,
+        Some(javart::workloads::compress::expected(Size::Tiny))
+    );
+    assert!(sink.phase(Phase::Gc) > 0, "phase gc missing from trace");
+}

@@ -1,0 +1,322 @@
+//! Opcode-level semantic coverage: every instruction of the ISA is
+//! exercised end-to-end through small programs, under both engines.
+
+use javart::bytecode::{ArrayKind, ClassAsm, MethodAsm, Program, RetKind};
+use javart::trace::CountingSink;
+use javart::vm::{Vm, VmConfig};
+
+fn run_both(p: &Program) -> i32 {
+    let a = Vm::new(p, VmConfig::interpreter())
+        .run(&mut CountingSink::new())
+        .expect("interp");
+    let b = Vm::new(p, VmConfig::jit())
+        .run(&mut CountingSink::new())
+        .expect("jit");
+    assert_eq!(a.exit_value, b.exit_value, "engines disagree");
+    a.exit_value.expect("int result")
+}
+
+fn main_returning(body: impl FnOnce(&mut MethodAsm)) -> Program {
+    let mut c = ClassAsm::new("Main");
+    let mut m = MethodAsm::new("main", 0).returns(RetKind::Int);
+    body(&mut m);
+    c.add_method(m);
+    Program::build(vec![c], "Main", "main").expect("assembles")
+}
+
+#[test]
+fn stack_shuffles() {
+    // dup: 5 -> 5*5
+    let p = main_returning(|m| {
+        m.iconst(5).dup().imul().ireturn();
+    });
+    assert_eq!(run_both(&p), 25);
+
+    // swap: 7 - 2 becomes 2 - 7
+    let p = main_returning(|m| {
+        m.iconst(7).iconst(2).swap().isub().ireturn();
+    });
+    assert_eq!(run_both(&p), 2 - 7);
+
+    // dup_x1: a b -> b a b ; compute b - (a - b) = 2b - a
+    let p = main_returning(|m| {
+        m.iconst(10).iconst(3).dup_x1().isub().isub().ireturn();
+    });
+    assert_eq!(run_both(&p), 3 - (10 - 3));
+
+    // pop discards
+    let p = main_returning(|m| {
+        m.iconst(1).iconst(99).pop().ireturn();
+    });
+    assert_eq!(run_both(&p), 1);
+}
+
+#[test]
+fn shifts_and_logic_match_java() {
+    // ishr on negatives is arithmetic
+    let p = main_returning(|m| {
+        m.iconst(-16).iconst(2).ishr().ireturn();
+    });
+    assert_eq!(run_both(&p), -4);
+
+    // iushr on negatives is logical
+    let p = main_returning(|m| {
+        m.iconst(-1).iconst(28).iushr().ireturn();
+    });
+    assert_eq!(run_both(&p), 0xF);
+
+    // shift counts mask to 5 bits
+    let p = main_returning(|m| {
+        m.iconst(1).iconst(33).ishl().ireturn();
+    });
+    assert_eq!(run_both(&p), 2);
+
+    // irem keeps the dividend's sign
+    let p = main_returning(|m| {
+        m.iconst(-7).iconst(3).irem().ireturn();
+    });
+    assert_eq!(run_both(&p), -1);
+
+    // ineg
+    let p = main_returning(|m| {
+        m.iconst(42).ineg().ireturn();
+    });
+    assert_eq!(run_both(&p), -42);
+
+    // and / or / xor
+    let p = main_returning(|m| {
+        m.iconst(0b1100).iconst(0b1010).iand();
+        m.iconst(0b0001).ior();
+        m.iconst(0b1111).ixor();
+        m.ireturn();
+    });
+    assert_eq!(run_both(&p), ((0b1100 & 0b1010) | 0b0001) ^ 0b1111);
+}
+
+#[test]
+fn every_conditional_branch_direction() {
+    // For each cond: (value, expect_taken). Branch to return 1 when
+    // taken, 0 otherwise.
+    type BranchFn = fn(&mut MethodAsm, javart::bytecode::Label);
+    let cases: Vec<(BranchFn, i32, bool)> = vec![
+        (|m, l| {
+            m.if_eq(l);
+        }, 0, true),
+        (|m, l| {
+            m.if_eq(l);
+        }, 3, false),
+        (|m, l| {
+            m.if_ne(l);
+        }, 3, true),
+        (|m, l| {
+            m.if_lt(l);
+        }, -1, true),
+        (|m, l| {
+            m.if_ge(l);
+        }, 0, true),
+        (|m, l| {
+            m.if_gt(l);
+        }, 0, false),
+        (|m, l| {
+            m.if_le(l);
+        }, 0, true),
+    ];
+    for (k, (branch, value, expect_taken)) in cases.into_iter().enumerate() {
+        let p = main_returning(|m| {
+            let taken = m.new_label();
+            m.iconst(value);
+            branch(m, taken);
+            m.iconst(0).ireturn();
+            m.bind(taken);
+            m.iconst(1).ireturn();
+        });
+        assert_eq!(run_both(&p), i32::from(expect_taken), "case {k}");
+    }
+}
+
+#[test]
+fn reference_comparisons() {
+    let mut c = ClassAsm::new("Main");
+    c.add_field("x");
+    let mut m = MethodAsm::new("main", 0).returns(RetKind::Int);
+    // Same object compares equal to itself; two objects differ;
+    // null checks both ways. Encode results in bits.
+    let (o1, o2, acc) = (0u8, 1u8, 2u8);
+    m.iconst(0).istore(acc);
+    m.new_obj("Main").astore(o1);
+    m.new_obj("Main").astore(o2);
+    let bit0 = m.new_label();
+    let next1 = m.new_label();
+    m.aload(o1).aload(o1).if_acmp_eq(bit0);
+    m.goto(next1);
+    m.bind(bit0);
+    m.iload(acc).iconst(1).ior().istore(acc);
+    m.bind(next1);
+    let bit1 = m.new_label();
+    let next2 = m.new_label();
+    m.aload(o1).aload(o2).if_acmp_ne(bit1);
+    m.goto(next2);
+    m.bind(bit1);
+    m.iload(acc).iconst(2).ior().istore(acc);
+    m.bind(next2);
+    let bit2 = m.new_label();
+    let next3 = m.new_label();
+    m.aconst_null().ifnull(bit2);
+    m.goto(next3);
+    m.bind(bit2);
+    m.iload(acc).iconst(4).ior().istore(acc);
+    m.bind(next3);
+    let bit3 = m.new_label();
+    let next4 = m.new_label();
+    m.aload(o1).ifnonnull(bit3);
+    m.goto(next4);
+    m.bind(bit3);
+    m.iload(acc).iconst(8).ior().istore(acc);
+    m.bind(next4);
+    m.iload(acc).ireturn();
+    c.add_method(m);
+    let p = Program::build(vec![c], "Main", "main").unwrap();
+    assert_eq!(run_both(&p), 0b1111);
+}
+
+#[test]
+fn arrays_of_every_kind() {
+    for (kind, store_val, expect) in [
+        (ArrayKind::Byte, 200, 200), // raw slots (no sign narrowing model)
+        (ArrayKind::Char, 0x41, 0x41),
+        (ArrayKind::Int, -123456, -123456),
+    ] {
+        let p = main_returning(|m| {
+            m.iconst(4).newarray(kind).astore(0);
+            m.aload(0).iconst(2).iconst(store_val);
+            m.op(javart::bytecode::Op::ArrStore(kind));
+            m.aload(0).iconst(2);
+            m.op(javart::bytecode::Op::ArrLoad(kind));
+            m.aload(0).arraylength().iadd();
+            m.ireturn();
+        });
+        assert_eq!(run_both(&p), expect + 4, "{kind:?}");
+    }
+
+    // Ref arrays hold objects.
+    let mut c = ClassAsm::new("Main");
+    c.add_field("v");
+    let mut m = MethodAsm::new("main", 0).returns(RetKind::Int);
+    m.iconst(3).newarray(ArrayKind::Ref).astore(0);
+    m.new_obj("Main").astore(1);
+    m.aload(1).iconst(77).putfield("Main", "v");
+    m.aload(0).iconst(1).aload(1).aastore();
+    m.aload(0).iconst(1).aaload().getfield("Main", "v");
+    m.ireturn();
+    c.add_method(m);
+    let p = Program::build(vec![c], "Main", "main").unwrap();
+    assert_eq!(run_both(&p), 77);
+}
+
+#[test]
+fn statics_and_instance_fields_through_inheritance() {
+    let mut base = ClassAsm::new("Base");
+    base.add_field("a");
+    base.add_static_field("sa");
+    let mut derived = ClassAsm::with_super("Derived", "Base");
+    derived.add_field("b");
+
+    let mut main = ClassAsm::new("Main");
+    let mut m = MethodAsm::new("main", 0).returns(RetKind::Int);
+    m.iconst(5).putstatic("Base", "sa");
+    m.new_obj("Derived").astore(0);
+    m.aload(0).iconst(11).putfield("Base", "a"); // inherited slot
+    m.aload(0).iconst(17).putfield("Derived", "b");
+    m.aload(0).getfield("Base", "a");
+    m.aload(0).getfield("Derived", "b").iadd();
+    m.getstatic("Base", "sa").iadd();
+    m.ireturn();
+    main.add_method(m);
+    let p = Program::build(vec![base, derived, main], "Main", "main").unwrap();
+    assert_eq!(run_both(&p), 5 + 11 + 17);
+}
+
+#[test]
+fn invokespecial_bypasses_override() {
+    let mut base = ClassAsm::new("Base");
+    let mut f = MethodAsm::new_instance("f", 0).returns(RetKind::Int);
+    f.iconst(1).ireturn();
+    base.add_method(f);
+
+    let mut derived = ClassAsm::with_super("Derived", "Base");
+    let mut f2 = MethodAsm::new_instance("f", 0).returns(RetKind::Int);
+    f2.iconst(2).ireturn();
+    derived.add_method(f2);
+
+    let mut main = ClassAsm::new("Main");
+    let mut m = MethodAsm::new("main", 0).returns(RetKind::Int);
+    m.new_obj("Derived").astore(0);
+    // virtual -> 2 ; special (named class) -> 1 ; encode as 10*v + s
+    m.aload(0).invokevirtual("Base", "f", 0, RetKind::Int);
+    m.iconst(10).imul();
+    m.aload(0).invokespecial("Base", "f", 0, RetKind::Int);
+    m.iadd().ireturn();
+    main.add_method(m);
+    let p = Program::build(vec![base, derived, main], "Main", "main").unwrap();
+    assert_eq!(run_both(&p), 21);
+}
+
+#[test]
+fn tableswitch_default_and_bounds() {
+    for (key, expect) in [(0, 100), (1, 200), (2, 300), (-5, -1), (99, -1)] {
+        let p = main_returning(|m| {
+            let (a, b, c) = (m.new_label(), m.new_label(), m.new_label());
+            let d = m.new_label();
+            m.iconst(key).tableswitch(0, d, &[a, b, c]);
+            m.bind(a);
+            m.iconst(100).ireturn();
+            m.bind(b);
+            m.iconst(200).ireturn();
+            m.bind(c);
+            m.iconst(300).ireturn();
+            m.bind(d);
+            m.iconst(-1).ireturn();
+        });
+        assert_eq!(run_both(&p), expect, "key {key}");
+    }
+}
+
+#[test]
+fn explicit_monitor_bytecodes() {
+    let mut c = ClassAsm::new("Main");
+    let mut m = MethodAsm::new("main", 0).returns(RetKind::Int);
+    m.new_obj("Main").astore(0);
+    // Recursive enter/exit through the raw bytecodes.
+    m.aload(0).monitorenter();
+    m.aload(0).monitorenter();
+    m.aload(0).monitorexit();
+    m.aload(0).monitorexit();
+    m.iconst(9).ireturn();
+    c.add_method(m);
+    let p = Program::build(vec![c], "Main", "main").unwrap();
+
+    let r = Vm::new(&p, VmConfig::jit())
+        .run(&mut CountingSink::new())
+        .unwrap();
+    assert_eq!(r.exit_value, Some(9));
+    assert_eq!(r.sync_stats.enters(), 2);
+    assert_eq!(r.sync_stats.exits, 2);
+    assert_eq!(r.sync_stats.case_counts[1], 1, "one shallow-recursive enter");
+}
+
+#[test]
+fn iinc_negative_and_wrapping_arithmetic() {
+    let p = main_returning(|m| {
+        m.iconst(i32::MAX).istore(0);
+        m.iinc(0, 1); // wraps to i32::MIN
+        m.iload(0).ireturn();
+    });
+    assert_eq!(run_both(&p), i32::MIN);
+
+    let p = main_returning(|m| {
+        m.iconst(10).istore(0);
+        m.iinc(0, -25);
+        m.iload(0).ireturn();
+    });
+    assert_eq!(run_both(&p), -15);
+}
