@@ -1,100 +1,14 @@
-//! One Criterion group per paper table/figure: each bench regenerates
-//! the corresponding result at `Tiny` scale, so the benchmark suite
+//! One bench per paper table/figure: each bench regenerates the
+//! corresponding result at `Tiny` scale, so the benchmark suite
 //! doubles as a timed smoke test of every experiment path.
 //!
 //! Run with `cargo bench -p jrt-bench --bench paper`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use jrt_experiments::{fig1, fig11, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, table1, table2, table3};
-use jrt_workloads::Size;
+use jrt_bench::bench_paper;
+use jrt_testkit::bench::Harness;
 
-fn sample_size(c: &mut Criterion) -> &mut Criterion {
-    c
+fn main() {
+    let mut h = Harness::from_args("paper");
+    bench_paper(&mut h);
+    h.finish();
 }
-
-fn bench_fig1(c: &mut Criterion) {
-    sample_size(c).bench_function("fig1_when_to_translate", |b| {
-        b.iter(|| std::hint::black_box(fig1::run(Size::Tiny)))
-    });
-}
-
-fn bench_table1(c: &mut Criterion) {
-    c.bench_function("table1_memory", |b| {
-        b.iter(|| std::hint::black_box(table1::run(Size::Tiny)))
-    });
-}
-
-fn bench_fig2(c: &mut Criterion) {
-    c.bench_function("fig2_instruction_mix", |b| {
-        b.iter(|| std::hint::black_box(fig2::run(Size::Tiny)))
-    });
-}
-
-fn bench_table2(c: &mut Criterion) {
-    c.bench_function("table2_branch_prediction", |b| {
-        b.iter(|| std::hint::black_box(table2::run(Size::Tiny)))
-    });
-}
-
-fn bench_table3(c: &mut Criterion) {
-    c.bench_function("table3_cache", |b| {
-        b.iter(|| std::hint::black_box(table3::run(Size::Tiny)))
-    });
-}
-
-fn bench_fig3(c: &mut Criterion) {
-    c.bench_function("fig3_write_misses", |b| {
-        b.iter(|| std::hint::black_box(fig3::run(Size::Tiny)))
-    });
-}
-
-fn bench_fig4(c: &mut Criterion) {
-    c.bench_function("fig4_c_comparison", |b| {
-        b.iter(|| std::hint::black_box(fig4::run(Size::Tiny)))
-    });
-}
-
-fn bench_fig5(c: &mut Criterion) {
-    c.bench_function("fig5_translate_cache", |b| {
-        b.iter(|| std::hint::black_box(fig5::run(Size::Tiny)))
-    });
-}
-
-fn bench_fig6(c: &mut Criterion) {
-    c.bench_function("fig6_timeline", |b| {
-        b.iter(|| std::hint::black_box(fig6::run(Size::Tiny)))
-    });
-}
-
-fn bench_fig7(c: &mut Criterion) {
-    c.bench_function("fig7_associativity", |b| {
-        b.iter(|| std::hint::black_box(fig7::run(Size::Tiny)))
-    });
-}
-
-fn bench_fig8(c: &mut Criterion) {
-    c.bench_function("fig8_line_size", |b| {
-        b.iter(|| std::hint::black_box(fig8::run(Size::Tiny)))
-    });
-}
-
-fn bench_fig9(c: &mut Criterion) {
-    c.bench_function("fig9_fig10_ilp", |b| {
-        b.iter(|| std::hint::black_box(fig9::run(Size::Tiny)))
-    });
-}
-
-fn bench_fig11(c: &mut Criterion) {
-    c.bench_function("fig11_sync", |b| {
-        b.iter(|| std::hint::black_box(fig11::run(Size::Tiny)))
-    });
-}
-
-criterion_group! {
-    name = paper;
-    config = Criterion::default().sample_size(10);
-    targets = bench_fig1, bench_table1, bench_fig2, bench_table2,
-        bench_table3, bench_fig3, bench_fig4, bench_fig5, bench_fig6,
-        bench_fig7, bench_fig8, bench_fig9, bench_fig11
-}
-criterion_main!(paper);

@@ -5,192 +5,11 @@
 //!
 //! Run with `cargo bench -p jrt-bench --bench simulators`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use jrt_bpred::{Bht, BranchEval, GAp, Gshare, TwoBit};
-use jrt_cache::SplitCaches;
-use jrt_ilp::{Pipeline, PipelineConfig};
-use jrt_sync::{FatLockEngine, OneBitLockEngine, SyncEngine, ThinLockEngine};
-use jrt_trace::{CountingSink, InstMix, NativeInst, Phase, RecordingSink, TraceSink};
-use jrt_vm::{Vm, VmConfig};
-use jrt_workloads::{db, jess, Size};
+use jrt_bench::bench_simulators;
+use jrt_testkit::bench::Harness;
 
-/// VM trace-generation throughput, both engines.
-fn bench_vm_engines(c: &mut Criterion) {
-    let program = jess::program(Size::Tiny);
-    let mut g = c.benchmark_group("vm_engine");
-    g.sample_size(10);
-    g.bench_function("interp", |b| {
-        b.iter(|| {
-            let mut sink = CountingSink::new();
-            Vm::new(&program, VmConfig::interpreter())
-                .run(&mut sink)
-                .unwrap();
-            sink.total()
-        })
-    });
-    g.bench_function("jit", |b| {
-        b.iter(|| {
-            let mut sink = CountingSink::new();
-            Vm::new(&program, VmConfig::jit()).run(&mut sink).unwrap();
-            sink.total()
-        })
-    });
-    g.finish();
+fn main() {
+    let mut h = Harness::from_args("simulators");
+    bench_simulators(&mut h);
+    h.finish();
 }
-
-/// Records one db trace, then measures each consumer on it.
-fn bench_consumers(c: &mut Criterion) {
-    let program = db::program(Size::Tiny);
-    let mut rec = RecordingSink::new();
-    Vm::new(&program, VmConfig::jit()).run(&mut rec).unwrap();
-    let events = rec.events;
-
-    let mut g = c.benchmark_group("consumer");
-    g.sample_size(10);
-    g.throughput(criterion::Throughput::Elements(events.len() as u64));
-    g.bench_function("instmix", |b| {
-        b.iter_batched(
-            InstMix::new,
-            |mut m| {
-                for e in &events {
-                    m.accept(e);
-                }
-                m
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    g.bench_function("split_caches", |b| {
-        b.iter_batched(
-            SplitCaches::paper_l1,
-            |mut s| {
-                for e in &events {
-                    s.accept(e);
-                }
-                s
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    g.bench_function("branch_eval_gshare", |b| {
-        b.iter_batched(
-            || BranchEval::new(Box::new(Gshare::paper())),
-            |mut s| {
-                for e in &events {
-                    s.accept(e);
-                }
-                s
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    g.bench_function("pipeline_w4", |b| {
-        b.iter_batched(
-            || Pipeline::new(PipelineConfig::paper(4)),
-            |mut p| {
-                for e in &events {
-                    p.accept(e);
-                }
-                p.report()
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
-}
-
-/// Ablation: the four direction predictors on one synthetic stream.
-fn bench_predictors(c: &mut Criterion) {
-    let stream: Vec<NativeInst> = (0..20_000u64)
-        .map(|k| {
-            NativeInst::branch(
-                0x1_0000 + (k % 64) * 8,
-                0x0_F000,
-                (k * 2654435761) % 7 < 4,
-                Phase::NativeExec,
-            )
-        })
-        .collect();
-    let mut g = c.benchmark_group("predictor");
-    g.throughput(criterion::Throughput::Elements(stream.len() as u64));
-    g.bench_function("2bit", |b| {
-        b.iter_batched(
-            || BranchEval::new(Box::new(TwoBit::new())),
-            |mut s| {
-                for e in &stream {
-                    s.accept(e);
-                }
-                s
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    g.bench_function("bht", |b| {
-        b.iter_batched(
-            || BranchEval::new(Box::new(Bht::paper())),
-            |mut s| {
-                for e in &stream {
-                    s.accept(e);
-                }
-                s
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    g.bench_function("gap", |b| {
-        b.iter_batched(
-            || BranchEval::new(Box::new(GAp::paper())),
-            |mut s| {
-                for e in &stream {
-                    s.accept(e);
-                }
-                s
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
-}
-
-/// Ablation: lock scheme cost on an uncontended enter/exit storm —
-/// the Figure 11(ii) microcosm.
-fn bench_locks(c: &mut Criterion) {
-    fn storm(engine: &mut dyn SyncEngine) -> u64 {
-        for k in 0..10_000u32 {
-            let obj = k % 64;
-            let _ = engine.monitor_enter(obj, 1);
-            engine.monitor_exit(obj, 1).unwrap();
-        }
-        engine.stats().total_cycles
-    }
-    let mut g = c.benchmark_group("locks");
-    g.bench_function("monitor_cache", |b| {
-        b.iter_batched(
-            FatLockEngine::new,
-            |mut e| storm(&mut e),
-            BatchSize::SmallInput,
-        )
-    });
-    g.bench_function("thin", |b| {
-        b.iter_batched(
-            ThinLockEngine::new,
-            |mut e| storm(&mut e),
-            BatchSize::SmallInput,
-        )
-    });
-    g.bench_function("one_bit", |b| {
-        b.iter_batched(
-            OneBitLockEngine::new,
-            |mut e| storm(&mut e),
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
-}
-
-criterion_group! {
-    name = simulators;
-    config = Criterion::default();
-    targets = bench_vm_engines, bench_consumers, bench_predictors, bench_locks
-}
-criterion_main!(simulators);

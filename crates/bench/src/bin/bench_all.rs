@@ -1,0 +1,47 @@
+//! Runs both bench suites and writes `BENCH_experiments.json` — one
+//! JSON line per benchmark (suite, name, per-sample ns, median ns).
+//!
+//! Usage: `bench_all [filter] [output-path]`. `JRT_BENCH_SAMPLES`
+//! sets the sample count (default 5).
+
+use jrt_bench::{bench_paper, bench_simulators};
+use jrt_testkit::bench::Harness;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "usage: bench_all [filter] [output-path]\n\
+             Runs the paper and simulators bench suites and writes one\n\
+             JSON line per benchmark (default: BENCH_experiments.json).\n\
+             JRT_BENCH_SAMPLES sets the sample count (default 5)."
+        );
+        return;
+    }
+    let filter = args.first().filter(|a| !a.starts_with('-')).cloned();
+    let out = args
+        .get(1)
+        .cloned()
+        .unwrap_or_else(|| "BENCH_experiments.json".into());
+
+    let mut results = Vec::new();
+    for (suite, run) in [
+        ("paper", bench_paper as fn(&mut Harness)),
+        ("simulators", bench_simulators),
+    ] {
+        let mut h = Harness::new(suite).with_filter(filter.clone());
+        run(&mut h);
+        results.extend(h.into_results());
+    }
+
+    if results.is_empty() {
+        eprintln!(
+            "[bench_all] filter {:?} matched no benchmarks; nothing written",
+            filter.as_deref().unwrap_or("")
+        );
+        std::process::exit(1);
+    }
+    let lines: Vec<String> = results.iter().map(|r| r.to_json()).collect();
+    std::fs::write(&out, lines.join("\n") + "\n").expect("write bench report");
+    eprintln!("[bench_all] wrote {} results to {out}", results.len());
+}

@@ -1,1 +1,173 @@
-pub mod lib_placeholder {}
+//! Benchmark definitions for the javart workspace, on the in-house
+//! [`jrt_testkit::bench`] harness (median-of-N wall time, JSON lines;
+//! no external crates).
+//!
+//! Two suites:
+//!
+//! * [`bench_paper`] — one bench per paper table/figure, regenerating
+//!   the result at `Tiny` scale; doubles as a timed smoke test of
+//!   every experiment path.
+//! * [`bench_simulators`] — microbenchmarks of the individual
+//!   simulators and engines: VM trace-generation throughput,
+//!   per-event consumer costs, predictor and lock-scheme ablations.
+//!
+//! The `paper`/`simulators` bench targets (`cargo bench -p jrt-bench`)
+//! run one suite each; the `bench_all` binary runs both and writes
+//! `BENCH_experiments.json`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use jrt_bpred::{Bht, BranchEval, GAp, Gshare, TwoBit};
+use jrt_cache::SplitCaches;
+use jrt_experiments::{
+    fig1, fig11, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, table1, table2, table3,
+};
+use jrt_ilp::{Pipeline, PipelineConfig};
+use jrt_sync::{FatLockEngine, OneBitLockEngine, SyncEngine, ThinLockEngine};
+use jrt_testkit::bench::Harness;
+use jrt_trace::{CountingSink, InstMix, NativeInst, Phase, RecordingSink, TraceSink};
+use jrt_vm::{Vm, VmConfig};
+use jrt_workloads::{db, jess, Size};
+
+/// One bench per paper table/figure at `Tiny` scale.
+pub fn bench_paper(h: &mut Harness) {
+    h.bench("fig1_when_to_translate", || fig1::run(Size::Tiny));
+    h.bench("table1_memory", || table1::run(Size::Tiny));
+    h.bench("fig2_instruction_mix", || fig2::run(Size::Tiny));
+    h.bench("table2_branch_prediction", || table2::run(Size::Tiny));
+    h.bench("table3_cache", || table3::run(Size::Tiny));
+    h.bench("fig3_write_misses", || fig3::run(Size::Tiny));
+    h.bench("fig4_c_comparison", || fig4::run(Size::Tiny));
+    h.bench("fig5_translate_cache", || fig5::run(Size::Tiny));
+    h.bench("fig6_timeline", || fig6::run(Size::Tiny));
+    h.bench("fig7_associativity", || fig7::run(Size::Tiny));
+    h.bench("fig8_line_size", || fig8::run(Size::Tiny));
+    h.bench("fig9_fig10_ilp", || fig9::run(Size::Tiny));
+    h.bench("fig11_sync", || fig11::run(Size::Tiny));
+}
+
+/// Microbenchmarks of the simulators and engines.
+pub fn bench_simulators(h: &mut Harness) {
+    // VM trace-generation throughput, both engines.
+    let program = jess::program(Size::Tiny);
+    h.bench("vm_engine/interp", || {
+        let mut sink = CountingSink::new();
+        Vm::new(&program, VmConfig::interpreter())
+            .run(&mut sink)
+            .unwrap();
+        sink.total()
+    });
+    h.bench("vm_engine/jit", || {
+        let mut sink = CountingSink::new();
+        Vm::new(&program, VmConfig::jit()).run(&mut sink).unwrap();
+        sink.total()
+    });
+
+    // Record one db trace, then measure each consumer on it.
+    let program = db::program(Size::Tiny);
+    let mut rec = RecordingSink::new();
+    Vm::new(&program, VmConfig::jit()).run(&mut rec).unwrap();
+    let events = rec.events;
+
+    h.bench("consumer/instmix", || {
+        let mut m = InstMix::new();
+        for e in &events {
+            m.accept(e);
+        }
+        m
+    });
+    h.bench("consumer/split_caches", || {
+        let mut s = SplitCaches::paper_l1();
+        for e in &events {
+            s.accept(e);
+        }
+        s
+    });
+    h.bench("consumer/branch_eval_gshare", || {
+        let mut s = BranchEval::new(Box::new(Gshare::paper()));
+        for e in &events {
+            s.accept(e);
+        }
+        s
+    });
+    h.bench("consumer/pipeline_w4", || {
+        let mut p = Pipeline::new(PipelineConfig::paper(4));
+        for e in &events {
+            p.accept(e);
+        }
+        p.report()
+    });
+
+    // Ablation: the four direction predictors on one synthetic stream.
+    let stream: Vec<NativeInst> = (0..20_000u64)
+        .map(|k| {
+            NativeInst::branch(
+                0x1_0000 + (k % 64) * 8,
+                0x0_F000,
+                (k * 2654435761) % 7 < 4,
+                Phase::NativeExec,
+            )
+        })
+        .collect();
+    h.bench("predictor/2bit", || {
+        let mut s = BranchEval::new(Box::new(TwoBit::new()));
+        for e in &stream {
+            s.accept(e);
+        }
+        s
+    });
+    h.bench("predictor/bht", || {
+        let mut s = BranchEval::new(Box::new(Bht::paper()));
+        for e in &stream {
+            s.accept(e);
+        }
+        s
+    });
+    h.bench("predictor/gap", || {
+        let mut s = BranchEval::new(Box::new(GAp::paper()));
+        for e in &stream {
+            s.accept(e);
+        }
+        s
+    });
+
+    // Ablation: lock scheme cost on an uncontended enter/exit storm —
+    // the Figure 11(ii) microcosm.
+    fn storm(engine: &mut dyn SyncEngine) -> u64 {
+        for k in 0..10_000u32 {
+            let obj = k % 64;
+            let _ = engine.monitor_enter(obj, 1);
+            engine.monitor_exit(obj, 1).unwrap();
+        }
+        engine.stats().total_cycles
+    }
+    h.bench("locks/monitor_cache", || {
+        let mut e = FatLockEngine::new();
+        storm(&mut e)
+    });
+    h.bench("locks/thin", || {
+        let mut e = ThinLockEngine::new();
+        storm(&mut e)
+    });
+    h.bench("locks/one_bit", || {
+        let mut e = OneBitLockEngine::new();
+        storm(&mut e)
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simulator_suite_measures_everything() {
+        let mut h = Harness::new("simulators")
+            .with_samples(1)
+            .with_filter(Some("locks".into()))
+            .quiet();
+        bench_simulators(&mut h);
+        assert_eq!(h.results().len(), 3);
+        assert!(h.results().iter().all(|r| r.median_ns > 0));
+    }
+}

@@ -128,7 +128,10 @@ mod tests {
     fn btb_detects_target_change() {
         let mut b = Btb::paper();
         b.update(0x4000, 0x8000);
-        assert!(!b.predict_and_update(0x4000, 0x9000), "changed target must mispredict");
+        assert!(
+            !b.predict_and_update(0x4000, 0x9000),
+            "changed target must mispredict"
+        );
         assert_eq!(b.predict(0x4000), Some(0x9000));
     }
 

@@ -191,7 +191,10 @@ impl GAp {
     /// Panics if `sets` or `patterns` is not a power of two.
     pub fn new(sets: usize, patterns: usize) -> Self {
         assert!(sets.is_power_of_two(), "sets must be a power of two");
-        assert!(patterns.is_power_of_two(), "patterns must be a power of two");
+        assert!(
+            patterns.is_power_of_two(),
+            "patterns must be a power of two"
+        );
         GAp {
             tables: vec![Counter2::new(); sets * patterns],
             sets,
@@ -246,7 +249,10 @@ mod tests {
         }
         assert!(c.predict());
         c.update(false);
-        assert!(c.predict(), "one not-taken should not flip a saturated counter");
+        assert!(
+            c.predict(),
+            "one not-taken should not flip a saturated counter"
+        );
         c.update(false);
         assert!(!c.predict());
     }
@@ -256,7 +262,10 @@ mod tests {
         let mut p = Bht::paper();
         let always = vec![true; 100];
         let miss = train(&mut p, 0x4000, &always);
-        assert!(miss <= 1, "biased branch should be near-perfect, got {miss}");
+        assert!(
+            miss <= 1,
+            "biased branch should be near-perfect, got {miss}"
+        );
     }
 
     #[test]

@@ -421,7 +421,9 @@ impl Op {
     /// unknown, or the instruction's operands are truncated.
     pub fn decode(code: &[u8], pc: usize) -> Result<(Op, usize), BytecodeError> {
         let byte = |i: usize| -> Result<u8, BytecodeError> {
-            code.get(pc + i).copied().ok_or(BytecodeError::Truncated(pc))
+            code.get(pc + i)
+                .copied()
+                .ok_or(BytecodeError::Truncated(pc))
         };
         let u16_at = |i: usize| -> Result<u16, BytecodeError> {
             Ok(u16::from_be_bytes([byte(i)?, byte(i + 1)?]))

@@ -247,9 +247,9 @@ pub fn check_resolution(program: &Program) -> Result<(), BytecodeError> {
                     nargs,
                     ret,
                 } => {
-                    let mid = program.resolve_method(c, name).ok_or_else(|| {
-                        BytecodeError::Unresolved(format!("method {c}::{name}"))
-                    })?;
+                    let mid = program
+                        .resolve_method(c, name)
+                        .ok_or_else(|| BytecodeError::Unresolved(format!("method {c}::{name}")))?;
                     let def = program.method_def(mid);
                     if def.nargs != *nargs || def.ret != *ret {
                         return Err(BytecodeError::Unresolved(format!(
@@ -295,7 +295,13 @@ mod tests {
     #[test]
     fn computes_max_stack() {
         let mut m = MethodAsm::new("m", 0);
-        m.iconst(1).iconst(2).iconst(3).iadd().iadd().istore(0).ret();
+        m.iconst(1)
+            .iconst(2)
+            .iconst(3)
+            .iadd()
+            .iadd()
+            .istore(0)
+            .ret();
         let (def, pool) = finish(m);
         assert_eq!(verify_method(&def, &pool).unwrap(), 3);
     }
@@ -391,7 +397,9 @@ mod tests {
         target.ret();
         c.add_method(target);
         let mut m = MethodAsm::new("main", 0);
-        m.iconst(1).invokestatic("Main", "f", 1, RetKind::Void).ret();
+        m.iconst(1)
+            .invokestatic("Main", "f", 1, RetKind::Void)
+            .ret();
         c.add_method(m);
         assert!(matches!(
             Program::build(vec![c], "Main", "main"),

@@ -3,132 +3,152 @@
 //! disassembles.
 
 use jrt_bytecode::{disasm, verify, ClassAsm, Cond, MethodAsm, Op, Program, RetKind};
-use proptest::prelude::*;
+use jrt_testkit::{forall, Rng};
 
-proptest! {
-    /// Decoding arbitrary bytes returns a clean result — never a
-    /// panic — and reported lengths stay in bounds.
-    #[test]
-    fn decode_is_total(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+/// Decoding arbitrary bytes returns a clean result — never a
+/// panic — and reported lengths stay in bounds.
+#[test]
+fn decode_is_total() {
+    forall!(cases = 256, seed = 0xDEC0DE, |rng| {
+        let bytes = rng.vec(0..200, Rng::u8);
         let mut pc = 0usize;
         let mut steps = 0;
         while pc < bytes.len() && steps < 300 {
             match Op::decode(&bytes, pc) {
                 Ok((_, len)) => {
-                    prop_assert!(len > 0);
-                    prop_assert!(pc + len <= bytes.len() + 4 + 4 * u16::MAX as usize);
+                    assert!(len > 0);
+                    assert!(pc + len <= bytes.len() + 4 + 4 * u16::MAX as usize);
                     pc += len;
                 }
                 Err(_) => break,
             }
             steps += 1;
         }
-    }
+    });
+}
 
-    /// Straight-line programs built from a stack-safe op pool always
-    /// assemble, verify, decode back to the same instructions, and
-    /// disassemble.
-    #[test]
-    fn assembled_methods_verify_and_roundtrip(
-        script in prop::collection::vec(0u8..12, 0..60),
-        consts in prop::collection::vec(any::<i32>(), 1..8),
-    ) {
-        let mut m = MethodAsm::new("main", 0).returns(RetKind::Int);
-        let mut depth = 0usize;
-        let mut expected_ops: Vec<Op> = Vec::new();
-        let push_op = |m: &mut MethodAsm, ops: &mut Vec<Op>, op: Op| {
-            ops.push(op.clone());
-            m.op(op);
-        };
+/// The body of the assemble/verify/roundtrip property, shared with
+/// the explicit regression cases below.
+fn check_roundtrip(script: &[u8], consts: &[i32]) {
+    let mut m = MethodAsm::new("main", 0).returns(RetKind::Int);
+    let mut depth = 0usize;
+    let mut expected_ops: Vec<Op> = Vec::new();
+    let push_op = |m: &mut MethodAsm, ops: &mut Vec<Op>, op: Op| {
+        ops.push(op.clone());
+        m.op(op);
+    };
 
-        for (k, &choice) in script.iter().enumerate() {
-            let c = consts[k % consts.len()];
-            match choice {
-                0 => {
-                    push_op(&mut m, &mut expected_ops, Op::IConst(c));
-                    depth += 1;
-                }
-                1 if depth >= 2 => {
-                    push_op(&mut m, &mut expected_ops, Op::IAdd);
-                    depth -= 1;
-                }
-                2 if depth >= 2 => {
-                    push_op(&mut m, &mut expected_ops, Op::IXor);
-                    depth -= 1;
-                }
-                3 if depth >= 1 => {
-                    // Use the helper so max_locals tracks local 0.
-                    m.istore(0);
-                    expected_ops.push(Op::IStore(0));
-                    depth -= 1;
-                }
-                4 => {
-                    m.iload(0);
-                    expected_ops.push(Op::ILoad(0));
-                    depth += 1;
-                }
-                5 if depth >= 1 => {
-                    push_op(&mut m, &mut expected_ops, Op::Dup);
-                    depth += 1;
-                }
-                6 if depth >= 2 => {
-                    push_op(&mut m, &mut expected_ops, Op::Swap);
-                }
-                7 if depth >= 1 => {
-                    push_op(&mut m, &mut expected_ops, Op::Pop);
-                    depth -= 1;
-                }
-                8 => {
-                    m.iinc(0, c as i16);
-                    expected_ops.push(Op::IInc(0, c as i16));
-                }
-                9 if depth >= 2 => {
-                    push_op(&mut m, &mut expected_ops, Op::ISub);
-                    depth -= 1;
-                }
-                _ => {
-                    push_op(&mut m, &mut expected_ops, Op::Nop);
-                }
+    for (k, &choice) in script.iter().enumerate() {
+        let c = consts[k % consts.len()];
+        match choice {
+            0 => {
+                push_op(&mut m, &mut expected_ops, Op::IConst(c));
+                depth += 1;
+            }
+            1 if depth >= 2 => {
+                push_op(&mut m, &mut expected_ops, Op::IAdd);
+                depth -= 1;
+            }
+            2 if depth >= 2 => {
+                push_op(&mut m, &mut expected_ops, Op::IXor);
+                depth -= 1;
+            }
+            3 if depth >= 1 => {
+                // Use the helper so max_locals tracks local 0.
+                m.istore(0);
+                expected_ops.push(Op::IStore(0));
+                depth -= 1;
+            }
+            4 => {
+                m.iload(0);
+                expected_ops.push(Op::ILoad(0));
+                depth += 1;
+            }
+            5 if depth >= 1 => {
+                push_op(&mut m, &mut expected_ops, Op::Dup);
+                depth += 1;
+            }
+            6 if depth >= 2 => {
+                push_op(&mut m, &mut expected_ops, Op::Swap);
+            }
+            7 if depth >= 1 => {
+                push_op(&mut m, &mut expected_ops, Op::Pop);
+                depth -= 1;
+            }
+            8 => {
+                m.iinc(0, c as i16);
+                expected_ops.push(Op::IInc(0, c as i16));
+            }
+            9 if depth >= 2 => {
+                push_op(&mut m, &mut expected_ops, Op::ISub);
+                depth -= 1;
+            }
+            _ => {
+                push_op(&mut m, &mut expected_ops, Op::Nop);
             }
         }
-        // Close the method: make sure exactly one int is on top.
-        while depth > 0 {
-            push_op(&mut m, &mut expected_ops, Op::Pop);
-            depth -= 1;
-        }
-        push_op(&mut m, &mut expected_ops, Op::IConst(7));
-        expected_ops.push(Op::IReturn);
-        m.ireturn();
-
-        // touch local 0 so max_locals covers it
-        let mut c0 = ClassAsm::new("Main");
-        c0.add_method(m);
-        let program = Program::build(vec![c0], "Main", "main").expect("assembles + verifies");
-
-        // Decode back and compare.
-        let cf = program.class_file(program.entry().class);
-        let def = &cf.methods[0];
-        let mut pc = 0usize;
-        let mut decoded = Vec::new();
-        while pc < def.code.len() {
-            let (op, len) = Op::decode(&def.code, pc).expect("own code decodes");
-            decoded.push(op);
-            pc += len;
-        }
-        prop_assert_eq!(decoded, expected_ops);
-
-        // Verification agrees when re-run, and the disassembler
-        // handles every emitted instruction.
-        prop_assert!(verify::verify_method(def, &cf.pool).is_ok());
-        let text = disasm::disassemble(def, &cf.pool).expect("disassembles");
-        prop_assert!(text.contains("ireturn"));
     }
-
-    /// `Cond::eval` is consistent with its complement pairs.
-    #[test]
-    fn cond_complements(a in any::<i32>(), b in any::<i32>()) {
-        prop_assert_eq!(Cond::Eq.eval(a, b), !Cond::Ne.eval(a, b));
-        prop_assert_eq!(Cond::Lt.eval(a, b), !Cond::Ge.eval(a, b));
-        prop_assert_eq!(Cond::Gt.eval(a, b), !Cond::Le.eval(a, b));
+    // Close the method: make sure exactly one int is on top.
+    while depth > 0 {
+        push_op(&mut m, &mut expected_ops, Op::Pop);
+        depth -= 1;
     }
+    push_op(&mut m, &mut expected_ops, Op::IConst(7));
+    expected_ops.push(Op::IReturn);
+    m.ireturn();
+
+    // touch local 0 so max_locals covers it
+    let mut c0 = ClassAsm::new("Main");
+    c0.add_method(m);
+    let program = Program::build(vec![c0], "Main", "main").expect("assembles + verifies");
+
+    // Decode back and compare.
+    let cf = program.class_file(program.entry().class);
+    let def = &cf.methods[0];
+    let mut pc = 0usize;
+    let mut decoded = Vec::new();
+    while pc < def.code.len() {
+        let (op, len) = Op::decode(&def.code, pc).expect("own code decodes");
+        decoded.push(op);
+        pc += len;
+    }
+    assert_eq!(decoded, expected_ops);
+
+    // Verification agrees when re-run, and the disassembler
+    // handles every emitted instruction.
+    assert!(verify::verify_method(def, &cf.pool).is_ok());
+    let text = disasm::disassemble(def, &cf.pool).expect("disassembles");
+    assert!(text.contains("ireturn"));
+}
+
+/// Straight-line programs built from a stack-safe op pool always
+/// assemble, verify, decode back to the same instructions, and
+/// disassemble.
+#[test]
+fn assembled_methods_verify_and_roundtrip() {
+    forall!(cases = 256, seed = 0xA55E_0B1E, |rng| {
+        let script = rng.vec(0..60, |r| r.u64_in(0..12) as u8);
+        let consts = rng.vec(1..8, Rng::i32);
+        check_roundtrip(&script, &consts);
+    });
+}
+
+/// Historical failure (found by the property above under proptest):
+/// a lone `iload 0` — a load of a never-stored local — must still
+/// assemble, verify, and roundtrip.
+#[test]
+fn regression_lone_iload_of_untouched_local() {
+    check_roundtrip(&[4], &[0]);
+}
+
+/// `Cond::eval` is consistent with its complement pairs.
+#[test]
+fn cond_complements() {
+    forall!(cases = 256, seed = 0xC04D, |rng| {
+        let a = rng.i32();
+        let b = rng.i32();
+        assert_eq!(Cond::Eq.eval(a, b), !Cond::Ne.eval(a, b));
+        assert_eq!(Cond::Lt.eval(a, b), !Cond::Ge.eval(a, b));
+        assert_eq!(Cond::Gt.eval(a, b), !Cond::Le.eval(a, b));
+    });
 }

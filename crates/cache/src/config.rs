@@ -55,8 +55,14 @@ impl CacheConfig {
     }
 
     fn validate(&self) {
-        assert!(self.size.is_power_of_two(), "cache size must be a power of two");
-        assert!(self.line.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            self.size.is_power_of_two(),
+            "cache size must be a power of two"
+        );
+        assert!(
+            self.line.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(self.assoc >= 1, "associativity must be at least 1");
         let lines = self.size / u64::from(self.line);
         assert!(lines >= 1, "cache must hold at least one line");

@@ -137,7 +137,10 @@ impl Cache {
             stats: CacheStats::default(),
             translate_stats: CacheStats::default(),
             rest_stats: CacheStats::default(),
-            region_stats: Region::ALL.iter().map(|&r| (r, CacheStats::default())).collect(),
+            region_stats: Region::ALL
+                .iter()
+                .map(|&r| (r, CacheStats::default()))
+                .collect(),
             seen: HashSet::new(),
         }
     }
@@ -317,8 +320,16 @@ mod tests {
     #[test]
     fn region_attribution() {
         let mut c = tiny();
-        c.access(jrt_trace::layout::HEAP_BASE, AccessKind::Read, Phase::Runtime);
-        c.access(jrt_trace::layout::STACK_BASE, AccessKind::Write, Phase::Runtime);
+        c.access(
+            jrt_trace::layout::HEAP_BASE,
+            AccessKind::Read,
+            Phase::Runtime,
+        );
+        c.access(
+            jrt_trace::layout::STACK_BASE,
+            AccessKind::Write,
+            Phase::Runtime,
+        );
         assert_eq!(c.region_stats(Region::Heap).reads, 1);
         assert_eq!(c.region_stats(Region::Stack).writes, 1);
         assert_eq!(c.region_stats(Region::CodeCache).refs(), 0);

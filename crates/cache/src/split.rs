@@ -139,7 +139,12 @@ mod tests {
     #[test]
     fn stores_reach_dcache_as_writes() {
         let mut s = SplitCaches::paper_l1();
-        s.accept(&NativeInst::store(0x1_0000, 0x2000_0000, 4, Phase::Translate));
+        s.accept(&NativeInst::store(
+            0x1_0000,
+            0x2000_0000,
+            4,
+            Phase::Translate,
+        ));
         assert_eq!(s.dcache().stats().writes, 1);
         assert_eq!(s.dcache().stats().write_misses, 1);
         assert_eq!(s.dcache().translate_stats().write_misses, 1);

@@ -117,8 +117,12 @@ impl Timeline {
         if n == 0 {
             return 0;
         }
-        let mean: f64 =
-            self.samples.iter().map(|s| (s.i_misses + s.d_misses) as f64).sum::<f64>() / n as f64;
+        let mean: f64 = self
+            .samples
+            .iter()
+            .map(|s| (s.i_misses + s.d_misses) as f64)
+            .sum::<f64>()
+            / n as f64;
         self.samples
             .iter()
             .filter(|s| (s.i_misses + s.d_misses) as f64 > factor * mean)

@@ -1,22 +1,28 @@
-//! Regenerates the paper's fig1 result. Usage: `fig1_when_to_translate [tiny|s1|s10]`.
+//! Regenerates the paper's fig1 result. Usage: `fig1_when_to_translate [tiny|s1|s10] [--jobs N]`.
 
 use jrt_experiments::fig1;
+use jrt_experiments::jobs;
 use jrt_workloads::Size;
 
-fn parse_size() -> Size {
-    match std::env::args().nth(1).as_deref() {
+fn parse_size(args: &[String]) -> Size {
+    match args.first().map(String::as_str) {
         Some("tiny") => Size::Tiny,
         Some("s10") => Size::S10,
         None | Some("s1") => Size::S1,
+        Some("--help" | "-h") => {
+            println!("usage: [tiny|s1|s10] [--jobs N]   (JRT_JOBS also sets the worker count)");
+            std::process::exit(0);
+        }
         Some(other) => {
-            eprintln!("unknown size {other:?}; use tiny|s1|s10");
+            eprintln!("unknown size {other:?}; use tiny|s1|s10 (and --jobs N for workers)");
             std::process::exit(2);
         }
     }
 }
 
 fn main() {
-    let size = parse_size();
+    let args = jobs::cli_args();
+    let size = parse_size(&args);
     let r = fig1::run(size);
     println!("{}", r.table());
 }

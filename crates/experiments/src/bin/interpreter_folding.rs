@@ -1,15 +1,21 @@
 //! Measures picoJava-style interpreter folding (Section 4.4).
 
 use jrt_experiments::folding;
+use jrt_experiments::jobs;
 use jrt_workloads::Size;
 
 fn main() {
-    let size = match std::env::args().nth(1).as_deref() {
+    let args = jobs::cli_args();
+    let size = match args.first().map(String::as_str) {
         Some("tiny") => Size::Tiny,
         Some("s10") => Size::S10,
         None | Some("s1") => Size::S1,
+        Some("--help" | "-h") => {
+            println!("usage: [tiny|s1|s10] [--jobs N]   (JRT_JOBS also sets the worker count)");
+            std::process::exit(0);
+        }
         Some(other) => {
-            eprintln!("unknown size {other:?}; use tiny|s1|s10");
+            eprintln!("unknown size {other:?}; use tiny|s1|s10 (and --jobs N for workers)");
             std::process::exit(2);
         }
     };

@@ -1,20 +1,42 @@
 //! Runs every experiment and writes EXPERIMENTS.md.
-//! Usage: `run_all [tiny|s1|s10] [output-path]`.
+//! Usage: `run_all [tiny|s1|s10] [output-path] [--jobs N]`.
 
-use jrt_experiments::report;
+use jrt_experiments::{jobs, report};
 use jrt_workloads::Size;
 
+const HELP: &str = "\
+usage: run_all [tiny|s1|s10] [output-path] [--jobs N]
+
+Runs all 17 experiment drivers and writes the EXPERIMENTS.md report
+(default path: EXPERIMENTS.md in the current directory).
+
+Each experiment fans its (workload, mode) cross-product out over a
+work-queue of OS threads; results are merged in canonical order, so
+the report is byte-identical at any worker count.
+
+  --jobs N      use N worker threads (also: the JRT_JOBS environment
+                variable; the flag wins). Default: the machine's
+                available parallelism. 1 runs fully sequentially.";
+
 fn main() {
-    let size = match std::env::args().nth(1).as_deref() {
+    let args = jobs::cli_args();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{HELP}");
+        return;
+    }
+    let size = match args.first().map(String::as_str) {
         Some("tiny") => Size::Tiny,
         Some("s10") => Size::S10,
         None | Some("s1") => Size::S1,
         Some(other) => {
-            eprintln!("unknown size {other:?}; use tiny|s1|s10");
+            eprintln!("unknown size {other:?}; use tiny|s1|s10 (see --help)");
             std::process::exit(2);
         }
     };
-    let out = std::env::args().nth(2).unwrap_or_else(|| "EXPERIMENTS.md".into());
+    let out = args
+        .get(1)
+        .cloned()
+        .unwrap_or_else(|| "EXPERIMENTS.md".into());
     let r = report::run_all(size);
     let md = r.to_markdown();
     std::fs::write(&out, &md).expect("write report");

@@ -1,8 +1,13 @@
 //! Runs the input-size sweep (Section 2's s1/s10 observation).
 
-use jrt_experiments::sizes;
+use jrt_experiments::{jobs, sizes};
 
 fn main() {
+    let args = jobs::cli_args();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("usage: sweep_sizes [--jobs N]   (JRT_JOBS also sets the worker count)");
+        return;
+    }
     let r = sizes::run();
     println!("{}", r.table());
 }

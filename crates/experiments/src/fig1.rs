@@ -7,11 +7,11 @@
 //! `compress`/`jack`; `opt` saves at best 10–15%; the JIT clearly
 //! outperforms interpretation.
 
-use crate::runner::check;
+use crate::jobs::{self, Workload};
 use crate::table::{pct, Table};
 use jrt_trace::{CountingSink, Phase};
 use jrt_vm::{Vm, VmConfig};
-use jrt_workloads::{suite_with_hello, Size, Spec};
+use jrt_workloads::{suite_with_hello, Size};
 
 /// One benchmark's Figure 1 bar.
 #[derive(Debug, Clone)]
@@ -94,31 +94,30 @@ impl Fig1 {
     }
 }
 
-fn run_one(spec: &Spec, size: Size) -> Fig1Row {
-    let program = (spec.build)(size);
+fn run_one(w: &Workload) -> Fig1Row {
+    let program = &*w.program;
 
     let mut interp_sink = CountingSink::new();
-    let interp = Vm::new(&program, VmConfig::interpreter())
+    let interp = Vm::new(program, VmConfig::interpreter())
         .run(&mut interp_sink)
         .expect("interp run");
-    check(spec, size, &interp);
+    w.check(&interp);
 
     let mut jit_sink = CountingSink::new();
-    let jit = Vm::new(&program, VmConfig::jit())
+    let jit = Vm::new(program, VmConfig::jit())
         .run(&mut jit_sink)
         .expect("jit run");
-    check(spec, size, &jit);
+    w.check(&jit);
 
-    let decisions =
-        jrt_vm::OracleDecisions::from_profiles(&interp.profile, &jit.profile);
+    let decisions = jrt_vm::OracleDecisions::from_profiles(&interp.profile, &jit.profile);
     let mut opt_sink = CountingSink::new();
-    let opt = Vm::new(&program, VmConfig::oracle(decisions))
+    let opt = Vm::new(program, VmConfig::oracle(decisions))
         .run(&mut opt_sink)
         .expect("opt run");
-    check(spec, size, &opt);
+    w.check(&opt);
 
     Fig1Row {
-        name: spec.name,
+        name: w.spec.name,
         jit_total: jit_sink.total(),
         translate: jit_sink.phase(Phase::Translate),
         opt_total: opt_sink.total(),
@@ -126,13 +125,13 @@ fn run_one(spec: &Spec, size: Size) -> Fig1Row {
     }
 }
 
-/// Runs the Figure 1 experiment at the given size.
+/// Runs the Figure 1 experiment at the given size. One job per
+/// benchmark (the oracle run consumes the other two runs' profiles,
+/// so the three modes of one benchmark stay on one worker).
 pub fn run(size: Size) -> Fig1 {
+    let loads = jobs::prebuild(suite_with_hello(), size);
     Fig1 {
-        rows: suite_with_hello()
-            .iter()
-            .map(|s| run_one(s, size))
-            .collect(),
+        rows: jobs::par_map(&loads, run_one),
     }
 }
 

@@ -6,12 +6,13 @@
 //! 80%. (ii) Compares the JDK 1.1.6 monitor cache against thin locks
 //! (≈2× faster overall) and the paper's 1-bit variant.
 
-use crate::runner::{check, run_mode_sync, Mode};
+use crate::jobs::{self, Workload};
+use crate::runner::{run_mode_sync, Mode};
 use crate::table::{count, pct, Table};
 use jrt_sync::{SyncCase, SyncStats};
 use jrt_trace::NullSink;
 use jrt_vm::SyncKind;
-use jrt_workloads::{suite, Size, Spec};
+use jrt_workloads::{suite, Size};
 
 /// Case mix for one benchmark.
 #[derive(Debug, Clone, Copy)]
@@ -49,7 +50,14 @@ impl Fig11 {
     pub fn case_table(&self) -> Table {
         let mut t = Table::new(
             "Figure 11(i): monitorenter case mix",
-            &["benchmark", "enters", "(a) unlocked", "(b) shallow-rec", "(c) deep-rec", "(d) contended"],
+            &[
+                "benchmark",
+                "enters",
+                "(a) unlocked",
+                "(b) shallow-rec",
+                "(c) deep-rec",
+                "(d) contended",
+            ],
         );
         for r in &self.cases {
             t.row(vec![
@@ -69,7 +77,13 @@ impl Fig11 {
         let fat = self.scheme(SyncKind::MonitorCache).total_cycles as f64;
         let mut t = Table::new(
             "Figure 11(ii): lock-scheme cost (suite aggregate)",
-            &["scheme", "header bits", "lock cycles", "cycles/op", "speedup vs monitor-cache"],
+            &[
+                "scheme",
+                "header bits",
+                "lock cycles",
+                "cycles/op",
+                "speedup vs monitor-cache",
+            ],
         );
         for r in &self.schemes {
             t.row(vec![
@@ -117,38 +131,47 @@ fn header_bits(kind: SyncKind) -> u32 {
     }
 }
 
-fn run_case(spec: &Spec, size: Size) -> CaseRow {
-    let program = (spec.build)(size);
-    let r = run_mode_sync(&program, Mode::Jit, SyncKind::ThinLock, &mut NullSink);
-    check(spec, size, &r);
+fn run_case(w: &Workload) -> CaseRow {
+    let r = run_mode_sync(&w.program, Mode::Jit, SyncKind::ThinLock, &mut NullSink);
+    w.check(&r);
     CaseRow {
-        name: spec.name,
+        name: w.spec.name,
         stats: r.sync_stats,
     }
 }
 
-/// Runs the Figure 11 experiment.
+/// Runs the Figure 11 experiment: one case-mix job per benchmark,
+/// then one cost job per scheme × benchmark, folded kind-major.
 pub fn run(size: Size) -> Fig11 {
-    let cases = suite().iter().map(|s| run_case(s, size)).collect();
+    let loads = jobs::prebuild(suite(), size);
+    let cases = jobs::par_map(&loads, run_case);
 
-    let mut schemes = Vec::new();
-    for kind in SyncKind::ALL {
-        let mut total = 0u64;
-        let mut ops = 0u64;
-        for spec in suite() {
-            let program = (spec.build)(size);
-            let r = run_mode_sync(&program, Mode::Jit, kind, &mut NullSink);
-            check(&spec, size, &r);
-            total += r.sync_stats.total_cycles;
-            ops += r.sync_stats.enters() + r.sync_stats.exits;
-        }
-        schemes.push(SchemeRow {
-            scheme: kind,
-            total_cycles: total,
-            cycles_per_op: total as f64 / ops.max(1) as f64,
-            header_bits: header_bits(kind),
-        });
-    }
+    let work = jobs::cross(&SyncKind::ALL, &loads);
+    let stats = jobs::par_map(&work, |(kind, w)| {
+        let r = run_mode_sync(&w.program, Mode::Jit, *kind, &mut NullSink);
+        w.check(&r);
+        r.sync_stats
+    });
+    let schemes = SyncKind::ALL
+        .iter()
+        .map(|&kind| {
+            let mut total = 0u64;
+            let mut ops = 0u64;
+            for ((k, _), s) in work.iter().zip(&stats) {
+                if *k != kind {
+                    continue;
+                }
+                total += s.total_cycles;
+                ops += s.enters() + s.exits;
+            }
+            SchemeRow {
+                scheme: kind,
+                total_cycles: total,
+                cycles_per_op: total as f64 / ops.max(1) as f64,
+                header_bits: header_bits(kind),
+            }
+        })
+        .collect();
     Fig11 { cases, schemes }
 }
 

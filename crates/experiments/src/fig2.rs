@@ -6,7 +6,8 @@
 //! heavier on indirect jumps (`switch` dispatch), while the JIT shows
 //! more direct branches and calls.
 
-use crate::runner::{check, run_mode, Mode};
+use crate::jobs;
+use crate::runner::{run_mode, Mode};
 use crate::table::{pct, Table};
 use jrt_trace::InstMix;
 use jrt_workloads::{suite, Size};
@@ -42,9 +43,11 @@ impl Fig2 {
             ("indirect jumps", s_i.indirect_jumps, s_j.indirect_jumps),
             ("returns", s_i.returns, s_j.returns),
             ("transfers (total)", s_i.transfers, s_j.transfers),
-            ("indirect share of transfers",
+            (
+                "indirect share of transfers",
                 self.interp.indirect_share_of_transfers(),
-                self.jit.indirect_share_of_transfers()),
+                self.jit.indirect_share_of_transfers(),
+            ),
         ] {
             t.row(vec![name.into(), pct(a), pct(b)]);
         }
@@ -58,7 +61,13 @@ impl Fig2 {
     pub fn per_benchmark_table(&self) -> Table {
         let mut t = Table::new(
             "Instruction mix per benchmark",
-            &["benchmark", "mode", "memory", "transfers", "indirect-of-transfers"],
+            &[
+                "benchmark",
+                "mode",
+                "memory",
+                "transfers",
+                "indirect-of-transfers",
+            ],
         );
         for (name, mi, mj) in &self.per_benchmark {
             t.row(vec![
@@ -80,23 +89,25 @@ impl Fig2 {
     }
 }
 
-/// Runs the Figure 2 experiment.
+/// Runs the Figure 2 experiment: one job per benchmark × mode, with
+/// per-mode cumulative mixes merged in canonical suite order.
 pub fn run(size: Size) -> Fig2 {
+    let work = jobs::cross(&jobs::prebuild(suite(), size), &Mode::BOTH);
+    let mixes = jobs::par_map(&work, |(w, mode)| {
+        let mut mix = InstMix::new();
+        let r = run_mode(&w.program, *mode, &mut mix);
+        w.check(&r);
+        mix
+    });
+
     let mut interp = InstMix::new();
     let mut jit = InstMix::new();
     let mut per_benchmark = Vec::new();
-    for spec in suite() {
-        let program = (spec.build)(size);
-        let mut mi = InstMix::new();
-        let r = run_mode(&program, Mode::Interp, &mut mi);
-        check(&spec, size, &r);
-        interp.merge(&mi);
-
-        let mut mj = InstMix::new();
-        let r = run_mode(&program, Mode::Jit, &mut mj);
-        check(&spec, size, &r);
-        jit.merge(&mj);
-        per_benchmark.push((spec.name, mi, mj));
+    for (pair, mix_pair) in work.chunks(2).zip(mixes.chunks(2)) {
+        let (mi, mj) = (&mix_pair[0], &mix_pair[1]);
+        interp.merge(mi);
+        jit.merge(mj);
+        per_benchmark.push((pair[0].0.spec.name, mi.clone(), mj.clone()));
     }
     Fig2 {
         interp,
@@ -118,9 +129,7 @@ mod tests {
         assert!(f.interp.memory_fraction() > 0.30 && f.interp.memory_fraction() < 0.60);
         assert!(f.jit.memory_fraction() > 0.10 && f.jit.memory_fraction() < 0.45);
         // Indirect transfers dominate the interpreter's control flow.
-        assert!(
-            f.interp.indirect_share_of_transfers() > f.jit.indirect_share_of_transfers() * 1.5
-        );
+        assert!(f.interp.indirect_share_of_transfers() > f.jit.indirect_share_of_transfers() * 1.5);
         assert_eq!(f.table().len(), 10);
     }
 }

@@ -4,10 +4,11 @@
 //! JIT mode 50–90% of data misses are writes (code generation and
 //! installation), far more than in interpreter mode.
 
-use crate::runner::{check, run_mode, Mode};
+use crate::jobs::{self, Workload};
+use crate::runner::{run_mode, Mode};
 use crate::table::{pct, Table};
 use jrt_cache::{CacheConfig, SplitCaches};
-use jrt_workloads::{suite, Size, Spec};
+use jrt_workloads::{suite, Size};
 
 /// One benchmark × mode measurement.
 #[derive(Debug, Clone, Copy)]
@@ -56,30 +57,26 @@ impl Fig3 {
     }
 }
 
-fn run_one(spec: &Spec, size: Size, mode: Mode) -> Fig3Row {
-    let program = (spec.build)(size);
+fn run_one(w: &Workload, mode: Mode) -> Fig3Row {
     let mut caches = SplitCaches::new(
         CacheConfig::paper_write_study(),
         CacheConfig::paper_write_study(),
     );
-    let r = run_mode(&program, mode, &mut caches);
-    check(spec, size, &r);
+    let r = run_mode(&w.program, mode, &mut caches);
+    w.check(&r);
     Fig3Row {
-        name: spec.name,
+        name: w.spec.name,
         mode,
         write_fraction: caches.dcache().stats().write_miss_fraction(),
     }
 }
 
-/// Runs the Figure 3 experiment.
+/// Runs the Figure 3 experiment, one job per benchmark × mode.
 pub fn run(size: Size) -> Fig3 {
-    let mut rows = Vec::new();
-    for spec in suite() {
-        for mode in Mode::BOTH {
-            rows.push(run_one(&spec, size, mode));
-        }
+    let work = jobs::cross(&jobs::prebuild(suite(), size), &Mode::BOTH);
+    Fig3 {
+        rows: jobs::par_map(&work, |(w, mode)| run_one(w, *mode)),
     }
-    Fig3 { rows }
 }
 
 #[cfg(test)]

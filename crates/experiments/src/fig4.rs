@@ -10,7 +10,8 @@
 //! I-cache behaviour is close to compiled code; JIT D-cache is the
 //! worst of all (write misses).
 
-use crate::runner::{check, run_mode, Mode};
+use crate::jobs::{self, Workload};
+use crate::runner::{run_mode, Mode};
 use crate::table::{pct, Table};
 use jrt_cache::SplitCaches;
 use jrt_trace::{Phase, PhaseFilter};
@@ -57,32 +58,61 @@ fn is_app_phase(p: Phase) -> bool {
     !matches!(p, Phase::Translate | Phase::ClassLoad)
 }
 
-/// Runs the Figure 4 experiment.
+/// The three execution styles of one benchmark, each its own job.
+fn run_one(w: &Workload, style: &'static str) -> (f64, f64) {
+    match style {
+        "interp" | "jit" => {
+            let mode = if style == "interp" {
+                Mode::Interp
+            } else {
+                Mode::Jit
+            };
+            let mut caches = SplitCaches::paper_l1();
+            let r = run_mode(&w.program, mode, &mut caches);
+            w.check(&r);
+            (
+                caches.icache().stats().miss_rate(),
+                caches.dcache().stats().miss_rate(),
+            )
+        }
+        // AOT proxy: the JIT run with translate/class-load filtered
+        // out before the caches.
+        _ => {
+            let mut filtered = PhaseFilter::new(SplitCaches::paper_l1(), is_app_phase);
+            let r = run_mode(&w.program, Mode::Jit, &mut filtered);
+            w.check(&r);
+            (
+                filtered.inner().icache().stats().miss_rate(),
+                filtered.inner().dcache().stats().miss_rate(),
+            )
+        }
+    }
+}
+
+/// Runs the Figure 4 experiment: one job per benchmark × style, float
+/// averages summed in canonical (suite-major) order after collection.
 pub fn run(size: Size) -> Fig4 {
+    let styles = ["interp", "jit", "c-like"];
+    let work = jobs::cross(&jobs::prebuild(suite(), size), &styles);
+    let rates = jobs::par_map(&work, |(w, style)| run_one(w, style));
+
     let (mut ii, mut id, mut ji, mut jd, mut ci, mut cd) = (0.0, 0.0, 0.0, 0.0, 0.0, 0.0);
     let n = suite().len() as f64;
-    for spec in suite() {
-        let program = (spec.build)(size);
-
-        let mut caches = SplitCaches::paper_l1();
-        let r = run_mode(&program, Mode::Interp, &mut caches);
-        check(&spec, size, &r);
-        ii += caches.icache().stats().miss_rate();
-        id += caches.dcache().stats().miss_rate();
-
-        let mut caches = SplitCaches::paper_l1();
-        let r = run_mode(&program, Mode::Jit, &mut caches);
-        check(&spec, size, &r);
-        ji += caches.icache().stats().miss_rate();
-        jd += caches.dcache().stats().miss_rate();
-
-        // AOT proxy: the same run with translate/class-load filtered
-        // out before the caches.
-        let mut filtered = PhaseFilter::new(SplitCaches::paper_l1(), is_app_phase);
-        let r = run_mode(&program, Mode::Jit, &mut filtered);
-        check(&spec, size, &r);
-        ci += filtered.inner().icache().stats().miss_rate();
-        cd += filtered.inner().dcache().stats().miss_rate();
+    for ((_, style), (i_rate, d_rate)) in work.iter().zip(&rates) {
+        match *style {
+            "interp" => {
+                ii += i_rate;
+                id += d_rate;
+            }
+            "jit" => {
+                ji += i_rate;
+                jd += d_rate;
+            }
+            _ => {
+                ci += i_rate;
+                cd += d_rate;
+            }
+        }
     }
     Fig4 {
         rows: vec![

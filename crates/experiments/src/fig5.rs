@@ -6,10 +6,11 @@
 //! 40–80% of all D-misses, and ~60% of the translate-portion misses
 //! are writes (code generation/installation).
 
-use crate::runner::{check, run_mode, Mode};
+use crate::jobs::{self, Workload};
+use crate::runner::{run_mode, Mode};
 use crate::table::{pct, Table};
 use jrt_cache::SplitCaches;
-use jrt_workloads::{suite, Size, Spec};
+use jrt_workloads::{suite, Size};
 
 /// One benchmark's translate-portion shares.
 #[derive(Debug, Clone, Copy)]
@@ -63,14 +64,13 @@ impl Fig5 {
     }
 }
 
-fn run_one(spec: &Spec, size: Size) -> Fig5Row {
-    let program = (spec.build)(size);
+fn run_one(w: &Workload) -> Fig5Row {
     let mut caches = SplitCaches::paper_l1();
-    let r = run_mode(&program, Mode::Jit, &mut caches);
-    check(spec, size, &r);
+    let r = run_mode(&w.program, Mode::Jit, &mut caches);
+    w.check(&r);
     let (i, d) = caches.into_inner();
     Fig5Row {
-        name: spec.name,
+        name: w.spec.name,
         i_share: i.translate_stats().misses() as f64 / i.stats().misses().max(1) as f64,
         d_share: d.translate_stats().misses() as f64 / d.stats().misses().max(1) as f64,
         write_share_in_translate: d.translate_stats().write_miss_fraction(),
@@ -79,10 +79,10 @@ fn run_one(spec: &Spec, size: Size) -> Fig5Row {
     }
 }
 
-/// Runs the Figure 5 experiment.
+/// Runs the Figure 5 experiment, one JIT-mode job per benchmark.
 pub fn run(size: Size) -> Fig5 {
     Fig5 {
-        rows: suite().iter().map(|s| run_one(s, size)).collect(),
+        rows: jobs::par_map(&jobs::prebuild(suite(), size), run_one),
     }
 }
 

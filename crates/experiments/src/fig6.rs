@@ -5,7 +5,8 @@
 //! into consistent locality, while the JIT shows many more spikes,
 //! clustered where groups of methods get translated (write misses).
 
-use crate::runner::{check, run_mode, Mode};
+use crate::jobs;
+use crate::runner::{run_mode, Mode};
 use crate::table::Table;
 use jrt_cache::{SplitCaches, TimelineSample};
 use jrt_workloads::{db, Size};
@@ -42,7 +43,12 @@ impl Fig6 {
             "Figure 6: db miss counts per window (D-cache misses)",
             &["window#", "interp", "jit"],
         );
-        let n = self.interp.samples.len().max(self.jit.samples.len()).min(40);
+        let n = self
+            .interp
+            .samples
+            .len()
+            .max(self.jit.samples.len())
+            .min(40);
         for k in 0..n {
             let g = |s: &[TimelineSample]| {
                 s.get(k)
@@ -58,12 +64,10 @@ impl Fig6 {
     }
 }
 
-fn run_one(size: Size, mode: Mode, window: u64) -> ModeTimeline {
-    let program = db::program(size);
+fn run_one(program: &jrt_bytecode::Program, size: Size, mode: Mode, window: u64) -> ModeTimeline {
     let mut caches = SplitCaches::paper_l1().with_timeline(window);
-    let r = run_mode(&program, mode, &mut caches);
+    let r = run_mode(program, mode, &mut caches);
     assert_eq!(r.exit_value, Some(db::expected(size)));
-    let _ = check; // suite-level checker unused; db checked directly
     let timeline = caches.timeline().expect("timeline enabled").clone();
     ModeTimeline {
         mode,
@@ -82,10 +86,14 @@ pub fn run(size: Size) -> Fig6 {
         Size::Tiny => 10_000,
         _ => 20_000,
     };
+    let program = db::program(size);
+    let mut timelines = jobs::par_map(&Mode::BOTH, |&mode| run_one(&program, size, mode, window));
+    let jit = timelines.pop().expect("jit timeline");
+    let interp = timelines.pop().expect("interp timeline");
     Fig6 {
         window,
-        interp: run_one(size, Mode::Interp, window),
-        jit: run_one(size, Mode::Jit, window),
+        interp,
+        jit,
     }
 }
 
@@ -107,8 +115,8 @@ mod tests {
         // Startup window dominates the interpreter's tail windows.
         let first = f.interp.samples.first().unwrap();
         let tail = &f.interp.samples[f.interp.samples.len() / 2..];
-        let tail_mean = tail.iter().map(|s| s.d_misses + s.i_misses).sum::<u64>()
-            / tail.len() as u64;
+        let tail_mean =
+            tail.iter().map(|s| s.d_misses + s.i_misses).sum::<u64>() / tail.len() as u64;
         assert!(
             first.d_misses + first.i_misses > tail_mean,
             "startup {} vs steady {}",

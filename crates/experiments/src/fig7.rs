@@ -4,7 +4,8 @@
 //! The paper: higher associativity reduces misses, with the largest
 //! step from direct-mapped to 2-way.
 
-use crate::runner::{check, run_mode, Mode};
+use crate::jobs::{self, Workload};
+use crate::runner::{run_mode, Mode};
 use crate::table::{pct, Table};
 use jrt_cache::{CacheConfig, SplitCaches};
 use jrt_workloads::{suite, Size};
@@ -59,41 +60,68 @@ impl Fig7 {
     }
 }
 
-fn run_one(size: Size, mode: Mode) -> Fig7Row {
-    // One pass per benchmark drives all four configurations.
-    let mut refs = [(0u64, 0u64); 4]; // (i_refs, d_refs)
-    let mut misses = [(0u64, 0u64); 4];
-    for spec in suite() {
-        let program = (spec.build)(size);
-        let mut sweep: Vec<SplitCaches> = ASSOCS
-            .iter()
-            .map(|&a| {
-                SplitCaches::new(CacheConfig::paper_assoc_sweep(a), CacheConfig::paper_assoc_sweep(a))
-            })
-            .collect();
-        let r = run_mode(&program, mode, &mut sweep);
-        check(&spec, size, &r);
-        for (k, caches) in sweep.iter().enumerate() {
-            refs[k].0 += caches.icache().stats().refs();
-            refs[k].1 += caches.dcache().stats().refs();
-            misses[k].0 += caches.icache().stats().misses();
-            misses[k].1 += caches.dcache().stats().misses();
-        }
+/// One benchmark × mode job: a single pass drives all four
+/// configurations, returning `(i_refs, d_refs, i_misses, d_misses)`
+/// per associativity.
+fn run_one(w: &Workload, mode: Mode) -> [(u64, u64, u64, u64); 4] {
+    let mut sweep: Vec<SplitCaches> = ASSOCS
+        .iter()
+        .map(|&a| {
+            SplitCaches::new(
+                CacheConfig::paper_assoc_sweep(a),
+                CacheConfig::paper_assoc_sweep(a),
+            )
+        })
+        .collect();
+    let r = run_mode(&w.program, mode, &mut sweep);
+    w.check(&r);
+    let mut out = [(0, 0, 0, 0); 4];
+    for (k, caches) in sweep.iter().enumerate() {
+        out[k] = (
+            caches.icache().stats().refs(),
+            caches.dcache().stats().refs(),
+            caches.icache().stats().misses(),
+            caches.dcache().stats().misses(),
+        );
     }
-    let mut i_miss = [0.0; 4];
-    let mut d_miss = [0.0; 4];
-    for k in 0..4 {
-        i_miss[k] = misses[k].0 as f64 / refs[k].0.max(1) as f64;
-        d_miss[k] = misses[k].1 as f64 / refs[k].1.max(1) as f64;
-    }
-    Fig7Row { mode, i_miss, d_miss }
+    out
 }
 
-/// Runs the Figure 7 experiment.
+/// Runs the Figure 7 experiment: one job per benchmark × mode, with
+/// the suite aggregate folded mode-major after collection.
 pub fn run(size: Size) -> Fig7 {
-    Fig7 {
-        rows: Mode::BOTH.iter().map(|&m| run_one(size, m)).collect(),
-    }
+    let work = jobs::cross(&jobs::prebuild(suite(), size), &Mode::BOTH);
+    let counts = jobs::par_map(&work, |(w, mode)| run_one(w, *mode));
+    let rows = Mode::BOTH
+        .iter()
+        .map(|&mode| {
+            let mut refs = [(0u64, 0u64); 4]; // (i_refs, d_refs)
+            let mut misses = [(0u64, 0u64); 4];
+            for ((_, m), per_assoc) in work.iter().zip(&counts) {
+                if *m != mode {
+                    continue;
+                }
+                for (k, &(ir, dr, im, dm)) in per_assoc.iter().enumerate() {
+                    refs[k].0 += ir;
+                    refs[k].1 += dr;
+                    misses[k].0 += im;
+                    misses[k].1 += dm;
+                }
+            }
+            let mut i_miss = [0.0; 4];
+            let mut d_miss = [0.0; 4];
+            for k in 0..4 {
+                i_miss[k] = misses[k].0 as f64 / refs[k].0.max(1) as f64;
+                d_miss[k] = misses[k].1 as f64 / refs[k].1.max(1) as f64;
+            }
+            Fig7Row {
+                mode,
+                i_miss,
+                d_miss,
+            }
+        })
+        .collect();
+    Fig7 { rows }
 }
 
 #[cfg(test)]

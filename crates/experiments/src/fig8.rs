@@ -6,7 +6,8 @@
 //! beyond a method), while JIT mode does best at 32–64 B (object and
 //! array sizes).
 
-use crate::runner::{check, run_mode, Mode};
+use crate::jobs::{self, Workload};
+use crate::runner::{run_mode, Mode};
 use crate::table::{pct, Table};
 use jrt_cache::{CacheConfig, SplitCaches};
 use jrt_workloads::{suite, Size};
@@ -75,44 +76,74 @@ impl Fig8 {
 
     /// Row accessor.
     pub fn get(&self, mode: Mode) -> &Fig8Row {
-        self.rows.iter().find(|r| r.mode == mode).expect("mode present")
-    }
-}
-
-fn run_one(size: Size, mode: Mode) -> Fig8Row {
-    let mut refs = [(0u64, 0u64); 4];
-    let mut misses = [(0u64, 0u64); 4];
-    for spec in suite() {
-        let program = (spec.build)(size);
-        let mut sweep: Vec<SplitCaches> = LINES
+        self.rows
             .iter()
-            .map(|&l| {
-                SplitCaches::new(CacheConfig::paper_line_sweep(l), CacheConfig::paper_line_sweep(l))
-            })
-            .collect();
-        let r = run_mode(&program, mode, &mut sweep);
-        check(&spec, size, &r);
-        for (k, caches) in sweep.iter().enumerate() {
-            refs[k].0 += caches.icache().stats().refs();
-            refs[k].1 += caches.dcache().stats().refs();
-            misses[k].0 += caches.icache().stats().misses();
-            misses[k].1 += caches.dcache().stats().misses();
-        }
+            .find(|r| r.mode == mode)
+            .expect("mode present")
     }
-    let mut i_miss = [0.0; 4];
-    let mut d_miss = [0.0; 4];
-    for k in 0..4 {
-        i_miss[k] = misses[k].0 as f64 / refs[k].0.max(1) as f64;
-        d_miss[k] = misses[k].1 as f64 / refs[k].1.max(1) as f64;
-    }
-    Fig8Row { mode, i_miss, d_miss }
 }
 
-/// Runs the Figure 8 experiment.
-pub fn run(size: Size) -> Fig8 {
-    Fig8 {
-        rows: Mode::BOTH.iter().map(|&m| run_one(size, m)).collect(),
+/// One benchmark × mode job: a single pass drives all four line
+/// sizes, returning `(i_refs, d_refs, i_misses, d_misses)` per line.
+fn run_one(w: &Workload, mode: Mode) -> [(u64, u64, u64, u64); 4] {
+    let mut sweep: Vec<SplitCaches> = LINES
+        .iter()
+        .map(|&l| {
+            SplitCaches::new(
+                CacheConfig::paper_line_sweep(l),
+                CacheConfig::paper_line_sweep(l),
+            )
+        })
+        .collect();
+    let r = run_mode(&w.program, mode, &mut sweep);
+    w.check(&r);
+    let mut out = [(0, 0, 0, 0); 4];
+    for (k, caches) in sweep.iter().enumerate() {
+        out[k] = (
+            caches.icache().stats().refs(),
+            caches.dcache().stats().refs(),
+            caches.icache().stats().misses(),
+            caches.dcache().stats().misses(),
+        );
     }
+    out
+}
+
+/// Runs the Figure 8 experiment: one job per benchmark × mode, with
+/// the suite aggregate folded mode-major after collection.
+pub fn run(size: Size) -> Fig8 {
+    let work = jobs::cross(&jobs::prebuild(suite(), size), &Mode::BOTH);
+    let counts = jobs::par_map(&work, |(w, mode)| run_one(w, *mode));
+    let rows = Mode::BOTH
+        .iter()
+        .map(|&mode| {
+            let mut refs = [(0u64, 0u64); 4];
+            let mut misses = [(0u64, 0u64); 4];
+            for ((_, m), per_line) in work.iter().zip(&counts) {
+                if *m != mode {
+                    continue;
+                }
+                for (k, &(ir, dr, im, dm)) in per_line.iter().enumerate() {
+                    refs[k].0 += ir;
+                    refs[k].1 += dr;
+                    misses[k].0 += im;
+                    misses[k].1 += dm;
+                }
+            }
+            let mut i_miss = [0.0; 4];
+            let mut d_miss = [0.0; 4];
+            for k in 0..4 {
+                i_miss[k] = misses[k].0 as f64 / refs[k].0.max(1) as f64;
+                d_miss[k] = misses[k].1 as f64 / refs[k].1.max(1) as f64;
+            }
+            Fig8Row {
+                mode,
+                i_miss,
+                d_miss,
+            }
+        })
+        .collect();
+    Fig8 { rows }
 }
 
 #[cfg(test)]

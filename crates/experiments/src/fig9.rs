@@ -7,10 +7,11 @@
 //! starves the front end; the JIT scales more evenly. Figure 10 plots
 //! the same runs as execution time normalized to width 1.
 
-use crate::runner::{check, run_mode, Mode};
+use crate::jobs::{self, Workload};
+use crate::runner::{run_mode, Mode};
 use crate::table::Table;
 use jrt_ilp::{Pipeline, PipelineConfig, PipelineReport};
-use jrt_workloads::{suite, Size, Spec};
+use jrt_workloads::{suite, Size};
 
 /// Issue widths swept.
 pub const WIDTHS: [u32; 4] = [1, 2, 4, 8];
@@ -66,7 +67,15 @@ impl Fig9 {
     pub fn table(&self) -> Table {
         let mut t = Table::new(
             "Figure 9: IPC vs issue width",
-            &["benchmark", "mode", "w=1", "w=2", "w=4", "w=8", "scale(8/1)"],
+            &[
+                "benchmark",
+                "mode",
+                "w=1",
+                "w=2",
+                "w=4",
+                "w=8",
+                "scale(8/1)",
+            ],
         );
         for r in &self.rows {
             let ipc = r.ipc();
@@ -126,16 +135,15 @@ impl Fig9 {
     }
 }
 
-fn run_one(spec: &Spec, size: Size, mode: Mode) -> Fig9Row {
-    let program = (spec.build)(size);
+fn run_one(w: &Workload, mode: Mode) -> Fig9Row {
     let mut pipes: Vec<Pipeline> = WIDTHS
         .iter()
         .map(|&w| Pipeline::new(PipelineConfig::paper(w)))
         .collect();
-    let r = run_mode(&program, mode, &mut pipes);
-    check(spec, size, &r);
+    let r = run_mode(&w.program, mode, &mut pipes);
+    w.check(&r);
     Fig9Row {
-        name: spec.name,
+        name: w.spec.name,
         mode,
         reports: [
             pipes[0].report(),
@@ -146,15 +154,13 @@ fn run_one(spec: &Spec, size: Size, mode: Mode) -> Fig9Row {
     }
 }
 
-/// Runs the Figures 9/10 experiment.
+/// Runs the Figures 9/10 experiment, one job per benchmark × mode
+/// (each job drives its own four-pipeline sweep).
 pub fn run(size: Size) -> Fig9 {
-    let mut rows = Vec::new();
-    for spec in suite() {
-        for mode in Mode::BOTH {
-            rows.push(run_one(&spec, size, mode));
-        }
+    let work = jobs::cross(&jobs::prebuild(suite(), size), &Mode::BOTH);
+    Fig9 {
+        rows: jobs::par_map(&work, |(w, mode)| run_one(w, *mode)),
     }
-    Fig9 { rows }
 }
 
 #[cfg(test)]

@@ -10,12 +10,12 @@
 //! experiment implements folding in the interpreter and measures
 //! instruction count and IPC at issue widths 1–8.
 
-use crate::runner::check;
+use crate::jobs::{self, Workload};
 use crate::table::{count, pct, Table};
 use jrt_ilp::{Pipeline, PipelineConfig};
 use jrt_trace::CountingSink;
 use jrt_vm::{Vm, VmConfig};
-use jrt_workloads::{suite, Size, Spec};
+use jrt_workloads::{suite, Size};
 
 /// Folding-vs-baseline interpreter measurements for one benchmark.
 #[derive(Debug, Clone, Copy)]
@@ -41,8 +41,7 @@ impl FoldingRow {
     /// Wide-issue (w=8) speedup in cycles: (base insts / base IPC) /
     /// (fold insts / fold IPC).
     pub fn w8_speedup(&self) -> f64 {
-        (self.base_insts as f64 / self.base_ipc[1])
-            / (self.fold_insts as f64 / self.fold_ipc[1])
+        (self.base_insts as f64 / self.base_ipc[1]) / (self.fold_insts as f64 / self.fold_ipc[1])
     }
 }
 
@@ -88,8 +87,7 @@ impl Folding {
     }
 }
 
-fn measure(spec: &Spec, size: Size, folding: bool) -> (u64, [f64; 2]) {
-    let program = (spec.build)(size);
+fn measure(w: &Workload, folding: bool) -> (u64, [f64; 2]) {
     let cfg = if folding {
         VmConfig::interpreter().with_folding()
     } else {
@@ -102,23 +100,27 @@ fn measure(spec: &Spec, size: Size, folding: bool) -> (u64, [f64; 2]) {
             Pipeline::new(PipelineConfig::paper(8)),
         ],
     );
-    let r = Vm::new(&program, cfg).run(&mut sinks).expect("clean run");
-    check(spec, size, &r);
+    let r = Vm::new(&w.program, cfg).run(&mut sinks).expect("clean run");
+    w.check(&r);
     (
         sinks.0.total(),
         [sinks.1[0].report().ipc(), sinks.1[1].report().ipc()],
     )
 }
 
-/// Runs the folding study (interpreter mode only).
+/// Runs the folding study (interpreter mode only), one job per
+/// benchmark × {baseline, folding}, paired back up in suite order.
 pub fn run(size: Size) -> Folding {
-    let rows = suite()
-        .iter()
-        .map(|spec| {
-            let (base_insts, base_ipc) = measure(spec, size, false);
-            let (fold_insts, fold_ipc) = measure(spec, size, true);
+    let work = jobs::cross(&jobs::prebuild(suite(), size), &[false, true]);
+    let measured = jobs::par_map(&work, |(w, folding)| measure(w, *folding));
+    let rows = work
+        .chunks(2)
+        .zip(measured.chunks(2))
+        .map(|(pair, m)| {
+            let (base_insts, base_ipc) = m[0];
+            let (fold_insts, fold_ipc) = m[1];
             FoldingRow {
-                name: spec.name,
+                name: pair[0].0.spec.name,
                 base_insts,
                 fold_insts,
                 base_ipc,

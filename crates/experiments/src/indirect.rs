@@ -8,10 +8,11 @@
 //! path-history target cache of the same entry count, and reports the
 //! misprediction reduction.
 
-use crate::runner::{check, run_mode, Mode};
+use crate::jobs::{self, Workload};
+use crate::runner::{run_mode, Mode};
 use crate::table::{pct, Table};
 use jrt_bpred::{BranchEval, Gshare};
-use jrt_workloads::{suite, Size, Spec};
+use jrt_workloads::{suite, Size};
 
 /// BTB-vs-target-cache rates for one benchmark × mode.
 #[derive(Debug, Clone, Copy)]
@@ -75,16 +76,16 @@ impl Indirect {
     }
 }
 
-fn run_one(spec: &Spec, size: Size, mode: Mode) -> IndirectRow {
-    let program = (spec.build)(size);
+fn run_one(w: &Workload, mode: Mode) -> IndirectRow {
+    let program = &w.program;
     let mut evals = vec![
         BranchEval::new(Box::new(Gshare::paper())),
         BranchEval::new(Box::new(Gshare::paper())).with_target_cache(),
     ];
-    let r = run_mode(&program, mode, &mut evals);
-    check(spec, size, &r);
+    let r = run_mode(program, mode, &mut evals);
+    w.check(&r);
     IndirectRow {
-        name: spec.name,
+        name: w.spec.name,
         mode,
         btb_rate: evals[0].stats().overall_rate(),
         tc_rate: evals[1].stats().overall_rate(),
@@ -93,15 +94,12 @@ fn run_one(spec: &Spec, size: Size, mode: Mode) -> IndirectRow {
     }
 }
 
-/// Runs the study.
+/// Runs the study, one job per benchmark × mode.
 pub fn run(size: Size) -> Indirect {
-    let mut rows = Vec::new();
-    for spec in suite() {
-        for mode in Mode::BOTH {
-            rows.push(run_one(&spec, size, mode));
-        }
+    let work = jobs::cross(&jobs::prebuild(suite(), size), &Mode::BOTH);
+    Indirect {
+        rows: jobs::par_map(&work, |(w, mode)| run_one(w, *mode)),
     }
-    Indirect { rows }
 }
 
 #[cfg(test)]

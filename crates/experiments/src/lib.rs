@@ -27,6 +27,11 @@
 //!
 //! [`report::run_all`] executes everything and renders the
 //! `EXPERIMENTS.md` comparison document.
+//!
+//! Every driver fans its `(workload, mode)` cross-product out on the
+//! [`jobs`] work-queue scheduler (worker count from `JRT_JOBS` or the
+//! machine) and merges results in canonical order, so reports are
+//! bit-identical at any worker count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -43,6 +48,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod folding;
 pub mod indirect;
+pub mod jobs;
 pub mod proposal;
 pub mod report;
 pub mod runner;

@@ -8,10 +8,11 @@
 //! (double-caching). This experiment implements the proposal in the
 //! cache model and measures what it saves in JIT mode.
 
-use crate::runner::{check, run_mode, Mode};
+use crate::jobs::{self, Workload};
+use crate::runner::{run_mode, Mode};
 use crate::table::{count, pct, Table};
 use jrt_cache::SplitCaches;
-use jrt_workloads::{suite, Size, Spec};
+use jrt_workloads::{suite, Size};
 
 /// Baseline-vs-proposal miss counts for one benchmark (JIT mode).
 #[derive(Debug, Clone, Copy)]
@@ -71,18 +72,17 @@ impl Proposal {
     }
 }
 
-fn run_one(spec: &Spec, size: Size) -> ProposalRow {
-    let program = (spec.build)(size);
+fn run_one(w: &Workload) -> ProposalRow {
     // One run drives both configurations.
     let mut sinks = (
         SplitCaches::paper_l1(),
         SplitCaches::paper_l1().with_install_into_icache(),
     );
-    let r = run_mode(&program, Mode::Jit, &mut sinks);
-    check(spec, size, &r);
+    let r = run_mode(&w.program, Mode::Jit, &mut sinks);
+    w.check(&r);
     let (base, prop) = sinks;
     ProposalRow {
-        name: spec.name,
+        name: w.spec.name,
         base_misses: base.icache().stats().misses() + base.dcache().stats().misses(),
         base_write_misses: base.dcache().stats().write_misses,
         prop_misses: prop.icache().stats().misses() + prop.dcache().stats().misses(),
@@ -90,10 +90,10 @@ fn run_one(spec: &Spec, size: Size) -> ProposalRow {
 }
 
 /// Runs the proposal study (JIT mode only; the proposal does not
-/// apply to the interpreter).
+/// apply to the interpreter), one job per benchmark.
 pub fn run(size: Size) -> Proposal {
     Proposal {
-        rows: suite().iter().map(|s| run_one(s, size)).collect(),
+        rows: jobs::par_map(&jobs::prebuild(suite(), size), run_one),
     }
 }
 

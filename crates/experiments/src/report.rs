@@ -1,8 +1,8 @@
 //! Full reproduction run: executes every experiment and renders the
 //! `EXPERIMENTS.md` paper-vs-measured report.
 
-use crate::{fig1, fig11, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, table1, table2, table3};
 use crate::runner::Mode;
+use crate::{fig1, fig11, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, table1, table2, table3};
 use jrt_workloads::Size;
 use std::fmt::Write as _;
 
@@ -120,7 +120,12 @@ impl Report {
              (code cache + translator), proportionally more for small programs.\n"
         );
         let _ = writeln!(w, "{}", self.table1.table().to_markdown());
-        let over: Vec<f64> = self.table1.rows.iter().map(table1::Table1Row::overhead).collect();
+        let over: Vec<f64> = self
+            .table1
+            .rows
+            .iter()
+            .map(table1::Table1Row::overhead)
+            .collect();
         let (mn, mx) = (
             over.iter().cloned().fold(f64::MAX, f64::min),
             over.iter().cloned().fold(0.0, f64::max),
@@ -186,10 +191,16 @@ impl Report {
              interp's despite fewer references.\n"
         );
         let _ = writeln!(w, "{}", self.table3.table().to_markdown());
-        let ok = self.table3.rows.iter().all(|r| {
-            r.mode != Mode::Interp || r.icache.miss_rate() < 0.01
-        });
-        let _ = writeln!(w, "*Measured:* interp I-miss < 1% everywhere — {}.\n", verdict(ok));
+        let ok = self
+            .table3
+            .rows
+            .iter()
+            .all(|r| r.mode != Mode::Interp || r.icache.miss_rate() < 0.01);
+        let _ = writeln!(
+            w,
+            "*Measured:* interp I-miss < 1% everywhere — {}.\n",
+            verdict(ok)
+        );
 
         let _ = writeln!(w, "## Figure 3 — write share of data misses\n");
         let _ = writeln!(
@@ -236,7 +247,11 @@ impl Report {
                 .iter()
                 .filter(|r| r.name == "db" || r.name == "javac")
                 .all(|r| r.i_rate_translate < r.i_rate_rest + 0.01);
-        let _ = writeln!(w, "*Measured:* write-dominated translate misses — {}.\n", verdict(ok));
+        let _ = writeln!(
+            w,
+            "*Measured:* write-dominated translate misses — {}.\n",
+            verdict(ok)
+        );
 
         let _ = writeln!(w, "## Figure 6 — db miss timeline\n");
         let _ = writeln!(
@@ -253,12 +268,15 @@ impl Report {
              translate-phase misses* (the clustered translation spikes; the \
              interpreter has {}) — {}.\n",
             self.fig6.window,
-            self.fig6.interp.samples.first().map_or(0, |s| s.i_misses + s.d_misses),
+            self.fig6
+                .interp
+                .samples
+                .first()
+                .map_or(0, |s| s.i_misses + s.d_misses),
             self.fig6.jit.translate_clusters,
             self.fig6.interp.translate_clusters,
             verdict(
-                self.fig6.jit.translate_clusters >= 1
-                    && self.fig6.interp.translate_clusters == 0
+                self.fig6.jit.translate_clusters >= 1 && self.fig6.interp.translate_clusters == 0
             )
         );
         let _ = writeln!(w, "{}", self.fig6.table().to_markdown());
@@ -340,7 +358,10 @@ impl Report {
             verdict(self.fig11.case_a_fraction() > 0.8 && self.fig11.thin_speedup() > 1.8)
         );
 
-        let _ = writeln!(w, "## Table 2 recommendation — an indirect-branch predictor\n");
+        let _ = writeln!(
+            w,
+            "## Table 2 recommendation — an indirect-branch predictor\n"
+        );
         let _ = writeln!(
             w,
             "*Paper:* \"if the interpreter mode is used, a predictor \
@@ -362,7 +383,10 @@ impl Report {
             tj * 100.0
         );
 
-        let _ = writeln!(w, "## Section 4.4 suggestion — interpreter instruction folding\n");
+        let _ = writeln!(
+            w,
+            "## Section 4.4 suggestion — interpreter instruction folding\n"
+        );
         let _ = writeln!(
             w,
             "*Paper:* suggests that an interpreter which recognizes 2–4-bytecode \

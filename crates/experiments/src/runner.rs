@@ -54,7 +54,9 @@ pub fn run_mode(program: &Program, mode: Mode, sink: &mut impl TraceSink) -> Run
         Mode::Jit => VmConfig::jit(),
         Mode::Opt => VmConfig::oracle(derive_oracle(program)),
     };
-    Vm::new(program, cfg).run(sink).expect("workload runs clean")
+    Vm::new(program, cfg)
+        .run(sink)
+        .expect("workload runs clean")
 }
 
 /// Runs `program` under `mode` with an explicit monitor scheme.
@@ -70,7 +72,9 @@ pub fn run_mode_sync(
         Mode::Opt => VmConfig::oracle(derive_oracle(program)),
     }
     .with_sync(sync);
-    Vm::new(program, cfg).run(sink).expect("workload runs clean")
+    Vm::new(program, cfg)
+        .run(sink)
+        .expect("workload runs clean")
 }
 
 /// Verifies the run returned the workload's expected checksum.

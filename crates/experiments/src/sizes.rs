@@ -8,6 +8,7 @@
 //! representative benchmarks at three scales and shows the
 //! translation share of JIT time falling as inputs grow.
 
+use crate::jobs;
 use crate::runner::{check, run_mode, Mode};
 use crate::table::{pct, Table};
 use jrt_trace::{CountingSink, Phase};
@@ -61,29 +62,23 @@ impl Sizes {
 
 const SIZES: [Size; 3] = [Size::Tiny, Size::S1, Size::S10];
 
-fn run_one(spec: &Spec) -> SizesRow {
-    let mut translate_share = [0.0; 3];
-    let mut interp_ratio = [0.0; 3];
-    for (k, &size) in SIZES.iter().enumerate() {
-        let program = (spec.build)(size);
-        let mut jit = CountingSink::new();
-        let r = run_mode(&program, Mode::Jit, &mut jit);
-        check(spec, size, &r);
-        translate_share[k] = jit.phase(Phase::Translate) as f64 / jit.total() as f64;
-        let mut interp = CountingSink::new();
-        let r = run_mode(&program, Mode::Interp, &mut interp);
-        check(spec, size, &r);
-        interp_ratio[k] = interp.total() as f64 / jit.total() as f64;
-    }
-    SizesRow {
-        name: spec.name,
-        translate_share,
-        interp_ratio,
-    }
+/// One benchmark × size job (the program is built inside the job —
+/// sizes differ per job, so there is no shared prebuild).
+fn run_point(spec: &Spec, size: Size) -> (f64, f64) {
+    let program = (spec.build)(size);
+    let mut jit = CountingSink::new();
+    let r = run_mode(&program, Mode::Jit, &mut jit);
+    check(spec, size, &r);
+    let translate_share = jit.phase(Phase::Translate) as f64 / jit.total() as f64;
+    let mut interp = CountingSink::new();
+    let r = run_mode(&program, Mode::Interp, &mut interp);
+    check(spec, size, &r);
+    (translate_share, interp.total() as f64 / jit.total() as f64)
 }
 
 /// Runs the size sweep on three representative benchmarks
-/// (translation-heavy `db`/`javac`, execution-heavy `compress`).
+/// (translation-heavy `db`/`javac`, execution-heavy `compress`),
+/// one job per benchmark × size.
 pub fn run() -> Sizes {
     let specs = [
         Spec {
@@ -105,9 +100,18 @@ pub fn run() -> Sizes {
             multithreaded: false,
         },
     ];
-    Sizes {
-        rows: specs.iter().map(run_one).collect(),
-    }
+    let work = jobs::cross(&specs, &SIZES);
+    let points = jobs::par_map(&work, |(spec, size)| run_point(spec, *size));
+    let rows = specs
+        .iter()
+        .zip(points.chunks(3))
+        .map(|(spec, p)| SizesRow {
+            name: spec.name,
+            translate_share: [p[0].0, p[1].0, p[2].0],
+            interp_ratio: [p[0].1, p[1].1, p[2].1],
+        })
+        .collect();
+    Sizes { rows }
 }
 
 #[cfg(test)]

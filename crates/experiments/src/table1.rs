@@ -5,11 +5,11 @@
 //! buffers, and notes the overhead is proportionally larger for
 //! applications with small dynamic memory use (like `db`).
 
-use crate::runner::check;
+use crate::jobs::{self, Workload};
 use crate::table::{count, pct, Table};
 use jrt_trace::NullSink;
 use jrt_vm::{Footprint, Vm, VmConfig};
-use jrt_workloads::{suite, Size, Spec};
+use jrt_workloads::{suite, Size};
 
 /// One benchmark's footprint comparison.
 #[derive(Debug, Clone, Copy)]
@@ -41,7 +41,14 @@ impl Table1 {
     pub fn table(&self) -> Table {
         let mut t = Table::new(
             "Table 1: memory footprint (bytes)",
-            &["benchmark", "interp", "jit", "code-cache", "translator", "jit-overhead"],
+            &[
+                "benchmark",
+                "interp",
+                "jit",
+                "code-cache",
+                "translator",
+                "jit-overhead",
+            ],
         );
         for r in &self.rows {
             t.row(vec![
@@ -57,27 +64,27 @@ impl Table1 {
     }
 }
 
-fn run_one(spec: &Spec, size: Size) -> Table1Row {
-    let program = (spec.build)(size);
-    let interp = Vm::new(&program, VmConfig::interpreter())
+fn run_one(w: &Workload) -> Table1Row {
+    let interp = Vm::new(&w.program, VmConfig::interpreter())
         .run(&mut NullSink)
         .expect("interp run");
-    check(spec, size, &interp);
-    let jit = Vm::new(&program, VmConfig::jit())
+    w.check(&interp);
+    let jit = Vm::new(&w.program, VmConfig::jit())
         .run(&mut NullSink)
         .expect("jit run");
-    check(spec, size, &jit);
+    w.check(&jit);
     Table1Row {
-        name: spec.name,
+        name: w.spec.name,
         interp: interp.footprint,
         jit: jit.footprint,
     }
 }
 
-/// Runs the Table 1 experiment.
+/// Runs the Table 1 experiment, one job per benchmark.
 pub fn run(size: Size) -> Table1 {
+    let loads = jobs::prebuild(suite(), size);
     Table1 {
-        rows: suite().iter().map(|s| run_one(s, size)).collect(),
+        rows: jobs::par_map(&loads, run_one),
     }
 }
 

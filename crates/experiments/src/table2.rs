@@ -6,10 +6,11 @@
 //! accuracy 65–87% interp vs. 80–92% JIT) because of its indirect
 //! dispatch jumps.
 
-use crate::runner::{check, run_mode, Mode};
+use crate::jobs::{self, Workload};
+use crate::runner::{run_mode, Mode};
 use crate::table::{pct, Table};
 use jrt_bpred::{Bht, BranchEval, GAp, Gshare, TwoBit};
-use jrt_workloads::{suite, Size, Spec};
+use jrt_workloads::{suite, Size};
 
 /// Misprediction rates (0–1) for the four predictors.
 #[derive(Debug, Clone, Copy)]
@@ -74,18 +75,18 @@ impl Table2 {
     }
 }
 
-fn run_one(spec: &Spec, size: Size, mode: Mode) -> Table2Row {
-    let program = (spec.build)(size);
+fn run_one(w: &Workload, mode: Mode) -> Table2Row {
+    let program = &w.program;
     let mut evals = vec![
         BranchEval::new(Box::new(TwoBit::new())),
         BranchEval::new(Box::new(Bht::paper())),
         BranchEval::new(Box::new(Gshare::paper())),
         BranchEval::new(Box::new(GAp::paper())),
     ];
-    let r = run_mode(&program, mode, &mut evals);
-    check(spec, size, &r);
+    let r = run_mode(program, mode, &mut evals);
+    w.check(&r);
     Table2Row {
-        name: spec.name,
+        name: w.spec.name,
         mode,
         rates: PredictorRates {
             two_bit: evals[0].stats().overall_rate(),
@@ -96,15 +97,12 @@ fn run_one(spec: &Spec, size: Size, mode: Mode) -> Table2Row {
     }
 }
 
-/// Runs the Table 2 experiment.
+/// Runs the Table 2 experiment, one job per benchmark × mode.
 pub fn run(size: Size) -> Table2 {
-    let mut rows = Vec::new();
-    for spec in suite() {
-        for mode in Mode::BOTH {
-            rows.push(run_one(&spec, size, mode));
-        }
+    let work = jobs::cross(&jobs::prebuild(suite(), size), &Mode::BOTH);
+    Table2 {
+        rows: jobs::par_map(&work, |(w, mode)| run_one(w, *mode)),
     }
-    Table2 { rows }
 }
 
 #[cfg(test)]

@@ -7,10 +7,11 @@
 //! far fewer references (registers replace the operand stack) but
 //! *more* misses (code generation/installation write misses).
 
-use crate::runner::{check, run_mode, Mode};
+use crate::jobs::{self, Workload};
+use crate::runner::{run_mode, Mode};
 use crate::table::{count, pct, Table};
 use jrt_cache::{CacheStats, SplitCaches};
-use jrt_workloads::{suite, Size, Spec};
+use jrt_workloads::{suite, Size};
 
 /// One benchmark × mode row.
 #[derive(Debug, Clone, Copy)]
@@ -38,8 +39,14 @@ impl Table3 {
         let mut t = Table::new(
             "Table 3: cache performance (64K/32B, I 2-way, D 4-way)",
             &[
-                "benchmark", "mode", "I-refs", "I-misses", "I-miss%",
-                "D-refs", "D-misses", "D-miss%",
+                "benchmark",
+                "mode",
+                "I-refs",
+                "I-misses",
+                "I-miss%",
+                "D-refs",
+                "D-misses",
+                "D-miss%",
             ],
         );
         for r in &self.rows {
@@ -63,29 +70,25 @@ impl Table3 {
     }
 }
 
-fn run_one(spec: &Spec, size: Size, mode: Mode) -> Table3Row {
-    let program = (spec.build)(size);
+fn run_one(w: &Workload, mode: Mode) -> Table3Row {
     let mut caches = SplitCaches::paper_l1();
-    let r = run_mode(&program, mode, &mut caches);
-    check(spec, size, &r);
+    let r = run_mode(&w.program, mode, &mut caches);
+    w.check(&r);
     let (i, d) = caches.into_inner();
     Table3Row {
-        name: spec.name,
+        name: w.spec.name,
         mode,
         icache: *i.stats(),
         dcache: *d.stats(),
     }
 }
 
-/// Runs the Table 3 experiment.
+/// Runs the Table 3 experiment, one job per benchmark × mode.
 pub fn run(size: Size) -> Table3 {
-    let mut rows = Vec::new();
-    for spec in suite() {
-        for mode in Mode::BOTH {
-            rows.push(run_one(&spec, size, mode));
-        }
+    let work = jobs::cross(&jobs::prebuild(suite(), size), &Mode::BOTH);
+    Table3 {
+        rows: jobs::par_map(&work, |(w, mode)| run_one(w, *mode)),
     }
-    Table3 { rows }
 }
 
 #[cfg(test)]

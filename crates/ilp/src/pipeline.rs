@@ -293,7 +293,11 @@ mod tests {
         let r1 = run(1, straight_alus(40000));
         let r4 = run(4, straight_alus(40000));
         assert!(r1.ipc() <= 1.05, "width 1 caps IPC at 1, got {}", r1.ipc());
-        assert!(r4.ipc() > 3.0, "width 4 should near-quadruple, got {}", r4.ipc());
+        assert!(
+            r4.ipc() > 3.0,
+            "width 4 should near-quadruple, got {}",
+            r4.ipc()
+        );
     }
 
     #[test]

@@ -180,7 +180,10 @@ mod tests {
     fn contention_blocks() {
         let mut e = FatLockEngine::new();
         e.monitor_enter(1, 1);
-        assert!(matches!(e.monitor_enter(1, 2), EnterOutcome::Blocked { .. }));
+        assert!(matches!(
+            e.monitor_enter(1, 2),
+            EnterOutcome::Blocked { .. }
+        ));
         // Blocked attempts don't inflate the case counts.
         assert_eq!(e.stats().enters(), 1);
     }

@@ -47,7 +47,7 @@ mod thin;
 
 pub use fat::{FatLockEngine, MONITOR_CACHE_BUCKETS};
 pub use monitor::{
-    EnterOutcome, ExitOutcome, LockCost, MonitorError, ObjHandle, SyncCase, SyncEngine,
-    SyncStats, ThreadId,
+    EnterOutcome, ExitOutcome, LockCost, MonitorError, ObjHandle, SyncCase, SyncEngine, SyncStats,
+    ThreadId,
 };
 pub use thin::{OneBitLockEngine, ThinLockEngine};

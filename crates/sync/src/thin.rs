@@ -148,7 +148,8 @@ impl SyncEngine for ThinLockEngine {
                 let depth = self.table.depth(obj); // current depth, new count = depth
                 if depth < THIN_RECURSION_LIMIT {
                     if depth < 256 {
-                        self.words.insert(obj, ThinWord::thin(thread, depth.min(255)));
+                        self.words
+                            .insert(obj, ThinWord::thin(thread, depth.min(255)));
                     }
                     let cost = LockCost::new(THIN_RECURSE_CYCLES, 1, 1, false);
                     self.table.acquire(obj, thread);
@@ -396,7 +397,10 @@ mod tests {
     fn contention_inflates_permanently() {
         let mut e = ThinLockEngine::new();
         e.monitor_enter(1, 1);
-        assert!(matches!(e.monitor_enter(1, 2), EnterOutcome::Blocked { .. }));
+        assert!(matches!(
+            e.monitor_enter(1, 2),
+            EnterOutcome::Blocked { .. }
+        ));
         assert!(e.word(1).is_fat(), "contention inflates");
         // Owner releases; the lock stays fat.
         // (Owner entered thin, so release via table; fat engine may not

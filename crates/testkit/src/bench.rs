@@ -1,0 +1,206 @@
+//! Minimal bench harness: median-of-N wall time, JSON lines to stdout.
+//!
+//! Replaces `criterion` for this workspace's offline build. Wire it as
+//! a `cargo bench`-compatible harness by setting `harness = false` on
+//! the `[[bench]]` target and calling [`Harness`] from `main`:
+//!
+//! ```no_run
+//! use jrt_testkit::bench::Harness;
+//!
+//! let mut h = Harness::from_args("my_suite");
+//! h.bench("add", || std::hint::black_box(2 + 2));
+//! h.finish();
+//! ```
+//!
+//! Each bench prints one JSON line:
+//!
+//! ```text
+//! {"suite":"my_suite","bench":"add","iters":1024,"samples_ns":[..],"median_ns":12}
+//! ```
+//!
+//! `cargo bench` passes `--bench`, which is ignored; the first free
+//! argument is a substring filter. `JRT_BENCH_SAMPLES` overrides the
+//! sample count (default 5); each sample is timed over enough
+//! iterations to exceed a minimum sample duration, so both
+//! sub-microsecond and multi-second workloads produce stable medians.
+
+use std::time::{Duration, Instant};
+
+/// One measured benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Suite name (one per harness binary).
+    pub suite: String,
+    /// Benchmark name.
+    pub name: String,
+    /// Iterations per sample.
+    pub iters: u64,
+    /// Per-sample wall time, nanoseconds per iteration.
+    pub samples_ns: Vec<u128>,
+    /// Median of `samples_ns`.
+    pub median_ns: u128,
+}
+
+impl BenchResult {
+    /// Renders the result as one JSON line.
+    pub fn to_json(&self) -> String {
+        let samples: Vec<String> = self.samples_ns.iter().map(u128::to_string).collect();
+        format!(
+            "{{\"suite\":\"{}\",\"bench\":\"{}\",\"iters\":{},\"samples_ns\":[{}],\"median_ns\":{}}}",
+            self.suite,
+            self.name,
+            self.iters,
+            samples.join(","),
+            self.median_ns
+        )
+    }
+}
+
+/// Median-of-N bench runner.
+#[derive(Debug)]
+pub struct Harness {
+    suite: String,
+    filter: Option<String>,
+    samples: u32,
+    min_sample: Duration,
+    results: Vec<BenchResult>,
+    quiet: bool,
+}
+
+impl Harness {
+    /// Creates a harness, reading the CLI filter (`cargo bench`
+    /// flags are ignored) and `JRT_BENCH_SAMPLES`.
+    pub fn from_args(suite: &str) -> Self {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Self::new(suite).with_filter(filter)
+    }
+
+    /// Creates a harness with defaults and no filter.
+    pub fn new(suite: &str) -> Self {
+        let samples = std::env::var("JRT_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(5);
+        Harness {
+            suite: suite.to_string(),
+            filter: None,
+            samples,
+            min_sample: Duration::from_millis(10),
+            results: Vec::new(),
+            quiet: false,
+        }
+    }
+
+    /// Restricts runs to benches whose name contains `filter`.
+    pub fn with_filter(mut self, filter: Option<String>) -> Self {
+        self.filter = filter;
+        self
+    }
+
+    /// Overrides the sample count.
+    pub fn with_samples(mut self, samples: u32) -> Self {
+        self.samples = samples.max(1);
+        self
+    }
+
+    /// Suppresses per-bench stdout lines (results still collected).
+    pub fn quiet(mut self) -> Self {
+        self.quiet = true;
+        self
+    }
+
+    /// Times `f`, printing one JSON line and recording the result.
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        // Warmup doubles as calibration: pick an iteration count that
+        // makes one sample exceed `min_sample`.
+        let warmup = Instant::now();
+        std::hint::black_box(f());
+        let once = warmup.elapsed().max(Duration::from_nanos(1));
+        let iters = (self.min_sample.as_nanos() / once.as_nanos()).clamp(1, 1 << 20) as u64;
+
+        let mut samples_ns: Vec<u128> = (0..self.samples)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(f());
+                }
+                t.elapsed().as_nanos() / iters as u128
+            })
+            .collect();
+        let mut sorted = samples_ns.clone();
+        sorted.sort_unstable();
+        let median_ns = sorted[sorted.len() / 2];
+        samples_ns.shrink_to_fit();
+
+        let result = BenchResult {
+            suite: self.suite.clone(),
+            name: name.to_string(),
+            iters,
+            samples_ns,
+            median_ns,
+        };
+        if !self.quiet {
+            println!("{}", result.to_json());
+        }
+        self.results.push(result);
+    }
+
+    /// All results measured so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Consumes the harness, returning its results.
+    pub fn into_results(self) -> Vec<BenchResult> {
+        self.results
+    }
+
+    /// Prints a closing summary line.
+    pub fn finish(self) {
+        if !self.quiet {
+            eprintln!(
+                "[bench] {}: {} benches, {} samples each",
+                self.suite,
+                self.results.len(),
+                self.samples
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports_median() {
+        let mut h = Harness::new("t").with_samples(3).quiet();
+        h.bench("noop", || std::hint::black_box(1 + 1));
+        let r = &h.results()[0];
+        assert_eq!(r.samples_ns.len(), 3);
+        assert!(r.samples_ns.contains(&r.median_ns));
+        let json = r.to_json();
+        assert!(
+            json.starts_with("{\"suite\":\"t\",\"bench\":\"noop\""),
+            "{json}"
+        );
+        assert!(json.contains("\"median_ns\":"), "{json}");
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut h = Harness::new("t")
+            .with_samples(1)
+            .quiet()
+            .with_filter(Some("yes".into()));
+        h.bench("no_match", || 0);
+        h.bench("yes_match", || 0);
+        assert_eq!(h.results().len(), 1);
+        assert_eq!(h.results()[0].name, "yes_match");
+    }
+}

@@ -391,7 +391,11 @@ impl fmt::Display for NativeInst {
             write!(
                 f,
                 " {}{:#x}/{}",
-                if m.kind == AccessKind::Write { "W" } else { "R" },
+                if m.kind == AccessKind::Write {
+                    "W"
+                } else {
+                    "R"
+                },
                 m.addr,
                 m.size
             )?;

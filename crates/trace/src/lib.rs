@@ -42,7 +42,9 @@ pub mod sink;
 pub use inst::{AccessKind, CtrlInfo, InstClass, MemRef, NativeInst, Phase, Reg, NUM_REGS};
 pub use mix::{InstMix, MixSummary};
 pub use region::{layout, Region};
-pub use sink::{CountingSink, NullSink, PhaseFilter, RecordingSink, TraceSink};
+pub use sink::{
+    merge_shards, CountingSink, MergeSink, NullSink, PhaseFilter, RecordingSink, TraceSink,
+};
 
 /// A simulated memory address.
 ///

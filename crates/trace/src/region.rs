@@ -91,9 +91,7 @@ impl Region {
         use layout::*;
         Some(match addr {
             a if (VM_TEXT_BASE..VM_TEXT_END).contains(&a) => Region::VmText,
-            a if (TRANSLATOR_TEXT_BASE..TRANSLATOR_TEXT_END).contains(&a) => {
-                Region::TranslatorText
-            }
+            a if (TRANSLATOR_TEXT_BASE..TRANSLATOR_TEXT_END).contains(&a) => Region::TranslatorText,
             a if (CODE_CACHE_BASE..=CODE_CACHE_END).contains(&a) => Region::CodeCache,
             a if (NATIVE_TEXT_BASE..=NATIVE_TEXT_END).contains(&a) => Region::NativeText,
             a if (CLASS_AREA_BASE..=CLASS_AREA_END).contains(&a) => Region::ClassArea,

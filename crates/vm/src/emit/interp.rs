@@ -96,7 +96,11 @@ impl InterpEmitter {
 
     fn reg(&mut self) -> u8 {
         let r = self.next_reg;
-        self.next_reg = if self.next_reg >= 15 { 8 } else { self.next_reg + 1 };
+        self.next_reg = if self.next_reg >= 15 {
+            8
+        } else {
+            self.next_reg + 1
+        };
         self.last_dst = r;
         r
     }
@@ -115,7 +119,10 @@ impl InterpEmitter {
     fn handler_load(&mut self, sink: &mut dyn TraceSink, addr: Addr, size: u8) {
         let pc = self.step_pc();
         let dst = self.reg();
-        self.emit(sink, NativeInst::load(pc, addr, size, Phase::InterpHandler).with_dst(dst));
+        self.emit(
+            sink,
+            NativeInst::load(pc, addr, size, Phase::InterpHandler).with_dst(dst),
+        );
     }
 
     fn handler_store(&mut self, sink: &mut dyn TraceSink, addr: Addr, size: u8) {
@@ -180,7 +187,12 @@ impl Emit for InterpEmitter {
         // not-taken branch every iteration of the dispatch loop.
         self.emit(
             sink,
-            NativeInst::branch(tail + 16, DISPATCH_BASE + 0x80, false, Phase::InterpDispatch),
+            NativeInst::branch(
+                tail + 16,
+                DISPATCH_BASE + 0x80,
+                false,
+                Phase::InterpDispatch,
+            ),
         );
         // The jump's target register was computed well before the
         // tail (interpreters software-pipeline the next-opcode load),
@@ -188,11 +200,7 @@ impl Emit for InterpEmitter {
         // at issue, and only the *prediction* of its target matters.
         self.emit(
             sink,
-            NativeInst::indirect_jump(
-                tail + 20,
-                handler_addr(self.opcode),
-                Phase::InterpDispatch,
-            ),
+            NativeInst::indirect_jump(tail + 20, handler_addr(self.opcode), Phase::InterpDispatch),
         );
         self.cur_pc = handler_addr(self.opcode);
         // Handler prologue: frame/operand-stack bookkeeping every
@@ -209,7 +217,9 @@ impl Emit for InterpEmitter {
         let pc3 = self.step_pc();
         self.emit(
             sink,
-            NativeInst::alu(pc3, Phase::InterpHandler).with_dst(7).with_srcs(6, None),
+            NativeInst::alu(pc3, Phase::InterpHandler)
+                .with_dst(7)
+                .with_srcs(6, None),
         );
         let pc4 = self.step_pc();
         self.emit(sink, NativeInst::alu(pc4, Phase::InterpHandler).with_dst(5));
@@ -394,7 +404,11 @@ pub(crate) fn emit_sync(
         pc += 4;
     }
     if cost.atomic {
-        sink.accept(&NativeInst::alu(pc, Phase::Sync).with_dst(21).with_srcs(20, None));
+        sink.accept(
+            &NativeInst::alu(pc, Phase::Sync)
+                .with_dst(21)
+                .with_srcs(20, None),
+        );
         *count += 1;
         pc += 4;
     }
@@ -417,18 +431,28 @@ pub(crate) fn emit_alloc(sink: &mut dyn TraceSink, addr: Addr, bytes: u32, count
         *count += 1;
     };
     // Bump-pointer arithmetic.
-    emit_one(sink, NativeInst::alu(pc, Phase::Runtime).with_dst(22), count);
+    emit_one(
+        sink,
+        NativeInst::alu(pc, Phase::Runtime).with_dst(22),
+        count,
+    );
     pc += 4;
     emit_one(
         sink,
-        NativeInst::alu(pc, Phase::Runtime).with_dst(23).with_srcs(22, None),
+        NativeInst::alu(pc, Phase::Runtime)
+            .with_dst(23)
+            .with_srcs(22, None),
         count,
     );
     pc += 4;
     // Header stores + zeroing (capped; large arrays use block zeroing).
     emit_one(sink, NativeInst::store(pc, addr, 4, Phase::Runtime), count);
     pc += 4;
-    emit_one(sink, NativeInst::store(pc, addr + 4, 4, Phase::Runtime), count);
+    emit_one(
+        sink,
+        NativeInst::store(pc, addr + 4, 4, Phase::Runtime),
+        count,
+    );
     pc += 4;
     let zero_stores = (bytes / 8).min(64);
     for k in 0..zero_stores {
@@ -531,8 +555,16 @@ mod tests {
             layout::HEAP_BASE,
             &mut count,
         );
-        let loads = r.events.iter().filter(|i| i.class == InstClass::Load).count();
-        let stores = r.events.iter().filter(|i| i.class == InstClass::Store).count();
+        let loads = r
+            .events
+            .iter()
+            .filter(|i| i.class == InstClass::Load)
+            .count();
+        let stores = r
+            .events
+            .iter()
+            .filter(|i| i.class == InstClass::Store)
+            .count();
         assert_eq!(loads, 2);
         assert_eq!(stores, 1);
         assert_eq!(count as usize, r.events.len());

@@ -196,7 +196,7 @@ impl Emit for JitEmitter<'_> {
     fn switch(&mut self, sink: &mut dyn TraceSink, bc_target: u32, _ncases: usize) {
         // Translated tableswitch: bounds check, table load, indirect
         // jump — the JIT mode's residual indirect branches.
-        self.bounds_check(sink, );
+        self.bounds_check(sink);
         let pc = self.step_pc();
         let table = pc + 0x100;
         self.emit(

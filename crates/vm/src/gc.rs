@@ -61,7 +61,9 @@ pub(crate) fn collect(
             if emitted < MAX_GC_EMISSION {
                 // Header read + mark write for each newly marked node.
                 if let Ok(addr) = heap.header_addr(h) {
-                    sink.accept(&NativeInst::load(step_pc(&mut pc), addr, 4, Phase::Gc).with_dst(12));
+                    sink.accept(
+                        &NativeInst::load(step_pc(&mut pc), addr, 4, Phase::Gc).with_dst(12),
+                    );
                     sink.accept(
                         &NativeInst::store(step_pc(&mut pc), addr + 4, 4, Phase::Gc)
                             .with_srcs(12, None),

@@ -460,7 +460,12 @@ impl Heap {
                     return None;
                 }
                 *marked = true;
-                Some(data.iter().filter(|&&r| r != 0).map(|&r| r as Handle).collect())
+                Some(
+                    data.iter()
+                        .filter(|&&r| r != 0)
+                        .map(|&r| r as Handle)
+                        .collect(),
+                )
             }
             Some(Slot::Array { marked, .. }) => {
                 if *marked {
@@ -479,8 +484,16 @@ impl Heap {
         let mut bytes = 0u64;
         for (i, s) in self.slots.iter_mut().enumerate().skip(1) {
             let dead_bytes = match s {
-                Slot::Object { marked: false, bytes, .. }
-                | Slot::Array { marked: false, bytes, .. } => Some(u64::from(*bytes)),
+                Slot::Object {
+                    marked: false,
+                    bytes,
+                    ..
+                }
+                | Slot::Array {
+                    marked: false,
+                    bytes,
+                    ..
+                } => Some(u64::from(*bytes)),
                 _ => None,
             };
             if let Some(b) = dead_bytes {
@@ -511,9 +524,7 @@ impl Heap {
             .enumerate()
             .skip(1)
             .filter_map(|(i, s)| match s {
-                Slot::Object { addr, .. } | Slot::Array { addr, .. } => {
-                    Some((i as Handle, *addr))
-                }
+                Slot::Object { addr, .. } | Slot::Array { addr, .. } => Some((i as Handle, *addr)),
                 Slot::Free => None,
             })
             .collect()
@@ -566,13 +577,13 @@ mod tests {
             h.header_addr(o).unwrap(),
             h.elem_addr(a, 9).unwrap(),
         ] {
-            assert_eq!(jrt_trace::Region::classify(addr), Some(jrt_trace::Region::Heap));
+            assert_eq!(
+                jrt_trace::Region::classify(addr),
+                Some(jrt_trace::Region::Heap)
+            );
         }
         // char elements are 2 bytes apart
-        assert_eq!(
-            h.elem_addr(a, 1).unwrap() - h.elem_addr(a, 0).unwrap(),
-            2
-        );
+        assert_eq!(h.elem_addr(a, 1).unwrap() - h.elem_addr(a, 0).unwrap(), 2);
     }
 
     #[test]

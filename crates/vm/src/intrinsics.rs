@@ -66,7 +66,12 @@ pub(crate) fn call(
             out.ints.push(v);
             for k in 0..4u64 {
                 emit(
-                    NativeInst::store(pc, IO_BUFFER + (out.ints.len() as u64 * 16 + k * 4) % 0x1000, 4, Phase::Runtime),
+                    NativeInst::store(
+                        pc,
+                        IO_BUFFER + (out.ints.len() as u64 * 16 + k * 4) % 0x1000,
+                        4,
+                        Phase::Runtime,
+                    ),
                     emitted,
                 );
                 pc += 4;
@@ -77,7 +82,12 @@ pub(crate) fn call(
             let v = int_arg(args, 0)?;
             out.chars.push(char::from_u32(v as u32).unwrap_or('?'));
             emit(
-                NativeInst::store(pc, IO_BUFFER + (out.chars.len() as u64) % 0x1000, 1, Phase::Runtime),
+                NativeInst::store(
+                    pc,
+                    IO_BUFFER + (out.chars.len() as u64) % 0x1000,
+                    1,
+                    Phase::Runtime,
+                ),
                 emitted,
             );
             Ok(IntrinsicOutcome::Done(None))
@@ -223,17 +233,41 @@ mod tests {
         let mut sink = CountingSink::new();
         let mut n = 0;
         assert_eq!(
-            call("Sys", "spawn", &[Value::Ref(obj)], &mut heap, &mut out, &mut sink, &mut n)
-                .unwrap(),
+            call(
+                "Sys",
+                "spawn",
+                &[Value::Ref(obj)],
+                &mut heap,
+                &mut out,
+                &mut sink,
+                &mut n
+            )
+            .unwrap(),
             IntrinsicOutcome::Spawn { target: obj }
         );
         assert_eq!(
-            call("Sys", "join", &[Value::Int(3)], &mut heap, &mut out, &mut sink, &mut n)
-                .unwrap(),
+            call(
+                "Sys",
+                "join",
+                &[Value::Int(3)],
+                &mut heap,
+                &mut out,
+                &mut sink,
+                &mut n
+            )
+            .unwrap(),
             IntrinsicOutcome::Join(3)
         );
         assert!(matches!(
-            call("Sys", "join", &[Value::Int(-1)], &mut heap, &mut out, &mut sink, &mut n),
+            call(
+                "Sys",
+                "join",
+                &[Value::Int(-1)],
+                &mut heap,
+                &mut out,
+                &mut sink,
+                &mut n
+            ),
             Err(IntrinsicError::BadArgument(_))
         ));
     }
@@ -245,7 +279,15 @@ mod tests {
         let mut sink = CountingSink::new();
         let mut n = 0;
         assert!(matches!(
-            call("Sys", "spawn", &[Value::Null], &mut heap, &mut out, &mut sink, &mut n),
+            call(
+                "Sys",
+                "spawn",
+                &[Value::Null],
+                &mut heap,
+                &mut out,
+                &mut sink,
+                &mut n
+            ),
             Err(IntrinsicError::BadArgument(_))
         ));
     }

@@ -21,7 +21,7 @@
 use jrt_bytecode::{MethodDef, MethodId, Op};
 use jrt_trace::{layout, Addr, NativeInst, Phase, TraceSink};
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Per-call-site receiver profile used for devirtualization: the JIT
 /// emits a direct call while a site stays monomorphic.
@@ -118,7 +118,7 @@ const CODE_REGION_BASE: Addr = layout::CODE_CACHE_BASE + 0x10_0000;
 /// records.
 #[derive(Debug, Default)]
 pub(crate) struct JitState {
-    compiled: HashMap<MethodId, Rc<CompiledMethod>>,
+    compiled: HashMap<MethodId, Arc<CompiledMethod>>,
     /// Per-call-site devirtualization state, keyed by
     /// (caller, bytecode offset).
     call_sites: HashMap<(MethodId, u32), CallSite>,
@@ -149,24 +149,19 @@ impl JitState {
 
     /// The compiled record for `mid`.
     #[cfg_attr(not(test), allow(dead_code))]
-    pub fn compiled(&self, mid: MethodId) -> Option<&Rc<CompiledMethod>> {
+    pub fn compiled(&self, mid: MethodId) -> Option<&Arc<CompiledMethod>> {
         self.compiled.get(&mid)
     }
 
     /// Cheap shared handle to the compiled record (lets the caller
     /// keep the record while mutating the rest of the JIT state).
-    pub fn compiled_rc(&self, mid: MethodId) -> Option<Rc<CompiledMethod>> {
+    pub fn compiled_shared(&self, mid: MethodId) -> Option<Arc<CompiledMethod>> {
         self.compiled.get(&mid).cloned()
     }
 
     /// Records an observed receiver at a virtual call site and
     /// returns the site's updated state.
-    pub fn observe_call_site(
-        &mut self,
-        caller: MethodId,
-        pc: u32,
-        target: MethodId,
-    ) -> CallSite {
+    pub fn observe_call_site(&mut self, caller: MethodId, pc: u32, target: MethodId) -> CallSite {
         let slot = self.call_sites.entry((caller, pc)).or_default();
         *slot = slot.observe(target);
         *slot
@@ -223,8 +218,13 @@ impl JitState {
             // Read the bytecode (and operands) from the class area.
             for k in 0..(len as u32).div_ceil(4) {
                 emit(
-                    NativeInst::load(tpc, code_addr + pc as u64 + u64::from(4 * k), 4, Phase::Translate)
-                        .with_dst(4),
+                    NativeInst::load(
+                        tpc,
+                        code_addr + pc as u64 + u64::from(4 * k),
+                        4,
+                        Phase::Translate,
+                    )
+                    .with_dst(4),
                     &mut emitted,
                 );
                 tpc += 4;
@@ -245,14 +245,24 @@ impl JitState {
             }
             // Code-generation table lookups.
             emit(
-                NativeInst::load(tpc, layout::VM_DATA_BASE + Addr::from(opcode) * 64, 4, Phase::Translate)
-                    .with_dst(6),
+                NativeInst::load(
+                    tpc,
+                    layout::VM_DATA_BASE + Addr::from(opcode) * 64,
+                    4,
+                    Phase::Translate,
+                )
+                .with_dst(6),
                 &mut emitted,
             );
             tpc += 4;
             emit(
-                NativeInst::load(tpc, layout::VM_DATA_BASE + 0x4000 + Addr::from(opcode) * 32, 4, Phase::Translate)
-                    .with_dst(6),
+                NativeInst::load(
+                    tpc,
+                    layout::VM_DATA_BASE + 0x4000 + Addr::from(opcode) * 32,
+                    4,
+                    Phase::Translate,
+                )
+                .with_dst(6),
                 &mut emitted,
             );
             tpc += 4;
@@ -265,7 +275,9 @@ impl JitState {
             for k in 0..n {
                 let reg = 24 + (k & 7) as u8;
                 emit(
-                    NativeInst::alu(tpc, Phase::Translate).with_dst(reg).with_srcs(6, None),
+                    NativeInst::alu(tpc, Phase::Translate)
+                        .with_dst(reg)
+                        .with_srcs(6, None),
                     &mut emitted,
                 );
                 tpc += 4;
@@ -292,7 +304,7 @@ impl JitState {
 
         self.compiled.insert(
             mid,
-            Rc::new(CompiledMethod {
+            Arc::new(CompiledMethod {
                 entry,
                 code_bytes,
                 op_addr,

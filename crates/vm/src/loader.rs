@@ -128,10 +128,7 @@ impl Linker {
     /// Class objects of all loaded classes (GC roots; receivers of
     /// static synchronized methods).
     pub fn class_objects(&self) -> impl Iterator<Item = Handle> + '_ {
-        self.loaded
-            .iter()
-            .flatten()
-            .map(|c| c.class_object)
+        self.loaded.iter().flatten().map(|c| c.class_object)
     }
 
     /// All static values (GC roots).

@@ -93,7 +93,7 @@ pub(crate) fn step(
     let cm_rc = if jit_frame {
         Some(
             env.jit
-                .compiled_rc(mid)
+                .compiled_shared(mid)
                 .expect("jit frame implies compiled method"),
         )
     } else {
@@ -125,11 +125,7 @@ pub(crate) fn step(
         None => Box::new(|_| 0),
     };
     let mut em: Box<dyn Emit> = if jit_frame {
-        Box::new(JitEmitter::new(
-            &*addr_fn,
-            pc,
-            thread.frame().stack.len(),
-        ))
+        Box::new(JitEmitter::new(&*addr_fn, pc, thread.frame().stack.len()))
     } else {
         let em = InterpEmitter::new(
             env.linker.code_addr(mid),
@@ -143,7 +139,11 @@ pub(crate) fn step(
         let fold = env.folding && is_foldable(op) && (1..4).contains(&thread.fold_run);
         if env.folding {
             thread.fold_run = if is_foldable(op) {
-                if thread.fold_run >= 4 { 1 } else { thread.fold_run + 1 }
+                if thread.fold_run >= 4 {
+                    1
+                } else {
+                    thread.fold_run + 1
+                }
             } else {
                 0
             };
@@ -337,7 +337,11 @@ pub(crate) fn step(
             let b = pop!();
             let a = pop!();
             let eq = a == b;
-            let taken = if matches!(op, Op::IfACmpEq(_)) { eq } else { !eq };
+            let taken = if matches!(op, Op::IfACmpEq(_)) {
+                eq
+            } else {
+                !eq
+            };
             em.cond_branch(sink, taken, *t);
             if taken {
                 next_pc = *t;
@@ -468,7 +472,9 @@ pub(crate) fn step(
             em.bounds_check(sink);
             let addr = env.heap.elem_addr(h, idx).map_err(VmError::Heap)?;
             em.heap_store(sink, addr, kind.elem_size() as u8);
-            env.heap.array_set(h, idx, v.to_raw()).map_err(VmError::Heap)?;
+            env.heap
+                .array_set(h, idx, v.to_raw())
+                .map_err(VmError::Heap)?;
         }
         Op::InvokeStatic(cp) | Op::InvokeVirtual(cp) | Op::InvokeSpecial(cp) => {
             let (cname, mname, nargs, ret_kind) = {
@@ -481,7 +487,9 @@ pub(crate) fn step(
             let is_static = matches!(op, Op::InvokeStatic(_));
 
             let declared_cid = program.class(&cname).expect("verified class");
-            let loaded = env.linker.ensure_loaded(declared_cid, program, env.heap, sink);
+            let loaded = env
+                .linker
+                .ensure_loaded(declared_cid, program, env.heap, sink);
             *env.classload_insts += loaded;
 
             // Pop arguments (receiver first for instance calls).
@@ -559,9 +567,7 @@ pub(crate) fn step(
             let entry = if use_jit {
                 env.jit.entry_addr(callee)
             } else {
-                invoke_helper_addr(
-                    (u64::from(callee.class.0) << 20) ^ u64::from(callee.index),
-                )
+                invoke_helper_addr((u64::from(callee.class.0) << 20) ^ u64::from(callee.index))
             };
             let kind = if !is_virtual {
                 InvokeKind::Direct

@@ -171,7 +171,7 @@ pub struct Vm<'p> {
     heap: Heap,
     linker: Linker,
     jit: JitState,
-    sync: Box<dyn SyncEngine>,
+    sync: Box<dyn SyncEngine + Send>,
     profile: ProfileTable,
     counters: VmCounters,
     out: Output,
@@ -191,7 +191,7 @@ impl fmt::Debug for Vm<'_> {
 impl<'p> Vm<'p> {
     /// Creates a VM for `program` under `config`.
     pub fn new(program: &'p Program, config: VmConfig) -> Self {
-        let sync: Box<dyn SyncEngine> = match config.sync {
+        let sync: Box<dyn SyncEngine + Send> = match config.sync {
             SyncKind::MonitorCache => Box::new(FatLockEngine::new()),
             SyncKind::ThinLock => Box::new(ThinLockEngine::new()),
             SyncKind::OneBit => Box::new(OneBitLockEngine::new()),
@@ -357,15 +357,14 @@ impl<'p> Vm<'p> {
                         StepOutcome::Spawn { target } => {
                             progressed = true;
                             let rcls = self.heap.class_of(target).map_err(VmError::Heap)?;
-                            let run = self
-                                .linker
-                                .class(rcls)
-                                .vtable_lookup("run")
-                                .ok_or_else(|| {
-                                    VmError::Intrinsic("spawn target has no run()".into())
-                                })?;
-                            let new_tid =
-                                self.start_thread(run, vec![Value::Ref(target)], sink)?;
+                            let run =
+                                self.linker
+                                    .class(rcls)
+                                    .vtable_lookup("run")
+                                    .ok_or_else(|| {
+                                        VmError::Intrinsic("spawn target has no run()".into())
+                                    })?;
+                            let new_tid = self.start_thread(run, vec![Value::Ref(target)], sink)?;
                             self.threads[tid]
                                 .frame_mut()
                                 .stack
@@ -434,5 +433,23 @@ impl<'p> Vm<'p> {
             footprint,
             mode: self.config.mode.label(),
         }
+    }
+}
+
+#[cfg(test)]
+mod send_tests {
+    use super::*;
+
+    /// The parallel experiment scheduler runs one `Vm` per worker
+    /// thread against a shared `Arc<Program>`; these bounds are what
+    /// make that sound.
+    #[test]
+    fn vm_and_program_are_thread_safe() {
+        fn assert_send<T: Send>() {}
+        fn assert_sync<T: Sync>() {}
+        assert_send::<Vm<'static>>();
+        assert_send::<jrt_bytecode::Program>();
+        assert_sync::<jrt_bytecode::Program>();
+        assert_send::<RunResult>();
     }
 }

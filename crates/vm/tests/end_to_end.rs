@@ -22,7 +22,10 @@ fn run_both(program: &Program) -> (i32, i32) {
     let b = Vm::new(program, VmConfig::jit())
         .run(&mut CountingSink::new())
         .expect("jit run");
-    (a.exit_value.expect("int exit"), b.exit_value.expect("int exit"))
+    (
+        a.exit_value.expect("int exit"),
+        b.exit_value.expect("int exit"),
+    )
 }
 
 /// Sum of 1..=100 via a loop.
@@ -76,7 +79,11 @@ fn shapes_program() -> Program {
     let mut shape = ClassAsm::new("Shape");
     shape.add_field("side");
     let mut area = MethodAsm::new_instance("area", 0).returns(RetKind::Int);
-    area.aload(0).getfield("Shape", "side").dup().imul().ireturn();
+    area.aload(0)
+        .getfield("Shape", "side")
+        .dup()
+        .imul()
+        .ireturn();
     shape.add_method(area);
     let mut ctor = MethodAsm::new_instance("init", 1);
     ctor.aload(0).iload(1).putfield("Shape", "side").ret();
@@ -98,9 +105,13 @@ fn shapes_program() -> Program {
     let mut m = MethodAsm::new("main", 0).returns(RetKind::Int);
     // new Shape(4).area() + new Tri(4).area() = 16 + 8 = 24
     m.new_obj("Shape").astore(0);
-    m.aload(0).iconst(4).invokespecial("Shape", "init", 1, RetKind::Void);
+    m.aload(0)
+        .iconst(4)
+        .invokespecial("Shape", "init", 1, RetKind::Void);
     m.new_obj("Tri").astore(1);
-    m.aload(1).iconst(4).invokespecial("Shape", "init", 1, RetKind::Void);
+    m.aload(1)
+        .iconst(4)
+        .invokespecial("Shape", "init", 1, RetKind::Void);
     m.aload(0).invokevirtual("Shape", "area", 0, RetKind::Int);
     m.aload(1).invokevirtual("Shape", "area", 0, RetKind::Int);
     m.iadd().ireturn();
@@ -175,10 +186,24 @@ fn intrinsics_print_and_arraycopy() {
     m.iconst(4).newarray(ArrayKind::Int).astore(1);
     m.aload(0).iconst(0).iconst(11).iastore();
     m.aload(0).iconst(1).iconst(22).iastore();
-    m.aload(0).iconst(0).aload(1).iconst(2).iconst(2)
+    m.aload(0)
+        .iconst(0)
+        .aload(1)
+        .iconst(2)
+        .iconst(2)
         .invokestatic("Sys", "arraycopy", 5, RetKind::Void);
-    m.aload(1).iconst(3).iaload().invokestatic("Sys", "print_int", 1, RetKind::Void);
-    m.aload(1).iconst(2).iaload().aload(1).iconst(3).iaload().iadd().ireturn();
+    m.aload(1)
+        .iconst(3)
+        .iaload()
+        .invokestatic("Sys", "print_int", 1, RetKind::Void);
+    m.aload(1)
+        .iconst(2)
+        .iaload()
+        .aload(1)
+        .iconst(3)
+        .iaload()
+        .iadd()
+        .ireturn();
     c.add_method(m);
     let p = Program::build(vec![c, sys_class()], "Main", "main").unwrap();
     let r = Vm::new(&p, VmConfig::jit())
@@ -196,12 +221,20 @@ fn recursion_fibonacci() {
     fib.iload(0).iconst(2).if_icmp_ge(rec);
     fib.iload(0).ireturn();
     fib.bind(rec);
-    fib.iload(0).iconst(1).isub().invokestatic("Main", "fib", 1, RetKind::Int);
-    fib.iload(0).iconst(2).isub().invokestatic("Main", "fib", 1, RetKind::Int);
+    fib.iload(0)
+        .iconst(1)
+        .isub()
+        .invokestatic("Main", "fib", 1, RetKind::Int);
+    fib.iload(0)
+        .iconst(2)
+        .isub()
+        .invokestatic("Main", "fib", 1, RetKind::Int);
     fib.iadd().ireturn();
     c.add_method(fib);
     let mut m = MethodAsm::new("main", 0).returns(RetKind::Int);
-    m.iconst(12).invokestatic("Main", "fib", 1, RetKind::Int).ireturn();
+    m.iconst(12)
+        .invokestatic("Main", "fib", 1, RetKind::Int)
+        .ireturn();
     c.add_method(m);
     let p = Program::build(vec![c], "Main", "main").unwrap();
     let (a, b) = run_both(&p);
@@ -214,7 +247,10 @@ fn synchronized_methods_and_monitor_ops() {
     let mut c = ClassAsm::new("Main");
     c.add_static_field("counter");
     let mut bump = MethodAsm::new("bump", 0).synchronized();
-    bump.getstatic("Main", "counter").iconst(1).iadd().putstatic("Main", "counter");
+    bump.getstatic("Main", "counter")
+        .iconst(1)
+        .iadd()
+        .putstatic("Main", "counter");
     bump.ret();
     c.add_method(bump);
     let mut m = MethodAsm::new("main", 0).returns(RetKind::Int);
@@ -256,7 +292,12 @@ fn spawn_join_two_threads() {
     run.iconst(0).istore(acc);
     run.aload(0).getfield("Worker", "from").istore(i);
     run.bind(top);
-    run.iload(i).aload(0).getfield("Worker", "from").iconst(100).iadd().if_icmp_ge(done);
+    run.iload(i)
+        .aload(0)
+        .getfield("Worker", "from")
+        .iconst(100)
+        .iadd()
+        .if_icmp_ge(done);
     run.iload(acc).iload(i).iadd().istore(acc);
     run.iinc(i, 1).goto(top);
     run.bind(done);
@@ -269,8 +310,12 @@ fn spawn_join_two_threads() {
     m.aload(0).iconst(0).putfield("Worker", "from");
     m.new_obj("Worker").astore(1);
     m.aload(1).iconst(1000).putfield("Worker", "from");
-    m.aload(0).invokestatic("Sys", "spawn", 1, RetKind::Int).istore(2);
-    m.aload(1).invokestatic("Sys", "spawn", 1, RetKind::Int).istore(3);
+    m.aload(0)
+        .invokestatic("Sys", "spawn", 1, RetKind::Int)
+        .istore(2);
+    m.aload(1)
+        .invokestatic("Sys", "spawn", 1, RetKind::Int)
+        .istore(3);
     m.iload(2).invokestatic("Sys", "join", 1, RetKind::Void);
     m.iload(3).invokestatic("Sys", "join", 1, RetKind::Void);
     m.aload(0).getfield("Worker", "result");
@@ -293,28 +338,28 @@ fn interp_emits_dispatch_jit_emits_code_cache() {
 
     let mut rec = RecordingSink::new();
     Vm::new(&p, VmConfig::interpreter()).run(&mut rec).unwrap();
-    assert!(rec
-        .events
-        .iter()
-        .any(|e| e.phase == Phase::InterpDispatch
-            && e.class == jrt_trace::InstClass::IndirectJump));
+    assert!(
+        rec.events
+            .iter()
+            .any(|e| e.phase == Phase::InterpDispatch
+                && e.class == jrt_trace::InstClass::IndirectJump)
+    );
     assert!(rec.events.iter().all(|e| e.phase != Phase::Translate));
 
     let mut rec = RecordingSink::new();
     Vm::new(&p, VmConfig::jit()).run(&mut rec).unwrap();
     assert!(rec.events.iter().any(|e| e.phase == Phase::Translate));
-    assert!(rec
-        .events
-        .iter()
-        .any(|e| e.phase == Phase::NativeExec
-            && jrt_trace::Region::classify(e.pc) == Some(jrt_trace::Region::CodeCache)));
+    assert!(rec.events.iter().any(|e| e.phase == Phase::NativeExec
+        && jrt_trace::Region::classify(e.pc) == Some(jrt_trace::Region::CodeCache)));
 }
 
 #[test]
 fn interp_has_higher_memory_fraction_than_jit() {
     let p = loop_program();
     let mut interp_mix = InstMix::new();
-    Vm::new(&p, VmConfig::interpreter()).run(&mut interp_mix).unwrap();
+    Vm::new(&p, VmConfig::interpreter())
+        .run(&mut interp_mix)
+        .unwrap();
     let mut jit_mix = InstMix::new();
     Vm::new(&p, VmConfig::jit()).run(&mut jit_mix).unwrap();
     assert!(
@@ -323,9 +368,7 @@ fn interp_has_higher_memory_fraction_than_jit() {
         interp_mix.memory_fraction(),
         jit_mix.memory_fraction()
     );
-    assert!(
-        interp_mix.indirect_share_of_transfers() > jit_mix.indirect_share_of_transfers()
-    );
+    assert!(interp_mix.indirect_share_of_transfers() > jit_mix.indirect_share_of_transfers());
 }
 
 #[test]
@@ -334,7 +377,9 @@ fn oracle_is_no_slower_than_either_pure_mode() {
     // both pure interpretation and translate-everything.
     let p = shapes_program();
     let mut i_sink = CountingSink::new();
-    let interp = Vm::new(&p, VmConfig::interpreter()).run(&mut i_sink).unwrap();
+    let interp = Vm::new(&p, VmConfig::interpreter())
+        .run(&mut i_sink)
+        .unwrap();
     let mut j_sink = CountingSink::new();
     let jit = Vm::new(&p, VmConfig::jit()).run(&mut j_sink).unwrap();
     let decisions = OracleDecisions::from_profiles(&interp.profile, &jit.profile);
@@ -375,7 +420,11 @@ fn threshold_policy_translates_after_k_invocations() {
         m.iconst(0).istore(0).iconst(0).istore(1);
         m.bind(top);
         m.iload(1).iconst(10).if_icmp_ge(done);
-        m.iload(0).iload(1).invokestatic("Main", "helper", 1, RetKind::Int).iadd().istore(0);
+        m.iload(0)
+            .iload(1)
+            .invokestatic("Main", "helper", 1, RetKind::Int)
+            .iadd()
+            .istore(0);
         m.iinc(1, 1).goto(top);
         m.bind(done);
         m.iload(0).ireturn();
@@ -489,7 +538,9 @@ fn jit_footprint_exceeds_interpreter_footprint() {
 fn jit_executes_fewer_instructions_on_hot_loops() {
     let p = loop_program();
     let mut i_sink = CountingSink::new();
-    Vm::new(&p, VmConfig::interpreter()).run(&mut i_sink).unwrap();
+    Vm::new(&p, VmConfig::interpreter())
+        .run(&mut i_sink)
+        .unwrap();
     let mut j_sink = CountingSink::new();
     Vm::new(&p, VmConfig::jit()).run(&mut j_sink).unwrap();
     // Ignoring one-time class-load cost, compare the execution parts:

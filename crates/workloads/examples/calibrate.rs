@@ -20,7 +20,12 @@ fn main() {
         let mut s2 = CountingSink::new();
         let rj = Vm::new(&p, VmConfig::jit()).run(&mut s2).unwrap();
         let tj = t0.elapsed();
-        assert_eq!(ri.exit_value, Some((spec.expected)(Size::S1)), "{}", spec.name);
+        assert_eq!(
+            ri.exit_value,
+            Some((spec.expected)(Size::S1)),
+            "{}",
+            spec.name
+        );
         assert_eq!(rj.exit_value, ri.exit_value, "{}", spec.name);
         println!(
             "{:10} bytecodes={:>10} interp_insts={:>11} ({:>6.2?}) jit_insts={:>11} ({:>6.2?}) xlate={:>9}",

@@ -26,9 +26,7 @@ pub fn program(size: Size) -> Program {
     let n = input_len(size);
     let mut c = ClassAsm::new("Compress");
     add_rng(&mut c);
-    for f in [
-        "prefix", "append", "hashtab", "prefix2", "append2", "stack",
-    ] {
+    for f in ["prefix", "append", "hashtab", "prefix2", "append2", "stack"] {
         c.add_static_field(f);
     }
 
@@ -61,19 +59,42 @@ pub fn program(size: Size) -> Program {
         let miss = m.new_label();
         let next_probe = m.new_label();
         // h = ((w << 5) ^ ch) & (HASH-1)
-        m.iload(w).iconst(5).ishl().iload(ch).ixor().iconst(HASH - 1).iand().istore(h);
+        m.iload(w)
+            .iconst(5)
+            .ishl()
+            .iload(ch)
+            .ixor()
+            .iconst(HASH - 1)
+            .iand()
+            .istore(h);
         m.bind(probe);
-        m.getstatic("Compress", "hashtab").iload(h).iaload().istore(e);
+        m.getstatic("Compress", "hashtab")
+            .iload(h)
+            .iaload()
+            .istore(e);
         m.iload(e).if_eq(miss);
         m.iload(e).iconst(1).isub().istore(code);
         // prefix[code-256] == w ?
-        m.getstatic("Compress", "prefix").iload(code).iconst(256).isub().iaload();
+        m.getstatic("Compress", "prefix")
+            .iload(code)
+            .iconst(256)
+            .isub()
+            .iaload();
         m.iload(w).if_icmp_ne(next_probe);
-        m.getstatic("Compress", "append").iload(code).iconst(256).isub().iaload();
+        m.getstatic("Compress", "append")
+            .iload(code)
+            .iconst(256)
+            .isub()
+            .iaload();
         m.iload(ch).if_icmp_ne(next_probe);
         m.iload(code).ireturn();
         m.bind(next_probe);
-        m.iload(h).iconst(1).iadd().iconst(HASH - 1).iand().istore(h);
+        m.iload(h)
+            .iconst(1)
+            .iadd()
+            .iconst(HASH - 1)
+            .iand()
+            .istore(h);
         m.goto(probe);
         m.bind(miss);
         m.iconst(-1).ireturn();
@@ -86,15 +107,45 @@ pub fn program(size: Size) -> Program {
         let (w, ch, code, h) = (0u8, 1u8, 2u8, 3u8);
         let probe = m.new_label();
         let place = m.new_label();
-        m.iload(w).iconst(5).ishl().iload(ch).ixor().iconst(HASH - 1).iand().istore(h);
+        m.iload(w)
+            .iconst(5)
+            .ishl()
+            .iload(ch)
+            .ixor()
+            .iconst(HASH - 1)
+            .iand()
+            .istore(h);
         m.bind(probe);
-        m.getstatic("Compress", "hashtab").iload(h).iaload().if_eq(place);
-        m.iload(h).iconst(1).iadd().iconst(HASH - 1).iand().istore(h);
+        m.getstatic("Compress", "hashtab")
+            .iload(h)
+            .iaload()
+            .if_eq(place);
+        m.iload(h)
+            .iconst(1)
+            .iadd()
+            .iconst(HASH - 1)
+            .iand()
+            .istore(h);
         m.goto(probe);
         m.bind(place);
-        m.getstatic("Compress", "hashtab").iload(h).iload(code).iconst(1).iadd().iastore();
-        m.getstatic("Compress", "prefix").iload(code).iconst(256).isub().iload(w).iastore();
-        m.getstatic("Compress", "append").iload(code).iconst(256).isub().iload(ch).iastore();
+        m.getstatic("Compress", "hashtab")
+            .iload(h)
+            .iload(code)
+            .iconst(1)
+            .iadd()
+            .iastore();
+        m.getstatic("Compress", "prefix")
+            .iload(code)
+            .iconst(256)
+            .isub()
+            .iload(w)
+            .iastore();
+        m.getstatic("Compress", "append")
+            .iload(code)
+            .iconst(256)
+            .isub()
+            .iload(ch)
+            .iastore();
         m.ret();
         c.add_method(m);
     }
@@ -116,14 +167,19 @@ pub fn program(size: Size) -> Program {
         m.bind(top);
         m.iload(i).iload(n).if_icmp_ge(end);
         m.aload(inp).iload(i).baload().istore(ch);
-        m.iload(w).iload(ch).invokestatic("Compress", "lookup", 2, RetKind::Int).istore(k);
+        m.iload(w)
+            .iload(ch)
+            .invokestatic("Compress", "lookup", 2, RetKind::Int)
+            .istore(k);
         m.iload(k).if_ge(found);
         // emit w
         m.aload(out).iload(out_len).iload(w).iastore();
         m.iinc(out_len, 1);
         // grow dictionary
         m.iload(next_code).iconst(DICT).if_icmp_ge(no_grow);
-        m.iload(w).iload(ch).iload(next_code)
+        m.iload(w)
+            .iload(ch)
+            .iload(next_code)
             .invokestatic("Compress", "insert", 3, RetKind::Void);
         m.iinc(next_code, 1);
         m.bind(no_grow);
@@ -150,13 +206,25 @@ pub fn program(size: Size) -> Program {
         m.bind(top);
         m.iload(code).iconst(256).if_icmp_lt(done);
         m.getstatic("Compress", "stack").iload(d);
-        m.getstatic("Compress", "append2").iload(code).iconst(256).isub().iaload();
+        m.getstatic("Compress", "append2")
+            .iload(code)
+            .iconst(256)
+            .isub()
+            .iaload();
         m.iastore();
         m.iinc(d, 1);
-        m.getstatic("Compress", "prefix2").iload(code).iconst(256).isub().iaload().istore(code);
+        m.getstatic("Compress", "prefix2")
+            .iload(code)
+            .iconst(256)
+            .isub()
+            .iaload()
+            .istore(code);
         m.goto(top);
         m.bind(done);
-        m.getstatic("Compress", "stack").iload(d).iload(code).iastore();
+        m.getstatic("Compress", "stack")
+            .iload(d)
+            .iload(code)
+            .iastore();
         m.iinc(d, 1);
         m.iload(d).ireturn();
         c.add_method(m);
@@ -185,10 +253,14 @@ pub fn program(size: Size) -> Program {
         me.aload(codes).iload(i).iaload().istore(cur);
         me.iload(cur).iload(next_code).if_icmp_lt(known);
         // KwKwK: expansion(prev) then its first char again
-        me.iload(prev).invokestatic("Compress", "expand", 1, RetKind::Int).istore(d);
+        me.iload(prev)
+            .invokestatic("Compress", "expand", 1, RetKind::Int)
+            .istore(d);
         me.goto(write);
         me.bind(known);
-        me.iload(cur).invokestatic("Compress", "expand", 1, RetKind::Int).istore(d);
+        me.iload(cur)
+            .invokestatic("Compress", "expand", 1, RetKind::Int)
+            .istore(d);
         me.bind(write);
         me.iload(d).iconst(1).isub().istore(j);
         me.bind(wl);
@@ -202,16 +274,31 @@ pub fn program(size: Size) -> Program {
         // KwKwK extra first char
         me.iload(cur).iload(next_code).if_icmp_lt(no_extra);
         me.aload(out).iload(out_len);
-        me.getstatic("Compress", "stack").iload(d).iconst(1).isub().iaload();
+        me.getstatic("Compress", "stack")
+            .iload(d)
+            .iconst(1)
+            .isub()
+            .iaload();
         me.bastore();
         me.iinc(out_len, 1);
         me.bind(no_extra);
         // grow decoder dictionary
         me.iload(next_code).iconst(DICT).if_icmp_ge(no_grow);
-        me.getstatic("Compress", "prefix2").iload(next_code).iconst(256).isub()
-            .iload(prev).iastore();
-        me.getstatic("Compress", "append2").iload(next_code).iconst(256).isub();
-        me.getstatic("Compress", "stack").iload(d).iconst(1).isub().iaload();
+        me.getstatic("Compress", "prefix2")
+            .iload(next_code)
+            .iconst(256)
+            .isub()
+            .iload(prev)
+            .iastore();
+        me.getstatic("Compress", "append2")
+            .iload(next_code)
+            .iconst(256)
+            .isub();
+        me.getstatic("Compress", "stack")
+            .iload(d)
+            .iconst(1)
+            .isub()
+            .iaload();
         me.iastore();
         me.iinc(next_code, 1);
         me.bind(no_grow);
@@ -231,7 +318,14 @@ pub fn program(size: Size) -> Program {
         m.iconst(0).istore(s).iconst(0).istore(i);
         m.bind(top);
         m.iload(i).iload(n).if_icmp_ge(done);
-        m.iload(s).iconst(31).imul().aload(arr).iload(i).iaload().iadd().istore(s);
+        m.iload(s)
+            .iconst(31)
+            .imul()
+            .aload(arr)
+            .iload(i)
+            .iaload()
+            .iadd()
+            .istore(s);
         m.iinc(i, 1).goto(top);
         m.bind(done);
         m.iload(s).ireturn();
@@ -242,22 +336,42 @@ pub fn program(size: Size) -> Program {
     {
         let mut m = MethodAsm::new("main", 0).returns(RetKind::Int);
         let (inp, codes, out2, mlen, dlen, i, lib) = (0u8, 1u8, 2u8, 3u8, 4u8, 5u8, 6u8);
-        m.invokestatic("LibInit", "boot", 0, RetKind::Int).istore(lib);
+        m.invokestatic("LibInit", "boot", 0, RetKind::Int)
+            .istore(lib);
         m.iconst(n).newarray(ArrayKind::Byte).astore(inp);
         m.iconst(n + 1).newarray(ArrayKind::Int).astore(codes);
         m.iconst(n + 16).newarray(ArrayKind::Byte).astore(out2);
-        m.iconst(DICT - 256).newarray(ArrayKind::Int).putstatic("Compress", "prefix");
-        m.iconst(DICT - 256).newarray(ArrayKind::Int).putstatic("Compress", "append");
-        m.iconst(HASH).newarray(ArrayKind::Int).putstatic("Compress", "hashtab");
-        m.iconst(DICT - 256).newarray(ArrayKind::Int).putstatic("Compress", "prefix2");
-        m.iconst(DICT - 256).newarray(ArrayKind::Int).putstatic("Compress", "append2");
-        m.iconst(DICT + 64).newarray(ArrayKind::Int).putstatic("Compress", "stack");
-        m.iconst(SEED).invokestatic("Compress", "srand", 1, RetKind::Void);
-        m.aload(inp).iconst(n).invokestatic("Compress", "gen", 2, RetKind::Void);
-        m.aload(inp).iconst(n).aload(codes)
+        m.iconst(DICT - 256)
+            .newarray(ArrayKind::Int)
+            .putstatic("Compress", "prefix");
+        m.iconst(DICT - 256)
+            .newarray(ArrayKind::Int)
+            .putstatic("Compress", "append");
+        m.iconst(HASH)
+            .newarray(ArrayKind::Int)
+            .putstatic("Compress", "hashtab");
+        m.iconst(DICT - 256)
+            .newarray(ArrayKind::Int)
+            .putstatic("Compress", "prefix2");
+        m.iconst(DICT - 256)
+            .newarray(ArrayKind::Int)
+            .putstatic("Compress", "append2");
+        m.iconst(DICT + 64)
+            .newarray(ArrayKind::Int)
+            .putstatic("Compress", "stack");
+        m.iconst(SEED)
+            .invokestatic("Compress", "srand", 1, RetKind::Void);
+        m.aload(inp)
+            .iconst(n)
+            .invokestatic("Compress", "gen", 2, RetKind::Void);
+        m.aload(inp)
+            .iconst(n)
+            .aload(codes)
             .invokestatic("Compress", "compress", 3, RetKind::Int)
             .istore(mlen);
-        m.aload(codes).iload(mlen).aload(out2)
+        m.aload(codes)
+            .iload(mlen)
+            .aload(out2)
             .invokestatic("Compress", "decompress", 3, RetKind::Int)
             .istore(dlen);
         // verify round trip
@@ -274,7 +388,8 @@ pub fn program(size: Size) -> Program {
         m.if_icmp_ne(bad_data);
         m.iinc(i, 1).goto(vloop);
         m.bind(vdone);
-        m.aload(codes).iload(mlen)
+        m.aload(codes)
+            .iload(mlen)
             .invokestatic("Compress", "checksum", 2, RetKind::Int);
         m.iload(mlen).iconst(16).ishl().ixor();
         m.iload(lib).ixor();

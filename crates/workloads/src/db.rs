@@ -45,15 +45,23 @@ pub fn program(size: Size) -> Program {
         m.new_obj("Record").astore(r);
         m.aload(r).iload(id).putfield("Record", "id");
         m.aload(r).iload(val).putfield("Record", "val");
-        m.getstatic("Db", "table").getstatic("Db", "count").aload(r).aastore();
-        m.getstatic("Db", "count").iconst(1).iadd().putstatic("Db", "count");
+        m.getstatic("Db", "table")
+            .getstatic("Db", "count")
+            .aload(r)
+            .aastore();
+        m.getstatic("Db", "count")
+            .iconst(1)
+            .iadd()
+            .putstatic("Db", "count");
         m.ret();
         c.add_method(m);
     }
 
     // find(id) -> index or -1 (linear scan, like 209.db's Vector scans)
     {
-        let mut m = MethodAsm::new("find", 1).returns(RetKind::Int).synchronized();
+        let mut m = MethodAsm::new("find", 1)
+            .returns(RetKind::Int)
+            .synchronized();
         let (id, i) = (0u8, 1u8);
         let top = m.new_label();
         let miss = m.new_label();
@@ -61,7 +69,10 @@ pub fn program(size: Size) -> Program {
         m.iconst(0).istore(i);
         m.bind(top);
         m.iload(i).getstatic("Db", "count").if_icmp_ge(miss);
-        m.getstatic("Db", "table").iload(i).aaload().getfield("Record", "id");
+        m.getstatic("Db", "table")
+            .iload(i)
+            .aaload()
+            .getfield("Record", "id");
         m.iload(id).if_icmp_ne(next);
         m.iload(i).ireturn();
         m.bind(next);
@@ -76,12 +87,21 @@ pub fn program(size: Size) -> Program {
         let mut m = MethodAsm::new("modify", 2).synchronized();
         let (id, dv, k, r) = (0u8, 1u8, 2u8, 3u8);
         let out = m.new_label();
-        m.iload(id).invokestatic("Db", "find", 1, RetKind::Int).istore(k);
+        m.iload(id)
+            .invokestatic("Db", "find", 1, RetKind::Int)
+            .istore(k);
         m.iload(k).if_lt(out);
         m.getstatic("Db", "table").iload(k).aaload().astore(r);
-        m.aload(r).aload(r).getfield("Record", "val").iload(dv).iadd()
+        m.aload(r)
+            .aload(r)
+            .getfield("Record", "val")
+            .iload(dv)
+            .iadd()
             .putfield("Record", "val");
-        m.getstatic("Db", "hits").iconst(1).iadd().putstatic("Db", "hits");
+        m.getstatic("Db", "hits")
+            .iconst(1)
+            .iadd()
+            .putstatic("Db", "hits");
         m.bind(out);
         m.ret();
         c.add_method(m);
@@ -92,9 +112,14 @@ pub fn program(size: Size) -> Program {
         let mut m = MethodAsm::new("remove", 1).synchronized();
         let (id, k) = (0u8, 1u8);
         let out = m.new_label();
-        m.iload(id).invokestatic("Db", "find", 1, RetKind::Int).istore(k);
+        m.iload(id)
+            .invokestatic("Db", "find", 1, RetKind::Int)
+            .istore(k);
         m.iload(k).if_lt(out);
-        m.getstatic("Db", "count").iconst(1).isub().putstatic("Db", "count");
+        m.getstatic("Db", "count")
+            .iconst(1)
+            .isub()
+            .putstatic("Db", "count");
         m.getstatic("Db", "table").iload(k);
         m.getstatic("Db", "table").getstatic("Db", "count").aaload();
         m.aastore();
@@ -120,7 +145,9 @@ pub fn program(size: Size) -> Program {
         m.bind(inner);
         m.iload(j).if_lt(inner_done);
         // key(table[j]) > key(r) ? shift : done
-        m.getstatic("Db", "table").iload(j).aaload()
+        m.getstatic("Db", "table")
+            .iload(j)
+            .aaload()
             .invokestatic("Db", "key", 1, RetKind::Int);
         m.aload(r).invokestatic("Db", "key", 1, RetKind::Int);
         m.if_icmp_gt(shift);
@@ -131,7 +158,12 @@ pub fn program(size: Size) -> Program {
         m.aastore();
         m.iinc(j, -1).goto(inner);
         m.bind(inner_done);
-        m.getstatic("Db", "table").iload(j).iconst(1).iadd().aload(r).aastore();
+        m.getstatic("Db", "table")
+            .iload(j)
+            .iconst(1)
+            .iadd()
+            .aload(r)
+            .aastore();
         m.iinc(i, 1).goto(top);
         m.bind(done);
         m.ret();
@@ -172,8 +204,11 @@ pub fn program(size: Size) -> Program {
     {
         let mut m = MethodAsm::new("main", 0).returns(RetKind::Int);
         let (k, op, lib) = (0u8, 1u8, 2u8);
-        m.invokestatic("LibInit", "boot", 0, RetKind::Int).istore(lib);
-        m.iconst(cap).newarray(ArrayKind::Ref).putstatic("Db", "table");
+        m.invokestatic("LibInit", "boot", 0, RetKind::Int)
+            .istore(lib);
+        m.iconst(cap)
+            .newarray(ArrayKind::Ref)
+            .putstatic("Db", "table");
         m.iconst(SEED).invokestatic("Db", "srand", 1, RetKind::Void);
         let top = m.new_label();
         let done = m.new_label();
@@ -187,29 +222,37 @@ pub fn program(size: Size) -> Program {
         m.iconst(0).istore(k);
         m.bind(top);
         m.iload(k).iconst(ops).if_icmp_ge(done);
-        m.iconst(4).invokestatic("Db", "next", 1, RetKind::Int).istore(op);
-        m.iload(op).tableswitch(0, after, &[do_add, do_find, do_remove, do_modify]);
+        m.iconst(4)
+            .invokestatic("Db", "next", 1, RetKind::Int)
+            .istore(op);
+        m.iload(op)
+            .tableswitch(0, after, &[do_add, do_find, do_remove, do_modify]);
         m.bind(do_add);
         m.getstatic("Db", "count").iconst(cap).if_icmp_ge(add_full);
-        m.iconst(ID_SPACE).invokestatic("Db", "next", 1, RetKind::Int);
+        m.iconst(ID_SPACE)
+            .invokestatic("Db", "next", 1, RetKind::Int);
         m.iconst(1000).invokestatic("Db", "next", 1, RetKind::Int);
         m.invokestatic("Db", "add", 2, RetKind::Void);
         m.goto(after);
         m.bind(add_full);
-        m.iconst(ID_SPACE).invokestatic("Db", "next", 1, RetKind::Int);
+        m.iconst(ID_SPACE)
+            .invokestatic("Db", "next", 1, RetKind::Int);
         m.invokestatic("Db", "remove", 1, RetKind::Void);
         m.goto(after);
         m.bind(do_find);
-        m.iconst(ID_SPACE).invokestatic("Db", "next", 1, RetKind::Int);
+        m.iconst(ID_SPACE)
+            .invokestatic("Db", "next", 1, RetKind::Int);
         m.invokestatic("Db", "find", 1, RetKind::Int);
         m.pop();
         m.goto(after);
         m.bind(do_remove);
-        m.iconst(ID_SPACE).invokestatic("Db", "next", 1, RetKind::Int);
+        m.iconst(ID_SPACE)
+            .invokestatic("Db", "next", 1, RetKind::Int);
         m.invokestatic("Db", "remove", 1, RetKind::Void);
         m.goto(after);
         m.bind(do_modify);
-        m.iconst(ID_SPACE).invokestatic("Db", "next", 1, RetKind::Int);
+        m.iconst(ID_SPACE)
+            .invokestatic("Db", "next", 1, RetKind::Int);
         m.iconst(100).invokestatic("Db", "next", 1, RetKind::Int);
         m.invokestatic("Db", "modify", 2, RetKind::Void);
         m.goto(after);
@@ -286,7 +329,11 @@ pub fn expected(size: Size) -> i32 {
 
     let mut s = 0i32;
     for &(id, val) in &table {
-        s = s.wrapping_mul(31).wrapping_add(id).wrapping_mul(7).wrapping_add(val);
+        s = s
+            .wrapping_mul(31)
+            .wrapping_add(id)
+            .wrapping_mul(7)
+            .wrapping_add(val);
     }
     s ^ (hits << 16) ^ host_lib_checksum(size)
 }

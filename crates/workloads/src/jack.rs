@@ -67,27 +67,40 @@ pub fn program(size: Size) -> Program {
         m.bind(rloop);
         m.iload(r).iconst(rules).if_icmp_ge(rdone);
         m.getstatic("Jack", "text").iload(p);
-        m.iconst(26).invokestatic("Jack", "next", 1, RetKind::Int)
-            .iconst(i32::from(b'A')).iadd();
+        m.iconst(26)
+            .invokestatic("Jack", "next", 1, RetKind::Int)
+            .iconst(i32::from(b'A'))
+            .iadd();
         m.castore();
         m.iinc(p, 1);
-        m.getstatic("Jack", "text").iload(p).iconst(i32::from(b':')).castore();
+        m.getstatic("Jack", "text")
+            .iload(p)
+            .iconst(i32::from(b':'))
+            .castore();
         m.iinc(p, 1);
         m.iconst(0).istore(s);
         m.bind(sloop);
         m.iload(s).iconst(SYMS_PER_RULE).if_icmp_ge(sdone);
         m.iload(s).iconst(2).if_icmp_ne(no_bar);
-        m.getstatic("Jack", "text").iload(p).iconst(i32::from(b'|')).castore();
+        m.getstatic("Jack", "text")
+            .iload(p)
+            .iconst(i32::from(b'|'))
+            .castore();
         m.iinc(p, 1);
         m.bind(no_bar);
         m.getstatic("Jack", "text").iload(p);
-        m.iconst(26).invokestatic("Jack", "next", 1, RetKind::Int)
-            .iconst(i32::from(b'a')).iadd();
+        m.iconst(26)
+            .invokestatic("Jack", "next", 1, RetKind::Int)
+            .iconst(i32::from(b'a'))
+            .iadd();
         m.castore();
         m.iinc(p, 1);
         m.iinc(s, 1).goto(sloop);
         m.bind(sdone);
-        m.getstatic("Jack", "text").iload(p).iconst(i32::from(b';')).castore();
+        m.getstatic("Jack", "text")
+            .iload(p)
+            .iconst(i32::from(b';'))
+            .castore();
         m.iinc(p, 1);
         m.iinc(r, 1).goto(rloop);
         m.bind(rdone);
@@ -105,13 +118,28 @@ pub fn program(size: Size) -> Program {
         let dup = m.new_label();
         m.iload(h).iconst(SYM_TABLE - 1).iand().istore(slot);
         m.bind(probe);
-        m.getstatic("Jack", "syms").iload(slot).iaload().if_eq(place);
-        m.getstatic("Jack", "syms").iload(slot).iaload().iload(h).if_icmp_eq(dup);
-        m.iload(slot).iconst(1).iadd().iconst(SYM_TABLE - 1).iand().istore(slot);
+        m.getstatic("Jack", "syms")
+            .iload(slot)
+            .iaload()
+            .if_eq(place);
+        m.getstatic("Jack", "syms")
+            .iload(slot)
+            .iaload()
+            .iload(h)
+            .if_icmp_eq(dup);
+        m.iload(slot)
+            .iconst(1)
+            .iadd()
+            .iconst(SYM_TABLE - 1)
+            .iand()
+            .istore(slot);
         m.goto(probe);
         m.bind(place);
         m.getstatic("Jack", "syms").iload(slot).iload(h).iastore();
-        m.getstatic("Jack", "distinct").iconst(1).iadd().putstatic("Jack", "distinct");
+        m.getstatic("Jack", "distinct")
+            .iconst(1)
+            .iadd()
+            .putstatic("Jack", "distinct");
         m.bind(dup);
         m.ret();
         c.add_method(m);
@@ -138,13 +166,21 @@ pub fn program(size: Size) -> Program {
         m.goto(punct);
         m.bind(upper);
         // non-terminal: intern (ch * 131 + 7)
-        m.iload(ch).iconst(131).imul().iconst(7).iadd()
+        m.iload(ch)
+            .iconst(131)
+            .imul()
+            .iconst(7)
+            .iadd()
             .invokestatic("Jack", "intern", 1, RetKind::Void);
         m.iload(acc).iconst(31).imul().iconst(1).iadd().istore(acc);
         m.goto(cont);
         m.bind(lower);
         // terminal: intern (ch * 131 + 13 + pass-invariant)
-        m.iload(ch).iconst(131).imul().iconst(13).iadd()
+        m.iload(ch)
+            .iconst(131)
+            .imul()
+            .iconst(13)
+            .iadd()
             .invokestatic("Jack", "intern", 1, RetKind::Void);
         m.iload(acc).iconst(31).imul().iconst(2).iadd().istore(acc);
         m.goto(cont);
@@ -161,10 +197,16 @@ pub fn program(size: Size) -> Program {
     {
         let mut m = MethodAsm::new("main", 0).returns(RetKind::Int);
         let (p, s, lib) = (0u8, 1u8, 2u8);
-        m.invokestatic("LibInit", "boot", 0, RetKind::Int).istore(lib);
-        m.iconst(tlen).newarray(ArrayKind::Char).putstatic("Jack", "text");
-        m.iconst(SYM_TABLE).newarray(ArrayKind::Int).putstatic("Jack", "syms");
-        m.iconst(SEED).invokestatic("Jack", "srand", 1, RetKind::Void);
+        m.invokestatic("LibInit", "boot", 0, RetKind::Int)
+            .istore(lib);
+        m.iconst(tlen)
+            .newarray(ArrayKind::Char)
+            .putstatic("Jack", "text");
+        m.iconst(SYM_TABLE)
+            .newarray(ArrayKind::Int)
+            .putstatic("Jack", "syms");
+        m.iconst(SEED)
+            .invokestatic("Jack", "srand", 1, RetKind::Void);
         m.invokestatic("Jack", "genText", 0, RetKind::Void);
         let top = m.new_label();
         let done = m.new_label();
@@ -172,11 +214,17 @@ pub fn program(size: Size) -> Program {
         m.bind(top);
         m.iload(p).iconst(PASSES).if_icmp_ge(done);
         m.iload(s).iconst(7).imul();
-        m.iload(p).invokestatic("Jack", "scan", 1, RetKind::Int).iadd();
+        m.iload(p)
+            .invokestatic("Jack", "scan", 1, RetKind::Int)
+            .iadd();
         m.istore(s);
         m.iinc(p, 1).goto(top);
         m.bind(done);
-        m.iload(s).getstatic("Jack", "distinct").iconst(20).ishl().ixor();
+        m.iload(s)
+            .getstatic("Jack", "distinct")
+            .iconst(20)
+            .ishl()
+            .ixor();
         m.iload(lib).ixor();
         m.ireturn();
         c.add_method(m);
@@ -214,11 +262,19 @@ pub fn expected(size: Size) -> i32 {
             let b = ch as u8;
             match b {
                 b'A'..=b'Z' => {
-                    intern(ch.wrapping_mul(131).wrapping_add(7), &mut syms, &mut distinct);
+                    intern(
+                        ch.wrapping_mul(131).wrapping_add(7),
+                        &mut syms,
+                        &mut distinct,
+                    );
                     acc = acc.wrapping_mul(31).wrapping_add(1);
                 }
                 b'a'..=b'z' => {
-                    intern(ch.wrapping_mul(131).wrapping_add(13), &mut syms, &mut distinct);
+                    intern(
+                        ch.wrapping_mul(131).wrapping_add(13),
+                        &mut syms,
+                        &mut distinct,
+                    );
                     acc = acc.wrapping_mul(31).wrapping_add(2);
                 }
                 _ => {

@@ -86,7 +86,9 @@ pub fn program(size: Size) -> Program {
 
     let mut c = ClassAsm::new("Javac");
     add_rng(&mut c);
-    for f in ["src", "toks", "vals", "ntok", "pos", "code", "clen", "nodes"] {
+    for f in [
+        "src", "toks", "vals", "ntok", "pos", "code", "clen", "nodes",
+    ] {
         c.add_static_field(f);
     }
 
@@ -111,59 +113,90 @@ pub fn program(size: Size) -> Program {
         m.iconst(0).istore(f);
         m.bind(floop);
         m.iload(f).iconst(fns).if_icmp_ge(fdone);
-        m.getstatic("Javac", "src").iload(p).iconst(i32::from(b'{')).castore();
+        m.getstatic("Javac", "src")
+            .iload(p)
+            .iconst(i32::from(b'{'))
+            .castore();
         m.iinc(p, 1);
         m.iconst(0).istore(s);
         m.bind(sloop);
         m.iload(s).iconst(STMTS_PER_FN).if_icmp_ge(sdone);
         m.getstatic("Javac", "src").iload(p);
-        m.iconst(26).invokestatic("Javac", "next", 1, RetKind::Int)
-            .iconst(i32::from(b'a')).iadd();
+        m.iconst(26)
+            .invokestatic("Javac", "next", 1, RetKind::Int)
+            .iconst(i32::from(b'a'))
+            .iadd();
         m.castore();
         m.iinc(p, 1);
-        m.getstatic("Javac", "src").iload(p).iconst(i32::from(b'=')).castore();
+        m.getstatic("Javac", "src")
+            .iload(p)
+            .iconst(i32::from(b'='))
+            .castore();
         m.iinc(p, 1);
         m.iconst(0).istore(t);
         m.bind(tloop);
         m.iload(t).iconst(TERMS_PER_EXPR).if_icmp_ge(tdone);
         m.iload(t).if_eq(no_op);
         // operator
-        m.iconst(3).invokestatic("Javac", "next", 1, RetKind::Int).istore(4);
+        m.iconst(3)
+            .invokestatic("Javac", "next", 1, RetKind::Int)
+            .istore(4);
         m.iload(4).if_eq(op_plus);
         m.iload(4).iconst(1).if_icmp_eq(op_minus);
         m.goto(op_star);
         m.bind(op_plus);
-        m.getstatic("Javac", "src").iload(p).iconst(i32::from(b'+')).castore();
+        m.getstatic("Javac", "src")
+            .iload(p)
+            .iconst(i32::from(b'+'))
+            .castore();
         m.goto(op_done);
         m.bind(op_minus);
-        m.getstatic("Javac", "src").iload(p).iconst(i32::from(b'-')).castore();
+        m.getstatic("Javac", "src")
+            .iload(p)
+            .iconst(i32::from(b'-'))
+            .castore();
         m.goto(op_done);
         m.bind(op_star);
-        m.getstatic("Javac", "src").iload(p).iconst(i32::from(b'*')).castore();
+        m.getstatic("Javac", "src")
+            .iload(p)
+            .iconst(i32::from(b'*'))
+            .castore();
         m.bind(op_done);
         m.iinc(p, 1);
         m.bind(no_op);
         // term: ident or number
-        m.iconst(2).invokestatic("Javac", "next", 1, RetKind::Int).if_eq(emit_id);
+        m.iconst(2)
+            .invokestatic("Javac", "next", 1, RetKind::Int)
+            .if_eq(emit_id);
         m.getstatic("Javac", "src").iload(p);
-        m.iconst(10).invokestatic("Javac", "next", 1, RetKind::Int)
-            .iconst(i32::from(b'0')).iadd();
+        m.iconst(10)
+            .invokestatic("Javac", "next", 1, RetKind::Int)
+            .iconst(i32::from(b'0'))
+            .iadd();
         m.castore();
         m.goto(emit_done);
         m.bind(emit_id);
         m.getstatic("Javac", "src").iload(p);
-        m.iconst(26).invokestatic("Javac", "next", 1, RetKind::Int)
-            .iconst(i32::from(b'a')).iadd();
+        m.iconst(26)
+            .invokestatic("Javac", "next", 1, RetKind::Int)
+            .iconst(i32::from(b'a'))
+            .iadd();
         m.castore();
         m.bind(emit_done);
         m.iinc(p, 1);
         m.iinc(t, 1).goto(tloop);
         m.bind(tdone);
-        m.getstatic("Javac", "src").iload(p).iconst(i32::from(b';')).castore();
+        m.getstatic("Javac", "src")
+            .iload(p)
+            .iconst(i32::from(b';'))
+            .castore();
         m.iinc(p, 1);
         m.iinc(s, 1).goto(sloop);
         m.bind(sdone);
-        m.getstatic("Javac", "src").iload(p).iconst(i32::from(b'}')).castore();
+        m.getstatic("Javac", "src")
+            .iload(p)
+            .iconst(i32::from(b'}'))
+            .castore();
         m.iinc(p, 1);
         m.iinc(f, 1).goto(floop);
         m.bind(fdone);
@@ -214,7 +247,11 @@ pub fn program(size: Size) -> Program {
         m.bind(lbl_assign);
         m.iconst(T_ASSIGN).iconst(0).goto(emit);
         m.bind(is_digit);
-        m.iconst(T_NUM).iload(ch).iconst(i32::from(b'0')).isub().goto(emit);
+        m.iconst(T_NUM)
+            .iload(ch)
+            .iconst(i32::from(b'0'))
+            .isub()
+            .goto(emit);
         m.bind(other);
         // '{' '}' or identifier letters
         m.iload(ch).iconst(i32::from(b'{')).if_icmp_ne(is_ident);
@@ -223,7 +260,11 @@ pub fn program(size: Size) -> Program {
         m.iload(ch).iconst(i32::from(b'}')).if_icmp_ne(next_ch);
         m.iconst(T_RBRACE).iconst(0).goto(emit);
         m.bind(next_ch);
-        m.iconst(T_ID).iload(ch).iconst(i32::from(b'a')).isub().goto(emit);
+        m.iconst(T_ID)
+            .iload(ch)
+            .iconst(i32::from(b'a'))
+            .isub()
+            .goto(emit);
         m.bind(emit);
         // stack: type, value
         m.istore(4); // value
@@ -247,7 +288,10 @@ pub fn program(size: Size) -> Program {
         m.aload(r).iload(val).putfield("Node", "val");
         m.aload(r).aload(left).putfield("Node", "left");
         m.aload(r).aload(right).putfield("Node", "right");
-        m.getstatic("Javac", "nodes").iconst(1).iadd().putstatic("Javac", "nodes");
+        m.getstatic("Javac", "nodes")
+            .iconst(1)
+            .iadd()
+            .putstatic("Javac", "nodes");
         m.aload(r).areturn();
         c.add_method(m);
     }
@@ -257,15 +301,30 @@ pub fn program(size: Size) -> Program {
         let mut m = MethodAsm::new("parseTerm", 0).returns(RetKind::Ref);
         let (t, v) = (0u8, 1u8);
         let num = m.new_label();
-        m.getstatic("Javac", "toks").getstatic("Javac", "pos").iaload().istore(t);
-        m.getstatic("Javac", "vals").getstatic("Javac", "pos").iaload().istore(v);
-        m.getstatic("Javac", "pos").iconst(1).iadd().putstatic("Javac", "pos");
+        m.getstatic("Javac", "toks")
+            .getstatic("Javac", "pos")
+            .iaload()
+            .istore(t);
+        m.getstatic("Javac", "vals")
+            .getstatic("Javac", "pos")
+            .iaload()
+            .istore(v);
+        m.getstatic("Javac", "pos")
+            .iconst(1)
+            .iadd()
+            .putstatic("Javac", "pos");
         m.iload(t).iconst(T_NUM).if_icmp_eq(num);
-        m.iconst(N_VAR).iload(v).aconst_null().aconst_null()
+        m.iconst(N_VAR)
+            .iload(v)
+            .aconst_null()
+            .aconst_null()
             .invokestatic("Javac", "mkNode", 4, RetKind::Ref);
         m.areturn();
         m.bind(num);
-        m.iconst(N_NUM).iload(v).aconst_null().aconst_null()
+        m.iconst(N_NUM)
+            .iload(v)
+            .aconst_null()
+            .aconst_null()
             .invokestatic("Javac", "mkNode", 4, RetKind::Ref);
         m.areturn();
         c.add_method(m);
@@ -277,14 +336,25 @@ pub fn program(size: Size) -> Program {
         let (lhs, t, rhs) = (0u8, 1u8, 2u8);
         let top = m.new_label();
         let done = m.new_label();
-        m.invokestatic("Javac", "parseTerm", 0, RetKind::Ref).astore(lhs);
+        m.invokestatic("Javac", "parseTerm", 0, RetKind::Ref)
+            .astore(lhs);
         m.bind(top);
-        m.getstatic("Javac", "toks").getstatic("Javac", "pos").iaload().istore(t);
+        m.getstatic("Javac", "toks")
+            .getstatic("Javac", "pos")
+            .iaload()
+            .istore(t);
         m.iload(t).iconst(T_PLUS).if_icmp_lt(done);
         m.iload(t).iconst(T_STAR).if_icmp_gt(done);
-        m.getstatic("Javac", "pos").iconst(1).iadd().putstatic("Javac", "pos");
-        m.invokestatic("Javac", "parseTerm", 0, RetKind::Ref).astore(rhs);
-        m.iconst(N_OP).iload(t).aload(lhs).aload(rhs)
+        m.getstatic("Javac", "pos")
+            .iconst(1)
+            .iadd()
+            .putstatic("Javac", "pos");
+        m.invokestatic("Javac", "parseTerm", 0, RetKind::Ref)
+            .astore(rhs);
+        m.iconst(N_OP)
+            .iload(t)
+            .aload(lhs)
+            .aload(rhs)
             .invokestatic("Javac", "mkNode", 4, RetKind::Ref)
             .astore(lhs);
         m.goto(top);
@@ -298,15 +368,25 @@ pub fn program(size: Size) -> Program {
         let mut m = MethodAsm::new("emit", 1).synchronized();
         let node_l = 0u8;
         let leaf = m.new_label();
-        m.aload(node_l).getfield("Node", "kind").iconst(N_OP).if_icmp_ne(leaf);
-        m.aload(node_l).getfield("Node", "left").invokestatic("Javac", "emit", 1, RetKind::Void);
-        m.aload(node_l).getfield("Node", "right").invokestatic("Javac", "emit", 1, RetKind::Void);
+        m.aload(node_l)
+            .getfield("Node", "kind")
+            .iconst(N_OP)
+            .if_icmp_ne(leaf);
+        m.aload(node_l)
+            .getfield("Node", "left")
+            .invokestatic("Javac", "emit", 1, RetKind::Void);
+        m.aload(node_l)
+            .getfield("Node", "right")
+            .invokestatic("Javac", "emit", 1, RetKind::Void);
         m.bind(leaf);
         m.getstatic("Javac", "code").getstatic("Javac", "clen");
         m.aload(node_l).getfield("Node", "kind").iconst(100).imul();
         m.aload(node_l).getfield("Node", "val").iadd();
         m.iastore();
-        m.getstatic("Javac", "clen").iconst(1).iadd().putstatic("Javac", "clen");
+        m.getstatic("Javac", "clen")
+            .iconst(1)
+            .iadd()
+            .putstatic("Javac", "clen");
         m.ret();
         c.add_method(m);
     }
@@ -320,27 +400,47 @@ pub fn program(size: Size) -> Program {
         let stmt = m.new_label();
         m.iconst(0).putstatic("Javac", "pos");
         m.bind(top);
-        m.getstatic("Javac", "pos").getstatic("Javac", "ntok").if_icmp_ge(done);
-        m.getstatic("Javac", "toks").getstatic("Javac", "pos").iaload().istore(t);
-        m.getstatic("Javac", "pos").iconst(1).iadd().putstatic("Javac", "pos");
+        m.getstatic("Javac", "pos")
+            .getstatic("Javac", "ntok")
+            .if_icmp_ge(done);
+        m.getstatic("Javac", "toks")
+            .getstatic("Javac", "pos")
+            .iaload()
+            .istore(t);
+        m.getstatic("Javac", "pos")
+            .iconst(1)
+            .iadd()
+            .putstatic("Javac", "pos");
         // '{' and '}' just bracket functions
         m.iload(t).iconst(T_ID).if_icmp_eq(stmt);
         m.goto(top);
         m.bind(stmt);
         // token was the target ident; expect '=' then expr then ';'
         m.getstatic("Javac", "vals")
-            .getstatic("Javac", "pos").iconst(1).isub()
+            .getstatic("Javac", "pos")
+            .iconst(1)
+            .isub()
             .iaload()
             .istore(target);
-        m.getstatic("Javac", "pos").iconst(1).iadd().putstatic("Javac", "pos"); // skip '='
-        m.invokestatic("Javac", "parseExpr", 0, RetKind::Ref).astore(e);
-        m.getstatic("Javac", "pos").iconst(1).iadd().putstatic("Javac", "pos"); // skip ';'
+        m.getstatic("Javac", "pos")
+            .iconst(1)
+            .iadd()
+            .putstatic("Javac", "pos"); // skip '='
+        m.invokestatic("Javac", "parseExpr", 0, RetKind::Ref)
+            .astore(e);
+        m.getstatic("Javac", "pos")
+            .iconst(1)
+            .iadd()
+            .putstatic("Javac", "pos"); // skip ';'
         m.aload(e).invokestatic("Javac", "emit", 1, RetKind::Void);
         // store instruction for the assignment target
         m.getstatic("Javac", "code").getstatic("Javac", "clen");
         m.iconst(1000).iload(target).iadd();
         m.iastore();
-        m.getstatic("Javac", "clen").iconst(1).iadd().putstatic("Javac", "clen");
+        m.getstatic("Javac", "clen")
+            .iconst(1)
+            .iadd()
+            .putstatic("Javac", "clen");
         m.goto(top);
         m.bind(done);
         m.ret();
@@ -351,14 +451,25 @@ pub fn program(size: Size) -> Program {
     {
         let mut m = MethodAsm::new("main", 0).returns(RetKind::Int);
         let (s, i, lib) = (0u8, 1u8, 2u8);
-        m.invokestatic("LibInit", "boot", 0, RetKind::Int).istore(lib);
-        m.iconst(src_len).newarray(ArrayKind::Char).putstatic("Javac", "src");
-        m.iconst(max_tokens).newarray(ArrayKind::Int).putstatic("Javac", "toks");
-        m.iconst(max_tokens).newarray(ArrayKind::Int).putstatic("Javac", "vals");
-        m.iconst(max_code).newarray(ArrayKind::Int).putstatic("Javac", "code");
-        m.iconst(SEED).invokestatic("Javac", "srand", 1, RetKind::Void);
+        m.invokestatic("LibInit", "boot", 0, RetKind::Int)
+            .istore(lib);
+        m.iconst(src_len)
+            .newarray(ArrayKind::Char)
+            .putstatic("Javac", "src");
+        m.iconst(max_tokens)
+            .newarray(ArrayKind::Int)
+            .putstatic("Javac", "toks");
+        m.iconst(max_tokens)
+            .newarray(ArrayKind::Int)
+            .putstatic("Javac", "vals");
+        m.iconst(max_code)
+            .newarray(ArrayKind::Int)
+            .putstatic("Javac", "code");
+        m.iconst(SEED)
+            .invokestatic("Javac", "srand", 1, RetKind::Void);
         m.invokestatic("Javac", "genSource", 0, RetKind::Void);
-        m.iconst(src_len).invokestatic("Javac", "tokenize", 1, RetKind::Void);
+        m.iconst(src_len)
+            .invokestatic("Javac", "tokenize", 1, RetKind::Void);
         m.invokestatic("Javac", "compile", 0, RetKind::Void);
         // checksum the emitted code
         let fold = m.new_label();
@@ -371,7 +482,11 @@ pub fn program(size: Size) -> Program {
         m.istore(s);
         m.iinc(i, 1).goto(fold);
         m.bind(fdone);
-        m.iload(s).getstatic("Javac", "nodes").iconst(16).ishl().ixor();
+        m.iload(s)
+            .getstatic("Javac", "nodes")
+            .iconst(16)
+            .ishl()
+            .ixor();
         m.iload(lib).ixor();
         m.ireturn();
         c.add_method(m);
@@ -432,7 +547,7 @@ pub fn expected(size: Size) -> i32 {
         }
         let target = toks[pos - 1].1;
         pos += 1; // '='
-        // expr
+                  // expr
         let parse_term = |pos: &mut usize, nodes: &mut i32| -> N {
             let (t, v) = toks[*pos];
             *pos += 1;

@@ -45,9 +45,21 @@ pub fn program(size: Size) -> Program {
         m.iconst(0).istore(i);
         m.bind(top);
         m.iload(i).getstatic("Jess", "count").if_icmp_ge(miss);
-        m.getstatic("Jess", "fs").iload(i).iaload().iload(s).if_icmp_ne(next);
-        m.getstatic("Jess", "fp").iload(i).iaload().iload(p).if_icmp_ne(next);
-        m.getstatic("Jess", "fo").iload(i).iaload().iload(o).if_icmp_ne(next);
+        m.getstatic("Jess", "fs")
+            .iload(i)
+            .iaload()
+            .iload(s)
+            .if_icmp_ne(next);
+        m.getstatic("Jess", "fp")
+            .iload(i)
+            .iaload()
+            .iload(p)
+            .if_icmp_ne(next);
+        m.getstatic("Jess", "fo")
+            .iload(i)
+            .iaload()
+            .iload(o)
+            .if_icmp_ne(next);
         m.iconst(1).ireturn();
         m.bind(next);
         m.iinc(i, 1).goto(top);
@@ -58,17 +70,33 @@ pub fn program(size: Size) -> Program {
 
     // assertFact(s, p, o) -> 1 if newly added
     {
-        let mut m = MethodAsm::new("assertFact", 3).returns(RetKind::Int).synchronized();
+        let mut m = MethodAsm::new("assertFact", 3)
+            .returns(RetKind::Int)
+            .synchronized();
         let (s, p, o) = (0u8, 1u8, 2u8);
         let reject = m.new_label();
-        m.iload(s).iload(p).iload(o)
+        m.iload(s)
+            .iload(p)
+            .iload(o)
             .invokestatic("Jess", "contains", 3, RetKind::Int)
             .if_ne(reject);
         m.getstatic("Jess", "count").iconst(cap).if_icmp_ge(reject);
-        m.getstatic("Jess", "fs").getstatic("Jess", "count").iload(s).iastore();
-        m.getstatic("Jess", "fp").getstatic("Jess", "count").iload(p).iastore();
-        m.getstatic("Jess", "fo").getstatic("Jess", "count").iload(o).iastore();
-        m.getstatic("Jess", "count").iconst(1).iadd().putstatic("Jess", "count");
+        m.getstatic("Jess", "fs")
+            .getstatic("Jess", "count")
+            .iload(s)
+            .iastore();
+        m.getstatic("Jess", "fp")
+            .getstatic("Jess", "count")
+            .iload(p)
+            .iastore();
+        m.getstatic("Jess", "fo")
+            .getstatic("Jess", "count")
+            .iload(o)
+            .iastore();
+        m.getstatic("Jess", "count")
+            .iconst(1)
+            .iadd()
+            .putstatic("Jess", "count");
         m.iconst(1).ireturn();
         m.bind(reject);
         m.iconst(0).ireturn();
@@ -79,9 +107,28 @@ pub fn program(size: Size) -> Program {
     {
         let mut m = MethodAsm::new("matchRule", 1).returns(RetKind::Int);
         let (r, p1, p2, p3, added, i, j, limit) = (0u8, 1u8, 2u8, 3u8, 4u8, 5u8, 6u8, 7u8);
-        m.getstatic("Jess", "rules").iload(r).iconst(3).imul().iaload().istore(p1);
-        m.getstatic("Jess", "rules").iload(r).iconst(3).imul().iconst(1).iadd().iaload().istore(p2);
-        m.getstatic("Jess", "rules").iload(r).iconst(3).imul().iconst(2).iadd().iaload().istore(p3);
+        m.getstatic("Jess", "rules")
+            .iload(r)
+            .iconst(3)
+            .imul()
+            .iaload()
+            .istore(p1);
+        m.getstatic("Jess", "rules")
+            .iload(r)
+            .iconst(3)
+            .imul()
+            .iconst(1)
+            .iadd()
+            .iaload()
+            .istore(p2);
+        m.getstatic("Jess", "rules")
+            .iload(r)
+            .iconst(3)
+            .imul()
+            .iconst(2)
+            .iadd()
+            .iaload()
+            .istore(p3);
         m.iconst(0).istore(added);
         m.getstatic("Jess", "count").istore(limit);
         let iloop = m.new_label();
@@ -92,11 +139,19 @@ pub fn program(size: Size) -> Program {
         m.iconst(0).istore(i);
         m.bind(iloop);
         m.iload(i).iload(limit).if_icmp_ge(idone);
-        m.getstatic("Jess", "fp").iload(i).iaload().iload(p1).if_icmp_ne(inext);
+        m.getstatic("Jess", "fp")
+            .iload(i)
+            .iaload()
+            .iload(p1)
+            .if_icmp_ne(inext);
         m.iconst(0).istore(j);
         m.bind(jloop);
         m.iload(j).iload(limit).if_icmp_ge(inext);
-        m.getstatic("Jess", "fp").iload(j).iaload().iload(p2).if_icmp_ne(jnext);
+        m.getstatic("Jess", "fp")
+            .iload(j)
+            .iaload()
+            .iload(p2)
+            .if_icmp_ne(jnext);
         m.getstatic("Jess", "fs").iload(j).iaload();
         m.getstatic("Jess", "fo").iload(i).iaload();
         m.if_icmp_ne(jnext);
@@ -167,10 +222,17 @@ pub fn program(size: Size) -> Program {
     {
         let mut m = MethodAsm::new("main", 0).returns(RetKind::Int);
         let (i, passes, lib) = (0u8, 1u8, 2u8);
-        m.invokestatic("LibInit", "boot", 0, RetKind::Int).istore(lib);
-        m.iconst(cap).newarray(ArrayKind::Int).putstatic("Jess", "fs");
-        m.iconst(cap).newarray(ArrayKind::Int).putstatic("Jess", "fp");
-        m.iconst(cap).newarray(ArrayKind::Int).putstatic("Jess", "fo");
+        m.invokestatic("LibInit", "boot", 0, RetKind::Int)
+            .istore(lib);
+        m.iconst(cap)
+            .newarray(ArrayKind::Int)
+            .putstatic("Jess", "fs");
+        m.iconst(cap)
+            .newarray(ArrayKind::Int)
+            .putstatic("Jess", "fp");
+        m.iconst(cap)
+            .newarray(ArrayKind::Int)
+            .putstatic("Jess", "fo");
         m.iconst(RULES.len() as i32 * 3)
             .newarray(ArrayKind::Int)
             .putstatic("Jess", "rules");
@@ -182,19 +244,24 @@ pub fn program(size: Size) -> Program {
                     .iastore();
             }
         }
-        m.iconst(SEED).invokestatic("Jess", "srand", 1, RetKind::Void);
+        m.iconst(SEED)
+            .invokestatic("Jess", "srand", 1, RetKind::Void);
         let gen = m.new_label();
         let gdone = m.new_label();
         m.iconst(0).istore(i);
         m.bind(gen);
         m.iload(i).iconst(n0).if_icmp_ge(gdone);
-        m.iconst(DOMAIN).invokestatic("Jess", "next", 1, RetKind::Int);
-        m.iconst(PREDS).invokestatic("Jess", "next", 1, RetKind::Int);
-        m.iconst(DOMAIN).invokestatic("Jess", "next", 1, RetKind::Int);
+        m.iconst(DOMAIN)
+            .invokestatic("Jess", "next", 1, RetKind::Int);
+        m.iconst(PREDS)
+            .invokestatic("Jess", "next", 1, RetKind::Int);
+        m.iconst(DOMAIN)
+            .invokestatic("Jess", "next", 1, RetKind::Int);
         m.invokestatic("Jess", "assertFact", 3, RetKind::Int).pop();
         m.iinc(i, 1).goto(gen);
         m.bind(gdone);
-        m.invokestatic("Jess", "run", 0, RetKind::Int).istore(passes);
+        m.invokestatic("Jess", "run", 0, RetKind::Int)
+            .istore(passes);
         m.invokestatic("Jess", "checksum", 0, RetKind::Int);
         m.iload(passes).iconst(24).ishl().ixor();
         m.getstatic("Jess", "count").iconst(16).ishl().ixor();

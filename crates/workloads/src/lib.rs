@@ -47,7 +47,9 @@ pub mod jess;
 pub mod mpeg;
 pub mod mtrt;
 
-pub use common::{add_rng, host_lib_checksum, library, sys_class, HostRng, Size, LIB_CLASSES_S1, LIB_METHODS};
+pub use common::{
+    add_rng, host_lib_checksum, library, sys_class, HostRng, Size, LIB_CLASSES_S1, LIB_METHODS,
+};
 
 use jrt_bytecode::Program;
 

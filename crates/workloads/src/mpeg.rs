@@ -59,8 +59,13 @@ pub fn program(size: Size) -> Program {
         m.bind(top);
         m.iload(i).iconst(64).if_icmp_ge(done);
         // 1-in-4 coefficients nonzero (plus DC handled below)
-        m.iconst(4).invokestatic("Mpeg", "next", 1, RetKind::Int).if_ne(sparse);
-        m.iconst(512).invokestatic("Mpeg", "next", 1, RetKind::Int).iconst(256).isub();
+        m.iconst(4)
+            .invokestatic("Mpeg", "next", 1, RetKind::Int)
+            .if_ne(sparse);
+        m.iconst(512)
+            .invokestatic("Mpeg", "next", 1, RetKind::Int)
+            .iconst(256)
+            .isub();
         m.goto(store);
         m.bind(sparse);
         m.iconst(0);
@@ -71,7 +76,10 @@ pub fn program(size: Size) -> Program {
         m.bind(done);
         // DC always present
         m.getstatic("Mpeg", "blk").iconst(0);
-        m.iconst(1024).invokestatic("Mpeg", "next", 1, RetKind::Int).iconst(512).isub();
+        m.iconst(1024)
+            .invokestatic("Mpeg", "next", 1, RetKind::Int)
+            .iconst(512)
+            .isub();
         m.iastore();
         m.ret();
         c.add_method(m);
@@ -113,12 +121,29 @@ pub fn program(size: Size) -> Program {
         m.bind(uloop);
         m.iload(u).iconst(8).if_icmp_ge(udone);
         m.iload(acc);
-        m.getstatic("Mpeg", "cos").iload(u).iconst(8).imul().iload(x).iadd().iaload();
-        m.aload(src).iload(base).iload(u).iload(stride).imul().iadd().iaload();
+        m.getstatic("Mpeg", "cos")
+            .iload(u)
+            .iconst(8)
+            .imul()
+            .iload(x)
+            .iadd()
+            .iaload();
+        m.aload(src)
+            .iload(base)
+            .iload(u)
+            .iload(stride)
+            .imul()
+            .iadd()
+            .iaload();
         m.imul().iadd().istore(acc);
         m.iinc(u, 1).goto(uloop);
         m.bind(udone);
-        m.aload(dst).iload(base).iload(x).iload(stride).imul().iadd();
+        m.aload(dst)
+            .iload(base)
+            .iload(x)
+            .iload(stride)
+            .imul()
+            .iadd();
         m.iload(acc).iconst(11).ishr();
         m.iastore();
         m.iinc(x, 1).goto(xloop);
@@ -139,7 +164,10 @@ pub fn program(size: Size) -> Program {
         m.bind(rows);
         m.iload(r).iconst(8).if_icmp_ge(rdone);
         m.getstatic("Mpeg", "blk").getstatic("Mpeg", "tmp");
-        m.iload(r).iconst(8).imul().iconst(1)
+        m.iload(r)
+            .iconst(8)
+            .imul()
+            .iconst(1)
             .invokestatic("Mpeg", "idct1d", 4, RetKind::Void);
         m.iinc(r, 1).goto(rows);
         m.bind(rdone);
@@ -147,7 +175,8 @@ pub fn program(size: Size) -> Program {
         m.bind(cols);
         m.iload(col).iconst(8).if_icmp_ge(cdone);
         m.getstatic("Mpeg", "tmp").getstatic("Mpeg", "blk");
-        m.iload(col).iconst(8)
+        m.iload(col)
+            .iconst(8)
             .invokestatic("Mpeg", "idct1d", 4, RetKind::Void);
         m.iinc(col, 1).goto(cols);
         m.bind(cdone);
@@ -181,16 +210,32 @@ pub fn program(size: Size) -> Program {
     {
         let mut m = MethodAsm::new("main", 0).returns(RetKind::Int);
         let (b, s, i, lib) = (0u8, 1u8, 2u8, 3u8);
-        m.invokestatic("LibInit", "boot", 0, RetKind::Int).istore(lib);
-        m.iconst(64).newarray(ArrayKind::Int).putstatic("Mpeg", "cos");
-        m.iconst(64).newarray(ArrayKind::Int).putstatic("Mpeg", "quant");
-        m.iconst(64).newarray(ArrayKind::Int).putstatic("Mpeg", "blk");
-        m.iconst(64).newarray(ArrayKind::Int).putstatic("Mpeg", "tmp");
+        m.invokestatic("LibInit", "boot", 0, RetKind::Int)
+            .istore(lib);
+        m.iconst(64)
+            .newarray(ArrayKind::Int)
+            .putstatic("Mpeg", "cos");
+        m.iconst(64)
+            .newarray(ArrayKind::Int)
+            .putstatic("Mpeg", "quant");
+        m.iconst(64)
+            .newarray(ArrayKind::Int)
+            .putstatic("Mpeg", "blk");
+        m.iconst(64)
+            .newarray(ArrayKind::Int)
+            .putstatic("Mpeg", "tmp");
         for (i, &cv) in cos.iter().enumerate() {
-            m.getstatic("Mpeg", "cos").iconst(i as i32).iconst(cv).iastore();
-            m.getstatic("Mpeg", "quant").iconst(i as i32).iconst(quant(i)).iastore();
+            m.getstatic("Mpeg", "cos")
+                .iconst(i as i32)
+                .iconst(cv)
+                .iastore();
+            m.getstatic("Mpeg", "quant")
+                .iconst(i as i32)
+                .iconst(quant(i))
+                .iastore();
         }
-        m.iconst(SEED).invokestatic("Mpeg", "srand", 1, RetKind::Void);
+        m.iconst(SEED)
+            .invokestatic("Mpeg", "srand", 1, RetKind::Void);
         let top = m.new_label();
         let done = m.new_label();
         let fold = m.new_label();

@@ -34,7 +34,10 @@ pub fn program(size: Size) -> Program {
     // bump(): synchronized progress counter — the contended monitor.
     {
         let mut m = MethodAsm::new("bump", 0).synchronized();
-        m.getstatic("Scene", "progress").iconst(1).iadd().putstatic("Scene", "progress");
+        m.getstatic("Scene", "progress")
+            .iconst(1)
+            .iadd()
+            .putstatic("Scene", "progress");
         m.ret();
         scene.add_method(m);
     }
@@ -83,8 +86,9 @@ pub fn program(size: Size) -> Program {
     // intersection parameter, background is a cheap hash.
     {
         let mut m = MethodAsm::new("trace", 2).returns(RetKind::Int);
-        let (px, py, dx, dy, dz, best, hit, s, ox, oy, oz, b, cc, disc, t) =
-            (0u8, 1u8, 2u8, 3u8, 4u8, 5u8, 6u8, 7u8, 8u8, 9u8, 10u8, 11u8, 12u8, 13u8, 14u8);
+        let (px, py, dx, dy, dz, best, hit, s, ox, oy, oz, b, cc, disc, t) = (
+            0u8, 1u8, 2u8, 3u8, 4u8, 5u8, 6u8, 7u8, 8u8, 9u8, 10u8, 11u8, 12u8, 13u8, 14u8,
+        );
         let sloop = m.new_label();
         let sdone = m.new_label();
         let snext = m.new_label();
@@ -101,31 +105,52 @@ pub fn program(size: Size) -> Program {
         // oc = center - origin ; origin = (0, 0, -200)
         m.getstatic("Scene", "cx").iload(s).iaload().istore(ox);
         m.getstatic("Scene", "cy").iload(s).iaload().istore(oy);
-        m.getstatic("Scene", "cz").iload(s).iaload().iconst(200).iadd().istore(oz);
+        m.getstatic("Scene", "cz")
+            .iload(s)
+            .iaload()
+            .iconst(200)
+            .iadd()
+            .istore(oz);
         // b = oc . dir
         m.iload(ox).iload(dx).imul();
         m.iload(oy).iload(dy).imul().iadd();
         m.iload(oz).iload(dz).imul().iadd();
         m.istore(b);
         m.iload(b).if_le(snext); // sphere behind the ray
-        // cc = |oc|^2 - r^2
+                                 // cc = |oc|^2 - r^2
         m.iload(ox).iload(ox).imul();
         m.iload(oy).iload(oy).imul().iadd();
         m.iload(oz).iload(oz).imul().iadd();
-        m.getstatic("Scene", "cr").iload(s).iaload().dup().imul().isub();
+        m.getstatic("Scene", "cr")
+            .iload(s)
+            .iaload()
+            .dup()
+            .imul()
+            .isub();
         m.istore(cc);
         // disc = b*b/|d|^2 - cc   (scaled discriminant test)
         m.iload(b).iload(b).imul();
-        m.iload(dx).iload(dx).imul()
-            .iload(dy).iload(dy).imul().iadd()
-            .iload(dz).iload(dz).imul().iadd();
+        m.iload(dx)
+            .iload(dx)
+            .imul()
+            .iload(dy)
+            .iload(dy)
+            .imul()
+            .iadd()
+            .iload(dz)
+            .iload(dz)
+            .imul()
+            .iadd();
         m.idiv();
         m.iload(cc).isub();
         m.istore(disc);
         m.iload(disc).if_le(snext);
         // t = b - isqrt(disc * |d|^2-ish): use t = b - isqrt(disc)*8
         m.iload(b);
-        m.iload(disc).invokestatic("Scene", "isqrt", 1, RetKind::Int).iconst(8).imul();
+        m.iload(disc)
+            .invokestatic("Scene", "isqrt", 1, RetKind::Int)
+            .iconst(8)
+            .imul();
         m.isub().istore(t);
         m.iload(t).if_le(snext);
         m.iload(t).iload(best).if_icmp_ge(snext);
@@ -161,12 +186,22 @@ pub fn program(size: Size) -> Program {
         let xdone = m.new_label();
         m.aload(0).getfield("Worker", "from").istore(y);
         m.bind(yloop);
-        m.iload(y).aload(0).getfield("Worker", "to").if_icmp_ge(ydone);
+        m.iload(y)
+            .aload(0)
+            .getfield("Worker", "to")
+            .if_icmp_ge(ydone);
         m.iconst(0).istore(x);
         m.bind(xloop);
         m.iload(x).iconst(w).if_icmp_ge(xdone);
-        m.getstatic("Scene", "fb").iload(y).iconst(w).imul().iload(x).iadd();
-        m.iload(x).iload(y).invokestatic("Scene", "trace", 2, RetKind::Int);
+        m.getstatic("Scene", "fb")
+            .iload(y)
+            .iconst(w)
+            .imul()
+            .iload(x)
+            .iadd();
+        m.iload(x)
+            .iload(y)
+            .invokestatic("Scene", "trace", 2, RetKind::Int);
         m.iastore();
         m.iinc(x, 1).goto(xloop);
         m.bind(xdone);
@@ -182,28 +217,50 @@ pub fn program(size: Size) -> Program {
     {
         let mut m = MethodAsm::new("main", 0).returns(RetKind::Int);
         let (w0, w1, t0, t1, s, i, lib) = (0u8, 1u8, 2u8, 3u8, 4u8, 5u8, 6u8);
-        m.invokestatic("LibInit", "boot", 0, RetKind::Int).istore(lib);
+        m.invokestatic("LibInit", "boot", 0, RetKind::Int)
+            .istore(lib);
         for f in ["cx", "cy", "cz", "cr"] {
-            m.iconst(NSPHERES).newarray(ArrayKind::Int).putstatic("Scene", f);
+            m.iconst(NSPHERES)
+                .newarray(ArrayKind::Int)
+                .putstatic("Scene", f);
         }
-        m.iconst(w * HEIGHT).newarray(ArrayKind::Int).putstatic("Scene", "fb");
-        m.iconst(SEED).invokestatic("Scene", "srand", 1, RetKind::Void);
+        m.iconst(w * HEIGHT)
+            .newarray(ArrayKind::Int)
+            .putstatic("Scene", "fb");
+        m.iconst(SEED)
+            .invokestatic("Scene", "srand", 1, RetKind::Void);
         let gen = m.new_label();
         let gdone = m.new_label();
         m.iconst(0).istore(i);
         m.bind(gen);
         m.iload(i).iconst(NSPHERES).if_icmp_ge(gdone);
-        m.getstatic("Scene", "cx").iload(i)
-            .iconst(200).invokestatic("Scene", "next", 1, RetKind::Int).iconst(100).isub()
+        m.getstatic("Scene", "cx")
+            .iload(i)
+            .iconst(200)
+            .invokestatic("Scene", "next", 1, RetKind::Int)
+            .iconst(100)
+            .isub()
             .iastore();
-        m.getstatic("Scene", "cy").iload(i)
-            .iconst(200).invokestatic("Scene", "next", 1, RetKind::Int).iconst(100).isub()
+        m.getstatic("Scene", "cy")
+            .iload(i)
+            .iconst(200)
+            .invokestatic("Scene", "next", 1, RetKind::Int)
+            .iconst(100)
+            .isub()
             .iastore();
-        m.getstatic("Scene", "cz").iload(i)
-            .iconst(160).invokestatic("Scene", "next", 1, RetKind::Int).iconst(40).iadd()
+        m.getstatic("Scene", "cz")
+            .iload(i)
+            .iconst(160)
+            .invokestatic("Scene", "next", 1, RetKind::Int)
+            .iconst(40)
+            .iadd()
             .iastore();
-        m.getstatic("Scene", "cr").iload(i)
-            .iconst(30).invokestatic("Scene", "next", 1, RetKind::Int).iconst(10).iadd()
+        m.getstatic("Scene", "cr")
+            .iload(i)
+            .iconst(30)
+            .invokestatic("Scene", "next", 1, RetKind::Int)
+            .iconst(10)
+            .iadd()
             .iastore();
         m.iinc(i, 1).goto(gen);
         m.bind(gdone);
@@ -214,8 +271,12 @@ pub fn program(size: Size) -> Program {
         m.new_obj("Worker").astore(w1);
         m.aload(w1).iconst(HEIGHT / 2).putfield("Worker", "from");
         m.aload(w1).iconst(HEIGHT).putfield("Worker", "to");
-        m.aload(w0).invokestatic("Sys", "spawn", 1, RetKind::Int).istore(t0);
-        m.aload(w1).invokestatic("Sys", "spawn", 1, RetKind::Int).istore(t1);
+        m.aload(w0)
+            .invokestatic("Sys", "spawn", 1, RetKind::Int)
+            .istore(t0);
+        m.aload(w1)
+            .invokestatic("Sys", "spawn", 1, RetKind::Int)
+            .istore(t1);
         m.iload(t0).invokestatic("Sys", "join", 1, RetKind::Void);
         m.iload(t1).invokestatic("Sys", "join", 1, RetKind::Void);
         // checksum framebuffer
@@ -229,7 +290,11 @@ pub fn program(size: Size) -> Program {
         m.istore(s);
         m.iinc(i, 1).goto(fold);
         m.bind(fdone);
-        m.iload(s).getstatic("Scene", "progress").iconst(24).ishl().ixor();
+        m.iload(s)
+            .getstatic("Scene", "progress")
+            .iconst(24)
+            .ishl()
+            .ixor();
         m.iload(lib).ixor();
         m.ireturn();
         main.add_method(m);

@@ -1,30 +1,37 @@
 //! Cache-architect study: sweep geometry for a JVM workload the way
 //! Section 4.3 of the paper does, all from one execution per mode
-//! (the trace fans out to every configuration).
+//! (the trace fans out to every configuration) — and the two modes
+//! themselves fan out on the experiment crate's parallel job
+//! scheduler (`--jobs N` / `JRT_JOBS` set the worker count).
 //!
 //! ```sh
-//! cargo run --release --example cache_architect [tiny|s1]
+//! cargo run --release --example cache_architect [tiny|s1] [--jobs N]
 //! ```
 
 use javart::cache::{CacheConfig, SplitCaches};
+use javart::experiments::jobs;
 use javart::vm::{Vm, VmConfig};
 use javart::workloads::{db, Size};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let size = match std::env::args().nth(1).as_deref() {
+    let args = jobs::cli_args();
+    let size = match args.first().map(String::as_str) {
         Some("s1") => Size::S1,
         _ => Size::Tiny,
     };
     let program = db::program(size);
 
-    for (label, cfg) in [
+    let modes = [
         ("interp", VmConfig::interpreter()),
         ("jit", VmConfig::jit()),
-    ] {
-        // One run drives 8 cache configurations: a size sweep and the
-        // paper's associativity sweep.
-        let sizes = [8 * 1024u64, 16 * 1024, 32 * 1024, 64 * 1024];
-        let mut sweep: Vec<SplitCaches> = sizes
+    ];
+    // One job per mode; within a job one run drives 8 cache
+    // configurations (a size sweep and the paper's associativity
+    // sweep). Results come back in mode order regardless of which
+    // worker finished first.
+    let sizes = [8 * 1024u64, 16 * 1024, 32 * 1024, 64 * 1024];
+    let measured = jobs::par_map(&modes, |(_, cfg)| {
+        let sweep: Vec<SplitCaches> = sizes
             .iter()
             .map(|&s| SplitCaches::new(CacheConfig::new(s, 32, 2), CacheConfig::new(s, 32, 4)))
             .collect();
@@ -37,10 +44,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 )
             })
             .collect();
-        let mut sinks = (std::mem::take(&mut sweep), assoc);
-        let r = Vm::new(&program, cfg).run(&mut sinks)?;
+        let mut sinks = (sweep, assoc);
+        let r = Vm::new(&program, cfg.clone())
+            .run(&mut sinks)
+            .expect("clean run");
         assert_eq!(r.exit_value, Some(db::expected(size)));
+        sinks
+    });
 
+    for ((label, _), sinks) in modes.iter().zip(&measured) {
         println!("-- db, {label} mode --");
         println!("  capacity sweep (32B lines):");
         for (s, caches) in sizes.iter().zip(&sinks.0) {

@@ -1,0 +1,31 @@
+//! Golden-snapshot test for the full experiment suite.
+//!
+//! `tests/golden/experiments_tiny.md` is the committed output of
+//! `run_all` at `Tiny` scale. Regenerating it must be byte-identical
+//! — at one worker (the sequential path) and at several worker
+//! counts — which pins down both the experiment results themselves
+//! and the parallel scheduler's canonical-order merge (DESIGN.md §5.4:
+//! reports are bit-identical at any worker count).
+
+use javart::experiments::{jobs, report};
+use javart::workloads::Size;
+
+const GOLDEN: &str = include_str!("golden/experiments_tiny.md");
+
+#[test]
+fn run_all_tiny_is_byte_identical_at_any_worker_count() {
+    for workers in [1, 2, 8] {
+        jobs::set_jobs(workers);
+        let md = report::run_all(Size::Tiny).to_markdown();
+        assert!(
+            md == GOLDEN,
+            "run_all(Tiny) with {workers} worker(s) diverged from \
+             tests/golden/experiments_tiny.md (lengths: got {}, golden {}); \
+             first differing byte at offset {:?}",
+            md.len(),
+            GOLDEN.len(),
+            md.bytes().zip(GOLDEN.bytes()).position(|(a, b)| a != b),
+        );
+    }
+    jobs::set_jobs(0);
+}

@@ -17,7 +17,9 @@ fn translated_code_beats_interpretation() {
     for spec in suite_with_hello() {
         let program = (spec.build)(Size::Tiny);
         let mut i = CountingSink::new();
-        Vm::new(&program, VmConfig::interpreter()).run(&mut i).unwrap();
+        Vm::new(&program, VmConfig::interpreter())
+            .run(&mut i)
+            .unwrap();
         let mut j = CountingSink::new();
         Vm::new(&program, VmConfig::jit()).run(&mut j).unwrap();
         let interp_exec = i.total() - i.phase(Phase::ClassLoad);
@@ -57,7 +59,9 @@ fn interpreter_memory_share_exceeds_jit_everywhere() {
     for spec in suite() {
         let program = (spec.build)(Size::Tiny);
         let mut i = InstMix::new();
-        Vm::new(&program, VmConfig::interpreter()).run(&mut i).unwrap();
+        Vm::new(&program, VmConfig::interpreter())
+            .run(&mut i)
+            .unwrap();
         let mut j = InstMix::new();
         Vm::new(&program, VmConfig::jit()).run(&mut j).unwrap();
         assert!(
@@ -80,7 +84,9 @@ fn bytecode_is_data_only_for_the_interpreter() {
     let program = javart::workloads::jack::program(Size::Tiny);
 
     let mut caches = SplitCaches::paper_l1();
-    Vm::new(&program, VmConfig::interpreter()).run(&mut caches).unwrap();
+    Vm::new(&program, VmConfig::interpreter())
+        .run(&mut caches)
+        .unwrap();
     let interp_class_reads = caches.dcache().region_stats(Region::ClassArea).reads;
 
     let mut caches = SplitCaches::paper_l1();
@@ -131,7 +137,11 @@ fn footprint_delta_is_exactly_the_translator_side() {
             .unwrap();
         assert_eq!(i.footprint.code_cache_bytes, 0, "{}", spec.name);
         assert_eq!(i.footprint.translator_bytes, 0, "{}", spec.name);
-        assert_eq!(i.footprint.class_bytes, j.footprint.class_bytes, "{}", spec.name);
+        assert_eq!(
+            i.footprint.class_bytes, j.footprint.class_bytes,
+            "{}",
+            spec.name
+        );
         assert!(j.footprint.total() > i.footprint.total(), "{}", spec.name);
     }
 }

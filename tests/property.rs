@@ -2,12 +2,10 @@
 
 use javart::bytecode::{ClassAsm, MethodAsm, Program, RetKind};
 use javart::cache::{Cache, CacheConfig};
-use javart::sync::{
-    EnterOutcome, FatLockEngine, OneBitLockEngine, SyncEngine, ThinLockEngine,
-};
+use javart::sync::{EnterOutcome, FatLockEngine, OneBitLockEngine, SyncEngine, ThinLockEngine};
 use javart::trace::{AccessKind, CountingSink, Phase};
 use javart::vm::{Vm, VmConfig};
-use proptest::prelude::*;
+use jrt_testkit::forall;
 
 /// A random arithmetic op on two stack values.
 #[derive(Debug, Clone, Copy)]
@@ -21,6 +19,17 @@ enum BinOp {
     Shl,
     Shr,
 }
+
+const ALL_BINOPS: [BinOp; 8] = [
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::And,
+    BinOp::Or,
+    BinOp::Xor,
+    BinOp::Shl,
+    BinOp::Shr,
+];
 
 impl BinOp {
     fn apply(self, a: i32, b: i32) -> i32 {
@@ -50,29 +59,14 @@ impl BinOp {
     }
 }
 
-fn binop_strategy() -> impl Strategy<Value = BinOp> {
-    prop_oneof![
-        Just(BinOp::Add),
-        Just(BinOp::Sub),
-        Just(BinOp::Mul),
-        Just(BinOp::And),
-        Just(BinOp::Or),
-        Just(BinOp::Xor),
-        Just(BinOp::Shl),
-        Just(BinOp::Shr),
-    ]
-}
+/// Random expression chains evaluate identically on the host, the
+/// interpreter, and the JIT.
+#[test]
+fn random_arithmetic_agrees_across_engines() {
+    forall!(cases = 48, seed = 0xA1173, |rng| {
+        let seed = rng.i32();
+        let ops = rng.vec(1..40, |r| (*r.choose(&ALL_BINOPS), r.i32()));
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Random expression chains evaluate identically on the host, the
-    /// interpreter, and the JIT.
-    #[test]
-    fn random_arithmetic_agrees_across_engines(
-        seed in any::<i32>(),
-        ops in prop::collection::vec((binop_strategy(), any::<i32>()), 1..40),
-    ) {
         // Host evaluation.
         let mut host = seed;
         for (op, v) in &ops {
@@ -92,17 +86,21 @@ proptest! {
         let p = Program::build(vec![c], "Main", "main").expect("assembles");
 
         for cfg in [VmConfig::interpreter(), VmConfig::jit()] {
-            let r = Vm::new(&p, cfg).run(&mut CountingSink::new()).expect("runs");
-            prop_assert_eq!(r.exit_value, Some(host));
+            let r = Vm::new(&p, cfg)
+                .run(&mut CountingSink::new())
+                .expect("runs");
+            assert_eq!(r.exit_value, Some(host));
         }
-    }
+    });
+}
 
-    /// The cache simulator agrees with a naive reference model
-    /// (fully-explicit LRU list) on an arbitrary access sequence.
-    #[test]
-    fn cache_matches_reference_model(
-        accesses in prop::collection::vec((0u64..4096, any::<bool>()), 1..300),
-    ) {
+/// The cache simulator agrees with a naive reference model
+/// (fully-explicit LRU list) on an arbitrary access sequence.
+#[test]
+fn cache_matches_reference_model() {
+    forall!(cases = 64, seed = 0xCAC4E, |rng| {
+        let accesses = rng.vec(1..300, |r| (r.u64_in(0..4096), r.bool()));
+
         let cfg = CacheConfig::new(512, 32, 2); // 16 lines, 8 sets
         let mut cache = Cache::new(cfg);
 
@@ -112,7 +110,11 @@ proptest! {
         let mut model_misses = 0u64;
 
         for (addr, write) in &accesses {
-            let kind = if *write { AccessKind::Write } else { AccessKind::Read };
+            let kind = if *write {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
             let out = cache.access(*addr, kind, Phase::Runtime);
 
             let line = addr / 32;
@@ -121,11 +123,11 @@ proptest! {
                 Some(i) => {
                     let l = set.remove(i);
                     set.insert(0, l);
-                    prop_assert!(out.hit, "model hit, cache missed at {addr:#x}");
+                    assert!(out.hit, "model hit, cache missed at {addr:#x}");
                 }
                 None => {
                     model_misses += 1;
-                    prop_assert!(!out.hit, "model miss, cache hit at {addr:#x}");
+                    assert!(!out.hit, "model miss, cache hit at {addr:#x}");
                     set.insert(0, line);
                     if set.len() > cfg.assoc as usize {
                         set.pop();
@@ -133,19 +135,20 @@ proptest! {
                 }
             }
         }
-        prop_assert_eq!(cache.stats().misses(), model_misses);
-    }
+        assert_eq!(cache.stats().misses(), model_misses);
+    });
+}
 
-    /// All three lock engines agree on the *semantics* of an arbitrary
-    /// enter/exit sequence (who may proceed, recursion accounting),
-    /// differing only in cost.
-    #[test]
-    fn lock_engines_agree_semantically(
-        script in prop::collection::vec(
-            (0u32..4, 0u16..3, any::<bool>()),
-            1..120
-        ),
-    ) {
+/// All three lock engines agree on the *semantics* of an arbitrary
+/// enter/exit sequence (who may proceed, recursion accounting),
+/// differing only in cost.
+#[test]
+fn lock_engines_agree_semantically() {
+    forall!(cases = 64, seed = 0x10C5, |rng| {
+        let script = rng.vec(1..120, |r| {
+            (r.u64_in(0..4) as u32, r.u64_in(0..3) as u16, r.bool())
+        });
+
         let mut fat = FatLockEngine::new();
         let mut thin = ThinLockEngine::new();
         let mut onebit = OneBitLockEngine::new();
@@ -166,8 +169,8 @@ proptest! {
                 ];
                 for out in outcomes {
                     match out {
-                        EnterOutcome::Acquired { .. } => prop_assert!(expect_acquire),
-                        EnterOutcome::Blocked { .. } => prop_assert!(!expect_acquire),
+                        EnterOutcome::Acquired { .. } => assert!(expect_acquire),
+                        EnterOutcome::Blocked { .. } => assert!(!expect_acquire),
                     }
                 }
                 if expect_acquire {
@@ -182,7 +185,7 @@ proptest! {
                     onebit.monitor_exit(obj, thread).is_ok(),
                 ];
                 for ok in results {
-                    prop_assert_eq!(ok, expect_ok);
+                    assert_eq!(ok, expect_ok);
                 }
                 if expect_ok {
                     let e = owner.get_mut(&obj).expect("owned");
@@ -193,12 +196,15 @@ proptest! {
                 }
             }
         }
-    }
+    });
+}
 
-    /// The assembler + verifier accept arbitrary loop bounds and the
-    /// result matches a host-computed sum.
-    #[test]
-    fn loops_compute_correct_sums(bound in 0i32..500) {
+/// The assembler + verifier accept arbitrary loop bounds and the
+/// result matches a host-computed sum.
+#[test]
+fn loops_compute_correct_sums() {
+    forall!(cases = 48, seed = 0x1005, |rng| {
+        let bound = rng.i32_in(0..500);
         let mut c = ClassAsm::new("Main");
         let mut m = MethodAsm::new("main", 0).returns(RetKind::Int);
         let top = m.new_label();
@@ -213,7 +219,9 @@ proptest! {
         c.add_method(m);
         let p = Program::build(vec![c], "Main", "main").expect("assembles");
         let host: i32 = (0..bound).sum();
-        let r = Vm::new(&p, VmConfig::jit()).run(&mut CountingSink::new()).expect("runs");
-        prop_assert_eq!(r.exit_value, Some(host));
-    }
+        let r = Vm::new(&p, VmConfig::jit())
+            .run(&mut CountingSink::new())
+            .expect("runs");
+        assert_eq!(r.exit_value, Some(host));
+    });
 }

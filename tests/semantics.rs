@@ -99,27 +99,55 @@ fn every_conditional_branch_direction() {
     // taken, 0 otherwise.
     type BranchFn = fn(&mut MethodAsm, javart::bytecode::Label);
     let cases: Vec<(BranchFn, i32, bool)> = vec![
-        (|m, l| {
-            m.if_eq(l);
-        }, 0, true),
-        (|m, l| {
-            m.if_eq(l);
-        }, 3, false),
-        (|m, l| {
-            m.if_ne(l);
-        }, 3, true),
-        (|m, l| {
-            m.if_lt(l);
-        }, -1, true),
-        (|m, l| {
-            m.if_ge(l);
-        }, 0, true),
-        (|m, l| {
-            m.if_gt(l);
-        }, 0, false),
-        (|m, l| {
-            m.if_le(l);
-        }, 0, true),
+        (
+            |m, l| {
+                m.if_eq(l);
+            },
+            0,
+            true,
+        ),
+        (
+            |m, l| {
+                m.if_eq(l);
+            },
+            3,
+            false,
+        ),
+        (
+            |m, l| {
+                m.if_ne(l);
+            },
+            3,
+            true,
+        ),
+        (
+            |m, l| {
+                m.if_lt(l);
+            },
+            -1,
+            true,
+        ),
+        (
+            |m, l| {
+                m.if_ge(l);
+            },
+            0,
+            true,
+        ),
+        (
+            |m, l| {
+                m.if_gt(l);
+            },
+            0,
+            false,
+        ),
+        (
+            |m, l| {
+                m.if_le(l);
+            },
+            0,
+            true,
+        ),
     ];
     for (k, (branch, value, expect_taken)) in cases.into_iter().enumerate() {
         let p = main_returning(|m| {
@@ -301,7 +329,10 @@ fn explicit_monitor_bytecodes() {
     assert_eq!(r.exit_value, Some(9));
     assert_eq!(r.sync_stats.enters(), 2);
     assert_eq!(r.sync_stats.exits, 2);
-    assert_eq!(r.sync_stats.case_counts[1], 1, "one shallow-recursive enter");
+    assert_eq!(
+        r.sync_stats.case_counts[1], 1,
+        "one shallow-recursive enter"
+    );
 }
 
 #[test]
