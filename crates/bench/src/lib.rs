@@ -26,7 +26,7 @@ use jrt_experiments::{
 use jrt_ilp::{Pipeline, PipelineConfig};
 use jrt_sync::{FatLockEngine, OneBitLockEngine, SyncEngine, ThinLockEngine};
 use jrt_testkit::bench::Harness;
-use jrt_trace::{CountingSink, InstMix, NativeInst, Phase, RecordingSink, TraceSink};
+use jrt_trace::{CountingSink, InstMix, NativeInst, Phase, RecordingSink, Tape, TraceSink};
 use jrt_vm::{Vm, VmConfig};
 use jrt_workloads::{db, jess, Size};
 
@@ -97,6 +97,28 @@ pub fn bench_simulators(h: &mut Harness) {
             p.accept(e);
         }
         p.report()
+    });
+
+    // Tape pack/unpack cost on the same db trace: record once into the
+    // delta-packed format, replay into the cheapest consumer. Replay
+    // throughput is what every cached experiment pays per figure.
+    h.bench("tape/record", || {
+        Tape::record(|rec| {
+            for e in &events {
+                rec.accept(e);
+            }
+        })
+        .size_bytes()
+    });
+    let tape = Tape::record(|rec| {
+        for e in &events {
+            rec.accept(e);
+        }
+    });
+    h.bench("tape/replay_counting", || {
+        let mut c = CountingSink::new();
+        tape.replay(&mut c);
+        c.total()
     });
 
     // Ablation: the four direction predictors on one synthetic stream.

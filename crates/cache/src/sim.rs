@@ -4,6 +4,32 @@ use crate::config::CacheConfig;
 use jrt_trace::{AccessKind, Addr, Phase, Region};
 use std::collections::HashSet;
 use std::fmt;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// SplitMix64-finalizer hasher for the line-id seen-set. Line ids are
+/// already well-distributed integers; SipHash (the std default) is
+/// wasted on them and dominates the miss path.
+#[derive(Default)]
+struct LineIdHasher(u64);
+
+impl Hasher for LineIdHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        let mut z = v.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        self.0 = z ^ (z >> 31);
+    }
+}
 
 /// Result of a single cache access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -117,13 +143,17 @@ struct Line {
 #[derive(Debug, Clone)]
 pub struct Cache {
     cfg: CacheConfig,
+    // Hot-path geometry, precomputed: every dimension is a power of
+    // two (validated by `CacheConfig`), so indexing is shift + mask.
+    line_shift: u32,
+    set_mask: u64,
     lines: Vec<Line>, // num_sets * assoc, set-major
     tick: u64,
     stats: CacheStats,
     translate_stats: CacheStats,
     rest_stats: CacheStats,
-    region_stats: Vec<(Region, CacheStats)>,
-    seen: HashSet<u64>,
+    region_stats: [CacheStats; Region::ALL.len()], // indexed by discriminant
+    seen: HashSet<u64, BuildHasherDefault<LineIdHasher>>,
 }
 
 impl Cache {
@@ -132,16 +162,15 @@ impl Cache {
         let n = (cfg.num_lines()) as usize;
         Cache {
             cfg,
+            line_shift: cfg.line.trailing_zeros(),
+            set_mask: cfg.num_sets() - 1,
             lines: vec![Line::default(); n],
             tick: 0,
             stats: CacheStats::default(),
             translate_stats: CacheStats::default(),
             rest_stats: CacheStats::default(),
-            region_stats: Region::ALL
-                .iter()
-                .map(|&r| (r, CacheStats::default()))
-                .collect(),
-            seen: HashSet::new(),
+            region_stats: [CacheStats::default(); Region::ALL.len()],
+            seen: HashSet::default(),
         }
     }
 
@@ -152,9 +181,8 @@ impl Cache {
 
     /// Performs one access and updates statistics.
     pub fn access(&mut self, addr: Addr, kind: AccessKind, phase: Phase) -> AccessOutcome {
-        let line_id = self.cfg.line_id(addr);
-        let compulsory = self.seen.insert(line_id);
-        let outcome = self.probe(line_id, kind, compulsory);
+        let line_id = addr >> self.line_shift;
+        let outcome = self.probe(line_id, kind);
         self.stats.record(kind, outcome);
         if phase.is_translate() {
             self.translate_stats.record(kind, outcome);
@@ -162,19 +190,14 @@ impl Cache {
             self.rest_stats.record(kind, outcome);
         }
         if let Some(region) = Region::classify(addr) {
-            let slot = self
-                .region_stats
-                .iter_mut()
-                .find(|(r, _)| *r == region)
-                .expect("all regions present");
-            slot.1.record(kind, outcome);
+            self.region_stats[region as usize].record(kind, outcome);
         }
         outcome
     }
 
-    fn probe(&mut self, line_id: u64, kind: AccessKind, compulsory: bool) -> AccessOutcome {
+    fn probe(&mut self, line_id: u64, kind: AccessKind) -> AccessOutcome {
         self.tick += 1;
-        let set = (line_id % self.cfg.num_sets()) as usize;
+        let set = (line_id & self.set_mask) as usize;
         let assoc = self.cfg.assoc as usize;
         let ways = &mut self.lines[set * assoc..(set + 1) * assoc];
 
@@ -186,7 +209,12 @@ impl Cache {
             };
         }
 
-        // Miss. Allocate unless this is a write under no-write-allocate.
+        // Miss. A hit line is always in `seen` (it was inserted when
+        // the line was filled, or on the write miss that skipped the
+        // fill), so first-touch tracking only needs to run here.
+        let compulsory = self.seen.insert(line_id);
+
+        // Allocate unless this is a write under no-write-allocate.
         let allocate = self.cfg.write_allocate || kind == AccessKind::Read;
         if allocate {
             let victim = ways
@@ -220,12 +248,7 @@ impl Cache {
 
     /// Statistics for accesses falling into `region`.
     pub fn region_stats(&self, region: Region) -> &CacheStats {
-        &self
-            .region_stats
-            .iter()
-            .find(|(r, _)| *r == region)
-            .expect("all regions present")
-            .1
+        &self.region_stats[region as usize]
     }
 
     /// Invalidates all lines but keeps statistics.

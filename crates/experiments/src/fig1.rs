@@ -8,9 +8,10 @@
 //! outperforms interpretation.
 
 use crate::jobs::{self, Workload};
+use crate::runner::Mode;
 use crate::table::{pct, Table};
-use jrt_trace::{CountingSink, Phase};
-use jrt_vm::{Vm, VmConfig};
+use crate::tape;
+use jrt_trace::Phase;
 use jrt_workloads::{suite_with_hello, Size};
 
 /// One benchmark's Figure 1 bar.
@@ -95,33 +96,19 @@ impl Fig1 {
 }
 
 fn run_one(w: &Workload) -> Fig1Row {
-    let program = &*w.program;
-
-    let mut interp_sink = CountingSink::new();
-    let interp = Vm::new(program, VmConfig::interpreter())
-        .run(&mut interp_sink)
-        .expect("interp run");
-    w.check(&interp);
-
-    let mut jit_sink = CountingSink::new();
-    let jit = Vm::new(program, VmConfig::jit())
-        .run(&mut jit_sink)
-        .expect("jit run");
-    w.check(&jit);
-
-    let decisions = jrt_vm::OracleDecisions::from_profiles(&interp.profile, &jit.profile);
-    let mut opt_sink = CountingSink::new();
-    let opt = Vm::new(program, VmConfig::oracle(decisions))
-        .run(&mut opt_sink)
-        .expect("opt run");
-    w.check(&opt);
+    // All three recordings come from the tape cache: interp and jit
+    // are shared with every other driver, and the opt recording uses
+    // the memoized oracle derived from their cached profiles.
+    let interp = tape::recorded(w, Mode::Interp);
+    let jit = tape::recorded(w, Mode::Jit);
+    let opt = tape::recorded(w, Mode::Opt);
 
     Fig1Row {
         name: w.spec.name,
-        jit_total: jit_sink.total(),
-        translate: jit_sink.phase(Phase::Translate),
-        opt_total: opt_sink.total(),
-        interp_total: interp_sink.total(),
+        jit_total: jit.counts.total(),
+        translate: jit.counts.phase(Phase::Translate),
+        opt_total: opt.counts.total(),
+        interp_total: interp.counts.total(),
     }
 }
 

@@ -7,8 +7,9 @@
 //! more direct branches and calls.
 
 use crate::jobs;
-use crate::runner::{run_mode, Mode};
+use crate::runner::Mode;
 use crate::table::{pct, Table};
+use crate::tape;
 use jrt_trace::InstMix;
 use jrt_workloads::{suite, Size};
 
@@ -95,8 +96,7 @@ pub fn run(size: Size) -> Fig2 {
     let work = jobs::cross(&jobs::prebuild(suite(), size), &Mode::BOTH);
     let mixes = jobs::par_map(&work, |(w, mode)| {
         let mut mix = InstMix::new();
-        let r = run_mode(&w.program, *mode, &mut mix);
-        w.check(&r);
+        tape::replay(w, *mode, &mut mix);
         mix
     });
 

@@ -5,8 +5,9 @@
 //! installation), far more than in interpreter mode.
 
 use crate::jobs::{self, Workload};
-use crate::runner::{run_mode, Mode};
+use crate::runner::Mode;
 use crate::table::{pct, Table};
+use crate::tape;
 use jrt_cache::{CacheConfig, SplitCaches};
 use jrt_workloads::{suite, Size};
 
@@ -62,8 +63,7 @@ fn run_one(w: &Workload, mode: Mode) -> Fig3Row {
         CacheConfig::paper_write_study(),
         CacheConfig::paper_write_study(),
     );
-    let r = run_mode(&w.program, mode, &mut caches);
-    w.check(&r);
+    tape::replay(w, mode, &mut caches);
     Fig3Row {
         name: w.spec.name,
         mode,

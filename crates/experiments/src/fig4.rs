@@ -11,8 +11,9 @@
 //! worst of all (write misses).
 
 use crate::jobs::{self, Workload};
-use crate::runner::{run_mode, Mode};
+use crate::runner::Mode;
 use crate::table::{pct, Table};
+use crate::tape;
 use jrt_cache::SplitCaches;
 use jrt_trace::{Phase, PhaseFilter};
 use jrt_workloads::{suite, Size};
@@ -68,19 +69,17 @@ fn run_one(w: &Workload, style: &'static str) -> (f64, f64) {
                 Mode::Jit
             };
             let mut caches = SplitCaches::paper_l1();
-            let r = run_mode(&w.program, mode, &mut caches);
-            w.check(&r);
+            tape::replay(w, mode, &mut caches);
             (
                 caches.icache().stats().miss_rate(),
                 caches.dcache().stats().miss_rate(),
             )
         }
-        // AOT proxy: the JIT run with translate/class-load filtered
-        // out before the caches.
+        // AOT proxy: the cached JIT tape with translate/class-load
+        // filtered out before the caches.
         _ => {
             let mut filtered = PhaseFilter::new(SplitCaches::paper_l1(), is_app_phase);
-            let r = run_mode(&w.program, Mode::Jit, &mut filtered);
-            w.check(&r);
+            tape::replay(w, Mode::Jit, &mut filtered);
             (
                 filtered.inner().icache().stats().miss_rate(),
                 filtered.inner().dcache().stats().miss_rate(),

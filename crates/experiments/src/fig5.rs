@@ -7,8 +7,9 @@
 //! are writes (code generation/installation).
 
 use crate::jobs::{self, Workload};
-use crate::runner::{run_mode, Mode};
+use crate::runner::Mode;
 use crate::table::{pct, Table};
+use crate::tape;
 use jrt_cache::SplitCaches;
 use jrt_workloads::{suite, Size};
 
@@ -66,8 +67,7 @@ impl Fig5 {
 
 fn run_one(w: &Workload) -> Fig5Row {
     let mut caches = SplitCaches::paper_l1();
-    let r = run_mode(&w.program, Mode::Jit, &mut caches);
-    w.check(&r);
+    tape::replay(w, Mode::Jit, &mut caches);
     let (i, d) = caches.into_inner();
     Fig5Row {
         name: w.spec.name,

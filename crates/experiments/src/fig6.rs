@@ -5,11 +5,12 @@
 //! into consistent locality, while the JIT shows many more spikes,
 //! clustered where groups of methods get translated (write misses).
 
-use crate::jobs;
-use crate::runner::{run_mode, Mode};
+use crate::jobs::{self, Workload};
+use crate::runner::Mode;
 use crate::table::Table;
+use crate::tape;
 use jrt_cache::{SplitCaches, TimelineSample};
-use jrt_workloads::{db, Size};
+use jrt_workloads::{suite, Size};
 
 /// Timeline for one mode.
 #[derive(Debug, Clone)]
@@ -64,10 +65,9 @@ impl Fig6 {
     }
 }
 
-fn run_one(program: &jrt_bytecode::Program, size: Size, mode: Mode, window: u64) -> ModeTimeline {
+fn run_one(w: &Workload, mode: Mode, window: u64) -> ModeTimeline {
     let mut caches = SplitCaches::paper_l1().with_timeline(window);
-    let r = run_mode(program, mode, &mut caches);
-    assert_eq!(r.exit_value, Some(db::expected(size)));
+    tape::replay(w, mode, &mut caches);
     let timeline = caches.timeline().expect("timeline enabled").clone();
     ModeTimeline {
         mode,
@@ -86,8 +86,12 @@ pub fn run(size: Size) -> Fig6 {
         Size::Tiny => 10_000,
         _ => 20_000,
     };
-    let program = db::program(size);
-    let mut timelines = jobs::par_map(&Mode::BOTH, |&mode| run_one(&program, size, mode, window));
+    let spec = suite()
+        .into_iter()
+        .find(|s| s.name == "db")
+        .expect("db in suite");
+    let w = tape::workload(&spec, size);
+    let mut timelines = jobs::par_map(&Mode::BOTH, |&mode| run_one(&w, mode, window));
     let jit = timelines.pop().expect("jit timeline");
     let interp = timelines.pop().expect("interp timeline");
     Fig6 {

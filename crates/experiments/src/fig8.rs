@@ -7,8 +7,9 @@
 //! array sizes).
 
 use crate::jobs::{self, Workload};
-use crate::runner::{run_mode, Mode};
+use crate::runner::Mode;
 use crate::table::{pct, Table};
+use crate::tape;
 use jrt_cache::{CacheConfig, SplitCaches};
 use jrt_workloads::{suite, Size};
 
@@ -95,8 +96,7 @@ fn run_one(w: &Workload, mode: Mode) -> [(u64, u64, u64, u64); 4] {
             )
         })
         .collect();
-    let r = run_mode(&w.program, mode, &mut sweep);
-    w.check(&r);
+    tape::replay(w, mode, &mut sweep);
     let mut out = [(0, 0, 0, 0); 4];
     for (k, caches) in sweep.iter().enumerate() {
         out[k] = (

@@ -8,8 +8,9 @@
 //! the same runs as execution time normalized to width 1.
 
 use crate::jobs::{self, Workload};
-use crate::runner::{run_mode, Mode};
+use crate::runner::Mode;
 use crate::table::Table;
+use crate::tape;
 use jrt_ilp::{Pipeline, PipelineConfig, PipelineReport};
 use jrt_workloads::{suite, Size};
 
@@ -140,8 +141,7 @@ fn run_one(w: &Workload, mode: Mode) -> Fig9Row {
         .iter()
         .map(|&w| Pipeline::new(PipelineConfig::paper(w)))
         .collect();
-    let r = run_mode(&w.program, mode, &mut pipes);
-    w.check(&r);
+    tape::replay(w, mode, &mut pipes);
     Fig9Row {
         name: w.spec.name,
         mode,

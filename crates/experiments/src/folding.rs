@@ -11,10 +11,10 @@
 //! instruction count and IPC at issue widths 1–8.
 
 use crate::jobs::{self, Workload};
+use crate::runner::Mode;
 use crate::table::{count, pct, Table};
+use crate::tape;
 use jrt_ilp::{Pipeline, PipelineConfig};
-use jrt_trace::CountingSink;
-use jrt_vm::{Vm, VmConfig};
 use jrt_workloads::{suite, Size};
 
 /// Folding-vs-baseline interpreter measurements for one benchmark.
@@ -88,23 +88,21 @@ impl Folding {
 }
 
 fn measure(w: &Workload, folding: bool) -> (u64, [f64; 2]) {
-    let cfg = if folding {
-        VmConfig::interpreter().with_folding()
+    // The folding interpreter emits a genuinely different stream, so
+    // it has its own tape-cache key.
+    let entry = if folding {
+        tape::recorded_folding(w)
     } else {
-        VmConfig::interpreter()
+        tape::recorded(w, Mode::Interp)
     };
-    let mut sinks = (
-        CountingSink::new(),
-        vec![
-            Pipeline::new(PipelineConfig::paper(1)),
-            Pipeline::new(PipelineConfig::paper(8)),
-        ],
-    );
-    let r = Vm::new(&w.program, cfg).run(&mut sinks).expect("clean run");
-    w.check(&r);
+    let mut pipes = vec![
+        Pipeline::new(PipelineConfig::paper(1)),
+        Pipeline::new(PipelineConfig::paper(8)),
+    ];
+    entry.tape.replay(&mut pipes);
     (
-        sinks.0.total(),
-        [sinks.1[0].report().ipc(), sinks.1[1].report().ipc()],
+        entry.counts.total(),
+        [pipes[0].report().ipc(), pipes[1].report().ipc()],
     )
 }
 

@@ -9,8 +9,9 @@
 //! misprediction reduction.
 
 use crate::jobs::{self, Workload};
-use crate::runner::{run_mode, Mode};
+use crate::runner::Mode;
 use crate::table::{pct, Table};
+use crate::tape;
 use jrt_bpred::{BranchEval, Gshare};
 use jrt_workloads::{suite, Size};
 
@@ -77,13 +78,11 @@ impl Indirect {
 }
 
 fn run_one(w: &Workload, mode: Mode) -> IndirectRow {
-    let program = &w.program;
     let mut evals = vec![
         BranchEval::new(Box::new(Gshare::paper())),
         BranchEval::new(Box::new(Gshare::paper())).with_target_cache(),
     ];
-    let r = run_mode(program, mode, &mut evals);
-    w.check(&r);
+    tape::replay(w, mode, &mut evals);
     IndirectRow {
         name: w.spec.name,
         mode,

@@ -150,13 +150,11 @@ impl Workload {
 }
 
 /// Builds every program of `specs` at `size` — itself in parallel —
-/// and wraps them for job fan-out.
+/// and wraps them for job fan-out. Programs come from the
+/// [`crate::tape`] memo, so across the seventeen drivers of a
+/// `run_all` each benchmark is assembled exactly once.
 pub fn prebuild(specs: Vec<Spec>, size: Size) -> Vec<Workload> {
-    par_map(&specs, |spec| Workload {
-        spec: *spec,
-        program: Arc::new((spec.build)(size)),
-        size,
-    })
+    par_map(&specs, |spec| crate::tape::workload(spec, size))
 }
 
 /// The canonical-order cross-product `a × b` (`a`-major, matching the

@@ -57,6 +57,7 @@ pub mod table;
 pub mod table1;
 pub mod table2;
 pub mod table3;
+pub mod tape;
 
 pub use runner::Mode;
 pub use table::Table;

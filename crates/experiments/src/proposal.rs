@@ -9,8 +9,9 @@
 //! cache model and measures what it saves in JIT mode.
 
 use crate::jobs::{self, Workload};
-use crate::runner::{run_mode, Mode};
+use crate::runner::Mode;
 use crate::table::{count, pct, Table};
+use crate::tape;
 use jrt_cache::SplitCaches;
 use jrt_workloads::{suite, Size};
 
@@ -73,13 +74,12 @@ impl Proposal {
 }
 
 fn run_one(w: &Workload) -> ProposalRow {
-    // One run drives both configurations.
+    // One replay drives both configurations.
     let mut sinks = (
         SplitCaches::paper_l1(),
         SplitCaches::paper_l1().with_install_into_icache(),
     );
-    let r = run_mode(&w.program, Mode::Jit, &mut sinks);
-    w.check(&r);
+    tape::replay(w, Mode::Jit, &mut sinks);
     let (base, prop) = sinks;
     ProposalRow {
         name: w.spec.name,

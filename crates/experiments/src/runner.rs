@@ -6,7 +6,7 @@ use jrt_vm::{OracleDecisions, RunResult, SyncKind, Vm, VmConfig};
 use jrt_workloads::{Size, Spec};
 
 /// Execution mode of an experiment run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Mode {
     /// Pure interpretation.
     Interp,
@@ -60,16 +60,24 @@ pub fn run_mode(program: &Program, mode: Mode, sink: &mut impl TraceSink) -> Run
 }
 
 /// Runs `program` under `mode` with an explicit monitor scheme.
+///
+/// For [`Mode::Opt`] the caller should pass a pre-derived `oracle`
+/// (e.g. from [`crate::tape::oracle`]); with `None` the oracle is
+/// re-derived here at the cost of two extra profiling runs.
 pub fn run_mode_sync(
     program: &Program,
     mode: Mode,
     sync: SyncKind,
+    oracle: Option<&OracleDecisions>,
     sink: &mut impl TraceSink,
 ) -> RunResult {
     let cfg = match mode {
         Mode::Interp => VmConfig::interpreter(),
         Mode::Jit => VmConfig::jit(),
-        Mode::Opt => VmConfig::oracle(derive_oracle(program)),
+        Mode::Opt => match oracle {
+            Some(o) => VmConfig::oracle(o.clone()),
+            None => VmConfig::oracle(derive_oracle(program)),
+        },
     }
     .with_sync(sync);
     Vm::new(program, cfg)

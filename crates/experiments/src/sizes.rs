@@ -9,9 +9,10 @@
 //! translation share of JIT time falling as inputs grow.
 
 use crate::jobs;
-use crate::runner::{check, run_mode, Mode};
+use crate::runner::Mode;
 use crate::table::{pct, Table};
-use jrt_trace::{CountingSink, Phase};
+use crate::tape;
+use jrt_trace::Phase;
 use jrt_workloads::{compress, db, javac, Size, Spec};
 
 /// Translate share at each size for one benchmark.
@@ -62,18 +63,19 @@ impl Sizes {
 
 const SIZES: [Size; 3] = [Size::Tiny, Size::S1, Size::S10];
 
-/// One benchmark × size job (the program is built inside the job —
-/// sizes differ per job, so there is no shared prebuild).
+/// One benchmark × size job. Sizes differ per job, so there is no
+/// shared prebuild, but the per-`(benchmark, size)` program and
+/// recordings come from the tape cache — the s1 points are shared
+/// with the rest of a `run_all`.
 fn run_point(spec: &Spec, size: Size) -> (f64, f64) {
-    let program = (spec.build)(size);
-    let mut jit = CountingSink::new();
-    let r = run_mode(&program, Mode::Jit, &mut jit);
-    check(spec, size, &r);
-    let translate_share = jit.phase(Phase::Translate) as f64 / jit.total() as f64;
-    let mut interp = CountingSink::new();
-    let r = run_mode(&program, Mode::Interp, &mut interp);
-    check(spec, size, &r);
-    (translate_share, interp.total() as f64 / jit.total() as f64)
+    let w = tape::workload(spec, size);
+    let jit = tape::recorded(&w, Mode::Jit);
+    let interp = tape::recorded(&w, Mode::Interp);
+    let translate_share = jit.counts.phase(Phase::Translate) as f64 / jit.counts.total() as f64;
+    (
+        translate_share,
+        interp.counts.total() as f64 / jit.counts.total() as f64,
+    )
 }
 
 /// Runs the size sweep on three representative benchmarks

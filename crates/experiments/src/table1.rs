@@ -6,9 +6,10 @@
 //! applications with small dynamic memory use (like `db`).
 
 use crate::jobs::{self, Workload};
+use crate::runner::Mode;
 use crate::table::{count, pct, Table};
-use jrt_trace::NullSink;
-use jrt_vm::{Footprint, Vm, VmConfig};
+use crate::tape;
+use jrt_vm::Footprint;
 use jrt_workloads::{suite, Size};
 
 /// One benchmark's footprint comparison.
@@ -65,18 +66,12 @@ impl Table1 {
 }
 
 fn run_one(w: &Workload) -> Table1Row {
-    let interp = Vm::new(&w.program, VmConfig::interpreter())
-        .run(&mut NullSink)
-        .expect("interp run");
-    w.check(&interp);
-    let jit = Vm::new(&w.program, VmConfig::jit())
-        .run(&mut NullSink)
-        .expect("jit run");
-    w.check(&jit);
+    // Footprints ride along on the cached recordings; no dedicated
+    // runs needed.
     Table1Row {
         name: w.spec.name,
-        interp: interp.footprint,
-        jit: jit.footprint,
+        interp: tape::recorded(w, Mode::Interp).result.footprint,
+        jit: tape::recorded(w, Mode::Jit).result.footprint,
     }
 }
 

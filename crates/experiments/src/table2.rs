@@ -7,8 +7,9 @@
 //! dispatch jumps.
 
 use crate::jobs::{self, Workload};
-use crate::runner::{run_mode, Mode};
+use crate::runner::Mode;
 use crate::table::{pct, Table};
+use crate::tape;
 use jrt_bpred::{Bht, BranchEval, GAp, Gshare, TwoBit};
 use jrt_workloads::{suite, Size};
 
@@ -76,15 +77,13 @@ impl Table2 {
 }
 
 fn run_one(w: &Workload, mode: Mode) -> Table2Row {
-    let program = &w.program;
     let mut evals = vec![
         BranchEval::new(Box::new(TwoBit::new())),
         BranchEval::new(Box::new(Bht::paper())),
         BranchEval::new(Box::new(Gshare::paper())),
         BranchEval::new(Box::new(GAp::paper())),
     ];
-    let r = run_mode(program, mode, &mut evals);
-    w.check(&r);
+    tape::replay(w, mode, &mut evals);
     Table2Row {
         name: w.spec.name,
         mode,

@@ -8,8 +8,9 @@
 //! *more* misses (code generation/installation write misses).
 
 use crate::jobs::{self, Workload};
-use crate::runner::{run_mode, Mode};
+use crate::runner::Mode;
 use crate::table::{count, pct, Table};
+use crate::tape;
 use jrt_cache::{CacheStats, SplitCaches};
 use jrt_workloads::{suite, Size};
 
@@ -72,8 +73,7 @@ impl Table3 {
 
 fn run_one(w: &Workload, mode: Mode) -> Table3Row {
     let mut caches = SplitCaches::paper_l1();
-    let r = run_mode(&w.program, mode, &mut caches);
-    w.check(&r);
+    tape::replay(w, mode, &mut caches);
     let (i, d) = caches.into_inner();
     Table3Row {
         name: w.spec.name,

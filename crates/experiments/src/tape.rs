@@ -1,0 +1,223 @@
+//! The record-once/replay-many tape cache behind every driver.
+//!
+//! The paper's measurement pipeline collected each benchmark's native
+//! instruction stream **once** with Shade and then fed the recorded
+//! trace to every simulator. The drivers in this crate historically
+//! re-executed the VM per consumer instead — `run_all` regenerated the
+//! same `(workload, mode)` stream up to a dozen times. This module
+//! restores the paper's architecture: a process-global cache memoizes
+//! one packed [`Tape`] (plus the [`RunResult`] and a [`CountingSink`]
+//! snapshot of the recording pass) per `(workload, size, mode)` key,
+//! and drivers [`replay`] from it at memory speed.
+//!
+//! Concurrency: keys are looked up under a brief mutex that hands out
+//! an `Arc<OnceLock>` slot per key, and the expensive record happens
+//! inside [`OnceLock::get_or_init`] *outside* that mutex — so two jobs
+//! needing the same tape build it exactly once while jobs for other
+//! keys proceed in parallel, which preserves the scheduler's
+//! any-worker-count determinism (the cache only changes *when* a
+//! stream is produced, never its contents).
+//!
+//! Assembled [`Program`]s are memoized the same way, so the seventeen
+//! drivers stop re-assembling the suite once per driver, and the
+//! Figure 1 oracle is derived once per workload from the cached
+//! interpreter/JIT profiles instead of two fresh profiling runs per
+//! call site.
+
+use crate::jobs::Workload;
+use crate::runner::Mode;
+use jrt_bytecode::Program;
+use jrt_trace::{CountingSink, FanoutSink, Tape, TapeRecorder, TraceSink};
+use jrt_vm::{OracleDecisions, RunResult, Vm, VmConfig};
+use jrt_workloads::{Size, Spec};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Cache key: workload identity plus the stream-shaping knobs. The
+/// folding flag matters because a folding interpreter emits a
+/// genuinely different native stream than the stock one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Key {
+    name: &'static str,
+    size: Size,
+    mode: Mode,
+    folding: bool,
+}
+
+/// Everything one recording pass produces, shared immutably.
+#[derive(Debug)]
+pub struct TapeEntry {
+    /// The packed native-instruction stream.
+    pub tape: Tape,
+    /// The VM's run result (checksum, counters, profile, footprint).
+    pub result: RunResult,
+    /// Instruction counts taken during the recording pass.
+    pub counts: CountingSink,
+}
+
+type Slot<V> = Arc<OnceLock<V>>;
+type Memo<K, V> = OnceLock<Mutex<HashMap<K, Slot<V>>>>;
+
+fn slot_of<K: std::hash::Hash + Eq + Copy, V>(map: &'static Memo<K, V>, key: K) -> Slot<V> {
+    map.get_or_init(Default::default)
+        .lock()
+        .expect("tape cache poisoned")
+        .entry(key)
+        .or_default()
+        .clone()
+}
+
+/// Returns the memoized program for `(spec, size)`, assembling it on
+/// first use. All drivers share one `Arc<Program>` per benchmark/size.
+pub fn program(spec: &Spec, size: Size) -> Arc<Program> {
+    static PROGRAMS: Memo<(&'static str, Size), Arc<Program>> = OnceLock::new();
+    slot_of(&PROGRAMS, (spec.name, size))
+        .get_or_init(|| Arc::new((spec.build)(size)))
+        .clone()
+}
+
+/// Returns the [`Workload`] wrapper for `(spec, size)` over the
+/// memoized program.
+pub fn workload(spec: &Spec, size: Size) -> Workload {
+    Workload {
+        spec: *spec,
+        program: program(spec, size),
+        size,
+    }
+}
+
+/// Returns the memoized oracle for a workload, derived once from the
+/// cached interpreter and JIT profiles (no extra profiling runs).
+pub fn oracle(w: &Workload) -> Arc<OracleDecisions> {
+    static ORACLES: Memo<(&'static str, Size), Arc<OracleDecisions>> = OnceLock::new();
+    slot_of(&ORACLES, (w.spec.name, w.size))
+        .get_or_init(|| {
+            let interp = recorded(w, Mode::Interp);
+            let jit = recorded(w, Mode::Jit);
+            Arc::new(OracleDecisions::from_profiles(
+                &interp.result.profile,
+                &jit.result.profile,
+            ))
+        })
+        .clone()
+}
+
+fn record(w: &Workload, mode: Mode, folding: bool) -> Arc<TapeEntry> {
+    let cfg = match mode {
+        Mode::Interp => VmConfig::interpreter(),
+        Mode::Jit => VmConfig::jit(),
+        Mode::Opt => VmConfig::oracle(oracle(w).as_ref().clone()),
+    };
+    let cfg = if folding { cfg.with_folding() } else { cfg };
+    let mut rec = TapeRecorder::new();
+    let mut counts = CountingSink::new();
+    let result = {
+        let mut fan = FanoutSink::new().with(&mut rec).with(&mut counts);
+        Vm::new(&w.program, cfg)
+            .run(&mut fan)
+            .expect("workload runs clean")
+    };
+    w.check(&result);
+    Arc::new(TapeEntry {
+        tape: rec.into_tape(),
+        result,
+        counts,
+    })
+}
+
+fn entry(w: &Workload, mode: Mode, folding: bool) -> Arc<TapeEntry> {
+    static TAPES: Memo<Key, Arc<TapeEntry>> = OnceLock::new();
+    let key = Key {
+        name: w.spec.name,
+        size: w.size,
+        mode,
+        folding,
+    };
+    slot_of(&TAPES, key)
+        .get_or_init(|| record(w, mode, folding))
+        .clone()
+}
+
+/// Returns the cached recording of `w` under `mode`, recording it on
+/// first use. The entry is shared (`Arc`) across all callers.
+pub fn recorded(w: &Workload, mode: Mode) -> Arc<TapeEntry> {
+    entry(w, mode, false)
+}
+
+/// Like [`recorded`], but for the folding interpreter variant
+/// (Section 4.4's picoJava-style stack-op folding), whose native
+/// stream differs from the stock interpreter's.
+pub fn recorded_folding(w: &Workload) -> Arc<TapeEntry> {
+    entry(w, Mode::Interp, true)
+}
+
+/// Replays the cached `(w, mode)` stream into `sink` (recording it
+/// first if needed) and returns the entry the replay came from.
+pub fn replay(w: &Workload, mode: Mode, sink: &mut impl TraceSink) -> Arc<TapeEntry> {
+    let e = recorded(w, mode);
+    e.tape.replay(sink);
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jrt_trace::RecordingSink;
+    use jrt_workloads::{hello, suite_with_hello};
+
+    fn hello_workload() -> Workload {
+        let spec = suite_with_hello().remove(0);
+        assert_eq!(spec.name, "hello");
+        workload(&spec, Size::Tiny)
+    }
+
+    #[test]
+    fn recorded_entry_is_shared() {
+        let w = hello_workload();
+        let a = recorded(&w, Mode::Interp);
+        let b = recorded(&w, Mode::Interp);
+        assert!(Arc::ptr_eq(&a, &b), "same key must share one entry");
+        assert_eq!(a.counts.total(), a.tape.len());
+        assert_eq!(a.result.exit_value, Some(hello::expected(Size::Tiny)));
+    }
+
+    #[test]
+    fn replay_matches_direct_run() {
+        let w = hello_workload();
+        let mut direct = RecordingSink::new();
+        let r = crate::runner::run_mode(&w.program, Mode::Jit, &mut direct);
+        w.check(&r);
+
+        let mut replayed = RecordingSink::new();
+        let e = replay(&w, Mode::Jit, &mut replayed);
+        assert_eq!(replayed.events, direct.events);
+        assert_eq!(e.result.exit_value, r.exit_value);
+        assert_eq!(e.counts.total(), direct.events.len() as u64);
+    }
+
+    #[test]
+    fn folding_tape_differs_from_stock_interp() {
+        let w = hello_workload();
+        let stock = recorded(&w, Mode::Interp);
+        let folded = recorded_folding(&w);
+        assert!(folded.counts.total() < stock.counts.total());
+    }
+
+    #[test]
+    fn programs_are_memoized() {
+        let spec = suite_with_hello().remove(0);
+        let a = program(&spec, Size::Tiny);
+        let b = program(&spec, Size::Tiny);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn opt_mode_uses_memoized_oracle() {
+        let w = hello_workload();
+        let o1 = oracle(&w);
+        let o2 = oracle(&w);
+        assert!(Arc::ptr_eq(&o1, &o2));
+        let opt = recorded(&w, Mode::Opt);
+        assert_eq!(opt.result.exit_value, Some(hello::expected(Size::Tiny)));
+    }
+}

@@ -9,7 +9,7 @@
 //! * [`forall!`] — a fixed-seed property-test harness: runs a body
 //!   over N deterministic cases and, on failure, reports the case
 //!   index and per-case seed so the failure replays exactly;
-//! * [`bench`] — a median-of-N wall-clock timer emitting JSON lines,
+//! * [`mod@bench`] — a median-of-N wall-clock timer emitting JSON lines,
 //!   wired as a `cargo bench`-compatible harness (`harness = false`).
 //!
 //! Everything is deterministic: the same seed always produces the

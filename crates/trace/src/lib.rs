@@ -15,9 +15,11 @@
 //! * the instruction event model ([`NativeInst`], [`InstClass`],
 //!   [`MemRef`], [`CtrlInfo`], [`Phase`]),
 //! * the simulated address-space layout ([`Region`], [`layout`]),
-//! * the consumer interface ([`TraceSink`]) and combinators, and
+//! * the consumer interface ([`TraceSink`]) and combinators,
 //! * a ready-made instruction-mix profiler ([`InstMix`]) reproducing the
-//!   categories of Figure 2 of the paper.
+//!   categories of Figure 2 of the paper, and
+//! * compact record-once/replay-many trace [`Tape`]s mirroring the
+//!   paper's Shade-trace → many-simulators pipeline.
 //!
 //! # Examples
 //!
@@ -38,6 +40,7 @@ pub mod inst;
 pub mod mix;
 pub mod region;
 pub mod sink;
+pub mod tape;
 
 pub use inst::{AccessKind, CtrlInfo, InstClass, MemRef, NativeInst, Phase, Reg, NUM_REGS};
 pub use mix::{InstMix, MixSummary};
@@ -45,6 +48,7 @@ pub use region::{layout, Region};
 pub use sink::{
     merge_shards, CountingSink, MergeSink, NullSink, PhaseFilter, RecordingSink, TraceSink,
 };
+pub use tape::{FanoutSink, Tape, TapeRecorder};
 
 /// A simulated memory address.
 ///

@@ -1,0 +1,540 @@
+//! Record-once/replay-many trace **tapes**.
+//!
+//! The paper's methodology was to collect each benchmark's native
+//! instruction stream *once* with Shade and then feed the recorded
+//! trace to every architectural simulator (cachesim5, the branch
+//! predictors, the superscalar model). This module is the synthetic
+//! analog: a [`TapeRecorder`] is a [`TraceSink`] that packs the event
+//! stream into a compact in-memory [`Tape`], and [`Tape::replay`]
+//! regenerates the exact [`NativeInst`] sequence for any number of
+//! downstream consumers — combined, if desired, through a
+//! [`FanoutSink`] so one pass feeds N simulators.
+//!
+//! # Encoding
+//!
+//! Each event costs two fixed header bytes plus only the fields it
+//! actually carries:
+//!
+//! | bytes | content |
+//! |---|---|
+//! | 1 | instruction class (low nibble) and phase (high nibble) |
+//! | 1 | presence/outcome flags (`mem`, write, `ctrl`, taken, `dst`, `src1`, `src2`, sequential-pc) |
+//! | 0–10 | pc as a zigzag-varint delta from the previous pc — omitted entirely when `pc == prev_pc + 4` (the common fall-through case) |
+//! | 0–11 | memory address as a zigzag-varint delta from the previous *memory* address, plus a raw size byte |
+//! | 0–10 | control target as a zigzag-varint delta from this event's pc |
+//! | 0–3 | raw register bytes for `dst`/`src1`/`src2` |
+//!
+//! Because pcs advance mostly by one instruction and data accesses
+//! show spatial locality, a typical event costs 2–5 bytes against the
+//! 64 bytes of an in-memory [`NativeInst`] — small enough to retain
+//! every (workload, mode) tape of a full experiment run in RAM.
+//!
+//! # Examples
+//!
+//! ```
+//! use jrt_trace::{CountingSink, InstMix, NativeInst, Phase, Tape, TraceSink};
+//!
+//! let tape = Tape::record(|rec| {
+//!     rec.accept(&NativeInst::alu(0x1000, Phase::NativeExec));
+//!     rec.accept(&NativeInst::load(0x1004, 0x2000_0000, 4, Phase::NativeExec));
+//! });
+//! assert_eq!(tape.len(), 2);
+//!
+//! // One recording, many consumers.
+//! let mut counts = CountingSink::new();
+//! let mut mix = InstMix::new();
+//! tape.replay(&mut counts);
+//! tape.replay(&mut mix);
+//! assert_eq!(counts.total(), mix.total());
+//! ```
+
+use crate::inst::{AccessKind, CtrlInfo, InstClass, MemRef, NativeInst, Phase};
+use crate::sink::TraceSink;
+
+// Flag bits of the second header byte.
+const F_MEM: u8 = 0x01;
+const F_MEM_WRITE: u8 = 0x02;
+const F_CTRL: u8 = 0x04;
+const F_TAKEN: u8 = 0x08;
+const F_DST: u8 = 0x10;
+const F_SRC1: u8 = 0x20;
+const F_SRC2: u8 = 0x40;
+const F_PC_SEQ: u8 = 0x80;
+
+/// Width assumed for the sequential-pc shortcut: the synthetic ISA is
+/// a fixed four-byte-instruction RISC, so fall-through is `pc + 4`.
+const SEQ_STEP: u64 = 4;
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn put_varint(bytes: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            bytes.push(b);
+            return;
+        }
+        bytes.push(b | 0x80);
+    }
+}
+
+fn get_varint(bytes: &[u8], pos: &mut usize) -> u64 {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = bytes[*pos];
+        *pos += 1;
+        v |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return v;
+        }
+        shift += 7;
+    }
+}
+
+fn put_delta(bytes: &mut Vec<u8>, prev: u64, now: u64) {
+    put_varint(bytes, zigzag(now.wrapping_sub(prev) as i64));
+}
+
+fn get_delta(bytes: &[u8], pos: &mut usize, prev: u64) -> u64 {
+    prev.wrapping_add(unzigzag(get_varint(bytes, pos)) as u64)
+}
+
+/// A compact, immutable recording of a native-instruction stream.
+///
+/// Produced by [`Tape::record`] (or [`TapeRecorder::into_tape`]) and
+/// consumed any number of times with [`Tape::replay`]. A tape is
+/// `Send + Sync`, so one recording can be shared across worker threads
+/// behind an `Arc`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Tape {
+    bytes: Vec<u8>,
+    events: u64,
+}
+
+impl Tape {
+    /// Records whatever the closure feeds into the supplied recorder
+    /// and returns the finished tape.
+    ///
+    /// This is the recording entry point: pass the recorder to an
+    /// execution engine (it is a [`TraceSink`]) and every emitted
+    /// event lands on the tape.
+    pub fn record(f: impl FnOnce(&mut TapeRecorder)) -> Tape {
+        let mut rec = TapeRecorder::new();
+        f(&mut rec);
+        rec.into_tape()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> u64 {
+        self.events
+    }
+
+    /// Whether the tape holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events == 0
+    }
+
+    /// Size of the packed encoding in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Decodes the tape, feeding every event to `sink` in recorded
+    /// order and then calling [`TraceSink::finish`] — exactly the
+    /// observable behaviour of the original execution.
+    pub fn replay(&self, sink: &mut impl TraceSink) {
+        let bytes = &self.bytes[..];
+        let mut pos = 0usize;
+        let mut prev_pc = 0u64;
+        let mut prev_mem = 0u64;
+        for _ in 0..self.events {
+            let head = bytes[pos];
+            let flags = bytes[pos + 1];
+            pos += 2;
+
+            let class = InstClass::ALL[usize::from(head & 0x0f)];
+            let phase = Phase::ALL[usize::from(head >> 4)];
+
+            let pc = if flags & F_PC_SEQ != 0 {
+                prev_pc.wrapping_add(SEQ_STEP)
+            } else {
+                get_delta(bytes, &mut pos, prev_pc)
+            };
+            prev_pc = pc;
+
+            let mem = if flags & F_MEM != 0 {
+                let addr = get_delta(bytes, &mut pos, prev_mem);
+                prev_mem = addr;
+                let size = bytes[pos];
+                pos += 1;
+                Some(MemRef {
+                    addr,
+                    size,
+                    kind: if flags & F_MEM_WRITE != 0 {
+                        AccessKind::Write
+                    } else {
+                        AccessKind::Read
+                    },
+                })
+            } else {
+                None
+            };
+
+            let ctrl = if flags & F_CTRL != 0 {
+                Some(CtrlInfo {
+                    target: get_delta(bytes, &mut pos, pc),
+                    taken: flags & F_TAKEN != 0,
+                })
+            } else {
+                None
+            };
+
+            let mut read_reg = |on: u8| {
+                if flags & on != 0 {
+                    let r = bytes[pos];
+                    pos += 1;
+                    Some(r)
+                } else {
+                    None
+                }
+            };
+            let dst = read_reg(F_DST);
+            let src1 = read_reg(F_SRC1);
+            let src2 = read_reg(F_SRC2);
+
+            sink.accept(&NativeInst {
+                pc,
+                class,
+                mem,
+                ctrl,
+                dst,
+                src1,
+                src2,
+                phase,
+            });
+        }
+        sink.finish();
+    }
+}
+
+/// A [`TraceSink`] that packs every observed event onto a [`Tape`].
+///
+/// Attach it to an execution (optionally alongside other sinks via a
+/// [`FanoutSink`] or sink tuple), then call [`TapeRecorder::into_tape`].
+#[derive(Debug, Clone, Default)]
+pub struct TapeRecorder {
+    tape: Tape,
+    prev_pc: u64,
+    prev_mem: u64,
+}
+
+impl TapeRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Finishes recording and returns the packed tape.
+    pub fn into_tape(self) -> Tape {
+        self.tape
+    }
+
+    /// Events recorded so far.
+    pub fn len(&self) -> u64 {
+        self.tape.events
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.tape.events == 0
+    }
+}
+
+impl TraceSink for TapeRecorder {
+    fn accept(&mut self, inst: &NativeInst) {
+        let bytes = &mut self.tape.bytes;
+        let class_idx = InstClass::ALL
+            .iter()
+            .position(|&c| c == inst.class)
+            .expect("class present in InstClass::ALL") as u8;
+        let phase_idx = Phase::ALL
+            .iter()
+            .position(|&p| p == inst.phase)
+            .expect("phase present in Phase::ALL") as u8;
+
+        let mut flags = 0u8;
+        let pc_seq = inst.pc == self.prev_pc.wrapping_add(SEQ_STEP);
+        if pc_seq {
+            flags |= F_PC_SEQ;
+        }
+        if let Some(m) = inst.mem {
+            flags |= F_MEM;
+            if m.kind == AccessKind::Write {
+                flags |= F_MEM_WRITE;
+            }
+        }
+        if let Some(c) = inst.ctrl {
+            flags |= F_CTRL;
+            if c.taken {
+                flags |= F_TAKEN;
+            }
+        }
+        if inst.dst.is_some() {
+            flags |= F_DST;
+        }
+        if inst.src1.is_some() {
+            flags |= F_SRC1;
+        }
+        if inst.src2.is_some() {
+            flags |= F_SRC2;
+        }
+
+        bytes.push(class_idx | (phase_idx << 4));
+        bytes.push(flags);
+        if !pc_seq {
+            put_delta(bytes, self.prev_pc, inst.pc);
+        }
+        self.prev_pc = inst.pc;
+        if let Some(m) = inst.mem {
+            put_delta(bytes, self.prev_mem, m.addr);
+            self.prev_mem = m.addr;
+            bytes.push(m.size);
+        }
+        if let Some(c) = inst.ctrl {
+            put_delta(bytes, inst.pc, c.target);
+        }
+        for reg in [inst.dst, inst.src1, inst.src2].into_iter().flatten() {
+            bytes.push(reg);
+        }
+        self.tape.events += 1;
+    }
+}
+
+/// Heterogeneous fan-out: broadcasts one trace pass to N borrowed
+/// consumers of *different* concrete types.
+///
+/// The tuple sink impls cover small fixed combinations and `Vec<S>`
+/// covers homogeneous sweeps; `FanoutSink` is the dynamic counterpart
+/// used when the consumer set is assembled at run time — e.g. a
+/// [`TapeRecorder`] plus a [`CountingSink`] watching the same
+/// recording pass.
+///
+/// [`CountingSink`]: crate::CountingSink
+///
+/// # Examples
+///
+/// ```
+/// use jrt_trace::{CountingSink, FanoutSink, InstMix, NativeInst, Phase, TraceSink};
+///
+/// let mut counts = CountingSink::new();
+/// let mut mix = InstMix::new();
+/// let mut fan = FanoutSink::new().with(&mut counts).with(&mut mix);
+/// fan.accept(&NativeInst::alu(0, Phase::Runtime));
+/// fan.finish();
+/// drop(fan);
+/// assert_eq!(counts.total(), 1);
+/// assert_eq!(mix.total(), 1);
+/// ```
+#[derive(Default)]
+pub struct FanoutSink<'a> {
+    sinks: Vec<&'a mut dyn TraceSink>,
+}
+
+impl<'a> FanoutSink<'a> {
+    /// Creates an empty fan-out.
+    pub fn new() -> Self {
+        FanoutSink { sinks: Vec::new() }
+    }
+
+    /// Adds a consumer (builder style).
+    pub fn with(mut self, sink: &'a mut (impl TraceSink + 'a)) -> Self {
+        self.sinks.push(sink);
+        self
+    }
+
+    /// Adds a consumer.
+    pub fn push(&mut self, sink: &'a mut (impl TraceSink + 'a)) {
+        self.sinks.push(sink);
+    }
+
+    /// Number of attached consumers.
+    pub fn len(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// Whether no consumer is attached.
+    pub fn is_empty(&self) -> bool {
+        self.sinks.is_empty()
+    }
+}
+
+impl TraceSink for FanoutSink<'_> {
+    fn accept(&mut self, inst: &NativeInst) {
+        for s in self.sinks.iter_mut() {
+            s.accept(inst);
+        }
+    }
+    fn finish(&mut self) {
+        for s in self.sinks.iter_mut() {
+            s.finish();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::{CountingSink, RecordingSink};
+
+    fn sample_events() -> Vec<NativeInst> {
+        vec![
+            NativeInst::alu(0x1000, Phase::NativeExec)
+                .with_dst(3)
+                .with_srcs(1, Some(2)),
+            NativeInst::alu(0x1004, Phase::NativeExec),
+            NativeInst::load(0x1008, 0x2000_0010, 4, Phase::NativeExec).with_dst(5),
+            NativeInst::store(0x100c, 0x2000_0014, 8, Phase::Runtime),
+            NativeInst::branch(0x1010, 0x1000, true, Phase::NativeExec),
+            NativeInst::branch(0x1000, 0x2000, false, Phase::NativeExec),
+            NativeInst::indirect_jump(0x44, 0x9000_0000, Phase::InterpDispatch),
+            NativeInst::ret(0xffff_ffff_ffff_fffc, 0x0, Phase::Gc),
+            NativeInst::new(0x0, InstClass::Nop, Phase::ClassLoad),
+        ]
+    }
+
+    #[test]
+    fn enum_discriminants_match_all_order() {
+        // The encoding relies on `ALL` being in declaration order so
+        // that `ALL[idx]` inverts the recorded index.
+        for (k, c) in InstClass::ALL.iter().enumerate() {
+            assert_eq!(
+                InstClass::ALL.iter().position(|x| x == c).unwrap(),
+                k,
+                "duplicate entry in InstClass::ALL"
+            );
+        }
+        for (k, p) in Phase::ALL.iter().enumerate() {
+            assert_eq!(Phase::ALL.iter().position(|x| x == p).unwrap(), k);
+        }
+        assert!(InstClass::ALL.len() <= 16, "class index must fit a nibble");
+        assert!(Phase::ALL.len() <= 16, "phase index must fit a nibble");
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let events = sample_events();
+        let tape = Tape::record(|rec| {
+            for e in &events {
+                rec.accept(e);
+            }
+        });
+        assert_eq!(tape.len(), events.len() as u64);
+
+        let mut out = RecordingSink::new();
+        tape.replay(&mut out);
+        assert_eq!(out.events, events);
+    }
+
+    #[test]
+    fn replay_calls_finish_once() {
+        #[derive(Default)]
+        struct FinishCounter(u64);
+        impl TraceSink for FinishCounter {
+            fn accept(&mut self, _inst: &NativeInst) {}
+            fn finish(&mut self) {
+                self.0 += 1;
+            }
+        }
+        let tape = Tape::record(|rec| rec.accept(&NativeInst::alu(0, Phase::Runtime)));
+        let mut f = FinishCounter::default();
+        tape.replay(&mut f);
+        assert_eq!(f.0, 1);
+
+        // Even an empty tape finishes its sink.
+        let mut f = FinishCounter::default();
+        Tape::default().replay(&mut f);
+        assert_eq!(f.0, 1);
+    }
+
+    #[test]
+    fn sequential_pcs_pack_tightly() {
+        let tape = Tape::record(|rec| {
+            for k in 0..1000u64 {
+                rec.accept(&NativeInst::alu(0x1000 + 4 * k, Phase::NativeExec));
+            }
+        });
+        // First event pays a pc varint; the rest are header-only.
+        assert!(tape.size_bytes() <= 2 * 1000 + 10, "{}", tape.size_bytes());
+        let mut c = CountingSink::new();
+        tape.replay(&mut c);
+        assert_eq!(c.total(), 1000);
+    }
+
+    #[test]
+    fn varint_round_trips_extremes() {
+        for v in [
+            0i64,
+            1,
+            -1,
+            63,
+            -64,
+            64,
+            i64::MAX,
+            i64::MIN,
+            0x7fff_ffff_ffff,
+        ] {
+            let mut bytes = Vec::new();
+            put_varint(&mut bytes, zigzag(v));
+            let mut pos = 0;
+            assert_eq!(unzigzag(get_varint(&bytes, &mut pos)), v);
+            assert_eq!(pos, bytes.len());
+        }
+    }
+
+    #[test]
+    fn fanout_broadcasts_and_finishes() {
+        let mut a = CountingSink::new();
+        let mut b = RecordingSink::new();
+        {
+            let mut fan = FanoutSink::new().with(&mut a).with(&mut b);
+            assert_eq!(fan.len(), 2);
+            assert!(!fan.is_empty());
+            fan.accept(&NativeInst::alu(0, Phase::Runtime));
+            fan.accept(&NativeInst::alu(4, Phase::Runtime));
+            fan.finish();
+        }
+        assert_eq!(a.total(), 2);
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn tape_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Tape>();
+    }
+
+    #[test]
+    fn clike_phase_events_round_trip() {
+        // NativeApp is the highest phase index — exercises the top nibble.
+        let events = vec![
+            NativeInst::alu(0x10, Phase::NativeApp),
+            NativeInst::load(0x14, 0x3000_0000, 2, Phase::NativeApp),
+        ];
+        let tape = Tape::record(|rec| {
+            for e in &events {
+                rec.accept(e);
+            }
+        });
+        let mut out = RecordingSink::new();
+        tape.replay(&mut out);
+        assert_eq!(out.events, events);
+    }
+}

@@ -1,0 +1,108 @@
+//! Tape round-trip properties: recording a native-instruction stream
+//! and replaying it must reproduce the exact event sequence — for
+//! arbitrary synthetic streams and for every real workload × mode.
+
+use javart::experiments::runner::{run_mode, Mode};
+use javart::trace::{
+    AccessKind, CtrlInfo, InstClass, MemRef, NativeInst, Phase, RecordingSink, Tape, TraceSink,
+};
+use javart::workloads::{suite_with_hello, Size};
+use jrt_testkit::forall;
+
+/// Draws a fully random instruction event: any class/phase pairing,
+/// adversarial (non-local) addresses, and independently present
+/// operand fields — deliberately harsher than anything the VM emits.
+fn arbitrary_inst(rng: &mut jrt_testkit::Rng) -> NativeInst {
+    let mut i = NativeInst::new(
+        rng.next_u64(),
+        *rng.choose(&InstClass::ALL),
+        *rng.choose(&Phase::ALL),
+    );
+    if rng.bool() {
+        i.mem = Some(MemRef {
+            addr: rng.next_u64(),
+            size: rng.u8(),
+            kind: if rng.bool() {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            },
+        });
+    }
+    if rng.bool() {
+        i.ctrl = Some(CtrlInfo {
+            target: rng.next_u64(),
+            taken: rng.bool(),
+        });
+    }
+    if rng.bool() {
+        i.dst = Some(rng.u8());
+    }
+    if rng.bool() {
+        i.src1 = Some(rng.u8());
+    }
+    if rng.bool() {
+        i.src2 = Some(rng.u8());
+    }
+    i
+}
+
+/// Arbitrary synthetic streams survive the pack/unpack cycle exactly.
+#[test]
+fn synthetic_streams_round_trip_exactly() {
+    forall!(cases = 64, seed = 0x7A9E, |rng| {
+        let events = rng.vec(0..400, arbitrary_inst);
+        let tape = Tape::record(|rec| {
+            for e in &events {
+                rec.accept(e);
+            }
+        });
+        assert_eq!(tape.len(), events.len() as u64);
+
+        let mut out = RecordingSink::new();
+        tape.replay(&mut out);
+        assert_eq!(out.events, events);
+    });
+}
+
+/// `Tape::record` → `replay` reproduces the exact event sequence of a
+/// direct VM run for every workload × mode at `tiny`, and the packed
+/// encoding stays compact.
+#[test]
+fn tape_reproduces_vm_event_stream_for_every_workload_and_mode() {
+    for spec in suite_with_hello() {
+        let program = (spec.build)(Size::Tiny);
+        for mode in [Mode::Interp, Mode::Jit, Mode::Opt] {
+            let mut direct = RecordingSink::new();
+            let r = run_mode(&program, mode, &mut direct);
+            assert_eq!(r.exit_value, Some((spec.expected)(Size::Tiny)));
+
+            let tape = Tape::record(|rec| {
+                run_mode(&program, mode, rec);
+            });
+            let mut replayed = RecordingSink::new();
+            tape.replay(&mut replayed);
+
+            assert_eq!(
+                replayed.events.len(),
+                direct.events.len(),
+                "{} {mode:?}: event count",
+                spec.name
+            );
+            assert_eq!(
+                replayed.events, direct.events,
+                "{} {mode:?}: event sequence",
+                spec.name
+            );
+            // Real traces are pc-sequential and spatially local; the
+            // delta encoding should stay well under the 64-byte
+            // in-memory event.
+            let bytes_per_event = tape.size_bytes() as f64 / tape.len().max(1) as f64;
+            assert!(
+                bytes_per_event < 8.0,
+                "{} {mode:?}: {bytes_per_event} bytes/event",
+                spec.name
+            );
+        }
+    }
+}
