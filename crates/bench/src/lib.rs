@@ -21,13 +21,13 @@
 use jrt_bpred::{Bht, BranchEval, GAp, Gshare, TwoBit};
 use jrt_cache::SplitCaches;
 use jrt_experiments::{
-    fig1, fig11, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, table1, table2, table3,
+    codecache, fig1, fig11, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, table1, table2, table3,
 };
 use jrt_ilp::{Pipeline, PipelineConfig};
 use jrt_sync::{FatLockEngine, OneBitLockEngine, SyncEngine, ThinLockEngine};
 use jrt_testkit::bench::Harness;
 use jrt_trace::{CountingSink, InstMix, NativeInst, Phase, RecordingSink, Tape, TraceSink};
-use jrt_vm::{Vm, VmConfig};
+use jrt_vm::{CodeCacheConfig, EvictionPolicy, Vm, VmConfig};
 use jrt_workloads::{db, jess, Size};
 
 /// One bench per paper table/figure at `Tiny` scale.
@@ -45,6 +45,7 @@ pub fn bench_paper(h: &mut Harness) {
     h.bench("fig8_line_size", || fig8::run(Size::Tiny));
     h.bench("fig9_fig10_ilp", || fig9::run(Size::Tiny));
     h.bench("fig11_sync", || fig11::run(Size::Tiny));
+    h.bench("codecache_study", || codecache::run(Size::Tiny));
 }
 
 /// Microbenchmarks of the simulators and engines.
@@ -61,6 +62,15 @@ pub fn bench_simulators(h: &mut Harness) {
     h.bench("vm_engine/jit", || {
         let mut sink = CountingSink::new();
         Vm::new(&program, VmConfig::jit()).run(&mut sink).unwrap();
+        sink.total()
+    });
+    h.bench("vm_engine/jit_bounded", || {
+        let cfg = VmConfig::jit().with_code_cache(CodeCacheConfig::bounded(
+            codecache::PATHOLOGICAL_CAPACITY,
+            EvictionPolicy::Lru,
+        ));
+        let mut sink = CountingSink::new();
+        Vm::new(&program, cfg).run(&mut sink).unwrap();
         sink.total()
     });
 

@@ -1,0 +1,194 @@
+//! The code-cache arena: a bump allocator with a coalescing free
+//! list over a simulated address range.
+//!
+//! The historical JIT (jrt-vm, pre-eviction) installed translated
+//! code with a bare 64-byte-aligned bump cursor. The arena reproduces
+//! that behaviour exactly when nothing is ever freed — allocations
+//! come from the bump cursor at identical addresses — and adds a
+//! lowest-address first-fit free list so evicted segments can be
+//! reused. Reuse prefers the free list over the bump cursor, keeping
+//! the arena's high-water mark (and thus the simulated footprint)
+//! tight under eviction.
+
+use jrt_trace::Addr;
+use std::collections::BTreeMap;
+
+/// Allocation alignment: translated code installs on 64-byte (cache
+/// line) boundaries, matching the historical bump cursor.
+pub const CODE_ALIGN: u64 = 64;
+
+/// A bump + free-list allocator over `[base, limit)`.
+#[derive(Debug, Clone)]
+pub struct Arena {
+    base: Addr,
+    limit: Addr,
+    cursor: Addr,
+    /// Free blocks keyed by start address, value = length in bytes.
+    /// Adjacent blocks are coalesced on free.
+    free: BTreeMap<Addr, u64>,
+}
+
+impl Arena {
+    /// Creates an empty arena over `[base, limit)`.
+    pub fn new(base: Addr, limit: Addr) -> Self {
+        assert!(base <= limit, "arena range inverted");
+        Arena {
+            base,
+            limit,
+            cursor: base,
+            free: BTreeMap::new(),
+        }
+    }
+
+    /// Rounds a byte count up to the allocation alignment.
+    pub fn aligned(bytes: u64) -> u64 {
+        (bytes + (CODE_ALIGN - 1)) & !(CODE_ALIGN - 1)
+    }
+
+    /// Allocates `bytes` (already alignment-rounded by the caller via
+    /// [`Arena::aligned`]), preferring the lowest-address free block
+    /// that fits, else the bump cursor. Returns `None` when the arena
+    /// address range is exhausted.
+    pub fn alloc(&mut self, bytes: u64) -> Option<Addr> {
+        debug_assert_eq!(bytes % CODE_ALIGN, 0, "caller must align");
+        if bytes == 0 {
+            return Some(self.cursor);
+        }
+        // First fit, lowest address: deterministic regardless of
+        // free/alloc interleaving history.
+        let fit = self
+            .free
+            .iter()
+            .find(|(_, len)| **len >= bytes)
+            .map(|(addr, len)| (*addr, *len));
+        if let Some((addr, len)) = fit {
+            self.free.remove(&addr);
+            if len > bytes {
+                self.free.insert(addr + bytes, len - bytes);
+            }
+            return Some(addr);
+        }
+        let end = self.cursor.checked_add(bytes)?;
+        if end > self.limit {
+            return None;
+        }
+        let addr = self.cursor;
+        self.cursor = end;
+        Some(addr)
+    }
+
+    /// Returns a previously allocated block to the free list,
+    /// coalescing with adjacent free blocks.
+    pub fn free(&mut self, addr: Addr, bytes: u64) {
+        debug_assert_eq!(bytes % CODE_ALIGN, 0, "caller must align");
+        if bytes == 0 {
+            return;
+        }
+        let mut start = addr;
+        let mut len = bytes;
+        // Coalesce with the predecessor if it ends exactly at `addr`.
+        if let Some((&p_addr, &p_len)) = self.free.range(..addr).next_back() {
+            debug_assert!(p_addr + p_len <= addr, "double free or overlap");
+            if p_addr + p_len == addr {
+                self.free.remove(&p_addr);
+                start = p_addr;
+                len += p_len;
+            }
+        }
+        // Coalesce with the successor if it starts exactly at the end.
+        if let Some(&s_len) = self.free.get(&(addr + bytes)) {
+            self.free.remove(&(addr + bytes));
+            len += s_len;
+        }
+        // A block ending at the bump cursor shrinks the cursor back.
+        if start + len == self.cursor {
+            self.cursor = start;
+        } else {
+            self.free.insert(start, len);
+        }
+    }
+
+    /// High-water mark: bytes between base and the bump cursor (the
+    /// arena's simulated footprint, including free holes).
+    pub fn high_water(&self) -> u64 {
+        self.cursor - self.base
+    }
+
+    /// Sum of free-list bytes (holes below the bump cursor).
+    pub fn free_bytes(&self) -> u64 {
+        self.free.values().sum()
+    }
+
+    /// The next bump-cursor address (the historical `cursor` field).
+    pub fn cursor(&self) -> Addr {
+        self.cursor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arena() -> Arena {
+        Arena::new(0x1000, 0x1000 + 64 * 16)
+    }
+
+    #[test]
+    fn bump_matches_historical_cursor() {
+        let mut a = arena();
+        assert_eq!(a.alloc(Arena::aligned(100)), Some(0x1000));
+        assert_eq!(a.alloc(Arena::aligned(1)), Some(0x1000 + 128));
+        assert_eq!(a.alloc(64), Some(0x1000 + 192));
+        assert_eq!(a.high_water(), 256);
+    }
+
+    #[test]
+    fn reuse_prefers_lowest_fit() {
+        let mut a = arena();
+        let b0 = a.alloc(128).unwrap();
+        let b1 = a.alloc(64).unwrap();
+        let b2 = a.alloc(128).unwrap();
+        a.free(b0, 128);
+        a.free(b2, 128);
+        // 64-byte request fits both holes; lowest wins and splits.
+        assert_eq!(a.alloc(64), Some(b0));
+        assert_eq!(a.alloc(64), Some(b0 + 64));
+        assert_eq!(a.alloc(64), Some(b2));
+        let _ = b1;
+    }
+
+    #[test]
+    fn coalescing_merges_neighbours() {
+        let mut a = arena();
+        let b0 = a.alloc(64).unwrap();
+        let b1 = a.alloc(64).unwrap();
+        let b2 = a.alloc(64).unwrap();
+        let _guard = a.alloc(64).unwrap();
+        a.free(b0, 64);
+        a.free(b2, 64);
+        a.free(b1, 64); // bridges b0..b2 into one 192-byte block
+        assert_eq!(a.free_bytes(), 192);
+        assert_eq!(a.alloc(192), Some(b0));
+    }
+
+    #[test]
+    fn freeing_tail_shrinks_cursor() {
+        let mut a = arena();
+        let b0 = a.alloc(64).unwrap();
+        let b1 = a.alloc(64).unwrap();
+        a.free(b1, 64);
+        assert_eq!(a.high_water(), 64);
+        a.free(b0, 64);
+        assert_eq!(a.high_water(), 0);
+        assert_eq!(a.free_bytes(), 0);
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut a = Arena::new(0, 128);
+        assert!(a.alloc(64).is_some());
+        assert!(a.alloc(128).is_none());
+        assert!(a.alloc(64).is_some());
+        assert!(a.alloc(64).is_none());
+    }
+}

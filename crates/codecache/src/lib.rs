@@ -1,0 +1,55 @@
+//! The managed code-cache subsystem.
+//!
+//! The paper's JIT study (Figure 1, Table 1, Figure 5) treats the code
+//! cache as an unbounded append-only region — translation in the
+//! critical path, compulsory write misses on installation, +10–33%
+//! footprint. Real VMs had to *manage* that region, and this crate
+//! extends the paper's "when to translate" question to the modern
+//! "when to translate, what to evict, what to share" design space:
+//!
+//! * [`arena`] — a capacity-limited bump + free-list allocator over
+//!   the simulated `Region::CodeCache` address range, replicating the
+//!   historical 64-byte-aligned bump cursor byte-for-byte when nothing
+//!   is ever evicted;
+//! * [`manager`] — per-method segments with deterministic bookkeeping
+//!   (install / lookup / touch / evict) under a pluggable
+//!   [`EvictionPolicy`]; evicting an installed method forces the VM
+//!   back to interpretation or re-translation, so eviction cost shows
+//!   up in the native trace;
+//! * [`policy`] — the eviction policies: `Unbounded` (the paper's
+//!   baseline), `Lru`, `SizeWeightedLru`, and `HotnessDecay`;
+//! * [`tier`] — a tiered when-to-compile layer unifying the existing
+//!   interpret-only / translate-on-first-invocation / count-threshold
+//!   / oracle policies behind invocation + backedge profile counters,
+//!   with optional re-translation at a hotter tier (the
+//!   tiered-HotSpot correspondence);
+//! * [`CacheScope`] — private-per-thread vs. per-VM vs.
+//!   content-shared installation scopes; the `Shared` scope gives
+//!   ShareJIT-style install-once dedup across contexts with identical
+//!   bytecode, cutting Translate-phase work and code-cache write
+//!   misses;
+//! * [`profile`] — the per-method cost profiles (`I_i`, `T_i`, `E_i`,
+//!   `n_i`, plus backedge counts) the policies consume, and the
+//!   paper's Figure 1 [`OracleDecisions`].
+//!
+//! The `jrt-vm` JIT engine installs into and looks up from a
+//! [`CodeCacheManager`]; footprint accounting reads the arena (live
+//! occupancy post-eviction, plus a cumulative bytes-ever-translated
+//! figure).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arena;
+pub mod manager;
+pub mod oracle;
+pub mod policy;
+pub mod profile;
+pub mod tier;
+
+pub use arena::Arena;
+pub use manager::{CacheScope, CodeCacheConfig, CodeCacheManager, CodeCacheStats, InstallOutcome};
+pub use oracle::OracleDecisions;
+pub use policy::EvictionPolicy;
+pub use profile::{MethodProfile, ProfileTable};
+pub use tier::{decide, JitPolicy, TIER_BASELINE, TIER_OPT};

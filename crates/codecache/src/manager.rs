@@ -1,0 +1,413 @@
+//! The code-cache manager: per-method segments over the arena, with
+//! capacity enforcement, pluggable eviction, and sharing scopes.
+//!
+//! Keys are opaque `u64`s minted by the VM's JIT engine: per-VM keys
+//! encode the method identity, per-thread keys add the installing
+//! thread, and shared-scope keys are interned content ids so that
+//! contexts with byte-identical method bodies resolve to one segment
+//! (ShareJIT's install-once dedup). The manager never inspects key
+//! structure — it only allocates, tracks recency/hotness, and picks
+//! deterministic victims.
+
+use crate::arena::Arena;
+use crate::policy::EvictionPolicy;
+use jrt_trace::Addr;
+use std::collections::{HashMap, HashSet};
+
+/// Who shares one set of installed segments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum CacheScope {
+    /// One cache per VM: every thread sees every installed method
+    /// (the historical behaviour — green threads share the process'
+    /// code cache).
+    #[default]
+    PerVm,
+    /// Each thread installs and looks up privately; the same method
+    /// invoked from two threads is translated twice (the
+    /// private-cache baseline of the sharing study).
+    PerThread,
+    /// Content-shared: methods with byte-identical bodies map to one
+    /// segment regardless of class or thread (ShareJIT-style
+    /// install-once dedup).
+    Shared,
+}
+
+impl CacheScope {
+    /// Short label for tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CacheScope::PerVm => "per-vm",
+            CacheScope::PerThread => "private",
+            CacheScope::Shared => "shared",
+        }
+    }
+}
+
+/// Configuration of one code cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CodeCacheConfig {
+    /// Capacity in (unaligned) code bytes; `u64::MAX` = unbounded,
+    /// the paper's baseline.
+    pub capacity_bytes: u64,
+    /// Victim selection when an install exceeds the capacity.
+    pub eviction: EvictionPolicy,
+    /// Who shares installed segments.
+    pub scope: CacheScope,
+}
+
+impl Default for CodeCacheConfig {
+    fn default() -> Self {
+        CodeCacheConfig {
+            capacity_bytes: u64::MAX,
+            eviction: EvictionPolicy::Unbounded,
+            scope: CacheScope::PerVm,
+        }
+    }
+}
+
+impl CodeCacheConfig {
+    /// A bounded cache with the given capacity and eviction policy.
+    pub fn bounded(capacity_bytes: u64, eviction: EvictionPolicy) -> Self {
+        CodeCacheConfig {
+            capacity_bytes,
+            eviction,
+            ..CodeCacheConfig::default()
+        }
+    }
+
+    /// Sets the sharing scope (builder style).
+    pub fn with_scope(mut self, scope: CacheScope) -> Self {
+        self.scope = scope;
+        self
+    }
+}
+
+/// One installed method's segment.
+#[derive(Debug, Clone, Copy)]
+struct Segment {
+    entry: Addr,
+    aligned_bytes: u64,
+    code_bytes: u64,
+    last_use: u64,
+    uses: u64,
+}
+
+/// Lifetime counters of one manager.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CodeCacheStats {
+    /// Successful installs (including re-installs after eviction).
+    pub installs: u64,
+    /// Segments evicted to make room.
+    pub evictions: u64,
+    /// Installs whose key had previously been evicted — each one is
+    /// translation work the unbounded baseline would not have done.
+    pub retranslations: u64,
+    /// Installs abandoned because no victim could make the method fit
+    /// (the method alone exceeds the capacity); the key is pinned to
+    /// interpretation afterwards.
+    pub install_failures: u64,
+    /// Largest single install in (unaligned) code bytes — the floor
+    /// below which a capacity starts pinning methods uncacheable.
+    pub largest_install_bytes: u64,
+}
+
+/// Result of an install attempt: the new segment's entry address (or
+/// `None` on failure) plus every `(key, entry)` evicted on the way.
+/// The VM must drop its compiled records for the evicted keys so
+/// later calls fall back to interpretation or re-translation.
+#[derive(Debug, Clone, Default)]
+pub struct InstallOutcome {
+    /// Entry address of the installed segment; `None` if the method
+    /// could not be made to fit.
+    pub entry: Option<Addr>,
+    /// Evicted `(key, entry)` pairs, in eviction order.
+    pub evicted: Vec<(u64, Addr)>,
+}
+
+/// The managed code cache.
+#[derive(Debug, Clone)]
+pub struct CodeCacheManager {
+    config: CodeCacheConfig,
+    arena: Arena,
+    segs: HashMap<u64, Segment>,
+    /// Logical clock: bumps on install and touch, orders recency.
+    tick: u64,
+    /// Live (unaligned) code bytes across installed segments.
+    live: u64,
+    /// Cumulative (unaligned) code bytes ever installed — the
+    /// paper-era `code_cache_bytes` figure.
+    ever: u64,
+    evicted_keys: HashSet<u64>,
+    uncacheable: HashSet<u64>,
+    stats: CodeCacheStats,
+}
+
+impl CodeCacheManager {
+    /// Creates a manager allocating out of `[base, limit)`.
+    pub fn new(config: CodeCacheConfig, base: Addr, limit: Addr) -> Self {
+        CodeCacheManager {
+            config,
+            arena: Arena::new(base, limit),
+            segs: HashMap::new(),
+            tick: 0,
+            live: 0,
+            ever: 0,
+            evicted_keys: HashSet::new(),
+            uncacheable: HashSet::new(),
+            stats: CodeCacheStats::default(),
+        }
+    }
+
+    /// The configuration this manager enforces.
+    pub fn config(&self) -> &CodeCacheConfig {
+        &self.config
+    }
+
+    /// Installs `code_bytes` of translated code under `key`, evicting
+    /// victims per the configured policy until it fits. On failure the
+    /// key is pinned uncacheable (later installs fail fast) — but any
+    /// evictions performed on the way stand.
+    pub fn install(&mut self, key: u64, code_bytes: u64) -> InstallOutcome {
+        let mut out = InstallOutcome::default();
+        if self.uncacheable.contains(&key) {
+            return out;
+        }
+        debug_assert!(!self.segs.contains_key(&key), "key installed twice");
+        let aligned = Arena::aligned(code_bytes);
+        loop {
+            if self.live + code_bytes <= self.config.capacity_bytes {
+                if let Some(entry) = self.arena.alloc(aligned) {
+                    if self.config.eviction == EvictionPolicy::HotnessDecay {
+                        for seg in self.segs.values_mut() {
+                            seg.uses >>= 1;
+                        }
+                    }
+                    self.tick += 1;
+                    self.segs.insert(
+                        key,
+                        Segment {
+                            entry,
+                            aligned_bytes: aligned,
+                            code_bytes,
+                            last_use: self.tick,
+                            uses: 1,
+                        },
+                    );
+                    self.live += code_bytes;
+                    self.ever += code_bytes;
+                    self.stats.installs += 1;
+                    self.stats.largest_install_bytes =
+                        self.stats.largest_install_bytes.max(code_bytes);
+                    if self.evicted_keys.contains(&key) {
+                        self.stats.retranslations += 1;
+                    }
+                    out.entry = Some(entry);
+                    return out;
+                }
+            }
+            let Some(victim) = self.pick_victim() else {
+                self.stats.install_failures += 1;
+                self.uncacheable.insert(key);
+                return out;
+            };
+            let seg = self.segs.remove(&victim).expect("victim is installed");
+            self.arena.free(seg.entry, seg.aligned_bytes);
+            self.live -= seg.code_bytes;
+            self.stats.evictions += 1;
+            self.evicted_keys.insert(victim);
+            out.evicted.push((victim, seg.entry));
+        }
+    }
+
+    /// Deterministic victim choice: the policy's score, with the
+    /// (unique) entry address as the final tie-break so the result
+    /// never depends on `HashMap` iteration order.
+    fn pick_victim(&self) -> Option<u64> {
+        let segs = &self.segs;
+        match self.config.eviction {
+            EvictionPolicy::Unbounded => None,
+            EvictionPolicy::Lru => segs
+                .iter()
+                .min_by_key(|(_, s)| (s.last_use, s.entry))
+                .map(|(k, _)| *k),
+            EvictionPolicy::SizeWeightedLru => segs
+                .iter()
+                .min_by_key(|(_, s)| ((s.last_use << 10) / s.aligned_bytes.max(1), s.entry))
+                .map(|(k, _)| *k),
+            EvictionPolicy::HotnessDecay => segs
+                .iter()
+                .min_by_key(|(_, s)| (s.uses, s.last_use, s.entry))
+                .map(|(k, _)| *k),
+        }
+    }
+
+    /// Records a use of `key` (invocation of its translated code);
+    /// returns `false` if the key is not installed.
+    pub fn touch(&mut self, key: u64) -> bool {
+        let tick = self.tick + 1;
+        match self.segs.get_mut(&key) {
+            Some(seg) => {
+                self.tick = tick;
+                seg.last_use = tick;
+                seg.uses += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether `key` is currently installed.
+    pub fn contains(&self, key: u64) -> bool {
+        self.segs.contains_key(&key)
+    }
+
+    /// Explicitly removes `key` (tier upgrade re-install); unlike an
+    /// eviction this does not count toward retranslation stats.
+    pub fn remove(&mut self, key: u64) -> Option<Addr> {
+        let seg = self.segs.remove(&key)?;
+        self.arena.free(seg.entry, seg.aligned_bytes);
+        self.live -= seg.code_bytes;
+        Some(seg.entry)
+    }
+
+    /// Whether `key` was pinned uncacheable by an install failure.
+    pub fn is_uncacheable(&self, key: u64) -> bool {
+        self.uncacheable.contains(&key)
+    }
+
+    /// Live (unaligned) code bytes across installed segments — the
+    /// post-eviction footprint figure.
+    pub fn live_bytes(&self) -> u64 {
+        self.live
+    }
+
+    /// Cumulative (unaligned) code bytes ever installed — the
+    /// historical append-only `code_cache_bytes` figure.
+    pub fn ever_bytes(&self) -> u64 {
+        self.ever
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> CodeCacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bounded(capacity: u64, policy: EvictionPolicy) -> CodeCacheManager {
+        CodeCacheManager::new(
+            CodeCacheConfig::bounded(capacity, policy),
+            0x1000,
+            0x100_0000,
+        )
+    }
+
+    #[test]
+    fn unbounded_never_evicts_and_accounts_unaligned() {
+        let mut m = CodeCacheManager::new(CodeCacheConfig::default(), 0x1000, 0x100_0000);
+        let a = m.install(1, 100);
+        let b = m.install(2, 30);
+        assert_eq!(a.entry, Some(0x1000));
+        assert_eq!(b.entry, Some(0x1000 + 128)); // 100 aligns to 128
+        assert!(a.evicted.is_empty() && b.evicted.is_empty());
+        assert_eq!(m.live_bytes(), 130);
+        assert_eq!(m.ever_bytes(), 130);
+        assert_eq!(m.stats().evictions, 0);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent_first() {
+        let mut m = bounded(300, EvictionPolicy::Lru);
+        m.install(1, 100);
+        m.install(2, 100);
+        m.install(3, 100);
+        assert!(m.touch(1)); // 2 is now least recent
+        let out = m.install(4, 100);
+        assert!(out.entry.is_some());
+        assert_eq!(out.evicted.iter().map(|(k, _)| *k).collect::<Vec<_>>(), [2]);
+        assert!(m.contains(1) && !m.contains(2));
+        assert_eq!(m.live_bytes(), 300);
+        assert_eq!(m.ever_bytes(), 400);
+    }
+
+    #[test]
+    fn reinstall_after_eviction_counts_retranslation() {
+        let mut m = bounded(100, EvictionPolicy::Lru);
+        m.install(1, 100);
+        m.install(2, 100); // evicts 1
+        let out = m.install(1, 100); // evicts 2, re-installs 1
+        assert!(out.entry.is_some());
+        assert_eq!(m.stats().evictions, 2);
+        assert_eq!(m.stats().retranslations, 1);
+    }
+
+    #[test]
+    fn size_weighted_prefers_large_stale_victims() {
+        let mut m = bounded(1000, EvictionPolicy::SizeWeightedLru);
+        m.install(1, 600); // large, installed first
+        m.install(2, 100); // small, more recent
+        m.install(3, 100);
+        let out = m.install(4, 600);
+        assert_eq!(out.evicted.first().map(|(k, _)| *k), Some(1));
+    }
+
+    #[test]
+    fn hotness_decay_evicts_cold_segments() {
+        let mut m = bounded(300, EvictionPolicy::HotnessDecay);
+        m.install(1, 100);
+        m.install(2, 100);
+        m.install(3, 100);
+        for _ in 0..8 {
+            m.touch(1);
+            m.touch(3);
+        }
+        let out = m.install(4, 100);
+        assert_eq!(out.evicted.iter().map(|(k, _)| *k).collect::<Vec<_>>(), [2]);
+    }
+
+    #[test]
+    fn oversized_method_pins_uncacheable() {
+        let mut m = bounded(100, EvictionPolicy::Lru);
+        m.install(1, 50);
+        let out = m.install(2, 200); // can never fit
+        assert!(out.entry.is_none());
+        assert!(m.is_uncacheable(2));
+        assert_eq!(m.stats().install_failures, 1);
+        // Fast-fail on retry, no further evictions.
+        let evictions = m.stats().evictions;
+        assert!(m.install(2, 200).entry.is_none());
+        assert_eq!(m.stats().evictions, evictions);
+    }
+
+    #[test]
+    fn unbounded_policy_with_finite_capacity_fails_instead_of_evicting() {
+        let mut m = bounded(150, EvictionPolicy::Unbounded);
+        assert!(m.install(1, 100).entry.is_some());
+        let out = m.install(2, 100);
+        assert!(out.entry.is_none() && out.evicted.is_empty());
+        assert!(m.contains(1));
+    }
+
+    #[test]
+    fn remove_frees_without_retranslation_accounting() {
+        let mut m = bounded(u64::MAX, EvictionPolicy::Lru);
+        m.install(1, 100);
+        assert!(m.remove(1).is_some());
+        assert_eq!(m.live_bytes(), 0);
+        assert_eq!(m.ever_bytes(), 100);
+        let out = m.install(1, 100);
+        assert!(out.entry.is_some());
+        assert_eq!(m.stats().retranslations, 0);
+    }
+
+    #[test]
+    fn eviction_reuses_freed_space() {
+        let mut m = bounded(100, EvictionPolicy::Lru);
+        let first = m.install(1, 100).entry.unwrap();
+        let out = m.install(2, 100);
+        assert_eq!(out.entry, Some(first), "freed hole is reused");
+    }
+}

@@ -1,0 +1,59 @@
+//! Eviction policies for the bounded code cache.
+
+/// How the manager picks a victim segment when an install does not
+/// fit within the configured capacity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum EvictionPolicy {
+    /// Never evict — the paper's baseline append-only code cache.
+    /// With an unbounded capacity this reproduces the historical JIT
+    /// byte-for-byte; with a finite capacity, methods that do not fit
+    /// are simply never translated (install failure → interpretation).
+    #[default]
+    Unbounded,
+    /// Evict the least-recently-used segment (ties broken by lowest
+    /// entry address, so victim choice is deterministic).
+    Lru,
+    /// Evict the segment with the lowest recency-per-byte — old *and
+    /// large* segments go first, trading one big eviction for several
+    /// small ones.
+    SizeWeightedLru,
+    /// Evict the segment with the fewest decayed uses: each install
+    /// halves every segment's use count, so stale hotness fades and
+    /// once-hot-now-cold methods become victims.
+    HotnessDecay,
+}
+
+impl EvictionPolicy {
+    /// All policies, baseline first.
+    pub const ALL: [EvictionPolicy; 4] = [
+        EvictionPolicy::Unbounded,
+        EvictionPolicy::Lru,
+        EvictionPolicy::SizeWeightedLru,
+        EvictionPolicy::HotnessDecay,
+    ];
+
+    /// Short label for tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EvictionPolicy::Unbounded => "unbounded",
+            EvictionPolicy::Lru => "lru",
+            EvictionPolicy::SizeWeightedLru => "size-lru",
+            EvictionPolicy::HotnessDecay => "hot-decay",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: Vec<_> = EvictionPolicy::ALL.iter().map(|p| p.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len());
+        assert_eq!(EvictionPolicy::default(), EvictionPolicy::Unbounded);
+    }
+}

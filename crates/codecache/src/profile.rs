@@ -1,11 +1,15 @@
-//! Per-method cost profiles (`I_i`, `T_i`, `E_i`, `n_i`).
+//! Per-method cost profiles (`I_i`, `T_i`, `E_i`, `n_i`, backedges).
 //!
 //! Section 3 of the paper reasons about a per-method crossover point
 //! `N_i = T_i / (I_i − E_i)`: translate a method iff it will be
 //! invoked more than `N_i` times. The VM collects exactly those
 //! quantities when profiling is enabled, and the oracle policy
-//! ([`OracleDecisions`](crate::config::OracleDecisions)) is derived
-//! from two profile tables (one interpreter run, one JIT run).
+//! ([`OracleDecisions`](crate::OracleDecisions)) is derived from two
+//! profile tables (one interpreter run, one JIT run). The tiered
+//! policy ([`JitPolicy::Tiered`](crate::JitPolicy::Tiered))
+//! additionally consumes backedge counts, the classic HotSpot-style
+//! hotness signal for loop-dominated methods whose invocation counts
+//! stay low.
 
 use jrt_bytecode::MethodId;
 use std::collections::HashMap;
@@ -15,11 +19,14 @@ use std::collections::HashMap;
 pub struct MethodProfile {
     /// Number of invocations (`n_i`).
     pub invocations: u64,
+    /// Number of backward branches taken while executing the method
+    /// (loop-trip hotness; feeds the tiered policy).
+    pub backedges: u64,
     /// Cycles spent interpreting this method's bytecodes (sum over
     /// invocations; divide by `invocations` for `I_i`).
     pub interp_cycles: u64,
-    /// Cycles spent translating the method (`T_i`; nonzero at most
-    /// once per method).
+    /// Cycles spent translating the method (`T_i`; accumulates across
+    /// re-translations after eviction or tier upgrades).
     pub translate_cycles: u64,
     /// Cycles spent executing the translated code (sum; divide for
     /// `E_i`).
@@ -114,6 +121,7 @@ mod tests {
             interp_cycles: 1000, // I = 100
             translate_cycles: 400,
             native_cycles: 200, // E = 20
+            ..MethodProfile::default()
         };
         let n = p.crossover().expect("profitable");
         assert!((n - 5.0).abs() < 1e-9); // 400 / 80
@@ -126,6 +134,7 @@ mod tests {
             interp_cycles: 100,
             translate_cycles: 400,
             native_cycles: 200,
+            ..MethodProfile::default()
         };
         assert!(p.crossover().is_none());
     }

@@ -1,0 +1,190 @@
+//! When-to-compile policy, unified over invocation + backedge
+//! counters, with an optional hotter tier.
+//!
+//! The paper's Section 3 design space (interpret-only, translate on
+//! first invocation, the offline oracle) plus the two policies real
+//! VMs converged on: counter thresholds and tiered recompilation.
+//! [`decide`] maps a method's profile to the tier it should run at,
+//! so interpreter/JIT/oracle/threshold/tiered all flow through one
+//! decision point in the VM.
+
+use crate::oracle::OracleDecisions;
+use crate::profile::MethodProfile;
+use jrt_bytecode::MethodId;
+
+/// The baseline translation tier (the paper's JIT).
+pub const TIER_BASELINE: u8 = 1;
+
+/// The optimizing tier: re-translation producing denser code at a
+/// higher translation cost (tiered-HotSpot's C2 analogue).
+pub const TIER_OPT: u8 = 2;
+
+/// When (or whether) to translate a method to native code — the
+/// question of Section 3 of the paper, extended with tiering.
+#[derive(Debug, Clone, Default)]
+pub enum JitPolicy {
+    /// Translate every method on its first invocation (the Kaffe /
+    /// JDK 1.2 default the paper calls the "naive heuristic").
+    #[default]
+    FirstInvocation,
+    /// Interpret a method until its invocation count reaches the
+    /// threshold, then translate (a HotSpot-style counter heuristic;
+    /// included as an ablation of the design space the paper opens).
+    Threshold(u32),
+    /// The paper's *opt* oracle: per-method decisions computed offline
+    /// from a profile — translate method `i` on first invocation iff
+    /// `n_i > N_i = T_i / (I_i − E_i)`, otherwise always interpret.
+    Oracle(OracleDecisions),
+    /// Two-tier recompilation: interpret until the hotness score
+    /// (invocations plus a backedge component) reaches `t1`, translate
+    /// at the baseline tier; re-translate at the optimizing tier when
+    /// the score reaches `t2` (tiered HotSpot's interpreter → C1 → C2
+    /// pipeline, collapsed to two compiled tiers).
+    Tiered {
+        /// Hotness score at which the baseline tier kicks in.
+        t1: u32,
+        /// Hotness score at which the optimizing tier kicks in
+        /// (`t2 > t1`).
+        t2: u32,
+    },
+}
+
+/// The hotness score tiered thresholds compare against: invocations
+/// (counting the one being decided) plus one point per eight
+/// backedges, so loop-dominated methods heat up without invocations.
+pub fn hotness(profile: Option<&MethodProfile>) -> u64 {
+    let (inv, back) = profile.map_or((0, 0), |p| (p.invocations, p.backedges));
+    inv + 1 + back / 8
+}
+
+/// Decides the tier a method should execute at for its next
+/// invocation. `compiled_tier` is the tier of already-installed code
+/// (if any); a decision above it requests (re-)translation, a
+/// decision of `None` means interpret.
+pub fn decide(
+    policy: &JitPolicy,
+    method: MethodId,
+    profile: Option<&MethodProfile>,
+    compiled_tier: Option<u8>,
+) -> Option<u8> {
+    match policy {
+        JitPolicy::FirstInvocation => Some(TIER_BASELINE),
+        JitPolicy::Threshold(k) => {
+            if compiled_tier.is_some()
+                || profile.is_some_and(|p| p.invocations + 1 >= u64::from(*k))
+            {
+                Some(TIER_BASELINE)
+            } else {
+                None
+            }
+        }
+        JitPolicy::Oracle(d) => d.should_translate(method).then_some(TIER_BASELINE),
+        JitPolicy::Tiered { t1, t2 } => {
+            let score = hotness(profile);
+            if compiled_tier == Some(TIER_OPT) || score >= u64::from(*t2) {
+                Some(TIER_OPT)
+            } else if compiled_tier.is_some() || score >= u64::from(*t1) {
+                Some(TIER_BASELINE)
+            } else {
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jrt_bytecode::ClassId;
+
+    fn mid() -> MethodId {
+        MethodId {
+            class: ClassId(0),
+            index: 0,
+        }
+    }
+
+    fn profile(invocations: u64, backedges: u64) -> MethodProfile {
+        MethodProfile {
+            invocations,
+            backedges,
+            ..MethodProfile::default()
+        }
+    }
+
+    #[test]
+    fn first_invocation_always_baseline() {
+        assert_eq!(
+            decide(&JitPolicy::FirstInvocation, mid(), None, None),
+            Some(TIER_BASELINE)
+        );
+    }
+
+    #[test]
+    fn threshold_waits_then_sticks() {
+        let pol = JitPolicy::Threshold(5);
+        assert_eq!(decide(&pol, mid(), None, None), None);
+        assert_eq!(decide(&pol, mid(), Some(&profile(3, 0)), None), None);
+        assert_eq!(
+            decide(&pol, mid(), Some(&profile(4, 0)), None),
+            Some(TIER_BASELINE)
+        );
+        // Once compiled, stays compiled regardless of count.
+        assert_eq!(
+            decide(&pol, mid(), Some(&profile(0, 0)), Some(TIER_BASELINE)),
+            Some(TIER_BASELINE)
+        );
+    }
+
+    #[test]
+    fn oracle_follows_decisions() {
+        let mut d = OracleDecisions::default();
+        assert_eq!(
+            decide(&JitPolicy::Oracle(d.clone()), mid(), None, None),
+            None
+        );
+        d.set(mid(), true);
+        assert_eq!(
+            decide(&JitPolicy::Oracle(d), mid(), None, None),
+            Some(TIER_BASELINE)
+        );
+    }
+
+    #[test]
+    fn tiered_escalates_on_invocations() {
+        let pol = JitPolicy::Tiered { t1: 2, t2: 10 };
+        assert_eq!(decide(&pol, mid(), None, None), None);
+        assert_eq!(
+            decide(&pol, mid(), Some(&profile(1, 0)), None),
+            Some(TIER_BASELINE)
+        );
+        assert_eq!(
+            decide(&pol, mid(), Some(&profile(9, 0)), Some(TIER_BASELINE)),
+            Some(TIER_OPT)
+        );
+        // Installed opt code keeps being used even if counters reset.
+        assert_eq!(
+            decide(&pol, mid(), Some(&profile(0, 0)), Some(TIER_OPT)),
+            Some(TIER_OPT)
+        );
+    }
+
+    #[test]
+    fn tiered_backedges_heat_loops() {
+        let pol = JitPolicy::Tiered { t1: 2, t2: 10 };
+        // One invocation, but 80 backedges -> score 1 + 1 + 10 = 12.
+        assert_eq!(
+            decide(&pol, mid(), Some(&profile(1, 80)), None),
+            Some(TIER_OPT)
+        );
+    }
+
+    #[test]
+    fn compiled_baseline_survives_below_t1() {
+        let pol = JitPolicy::Tiered { t1: 5, t2: 100 };
+        assert_eq!(
+            decide(&pol, mid(), Some(&profile(0, 0)), Some(TIER_BASELINE)),
+            Some(TIER_BASELINE)
+        );
+    }
+}

@@ -24,6 +24,7 @@
 //! | [`indirect`] | Table 2's recommendation — an indirect-branch-tailored predictor (target cache), implemented and measured |
 //! | [`proposal`] | Section 6 — the paper's install-into-I-cache proposal, implemented and measured |
 //! | [`sizes`] | Section 2 — the s1→s10 method-reuse observation |
+//! | [`codecache`] | Follow-on to Table 1/Figure 1 — managed code cache: capacity/eviction sweep, shared-vs-private caches, tiered recompilation |
 //!
 //! [`report::run_all`] executes everything and renders the
 //! `EXPERIMENTS.md` comparison document.
@@ -36,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod codecache;
 pub mod fig1;
 pub mod fig11;
 pub mod fig2;

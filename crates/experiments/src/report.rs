@@ -1,61 +1,84 @@
 //! Full reproduction run: executes every experiment and renders the
 //! `EXPERIMENTS.md` paper-vs-measured report.
+//!
+//! Every section is optional ([`run_filtered`] skips the ones whose
+//! name doesn't match the filter), so `run_all --filter fig1` can
+//! regenerate one section in isolation; [`Report::to_markdown`]
+//! renders whatever subset is present.
 
 use crate::runner::Mode;
-use crate::{fig1, fig11, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, table1, table2, table3};
+use crate::{
+    codecache, fig1, fig11, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, table1, table2, table3,
+};
 use jrt_workloads::Size;
 use std::fmt::Write as _;
 
-/// All experiment results.
+/// All experiment results. Each section is `None` when filtered out
+/// by [`run_filtered`].
 #[derive(Debug, Clone)]
 pub struct Report {
     /// Input size used.
     pub size: Size,
     /// Figure 1.
-    pub fig1: fig1::Fig1,
+    pub fig1: Option<fig1::Fig1>,
     /// Table 1.
-    pub table1: table1::Table1,
+    pub table1: Option<table1::Table1>,
     /// Figure 2.
-    pub fig2: fig2::Fig2,
+    pub fig2: Option<fig2::Fig2>,
     /// Table 2.
-    pub table2: table2::Table2,
+    pub table2: Option<table2::Table2>,
     /// Table 3.
-    pub table3: table3::Table3,
+    pub table3: Option<table3::Table3>,
     /// Figure 3.
-    pub fig3: fig3::Fig3,
+    pub fig3: Option<fig3::Fig3>,
     /// Figure 4.
-    pub fig4: fig4::Fig4,
+    pub fig4: Option<fig4::Fig4>,
     /// Figure 5.
-    pub fig5: fig5::Fig5,
+    pub fig5: Option<fig5::Fig5>,
     /// Figure 6.
-    pub fig6: fig6::Fig6,
+    pub fig6: Option<fig6::Fig6>,
     /// Figure 7.
-    pub fig7: fig7::Fig7,
+    pub fig7: Option<fig7::Fig7>,
     /// Figure 8.
-    pub fig8: fig8::Fig8,
+    pub fig8: Option<fig8::Fig8>,
     /// Figures 9 & 10.
-    pub fig9: fig9::Fig9,
+    pub fig9: Option<fig9::Fig9>,
     /// Figure 11.
-    pub fig11: fig11::Fig11,
+    pub fig11: Option<fig11::Fig11>,
     /// Indirect-predictor study (Table 2's recommendation).
-    pub indirect: crate::indirect::Indirect,
+    pub indirect: Option<crate::indirect::Indirect>,
     /// Interpreter folding study (Section 4.4's suggestion).
-    pub folding: crate::folding::Folding,
+    pub folding: Option<crate::folding::Folding>,
     /// Section 6 proposal study.
-    pub proposal: crate::proposal::Proposal,
+    pub proposal: Option<crate::proposal::Proposal>,
     /// Input-size sweep (Section 2 observation).
-    pub sizes: crate::sizes::Sizes,
+    pub sizes: Option<crate::sizes::Sizes>,
+    /// Managed code-cache study (capacity, sharing, tiering).
+    pub codecache: Option<codecache::CodeCacheStudy>,
 }
 
 /// Runs every experiment at `size`, logging progress to stderr.
 pub fn run_all(size: Size) -> Report {
+    run_filtered(size, None)
+}
+
+/// Runs the experiments whose name contains `filter` (all of them
+/// when `filter` is `None`), logging progress to stderr. Skipped
+/// sections are `None` in the returned [`Report`] and absent from its
+/// markdown.
+pub fn run_filtered(size: Size, filter: Option<&str>) -> Report {
+    let enabled = |name: &str| filter.is_none_or(|f| name.contains(f));
     macro_rules! step {
         ($name:literal, $e:expr) => {{
-            eprintln!("[run_all] {} ...", $name);
-            let t = std::time::Instant::now();
-            let v = $e;
-            eprintln!("[run_all] {} done in {:.1?}", $name, t.elapsed());
-            v
+            if enabled($name) {
+                eprintln!("[run_all] {} ...", $name);
+                let t = std::time::Instant::now();
+                let v = $e;
+                eprintln!("[run_all] {} done in {:.1?}", $name, t.elapsed());
+                Some(v)
+            } else {
+                None
+            }
         }};
     }
     Report {
@@ -77,11 +100,13 @@ pub fn run_all(size: Size) -> Report {
         folding: step!("folding", crate::folding::run(size)),
         proposal: step!("proposal", crate::proposal::run(size)),
         sizes: step!("sizes", crate::sizes::run()),
+        codecache: step!("codecache", codecache::run(size)),
     }
 }
 
 impl Report {
-    /// Renders the full EXPERIMENTS.md document.
+    /// Renders the EXPERIMENTS.md document (sections filtered out at
+    /// run time are simply absent).
     pub fn to_markdown(&self) -> String {
         let mut out = String::new();
         let w = &mut out;
@@ -98,339 +123,366 @@ impl Report {
             self.size
         );
 
-        let _ = writeln!(w, "## Figure 1 — when or whether to translate\n");
-        let _ = writeln!(
-            w,
-            "*Paper:* translation dominates `hello`/`db`; execution dominates \
-             `compress`/`jack`; JIT beats interpretation throughout; a perfect \
-             per-method oracle (`opt`) saves at most 10–15%.\n"
-        );
-        let _ = writeln!(w, "{}", self.fig1.table().to_markdown());
-        let _ = writeln!(
-            w,
-            "*Measured:* best oracle saving {:.1}% — {}.\n",
-            self.fig1.best_savings() * 100.0,
-            verdict(self.fig1.best_savings() > 0.05 && self.fig1.best_savings() < 0.25)
-        );
+        if let Some(fig1) = &self.fig1 {
+            let _ = writeln!(w, "## Figure 1 — when or whether to translate\n");
+            let _ = writeln!(
+                w,
+                "*Paper:* translation dominates `hello`/`db`; execution dominates \
+                 `compress`/`jack`; JIT beats interpretation throughout; a perfect \
+                 per-method oracle (`opt`) saves at most 10–15%.\n"
+            );
+            let _ = writeln!(w, "{}", fig1.table().to_markdown());
+            let _ = writeln!(
+                w,
+                "*Measured:* best oracle saving {:.1}% — {}.\n",
+                fig1.best_savings() * 100.0,
+                verdict(fig1.best_savings() > 0.05 && fig1.best_savings() < 0.25)
+            );
+        }
 
-        let _ = writeln!(w, "## Table 1 — memory footprint\n");
-        let _ = writeln!(
-            w,
-            "*Paper:* the JIT needs 10–33% more memory than the interpreter \
-             (code cache + translator), proportionally more for small programs.\n"
-        );
-        let _ = writeln!(w, "{}", self.table1.table().to_markdown());
-        let over: Vec<f64> = self
-            .table1
-            .rows
-            .iter()
-            .map(table1::Table1Row::overhead)
-            .collect();
-        let (mn, mx) = (
-            over.iter().cloned().fold(f64::MAX, f64::min),
-            over.iter().cloned().fold(0.0, f64::max),
-        );
-        let _ = writeln!(
-            w,
-            "*Measured:* overhead band {:.0}%–{:.0}% — {}.\n",
-            mn * 100.0,
-            mx * 100.0,
-            verdict(mn > 0.0 && mx < 0.6)
-        );
-
-        let _ = writeln!(w, "## Figure 2 — instruction mix\n");
-        let _ = writeln!(
-            w,
-            "*Paper:* 15–20% transfers and 25–40% memory accesses in both modes; \
-             interpreter ≈5 points heavier on memory (in-memory operand stack) \
-             and indirect-jump heavy; JIT heavier on branches/calls.\n"
-        );
-        let _ = writeln!(w, "{}", self.fig2.table().to_markdown());
-        let _ = writeln!(
-            w,
-            "*Measured:* memory {:.1}% (interp) vs {:.1}% (jit); indirect share \
-             of transfers {:.0}% vs {:.0}% — {}.\n",
-            self.fig2.interp.memory_fraction() * 100.0,
-            self.fig2.jit.memory_fraction() * 100.0,
-            self.fig2.interp.indirect_share_of_transfers() * 100.0,
-            self.fig2.jit.indirect_share_of_transfers() * 100.0,
-            verdict(
-                self.fig2.interp.memory_fraction() > self.fig2.jit.memory_fraction()
-                    && self.fig2.interp.indirect_share_of_transfers()
-                        > self.fig2.jit.indirect_share_of_transfers()
-            )
-        );
-
-        let _ = writeln!(w, "## Table 2 — branch prediction\n");
-        let _ = writeln!(
-            w,
-            "*Paper:* interpreter misprediction is far worse (Gshare accuracy \
-             65–87% interp vs 80–92% JIT) because of indirect dispatch jumps; \
-             conventional two-level predictors suffice for JIT mode only.\n"
-        );
-        let _ = writeln!(w, "{}", self.table2.table().to_markdown());
-        let gi = self.table2.mean_gshare(Mode::Interp);
-        let gj = self.table2.mean_gshare(Mode::Jit);
-        let _ = writeln!(
-            w,
-            "*Measured:* mean Gshare misprediction {:.1}% (interp) vs {:.1}% (jit). \
-             The interpreter lands at the top of the paper's 13–35% band (our \
-             threaded-dispatch model concentrates more of the interpreter's \
-             control flow in the dispatch jump than JDK 1.1.6's bulkier handlers \
-             did), the JIT inside its 8–20% band — {}.\n",
-            gi * 100.0,
-            gj * 100.0,
-            verdict(gi > 2.0 * gj)
-        );
-
-        let _ = writeln!(w, "## Table 3 — cache references and misses\n");
-        let _ = writeln!(
-            w,
-            "*Paper:* interpreter I-cache hit rate >99.9% (switch body resident); \
-             JIT D-refs shrink to 10–80% of interp's; JIT *miss counts* exceed \
-             interp's despite fewer references.\n"
-        );
-        let _ = writeln!(w, "{}", self.table3.table().to_markdown());
-        let ok = self
-            .table3
-            .rows
-            .iter()
-            .all(|r| r.mode != Mode::Interp || r.icache.miss_rate() < 0.01);
-        let _ = writeln!(
-            w,
-            "*Measured:* interp I-miss < 1% everywhere — {}.\n",
-            verdict(ok)
-        );
-
-        let _ = writeln!(w, "## Figure 3 — write share of data misses\n");
-        let _ = writeln!(
-            w,
-            "*Paper:* 50–90% of JIT-mode data misses are writes (code \
-             generation/installation).\n"
-        );
-        let _ = writeln!(w, "{}", self.fig3.table().to_markdown());
-        let _ = writeln!(
-            w,
-            "*Measured:* mean write share {:.0}% (jit) vs {:.0}% (interp) — {}.\n",
-            self.fig3.mean(Mode::Jit) * 100.0,
-            self.fig3.mean(Mode::Interp) * 100.0,
-            verdict(self.fig3.mean(Mode::Jit) > self.fig3.mean(Mode::Interp))
-        );
-
-        let _ = writeln!(w, "## Figure 4 — comparison with C-like code\n");
-        let _ = writeln!(
-            w,
-            "*Paper:* interpreter locality beats C/C++ and JIT on both caches; \
-             JIT I-cache ≈ compiled code; JIT D-cache is the worst. Our C \
-             comparator is an AOT proxy (JIT-mode trace minus translation and \
-             class loading).\n"
-        );
-        let _ = writeln!(w, "{}", self.fig4.table().to_markdown());
-
-        let _ = writeln!(w, "## Figure 5 — misses inside translation\n");
-        let _ = writeln!(
-            w,
-            "*Paper:* translation contributes ~30% of I-misses and 40–80% of \
-             D-misses; ~60% of translate-portion D-misses are writes; the \
-             translator's own code has *better* I-locality than the rest \
-             (code-generation routines are heavily reused).\n"
-        );
-        let _ = writeln!(w, "{}", self.fig5.table().to_markdown());
-        let ok = self
-            .fig5
-            .rows
-            .iter()
-            .all(|r| r.write_share_in_translate > 0.5)
-            && self
-                .fig5
+        if let Some(table1) = &self.table1 {
+            let _ = writeln!(w, "## Table 1 — memory footprint\n");
+            let _ = writeln!(
+                w,
+                "*Paper:* the JIT needs 10–33% more memory than the interpreter \
+                 (code cache + translator), proportionally more for small programs.\n"
+            );
+            let _ = writeln!(w, "{}", table1.table().to_markdown());
+            let over: Vec<f64> = table1
                 .rows
                 .iter()
-                .filter(|r| r.name == "db" || r.name == "javac")
-                .all(|r| r.i_rate_translate < r.i_rate_rest + 0.01);
-        let _ = writeln!(
-            w,
-            "*Measured:* write-dominated translate misses — {}.\n",
-            verdict(ok)
-        );
-
-        let _ = writeln!(w, "## Figure 6 — db miss timeline\n");
-        let _ = writeln!(
-            w,
-            "*Paper:* interpreter shows startup (class-loading) spikes then \
-             steady locality; JIT shows many more spikes, clustered where \
-             method groups get translated.\n"
-        );
-        let _ = writeln!(
-            w,
-            "*Measured (window = {} instructions):* the interpreter shows its \
-             startup spike then settles (first window {} misses vs steady-state \
-             tail); the JIT trace contains {} windows *dominated by \
-             translate-phase misses* (the clustered translation spikes; the \
-             interpreter has {}) — {}.\n",
-            self.fig6.window,
-            self.fig6
-                .interp
-                .samples
-                .first()
-                .map_or(0, |s| s.i_misses + s.d_misses),
-            self.fig6.jit.translate_clusters,
-            self.fig6.interp.translate_clusters,
-            verdict(
-                self.fig6.jit.translate_clusters >= 1 && self.fig6.interp.translate_clusters == 0
-            )
-        );
-        let _ = writeln!(w, "{}", self.fig6.table().to_markdown());
-
-        let _ = writeln!(w, "## Figure 7 — associativity\n");
-        let _ = writeln!(
-            w,
-            "*Paper:* misses fall with associativity; the biggest step is \
-             1-way → 2-way.\n"
-        );
-        let _ = writeln!(w, "{}", self.fig7.table().to_markdown());
-
-        let _ = writeln!(w, "## Figure 8 — line size\n");
-        let _ = writeln!(
-            w,
-            "*Paper:* larger lines always help the I-cache; for the D-cache, \
-             interpreted code prefers 16-byte lines (tiny methods, 1.8-byte \
-             bytecodes) while JIT mode prefers 32–64 bytes (object sizes).\n"
-        );
-        let _ = writeln!(w, "{}", self.fig8.table().to_markdown());
-        let ib = self.fig8.get(Mode::Interp).best_d_line();
-        let jb = self.fig8.get(Mode::Jit).best_d_line();
-        let _ = writeln!(
-            w,
-            "*Measured:* best D-line {}B (interp) vs {}B (jit) — {}.\n",
-            ib,
-            jb,
-            verdict(ib <= jb)
-        );
-
-        let _ = writeln!(w, "## Figures 9 & 10 — ILP vs issue width\n");
-        let _ = writeln!(
-            w,
-            "*Paper:* interpreter IPC is higher (locality + short dependence \
-             chains) but flattens at wide issue (dispatch-jump target \
-             mispredictions); the JIT scales more evenly and closes the gap.\n"
-        );
-        let _ = writeln!(w, "{}", self.fig9.table().to_markdown());
-        let _ = writeln!(w, "{}", self.fig9.table_fig10().to_markdown());
-        let exec_heavy = ["compress", "mpeg"];
-        let subset_w8 = |mode: Mode| {
-            let v: Vec<f64> = self
-                .fig9
-                .rows
-                .iter()
-                .filter(|r| r.mode == mode && exec_heavy.contains(&r.name))
-                .map(|r| r.reports[3].ipc())
+                .map(table1::Table1Row::overhead)
                 .collect();
-            v.iter().sum::<f64>() / v.len() as f64
-        };
-        let _ = writeln!(
-            w,
-            "*Measured:* at 8-issue, mean IPC on the execution-dominated \
-             benchmarks is {:.2} (interp) vs {:.2} (jit) — {}: the JIT overtakes \
-             at wide issue where the interpreter's dispatch-target mispredictions \
-             throttle fetch. On translation-heavy runs the JIT's own translate \
-             phase (a serial emission chain) drags its trace, so interp stays \
-             ahead there in our reproduction.\n",
-            subset_w8(Mode::Interp),
-            subset_w8(Mode::Jit),
-            verdict(subset_w8(Mode::Jit) > subset_w8(Mode::Interp))
-        );
+            let (mn, mx) = (
+                over.iter().cloned().fold(f64::MAX, f64::min),
+                over.iter().cloned().fold(0.0, f64::max),
+            );
+            let _ = writeln!(
+                w,
+                "*Measured:* overhead band {:.0}%–{:.0}% — {}.\n",
+                mn * 100.0,
+                mx * 100.0,
+                verdict(mn > 0.0 && mx < 0.6)
+            );
+        }
 
-        let _ = writeln!(w, "## Figure 11 — synchronization\n");
-        let _ = writeln!(
-            w,
-            "*Paper:* cases (a)+(b) dominate monitor accesses, with (a) alone \
-             above 80%; thin locks give a ~2x sync speedup over the JDK 1.1.6 \
-             monitor cache; a 1-bit lock captures case (a) with minimal header \
-             space.\n"
-        );
-        let _ = writeln!(w, "{}", self.fig11.case_table().to_markdown());
-        let _ = writeln!(w, "{}", self.fig11.scheme_table().to_markdown());
-        let _ = writeln!(
-            w,
-            "*Measured:* case (a) share {:.0}%; thin-lock speedup {:.2}x — {}.\n",
-            self.fig11.case_a_fraction() * 100.0,
-            self.fig11.thin_speedup(),
-            verdict(self.fig11.case_a_fraction() > 0.8 && self.fig11.thin_speedup() > 1.8)
-        );
+        if let Some(fig2) = &self.fig2 {
+            let _ = writeln!(w, "## Figure 2 — instruction mix\n");
+            let _ = writeln!(
+                w,
+                "*Paper:* 15–20% transfers and 25–40% memory accesses in both modes; \
+                 interpreter ≈5 points heavier on memory (in-memory operand stack) \
+                 and indirect-jump heavy; JIT heavier on branches/calls.\n"
+            );
+            let _ = writeln!(w, "{}", fig2.table().to_markdown());
+            let _ = writeln!(
+                w,
+                "*Measured:* memory {:.1}% (interp) vs {:.1}% (jit); indirect share \
+                 of transfers {:.0}% vs {:.0}% — {}.\n",
+                fig2.interp.memory_fraction() * 100.0,
+                fig2.jit.memory_fraction() * 100.0,
+                fig2.interp.indirect_share_of_transfers() * 100.0,
+                fig2.jit.indirect_share_of_transfers() * 100.0,
+                verdict(
+                    fig2.interp.memory_fraction() > fig2.jit.memory_fraction()
+                        && fig2.interp.indirect_share_of_transfers()
+                            > fig2.jit.indirect_share_of_transfers()
+                )
+            );
+        }
 
-        let _ = writeln!(
-            w,
-            "## Table 2 recommendation — an indirect-branch predictor\n"
-        );
-        let _ = writeln!(
-            w,
-            "*Paper:* \"if the interpreter mode is used, a predictor \
-             well-tailored for indirect branches should be used.\" We \
-             implemented a path-history target cache (1K entries, same storage \
-             class as the BTB) and measured it.\n"
-        );
-        let _ = writeln!(w, "{}", self.indirect.table().to_markdown());
-        let (bi, ti) = self.indirect.means(Mode::Interp);
-        let (bj, tj) = self.indirect.means(Mode::Jit);
-        let _ = writeln!(
-            w,
-            "*Measured:* interpreter misprediction falls {:.1}% → {:.1}% with \
-             the target cache, while JIT mode barely moves ({:.1}% → {:.1}%) — \
-             exactly the asymmetry the recommendation predicts.\n",
-            bi * 100.0,
-            ti * 100.0,
-            bj * 100.0,
-            tj * 100.0
-        );
+        if let Some(table2) = &self.table2 {
+            let _ = writeln!(w, "## Table 2 — branch prediction\n");
+            let _ = writeln!(
+                w,
+                "*Paper:* interpreter misprediction is far worse (Gshare accuracy \
+                 65–87% interp vs 80–92% JIT) because of indirect dispatch jumps; \
+                 conventional two-level predictors suffice for JIT mode only.\n"
+            );
+            let _ = writeln!(w, "{}", table2.table().to_markdown());
+            let gi = table2.mean_gshare(Mode::Interp);
+            let gj = table2.mean_gshare(Mode::Jit);
+            let _ = writeln!(
+                w,
+                "*Measured:* mean Gshare misprediction {:.1}% (interp) vs {:.1}% (jit). \
+                 The interpreter lands at the top of the paper's 13–35% band (our \
+                 threaded-dispatch model concentrates more of the interpreter's \
+                 control flow in the dispatch jump than JDK 1.1.6's bulkier handlers \
+                 did), the JIT inside its 8–20% band — {}.\n",
+                gi * 100.0,
+                gj * 100.0,
+                verdict(gi > 2.0 * gj)
+            );
+        }
 
-        let _ = writeln!(
-            w,
-            "## Section 4.4 suggestion — interpreter instruction folding\n"
-        );
-        let _ = writeln!(
-            w,
-            "*Paper:* suggests that an interpreter which recognizes 2–4-bytecode \
-             sequences (as the picoJava folding unit does in hardware) \
-             \"can mitigate the effect of inaccurate target prediction and scale \
-             better\". We implemented folding in the interpreter.\n"
-        );
-        let _ = writeln!(w, "{}", self.folding.table().to_markdown());
-        let _ = writeln!(
-            w,
-            "*Measured:* mean 8-issue speedup {:.2}x from folding — the dispatch \
-             bottleneck is real and foldable, as predicted.\n",
-            self.folding.mean_w8_speedup()
-        );
+        if let Some(table3) = &self.table3 {
+            let _ = writeln!(w, "## Table 3 — cache references and misses\n");
+            let _ = writeln!(
+                w,
+                "*Paper:* interpreter I-cache hit rate >99.9% (switch body resident); \
+                 JIT D-refs shrink to 10–80% of interp's; JIT *miss counts* exceed \
+                 interp's despite fewer references.\n"
+            );
+            let _ = writeln!(w, "{}", table3.table().to_markdown());
+            let ok = table3
+                .rows
+                .iter()
+                .all(|r| r.mode != Mode::Interp || r.icache.miss_rate() < 0.01);
+            let _ = writeln!(
+                w,
+                "*Measured:* interp I-miss < 1% everywhere — {}.\n",
+                verdict(ok)
+            );
+        }
 
-        let _ = writeln!(w, "## Section 6 proposal — install code into the I-cache\n");
-        let _ = writeln!(
-            w,
-            "*Paper:* proposes letting the JIT write generated code directly \
-             into a write-capable I-cache, eliminating the write-allocate fill \
-             and the D→I double-caching of freshly generated code. We \
-             implemented the proposal in the cache model.\n"
-        );
-        let _ = writeln!(w, "{}", self.proposal.table().to_markdown());
-        let _ = writeln!(
-            w,
-            "*Measured:* mean L1 misses removed {:.1}% — the proposal pays off \
-             exactly where translation write misses concentrate.\n",
-            self.proposal.mean_savings() * 100.0
-        );
+        if let Some(fig3) = &self.fig3 {
+            let _ = writeln!(w, "## Figure 3 — write share of data misses\n");
+            let _ = writeln!(
+                w,
+                "*Paper:* 50–90% of JIT-mode data misses are writes (code \
+                 generation/installation).\n"
+            );
+            let _ = writeln!(w, "{}", fig3.table().to_markdown());
+            let _ = writeln!(
+                w,
+                "*Measured:* mean write share {:.0}% (jit) vs {:.0}% (interp) — {}.\n",
+                fig3.mean(Mode::Jit) * 100.0,
+                fig3.mean(Mode::Interp) * 100.0,
+                verdict(fig3.mean(Mode::Jit) > fig3.mean(Mode::Interp))
+            );
+        }
 
-        let _ = writeln!(w, "## Section 2 note — larger inputs (s10)\n");
-        let _ = writeln!(
-            w,
-            "*Paper:* larger datasets increase method reuse, shrinking the \
-             translation share while every conclusion stays valid.\n"
-        );
-        let _ = writeln!(w, "{}", self.sizes.table().to_markdown());
+        if let Some(fig4) = &self.fig4 {
+            let _ = writeln!(w, "## Figure 4 — comparison with C-like code\n");
+            let _ = writeln!(
+                w,
+                "*Paper:* interpreter locality beats C/C++ and JIT on both caches; \
+                 JIT I-cache ≈ compiled code; JIT D-cache is the worst. Our C \
+                 comparator is an AOT proxy (JIT-mode trace minus translation and \
+                 class loading).\n"
+            );
+            let _ = writeln!(w, "{}", fig4.table().to_markdown());
+        }
+
+        if let Some(fig5) = &self.fig5 {
+            let _ = writeln!(w, "## Figure 5 — misses inside translation\n");
+            let _ = writeln!(
+                w,
+                "*Paper:* translation contributes ~30% of I-misses and 40–80% of \
+                 D-misses; ~60% of translate-portion D-misses are writes; the \
+                 translator's own code has *better* I-locality than the rest \
+                 (code-generation routines are heavily reused).\n"
+            );
+            let _ = writeln!(w, "{}", fig5.table().to_markdown());
+            let ok = fig5.rows.iter().all(|r| r.write_share_in_translate > 0.5)
+                && fig5
+                    .rows
+                    .iter()
+                    .filter(|r| r.name == "db" || r.name == "javac")
+                    .all(|r| r.i_rate_translate < r.i_rate_rest + 0.01);
+            let _ = writeln!(
+                w,
+                "*Measured:* write-dominated translate misses — {}.\n",
+                verdict(ok)
+            );
+        }
+
+        if let Some(fig6) = &self.fig6 {
+            let _ = writeln!(w, "## Figure 6 — db miss timeline\n");
+            let _ = writeln!(
+                w,
+                "*Paper:* interpreter shows startup (class-loading) spikes then \
+                 steady locality; JIT shows many more spikes, clustered where \
+                 method groups get translated.\n"
+            );
+            let _ = writeln!(
+                w,
+                "*Measured (window = {} instructions):* the interpreter shows its \
+                 startup spike then settles (first window {} misses vs steady-state \
+                 tail); the JIT trace contains {} windows *dominated by \
+                 translate-phase misses* (the clustered translation spikes; the \
+                 interpreter has {}) — {}.\n",
+                fig6.window,
+                fig6.interp
+                    .samples
+                    .first()
+                    .map_or(0, |s| s.i_misses + s.d_misses),
+                fig6.jit.translate_clusters,
+                fig6.interp.translate_clusters,
+                verdict(fig6.jit.translate_clusters >= 1 && fig6.interp.translate_clusters == 0)
+            );
+            let _ = writeln!(w, "{}", fig6.table().to_markdown());
+        }
+
+        if let Some(fig7) = &self.fig7 {
+            let _ = writeln!(w, "## Figure 7 — associativity\n");
+            let _ = writeln!(
+                w,
+                "*Paper:* misses fall with associativity; the biggest step is \
+                 1-way → 2-way.\n"
+            );
+            let _ = writeln!(w, "{}", fig7.table().to_markdown());
+        }
+
+        if let Some(fig8) = &self.fig8 {
+            let _ = writeln!(w, "## Figure 8 — line size\n");
+            let _ = writeln!(
+                w,
+                "*Paper:* larger lines always help the I-cache; for the D-cache, \
+                 interpreted code prefers 16-byte lines (tiny methods, 1.8-byte \
+                 bytecodes) while JIT mode prefers 32–64 bytes (object sizes).\n"
+            );
+            let _ = writeln!(w, "{}", fig8.table().to_markdown());
+            let ib = fig8.get(Mode::Interp).best_d_line();
+            let jb = fig8.get(Mode::Jit).best_d_line();
+            let _ = writeln!(
+                w,
+                "*Measured:* best D-line {}B (interp) vs {}B (jit) — {}.\n",
+                ib,
+                jb,
+                verdict(ib <= jb)
+            );
+        }
+
+        if let Some(fig9) = &self.fig9 {
+            let _ = writeln!(w, "## Figures 9 & 10 — ILP vs issue width\n");
+            let _ = writeln!(
+                w,
+                "*Paper:* interpreter IPC is higher (locality + short dependence \
+                 chains) but flattens at wide issue (dispatch-jump target \
+                 mispredictions); the JIT scales more evenly and closes the gap.\n"
+            );
+            let _ = writeln!(w, "{}", fig9.table().to_markdown());
+            let _ = writeln!(w, "{}", fig9.table_fig10().to_markdown());
+            let exec_heavy = ["compress", "mpeg"];
+            let subset_w8 = |mode: Mode| {
+                let v: Vec<f64> = fig9
+                    .rows
+                    .iter()
+                    .filter(|r| r.mode == mode && exec_heavy.contains(&r.name))
+                    .map(|r| r.reports[3].ipc())
+                    .collect();
+                v.iter().sum::<f64>() / v.len() as f64
+            };
+            let _ = writeln!(
+                w,
+                "*Measured:* at 8-issue, mean IPC on the execution-dominated \
+                 benchmarks is {:.2} (interp) vs {:.2} (jit) — {}: the JIT overtakes \
+                 at wide issue where the interpreter's dispatch-target mispredictions \
+                 throttle fetch. On translation-heavy runs the JIT's own translate \
+                 phase (a serial emission chain) drags its trace, so interp stays \
+                 ahead there in our reproduction.\n",
+                subset_w8(Mode::Interp),
+                subset_w8(Mode::Jit),
+                verdict(subset_w8(Mode::Jit) > subset_w8(Mode::Interp))
+            );
+        }
+
+        if let Some(fig11) = &self.fig11 {
+            let _ = writeln!(w, "## Figure 11 — synchronization\n");
+            let _ = writeln!(
+                w,
+                "*Paper:* cases (a)+(b) dominate monitor accesses, with (a) alone \
+                 above 80%; thin locks give a ~2x sync speedup over the JDK 1.1.6 \
+                 monitor cache; a 1-bit lock captures case (a) with minimal header \
+                 space.\n"
+            );
+            let _ = writeln!(w, "{}", fig11.case_table().to_markdown());
+            let _ = writeln!(w, "{}", fig11.scheme_table().to_markdown());
+            let _ = writeln!(
+                w,
+                "*Measured:* case (a) share {:.0}%; thin-lock speedup {:.2}x — {}.\n",
+                fig11.case_a_fraction() * 100.0,
+                fig11.thin_speedup(),
+                verdict(fig11.case_a_fraction() > 0.8 && fig11.thin_speedup() > 1.8)
+            );
+        }
+
+        if let Some(indirect) = &self.indirect {
+            let _ = writeln!(
+                w,
+                "## Table 2 recommendation — an indirect-branch predictor\n"
+            );
+            let _ = writeln!(
+                w,
+                "*Paper:* \"if the interpreter mode is used, a predictor \
+                 well-tailored for indirect branches should be used.\" We \
+                 implemented a path-history target cache (1K entries, same storage \
+                 class as the BTB) and measured it.\n"
+            );
+            let _ = writeln!(w, "{}", indirect.table().to_markdown());
+            let (bi, ti) = indirect.means(Mode::Interp);
+            let (bj, tj) = indirect.means(Mode::Jit);
+            let _ = writeln!(
+                w,
+                "*Measured:* interpreter misprediction falls {:.1}% → {:.1}% with \
+                 the target cache, while JIT mode barely moves ({:.1}% → {:.1}%) — \
+                 exactly the asymmetry the recommendation predicts.\n",
+                bi * 100.0,
+                ti * 100.0,
+                bj * 100.0,
+                tj * 100.0
+            );
+        }
+
+        if let Some(folding) = &self.folding {
+            let _ = writeln!(
+                w,
+                "## Section 4.4 suggestion — interpreter instruction folding\n"
+            );
+            let _ = writeln!(
+                w,
+                "*Paper:* suggests that an interpreter which recognizes 2–4-bytecode \
+                 sequences (as the picoJava folding unit does in hardware) \
+                 \"can mitigate the effect of inaccurate target prediction and scale \
+                 better\". We implemented folding in the interpreter.\n"
+            );
+            let _ = writeln!(w, "{}", folding.table().to_markdown());
+            let _ = writeln!(
+                w,
+                "*Measured:* mean 8-issue speedup {:.2}x from folding — the dispatch \
+                 bottleneck is real and foldable, as predicted.\n",
+                folding.mean_w8_speedup()
+            );
+        }
+
+        if let Some(proposal) = &self.proposal {
+            let _ = writeln!(w, "## Section 6 proposal — install code into the I-cache\n");
+            let _ = writeln!(
+                w,
+                "*Paper:* proposes letting the JIT write generated code directly \
+                 into a write-capable I-cache, eliminating the write-allocate fill \
+                 and the D→I double-caching of freshly generated code. We \
+                 implemented the proposal in the cache model.\n"
+            );
+            let _ = writeln!(w, "{}", proposal.table().to_markdown());
+            let _ = writeln!(
+                w,
+                "*Measured:* mean L1 misses removed {:.1}% — the proposal pays off \
+                 exactly where translation write misses concentrate.\n",
+                proposal.mean_savings() * 100.0
+            );
+        }
+
+        if let Some(sizes) = &self.sizes {
+            let _ = writeln!(w, "## Section 2 note — larger inputs (s10)\n");
+            let _ = writeln!(
+                w,
+                "*Paper:* larger datasets increase method reuse, shrinking the \
+                 translation share while every conclusion stays valid.\n"
+            );
+            let _ = writeln!(w, "{}", sizes.table().to_markdown());
+        }
+
+        if let Some(cc) = &self.codecache {
+            let _ = write!(w, "{}", cc.to_markdown());
+        }
 
         out
     }
 }
 
-fn verdict(ok: bool) -> &'static str {
+pub(crate) fn verdict(ok: bool) -> &'static str {
     if ok {
         "**reproduced**"
     } else {
@@ -448,5 +500,16 @@ mod tests {
         let r = run_all(Size::Tiny);
         let md = r.to_markdown();
         assert!(md.contains("Figure 11"));
+        assert!(md.contains("Managed code cache"));
+    }
+
+    #[test]
+    fn filter_selects_sections() {
+        let r = run_filtered(Size::Tiny, Some("table1"));
+        assert!(r.fig1.is_none());
+        assert!(r.codecache.is_none());
+        let md = r.to_markdown();
+        assert!(md.contains("## Table 1"));
+        assert!(!md.contains("## Figure 1"));
     }
 }

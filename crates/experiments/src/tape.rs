@@ -18,11 +18,18 @@
 //! any-worker-count determinism (the cache only changes *when* a
 //! stream is produced, never its contents).
 //!
-//! Assembled [`Program`]s are memoized the same way, so the seventeen
+//! Assembled [`Program`]s are memoized the same way, so the eighteen
 //! drivers stop re-assembling the suite once per driver, and the
 //! Figure 1 oracle is derived once per workload from the cached
 //! interpreter/JIT profiles instead of two fresh profiling runs per
 //! call site.
+//!
+//! The tape store is bounded: cached tapes are charged against a byte
+//! budget (`JRT_TAPE_BUDGET` bytes, default 4 GiB) and the
+//! least-recently-used entries are dropped when it overflows. Eviction
+//! only changes *when* a stream is re-recorded, never its contents —
+//! recording is deterministic, so a dropped tape re-records
+//! byte-identically (a property the tests pin down).
 
 use crate::jobs::Workload;
 use crate::runner::Mode;
@@ -125,17 +132,98 @@ fn record(w: &Workload, mode: Mode, folding: bool) -> Arc<TapeEntry> {
     })
 }
 
+/// One tape store slot: the shared once-cell plus an LRU stamp.
+struct TapeSlot {
+    slot: Slot<Arc<TapeEntry>>,
+    last_use: u64,
+}
+
+/// The bounded tape store: slots keyed by [`Key`], with a logical
+/// clock for LRU ordering.
+struct TapeStore {
+    map: HashMap<Key, TapeSlot>,
+    tick: u64,
+}
+
+fn tape_store() -> &'static Mutex<TapeStore> {
+    static TAPES: OnceLock<Mutex<TapeStore>> = OnceLock::new();
+    TAPES.get_or_init(|| {
+        Mutex::new(TapeStore {
+            map: HashMap::new(),
+            tick: 0,
+        })
+    })
+}
+
+/// Flat per-entry charge for everything around the packed tape (the
+/// run result, profile, counting snapshot, map slot).
+const ENTRY_OVERHEAD_BYTES: u64 = 4096;
+
+/// The tape-store byte budget: `JRT_TAPE_BUDGET` (bytes), default
+/// 4 GiB.
+fn budget_bytes() -> u64 {
+    static BUDGET: OnceLock<u64> = OnceLock::new();
+    *BUDGET.get_or_init(|| {
+        std::env::var("JRT_TAPE_BUDGET")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(4 * 1024 * 1024 * 1024)
+    })
+}
+
+fn entry_cost(e: &TapeEntry) -> u64 {
+    e.tape.size_bytes() as u64 + ENTRY_OVERHEAD_BYTES
+}
+
+/// Drops least-recently-used initialized entries until the store fits
+/// in `budget`, never touching `keep` (the entry the caller is about
+/// to hand out). Uninitialized slots (recordings in flight) are free
+/// and never dropped. Holders of an evicted `Arc<TapeEntry>` keep it
+/// alive; the store just forgets it, so the next request re-records.
+fn enforce_budget(budget: u64, keep: Option<Key>) {
+    let mut st = tape_store().lock().expect("tape cache poisoned");
+    loop {
+        let mut total = 0u64;
+        let mut victim: Option<(u64, Key)> = None;
+        for (k, ts) in &st.map {
+            let Some(e) = ts.slot.get() else { continue };
+            total += entry_cost(e);
+            if keep != Some(*k) && victim.is_none_or(|(lu, _)| ts.last_use < lu) {
+                victim = Some((ts.last_use, *k));
+            }
+        }
+        if total <= budget {
+            return;
+        }
+        let Some((_, k)) = victim else { return };
+        st.map.remove(&k);
+    }
+}
+
 fn entry(w: &Workload, mode: Mode, folding: bool) -> Arc<TapeEntry> {
-    static TAPES: Memo<Key, Arc<TapeEntry>> = OnceLock::new();
     let key = Key {
         name: w.spec.name,
         size: w.size,
         mode,
         folding,
     };
-    slot_of(&TAPES, key)
-        .get_or_init(|| record(w, mode, folding))
-        .clone()
+    let slot = {
+        let mut st = tape_store().lock().expect("tape cache poisoned");
+        st.tick += 1;
+        let tick = st.tick;
+        let ts = st.map.entry(key).or_insert_with(|| TapeSlot {
+            slot: Slot::default(),
+            last_use: 0,
+        });
+        ts.last_use = tick;
+        ts.slot.clone()
+    };
+    // The record happens outside the store lock (other keys proceed
+    // in parallel); the budget check runs after, so a giant fresh
+    // tape can push out colder ones but is itself protected.
+    let e = slot.get_or_init(|| record(w, mode, folding)).clone();
+    enforce_budget(budget_bytes(), Some(key));
+    e
 }
 
 /// Returns the cached recording of `w` under `mode`, recording it on
@@ -171,14 +259,64 @@ mod tests {
         workload(&spec, Size::Tiny)
     }
 
+    /// Serializes the tests that depend on the tape store's contents
+    /// (sharing asserts an entry stays; eviction drops them all).
+    fn store_lock() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: Mutex<()> = Mutex::new(());
+        GATE.lock().expect("test gate poisoned")
+    }
+
     #[test]
     fn recorded_entry_is_shared() {
+        let _g = store_lock();
         let w = hello_workload();
         let a = recorded(&w, Mode::Interp);
         let b = recorded(&w, Mode::Interp);
         assert!(Arc::ptr_eq(&a, &b), "same key must share one entry");
         assert_eq!(a.counts.total(), a.tape.len());
         assert_eq!(a.result.exit_value, Some(hello::expected(Size::Tiny)));
+    }
+
+    #[test]
+    fn eviction_then_rerecord_replays_identically() {
+        let _g = store_lock();
+        let w = hello_workload();
+        let a = recorded(&w, Mode::Interp);
+        let mut before = RecordingSink::new();
+        a.tape.replay(&mut before);
+
+        // A zero budget evicts every initialized entry.
+        enforce_budget(0, None);
+        let b = recorded(&w, Mode::Interp);
+        assert!(
+            !Arc::ptr_eq(&a, &b),
+            "entry must have been dropped and re-recorded"
+        );
+
+        let mut after = RecordingSink::new();
+        b.tape.replay(&mut after);
+        assert_eq!(
+            before.events, after.events,
+            "re-recording after eviction must reproduce the stream byte-for-byte"
+        );
+        assert_eq!(a.result.exit_value, b.result.exit_value);
+    }
+
+    #[test]
+    fn budget_keeps_the_entry_just_requested() {
+        let _g = store_lock();
+        let w = hello_workload();
+        let key = Key {
+            name: w.spec.name,
+            size: w.size,
+            mode: Mode::Interp,
+            folding: false,
+        };
+        let _e = recorded(&w, Mode::Interp);
+        // Even an impossible budget spares the protected key.
+        enforce_budget(0, Some(key));
+        let st = tape_store().lock().expect("tape cache poisoned");
+        assert!(st.map.contains_key(&key));
     }
 
     #[test]

@@ -1,0 +1,56 @@
+//! Result equivalence under code-cache eviction: a pathologically
+//! small bounded cache (constant eviction, interpretation fallback,
+//! re-translation) must not change what the program *computes*. Every
+//! workload at tiny is run under each eviction policy and compared
+//! against the interpreter-only run on the full semantic tail — exit
+//! value, captured console output, and bytecodes executed (both
+//! engines share one semantic core, so the bytecode stream is the
+//! semantic trace).
+
+use jrt_experiments::codecache::PATHOLOGICAL_CAPACITY;
+use jrt_trace::NullSink;
+use jrt_vm::{CodeCacheConfig, EvictionPolicy, Vm, VmConfig};
+use jrt_workloads::{suite_with_hello, Size};
+
+#[test]
+fn pathological_cache_matches_interp_on_every_workload() {
+    for spec in suite_with_hello() {
+        let program = (spec.build)(Size::Tiny);
+        let interp = Vm::new(&program, VmConfig::interpreter())
+            .run(&mut NullSink)
+            .expect("interp run clean");
+
+        for policy in [
+            EvictionPolicy::Lru,
+            EvictionPolicy::SizeWeightedLru,
+            EvictionPolicy::HotnessDecay,
+        ] {
+            let cfg = VmConfig::jit()
+                .with_code_cache(CodeCacheConfig::bounded(PATHOLOGICAL_CAPACITY, policy));
+            let bounded = Vm::new(&program, cfg)
+                .run(&mut NullSink)
+                .expect("bounded-jit run clean");
+
+            assert_eq!(
+                bounded.exit_value, interp.exit_value,
+                "{}/{policy:?}: exit value drifted under eviction",
+                spec.name
+            );
+            assert_eq!(
+                bounded.output, interp.output,
+                "{}/{policy:?}: console output drifted under eviction",
+                spec.name
+            );
+            assert_eq!(
+                bounded.counters.bytecodes, interp.counters.bytecodes,
+                "{}/{policy:?}: semantic bytecode stream drifted under eviction",
+                spec.name
+            );
+            assert!(
+                bounded.counters.code_evictions > 0,
+                "{}/{policy:?}: the pathological capacity never evicted",
+                spec.name
+            );
+        }
+    }
+}

@@ -1,76 +1,12 @@
-//! VM configuration: execution mode, JIT policy, sync engine choice.
+//! VM configuration: execution mode, JIT policy, code-cache
+//! management, sync engine choice.
+//!
+//! The when-to-translate policy ([`JitPolicy`]) and the oracle
+//! ([`OracleDecisions`]) live in `jrt-codecache` next to the eviction
+//! and tiering machinery they drive; they are re-exported here so VM
+//! users keep a single configuration surface.
 
-use crate::profile::ProfileTable;
-use jrt_bytecode::MethodId;
-use std::collections::HashMap;
-
-/// When (or whether) to translate a method to native code — the
-/// question of Section 3 of the paper.
-#[derive(Debug, Clone, Default)]
-pub enum JitPolicy {
-    /// Translate every method on its first invocation (the Kaffe /
-    /// JDK 1.2 default the paper calls the "naive heuristic").
-    #[default]
-    FirstInvocation,
-    /// Interpret a method until its invocation count reaches the
-    /// threshold, then translate (a HotSpot-style counter heuristic;
-    /// included as an ablation of the design space the paper opens).
-    Threshold(u32),
-    /// The paper's *opt* oracle: per-method decisions computed offline
-    /// from a profile — translate method `i` on first invocation iff
-    /// `n_i > N_i = T_i / (I_i − E_i)`, otherwise always interpret.
-    Oracle(OracleDecisions),
-}
-
-/// Per-method translate/interpret decisions for [`JitPolicy::Oracle`].
-#[derive(Debug, Clone, Default)]
-pub struct OracleDecisions {
-    decisions: HashMap<MethodId, bool>,
-}
-
-impl OracleDecisions {
-    /// Computes the oracle from interpreter and JIT profiles of the
-    /// same program (the paper's `opt` bar in Figure 1).
-    ///
-    /// For each method: `I_i` = mean interpret cycles per invocation,
-    /// `E_i` = mean translated-code cycles per invocation, `T_i` =
-    /// translation cycles, `n_i` = invocation count. Translate iff
-    /// `I_i > E_i` and `n_i > T_i / (I_i − E_i)`.
-    pub fn from_profiles(interp: &ProfileTable, jit: &ProfileTable) -> Self {
-        let mut decisions = HashMap::new();
-        for (mid, ip) in interp.iter() {
-            let Some(jp) = jit.get(mid) else { continue };
-            let n = ip.invocations.max(1) as f64;
-            let i_per = ip.interp_cycles as f64 / n;
-            let e_per = jp.native_cycles as f64 / jp.invocations.max(1) as f64;
-            let t = jp.translate_cycles as f64;
-            let translate = i_per > e_per && n > t / (i_per - e_per);
-            decisions.insert(mid, translate);
-        }
-        OracleDecisions { decisions }
-    }
-
-    /// Forces a decision for one method (tests, what-if studies).
-    pub fn set(&mut self, method: MethodId, translate: bool) {
-        self.decisions.insert(method, translate);
-    }
-
-    /// Whether to translate `method`; methods absent from the profile
-    /// default to interpretation.
-    pub fn should_translate(&self, method: MethodId) -> bool {
-        self.decisions.get(&method).copied().unwrap_or(false)
-    }
-
-    /// Number of methods decided.
-    pub fn len(&self) -> usize {
-        self.decisions.len()
-    }
-
-    /// Whether no decisions are recorded.
-    pub fn is_empty(&self) -> bool {
-        self.decisions.is_empty()
-    }
-}
+pub use jrt_codecache::{CacheScope, CodeCacheConfig, EvictionPolicy, JitPolicy, OracleDecisions};
 
 /// How the VM executes bytecode.
 #[derive(Debug, Clone)]
@@ -89,13 +25,15 @@ impl Default for ExecMode {
 }
 
 impl ExecMode {
-    /// Short label for tables ("interp" / "jit" / "opt" / "thresh").
+    /// Short label for tables ("interp" / "jit" / "opt" / "thresh" /
+    /// "tiered").
     pub fn label(&self) -> &'static str {
         match self {
             ExecMode::Interp => "interp",
             ExecMode::Jit(JitPolicy::FirstInvocation) => "jit",
             ExecMode::Jit(JitPolicy::Threshold(_)) => "thresh",
             ExecMode::Jit(JitPolicy::Oracle(_)) => "opt",
+            ExecMode::Jit(JitPolicy::Tiered { .. }) => "tiered",
         }
     }
 }
@@ -124,6 +62,10 @@ pub struct VmConfig {
     pub mode: ExecMode,
     /// Monitor implementation.
     pub sync: SyncKind,
+    /// Code-cache management: capacity, eviction policy, sharing
+    /// scope. The default (unbounded, per-VM) reproduces the paper's
+    /// append-only code cache.
+    pub code_cache: CodeCacheConfig,
     /// Heap budget in bytes before a GC is triggered.
     pub gc_threshold: u64,
     /// Scheduler quantum in bytecodes.
@@ -146,6 +88,7 @@ impl Default for VmConfig {
         VmConfig {
             mode: ExecMode::default(),
             sync: SyncKind::default(),
+            code_cache: CodeCacheConfig::default(),
             gc_threshold: 24 << 20,
             quantum: 200,
             profiling: true,
@@ -191,58 +134,17 @@ impl VmConfig {
         self.folding = true;
         self
     }
+
+    /// Sets the code-cache management configuration (builder style).
+    pub fn with_code_cache(mut self, code_cache: CodeCacheConfig) -> Self {
+        self.code_cache = code_cache;
+        self
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use jrt_bytecode::{ClassId, MethodId};
-
-    fn mid(i: u32) -> MethodId {
-        MethodId {
-            class: ClassId(0),
-            index: i,
-        }
-    }
-
-    #[test]
-    fn oracle_translates_hot_methods() {
-        let mut interp = ProfileTable::default();
-        let mut jit = ProfileTable::default();
-        // Hot method: 1000 invocations, interp 100 cyc/inv, exec 20,
-        // translate 500 -> N = 500/80 = 6.25 < 1000 -> translate.
-        interp.record_invocation(mid(0));
-        jit.record_invocation(mid(0));
-        {
-            let p = interp.get_mut(mid(0));
-            p.invocations = 1000;
-            p.interp_cycles = 100_000;
-        }
-        {
-            let p = jit.get_mut(mid(0));
-            p.invocations = 1000;
-            p.native_cycles = 20_000;
-            p.translate_cycles = 500;
-        }
-        // Cold method: 1 invocation, translate cost dominates.
-        interp.record_invocation(mid(1));
-        jit.record_invocation(mid(1));
-        {
-            let p = interp.get_mut(mid(1));
-            p.invocations = 1;
-            p.interp_cycles = 100;
-        }
-        {
-            let p = jit.get_mut(mid(1));
-            p.invocations = 1;
-            p.native_cycles = 20;
-            p.translate_cycles = 5000;
-        }
-        let d = OracleDecisions::from_profiles(&interp, &jit);
-        assert!(d.should_translate(mid(0)));
-        assert!(!d.should_translate(mid(1)));
-        assert_eq!(d.len(), 2);
-    }
 
     #[test]
     fn mode_labels() {
@@ -253,12 +155,18 @@ mod tests {
             "opt"
         );
         assert_eq!(ExecMode::Jit(JitPolicy::Threshold(5)).label(), "thresh");
+        assert_eq!(
+            ExecMode::Jit(JitPolicy::Tiered { t1: 4, t2: 64 }).label(),
+            "tiered"
+        );
     }
 
     #[test]
-    fn unknown_method_defaults_to_interpret() {
-        let d = OracleDecisions::default();
-        assert!(!d.should_translate(mid(9)));
-        assert!(d.is_empty());
+    fn default_code_cache_is_unbounded_per_vm() {
+        let cfg = VmConfig::default();
+        assert_eq!(cfg.code_cache, CodeCacheConfig::default());
+        assert_eq!(cfg.code_cache.capacity_bytes, u64::MAX);
+        assert_eq!(cfg.code_cache.eviction, EvictionPolicy::Unbounded);
+        assert_eq!(cfg.code_cache.scope, CacheScope::PerVm);
     }
 }

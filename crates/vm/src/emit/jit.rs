@@ -12,9 +12,6 @@ fn stack_reg(depth: usize) -> u8 {
     8 + (depth % 16) as u8
 }
 
-/// Locals 0..6 live in registers r1..r7 in translated code.
-const REG_LOCALS: usize = 6;
-
 fn local_reg(n: usize) -> u8 {
     1 + n as u8
 }
@@ -27,18 +24,28 @@ pub(crate) struct JitEmitter<'a> {
     addr_of: &'a dyn Fn(u32) -> Addr,
     cur_pc: Addr,
     depth: usize,
+    /// Leading locals the translation tier keeps in registers; the
+    /// rest spill to the frame.
+    reg_locals: usize,
     count: u64,
 }
 
 impl<'a> JitEmitter<'a> {
     /// Creates an emitter positioned at the installed code for the
     /// bytecode at `pc`, with the operand stack currently `depth`
-    /// slots deep.
-    pub(crate) fn new(addr_of: &'a dyn Fn(u32) -> Addr, pc: u32, depth: usize) -> Self {
+    /// slots deep and the method's first `reg_locals` locals held in
+    /// registers.
+    pub(crate) fn new(
+        addr_of: &'a dyn Fn(u32) -> Addr,
+        pc: u32,
+        depth: usize,
+        reg_locals: usize,
+    ) -> Self {
         JitEmitter {
             addr_of,
             cur_pc: addr_of(pc),
             depth,
+            reg_locals,
             count: 0,
         }
     }
@@ -79,7 +86,7 @@ impl Emit for JitEmitter<'_> {
     fn local_read(&mut self, sink: &mut dyn TraceSink, n: usize, addr: Addr) {
         let pc = self.step_pc();
         let dst = stack_reg(self.depth);
-        if n < REG_LOCALS {
+        if n < self.reg_locals {
             // Register-to-register move.
             self.emit(
                 sink,
@@ -98,7 +105,7 @@ impl Emit for JitEmitter<'_> {
     fn local_write(&mut self, sink: &mut dyn TraceSink, n: usize, addr: Addr) {
         let pc = self.step_pc();
         let src = stack_reg(self.depth.saturating_sub(1));
-        if n < REG_LOCALS {
+        if n < self.reg_locals {
             self.emit(
                 sink,
                 NativeInst::alu(pc, Phase::NativeExec)
@@ -270,7 +277,7 @@ impl Emit for JitEmitter<'_> {
         let pc = self.step_pc();
         self.emit(sink, NativeInst::alu(pc, Phase::Runtime));
         // Only spilled locals (beyond the register file) hit memory.
-        for n in REG_LOCALS..nlocals.min(REG_LOCALS + 8) {
+        for n in self.reg_locals..nlocals.min(self.reg_locals + 8) {
             let pc = self.step_pc();
             self.emit(
                 sink,
@@ -301,7 +308,7 @@ mod tests {
     fn stack_ops_emit_no_memory_traffic() {
         let mut mix = InstMix::new();
         let f = addr_of;
-        let mut e = JitEmitter::new(&f, 0, 0);
+        let mut e = JitEmitter::new(&f, 0, 0, 6);
         e.begin(&mut mix);
         e.stack_push(&mut mix, 0);
         e.stack_push(&mut mix, 0);
@@ -316,7 +323,7 @@ mod tests {
     fn code_addresses_live_in_code_cache() {
         let mut r = RecordingSink::new();
         let f = addr_of;
-        let mut e = JitEmitter::new(&f, 12, 0);
+        let mut e = JitEmitter::new(&f, 12, 0, 6);
         e.alu(&mut r, InstClass::IntAlu);
         assert_eq!(
             jrt_trace::Region::classify(r.events[0].pc),
@@ -329,7 +336,7 @@ mod tests {
     fn leading_locals_are_registers_others_spill() {
         let mut r = RecordingSink::new();
         let f = addr_of;
-        let mut e = JitEmitter::new(&f, 0, 0);
+        let mut e = JitEmitter::new(&f, 0, 0, 6);
         e.local_read(&mut r, 0, layout::STACK_BASE);
         e.local_read(&mut r, 10, layout::STACK_BASE + 40);
         assert_eq!(r.events[0].class, InstClass::IntAlu);
@@ -340,7 +347,7 @@ mod tests {
     fn branches_target_translated_addresses() {
         let mut r = RecordingSink::new();
         let f = addr_of;
-        let mut e = JitEmitter::new(&f, 0, 1);
+        let mut e = JitEmitter::new(&f, 0, 1, 6);
         e.cond_branch(&mut r, true, 40);
         assert_eq!(r.events[0].ctrl.unwrap().target, addr_of(40));
         assert!(r.events[0].ctrl.unwrap().taken);
@@ -350,13 +357,13 @@ mod tests {
     fn mono_calls_are_direct_poly_calls_indirect() {
         let f = addr_of;
         let mut r = RecordingSink::new();
-        let mut e = JitEmitter::new(&f, 0, 0);
+        let mut e = JitEmitter::new(&f, 0, 0, 6);
         e.invoke(&mut r, InvokeKind::VirtualMono, 0x0200_9000);
         assert!(r.events.iter().any(|i| i.class == InstClass::Call));
         assert!(!r.events.iter().any(|i| i.class == InstClass::IndirectCall));
 
         let mut r2 = RecordingSink::new();
-        let mut e2 = JitEmitter::new(&f, 0, 0);
+        let mut e2 = JitEmitter::new(&f, 0, 0, 6);
         e2.invoke(&mut r2, InvokeKind::VirtualPoly, 0x0200_9000);
         assert!(r2.events.iter().any(|i| i.class == InstClass::IndirectCall));
     }
@@ -365,7 +372,7 @@ mod tests {
     fn call_ret_addresses_pair() {
         let f = addr_of;
         let mut r = RecordingSink::new();
-        let mut e = JitEmitter::new(&f, 0, 0);
+        let mut e = JitEmitter::new(&f, 0, 0, 6);
         let ret_to = e.invoke(&mut r, InvokeKind::Direct, 0x0200_9000);
         e.ret(&mut r, ret_to);
         let ret = r.events.iter().find(|i| i.class == InstClass::Ret).unwrap();
@@ -376,7 +383,7 @@ mod tests {
     fn switch_keeps_an_indirect_jump() {
         let f = addr_of;
         let mut r = RecordingSink::new();
-        let mut e = JitEmitter::new(&f, 0, 1);
+        let mut e = JitEmitter::new(&f, 0, 1, 6);
         e.switch(&mut r, 16, 5);
         assert!(r.events.iter().any(|i| i.class == InstClass::IndirectJump));
     }

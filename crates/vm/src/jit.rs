@@ -1,4 +1,5 @@
-//! The JIT translator, code cache, and call-site devirtualization.
+//! The JIT translator, managed code cache, and call-site
+//! devirtualization.
 //!
 //! Translation happens in the critical path of execution, exactly as
 //! the paper describes for Kaffe: the first invocation of a method
@@ -13,12 +14,19 @@
 //!   (cold **write misses** — the dominant data-cache cost of
 //!   translation the paper isolates in Figure 5).
 //!
-//! The installed [`CompiledMethod`] then maps bytecode offsets to
-//! native addresses, so execution of the translated code exhibits
-//! per-method instruction footprints (method locality instead of the
-//! interpreter's bytecode locality).
+//! Installed code lives in a [`CodeCacheManager`]: a bounded arena
+//! with pluggable eviction and a sharing scope. Evicting an installed
+//! method drops its [`CompiledMethod`] record, so the next execution
+//! falls back to interpretation (and possibly re-translation — whose
+//! cost re-enters the Translate phase of the trace). The optimizing
+//! tier re-translates hot methods into denser code (fewer generated
+//! instructions, more register-allocated locals) at a higher
+//! translation cost.
 
+use crate::config::ExecMode;
 use jrt_bytecode::{MethodDef, MethodId, Op};
+use jrt_codecache::{tier, CacheScope, CodeCacheConfig, CodeCacheManager, CodeCacheStats};
+use jrt_codecache::{ProfileTable, TIER_OPT};
 use jrt_trace::{layout, Addr, NativeInst, Phase, TraceSink};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -47,6 +55,30 @@ impl CallSite {
     }
 }
 
+/// A call site's view of its callee — everything [`JitState::ensure_compiled`]
+/// needs to key, tier, translate, and install the method.
+#[derive(Debug, Clone, Copy)]
+pub struct CalleeSite<'a> {
+    /// The method being invoked.
+    pub callee: MethodId,
+    /// The invoking thread (the cache key under `CacheScope::PerThread`).
+    pub tid: u16,
+    /// The callee's bytecode definition.
+    pub def: &'a MethodDef,
+    /// Where the bytecode image lives in the class area.
+    pub code_addr: Addr,
+}
+
+/// Locals kept in registers by the baseline translation tier.
+pub(crate) const TIER1_REG_LOCALS: usize = 6;
+/// Locals kept in registers by the optimizing tier.
+const TIER2_REG_LOCALS: usize = 12;
+/// Decode/bookkeeping instructions per bytecode, baseline tier.
+const TIER1_BOOKKEEPING: u8 = 10;
+/// Decode/bookkeeping instructions per bytecode, optimizing tier
+/// (extra analysis: liveness, better register assignment).
+const TIER2_BOOKKEEPING: u8 = 16;
+
 /// A translated method installed in the code cache.
 #[derive(Debug, Clone)]
 pub(crate) struct CompiledMethod {
@@ -55,6 +87,10 @@ pub(crate) struct CompiledMethod {
     /// Installed native code size in bytes.
     #[cfg_attr(not(test), allow(dead_code))]
     pub code_bytes: u32,
+    /// Translation tier this code was generated at.
+    pub tier: u8,
+    /// Locals the generated code keeps in registers.
+    pub reg_locals: usize,
     /// Bytecode offset → installed native address.
     op_addr: HashMap<u32, Addr>,
     /// Pre-decoded instructions: offset → (op, encoded length).
@@ -110,53 +146,127 @@ fn gen_insts(op: &Op) -> u32 {
     }
 }
 
+/// Generated-instruction count at a given tier: the optimizing tier
+/// emits denser code (about two thirds of the baseline sequence).
+fn gen_insts_at(op: &Op, tier: u8) -> u32 {
+    let n = gen_insts(op);
+    if tier >= TIER_OPT {
+        (n * 2 / 3).max(1)
+    } else {
+        n
+    }
+}
+
 const TRANSLATOR_STRIDE: Addr = 0x200;
 const STUB_REGION_END: Addr = layout::CODE_CACHE_BASE + 0x1_0000;
 const CODE_REGION_BASE: Addr = layout::CODE_CACHE_BASE + 0x10_0000;
+/// Translator-text address of the code-cache manager's eviction
+/// routine (past the per-opcode codegen routines).
+const EVICTOR_ROUTINE: Addr = layout::TRANSLATOR_TEXT_BASE + 0x2_0000;
 
-/// Translator state: the code cache and per-method compilation
-/// records.
-#[derive(Debug, Default)]
+/// Translator state: the managed code cache and per-method
+/// compilation records.
+#[derive(Debug)]
 pub(crate) struct JitState {
-    compiled: HashMap<MethodId, Arc<CompiledMethod>>,
+    mgr: CodeCacheManager,
+    scope: CacheScope,
+    /// Compiled records keyed by the manager's cache key (scope
+    /// dependent; see [`JitState::key_for`]).
+    compiled: HashMap<u64, Arc<CompiledMethod>>,
+    /// Content interning for the shared scope: bytecode bytes → id.
+    content_ids: HashMap<Vec<u8>, u64>,
+    /// Cached method → content id (shared scope only).
+    content_of: HashMap<MethodId, u64>,
     /// Per-call-site devirtualization state, keyed by
     /// (caller, bytecode offset).
     call_sites: HashMap<(MethodId, u32), CallSite>,
-    cursor: Addr,
-    /// Bytes of native code installed (Table 1 footprint).
-    pub code_cache_bytes: u64,
     /// Translator work-buffer high-water mark (footprint).
     pub translator_buffer_bytes: u64,
-    /// Methods translated.
+    /// Methods translated (counting re-translations and upgrades).
     pub methods_translated: u32,
     /// Total translator instructions emitted (sum of `T_i`).
     pub translate_insts: u64,
+    /// Re-translations at the optimizing tier.
+    pub tier2_recompiles: u32,
 }
 
 impl JitState {
-    /// Creates an empty code cache.
-    pub fn new() -> Self {
+    /// Creates a code cache under `config`, allocating out of the
+    /// simulated `Region::CodeCache` range above the stub region.
+    pub fn new(config: CodeCacheConfig) -> Self {
         JitState {
-            cursor: CODE_REGION_BASE,
-            ..JitState::default()
+            scope: config.scope,
+            mgr: CodeCacheManager::new(config, CODE_REGION_BASE, layout::CODE_CACHE_END + 1),
+            compiled: HashMap::new(),
+            content_ids: HashMap::new(),
+            content_of: HashMap::new(),
+            call_sites: HashMap::new(),
+            translator_buffer_bytes: 0,
+            methods_translated: 0,
+            translate_insts: 0,
+            tier2_recompiles: 0,
         }
     }
 
-    /// Whether `mid` has been translated.
-    pub fn is_compiled(&self, mid: MethodId) -> bool {
-        self.compiled.contains_key(&mid)
+    /// Cache key for `(mid, tid)` under the configured scope. Shared
+    /// scope interns the method's bytecode bytes so byte-identical
+    /// bodies collapse to one key (ShareJIT install-once dedup).
+    fn key_for(&mut self, mid: MethodId, tid: u16, def: &MethodDef) -> u64 {
+        match self.scope {
+            CacheScope::PerVm => (u64::from(mid.class.0) << 24) | u64::from(mid.index),
+            CacheScope::PerThread => {
+                (1 << 63)
+                    | (u64::from(tid) << 46)
+                    | (u64::from(mid.class.0) << 24)
+                    | u64::from(mid.index)
+            }
+            CacheScope::Shared => {
+                if let Some(&id) = self.content_of.get(&mid) {
+                    return (1 << 62) | id;
+                }
+                let next = self.content_ids.len() as u64;
+                let id = *self.content_ids.entry(def.code.clone()).or_insert(next);
+                self.content_of.insert(mid, id);
+                (1 << 62) | id
+            }
+        }
     }
 
-    /// The compiled record for `mid`.
+    /// Read-only key lookup: `None` if the shared-scope content id
+    /// has not been interned yet (the method was never considered for
+    /// translation).
+    fn key_lookup(&self, mid: MethodId, tid: u16) -> Option<u64> {
+        match self.scope {
+            CacheScope::PerVm => Some((u64::from(mid.class.0) << 24) | u64::from(mid.index)),
+            CacheScope::PerThread => Some(
+                (1 << 63)
+                    | (u64::from(tid) << 46)
+                    | (u64::from(mid.class.0) << 24)
+                    | u64::from(mid.index),
+            ),
+            CacheScope::Shared => self.content_of.get(&mid).map(|&id| (1 << 62) | id),
+        }
+    }
+
+    /// Whether `(mid, tid)` currently resolves to installed code.
     #[cfg_attr(not(test), allow(dead_code))]
-    pub fn compiled(&self, mid: MethodId) -> Option<&Arc<CompiledMethod>> {
-        self.compiled.get(&mid)
+    pub fn is_compiled(&self, mid: MethodId, tid: u16) -> bool {
+        self.key_lookup(mid, tid)
+            .is_some_and(|k| self.compiled.contains_key(&k))
     }
 
-    /// Cheap shared handle to the compiled record (lets the caller
-    /// keep the record while mutating the rest of the JIT state).
-    pub fn compiled_shared(&self, mid: MethodId) -> Option<Arc<CompiledMethod>> {
-        self.compiled.get(&mid).cloned()
+    /// The compiled record for `(mid, tid)`.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn compiled(&self, mid: MethodId, tid: u16) -> Option<&Arc<CompiledMethod>> {
+        self.compiled.get(&self.key_lookup(mid, tid)?)
+    }
+
+    /// Cheap shared handle to the compiled record for a frame (lets
+    /// the caller keep the record while mutating the rest of the JIT
+    /// state). `None` after eviction — the frame must demote to
+    /// interpretation.
+    pub fn compiled_for_frame(&self, mid: MethodId, tid: u16) -> Option<Arc<CompiledMethod>> {
+        self.compiled.get(&self.key_lookup(mid, tid)?).cloned()
     }
 
     /// Records an observed receiver at a virtual call site and
@@ -167,44 +277,164 @@ impl JitState {
         *slot
     }
 
-    /// Native entry address used by calls to `mid`: the installed
-    /// entry when translated, a (deterministic) stub otherwise.
-    pub fn entry_addr(&self, mid: MethodId) -> Addr {
-        if let Some(cm) = self.compiled.get(&mid) {
+    /// Native entry address used by calls to `mid` from thread `tid`:
+    /// the installed entry when translated, a (deterministic) stub
+    /// otherwise.
+    pub fn entry_addr(&self, mid: MethodId, tid: u16) -> Addr {
+        if let Some(cm) = self
+            .key_lookup(mid, tid)
+            .and_then(|k| self.compiled.get(&k))
+        {
             return cm.entry;
         }
         let key = (u64::from(mid.class.0) << 20) ^ u64::from(mid.index);
         layout::CODE_CACHE_BASE + (key * 16) % (STUB_REGION_END - layout::CODE_CACHE_BASE)
     }
 
-    /// Translates `def` (whose bytecode image lives at `code_addr`),
-    /// emitting the translation trace and installing the result.
-    /// Returns the number of translator instructions emitted (`T_i`
-    /// in the paper's cost model).
-    ///
-    /// # Panics
-    ///
-    /// Panics if called twice for the same method or on a native
-    /// method (VM sequencing bugs).
-    pub fn translate(
+    /// Live (post-eviction) code-cache bytes — the Table 1 footprint.
+    pub fn live_bytes(&self) -> u64 {
+        self.mgr.live_bytes()
+    }
+
+    /// Cumulative code bytes ever installed (the historical
+    /// append-only figure).
+    pub fn ever_bytes(&self) -> u64 {
+        self.mgr.ever_bytes()
+    }
+
+    /// The manager's lifetime counters.
+    pub fn cache_stats(&self) -> CodeCacheStats {
+        self.mgr.stats()
+    }
+
+    /// The single policy decision point shared by invokes and thread
+    /// starts: decides the tier for the callee described by `site`,
+    /// translates or upgrades if needed (charging `T_i` to the
+    /// profile), and returns whether the callee should run translated
+    /// code.
+    pub fn ensure_compiled(
         &mut self,
-        mid: MethodId,
+        mode: &ExecMode,
+        profile: &mut ProfileTable,
+        site: CalleeSite<'_>,
+        sink: &mut dyn TraceSink,
+    ) -> bool {
+        let CalleeSite {
+            callee,
+            tid,
+            def,
+            code_addr,
+        } = site;
+        let ExecMode::Jit(policy) = mode else {
+            return false;
+        };
+        let key = self.key_for(callee, tid, def);
+        let compiled_tier = self.compiled.get(&key).map(|cm| cm.tier);
+        let Some(want) = tier::decide(policy, callee, profile.get(callee), compiled_tier) else {
+            return false;
+        };
+        match compiled_tier {
+            Some(have) if have >= want => {
+                self.mgr.touch(key);
+                true
+            }
+            have => {
+                if have.is_some() {
+                    // Tier upgrade: release the old install, then
+                    // re-translate at the hotter tier.
+                    self.mgr.remove(key);
+                    self.compiled.remove(&key);
+                    self.tier2_recompiles += 1;
+                }
+                match self.translate_keyed(key, def, code_addr, want, sink) {
+                    Some(t) => {
+                        profile.get_mut(callee).translate_cycles += t;
+                        true
+                    }
+                    // Install failure (method bigger than the cache):
+                    // pinned to interpretation.
+                    None => false,
+                }
+            }
+        }
+    }
+
+    /// Translates `def` (whose bytecode image lives at `code_addr`)
+    /// at `tier`, emitting the translation trace (including eviction
+    /// bookkeeping for any victims) and installing the result under
+    /// `key`. Returns the number of translator instructions emitted
+    /// (`T_i` in the paper's cost model), or `None` if the method
+    /// cannot fit in the cache.
+    fn translate_keyed(
+        &mut self,
+        key: u64,
         def: &MethodDef,
         code_addr: Addr,
+        tier: u8,
         sink: &mut dyn TraceSink,
-    ) -> u64 {
-        assert!(!self.is_compiled(mid), "method translated twice");
+    ) -> Option<u64> {
+        assert!(!self.compiled.contains_key(&key), "method translated twice");
         assert!(!def.flags.is_native, "native methods are not translated");
+        let bookkeeping = if tier >= TIER_OPT {
+            TIER2_BOOKKEEPING
+        } else {
+            TIER1_BOOKKEEPING
+        };
 
-        let mut emitted = 0u64;
-        let mut op_addr = HashMap::new();
-        let mut ops = HashMap::new();
-        let entry = self.cursor;
-        let mut install = self.cursor;
-
+        // Pre-pass: decode and size the generated code, so the
+        // manager can place (and make room for) the segment before
+        // the first store is emitted.
+        let mut decoded = Vec::new();
+        let mut total_gen = 0u64;
         let mut pc = 0usize;
         while pc < def.code.len() {
             let (op, len) = Op::decode(&def.code, pc).expect("verified code decodes");
+            total_gen += u64::from(gen_insts_at(&op, tier));
+            decoded.push((pc as u32, op, len as u32));
+            pc += len;
+        }
+        let code_bytes = 4 * total_gen;
+
+        let outcome = self.mgr.install(key, code_bytes);
+        let mut emitted = 0u64;
+        // Eviction bookkeeping: the manager walks its segment table
+        // (VM data) and unlinks each victim — runtime work that lands
+        // in the Translate phase, exactly where re-translation cost
+        // should show up.
+        for (victim, victim_entry) in &outcome.evicted {
+            self.compiled.remove(victim);
+            let tag = victim_entry & 0xFFFF;
+            let seq = [
+                NativeInst::alu(EVICTOR_ROUTINE, Phase::Translate).with_dst(20),
+                NativeInst::load(
+                    EVICTOR_ROUTINE + 4,
+                    layout::VM_DATA_BASE + 0x8000 + tag,
+                    4,
+                    Phase::Translate,
+                )
+                .with_dst(21),
+                NativeInst::alu(EVICTOR_ROUTINE + 8, Phase::Translate)
+                    .with_dst(22)
+                    .with_srcs(21, None),
+                NativeInst::store(
+                    EVICTOR_ROUTINE + 12,
+                    layout::VM_DATA_BASE + 0x8000 + tag,
+                    4,
+                    Phase::Translate,
+                )
+                .with_srcs(22, None),
+            ];
+            for i in seq {
+                sink.accept(&i);
+                emitted += 1;
+            }
+        }
+        let entry = outcome.entry?;
+        let mut install = entry;
+
+        let mut op_addr = HashMap::new();
+        let mut ops = HashMap::new();
+        for (pc, op, len) in decoded {
             let opcode = op.dispatch_index();
             // The per-opcode code-generation routine: high code reuse
             // across bytecodes of the same kind.
@@ -216,11 +446,11 @@ impl JitState {
             };
 
             // Read the bytecode (and operands) from the class area.
-            for k in 0..(len as u32).div_ceil(4) {
+            for k in 0..len.div_ceil(4) {
                 emit(
                     NativeInst::load(
                         tpc,
-                        code_addr + pc as u64 + u64::from(4 * k),
+                        code_addr + u64::from(pc) + u64::from(4 * k),
                         4,
                         Phase::Translate,
                     )
@@ -232,8 +462,9 @@ impl JitState {
             // Decode / stack-simulation / CFG bookkeeping. The cost
             // is calibrated so translating a bytecode costs slightly
             // more than one interpretation of it — which is what makes
-            // the paper's oracle (Figure 1) worth only 10-15%.
-            for k in 0..10u8 {
+            // the paper's oracle (Figure 1) worth only 10-15%. The
+            // optimizing tier does more analysis per bytecode.
+            for k in 0..bookkeeping {
                 // Mostly independent bookkeeping (separate fields of
                 // the translator's state), so the emission loop has
                 // instruction-level parallelism like real compilers.
@@ -270,8 +501,8 @@ impl JitState {
             // Generate and install the native instructions: the
             // stores into the code cache are the compulsory write
             // misses of Figure 5.
-            op_addr.insert(pc as u32, install);
-            let n = gen_insts(&op);
+            op_addr.insert(pc, install);
+            let n = gen_insts_at(&op, tier);
             for k in 0..n {
                 let reg = 24 + (k & 7) as u8;
                 emit(
@@ -289,13 +520,10 @@ impl JitState {
                 install += 4;
             }
 
-            ops.insert(pc as u32, (op, len as u32));
-            pc += len;
+            ops.insert(pc, (op, len));
         }
 
         let code_bytes = (install - entry) as u32;
-        self.cursor = (install + 63) & !63;
-        self.code_cache_bytes += u64::from(code_bytes);
         self.translator_buffer_bytes = self
             .translator_buffer_bytes
             .max(4 * u64::from(code_bytes) / 3 + 256);
@@ -303,15 +531,36 @@ impl JitState {
         self.translate_insts += emitted;
 
         self.compiled.insert(
-            mid,
+            key,
             Arc::new(CompiledMethod {
                 entry,
                 code_bytes,
+                tier,
+                reg_locals: if tier >= TIER_OPT {
+                    TIER2_REG_LOCALS
+                } else {
+                    TIER1_REG_LOCALS
+                },
                 op_addr,
                 ops,
             }),
         );
-        emitted
+        Some(emitted)
+    }
+
+    /// Translates `(mid, tid)` at the baseline tier (tests and the
+    /// historical direct entry point).
+    #[cfg(test)]
+    pub fn translate(
+        &mut self,
+        mid: MethodId,
+        def: &MethodDef,
+        code_addr: Addr,
+        sink: &mut dyn TraceSink,
+    ) -> u64 {
+        let key = self.key_for(mid, 0, def);
+        self.translate_keyed(key, def, code_addr, jrt_codecache::TIER_BASELINE, sink)
+            .expect("unbounded install succeeds")
     }
 }
 
@@ -319,6 +568,7 @@ impl JitState {
 mod tests {
     use super::*;
     use jrt_bytecode::{ClassAsm, ClassId, MethodAsm, Program, RetKind};
+    use jrt_codecache::{EvictionPolicy, TIER_BASELINE};
     use jrt_trace::{InstMix, RecordingSink, Region};
 
     fn sample() -> (Program, MethodId) {
@@ -339,16 +589,20 @@ mod tests {
         (p, mid)
     }
 
+    fn jit() -> JitState {
+        JitState::new(CodeCacheConfig::default())
+    }
+
     #[test]
     fn translation_emits_code_cache_writes() {
         let (p, mid) = sample();
         let def = p.method_def(mid);
-        let mut jit = JitState::new();
+        let mut jit = jit();
         let mut rec = RecordingSink::new();
         let t = jit.translate(mid, def, layout::CLASS_AREA_BASE + 64, &mut rec);
         assert!(t > 0);
         assert_eq!(t as usize, rec.len());
-        assert!(jit.is_compiled(mid));
+        assert!(jit.is_compiled(mid, 0));
         let writes: Vec<_> = rec
             .events
             .iter()
@@ -367,7 +621,7 @@ mod tests {
     fn translation_reads_bytecode_from_class_area() {
         let (p, mid) = sample();
         let def = p.method_def(mid);
-        let mut jit = JitState::new();
+        let mut jit = jit();
         let mut mix = InstMix::new();
         jit.translate(mid, def, layout::CLASS_AREA_BASE + 64, &mut mix);
         assert!(mix.count(jrt_trace::InstClass::Load) > 0);
@@ -378,28 +632,30 @@ mod tests {
     fn installed_addresses_are_ordered_and_disjoint() {
         let (p, mid) = sample();
         let def = p.method_def(mid);
-        let mut jit = JitState::new();
+        let mut jit = jit();
         let mut sink = jrt_trace::CountingSink::new();
         jit.translate(mid, def, layout::CLASS_AREA_BASE + 64, &mut sink);
-        let cm = jit.compiled(mid).unwrap();
+        let cm = jit.compiled(mid, 0).unwrap();
         let mut addrs: Vec<Addr> = cm.ops.keys().map(|&pc| cm.addr(pc)).collect();
         addrs.sort_unstable();
         addrs.dedup();
         assert_eq!(addrs.len(), cm.ops.len(), "each bytecode gets its own code");
         assert!(cm.code_bytes > 0);
         assert_eq!(cm.entry, cm.addr(0));
+        assert_eq!(cm.tier, TIER_BASELINE);
+        assert_eq!(cm.reg_locals, TIER1_REG_LOCALS);
     }
 
     #[test]
     fn entry_addr_is_stub_until_translated() {
         let (p, mid) = sample();
         let def = p.method_def(mid);
-        let mut jit = JitState::new();
-        let stub = jit.entry_addr(mid);
+        let mut jit = jit();
+        let stub = jit.entry_addr(mid, 0);
         assert!(stub < STUB_REGION_END);
         let mut sink = jrt_trace::CountingSink::new();
         jit.translate(mid, def, layout::CLASS_AREA_BASE + 64, &mut sink);
-        let real = jit.entry_addr(mid);
+        let real = jit.entry_addr(mid, 0);
         assert!(real >= CODE_REGION_BASE);
         assert_ne!(stub, real);
     }
@@ -408,18 +664,19 @@ mod tests {
     fn second_method_installs_after_first() {
         let (p, mid) = sample();
         let def = p.method_def(mid);
-        let mut jit = JitState::new();
+        let mut jit = jit();
         let mut sink = jrt_trace::CountingSink::new();
         jit.translate(mid, def, layout::CLASS_AREA_BASE + 64, &mut sink);
-        let first_end = jit.cursor;
+        let first_entry = jit.entry_addr(mid, 0);
         let other = MethodId {
             class: ClassId(0),
             index: 99,
         };
         jit.translate(other, def, layout::CLASS_AREA_BASE + 964, &mut sink);
-        assert!(jit.entry_addr(other) >= first_end);
+        assert!(jit.entry_addr(other, 0) > first_entry);
         assert_eq!(jit.methods_translated, 2);
-        assert!(jit.code_cache_bytes > 0);
+        assert!(jit.live_bytes() > 0);
+        assert_eq!(jit.live_bytes(), jit.ever_bytes());
     }
 
     #[test]
@@ -447,9 +704,136 @@ mod tests {
     fn double_translation_panics() {
         let (p, mid) = sample();
         let def = p.method_def(mid);
-        let mut jit = JitState::new();
+        let mut jit = jit();
         let mut sink = jrt_trace::CountingSink::new();
         jit.translate(mid, def, layout::CLASS_AREA_BASE, &mut sink);
         jit.translate(mid, def, layout::CLASS_AREA_BASE, &mut sink);
+    }
+
+    #[test]
+    fn eviction_drops_compiled_record_and_emits_translate_events() {
+        let (p, mid) = sample();
+        let def = p.method_def(mid);
+        // Capacity fits exactly one copy of the sample method.
+        let one = {
+            let mut probe = jit();
+            let mut sink = jrt_trace::CountingSink::new();
+            probe.translate(mid, def, layout::CLASS_AREA_BASE, &mut sink);
+            probe.live_bytes()
+        };
+        let mut jit = JitState::new(CodeCacheConfig::bounded(one, EvictionPolicy::Lru));
+        let mut sink = jrt_trace::CountingSink::new();
+        jit.translate(mid, def, layout::CLASS_AREA_BASE, &mut sink);
+        let other = MethodId {
+            class: ClassId(0),
+            index: 99,
+        };
+        let mut rec = RecordingSink::new();
+        jit.translate(other, def, layout::CLASS_AREA_BASE + 964, &mut rec);
+        assert!(!jit.is_compiled(mid, 0), "first method evicted");
+        assert!(jit.is_compiled(other, 0));
+        assert_eq!(jit.cache_stats().evictions, 1);
+        assert!(rec.events.iter().all(|i| i.phase == Phase::Translate));
+        assert!(rec.events.iter().any(|i| i.pc >= EVICTOR_ROUTINE));
+    }
+
+    #[test]
+    fn shared_scope_dedups_identical_bodies() {
+        let (p, mid) = sample();
+        let def = p.method_def(mid);
+        let cfg = CodeCacheConfig::default().with_scope(CacheScope::Shared);
+        let mut jit = JitState::new(cfg);
+        let mut sink = jrt_trace::CountingSink::new();
+        jit.translate(mid, def, layout::CLASS_AREA_BASE, &mut sink);
+        // A different method with byte-identical code resolves to the
+        // same installed segment without translating again.
+        let other = MethodId {
+            class: ClassId(7),
+            index: 3,
+        };
+        assert!(!jit.is_compiled(other, 0));
+        let mut profile = ProfileTable::new();
+        let mode = ExecMode::Jit(jrt_codecache::JitPolicy::FirstInvocation);
+        let before = jit.methods_translated;
+        assert!(jit.ensure_compiled(
+            &mode,
+            &mut profile,
+            CalleeSite {
+                callee: other,
+                tid: 0,
+                def,
+                code_addr: layout::CLASS_AREA_BASE,
+            },
+            &mut sink
+        ));
+        assert_eq!(jit.methods_translated, before, "no second translation");
+        assert_eq!(jit.entry_addr(other, 0), jit.entry_addr(mid, 0));
+    }
+
+    #[test]
+    fn per_thread_scope_translates_per_thread() {
+        let (p, mid) = sample();
+        let def = p.method_def(mid);
+        let cfg = CodeCacheConfig::default().with_scope(CacheScope::PerThread);
+        let mut jit = JitState::new(cfg);
+        let mut profile = ProfileTable::new();
+        let mode = ExecMode::Jit(jrt_codecache::JitPolicy::FirstInvocation);
+        let mut sink = jrt_trace::CountingSink::new();
+        assert!(jit.ensure_compiled(
+            &mode,
+            &mut profile,
+            CalleeSite {
+                callee: mid,
+                tid: 0,
+                def,
+                code_addr: layout::CLASS_AREA_BASE,
+            },
+            &mut sink
+        ));
+        assert!(!jit.is_compiled(mid, 1), "thread 1 has a private cache");
+        assert!(jit.ensure_compiled(
+            &mode,
+            &mut profile,
+            CalleeSite {
+                callee: mid,
+                tid: 1,
+                def,
+                code_addr: layout::CLASS_AREA_BASE,
+            },
+            &mut sink
+        ));
+        assert_eq!(jit.methods_translated, 2);
+        assert_ne!(jit.entry_addr(mid, 0), jit.entry_addr(mid, 1));
+    }
+
+    #[test]
+    fn tiered_upgrade_recompiles_denser_code() {
+        let (p, mid) = sample();
+        let def = p.method_def(mid);
+        let mut jit = jit();
+        let mut profile = ProfileTable::new();
+        let mode = ExecMode::Jit(jrt_codecache::JitPolicy::Tiered { t1: 1, t2: 4 });
+        let mut sink = jrt_trace::CountingSink::new();
+        profile.record_invocation(mid);
+        let site = CalleeSite {
+            callee: mid,
+            tid: 0,
+            def,
+            code_addr: layout::CLASS_AREA_BASE,
+        };
+        assert!(jit.ensure_compiled(&mode, &mut profile, site, &mut sink));
+        let t1_bytes = jit.compiled(mid, 0).unwrap().code_bytes;
+        assert_eq!(jit.compiled(mid, 0).unwrap().tier, TIER_BASELINE);
+        for _ in 0..4 {
+            profile.record_invocation(mid);
+        }
+        assert!(jit.ensure_compiled(&mode, &mut profile, site, &mut sink));
+        let cm = jit.compiled(mid, 0).unwrap();
+        assert_eq!(cm.tier, TIER_OPT);
+        assert_eq!(cm.reg_locals, TIER2_REG_LOCALS);
+        assert!(cm.code_bytes < t1_bytes, "opt tier emits denser code");
+        assert_eq!(jit.tier2_recompiles, 1);
+        assert_eq!(jit.methods_translated, 2);
+        assert_eq!(jit.cache_stats().evictions, 0, "upgrade is not an eviction");
     }
 }

@@ -60,12 +60,14 @@ pub mod heap;
 mod intrinsics;
 mod jit;
 pub mod loader;
-mod profile;
 mod step;
 pub mod thread;
 mod vm;
 
-pub use config::{ExecMode, JitPolicy, OracleDecisions, SyncKind, VmConfig};
+pub use config::{
+    CacheScope, CodeCacheConfig, EvictionPolicy, ExecMode, JitPolicy, OracleDecisions, SyncKind,
+    VmConfig,
+};
 pub use heap::{Handle, Heap, HeapError, Value};
-pub use profile::{MethodProfile, ProfileTable};
+pub use jrt_codecache::{CodeCacheStats, MethodProfile, ProfileTable};
 pub use vm::{Footprint, Output, RunResult, Vm, VmCounters, VmError};

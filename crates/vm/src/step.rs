@@ -6,7 +6,6 @@
 //! the two execution modes compute identical results — the paper's
 //! contrast is purely architectural, and so is ours.
 
-use crate::config::{ExecMode, JitPolicy};
 use crate::emit::interp::invoke_helper_addr;
 use crate::emit::{Emit, InterpEmitter, InvokeKind, JitEmitter};
 use crate::heap::{Handle, Value};
@@ -63,7 +62,7 @@ pub(crate) fn step(
 ) -> Result<StepOutcome, VmError> {
     let program = env.program;
     let mid = thread.frame().method;
-    let jit_frame = thread.frame().jit;
+    let mut jit_frame = thread.frame().jit;
     let pc = thread.frame().pc;
     let def = program.method_def(mid);
     let pool = &program.class_file(mid.class).pool;
@@ -89,13 +88,17 @@ pub(crate) fn step(
         }
     }
 
-    // Decode.
+    // Decode. A frame whose translated code was evicted mid-flight
+    // demotes to interpretation — the eviction's cost is precisely
+    // this fallback (slower bytecodes, and possible re-translation on
+    // the next invocation).
     let cm_rc = if jit_frame {
-        Some(
-            env.jit
-                .compiled_shared(mid)
-                .expect("jit frame implies compiled method"),
-        )
+        let cm = env.jit.compiled_for_frame(mid, thread.id);
+        if cm.is_none() {
+            thread.frame_mut().jit = false;
+            jit_frame = false;
+        }
+        cm
     } else {
         None
     };
@@ -125,7 +128,13 @@ pub(crate) fn step(
         None => Box::new(|_| 0),
     };
     let mut em: Box<dyn Emit> = if jit_frame {
-        Box::new(JitEmitter::new(&*addr_fn, pc, thread.frame().stack.len()))
+        let reg_locals = cm_rc.as_ref().map_or(0, |cm| cm.reg_locals);
+        Box::new(JitEmitter::new(
+            &*addr_fn,
+            pc,
+            thread.frame().stack.len(),
+            reg_locals,
+        ))
     } else {
         let em = InterpEmitter::new(
             env.linker.code_addr(mid),
@@ -543,29 +552,24 @@ pub(crate) fn step(
                 });
             }
 
-            // JIT policy decision for the callee.
-            let use_jit = match env.mode {
-                ExecMode::Interp => false,
-                ExecMode::Jit(policy) => match policy {
-                    JitPolicy::FirstInvocation => true,
-                    JitPolicy::Threshold(k) => {
-                        env.jit.is_compiled(callee)
-                            || env
-                                .profile
-                                .get(callee)
-                                .is_some_and(|p| p.invocations + 1 >= u64::from(*k))
-                    }
-                    JitPolicy::Oracle(d) => d.should_translate(callee),
+            // JIT policy decision for the callee: one decision point
+            // (tiering, translation, touch bookkeeping) shared with
+            // thread starts.
+            let code_addr = env.linker.code_addr(callee);
+            let use_jit = env.jit.ensure_compiled(
+                env.mode,
+                env.profile,
+                crate::jit::CalleeSite {
+                    callee,
+                    tid: thread.id,
+                    def: callee_def,
+                    code_addr,
                 },
-            };
-            if use_jit && !env.jit.is_compiled(callee) {
-                let code_addr = env.linker.code_addr(callee);
-                let t = env.jit.translate(callee, callee_def, code_addr, sink);
-                env.profile.get_mut(callee).translate_cycles += t;
-            }
+                sink,
+            );
 
             let entry = if use_jit {
-                env.jit.entry_addr(callee)
+                env.jit.entry_addr(callee, thread.id)
             } else {
                 invoke_helper_addr((u64::from(callee.class.0) << 20) ^ u64::from(callee.index))
             };
@@ -673,6 +677,11 @@ pub(crate) fn step(
         }
     }
 
+    // Backward branches are the tiered policy's loop-hotness signal
+    // (invoke/return paths exit earlier, so only branches land here).
+    if env.profiling && next_pc < pc {
+        env.profile.get_mut(mid).backedges += 1;
+    }
     thread.frame_mut().pc = next_pc;
     charge(env, mid, jit_frame, em.count());
     Ok(StepOutcome::Continue)

@@ -1,15 +1,15 @@
 //! The VM facade: scheduler, GC triggering, thread lifecycle, and
 //! run-level reporting.
 
-use crate::config::{ExecMode, JitPolicy, SyncKind, VmConfig};
+use crate::config::{ExecMode, SyncKind, VmConfig};
 use crate::gc;
 use crate::heap::{Heap, HeapError, Value};
-use crate::jit::JitState;
+use crate::jit::{self, JitState};
 use crate::loader::Linker;
-use crate::profile::ProfileTable;
 use crate::step::{self, StepOutcome};
 use crate::thread::{ThreadState, ThreadStatus};
 use jrt_bytecode::{MethodId, Program};
+use jrt_codecache::ProfileTable;
 use jrt_sync::{FatLockEngine, OneBitLockEngine, SyncEngine, SyncStats, ThinLockEngine};
 use jrt_trace::TraceSink;
 use std::fmt;
@@ -92,12 +92,23 @@ pub struct VmCounters {
     pub gc_runs: u64,
     /// Bytes reclaimed by GC.
     pub gc_freed_bytes: u64,
-    /// Methods translated by the JIT.
+    /// Methods translated by the JIT (counting re-translations and
+    /// tier upgrades).
     pub methods_translated: u32,
     /// Trace instructions emitted by the translator (sum of `T_i`).
     pub translate_insts: u64,
     /// Threads created (including the main thread).
     pub threads_created: u32,
+    /// Installed methods evicted from the code cache.
+    pub code_evictions: u64,
+    /// Translations of methods that had previously been evicted —
+    /// work an unbounded code cache would not have done.
+    pub retranslations: u64,
+    /// Re-translations at the optimizing tier (tiered policy only).
+    pub tier2_recompiles: u32,
+    /// Largest single translated method in code bytes (sizes the
+    /// floor below which a bounded cache pins methods uncacheable).
+    pub largest_method_bytes: u64,
 }
 
 /// Memory-footprint breakdown for the Table 1 study.
@@ -111,8 +122,13 @@ pub struct Footprint {
     pub heap_peak_bytes: u64,
     /// Thread stacks.
     pub stack_bytes: u64,
-    /// JIT code cache (zero for the interpreter).
+    /// JIT code cache — live arena occupancy, post-eviction (zero for
+    /// the interpreter).
     pub code_cache_bytes: u64,
+    /// Cumulative code bytes ever translated (the append-only figure;
+    /// equals `code_cache_bytes` when nothing was evicted). Not part
+    /// of [`Footprint::total`] — it is not resident memory.
+    pub code_ever_bytes: u64,
     /// Translator text + work buffers (zero for the interpreter).
     pub translator_bytes: u64,
 }
@@ -196,34 +212,18 @@ impl<'p> Vm<'p> {
             SyncKind::ThinLock => Box::new(ThinLockEngine::new()),
             SyncKind::OneBit => Box::new(OneBitLockEngine::new()),
         };
+        let jit = JitState::new(config.code_cache);
         Vm {
             program,
             config,
             heap: Heap::new(),
             linker: Linker::new(program.num_classes()),
-            jit: JitState::new(),
+            jit,
             sync,
             profile: ProfileTable::new(),
             counters: VmCounters::default(),
             out: Output::default(),
             threads: Vec::new(),
-        }
-    }
-
-    fn decide_jit(&self, callee: MethodId) -> bool {
-        match &self.config.mode {
-            ExecMode::Interp => false,
-            ExecMode::Jit(policy) => match policy {
-                JitPolicy::FirstInvocation => true,
-                JitPolicy::Threshold(k) => {
-                    self.jit.is_compiled(callee)
-                        || self
-                            .profile
-                            .get(callee)
-                            .is_some_and(|p| p.invocations + 1 >= u64::from(*k))
-                }
-                JitPolicy::Oracle(d) => d.should_translate(callee),
-            },
         }
     }
 
@@ -239,12 +239,18 @@ impl<'p> Vm<'p> {
         if def.flags.is_native {
             return Err(VmError::Internal("thread root cannot be native".into()));
         }
-        let use_jit = self.decide_jit(method);
-        if use_jit && !self.jit.is_compiled(method) {
-            let code_addr = self.linker.code_addr(method);
-            let t = self.jit.translate(method, def, code_addr, sink);
-            self.profile.get_mut(method).translate_cycles += t;
-        }
+        let code_addr = self.linker.code_addr(method);
+        let use_jit = self.jit.ensure_compiled(
+            &self.config.mode,
+            &mut self.profile,
+            jit::CalleeSite {
+                callee: method,
+                tid,
+                def,
+                code_addr,
+            },
+            sink,
+        );
         let mut thread = ThreadState::new(tid);
         thread.push_frame(method, def, args);
         {
@@ -401,6 +407,11 @@ impl<'p> Vm<'p> {
     fn build_result(&mut self) -> RunResult {
         self.counters.methods_translated = self.jit.methods_translated;
         self.counters.translate_insts = self.jit.translate_insts;
+        let cache = self.jit.cache_stats();
+        self.counters.code_evictions = cache.evictions;
+        self.counters.retranslations = cache.retranslations;
+        self.counters.tier2_recompiles = self.jit.tier2_recompiles;
+        self.counters.largest_method_bytes = cache.largest_install_bytes;
 
         let translated_any = self.jit.methods_translated > 0;
         let footprint = Footprint {
@@ -411,7 +422,8 @@ impl<'p> Vm<'p> {
             vm_base_bytes: 1792 * 1024,
             heap_peak_bytes: self.heap.stats().peak_bytes,
             stack_bytes: self.threads.len() as u64 * 16 * 1024,
-            code_cache_bytes: self.jit.code_cache_bytes,
+            code_cache_bytes: self.jit.live_bytes(),
+            code_ever_bytes: self.jit.ever_bytes(),
             translator_bytes: if translated_any {
                 128 * 1024 + self.jit.translator_buffer_bytes
             } else {

@@ -16,6 +16,10 @@
 //! | `jack` | repeated scanning passes over a grammar text | scan-heavy, moderate reuse |
 //! | `hello` | prints `HELLO`, returns | class-loading/startup dominated |
 //!
+//! Outside the suite, [`multi`] runs four byte-identical execution
+//! contexts on four threads — the harness for the shared-code-cache
+//! study (`codecache_study` in `jrt-experiments`).
+//!
 //! Every program is pure bytecode (inputs generated in-program by a
 //! seeded linear congruential generator), self-checking (returns a
 //! checksum the tests pin), and runs identically under the
@@ -46,6 +50,7 @@ pub mod javac;
 pub mod jess;
 pub mod mpeg;
 pub mod mtrt;
+pub mod multi;
 
 pub use common::{
     add_rng, host_lib_checksum, library, sys_class, HostRng, Size, LIB_CLASSES_S1, LIB_METHODS,

@@ -1,0 +1,31 @@
+//! Golden-snapshot test for the managed-code-cache study.
+//!
+//! `tests/golden/codecache_tiny.md` is the committed output of
+//! `codecache_study` at `Tiny` scale. Regenerating it must be
+//! byte-identical — at one worker (the sequential path) and at
+//! several worker counts — which pins down the capacity sweep,
+//! sharing comparison, tiering table, and thrash-crossover numbers
+//! as well as the parallel scheduler's canonical-order merge.
+
+use javart::experiments::{codecache, jobs};
+use javart::workloads::Size;
+
+const GOLDEN: &str = include_str!("golden/codecache_tiny.md");
+
+#[test]
+fn codecache_study_tiny_is_byte_identical_at_any_worker_count() {
+    for workers in [1, 2, 8] {
+        jobs::set_jobs(workers);
+        let md = codecache::run(Size::Tiny).to_markdown();
+        assert!(
+            md == GOLDEN,
+            "codecache_study(Tiny) with {workers} worker(s) diverged from \
+             tests/golden/codecache_tiny.md (lengths: got {}, golden {}); \
+             first differing byte at offset {:?}",
+            md.len(),
+            GOLDEN.len(),
+            md.bytes().zip(GOLDEN.bytes()).position(|(a, b)| a != b),
+        );
+    }
+    jobs::set_jobs(0);
+}
