@@ -1,22 +1,139 @@
 //! Runs both bench suites and writes `BENCH_experiments.json` — one
-//! JSON line per benchmark (suite, name, per-sample ns, median ns).
+//! JSON line per benchmark (suite, name, per-sample ns, median ns),
+//! plus one `_suite_total` rollup line per suite (sum of the suite's
+//! medians), so a single grep tracks whole-suite drift.
 //!
-//! Usage: `bench_all [filter] [output-path]`. `JRT_BENCH_SAMPLES`
-//! sets the sample count (default 5).
+//! Usage: `bench_all [filter] [output-path] [--check-against FILE [FACTOR]]`.
+//! `JRT_BENCH_SAMPLES` sets the sample count (default 5).
+//!
+//! `--check-against` compares every measured bench to the same
+//! `(suite, bench)` line in a baseline JSON file and exits 1 if any
+//! median exceeds FACTOR × its baseline median (default 2.0 — generous
+//! so shared-runner noise doesn't flake, while real regressions trip).
 
 use jrt_bench::{bench_paper, bench_simulators};
-use jrt_testkit::bench::Harness;
+use jrt_testkit::bench::{BenchResult, Harness};
+
+const HELP: &str = "\
+usage: bench_all [filter] [output-path] [--check-against FILE [FACTOR]]
+Runs the paper and simulators bench suites and writes one JSON line
+per benchmark plus a _suite_total rollup per suite (default:
+BENCH_experiments.json). JRT_BENCH_SAMPLES sets the sample count
+(default 5).
+  --check-against FILE [FACTOR]  after measuring, fail (exit 1) if any
+                                 bench's median exceeds FACTOR x the
+                                 median recorded for it in FILE
+                                 (default factor: 2.0).";
+
+/// Extracts one `"key":value` field from a JSON line written by
+/// [`BenchResult::to_json`] (string or bare-number values; no escapes
+/// — the writer never emits any).
+fn json_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    if let Some(quoted) = rest.strip_prefix('"') {
+        quoted.split('"').next()
+    } else {
+        rest.split([',', '}']).next()
+    }
+}
+
+/// Reads `(suite, bench) -> median_ns` from a baseline JSON-lines file.
+fn read_baseline(path: &str) -> Vec<(String, String, u128)> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+    text.lines()
+        .filter_map(|l| {
+            let suite = json_field(l, "suite")?;
+            let bench = json_field(l, "bench")?;
+            let median: u128 = json_field(l, "median_ns")?.trim().parse().ok()?;
+            Some((suite.to_string(), bench.to_string(), median))
+        })
+        .collect()
+}
+
+/// Appends the per-suite rollup lines: median sums under the
+/// `_suite_total` pseudo-bench.
+fn add_rollups(results: &mut Vec<BenchResult>) {
+    let suites: Vec<String> = {
+        let mut s: Vec<String> = results.iter().map(|r| r.suite.clone()).collect();
+        s.dedup();
+        s
+    };
+    for suite in suites {
+        let in_suite: Vec<&BenchResult> = results.iter().filter(|r| r.suite == suite).collect();
+        let total: u128 = in_suite.iter().map(|r| r.median_ns).sum();
+        let rollup = BenchResult {
+            suite: suite.clone(),
+            name: "_suite_total".into(),
+            iters: in_suite.len() as u64,
+            samples_ns: vec![total],
+            median_ns: total,
+        };
+        println!("{}", rollup.to_json());
+        results.push(rollup);
+    }
+}
+
+/// Compares measured medians to the baseline; returns the number of
+/// regressions (measured > factor × baseline).
+fn check_against(results: &[BenchResult], baseline_path: &str, factor: f64) -> usize {
+    let baseline = read_baseline(baseline_path);
+    let mut compared = 0usize;
+    let mut regressions = 0usize;
+    for r in results {
+        let Some((_, _, base)) = baseline
+            .iter()
+            .find(|(s, b, _)| *s == r.suite && *b == r.name)
+        else {
+            continue;
+        };
+        compared += 1;
+        let limit = (*base as f64) * factor;
+        if r.median_ns as f64 > limit {
+            regressions += 1;
+            eprintln!(
+                "[bench_all] REGRESSION {}/{}: {} ns > {factor} x baseline {} ns",
+                r.suite, r.name, r.median_ns, base
+            );
+        } else {
+            eprintln!(
+                "[bench_all] ok {}/{}: {} ns vs baseline {} ns (limit {:.0})",
+                r.suite, r.name, r.median_ns, base, limit
+            );
+        }
+    }
+    eprintln!(
+        "[bench_all] checked {compared} benches against {baseline_path}: {regressions} regression(s)"
+    );
+    regressions
+}
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
-        println!(
-            "usage: bench_all [filter] [output-path]\n\
-             Runs the paper and simulators bench suites and writes one\n\
-             JSON line per benchmark (default: BENCH_experiments.json).\n\
-             JRT_BENCH_SAMPLES sets the sample count (default 5)."
-        );
+        println!("{HELP}");
         return;
+    }
+    let mut check: Option<(String, f64)> = None;
+    if let Some(i) = args.iter().position(|a| a == "--check-against") {
+        if i + 1 >= args.len() {
+            eprintln!("--check-against needs a baseline path (see --help)");
+            std::process::exit(2);
+        }
+        args.remove(i);
+        let path = args.remove(i);
+        let factor = if args.len() > i {
+            args.get(i)
+                .and_then(|a| a.parse::<f64>().ok())
+                .inspect(|_| {
+                    args.remove(i);
+                })
+        } else {
+            None
+        };
+        check = Some((path, factor.unwrap_or(2.0)));
     }
     let filter = args.first().filter(|a| !a.starts_with('-')).cloned();
     let out = args
@@ -41,7 +158,17 @@ fn main() {
         );
         std::process::exit(1);
     }
+    add_rollups(&mut results);
     let lines: Vec<String> = results.iter().map(|r| r.to_json()).collect();
     std::fs::write(&out, lines.join("\n") + "\n").expect("write bench report");
     eprintln!("[bench_all] wrote {} results to {out}", results.len());
+
+    if let Some((path, factor)) = check {
+        // Rollups are only comparable between full runs; under a
+        // filter the partial sum can never *exceed* the full baseline,
+        // so including them is safe and full runs still get checked.
+        if check_against(&results, &path, factor) > 0 {
+            std::process::exit(1);
+        }
+    }
 }

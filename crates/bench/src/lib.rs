@@ -19,14 +19,16 @@
 #![warn(missing_docs)]
 
 use jrt_bpred::{Bht, BranchEval, GAp, Gshare, TwoBit};
-use jrt_cache::SplitCaches;
+use jrt_cache::{CacheConfig, SplitCaches, SplitSweep};
 use jrt_experiments::{
     codecache, fig1, fig11, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, table1, table2, table3,
 };
 use jrt_ilp::{Pipeline, PipelineConfig};
 use jrt_sync::{FatLockEngine, OneBitLockEngine, SyncEngine, ThinLockEngine};
 use jrt_testkit::bench::Harness;
-use jrt_trace::{CountingSink, InstMix, NativeInst, Phase, RecordingSink, Tape, TraceSink};
+use jrt_trace::{
+    AccessBlocks, CountingSink, InstMix, NativeInst, Phase, RecordingSink, Tape, TraceSink,
+};
 use jrt_vm::{CodeCacheConfig, EvictionPolicy, Vm, VmConfig};
 use jrt_workloads::{db, jess, Size};
 
@@ -129,6 +131,21 @@ pub fn bench_simulators(h: &mut Harness) {
         let mut c = CountingSink::new();
         tape.replay(&mut c);
         c.total()
+    });
+
+    // The one-pass stack-distance sweep over the decoded blocks: the
+    // per-pass cost the Figure 7 port pays for all four
+    // associativities at once (compare consumer/split_caches, which
+    // simulates a single configuration from raw events).
+    let blocks = AccessBlocks::from_tape(&tape);
+    let sweep_points: Vec<CacheConfig> = [1, 2, 4, 8]
+        .iter()
+        .map(|&a| CacheConfig::paper_assoc_sweep(a))
+        .collect();
+    h.bench("consumer/cache_sweep", || {
+        let mut s = SplitSweep::new(&sweep_points, &sweep_points);
+        s.consume(&blocks);
+        s.dcache().results()[0].stats().misses()
     });
 
     // Ablation: the four direction predictors on one synthetic stream.

@@ -13,7 +13,11 @@
 //!   native instruction trace (instruction fetch per event, data access
 //!   per load/store) — the configuration used for Table 3, Figures 3–8;
 //! * [`Timeline`]: windowed miss-rate sampling for the time-series
-//!   study of Figure 6.
+//!   study of Figure 6;
+//! * [`CacheSweep`] / [`SplitSweep`]: one-pass stack-distance
+//!   simulation of whole configuration families (the Hill & Smith
+//!   all-associativity technique), exact against [`Cache`] and used by
+//!   the Figure 7/8 sweeps.
 //!
 //! # Examples
 //!
@@ -35,9 +39,11 @@
 mod config;
 mod sim;
 mod split;
+mod sweep;
 mod timeline;
 
 pub use config::CacheConfig;
 pub use sim::{AccessOutcome, Cache, CacheStats};
 pub use split::SplitCaches;
+pub use sweep::{CacheSweep, SplitSweep, SweepResult};
 pub use timeline::{Timeline, TimelineSample};

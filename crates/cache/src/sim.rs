@@ -1,35 +1,8 @@
 //! The set-associative cache model.
 
 use crate::config::CacheConfig;
-use jrt_trace::{AccessKind, Addr, Phase, Region};
-use std::collections::HashSet;
+use jrt_trace::{AccessKind, Addr, IdHashSet, Phase, Region};
 use std::fmt;
-use std::hash::{BuildHasherDefault, Hasher};
-
-/// SplitMix64-finalizer hasher for the line-id seen-set. Line ids are
-/// already well-distributed integers; SipHash (the std default) is
-/// wasted on them and dominates the miss path.
-#[derive(Default)]
-struct LineIdHasher(u64);
-
-impl Hasher for LineIdHasher {
-    fn finish(&self) -> u64 {
-        self.0
-    }
-
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3);
-        }
-    }
-
-    fn write_u64(&mut self, v: u64) {
-        let mut z = v.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        self.0 = z ^ (z >> 31);
-    }
-}
 
 /// Result of a single cache access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -153,7 +126,9 @@ pub struct Cache {
     translate_stats: CacheStats,
     rest_stats: CacheStats,
     region_stats: [CacheStats; Region::ALL.len()], // indexed by discriminant
-    seen: HashSet<u64, BuildHasherDefault<LineIdHasher>>,
+    // Line ids are already well-distributed integers; the shared
+    // SplitMix64-finalizer hasher keeps SipHash off the miss path.
+    seen: IdHashSet<u64>,
 }
 
 impl Cache {
@@ -170,7 +145,7 @@ impl Cache {
             translate_stats: CacheStats::default(),
             rest_stats: CacheStats::default(),
             region_stats: [CacheStats::default(); Region::ALL.len()],
-            seen: HashSet::default(),
+            seen: IdHashSet::default(),
         }
     }
 
@@ -367,6 +342,30 @@ mod tests {
         assert!(!o.hit);
         assert!(!o.compulsory, "seen-set survives flush");
         assert_eq!(c.stats().refs(), 2);
+    }
+
+    #[test]
+    fn untouched_stats_rates_are_zero() {
+        // Degenerate denominators must not produce NaN: an untouched
+        // slice reports 0.0 for both derived rates.
+        let s = CacheStats::default();
+        assert_eq!(s.refs(), 0);
+        assert_eq!(s.miss_rate(), 0.0);
+        assert_eq!(s.write_miss_fraction(), 0.0);
+    }
+
+    #[test]
+    fn write_miss_fraction_with_zero_misses_is_zero() {
+        let s = CacheStats {
+            reads: 10,
+            writes: 5,
+            read_misses: 0,
+            write_misses: 0,
+            compulsory_misses: 0,
+        };
+        assert_eq!(s.miss_rate(), 0.0);
+        assert_eq!(s.write_miss_fraction(), 0.0);
+        assert!(s.to_string().contains("misses=0"));
     }
 
     #[test]

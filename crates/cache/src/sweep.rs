@@ -1,0 +1,620 @@
+//! One-pass multi-configuration cache simulation (stack distances).
+//!
+//! The configuration sweeps of Figures 7 and 8 historically simulated
+//! one full [`Cache`](crate::Cache) per swept point, paying the whole
+//! trace once per configuration. This module implements the classic
+//! fix from the simulation literature the paper builds on — Mattson's
+//! stack algorithms and Hill & Smith's all-associativity simulation,
+//! the cachesim5 lineage: because LRU has the *inclusion property*,
+//! the content of an `A`-way set is exactly the top `A` entries of
+//! that set's unbounded LRU stack, so a single pass that maintains
+//! per-set LRU stacks and histograms each access's **stack distance**
+//! yields exact hit/miss counts for every associativity at once.
+//!
+//! [`CacheSweep`] generalizes this to an arbitrary mix of
+//! `(size, line, ways)` points: points are first grouped by line size
+//! into *families* (line ids are `addr >> log2(line)`, so stack state
+//! cannot be shared across line sizes), then within a family by set
+//! count (each group keeps per-set stacks truncated at the group's
+//! largest way count). Every access is classified — phase slice plus
+//! [`Region`] — exactly once and then fanned out to all families, so
+//! Figure 8's four line sizes cost four cheap stack touches per event,
+//! not four classification passes. Compulsory misses are
+//! config-independent within a family — a first-touch line is absent
+//! from every configuration — so one seen-set per family serves all
+//! its points, probed only when the access missed every group (a line
+//! present in any stack was necessarily seen before). Attribution
+//! mirrors [`Cache`](crate::Cache) exactly: translate/rest phase
+//! slices and per-[`Region`] slices, each with read/write/compulsory
+//! splits, so Figure 5's category breakdown falls out of the same
+//! pass.
+//!
+//! Restriction: all points must use write-allocate (no-write-allocate
+//! breaks the inclusion property: a non-allocating write would have to
+//! update some stacks and not others).
+//!
+//! # Examples
+//!
+//! ```
+//! use jrt_cache::{CacheConfig, CacheSweep};
+//! use jrt_trace::{AccessKind, Phase};
+//!
+//! // Figure 7's four points, one pass.
+//! let points: Vec<CacheConfig> = [1, 2, 4, 8]
+//!     .map(CacheConfig::paper_assoc_sweep)
+//!     .to_vec();
+//! let mut sweep = CacheSweep::new(&points);
+//! sweep.access(0x2000_0000, AccessKind::Read, Phase::NativeExec);
+//! sweep.access(0x2000_0000, AccessKind::Read, Phase::NativeExec);
+//! let r = sweep.results();
+//! assert_eq!(r[0].stats().refs(), 2);
+//! assert_eq!(r[0].stats().misses(), 1); // second access hits everywhere
+//! assert_eq!(r[3].stats().compulsory_misses, 1);
+//! ```
+
+use crate::config::CacheConfig;
+use crate::sim::CacheStats;
+use jrt_trace::blocks::{KIND_NONE, KIND_WRITE, REGION_NONE};
+use jrt_trace::{AccessBlocks, AccessKind, Addr, IdHashSet, NativeInst, Phase, Region, TraceSink};
+
+/// Attribution slices: translate, rest (everything else), then one per
+/// region. The overall figures are derived as translate + rest.
+const SLICE_TRANSLATE: usize = 0;
+const SLICE_REST: usize = 1;
+const SLICE_REGION0: usize = 2;
+const NSLICES: usize = SLICE_REGION0 + Region::ALL.len();
+
+/// Sentinel for an empty stack slot. Line ids are `addr >> line_shift`
+/// with `line >= 2`, so a real line id can never equal it.
+const EMPTY: u64 = u64::MAX;
+
+/// One set-count group: per-set LRU stacks truncated at the largest
+/// way count any point in the group sweeps, plus stack-distance
+/// histograms per attribution slice and access kind.
+#[derive(Debug, Clone)]
+struct SetGroup {
+    set_mask: u64,
+    depth: usize,
+    /// `num_sets * depth` line ids, set-major, MRU first.
+    stacks: Vec<u64>,
+    /// `hist[(slice * 2 + is_write) * (depth + 1) + bucket]`; bucket
+    /// `d < depth` is the exact stack distance, bucket `depth` is
+    /// "deeper than any swept associativity" (a miss for all points).
+    hist: Vec<u64>,
+}
+
+impl SetGroup {
+    fn new(num_sets: u64, depth: usize) -> Self {
+        SetGroup {
+            set_mask: num_sets - 1,
+            depth,
+            stacks: vec![EMPTY; num_sets as usize * depth],
+            hist: vec![0; NSLICES * 2 * (depth + 1)],
+        }
+    }
+
+    /// Moves `line` to the MRU position of its set, returning the
+    /// 0-based stack distance (`depth` when absent from the truncated
+    /// stack — a miss for every swept associativity).
+    #[inline]
+    fn touch(&mut self, line: u64) -> usize {
+        let set = (line & self.set_mask) as usize;
+        let stack = &mut self.stacks[set * self.depth..(set + 1) * self.depth];
+        let mut shifted = line;
+        for (d, slot) in stack.iter_mut().enumerate() {
+            let cur = *slot;
+            *slot = shifted;
+            if cur == line {
+                return d;
+            }
+            shifted = cur;
+        }
+        self.depth
+    }
+
+    #[inline]
+    fn record(&mut self, slice: usize, is_write: usize, bucket: usize) {
+        self.hist[(slice * 2 + is_write) * (self.depth + 1) + bucket] += 1;
+    }
+
+    /// Reads one `CacheStats` slice for associativity `ways` off the
+    /// histograms (`compulsory` is supplied by the sweep — it is
+    /// config-independent).
+    fn slice_stats(&self, slice: usize, ways: usize, compulsory: u64) -> CacheStats {
+        let row = |is_write: usize| {
+            let base = (slice * 2 + is_write) * (self.depth + 1);
+            let buckets = &self.hist[base..base + self.depth + 1];
+            let total: u64 = buckets.iter().sum();
+            let hits: u64 = buckets[..ways.min(self.depth)].iter().sum();
+            (total, total - hits)
+        };
+        let (reads, read_misses) = row(0);
+        let (writes, write_misses) = row(1);
+        CacheStats {
+            reads,
+            writes,
+            read_misses,
+            write_misses,
+            compulsory_misses: compulsory,
+        }
+    }
+}
+
+/// Statistics for one swept configuration, with the same attribution
+/// surface as [`Cache`](crate::Cache).
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    config: CacheConfig,
+    stats: CacheStats,
+    translate: CacheStats,
+    rest: CacheStats,
+    region: [CacheStats; Region::ALL.len()],
+}
+
+impl SweepResult {
+    /// The configuration this result describes.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Overall statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Statistics attributed to the JIT translate phase.
+    pub fn translate_stats(&self) -> &CacheStats {
+        &self.translate
+    }
+
+    /// Statistics attributed to everything except translation.
+    pub fn rest_stats(&self) -> &CacheStats {
+        &self.rest
+    }
+
+    /// Statistics for accesses falling into `region`.
+    pub fn region_stats(&self, region: Region) -> &CacheStats {
+        &self.region[region as usize]
+    }
+}
+
+/// All sweep state tied to one line size: the set-count groups, the
+/// first-touch seen-set, and the (config-independent within the
+/// family) compulsory counters.
+#[derive(Debug, Clone)]
+struct Family {
+    line_shift: u32,
+    groups: Vec<SetGroup>,
+    seen: IdHashSet<u64>,
+    compulsory: [u64; NSLICES],
+}
+
+impl Family {
+    /// Runs one pre-classified access through every group, then the
+    /// shared first-touch accounting.
+    #[inline]
+    fn access(
+        &mut self,
+        addr: Addr,
+        is_write: usize,
+        phase_slice: usize,
+        region_slice: Option<usize>,
+    ) {
+        let line = addr >> self.line_shift;
+        let mut resident = false;
+        for g in &mut self.groups {
+            let bucket = g.touch(line);
+            resident |= bucket < g.depth;
+            g.record(phase_slice, is_write, bucket);
+            if let Some(rs) = region_slice {
+                g.record(rs, is_write, bucket);
+            }
+        }
+        // First-touch tracking runs only when the line sits in no
+        // stack (a resident line was inserted on an earlier access).
+        if !resident && self.seen.insert(line) {
+            self.compulsory[phase_slice] += 1;
+            if let Some(rs) = region_slice {
+                self.compulsory[rs] += 1;
+            }
+        }
+    }
+}
+
+/// A one-pass simulator for an arbitrary family of write-allocate
+/// configurations (see the module docs).
+#[derive(Debug, Clone)]
+pub struct CacheSweep {
+    points: Vec<(CacheConfig, usize, usize)>, // (config, family, group)
+    families: Vec<Family>,
+}
+
+impl CacheSweep {
+    /// Creates a sweep over `points`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty, uses a line size below 2 bytes, or
+    /// contains a no-write-allocate configuration.
+    pub fn new(points: &[CacheConfig]) -> Self {
+        assert!(!points.is_empty(), "at least one sweep point");
+        let mut families: Vec<Family> = Vec::new();
+        let mut indexed = Vec::with_capacity(points.len());
+        for cfg in points {
+            assert!(cfg.line >= 2, "sweep needs a line size of at least 2 bytes");
+            assert!(
+                cfg.write_allocate,
+                "the stack-distance sweep requires write-allocate"
+            );
+            let shift = cfg.line.trailing_zeros();
+            let f = match families.iter().position(|f| f.line_shift == shift) {
+                Some(f) => f,
+                None => {
+                    families.push(Family {
+                        line_shift: shift,
+                        groups: Vec::new(),
+                        seen: IdHashSet::default(),
+                        compulsory: [0; NSLICES],
+                    });
+                    families.len() - 1
+                }
+            };
+            let sets = cfg.num_sets();
+            let groups = &mut families[f].groups;
+            let g = match groups.iter().position(|g| g.set_mask == sets - 1) {
+                Some(g) => {
+                    let depth = groups[g].depth.max(cfg.assoc as usize);
+                    if depth > groups[g].depth {
+                        groups[g] = SetGroup::new(sets, depth);
+                    }
+                    g
+                }
+                None => {
+                    groups.push(SetGroup::new(sets, cfg.assoc as usize));
+                    groups.len() - 1
+                }
+            };
+            indexed.push((*cfg, f, g));
+        }
+        CacheSweep {
+            points: indexed,
+            families,
+        }
+    }
+
+    /// Performs one access against every swept configuration. The
+    /// phase/region classification happens once, here, no matter how
+    /// many line sizes, set counts, or way counts are in flight.
+    #[inline]
+    pub fn access(&mut self, addr: Addr, kind: AccessKind, phase: Phase) {
+        let is_write = usize::from(kind == AccessKind::Write);
+        let phase_slice = if phase.is_translate() {
+            SLICE_TRANSLATE
+        } else {
+            SLICE_REST
+        };
+        let region_slice = Region::classify(addr).map(|r| SLICE_REGION0 + r as usize);
+        self.access_classified(addr, is_write, phase_slice, region_slice);
+    }
+
+    /// The pre-classified fast path: the decoded-block consumer reads
+    /// the slice indices straight off the memoized arrays.
+    #[inline]
+    fn access_classified(
+        &mut self,
+        addr: Addr,
+        is_write: usize,
+        phase_slice: usize,
+        region_slice: Option<usize>,
+    ) {
+        for f in &mut self.families {
+            f.access(addr, is_write, phase_slice, region_slice);
+        }
+    }
+
+    /// Derives the per-configuration statistics, in the order the
+    /// points were supplied to [`CacheSweep::new`].
+    pub fn results(&self) -> Vec<SweepResult> {
+        self.points
+            .iter()
+            .map(|&(config, fi, gi)| {
+                let f = &self.families[fi];
+                let g = &f.groups[gi];
+                let ways = config.assoc as usize;
+                let slice = |s: usize| g.slice_stats(s, ways, f.compulsory[s]);
+                let translate = slice(SLICE_TRANSLATE);
+                let rest = slice(SLICE_REST);
+                let mut stats = translate;
+                stats.merge(&rest);
+                let mut region = [CacheStats::default(); Region::ALL.len()];
+                for (k, r) in region.iter_mut().enumerate() {
+                    *r = slice(SLICE_REGION0 + k);
+                }
+                SweepResult {
+                    config,
+                    stats,
+                    translate,
+                    rest,
+                    region,
+                }
+            })
+            .collect()
+    }
+
+    /// Number of swept configurations.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the sweep has no points (never true: `new` requires one).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+/// An L1 I-cache + D-cache sweep pair: the one-pass counterpart of
+/// [`SplitCaches`](crate::SplitCaches). Every event fetches its `pc`
+/// through the instruction sweep; loads and stores additionally drive
+/// the data sweep. Consumes decoded [`AccessBlocks`] on the fast path
+/// and implements [`TraceSink`] for event-level use.
+#[derive(Debug, Clone)]
+pub struct SplitSweep {
+    icache: CacheSweep,
+    dcache: CacheSweep,
+}
+
+impl SplitSweep {
+    /// Creates a pair of sweeps from the two point families.
+    pub fn new(ipoints: &[CacheConfig], dpoints: &[CacheConfig]) -> Self {
+        SplitSweep {
+            icache: CacheSweep::new(ipoints),
+            dcache: CacheSweep::new(dpoints),
+        }
+    }
+
+    /// Drives the whole decoded stream through both sweeps. Region
+    /// classification comes straight off the blocks' memoized region
+    /// bytes and the translate test off a hoisted per-phase table, so
+    /// the per-event work is just the stack touches.
+    pub fn consume(&mut self, blocks: &AccessBlocks) {
+        let translate: [bool; Phase::ALL.len()] =
+            std::array::from_fn(|k| Phase::ALL[k].is_translate());
+        let slice_of =
+            |region: u8| (region != REGION_NONE).then(|| SLICE_REGION0 + usize::from(region));
+        for b in blocks.blocks() {
+            let rows =
+                b.pc.iter()
+                    .zip(&b.phase)
+                    .zip(&b.pc_region)
+                    .zip(&b.kind)
+                    .zip(&b.addr)
+                    .zip(&b.addr_region);
+            for (((((&pc, &phase), &pc_region), &kind), &addr), &addr_region) in rows {
+                let phase_slice = if translate[usize::from(phase)] {
+                    SLICE_TRANSLATE
+                } else {
+                    SLICE_REST
+                };
+                self.icache
+                    .access_classified(pc, 0, phase_slice, slice_of(pc_region));
+                if kind != KIND_NONE {
+                    self.dcache.access_classified(
+                        addr,
+                        usize::from(kind == KIND_WRITE),
+                        phase_slice,
+                        slice_of(addr_region),
+                    );
+                }
+            }
+        }
+    }
+
+    /// The instruction-side sweep.
+    pub fn icache(&self) -> &CacheSweep {
+        &self.icache
+    }
+
+    /// The data-side sweep.
+    pub fn dcache(&self) -> &CacheSweep {
+        &self.dcache
+    }
+}
+
+impl TraceSink for SplitSweep {
+    fn accept(&mut self, inst: &NativeInst) {
+        self.icache.access(inst.pc, AccessKind::Read, inst.phase);
+        if let Some(m) = inst.mem {
+            self.dcache.access(m.addr, m.kind, inst.phase);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Cache;
+
+    /// Replays `accesses` through both the sweep and one `Cache` per
+    /// point, asserting every attribution slice matches exactly.
+    fn assert_matches_cache(points: &[CacheConfig], accesses: &[(Addr, AccessKind, Phase)]) {
+        let mut sweep = CacheSweep::new(points);
+        let mut caches: Vec<Cache> = points.iter().map(|&c| Cache::new(c)).collect();
+        for &(addr, kind, phase) in accesses {
+            sweep.access(addr, kind, phase);
+            for c in &mut caches {
+                c.access(addr, kind, phase);
+            }
+        }
+        for (r, c) in sweep.results().iter().zip(&caches) {
+            assert_eq!(r.stats(), c.stats(), "{}: overall", c.config());
+            assert_eq!(r.translate_stats(), c.translate_stats(), "translate");
+            assert_eq!(r.rest_stats(), c.rest_stats(), "rest");
+            for region in Region::ALL {
+                assert_eq!(r.region_stats(region), c.region_stats(region), "{region}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_cache_on_a_conflict_pattern() {
+        let points: Vec<CacheConfig> = [1, 2, 4, 8].map(CacheConfig::paper_assoc_sweep).to_vec();
+        // Way-stride conflicts plus some locality, spanning phases.
+        let mut accesses = Vec::new();
+        for round in 0..6u64 {
+            for k in 0..12u64 {
+                let addr = jrt_trace::layout::HEAP_BASE + k * 8 * 1024 + round * 32;
+                let kind = if k % 3 == 0 {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
+                let phase = if k % 2 == 0 {
+                    Phase::Translate
+                } else {
+                    Phase::NativeExec
+                };
+                accesses.push((addr, kind, phase));
+            }
+        }
+        assert_matches_cache(&points, &accesses);
+    }
+
+    #[test]
+    fn shared_compulsory_counts_across_points() {
+        let points: Vec<CacheConfig> = [1, 2, 4, 8].map(CacheConfig::paper_assoc_sweep).to_vec();
+        let mut sweep = CacheSweep::new(&points);
+        for k in 0..100u64 {
+            sweep.access(k * 32, AccessKind::Read, Phase::Runtime);
+        }
+        // 100 distinct lines: all compulsory, identical in every point.
+        for r in sweep.results() {
+            assert_eq!(r.stats().compulsory_misses, 100);
+            assert_eq!(r.stats().misses(), 100);
+        }
+    }
+
+    #[test]
+    fn conflict_miss_is_not_compulsory() {
+        // Mirror of the sim.rs test: 2-set direct-mapped, ping-pong.
+        let points = [CacheConfig::new(32, 16, 1)];
+        let mut sweep = CacheSweep::new(&points);
+        sweep.access(0, AccessKind::Read, Phase::Runtime);
+        sweep.access(32, AccessKind::Read, Phase::Runtime);
+        sweep.access(0, AccessKind::Read, Phase::Runtime);
+        let r = &sweep.results()[0];
+        assert_eq!(r.stats().misses(), 3);
+        assert_eq!(r.stats().compulsory_misses, 2);
+    }
+
+    #[test]
+    fn duplicate_points_agree() {
+        let cfg = CacheConfig::new(8 * 1024, 32, 2);
+        let mut sweep = CacheSweep::new(&[cfg, cfg]);
+        for k in 0..50u64 {
+            sweep.access(k * 64, AccessKind::Write, Phase::Gc);
+        }
+        let r = sweep.results();
+        assert_eq!(r[0].stats(), r[1].stats());
+    }
+
+    #[test]
+    fn split_sweep_matches_split_caches_via_sink() {
+        use crate::split::SplitCaches;
+        let ipoints: Vec<CacheConfig> = [1, 2, 4, 8].map(CacheConfig::paper_assoc_sweep).to_vec();
+        let dpoints = ipoints.clone();
+        let mut sweep = SplitSweep::new(&ipoints, &dpoints);
+        let mut pairs: Vec<SplitCaches> = ipoints.iter().map(|&c| SplitCaches::new(c, c)).collect();
+        let events = [
+            NativeInst::alu(0x1_0000, Phase::Runtime),
+            NativeInst::load(0x1_0004, jrt_trace::layout::HEAP_BASE, 4, Phase::NativeExec),
+            NativeInst::store(
+                0x1_0008,
+                jrt_trace::layout::CODE_CACHE_BASE,
+                4,
+                Phase::Translate,
+            ),
+            NativeInst::load(
+                0x1_0004,
+                jrt_trace::layout::HEAP_BASE + 64,
+                8,
+                Phase::NativeExec,
+            ),
+        ];
+        for e in &events {
+            sweep.accept(e);
+            for p in &mut pairs {
+                p.accept(e);
+            }
+        }
+        for ((i, d), p) in sweep
+            .icache()
+            .results()
+            .iter()
+            .zip(sweep.dcache().results())
+            .zip(&pairs)
+        {
+            assert_eq!(i.stats(), p.icache().stats());
+            assert_eq!(d.stats(), p.dcache().stats());
+        }
+    }
+
+    #[test]
+    fn consume_blocks_equals_accept_events() {
+        use jrt_trace::Tape;
+        let tape = Tape::record(|rec| {
+            for k in 0..500u64 {
+                rec.accept(&NativeInst::load(
+                    0x1_0000 + (k % 7) * 4,
+                    jrt_trace::layout::HEAP_BASE + (k % 97) * 24,
+                    4,
+                    if k % 5 == 0 {
+                        Phase::Translate
+                    } else {
+                        Phase::InterpHandler
+                    },
+                ));
+            }
+        });
+        let points = [CacheConfig::paper_l1_data()];
+        let mut via_blocks = SplitSweep::new(&points, &points);
+        via_blocks.consume(&AccessBlocks::from_tape(&tape));
+        let mut via_events = SplitSweep::new(&points, &points);
+        tape.replay(&mut via_events);
+        assert_eq!(
+            via_blocks.dcache().results()[0].stats(),
+            via_events.dcache().results()[0].stats()
+        );
+        assert_eq!(
+            via_blocks.icache().results()[0].translate_stats(),
+            via_events.icache().results()[0].translate_stats()
+        );
+    }
+
+    #[test]
+    fn mixed_line_sizes_match_per_config_caches() {
+        // The Figure 8 family in a single sweep: four line sizes, each
+        // its own family with its own compulsory accounting.
+        let points: Vec<CacheConfig> = [16, 32, 64, 128]
+            .map(CacheConfig::paper_line_sweep)
+            .to_vec();
+        let mut accesses = Vec::new();
+        for round in 0..5u64 {
+            for k in 0..40u64 {
+                let addr = jrt_trace::layout::HEAP_BASE + k * 112 + round * 16;
+                let kind = if k % 4 == 0 {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
+                accesses.push((addr, kind, Phase::NativeExec));
+            }
+        }
+        assert_matches_cache(&points, &accesses);
+    }
+
+    #[test]
+    #[should_panic(expected = "write-allocate")]
+    fn rejects_no_write_allocate() {
+        CacheSweep::new(&[CacheConfig::new(1024, 16, 1).no_write_allocate()]);
+    }
+}

@@ -11,8 +11,7 @@
 
 use crate::arena::Arena;
 use crate::policy::EvictionPolicy;
-use jrt_trace::Addr;
-use std::collections::{HashMap, HashSet};
+use jrt_trace::{Addr, IdHashMap, IdHashSet};
 
 /// Who shares one set of installed segments.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
@@ -129,7 +128,7 @@ pub struct InstallOutcome {
 pub struct CodeCacheManager {
     config: CodeCacheConfig,
     arena: Arena,
-    segs: HashMap<u64, Segment>,
+    segs: IdHashMap<u64, Segment>,
     /// Logical clock: bumps on install and touch, orders recency.
     tick: u64,
     /// Live (unaligned) code bytes across installed segments.
@@ -137,8 +136,8 @@ pub struct CodeCacheManager {
     /// Cumulative (unaligned) code bytes ever installed — the
     /// paper-era `code_cache_bytes` figure.
     ever: u64,
-    evicted_keys: HashSet<u64>,
-    uncacheable: HashSet<u64>,
+    evicted_keys: IdHashSet<u64>,
+    uncacheable: IdHashSet<u64>,
     stats: CodeCacheStats,
 }
 
@@ -148,12 +147,12 @@ impl CodeCacheManager {
         CodeCacheManager {
             config,
             arena: Arena::new(base, limit),
-            segs: HashMap::new(),
+            segs: IdHashMap::default(),
             tick: 0,
             live: 0,
             ever: 0,
-            evicted_keys: HashSet::new(),
-            uncacheable: HashSet::new(),
+            evicted_keys: IdHashSet::default(),
+            uncacheable: IdHashSet::default(),
             stats: CodeCacheStats::default(),
         }
     }

@@ -5,7 +5,7 @@ use jrt_experiments::{jobs, report};
 use jrt_workloads::Size;
 
 const HELP: &str = "\
-usage: run_all [tiny|s1|s10] [output-path] [--jobs N] [--filter SUBSTR]
+usage: run_all [tiny|s1|s10] [output-path] [--jobs N] [--filter SUBSTR] [--list]
 
 Runs all 18 experiment drivers and writes the EXPERIMENTS.md report
 (default path: EXPERIMENTS.md in the current directory).
@@ -20,12 +20,22 @@ the report is byte-identical at any worker count.
   --filter SUBSTR  run only the experiments whose name contains SUBSTR
                    (e.g. fig1, table, codecache); skipped sections are
                    absent from the report (also: the JRT_FILTER
-                   environment variable; the flag wins).";
+                   environment variable; the flag wins). A filter that
+                   matches no section is an error.
+  --list           print the section names --filter matches against,
+                   one per line, and exit.";
 
 fn main() {
     let mut args = jobs::cli_args();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!("{HELP}");
+        return;
+    }
+    if let Some(i) = args.iter().position(|a| a == "--list") {
+        args.remove(i);
+        for s in report::SECTIONS {
+            println!("{s}");
+        }
         return;
     }
     let mut filter = std::env::var("JRT_FILTER").ok();
@@ -36,6 +46,15 @@ fn main() {
         }
         args.remove(i);
         filter = Some(args.remove(i));
+    }
+    if let Some(f) = &filter {
+        if report::matching_sections(f).is_empty() {
+            eprintln!(
+                "filter {f:?} matches no experiment section; valid names:\n  {}",
+                report::SECTIONS.join(" ")
+            );
+            std::process::exit(2);
+        }
     }
     let size = match args.first().map(String::as_str) {
         Some("tiny") => Size::Tiny,

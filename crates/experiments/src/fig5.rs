@@ -10,7 +10,7 @@ use crate::jobs::{self, Workload};
 use crate::runner::Mode;
 use crate::table::{pct, Table};
 use crate::tape;
-use jrt_cache::SplitCaches;
+use jrt_cache::{CacheConfig, SplitSweep};
 use jrt_workloads::{suite, Size};
 
 /// One benchmark's translate-portion shares.
@@ -66,9 +66,13 @@ impl Fig5 {
 }
 
 fn run_one(w: &Workload) -> Fig5Row {
-    let mut caches = SplitCaches::paper_l1();
-    tape::replay(w, Mode::Jit, &mut caches);
-    let (i, d) = caches.into_inner();
+    let mut sweep = SplitSweep::new(
+        &[CacheConfig::paper_l1_inst()],
+        &[CacheConfig::paper_l1_data()],
+    );
+    sweep.consume(&tape::decoded(w, Mode::Jit));
+    let i = &sweep.icache().results()[0];
+    let d = &sweep.dcache().results()[0];
     Fig5Row {
         name: w.spec.name,
         i_share: i.translate_stats().misses() as f64 / i.stats().misses().max(1) as f64,

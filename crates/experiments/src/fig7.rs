@@ -8,7 +8,7 @@ use crate::jobs::{self, Workload};
 use crate::runner::Mode;
 use crate::table::{pct, Table};
 use crate::tape;
-use jrt_cache::{CacheConfig, SplitCaches};
+use jrt_cache::{CacheConfig, SplitSweep};
 use jrt_workloads::{suite, Size};
 
 /// Associativities swept.
@@ -61,27 +61,29 @@ impl Fig7 {
     }
 }
 
-/// One benchmark × mode job: a single pass drives all four
-/// configurations, returning `(i_refs, d_refs, i_misses, d_misses)`
-/// per associativity.
+/// One benchmark × mode job: a single stack-distance pass over the
+/// decoded stream yields exact counts for all four associativities,
+/// returning `(i_refs, d_refs, i_misses, d_misses)` per point.
 fn run_one(w: &Workload, mode: Mode) -> [(u64, u64, u64, u64); 4] {
-    let mut sweep: Vec<SplitCaches> = ASSOCS
+    let points: Vec<CacheConfig> = ASSOCS
         .iter()
-        .map(|&a| {
-            SplitCaches::new(
-                CacheConfig::paper_assoc_sweep(a),
-                CacheConfig::paper_assoc_sweep(a),
-            )
-        })
+        .map(|&a| CacheConfig::paper_assoc_sweep(a))
         .collect();
-    tape::replay(w, mode, &mut sweep);
+    let mut sweep = SplitSweep::new(&points, &points);
+    sweep.consume(&tape::decoded(w, mode));
     let mut out = [(0, 0, 0, 0); 4];
-    for (k, caches) in sweep.iter().enumerate() {
+    for (k, (i, d)) in sweep
+        .icache()
+        .results()
+        .iter()
+        .zip(sweep.dcache().results())
+        .enumerate()
+    {
         out[k] = (
-            caches.icache().stats().refs(),
-            caches.dcache().stats().refs(),
-            caches.icache().stats().misses(),
-            caches.dcache().stats().misses(),
+            i.stats().refs(),
+            d.stats().refs(),
+            i.stats().misses(),
+            d.stats().misses(),
         );
     }
     out

@@ -10,7 +10,7 @@ use crate::jobs::{self, Workload};
 use crate::runner::Mode;
 use crate::table::{pct, Table};
 use crate::tape;
-use jrt_cache::{CacheConfig, SplitCaches};
+use jrt_cache::{CacheConfig, SplitSweep};
 use jrt_workloads::{suite, Size};
 
 /// Line sizes swept.
@@ -84,26 +84,27 @@ impl Fig8 {
     }
 }
 
-/// One benchmark × mode job: a single pass drives all four line
-/// sizes, returning `(i_refs, d_refs, i_misses, d_misses)` per line.
+/// One benchmark × mode job. The four line sizes go into one sweep as
+/// four families — the decoded stream is walked and classified once,
+/// with four stack touches per access. Returns
+/// `(i_refs, d_refs, i_misses, d_misses)` per line size.
 fn run_one(w: &Workload, mode: Mode) -> [(u64, u64, u64, u64); 4] {
-    let mut sweep: Vec<SplitCaches> = LINES
+    let points: Vec<CacheConfig> = LINES
         .iter()
-        .map(|&l| {
-            SplitCaches::new(
-                CacheConfig::paper_line_sweep(l),
-                CacheConfig::paper_line_sweep(l),
-            )
-        })
+        .map(|&l| CacheConfig::paper_line_sweep(l))
         .collect();
-    tape::replay(w, mode, &mut sweep);
+    let mut sweep = SplitSweep::new(&points, &points);
+    sweep.consume(&tape::decoded(w, mode));
+    let iresults = sweep.icache().results();
+    let dresults = sweep.dcache().results();
     let mut out = [(0, 0, 0, 0); 4];
-    for (k, caches) in sweep.iter().enumerate() {
-        out[k] = (
-            caches.icache().stats().refs(),
-            caches.dcache().stats().refs(),
-            caches.icache().stats().misses(),
-            caches.dcache().stats().misses(),
+    for (k, out_k) in out.iter_mut().enumerate() {
+        let (i, d) = (&iresults[k], &dresults[k]);
+        *out_k = (
+            i.stats().refs(),
+            d.stats().refs(),
+            i.stats().misses(),
+            d.stats().misses(),
         );
     }
     out

@@ -57,6 +57,41 @@ pub struct Report {
     pub codecache: Option<codecache::CodeCacheStudy>,
 }
 
+/// Section names accepted by [`run_filtered`]'s filter, in run order.
+/// The filter matches by substring, so `fig` selects every figure and
+/// `table` every table.
+pub const SECTIONS: [&str; 18] = [
+    "fig1",
+    "table1",
+    "fig2",
+    "table2",
+    "table3",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig11",
+    "indirect",
+    "folding",
+    "proposal",
+    "sizes",
+    "codecache",
+];
+
+/// Returns the sections a filter would run — the same substring rule
+/// [`run_filtered`] applies. Empty means the filter matches nothing
+/// (callers should reject it rather than emit an empty report).
+pub fn matching_sections(filter: &str) -> Vec<&'static str> {
+    SECTIONS
+        .iter()
+        .copied()
+        .filter(|s| s.contains(filter))
+        .collect()
+}
+
 /// Runs every experiment at `size`, logging progress to stderr.
 pub fn run_all(size: Size) -> Report {
     run_filtered(size, None)
@@ -511,5 +546,27 @@ mod tests {
         let md = r.to_markdown();
         assert!(md.contains("## Table 1"));
         assert!(!md.contains("## Figure 1"));
+    }
+
+    #[test]
+    fn matching_sections_follows_filter_rule() {
+        assert_eq!(matching_sections("table1"), vec!["table1"]);
+        assert_eq!(matching_sections("fig1"), vec!["fig1", "fig11"]);
+        assert_eq!(matching_sections(""), SECTIONS.to_vec());
+        assert!(matching_sections("nonexistent").is_empty());
+    }
+
+    /// `SECTIONS` must stay in lockstep with the `step!` calls in
+    /// `run_filtered`: every listed name selects its own section, and
+    /// a report run with that single filter contains something.
+    #[test]
+    fn sections_list_matches_report_fields() {
+        assert_eq!(SECTIONS.len(), 18);
+        for name in SECTIONS {
+            assert!(
+                !matching_sections(name).is_empty(),
+                "{name} matches nothing"
+            );
+        }
     }
 }

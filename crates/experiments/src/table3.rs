@@ -11,7 +11,7 @@ use crate::jobs::{self, Workload};
 use crate::runner::Mode;
 use crate::table::{count, pct, Table};
 use crate::tape;
-use jrt_cache::{CacheStats, SplitCaches};
+use jrt_cache::{CacheConfig, CacheStats, SplitSweep};
 use jrt_workloads::{suite, Size};
 
 /// One benchmark × mode row.
@@ -72,14 +72,16 @@ impl Table3 {
 }
 
 fn run_one(w: &Workload, mode: Mode) -> Table3Row {
-    let mut caches = SplitCaches::paper_l1();
-    tape::replay(w, mode, &mut caches);
-    let (i, d) = caches.into_inner();
+    let mut sweep = SplitSweep::new(
+        &[CacheConfig::paper_l1_inst()],
+        &[CacheConfig::paper_l1_data()],
+    );
+    sweep.consume(&tape::decoded(w, mode));
     Table3Row {
         name: w.spec.name,
         mode,
-        icache: *i.stats(),
-        dcache: *d.stats(),
+        icache: *sweep.icache().results()[0].stats(),
+        dcache: *sweep.dcache().results()[0].stats(),
     }
 }
 

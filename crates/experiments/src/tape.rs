@@ -30,11 +30,19 @@
 //! only changes *when* a stream is re-recorded, never its contents —
 //! recording is deterministic, so a dropped tape re-records
 //! byte-identically (a property the tests pin down).
+//!
+//! On top of the packed tapes sits a second memo layer: [`decoded`]
+//! expands a tape once into flat structure-of-arrays
+//! [`AccessBlocks`] (pc/addr/kind/phase arrays in ~64K-event chunks)
+//! for the access-level consumers — the one-pass cache-sweep drivers
+//! iterate those arrays instead of paying the varint decoder and a
+//! virtual `accept` per event per pass. Decoded blocks are charged
+//! against their own instance of the same LRU byte budget.
 
 use crate::jobs::Workload;
 use crate::runner::Mode;
 use jrt_bytecode::Program;
-use jrt_trace::{CountingSink, FanoutSink, Tape, TapeRecorder, TraceSink};
+use jrt_trace::{AccessBlocks, CountingSink, FanoutSink, Tape, TapeRecorder, TraceSink};
 use jrt_vm::{OracleDecisions, RunResult, Vm, VmConfig};
 use jrt_workloads::{Size, Spec};
 use std::collections::HashMap;
@@ -132,27 +140,73 @@ fn record(w: &Workload, mode: Mode, folding: bool) -> Arc<TapeEntry> {
     })
 }
 
-/// One tape store slot: the shared once-cell plus an LRU stamp.
-struct TapeSlot {
-    slot: Slot<Arc<TapeEntry>>,
+/// One store slot: the shared once-cell plus an LRU stamp.
+struct StoreSlot<V> {
+    slot: Slot<V>,
     last_use: u64,
 }
 
-/// The bounded tape store: slots keyed by [`Key`], with a logical
-/// clock for LRU ordering.
-struct TapeStore {
-    map: HashMap<Key, TapeSlot>,
+/// A bounded LRU store: slots keyed by [`Key`], with a logical clock
+/// for recency ordering. Instantiated once for packed tapes and once
+/// for decoded blocks, each against its own copy of the byte budget.
+struct Store<V> {
+    map: HashMap<Key, StoreSlot<V>>,
     tick: u64,
 }
 
-fn tape_store() -> &'static Mutex<TapeStore> {
-    static TAPES: OnceLock<Mutex<TapeStore>> = OnceLock::new();
-    TAPES.get_or_init(|| {
-        Mutex::new(TapeStore {
+impl<V> Store<V> {
+    fn new() -> Self {
+        Store {
             map: HashMap::new(),
             tick: 0,
-        })
-    })
+        }
+    }
+
+    /// Bumps the LRU stamp for `key` and hands out its slot.
+    fn slot(&mut self, key: Key) -> Slot<V> {
+        self.tick += 1;
+        let tick = self.tick;
+        let ts = self.map.entry(key).or_insert_with(|| StoreSlot {
+            slot: Slot::default(),
+            last_use: 0,
+        });
+        ts.last_use = tick;
+        ts.slot.clone()
+    }
+
+    /// Drops least-recently-used initialized entries until the store
+    /// fits in `budget`, never touching `keep` (the entry the caller
+    /// is about to hand out). Uninitialized slots (work in flight) are
+    /// free and never dropped. Holders of an evicted `Arc` keep it
+    /// alive; the store just forgets it, so the next request rebuilds.
+    fn enforce(&mut self, budget: u64, keep: Option<Key>, cost: impl Fn(&V) -> u64) {
+        loop {
+            let mut total = 0u64;
+            let mut victim: Option<(u64, Key)> = None;
+            for (k, ts) in &self.map {
+                let Some(e) = ts.slot.get() else { continue };
+                total += cost(e);
+                if keep != Some(*k) && victim.is_none_or(|(lu, _)| ts.last_use < lu) {
+                    victim = Some((ts.last_use, *k));
+                }
+            }
+            if total <= budget {
+                return;
+            }
+            let Some((_, k)) = victim else { return };
+            self.map.remove(&k);
+        }
+    }
+}
+
+fn tape_store() -> &'static Mutex<Store<Arc<TapeEntry>>> {
+    static TAPES: OnceLock<Mutex<Store<Arc<TapeEntry>>>> = OnceLock::new();
+    TAPES.get_or_init(|| Mutex::new(Store::new()))
+}
+
+fn decoded_store() -> &'static Mutex<Store<Arc<AccessBlocks>>> {
+    static DECODED: OnceLock<Mutex<Store<Arc<AccessBlocks>>>> = OnceLock::new();
+    DECODED.get_or_init(|| Mutex::new(Store::new()))
 }
 
 /// Flat per-entry charge for everything around the packed tape (the
@@ -175,29 +229,22 @@ fn entry_cost(e: &TapeEntry) -> u64 {
     e.tape.size_bytes() as u64 + ENTRY_OVERHEAD_BYTES
 }
 
-/// Drops least-recently-used initialized entries until the store fits
-/// in `budget`, never touching `keep` (the entry the caller is about
-/// to hand out). Uninitialized slots (recordings in flight) are free
-/// and never dropped. Holders of an evicted `Arc<TapeEntry>` keep it
-/// alive; the store just forgets it, so the next request re-records.
+/// Enforces the byte budget on the packed-tape store.
 fn enforce_budget(budget: u64, keep: Option<Key>) {
-    let mut st = tape_store().lock().expect("tape cache poisoned");
-    loop {
-        let mut total = 0u64;
-        let mut victim: Option<(u64, Key)> = None;
-        for (k, ts) in &st.map {
-            let Some(e) = ts.slot.get() else { continue };
-            total += entry_cost(e);
-            if keep != Some(*k) && victim.is_none_or(|(lu, _)| ts.last_use < lu) {
-                victim = Some((ts.last_use, *k));
-            }
-        }
-        if total <= budget {
-            return;
-        }
-        let Some((_, k)) = victim else { return };
-        st.map.remove(&k);
-    }
+    tape_store()
+        .lock()
+        .expect("tape cache poisoned")
+        .enforce(budget, keep, |e| entry_cost(e));
+}
+
+/// Enforces the byte budget on the decoded-block store.
+fn enforce_decoded_budget(budget: u64, keep: Option<Key>) {
+    decoded_store()
+        .lock()
+        .expect("decoded cache poisoned")
+        .enforce(budget, keep, |b| {
+            b.size_bytes() as u64 + ENTRY_OVERHEAD_BYTES
+        });
 }
 
 fn entry(w: &Workload, mode: Mode, folding: bool) -> Arc<TapeEntry> {
@@ -207,17 +254,7 @@ fn entry(w: &Workload, mode: Mode, folding: bool) -> Arc<TapeEntry> {
         mode,
         folding,
     };
-    let slot = {
-        let mut st = tape_store().lock().expect("tape cache poisoned");
-        st.tick += 1;
-        let tick = st.tick;
-        let ts = st.map.entry(key).or_insert_with(|| TapeSlot {
-            slot: Slot::default(),
-            last_use: 0,
-        });
-        ts.last_use = tick;
-        ts.slot.clone()
-    };
+    let slot = tape_store().lock().expect("tape cache poisoned").slot(key);
     // The record happens outside the store lock (other keys proceed
     // in parallel); the budget check runs after, so a giant fresh
     // tape can push out colder ones but is itself protected.
@@ -245,6 +282,29 @@ pub fn replay(w: &Workload, mode: Mode, sink: &mut impl TraceSink) -> Arc<TapeEn
     let e = recorded(w, mode);
     e.tape.replay(sink);
     e
+}
+
+/// Returns the cached decoded-block expansion of the `(w, mode)` tape,
+/// decoding it (and recording the tape, if needed) on first use. The
+/// blocks are shared (`Arc`) across all callers; the sweep drivers
+/// iterate them instead of replaying the packed tape per pass.
+pub fn decoded(w: &Workload, mode: Mode) -> Arc<AccessBlocks> {
+    let key = Key {
+        name: w.spec.name,
+        size: w.size,
+        mode,
+        folding: false,
+    };
+    let slot = decoded_store()
+        .lock()
+        .expect("decoded cache poisoned")
+        .slot(key);
+    // As with tapes, the expensive decode runs outside the store lock.
+    let b = slot
+        .get_or_init(|| Arc::new(AccessBlocks::from_tape(&recorded(w, mode).tape)))
+        .clone();
+    enforce_decoded_budget(budget_bytes(), Some(key));
+    b
 }
 
 #[cfg(test)]
@@ -339,6 +399,35 @@ mod tests {
         let stock = recorded(&w, Mode::Interp);
         let folded = recorded_folding(&w);
         assert!(folded.counts.total() < stock.counts.total());
+    }
+
+    #[test]
+    fn decoded_blocks_are_shared_and_complete() {
+        let w = hello_workload();
+        let a = decoded(&w, Mode::Interp);
+        let b = decoded(&w, Mode::Interp);
+        assert!(Arc::ptr_eq(&a, &b), "same key must share one decode");
+        let e = recorded(&w, Mode::Interp);
+        assert_eq!(a.len(), e.tape.len(), "every event must be decoded");
+    }
+
+    #[test]
+    fn decoded_eviction_then_redecode_is_identical() {
+        let w = hello_workload();
+        let a = decoded(&w, Mode::Jit);
+        enforce_decoded_budget(0, None);
+        let b = decoded(&w, Mode::Jit);
+        assert!(
+            !Arc::ptr_eq(&a, &b),
+            "blocks must have been dropped and re-decoded"
+        );
+        assert_eq!(a.len(), b.len());
+        for (ba, bb) in a.blocks().iter().zip(b.blocks()) {
+            assert_eq!(ba.pc, bb.pc);
+            assert_eq!(ba.addr, bb.addr);
+            assert_eq!(ba.kind, bb.kind);
+            assert_eq!(ba.phase, bb.phase);
+        }
     }
 
     #[test]

@@ -1,0 +1,99 @@
+//! Fast hashing for already-well-distributed integer ids.
+//!
+//! Several subsystems key hash tables by synthetic ids that are
+//! effectively uniform integers — cache line ids (`addr >> line_shift`),
+//! JIT content ids (a digest of translated bytes), method ids. SipHash
+//! (the std default) defends against adversarial keys, which these are
+//! not, and its per-lookup cost dominates hot simulator paths. The
+//! [`IdHasher`] here finishes `u64` keys with the SplitMix64 finalizer
+//! (a full-avalanche bijection) and falls back to an FNV-style fold for
+//! the rare non-`u64` writes, so every crate shares one definition
+//! instead of growing private copies.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// SplitMix64-finalizer hasher for integer ids.
+///
+/// `write_u64` (the common case: `u64` keys hash through it in one
+/// call) applies the SplitMix64 finalizer; arbitrary byte writes fold
+/// FNV-style. Not resistant to adversarial keys — use only for
+/// internally generated ids.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IdHasher(u64);
+
+impl Hasher for IdHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        let mut z = v.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        self.0 = z ^ (z >> 31);
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(u64::from(v));
+    }
+}
+
+/// `BuildHasher` for [`IdHasher`]-keyed collections.
+pub type IdBuildHasher = BuildHasherDefault<IdHasher>;
+
+/// A `HashMap` keyed by internally generated ids.
+pub type IdHashMap<K, V> = HashMap<K, V, IdBuildHasher>;
+
+/// A `HashSet` of internally generated ids.
+pub type IdHashSet<K> = HashSet<K, IdBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_keys_avalanche() {
+        // Adjacent ids must land far apart: the finalizer is a
+        // bijection with full avalanche, so low bits differ about half
+        // the time between neighbours.
+        let h = |v: u64| {
+            let mut hasher = IdHasher::default();
+            hasher.write_u64(v);
+            hasher.finish()
+        };
+        let mut diff_bits = 0u32;
+        for k in 0..64u64 {
+            diff_bits += (h(k) ^ h(k + 1)).count_ones();
+        }
+        assert!(diff_bits > 64 * 20, "poor avalanche: {diff_bits}");
+        assert_ne!(h(0), 0, "zero must not be a fixed point");
+    }
+
+    #[test]
+    fn byte_fold_distinguishes_streams() {
+        let h = |bytes: &[u8]| {
+            let mut hasher = IdHasher::default();
+            hasher.write(bytes);
+            hasher.finish()
+        };
+        assert_ne!(h(b"ab"), h(b"ba"));
+        assert_ne!(h(b"a"), h(b"aa"));
+    }
+
+    #[test]
+    fn collections_work() {
+        let mut set: IdHashSet<u64> = IdHashSet::default();
+        assert!(set.insert(7));
+        assert!(!set.insert(7));
+        let mut map: IdHashMap<u64, &str> = IdHashMap::default();
+        map.insert(1, "one");
+        assert_eq!(map.get(&1), Some(&"one"));
+    }
+}

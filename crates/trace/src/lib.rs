@@ -19,7 +19,9 @@
 //! * a ready-made instruction-mix profiler ([`InstMix`]) reproducing the
 //!   categories of Figure 2 of the paper, and
 //! * compact record-once/replay-many trace [`Tape`]s mirroring the
-//!   paper's Shade-trace → many-simulators pipeline.
+//!   paper's Shade-trace → many-simulators pipeline, plus decoded
+//!   structure-of-arrays [`AccessBlocks`] for access-level consumers
+//!   and a shared integer-id hasher ([`IdHasher`]) for hot lookup paths.
 //!
 //! # Examples
 //!
@@ -36,12 +38,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod blocks;
+pub mod hash;
 pub mod inst;
 pub mod mix;
 pub mod region;
 pub mod sink;
 pub mod tape;
 
+pub use blocks::{AccessBlock, AccessBlocks, AccessBlocksBuilder, BLOCK_EVENTS};
+pub use hash::{IdBuildHasher, IdHashMap, IdHashSet, IdHasher};
 pub use inst::{AccessKind, CtrlInfo, InstClass, MemRef, NativeInst, Phase, Reg, NUM_REGS};
 pub use mix::{InstMix, MixSummary};
 pub use region::{layout, Region};

@@ -27,7 +27,7 @@ use crate::config::ExecMode;
 use jrt_bytecode::{MethodDef, MethodId, Op};
 use jrt_codecache::{tier, CacheScope, CodeCacheConfig, CodeCacheManager, CodeCacheStats};
 use jrt_codecache::{ProfileTable, TIER_OPT};
-use jrt_trace::{layout, Addr, NativeInst, Phase, TraceSink};
+use jrt_trace::{layout, Addr, IdHashMap, NativeInst, Phase, TraceSink};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -172,7 +172,9 @@ pub(crate) struct JitState {
     scope: CacheScope,
     /// Compiled records keyed by the manager's cache key (scope
     /// dependent; see [`JitState::key_for`]).
-    compiled: HashMap<u64, Arc<CompiledMethod>>,
+    // Cache keys and content ids are internally minted integers, so
+    // the shared id hasher beats SipHash here.
+    compiled: IdHashMap<u64, Arc<CompiledMethod>>,
     /// Content interning for the shared scope: bytecode bytes → id.
     content_ids: HashMap<Vec<u8>, u64>,
     /// Cached method → content id (shared scope only).
@@ -197,7 +199,7 @@ impl JitState {
         JitState {
             scope: config.scope,
             mgr: CodeCacheManager::new(config, CODE_REGION_BASE, layout::CODE_CACHE_END + 1),
-            compiled: HashMap::new(),
+            compiled: IdHashMap::default(),
             content_ids: HashMap::new(),
             content_of: HashMap::new(),
             call_sites: HashMap::new(),
