@@ -1,0 +1,92 @@
+//! Differential fuzzing driver.
+//!
+//! ```text
+//! fuzz_run [--seed N|0xN] [--cases N] [--jobs N] [--out FILE]
+//!          [--require-full-coverage] [--sabotage MODE]
+//! ```
+//!
+//! Prints the deterministic coverage report (same bytes at any
+//! `--jobs` count) and exits nonzero on any divergence, or — with
+//! `--require-full-coverage` — when the opcode/transition map is not
+//! fully exercised. `JRT_FUZZ_SEED` / `JRT_FUZZ_CASES` override the
+//! defaults; explicit flags override the environment.
+
+use jrt_fuzz::{fuzz, Sabotage, MATRIX_LABELS};
+
+fn parse_u64(s: &str) -> u64 {
+    let parsed = if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        s.parse()
+    };
+    parsed.unwrap_or_else(|_| {
+        eprintln!("fuzz_run: not a number: {s}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let mut seed = 0x5EED_0001_u64;
+    let mut cases = 256u64;
+    let mut jobs = 1usize;
+    let mut out: Option<String> = None;
+    let mut require_full = false;
+    let mut sabotage: Option<Sabotage> = None;
+
+    // Environment first; explicit flags below override it.
+    (cases, seed) = jrt_testkit::effective_cases_seed(cases, seed);
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("fuzz_run: {name} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--seed" => seed = parse_u64(&value("--seed")),
+            "--cases" => cases = parse_u64(&value("--cases")),
+            "--jobs" => jobs = parse_u64(&value("--jobs")) as usize,
+            "--out" => out = Some(value("--out")),
+            "--require-full-coverage" => require_full = true,
+            "--sabotage" => {
+                let mode = value("--sabotage");
+                let Some(label) = MATRIX_LABELS.iter().find(|l| **l == mode) else {
+                    eprintln!(
+                        "fuzz_run: unknown mode {mode}; matrix: {}",
+                        MATRIX_LABELS.join(" ")
+                    );
+                    std::process::exit(2);
+                };
+                sabotage = Some(Sabotage { mode: label });
+            }
+            other => {
+                eprintln!("fuzz_run: unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let report = fuzz(seed, cases, jobs, sabotage);
+    let text = report.render(seed);
+    print!("{text}");
+    if let Some(path) = out {
+        if let Err(e) = std::fs::write(&path, &text) {
+            eprintln!("fuzz_run: writing {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+    if !report.divergences.is_empty() {
+        eprintln!("fuzz_run: {} divergence(s)", report.divergences.len());
+        std::process::exit(1);
+    }
+    if require_full && !report.coverage.is_full() {
+        eprintln!(
+            "fuzz_run: coverage incomplete; missing opcodes: {:?}; missing transitions: {:?}",
+            report.coverage.uncovered_opcodes(),
+            report.coverage.missing_transitions()
+        );
+        std::process::exit(1);
+    }
+}

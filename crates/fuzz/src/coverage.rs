@@ -1,0 +1,214 @@
+//! The coverage map: which opcodes, verifier error paths, and
+//! codecache/tier transitions the fuzzing run has exercised.
+//!
+//! Coverage does double duty: it *guides* generation (the generator
+//! boosts the weight of program features mapped to still-uncovered
+//! opcodes) and it *gates* the run (the smoke test and the CI job
+//! require the full map). The rendered report is deterministic — a
+//! plain sorted text block — so CI can diff it across `--jobs`
+//! counts.
+
+use jrt_bytecode::Op;
+use jrt_vm::VmCounters;
+use std::collections::BTreeMap;
+
+/// Mnemonics indexed by [`Op::dispatch_index`].
+pub const OPCODE_NAMES: [&str; Op::NUM_OPCODES] = [
+    "nop",
+    "iconst",
+    "aconst_null",
+    "iload",
+    "istore",
+    "aload",
+    "astore",
+    "pop",
+    "dup",
+    "dup_x1",
+    "swap",
+    "iadd",
+    "isub",
+    "imul",
+    "idiv",
+    "irem",
+    "ineg",
+    "ishl",
+    "ishr",
+    "iushr",
+    "iand",
+    "ior",
+    "ixor",
+    "iinc",
+    "if",
+    "if_icmp",
+    "ifnull",
+    "ifnonnull",
+    "if_acmpeq",
+    "if_acmpne",
+    "goto",
+    "tableswitch",
+    "new",
+    "getfield",
+    "putfield",
+    "getstatic",
+    "putstatic",
+    "newarray",
+    "arraylength",
+    "arrload",
+    "arrstore",
+    "invokestatic",
+    "invokevirtual",
+    "invokespecial",
+    "return",
+    "ireturn",
+    "areturn",
+    "monitorenter",
+    "monitorexit",
+];
+
+/// The eviction-policy × tier transition keys the differential matrix
+/// can exercise; [`Coverage::missing_transitions`] reports which are
+/// still unseen. One entry per engine-specific event class:
+/// translations at each policy, evictions + post-eviction
+/// re-translations per bounded policy, and the tiered engine's
+/// optimizing recompiles.
+pub const TRANSITION_KEYS: [&str; 13] = [
+    "translate:jit",
+    "translate:thresh",
+    "translate:tiered",
+    "translate:cc-lru",
+    "translate:cc-swlru",
+    "translate:cc-hot",
+    "tier2-recompile:tiered",
+    "evict:cc-lru",
+    "evict:cc-swlru",
+    "evict:cc-hot",
+    "retranslate:cc-lru",
+    "retranslate:cc-swlru",
+    "retranslate:cc-hot",
+];
+
+/// Accumulated coverage over a fuzzing run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Coverage {
+    /// Executed-opcode histogram (indexed by dispatch index), summed
+    /// over the reference engine's runs.
+    pub opcodes: Vec<u64>,
+    /// Verifier error variants exercised by the negative suite.
+    pub verifier_errors: BTreeMap<String, u64>,
+    /// Eviction/tier transition events, keyed per [`TRANSITION_KEYS`].
+    pub transitions: BTreeMap<String, u64>,
+    /// Generated cases executed.
+    pub cases: u64,
+    /// Cases whose reference outcome was a (deterministic) runtime
+    /// fault — the fault-injection paths.
+    pub error_outcomes: u64,
+    /// Divergences detected.
+    pub divergences: u64,
+}
+
+impl Coverage {
+    /// Empty map.
+    pub fn new() -> Self {
+        Coverage {
+            opcodes: vec![0; Op::NUM_OPCODES],
+            ..Coverage::default()
+        }
+    }
+
+    /// Whether the opcode at `dispatch` has executed at least once.
+    pub fn opcode_covered(&self, dispatch: u8) -> bool {
+        self.opcodes[usize::from(dispatch)] > 0
+    }
+
+    /// Folds one run's opcode histogram in.
+    pub fn record_opcodes(&mut self, counts: &[u64]) {
+        for (acc, c) in self.opcodes.iter_mut().zip(counts) {
+            *acc += c;
+        }
+    }
+
+    /// Records the engine-specific transition events of one run under
+    /// the engine's matrix label.
+    pub fn record_transitions(&mut self, label: &str, counters: &VmCounters) {
+        let mut add = |key: String, n: u64| {
+            if n > 0 {
+                *self.transitions.entry(key).or_insert(0) += n;
+            }
+        };
+        add(
+            format!("translate:{label}"),
+            u64::from(counters.methods_translated),
+        );
+        add(format!("evict:{label}"), counters.code_evictions);
+        add(format!("retranslate:{label}"), counters.retranslations);
+        add(
+            format!("tier2-recompile:{label}"),
+            u64::from(counters.tier2_recompiles),
+        );
+    }
+
+    /// Records one exercised verifier error path.
+    pub fn record_verifier_error(&mut self, variant: &str) {
+        *self.verifier_errors.entry(variant.to_owned()).or_insert(0) += 1;
+    }
+
+    /// Opcodes that have never executed.
+    pub fn uncovered_opcodes(&self) -> Vec<&'static str> {
+        OPCODE_NAMES
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.opcodes[*i] == 0)
+            .map(|(_, n)| *n)
+            .collect()
+    }
+
+    /// Required transition keys not yet seen.
+    pub fn missing_transitions(&self) -> Vec<&'static str> {
+        TRANSITION_KEYS
+            .iter()
+            .filter(|k| !self.transitions.contains_key(**k))
+            .copied()
+            .collect()
+    }
+
+    /// Full coverage: every opcode and every required transition.
+    pub fn is_full(&self) -> bool {
+        self.uncovered_opcodes().is_empty() && self.missing_transitions().is_empty()
+    }
+
+    /// Deterministic text report (CI diffs this across `--jobs`
+    /// counts).
+    pub fn report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let covered = Op::NUM_OPCODES - self.uncovered_opcodes().len();
+        writeln!(out, "# jrt-fuzz coverage report").unwrap();
+        writeln!(out, "cases: {}", self.cases).unwrap();
+        writeln!(out, "error-outcome cases: {}", self.error_outcomes).unwrap();
+        writeln!(out, "divergences: {}", self.divergences).unwrap();
+        writeln!(out, "opcodes covered: {covered}/{}", Op::NUM_OPCODES).unwrap();
+        for (i, name) in OPCODE_NAMES.iter().enumerate() {
+            writeln!(out, "  opcode {name:<14} {}", self.opcodes[i]).unwrap();
+        }
+        writeln!(
+            out,
+            "transitions covered: {}/{}",
+            TRANSITION_KEYS.len() - self.missing_transitions().len(),
+            TRANSITION_KEYS.len()
+        )
+        .unwrap();
+        for (k, n) in &self.transitions {
+            writeln!(out, "  transition {k:<24} {n}").unwrap();
+        }
+        writeln!(
+            out,
+            "verifier error paths: {}/13",
+            self.verifier_errors.len()
+        )
+        .unwrap();
+        for (k, n) in &self.verifier_errors {
+            writeln!(out, "  verifier {k:<18} {n}").unwrap();
+        }
+        out
+    }
+}

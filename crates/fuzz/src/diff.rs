@@ -1,0 +1,148 @@
+//! The differential executor: one generated program through every
+//! engine configuration, observables compared against the
+//! interpreter.
+//!
+//! The matrix spans the paper's engine space: pure interpretation
+//! (with and without picoJava-style folding), translate-on-first-
+//! invocation JIT, a threshold policy, the tiered policy, and the
+//! bounded code cache at a pathological capacity under each eviction
+//! policy — the configurations where eviction demotes running frames
+//! mid-flight and re-translation churns, which is exactly where a
+//! semantic bug would hide.
+
+use crate::coverage::Coverage;
+use crate::lower;
+use crate::spec::ProgramSpec;
+use jrt_bytecode::Program;
+use jrt_trace::NullSink;
+use jrt_vm::{CodeCacheConfig, EvictionPolicy, ExecMode, JitPolicy, ObservedRun, Vm, VmConfig};
+
+/// Pathological code-cache capacity in bytes — small enough that a
+/// handful of translated methods already evict each other (mirrors
+/// the capacity-sweep knee in the codecache study).
+pub const PATHOLOGICAL_CAPACITY: u64 = 384;
+
+/// Per-case bytecode budget: runaway programs end in the same
+/// deterministic `BudgetExceeded` on every engine.
+pub const CASE_BUDGET: u64 = 150_000;
+
+/// Matrix labels in execution order; index 0 is the reference engine.
+pub const MATRIX_LABELS: [&str; 8] = [
+    "interp",
+    "interp-fold",
+    "jit",
+    "thresh",
+    "tiered",
+    "cc-lru",
+    "cc-swlru",
+    "cc-hot",
+];
+
+/// Builds the engine matrix. All configs share the same bytecode
+/// budget so nonterminating cases stay comparable.
+pub fn engine_configs() -> Vec<(&'static str, VmConfig)> {
+    let base = |mode: ExecMode| VmConfig {
+        mode,
+        max_bytecodes: CASE_BUDGET,
+        ..VmConfig::default()
+    };
+    let bounded = |policy: EvictionPolicy| {
+        let mut cfg = base(ExecMode::Jit(JitPolicy::FirstInvocation));
+        cfg.code_cache = CodeCacheConfig::bounded(PATHOLOGICAL_CAPACITY, policy);
+        cfg
+    };
+    vec![
+        ("interp", base(ExecMode::Interp)),
+        ("interp-fold", {
+            let mut c = base(ExecMode::Interp);
+            c.folding = true;
+            c
+        }),
+        ("jit", base(ExecMode::Jit(JitPolicy::FirstInvocation))),
+        ("thresh", base(ExecMode::Jit(JitPolicy::Threshold(2)))),
+        (
+            "tiered",
+            base(ExecMode::Jit(JitPolicy::Tiered { t1: 1, t2: 4 })),
+        ),
+        ("cc-lru", bounded(EvictionPolicy::Lru)),
+        ("cc-swlru", bounded(EvictionPolicy::SizeWeightedLru)),
+        ("cc-hot", bounded(EvictionPolicy::HotnessDecay)),
+    ]
+}
+
+/// A harness self-test hook: corrupt the named engine's observables
+/// after its run, proving the oracle detects a seeded divergence.
+#[derive(Debug, Clone, Copy)]
+pub struct Sabotage {
+    /// Matrix label whose result gets corrupted.
+    pub mode: &'static str,
+}
+
+/// The full differential result of one case.
+#[derive(Debug)]
+pub struct CaseResult {
+    /// Every engine's observed run, in matrix order.
+    pub observed: Vec<(&'static str, ObservedRun)>,
+    /// Labels whose observables differ from the interpreter's.
+    pub divergent: Vec<&'static str>,
+}
+
+impl CaseResult {
+    /// Reference (interpreter) run.
+    pub fn reference(&self) -> &ObservedRun {
+        &self.observed[0].1
+    }
+}
+
+/// Runs `program` through the whole matrix and compares observables.
+pub fn run_case(program: &Program, sabotage: Option<&Sabotage>) -> CaseResult {
+    let mut observed = Vec::new();
+    for (label, cfg) in engine_configs() {
+        let mut sink = NullSink;
+        let mut run = Vm::new(program, cfg).run_observed(&mut sink);
+        if let Some(s) = sabotage {
+            if s.mode == label {
+                // Corrupt the exit value (or fabricate one on error):
+                // the smallest possible observable lie.
+                run.observables.outcome = match run.observables.outcome {
+                    Ok(v) => Ok(Some(v.unwrap_or(0) ^ 1)),
+                    Err(_) => Ok(Some(0)),
+                };
+            }
+        }
+        observed.push((label, run));
+    }
+    let reference = observed[0].1.observables.clone();
+    let divergent = observed
+        .iter()
+        .skip(1)
+        .filter(|(_, run)| run.observables != reference)
+        .map(|(label, _)| *label)
+        .collect();
+    CaseResult {
+        observed,
+        divergent,
+    }
+}
+
+/// Whether `spec` still diverges under the matrix (the shrinker's
+/// failure predicate). Specs that no longer lower/verify don't count.
+pub fn spec_diverges(spec: &ProgramSpec, sabotage: Option<&Sabotage>) -> bool {
+    match lower::lower(spec) {
+        Ok(program) => !run_case(&program, sabotage).divergent.is_empty(),
+        Err(_) => false,
+    }
+}
+
+/// Folds one case's results into the coverage map.
+pub fn record_case(cov: &mut Coverage, cr: &CaseResult) {
+    cov.cases += 1;
+    cov.record_opcodes(&cr.reference().observables.opcode_counts);
+    if cr.reference().observables.outcome.is_err() {
+        cov.error_outcomes += 1;
+    }
+    for (label, run) in &cr.observed {
+        cov.record_transitions(label, &run.counters);
+    }
+    cov.divergences += cr.divergent.len() as u64;
+}

@@ -1,0 +1,478 @@
+//! Coverage-weighted program generation.
+//!
+//! Every draw comes from the caller's [`Rng`], so a `(seed, case)`
+//! pair fully determines the program. The [`Coverage`] snapshot taken
+//! at generation time tilts the weights: a program feature whose
+//! mapped opcodes have not executed yet gets an 8× boost, so the
+//! fuzzer walks toward uncovered states instead of resampling the
+//! easy middle of the grammar.
+//!
+//! The structural invariants documented in the `spec` module — the
+//! acyclic call ranks, bounded loops, and closed hierarchy — are all
+//! enforced here; the lowering stage just trusts them.
+
+use crate::coverage::Coverage;
+use crate::spec::{
+    BinOp, ClassSpec, Expr, MethodSpec, ProgramSpec, Resources, ShuffleKind, Stmt, MAX_LOOP_DEPTH,
+    NUM_FIELDS, NUM_STATICS, NUM_TEMPS, NUM_VSLOTS,
+};
+use jrt_bytecode::{ArrayKind, Cond, CpIndex, Op};
+use jrt_testkit::Rng;
+
+/// Maximum statement-nesting depth (If/Loop/Switch/Locked).
+const MAX_STMT_DEPTH: u8 = 2;
+/// Maximum expression-nesting depth.
+const MAX_EXPR_DEPTH: u8 = 3;
+/// Coverage boost multiplier for features mapped to uncovered opcodes.
+const BOOST: u32 = 8;
+
+/// A callable static method: (class, method index, nargs).
+type StaticSig = (u8, u8, u8);
+
+/// Generation context for one method body.
+struct Ctx<'a> {
+    cov: &'a Coverage,
+    /// Static methods this body may call (rank-restricted).
+    statics: &'a [StaticSig],
+    /// Virtual slots `< max_vslot` may be called.
+    max_vslot: u8,
+    n_classes: u8,
+    nargs: u8,
+    // Resource demands accumulated while generating.
+    obj: bool,
+    int_arr: bool,
+    char_arr: bool,
+    byte_arr: bool,
+    ref_arr: bool,
+    ref_tmp: bool,
+}
+
+fn d(op: Op) -> u8 {
+    op.dispatch_index()
+}
+
+/// Weight `base`, boosted when any of `ops` is uncovered.
+fn w(cov: &Coverage, base: u32, ops: &[u8]) -> u32 {
+    if ops.iter().any(|&o| !cov.opcode_covered(o)) {
+        base * BOOST
+    } else {
+        base
+    }
+}
+
+/// Draws an index from a weight table (zero-weight entries excluded).
+fn pick(rng: &mut Rng, weights: &[u32]) -> usize {
+    let total: u64 = weights.iter().map(|&x| u64::from(x)).sum();
+    assert!(total > 0, "no candidate has weight");
+    let mut roll = rng.u64_in(0..total);
+    for (i, &wt) in weights.iter().enumerate() {
+        let wt = u64::from(wt);
+        if roll < wt {
+            return i;
+        }
+        roll -= wt;
+    }
+    unreachable!()
+}
+
+fn gen_cond(rng: &mut Rng) -> Cond {
+    *rng.choose(&[Cond::Eq, Cond::Ne, Cond::Lt, Cond::Ge, Cond::Gt, Cond::Le])
+}
+
+fn gen_value_kind(ctx: &mut Ctx<'_>, rng: &mut Rng) -> ArrayKind {
+    let kind = *rng.choose(&[ArrayKind::Int, ArrayKind::Char, ArrayKind::Byte]);
+    match kind {
+        ArrayKind::Int => ctx.int_arr = true,
+        ArrayKind::Char => ctx.char_arr = true,
+        ArrayKind::Byte => ctx.byte_arr = true,
+        ArrayKind::Ref => unreachable!(),
+    }
+    kind
+}
+
+fn gen_expr(ctx: &mut Ctx<'_>, rng: &mut Rng, depth: u8) -> Expr {
+    let cov = ctx.cov;
+    let deeper = depth < MAX_EXPR_DEPTH;
+    let calls = depth < 2;
+    // Kind table; indices match the dispatch below.
+    let weights = [
+        w(cov, 3, &[d(Op::IConst(0))]),             // 0 Const
+        if ctx.nargs > 0 { 2 } else { 0 },          // 1 Arg
+        w(cov, 3, &[d(Op::ILoad(0))]),              // 2 Temp
+        if deeper { 4 } else { 0 },                 // 3 Bin
+        w(cov, 2, &[d(Op::INeg)]),                  // 4 Neg
+        if deeper { 2 } else { 0 },                 // 5 Shuffle
+        w(cov, 2, &[d(Op::GetStatic(CpIndex(0)))]), // 6 GetStatic
+        w(cov, 2, &[d(Op::GetField(CpIndex(0)))]),  // 7 GetField
+        if deeper {
+            w(cov, 2, &[d(Op::ArrLoad(ArrayKind::Int))])
+        } else {
+            0
+        }, // 8 ArrElem
+        w(cov, 1, &[d(Op::ArrayLength)]),           // 9 ArrLen
+        if calls && !ctx.statics.is_empty() {
+            w(cov, 3, &[d(Op::InvokeStatic(CpIndex(0)))])
+        } else {
+            0
+        }, // 10 CallStatic
+        if calls && ctx.max_vslot > 0 {
+            w(cov, 3, &[d(Op::InvokeVirtual(CpIndex(0)))])
+        } else {
+            0
+        }, // 11 CallVirtual
+        if calls && ctx.max_vslot > 0 {
+            w(cov, 2, &[d(Op::InvokeSpecial(CpIndex(0)))])
+        } else {
+            0
+        }, // 12 CallSpecial
+    ];
+    match pick(rng, &weights) {
+        0 => Expr::Const(rng.i32_in(-64..65)),
+        1 => Expr::Arg(rng.usize_in(0..usize::from(ctx.nargs)) as u8),
+        2 => Expr::Temp(rng.usize_in(0..usize::from(NUM_TEMPS)) as u8),
+        3 => {
+            let ops = [
+                (BinOp::Add, d(Op::IAdd)),
+                (BinOp::Sub, d(Op::ISub)),
+                (BinOp::Mul, d(Op::IMul)),
+                (BinOp::Div, d(Op::IDiv)),
+                (BinOp::Rem, d(Op::IRem)),
+                (BinOp::Shl, d(Op::IShl)),
+                (BinOp::Shr, d(Op::IShr)),
+                (BinOp::Ushr, d(Op::IUshr)),
+                (BinOp::And, d(Op::IAnd)),
+                (BinOp::Or, d(Op::IOr)),
+                (BinOp::Xor, d(Op::IXor)),
+            ];
+            let ws: Vec<u32> = ops.iter().map(|(_, di)| w(cov, 2, &[*di])).collect();
+            let (op, _) = ops[pick(rng, &ws)];
+            let a = Box::new(gen_expr(ctx, rng, depth + 1));
+            let b = Box::new(gen_expr(ctx, rng, depth + 1));
+            // Fault injection: rarely leave a division unguarded.
+            if matches!(op, BinOp::Div | BinOp::Rem) && rng.u64_in(0..8) == 0 {
+                Expr::RawDiv(a, b)
+            } else {
+                Expr::Bin(op, a, b)
+            }
+        }
+        4 => Expr::Neg(Box::new(gen_expr(ctx, rng, depth + 1))),
+        5 => {
+            let kinds = [
+                (ShuffleKind::Dup, d(Op::Dup)),
+                (ShuffleKind::DupX1, d(Op::DupX1)),
+                (ShuffleKind::Swap, d(Op::Swap)),
+                (ShuffleKind::Pop, d(Op::Pop)),
+            ];
+            let ws: Vec<u32> = kinds.iter().map(|(_, di)| w(cov, 1, &[*di])).collect();
+            let (kind, _) = kinds[pick(rng, &ws)];
+            Expr::Shuffle(
+                kind,
+                Box::new(gen_expr(ctx, rng, depth + 1)),
+                Box::new(gen_expr(ctx, rng, depth + 1)),
+            )
+        }
+        6 => Expr::GetStatic(rng.usize_in(0..usize::from(NUM_STATICS)) as u8),
+        7 => {
+            ctx.obj = true;
+            Expr::GetField(rng.usize_in(0..usize::from(NUM_FIELDS)) as u8)
+        }
+        8 => {
+            let kind = gen_value_kind(ctx, rng);
+            let idx = Box::new(gen_expr(ctx, rng, depth + 1));
+            // Fault injection: rarely skip the index mask.
+            if kind == ArrayKind::Int && rng.u64_in(0..12) == 0 {
+                Expr::ArrElemRaw(idx)
+            } else {
+                Expr::ArrElem(kind, idx)
+            }
+        }
+        9 => Expr::ArrLen(gen_value_kind(ctx, rng)),
+        10 => {
+            let (class, method, nargs) = *rng.choose(ctx.statics);
+            let args = (0..nargs).map(|_| gen_expr(ctx, rng, depth + 1)).collect();
+            Expr::CallStatic {
+                class,
+                method,
+                args,
+            }
+        }
+        11 => {
+            ctx.obj = true;
+            Expr::CallVirtual {
+                vslot: rng.usize_in(0..usize::from(ctx.max_vslot)) as u8,
+                arg: Box::new(gen_expr(ctx, rng, depth + 1)),
+            }
+        }
+        12 => {
+            ctx.obj = true;
+            Expr::CallSpecial {
+                class: rng.usize_in(0..usize::from(ctx.n_classes)) as u8,
+                vslot: rng.usize_in(0..usize::from(ctx.max_vslot)) as u8,
+                arg: Box::new(gen_expr(ctx, rng, depth + 1)),
+            }
+        }
+        _ => unreachable!(),
+    }
+}
+
+fn gen_stmt(ctx: &mut Ctx<'_>, rng: &mut Rng, depth: u8, loop_depth: u8, budget: &mut i32) -> Stmt {
+    let cov = ctx.cov;
+    let nest = depth < MAX_STMT_DEPTH && *budget > 2;
+    let weights = [
+        w(cov, 4, &[d(Op::IStore(0))]),                // 0 StoreTemp
+        w(cov, 2, &[d(Op::IInc(0, 0))]),               // 1 IncTemp
+        w(cov, 3, &[d(Op::PutStatic(CpIndex(0)))]),    // 2 StoreStatic
+        w(cov, 3, &[d(Op::PutField(CpIndex(0)))]),     // 3 StoreField
+        w(cov, 3, &[d(Op::ArrStore(ArrayKind::Int))]), // 4 StoreArr
+        w(cov, 3, &[d(Op::InvokeStatic(CpIndex(0)))]), // 5 Print
+        1,                                             // 6 PrintChar
+        if nest { 4 } else { 0 },                      // 7 If
+        if nest && loop_depth < MAX_LOOP_DEPTH {
+            w(cov, 3, &[d(Op::Goto(0))])
+        } else {
+            0
+        }, // 8 Loop
+        if nest {
+            w(
+                cov,
+                2,
+                &[d(Op::TableSwitch {
+                    low: 0,
+                    default: 0,
+                    targets: Vec::new(),
+                })],
+            )
+        } else {
+            0
+        }, // 9 Switch
+        if nest {
+            w(cov, 2, &[d(Op::MonitorEnter)])
+        } else {
+            0
+        }, // 10 Locked
+        w(
+            cov,
+            2,
+            &[
+                d(Op::AConstNull),
+                d(Op::IfNull(0)),
+                d(Op::IfNonNull(0)),
+                d(Op::IfACmpEq(0)),
+                d(Op::IfACmpNe(0)),
+                d(Op::AReturn),
+            ],
+        ), // 11 RefOps
+        w(cov, 1, &[d(Op::Nop)]),                      // 12 Nop
+    ];
+    *budget -= 1;
+    match pick(rng, &weights) {
+        0 => Stmt::StoreTemp(
+            rng.usize_in(0..usize::from(NUM_TEMPS)) as u8,
+            gen_expr(ctx, rng, 0),
+        ),
+        1 => Stmt::IncTemp(
+            rng.usize_in(0..usize::from(NUM_TEMPS)) as u8,
+            rng.i32_in(-3..4) as i16,
+        ),
+        2 => Stmt::StoreStatic(
+            rng.usize_in(0..usize::from(NUM_STATICS)) as u8,
+            gen_expr(ctx, rng, 0),
+        ),
+        3 => {
+            ctx.obj = true;
+            Stmt::StoreField(
+                rng.usize_in(0..usize::from(NUM_FIELDS)) as u8,
+                gen_expr(ctx, rng, 0),
+            )
+        }
+        4 => {
+            let kind = gen_value_kind(ctx, rng);
+            Stmt::StoreArr(kind, gen_expr(ctx, rng, 1), gen_expr(ctx, rng, 1))
+        }
+        5 => Stmt::Print(gen_expr(ctx, rng, 0)),
+        6 => Stmt::PrintChar(gen_expr(ctx, rng, 0)),
+        7 => {
+            let cond = gen_cond(rng);
+            let a = gen_expr(ctx, rng, 1);
+            let b = rng.bool().then(|| gen_expr(ctx, rng, 1));
+            let then = gen_body(ctx, rng, depth + 1, loop_depth, budget);
+            let els = gen_body(ctx, rng, depth + 1, loop_depth, budget);
+            Stmt::If {
+                cond,
+                a,
+                b,
+                then,
+                els,
+            }
+        }
+        8 => Stmt::Loop {
+            n: rng.usize_in(1..7) as u8,
+            body: gen_body(ctx, rng, depth + 1, loop_depth + 1, budget),
+        },
+        9 => {
+            let n_arms = rng.usize_in(2..5);
+            let arms = (0..n_arms)
+                .map(|_| gen_body(ctx, rng, depth + 1, loop_depth, budget))
+                .collect();
+            let default = gen_body(ctx, rng, depth + 1, loop_depth, budget);
+            Stmt::Switch {
+                key: gen_expr(ctx, rng, 1),
+                arms,
+                default,
+            }
+        }
+        10 => {
+            ctx.obj = true;
+            Stmt::Locked(gen_body(ctx, rng, depth + 1, loop_depth, budget))
+        }
+        11 => {
+            ctx.obj = true;
+            ctx.ref_tmp = true;
+            let use_arr = rng.bool();
+            if use_arr {
+                ctx.ref_arr = true;
+            }
+            Stmt::RefOps {
+                flag: gen_expr(ctx, rng, 1),
+                use_acmp: rng.bool(),
+                use_arr,
+                acmp_eq: rng.bool(),
+                // Fault injection: rarely skip the null check.
+                unchecked_field: rng.u64_in(0..10) == 0,
+                arr_idx: rng.u8(),
+            }
+        }
+        12 => Stmt::Nop,
+        _ => unreachable!(),
+    }
+}
+
+fn gen_body(
+    ctx: &mut Ctx<'_>,
+    rng: &mut Rng,
+    depth: u8,
+    loop_depth: u8,
+    budget: &mut i32,
+) -> Vec<Stmt> {
+    let n = rng.usize_in(1..4);
+    (0..n)
+        .map(|_| {
+            if *budget <= 0 {
+                Stmt::Nop
+            } else {
+                gen_stmt(ctx, rng, depth, loop_depth, budget)
+            }
+        })
+        .collect()
+}
+
+/// Generates one method body under the call-rank palette.
+#[allow(clippy::too_many_arguments)]
+fn gen_method(
+    rng: &mut Rng,
+    cov: &Coverage,
+    statics: &[StaticSig],
+    max_vslot: u8,
+    n_classes: u8,
+    is_instance: bool,
+    nargs: u8,
+    budget: i32,
+) -> MethodSpec {
+    let mut ctx = Ctx {
+        cov,
+        statics,
+        max_vslot,
+        n_classes,
+        nargs,
+        obj: false,
+        int_arr: false,
+        char_arr: false,
+        byte_arr: false,
+        ref_arr: false,
+        ref_tmp: false,
+    };
+    let mut temp_init = [0i32; NUM_TEMPS as usize];
+    for t in &mut temp_init {
+        *t = rng.i32_in(-6..7);
+    }
+    let mut budget = budget;
+    let body = gen_body(&mut ctx, rng, 0, 0, &mut budget);
+    let ret = gen_expr(&mut ctx, rng, 0);
+    let obj_class =
+        (!is_instance && ctx.obj).then(|| rng.usize_in(0..usize::from(n_classes)) as u8);
+    MethodSpec {
+        nargs,
+        res: Resources {
+            obj_class,
+            int_arr: ctx.int_arr,
+            char_arr: ctx.char_arr,
+            byte_arr: ctx.byte_arr,
+            ref_arr: ctx.ref_arr,
+            ref_tmp: ctx.ref_tmp,
+        },
+        temp_init,
+        body,
+        ret,
+        synchronized: rng.u64_in(0..8) == 0,
+    }
+}
+
+/// Generates a whole program from `rng`, guided by the coverage
+/// snapshot `cov`.
+pub fn gen_spec(rng: &mut Rng, cov: &Coverage) -> ProgramSpec {
+    let n_classes = 1 + rng.usize_in(0..3) as u8; // 1..=3
+
+    // Shape first: static-method signatures (class-major order defines
+    // the call rank) and which subclasses override which vslots.
+    let mut globals: Vec<StaticSig> = Vec::new();
+    let mut static_counts = Vec::new();
+    for c in 0..n_classes {
+        let n = if c == 0 {
+            1 + rng.usize_in(0..2) as u8
+        } else {
+            rng.usize_in(0..2) as u8
+        };
+        static_counts.push(n);
+        for j in 0..n {
+            globals.push((c, j, rng.usize_in(0..3) as u8));
+        }
+    }
+    let mut override_mask = vec![vec![true; usize::from(NUM_VSLOTS)]];
+    for _ in 1..n_classes {
+        override_mask.push((0..NUM_VSLOTS).map(|_| rng.bool()).collect());
+    }
+
+    // Method bodies, in rank order. Virtual slot k may call slots < k
+    // (so overrides never recurse even mutually); statics may call any
+    // vslot and lower-ranked statics.
+    let mut classes: Vec<ClassSpec> = (0..n_classes)
+        .map(|_| ClassSpec {
+            overrides: vec![None; usize::from(NUM_VSLOTS)],
+            statics: Vec::new(),
+        })
+        .collect();
+    for (c, mask) in override_mask.iter().enumerate() {
+        for (k, &on) in mask.iter().enumerate() {
+            if on {
+                classes[c].overrides[k] =
+                    Some(gen_method(rng, cov, &[], k as u8, n_classes, true, 1, 8));
+            }
+        }
+    }
+    for (g, &(c, _j, nargs)) in globals.iter().enumerate() {
+        let m = gen_method(
+            rng,
+            cov,
+            &globals[..g],
+            NUM_VSLOTS,
+            n_classes,
+            false,
+            nargs,
+            8,
+        );
+        classes[usize::from(c)].statics.push(m);
+    }
+    let main = gen_method(rng, cov, &globals, NUM_VSLOTS, n_classes, false, 0, 14);
+
+    ProgramSpec { classes, main }
+}

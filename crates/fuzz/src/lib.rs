@@ -1,0 +1,228 @@
+//! Coverage-guided differential fuzzer for the bytecode toolchain and
+//! every execution engine.
+//!
+//! The whole-system invariant behind the paper's methodology is that
+//! all execution techniques — interpretation (plain and folding),
+//! translate-on-first-invocation JIT, threshold and tiered
+//! compilation, and the bounded code cache under every eviction
+//! policy — implement the *same* bytecode semantics; the performance
+//! studies only make sense if the engines are observationally
+//! equivalent. This crate checks that invariant mechanically:
+//!
+//! * [`gen`] — a structured generator producing *always-verifiable*
+//!   programs (bounded loops by construction, guarded or
+//!   deterministically-faulting arithmetic, rank-ordered acyclic call
+//!   graphs over classes/fields/virtual slots) from a replayable
+//!   [`jrt_testkit::Rng`] seed;
+//! * [`diff`] — the differential executor: each program runs through
+//!   the full engine matrix and every engine's
+//!   [`jrt_vm::Observables`] must equal the interpreter's;
+//! * [`coverage`] — the coverage map over executed opcodes, verifier
+//!   error paths, and eviction/tier transitions; generation weights
+//!   boost features whose opcodes are still uncovered;
+//! * [`neg`] — the negative suite asserting all 13 toolchain
+//!   rejection paths;
+//! * [`shrink`] — greedy minimization of any diverging program to a
+//!   small reproducer.
+//!
+//! # Determinism
+//!
+//! [`fuzz`] generates cases in fixed-size rounds: the whole round is
+//! generated sequentially from the round-start coverage snapshot,
+//! executed in parallel, then folded back into coverage in case-index
+//! order. The report is therefore byte-identical at any `jobs` count,
+//! and any case replays alone from `(seed, index)` via
+//! [`jrt_testkit::Rng::for_case`].
+//!
+//! ```
+//! let report = jrt_fuzz::fuzz(0x5EED, 8, 2, None);
+//! assert_eq!(report.divergences.len(), 0);
+//! assert_eq!(report.coverage.cases, 8);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coverage;
+pub mod diff;
+pub mod gen;
+pub mod lower;
+pub mod neg;
+pub mod shrink;
+pub mod spec;
+
+pub use coverage::{Coverage, OPCODE_NAMES, TRANSITION_KEYS};
+pub use diff::{engine_configs, run_case, spec_diverges, CaseResult, Sabotage, MATRIX_LABELS};
+pub use gen::gen_spec;
+pub use lower::lower;
+pub use spec::ProgramSpec;
+
+use jrt_testkit::Rng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Cases generated per round. Generation is sequential within a
+/// round; execution is parallel; coverage merges at the round
+/// boundary. Smaller rounds track coverage more closely, larger
+/// rounds parallelize better.
+pub const ROUND: u64 = 32;
+
+/// One detected divergence, already minimized.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// The run seed.
+    pub seed: u64,
+    /// Case index within the run; replay with
+    /// `Rng::for_case(seed, case)`.
+    pub case: u64,
+    /// Engine labels that disagreed with the interpreter.
+    pub modes: Vec<&'static str>,
+    /// Statement/expression size of the spec as generated.
+    pub original_size: usize,
+    /// The shrunken reproducer.
+    pub minimized: ProgramSpec,
+}
+
+/// Outcome of a fuzzing run.
+#[derive(Debug)]
+pub struct FuzzReport {
+    /// Accumulated coverage (opcodes, verifier errors, transitions).
+    pub coverage: Coverage,
+    /// All divergences, in case order.
+    pub divergences: Vec<Divergence>,
+}
+
+impl FuzzReport {
+    /// Deterministic rendering: the coverage report plus one block per
+    /// divergence with replay instructions. CI diffs this across
+    /// `--jobs` counts.
+    pub fn render(&self, seed: u64) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        writeln!(out, "seed: {seed:#x}").unwrap();
+        out.push_str(&self.coverage.report());
+        for d in &self.divergences {
+            writeln!(
+                out,
+                "divergence at case {} (modes: {}); replay: JRT_FUZZ_SEED={:#x} case {}",
+                d.case,
+                d.modes.join(","),
+                d.seed,
+                d.case
+            )
+            .unwrap();
+            writeln!(
+                out,
+                "  minimized ({} -> {} nodes): {:?}",
+                d.original_size,
+                d.minimized.size(),
+                d.minimized
+            )
+            .unwrap();
+        }
+        out
+    }
+}
+
+/// Generates and lowers case `index` of a run exactly as [`fuzz`]
+/// would, given the coverage snapshot `cov` at its round start. With
+/// an empty snapshot this reproduces any case of round 0.
+pub fn gen_case(seed: u64, index: u64, cov: &Coverage) -> ProgramSpec {
+    let mut rng = Rng::for_case(seed, index);
+    gen::gen_spec(&mut rng, cov)
+}
+
+fn run_one(seed: u64, case: u64, spec: &ProgramSpec, sabotage: Option<&Sabotage>) -> CaseResult {
+    let program = lower::lower(spec).unwrap_or_else(|e| {
+        panic!("seed {seed:#x} case {case}: generated spec failed to lower/verify: {e}\n{spec:?}")
+    });
+    diff::run_case(&program, sabotage)
+}
+
+/// Executes one round's specs across `jobs` worker threads; results
+/// come back in case order regardless of scheduling.
+fn run_batch(
+    seed: u64,
+    specs: &[(u64, ProgramSpec)],
+    jobs: usize,
+    sabotage: Option<&Sabotage>,
+) -> Vec<CaseResult> {
+    let jobs = jobs.max(1).min(specs.len().max(1));
+    if jobs == 1 {
+        return specs
+            .iter()
+            .map(|(case, s)| run_one(seed, *case, s, sabotage))
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, CaseResult)>();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            let tx = tx.clone();
+            let next = &next;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some((case, spec)) = specs.get(i) else {
+                    break;
+                };
+                let result = run_one(seed, *case, spec, sabotage);
+                if tx.send((i, result)).is_err() {
+                    break;
+                }
+            });
+        }
+    });
+    drop(tx);
+    let mut slots: Vec<Option<CaseResult>> = specs.iter().map(|_| None).collect();
+    for (i, r) in rx {
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("worker dropped a case"))
+        .collect()
+}
+
+/// Runs the fuzzer: `cases` generated programs through the full
+/// engine matrix on `jobs` threads, preceded by the negative suite.
+/// Any diverging case is shrunk to a minimal reproducer.
+///
+/// Deterministic in `(seed, cases)`: the same inputs produce the same
+/// programs, coverage, and verdicts at any `jobs` count. Callers
+/// honouring the `JRT_FUZZ_SEED` / `JRT_FUZZ_CASES` environment
+/// overrides should map them via
+/// [`jrt_testkit::effective_cases_seed`] *before* calling.
+pub fn fuzz(seed: u64, cases: u64, jobs: usize, sabotage: Option<Sabotage>) -> FuzzReport {
+    let mut cov = Coverage::new();
+    neg::exercise(&mut cov);
+    let mut divergences = Vec::new();
+    let mut start = 0u64;
+    while start < cases {
+        let n = ROUND.min(cases - start);
+        // Sequential generation from the round-start snapshot keeps
+        // coverage guidance deterministic under parallel execution.
+        let snapshot = cov.clone();
+        let specs: Vec<(u64, ProgramSpec)> = (start..start + n)
+            .map(|i| (i, gen_case(seed, i, &snapshot)))
+            .collect();
+        let results = run_batch(seed, &specs, jobs, sabotage.as_ref());
+        for ((case, spec), cr) in specs.iter().zip(&results) {
+            diff::record_case(&mut cov, cr);
+            if !cr.divergent.is_empty() {
+                let minimized = shrink::shrink(spec, sabotage.as_ref());
+                divergences.push(Divergence {
+                    seed,
+                    case: *case,
+                    modes: cr.divergent.clone(),
+                    original_size: spec.size(),
+                    minimized,
+                });
+            }
+        }
+        start += n;
+    }
+    FuzzReport {
+        coverage: cov,
+        divergences,
+    }
+}

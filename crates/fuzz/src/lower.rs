@@ -1,0 +1,565 @@
+//! Lowers a [`ProgramSpec`] to assembled classes and a verified
+//! [`Program`].
+//!
+//! Lowering is deterministic (same spec ⇒ byte-identical classes) and
+//! total for generator-produced specs: every structural invariant the
+//! generator maintains (see the `spec` module docs) is exactly what
+//! makes the emitted bytecode pass the verifier. A lowering or
+//! verification failure on a generated spec is therefore itself a
+//! fuzzing *finding* — the harness reports it like a divergence.
+
+use crate::spec::{
+    BinOp, Expr, MethodSpec, ProgramSpec, ShuffleKind, Stmt, MAX_LOOP_DEPTH, NUM_TEMPS,
+    REF_ARR_LEN, VALUE_ARR_LEN,
+};
+use jrt_bytecode::{ArrayKind, BytecodeError, ClassAsm, Cond, MethodAsm, Program, RetKind};
+
+/// Name of generated class `i` (`Main`, `C1`, `C2`, …).
+pub fn class_name(i: u8) -> String {
+    if i == 0 {
+        "Main".to_owned()
+    } else {
+        format!("C{i}")
+    }
+}
+
+/// Local-slot map of one method being lowered.
+struct Frame {
+    /// Slot holding the method's object (`this`, or a fresh instance
+    /// for static methods that need one).
+    obj_slot: Option<u8>,
+    /// Pool class name for virtual calls on the object.
+    obj_class: Option<String>,
+    int_arr: Option<u8>,
+    char_arr: Option<u8>,
+    byte_arr: Option<u8>,
+    ref_arr: Option<u8>,
+    ref_tmp: Option<u8>,
+    temp_base: u8,
+    loop_base: u8,
+    arg_base: u8,
+}
+
+impl Frame {
+    fn obj(&self) -> u8 {
+        self.obj_slot.expect("spec uses an object the method lacks")
+    }
+
+    fn arr(&self, kind: ArrayKind) -> u8 {
+        match kind {
+            ArrayKind::Int => self.int_arr,
+            ArrayKind::Char => self.char_arr,
+            ArrayKind::Byte => self.byte_arr,
+            ArrayKind::Ref => self.ref_arr,
+        }
+        .expect("spec uses an array the method lacks")
+    }
+}
+
+/// Lowers one method spec into assembly.
+fn lower_method(name: &str, class_idx: u8, is_instance: bool, ms: &MethodSpec) -> MethodAsm {
+    let mut m = if is_instance {
+        MethodAsm::new_instance(name, ms.nargs)
+    } else {
+        MethodAsm::new(name, ms.nargs)
+    }
+    .returns(RetKind::Int);
+    if ms.synchronized {
+        m = m.synchronized();
+    }
+
+    // Slot layout: [this?] args | obj? | arrays… | ref_tmp? | temps | loop counters.
+    let arg_base = u8::from(is_instance);
+    let mut cursor = arg_base + ms.nargs;
+    let mut alloc = |flag: bool| {
+        flag.then(|| {
+            cursor += 1;
+            cursor - 1
+        })
+    };
+    let obj_slot = if is_instance {
+        Some(0)
+    } else {
+        alloc(ms.res.obj_class.is_some())
+    };
+    let int_arr = alloc(ms.res.int_arr);
+    let char_arr = alloc(ms.res.char_arr);
+    let byte_arr = alloc(ms.res.byte_arr);
+    let ref_arr = alloc(ms.res.ref_arr);
+    let ref_tmp = alloc(ms.res.ref_tmp);
+    let temp_base = cursor;
+    let loop_base = temp_base + NUM_TEMPS;
+    let f = Frame {
+        obj_slot,
+        obj_class: if is_instance {
+            Some(class_name(class_idx))
+        } else {
+            ms.res.obj_class.map(class_name)
+        },
+        int_arr,
+        char_arr,
+        byte_arr,
+        ref_arr,
+        ref_tmp,
+        temp_base,
+        loop_base,
+        arg_base,
+    };
+
+    // Prologue: materialize resources and temps.
+    if !is_instance {
+        if let (Some(slot), Some(cls)) = (f.obj_slot, &f.obj_class) {
+            m.new_obj(cls).astore(slot);
+        }
+    }
+    for (kind, slot) in [
+        (ArrayKind::Int, f.int_arr),
+        (ArrayKind::Char, f.char_arr),
+        (ArrayKind::Byte, f.byte_arr),
+    ] {
+        if let Some(slot) = slot {
+            m.iconst(VALUE_ARR_LEN).newarray(kind).astore(slot);
+        }
+    }
+    if let Some(slot) = f.ref_arr {
+        m.iconst(REF_ARR_LEN).newarray(ArrayKind::Ref).astore(slot);
+    }
+    if name == "main" {
+        // The only void call site: keeps the `return` opcode (and a
+        // void invocation record) in every case's footprint.
+        m.invokestatic("Main", "tick", 0, RetKind::Void);
+    }
+    if let Some(slot) = f.ref_tmp {
+        m.aconst_null().astore(slot);
+    }
+    for (k, v) in ms.temp_init.iter().enumerate() {
+        m.iconst(*v).istore(f.temp_base + k as u8);
+    }
+
+    emit_body(&mut m, &f, &ms.body, 0);
+    emit_expr(&mut m, &f, &ms.ret);
+    m.ireturn();
+    m
+}
+
+fn emit_body(m: &mut MethodAsm, f: &Frame, body: &[Stmt], loop_depth: u8) {
+    for s in body {
+        emit_stmt(m, f, s, loop_depth);
+    }
+}
+
+fn emit_stmt(m: &mut MethodAsm, f: &Frame, s: &Stmt, loop_depth: u8) {
+    match s {
+        Stmt::Nop => {
+            m.op(jrt_bytecode::Op::Nop);
+        }
+        Stmt::StoreTemp(k, e) => {
+            emit_expr(m, f, e);
+            m.istore(f.temp_base + k);
+        }
+        Stmt::IncTemp(k, d) => {
+            m.iinc(f.temp_base + k, *d);
+        }
+        Stmt::StoreStatic(k, e) => {
+            emit_expr(m, f, e);
+            m.putstatic("Main", &format!("s{k}"));
+        }
+        Stmt::StoreField(k, e) => {
+            m.aload(f.obj());
+            emit_expr(m, f, e);
+            m.putfield("Main", &format!("f{k}"));
+        }
+        Stmt::StoreArr(kind, idx, val) => {
+            m.aload(f.arr(*kind));
+            emit_expr(m, f, idx);
+            m.iconst(VALUE_ARR_LEN - 1).iand();
+            emit_expr(m, f, val);
+            arr_store(m, *kind);
+        }
+        Stmt::Print(e) => {
+            emit_expr(m, f, e);
+            m.invokestatic("Sys", "print_int", 1, RetKind::Void);
+        }
+        Stmt::PrintChar(e) => {
+            emit_expr(m, f, e);
+            m.invokestatic("Sys", "print_char", 1, RetKind::Void);
+        }
+        Stmt::If {
+            cond,
+            a,
+            b,
+            then,
+            els,
+        } => {
+            let l_then = m.new_label();
+            let l_end = m.new_label();
+            emit_expr(m, f, a);
+            match b {
+                Some(b) => {
+                    emit_expr(m, f, b);
+                    branch_icmp(m, *cond, l_then);
+                }
+                None => branch_if(m, *cond, l_then),
+            }
+            emit_body(m, f, els, loop_depth);
+            m.goto(l_end);
+            m.bind(l_then);
+            emit_body(m, f, then, loop_depth);
+            m.bind(l_end);
+        }
+        Stmt::Loop { n, body } => {
+            assert!(loop_depth < MAX_LOOP_DEPTH, "loop nesting exceeds bound");
+            let c = f.loop_base + loop_depth;
+            let l_head = m.new_label();
+            let l_end = m.new_label();
+            m.iconst(0).istore(c);
+            m.bind(l_head);
+            m.iload(c).iconst(i32::from(*n)).if_icmp_ge(l_end);
+            emit_body(m, f, body, loop_depth + 1);
+            m.iinc(c, 1).goto(l_head);
+            m.bind(l_end);
+        }
+        Stmt::Switch { key, arms, default } => {
+            let l_end = m.new_label();
+            let l_default = m.new_label();
+            let arm_labels: Vec<_> = arms.iter().map(|_| m.new_label()).collect();
+            emit_expr(m, f, key);
+            // Mask the key into a small non-negative range so both the
+            // arms and (when arms < the mask range) the default are
+            // reachable.
+            m.iconst(VALUE_ARR_LEN - 1).iand();
+            m.tableswitch(0, l_default, &arm_labels);
+            for (l, arm) in arm_labels.iter().zip(arms) {
+                m.bind(*l);
+                emit_body(m, f, arm, loop_depth);
+                m.goto(l_end);
+            }
+            m.bind(l_default);
+            emit_body(m, f, default, loop_depth);
+            m.bind(l_end);
+        }
+        Stmt::Locked(body) => {
+            m.aload(f.obj()).monitorenter();
+            emit_body(m, f, body, loop_depth);
+            m.aload(f.obj()).monitorexit();
+        }
+        Stmt::RefOps {
+            flag,
+            use_acmp,
+            use_arr,
+            acmp_eq,
+            unchecked_field,
+            arr_idx,
+        } => emit_ref_ops(
+            m,
+            f,
+            flag,
+            *use_acmp,
+            *use_arr,
+            *acmp_eq,
+            *unchecked_field,
+            *arr_idx,
+        ),
+    }
+}
+
+/// The composite reference block; see [`Stmt::RefOps`].
+#[allow(clippy::too_many_arguments)]
+fn emit_ref_ops(
+    m: &mut MethodAsm,
+    f: &Frame,
+    flag: &Expr,
+    use_acmp: bool,
+    use_arr: bool,
+    acmp_eq: bool,
+    unchecked_field: bool,
+    arr_idx: u8,
+) {
+    let obj = f.obj();
+    let cls = f.obj_class.clone().expect("RefOps requires an object");
+    let rtmp = f.ref_tmp.expect("RefOps requires the ref temp");
+
+    // r = obj.ref0(flag)  — null when flag == 0.
+    m.aload(obj);
+    emit_expr(m, f, flag);
+    m.invokevirtual(&cls, "ref0", 1, RetKind::Ref).astore(rtmp);
+
+    if unchecked_field {
+        // Fault injection: NPE (deterministically) when r is null.
+        m.aload(rtmp).getfield("Main", "f1").istore(f.temp_base);
+    } else {
+        let l_null = m.new_label();
+        let l_end = m.new_label();
+        m.aload(rtmp).ifnull(l_null);
+        m.aload(rtmp)
+            .getfield("Main", "f0")
+            .istore(f.temp_base)
+            .goto(l_end);
+        m.bind(l_null);
+        m.iconst(7).istore(f.temp_base);
+        m.bind(l_end);
+    }
+
+    if use_acmp {
+        let l_taken = m.new_label();
+        let l_end = m.new_label();
+        m.aload(rtmp).aload(obj);
+        if acmp_eq {
+            m.if_acmp_eq(l_taken);
+        } else {
+            m.if_acmp_ne(l_taken);
+        }
+        m.iinc(f.temp_base + 1, 1).goto(l_end);
+        m.bind(l_taken);
+        m.iinc(f.temp_base + 1, -1);
+        m.bind(l_end);
+    }
+
+    if use_arr {
+        let arr = f.arr(ArrayKind::Ref);
+        let mask = REF_ARR_LEN - 1;
+        m.aload(arr)
+            .iconst(i32::from(arr_idx) & mask)
+            .aload(rtmp)
+            .aastore();
+        let l_skip = m.new_label();
+        m.aload(arr)
+            .iconst((i32::from(arr_idx) + 1) & mask)
+            .aaload()
+            .ifnonnull(l_skip);
+        m.iinc(f.temp_base + 2, 3);
+        m.bind(l_skip);
+    }
+}
+
+fn emit_expr(m: &mut MethodAsm, f: &Frame, e: &Expr) {
+    match e {
+        Expr::Const(v) => {
+            m.iconst(*v);
+        }
+        Expr::Arg(k) => {
+            m.iload(f.arg_base + k);
+        }
+        Expr::Temp(k) => {
+            m.iload(f.temp_base + k);
+        }
+        Expr::Bin(op, a, b) => {
+            emit_expr(m, f, a);
+            emit_expr(m, f, b);
+            if matches!(op, BinOp::Div | BinOp::Rem) {
+                // Guard: divisor | 1 is never zero.
+                m.iconst(1).ior();
+            }
+            match op {
+                BinOp::Add => m.iadd(),
+                BinOp::Sub => m.isub(),
+                BinOp::Mul => m.imul(),
+                BinOp::Div => m.idiv(),
+                BinOp::Rem => m.irem(),
+                BinOp::Shl => m.ishl(),
+                BinOp::Shr => m.ishr(),
+                BinOp::Ushr => m.iushr(),
+                BinOp::And => m.iand(),
+                BinOp::Or => m.ior(),
+                BinOp::Xor => m.ixor(),
+            };
+        }
+        Expr::RawDiv(a, b) => {
+            emit_expr(m, f, a);
+            emit_expr(m, f, b);
+            m.idiv();
+        }
+        Expr::Neg(a) => {
+            emit_expr(m, f, a);
+            m.ineg();
+        }
+        Expr::Shuffle(kind, a, b) => {
+            match kind {
+                ShuffleKind::Dup => {
+                    emit_expr(m, f, a);
+                    m.dup().iadd();
+                }
+                ShuffleKind::DupX1 => {
+                    emit_expr(m, f, a);
+                    emit_expr(m, f, b);
+                    m.dup_x1().iadd().ixor();
+                }
+                ShuffleKind::Swap => {
+                    emit_expr(m, f, a);
+                    emit_expr(m, f, b);
+                    m.swap().isub();
+                }
+                ShuffleKind::Pop => {
+                    emit_expr(m, f, a);
+                    emit_expr(m, f, b);
+                    m.pop();
+                }
+            };
+        }
+        Expr::GetStatic(k) => {
+            m.getstatic("Main", &format!("s{k}"));
+        }
+        Expr::GetField(k) => {
+            m.aload(f.obj()).getfield("Main", &format!("f{k}"));
+        }
+        Expr::ArrElem(kind, idx) => {
+            m.aload(f.arr(*kind));
+            emit_expr(m, f, idx);
+            m.iconst(VALUE_ARR_LEN - 1).iand();
+            arr_load(m, *kind);
+        }
+        Expr::ArrElemRaw(idx) => {
+            m.aload(f.arr(ArrayKind::Int));
+            emit_expr(m, f, idx);
+            m.iaload();
+        }
+        Expr::ArrLen(kind) => {
+            m.aload(f.arr(*kind)).arraylength();
+        }
+        Expr::CallStatic {
+            class,
+            method,
+            args,
+        } => {
+            for a in args {
+                emit_expr(m, f, a);
+            }
+            m.invokestatic(
+                &class_name(*class),
+                &format!("m{method}"),
+                args.len() as u8,
+                RetKind::Int,
+            );
+        }
+        Expr::CallVirtual { vslot, arg } => {
+            let cls = f.obj_class.clone().expect("virtual call needs an object");
+            m.aload(f.obj());
+            emit_expr(m, f, arg);
+            m.invokevirtual(&cls, &format!("v{vslot}"), 1, RetKind::Int);
+        }
+        Expr::CallSpecial { class, vslot, arg } => {
+            m.aload(f.obj());
+            emit_expr(m, f, arg);
+            m.invokespecial(&class_name(*class), &format!("v{vslot}"), 1, RetKind::Int);
+        }
+    }
+}
+
+fn arr_load(m: &mut MethodAsm, kind: ArrayKind) {
+    match kind {
+        ArrayKind::Int => m.iaload(),
+        ArrayKind::Char => m.caload(),
+        ArrayKind::Byte => m.baload(),
+        ArrayKind::Ref => unreachable!("value-array op on Ref"),
+    };
+}
+
+fn arr_store(m: &mut MethodAsm, kind: ArrayKind) {
+    match kind {
+        ArrayKind::Int => m.iastore(),
+        ArrayKind::Char => m.castore(),
+        ArrayKind::Byte => m.bastore(),
+        ArrayKind::Ref => unreachable!("value-array op on Ref"),
+    };
+}
+
+/// `if<cond>` with a dynamically chosen condition.
+fn branch_if(m: &mut MethodAsm, cond: Cond, l: jrt_bytecode::Label) {
+    match cond {
+        Cond::Eq => m.if_eq(l),
+        Cond::Ne => m.if_ne(l),
+        Cond::Lt => m.if_lt(l),
+        Cond::Ge => m.if_ge(l),
+        Cond::Gt => m.if_gt(l),
+        Cond::Le => m.if_le(l),
+    };
+}
+
+/// `if_icmp<cond>` with a dynamically chosen condition.
+fn branch_icmp(m: &mut MethodAsm, cond: Cond, l: jrt_bytecode::Label) {
+    match cond {
+        Cond::Eq => m.if_icmp_eq(l),
+        Cond::Ne => m.if_icmp_ne(l),
+        Cond::Lt => m.if_icmp_lt(l),
+        Cond::Ge => m.if_icmp_ge(l),
+        Cond::Gt => m.if_icmp_gt(l),
+        Cond::Le => m.if_icmp_le(l),
+    };
+}
+
+/// `Main::ref0(flag)` — returns `this` when `flag != 0`, else null.
+/// Fixed body; the only generated method returning a reference.
+fn ref0_method() -> MethodAsm {
+    let mut m = MethodAsm::new_instance("ref0", 1).returns(RetKind::Ref);
+    let l_null = m.new_label();
+    m.iload(1).if_eq(l_null);
+    m.aload(0).areturn();
+    m.bind(l_null);
+    m.aconst_null().areturn();
+    m
+}
+
+/// `Main::tick()` — static void: bumps static `s0`. The one method
+/// whose bytecode executes the void `return` opcode.
+fn tick_method() -> MethodAsm {
+    let mut m = MethodAsm::new("tick", 0);
+    m.getstatic("Main", "s0")
+        .iconst(1)
+        .iadd()
+        .putstatic("Main", "s0");
+    m.ret();
+    m
+}
+
+/// Lowers the spec to assembled classes (Sys intrinsics included).
+pub fn lower_classes(spec: &ProgramSpec) -> Vec<ClassAsm> {
+    let mut sys = ClassAsm::new("Sys");
+    sys.add_method(MethodAsm::native("print_int", 1, RetKind::Void));
+    sys.add_method(MethodAsm::native("print_char", 1, RetKind::Void));
+    let mut classes = vec![sys];
+
+    for (i, cs) in spec.classes.iter().enumerate() {
+        let i = i as u8;
+        let mut c = if i == 0 {
+            ClassAsm::new("Main")
+        } else {
+            ClassAsm::with_super(&class_name(i), "Main")
+        };
+        if i == 0 {
+            for k in 0..crate::spec::NUM_FIELDS {
+                c.add_field(&format!("f{k}"));
+            }
+            for k in 0..crate::spec::NUM_STATICS {
+                c.add_static_field(&format!("s{k}"));
+            }
+            c.add_method(ref0_method());
+            c.add_method(tick_method());
+        }
+        for (k, ov) in cs.overrides.iter().enumerate() {
+            if let Some(ms) = ov {
+                c.add_method(lower_method(&format!("v{k}"), i, true, ms));
+            } else {
+                assert!(i != 0, "class 0 must implement every virtual slot");
+            }
+        }
+        for (j, ms) in cs.statics.iter().enumerate() {
+            c.add_method(lower_method(&format!("m{j}"), i, false, ms));
+        }
+        if i == 0 {
+            c.add_method(lower_method("main", 0, false, &spec.main));
+        }
+        classes.push(c);
+    }
+    classes
+}
+
+/// Lowers and links the spec into a verified [`Program`].
+///
+/// # Errors
+///
+/// Propagates any [`BytecodeError`] from linking/verification. For
+/// generator-produced specs this never fires; the differential driver
+/// treats a failure as a finding.
+pub fn lower(spec: &ProgramSpec) -> Result<Program, BytecodeError> {
+    Program::build(lower_classes(spec), "Main", "main")
+}

@@ -1,0 +1,205 @@
+//! The negative suite: one deterministic construction per
+//! [`BytecodeError`] variant.
+//!
+//! Where the generator only ever produces *valid* programs (so the
+//! differential oracle can demand identical observables), this module
+//! walks the toolchain's rejection paths: hand-encoded byte streams
+//! for decode errors, hand-built [`MethodDef`]s for dataflow errors,
+//! and whole mis-linked programs for resolution errors. Every variant
+//! is *asserted*, not sampled — [`exercise`] panics if any path
+//! produces the wrong error.
+
+use crate::coverage::Coverage;
+use jrt_bytecode::verify::verify_method;
+use jrt_bytecode::{
+    BytecodeError, ClassAsm, ConstPool, MethodAsm, MethodDef, MethodFlags, Program, RetKind,
+};
+use std::sync::Mutex;
+
+/// All 13 error-path names, in declaration order.
+pub const VARIANTS: [&str; 13] = [
+    "Truncated",
+    "BadOpcode",
+    "BadCond",
+    "BadArrayKind",
+    "BadConstant",
+    "BadBranchTarget",
+    "BadStack",
+    "BadLocal",
+    "FallsOffEnd",
+    "BadReturn",
+    "Unresolved",
+    "DuplicateClass",
+    "UnboundLabel",
+];
+
+/// Variant name of a [`BytecodeError`].
+pub fn variant_name(e: &BytecodeError) -> &'static str {
+    match e {
+        BytecodeError::Truncated(_) => "Truncated",
+        BytecodeError::BadOpcode { .. } => "BadOpcode",
+        BytecodeError::BadCond(_) => "BadCond",
+        BytecodeError::BadArrayKind(_) => "BadArrayKind",
+        BytecodeError::BadConstant { .. } => "BadConstant",
+        BytecodeError::BadBranchTarget { .. } => "BadBranchTarget",
+        BytecodeError::BadStack { .. } => "BadStack",
+        BytecodeError::BadLocal { .. } => "BadLocal",
+        BytecodeError::FallsOffEnd => "FallsOffEnd",
+        BytecodeError::BadReturn { .. } => "BadReturn",
+        BytecodeError::Unresolved(_) => "Unresolved",
+        BytecodeError::DuplicateClass(_) => "DuplicateClass",
+        BytecodeError::UnboundLabel(_) => "UnboundLabel",
+    }
+}
+
+/// A raw method definition for hand-encoded negative cases. The
+/// assembler's `finish` is crate-private by design (it enforces the
+/// invariants we are deliberately violating), so these are built
+/// directly.
+fn raw(code: Vec<u8>, max_locals: u16, ret: RetKind) -> MethodDef {
+    MethodDef {
+        name: "bad".to_owned(),
+        nargs: 0,
+        ret,
+        max_locals,
+        max_stack: 0,
+        code,
+        flags: MethodFlags {
+            is_static: true,
+            ..MethodFlags::default()
+        },
+    }
+}
+
+fn verify_raw(code: Vec<u8>, max_locals: u16, ret: RetKind) -> BytecodeError {
+    verify_method(&raw(code, max_locals, ret), &ConstPool::new())
+        .expect_err("negative case unexpectedly verified")
+}
+
+/// A trivially valid `main` for the link-level cases.
+fn valid_main() -> MethodAsm {
+    let mut m = MethodAsm::new("main", 0);
+    m.ret();
+    m
+}
+
+/// Serializes panic-hook swaps so parallel tests can run [`exercise`]
+/// concurrently.
+static HOOK_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs the assembler with an unbound label and captures its panic
+/// message (the one rejection that is an assembler invariant, not a
+/// verifier result).
+fn unbound_label_panic() -> String {
+    let _guard = HOOK_LOCK.lock().unwrap();
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let result = std::panic::catch_unwind(|| {
+        let mut class = ClassAsm::new("Main");
+        let mut m = MethodAsm::new("main", 0);
+        let dangling = m.new_label();
+        m.goto(dangling).ret();
+        class.add_method(m);
+        let _ = Program::build(vec![class], "Main", "main");
+    });
+    std::panic::set_hook(prev);
+    let payload = result.expect_err("unbound label did not panic");
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else {
+        String::from("<non-string panic payload>")
+    }
+}
+
+/// Exercises every rejection path once, asserting the exact variant
+/// each construction produces, and records them into `cov`. Returns
+/// `(variant, rendered error)` pairs for reporting.
+pub fn exercise(cov: &mut Coverage) -> Vec<(&'static str, String)> {
+    let mut out: Vec<(&'static str, String)> = Vec::new();
+    {
+        let mut hit = |expected: &'static str, e: BytecodeError| {
+            assert_eq!(
+                variant_name(&e),
+                expected,
+                "negative case for {expected} produced: {e}"
+            );
+            out.push((expected, e.to_string()));
+        };
+
+        // iconst opcode with its 4 operand bytes missing.
+        hit("Truncated", verify_raw(vec![1], 0, RetKind::Void));
+        // 200 is not an opcode.
+        hit("BadOpcode", verify_raw(vec![200], 0, RetKind::Void));
+        // `if` with condition code 9 (valid codes are 0..=5).
+        hit(
+            "BadCond",
+            verify_raw(vec![24, 9, 0, 0, 0, 0], 0, RetKind::Void),
+        );
+        // newarray with kind code 7 (valid kinds are 0..=3).
+        hit("BadArrayKind", verify_raw(vec![37, 7], 0, RetKind::Void));
+        // getstatic #5 against an empty constant pool.
+        hit(
+            "BadConstant",
+            verify_raw(vec![35, 0, 5, 45], 0, RetKind::Int),
+        );
+        // goto into the middle of its own encoding (offset 2 is not an
+        // instruction boundary).
+        hit(
+            "BadBranchTarget",
+            verify_raw(vec![30, 0, 0, 0, 2], 0, RetKind::Void),
+        );
+        // iadd on an empty operand stack.
+        hit("BadStack", verify_raw(vec![11, 44], 0, RetKind::Void));
+        // iload of local 5 in a frame with zero locals.
+        hit("BadLocal", verify_raw(vec![3, 5, 45], 0, RetKind::Int));
+        // iconst; pop; then execution falls off the end of the code.
+        hit(
+            "FallsOffEnd",
+            verify_raw(vec![1, 0, 0, 0, 7, 7], 0, RetKind::Void),
+        );
+        // ireturn from a method declared void.
+        hit(
+            "BadReturn",
+            verify_raw(vec![1, 0, 0, 0, 7, 45], 0, RetKind::Void),
+        );
+
+        // Call into a class that does not exist.
+        let mut class = ClassAsm::new("Main");
+        let mut m = MethodAsm::new("main", 0).returns(RetKind::Int);
+        m.invokestatic("Ghost", "m", 0, RetKind::Int).ireturn();
+        class.add_method(m);
+        hit(
+            "Unresolved",
+            Program::build(vec![class], "Main", "main")
+                .expect_err("ghost call unexpectedly linked"),
+        );
+
+        // Two classes both named Main.
+        let mut a = ClassAsm::new("Main");
+        a.add_method(valid_main());
+        let mut b = ClassAsm::new("Main");
+        b.add_method(valid_main());
+        hit(
+            "DuplicateClass",
+            Program::build(vec![a, b], "Main", "main")
+                .expect_err("duplicate class unexpectedly linked"),
+        );
+    }
+
+    // A label used but never bound: rejected by assembler panic.
+    let msg = unbound_label_panic();
+    assert!(
+        msg.contains("used but never bound"),
+        "unexpected unbound-label panic: {msg}"
+    );
+    out.push(("UnboundLabel", msg));
+
+    assert_eq!(out.len(), VARIANTS.len());
+    for (i, (got, _)) in out.iter().enumerate() {
+        assert_eq!(*got, VARIANTS[i]);
+        cov.record_verifier_error(got);
+    }
+    out
+}

@@ -1,0 +1,326 @@
+//! The generated-program representation.
+//!
+//! A [`ProgramSpec`] is a small AST that is **verifiable by
+//! construction**: every spec the generator can produce lowers
+//! (`lower` module) to a program that passes the bytecode verifier.
+//! Runtime faults, on the other hand, are allowed — the generator
+//! deliberately injects *unguarded* divisions, array indices, and
+//! field accesses at a low rate, because `VmError`s are deterministic
+//! (they name the method and bytecode pc) and therefore first-class
+//! observables for the differential oracle.
+//!
+//! Structural safety invariants, maintained by the generator and
+//! preserved by the shrinker:
+//!
+//! * **Acyclic call graph** — virtual slot `k` (every override of it)
+//!   may only call virtual slots `< k`; static method `j` (in global
+//!   declaration order) may call any virtual slot and statics `< j`;
+//!   `main` may call anything. No recursion, bounded stack depth.
+//! * **Bounded loops** — `Stmt::Loop` always counts a dedicated
+//!   counter local from 0 to a literal bound; nesting is capped at
+//!   [`MAX_LOOP_DEPTH`].
+//! * **Closed class hierarchy** — class 0 (`Main`) declares all
+//!   fields, statics, and all [`NUM_VSLOTS`] virtual methods; every
+//!   further class extends `Main`, so field slots and vtable lookups
+//!   always resolve.
+
+use jrt_bytecode::{ArrayKind, Cond};
+
+/// Instance fields declared by class 0 (`f0..`).
+pub const NUM_FIELDS: u8 = 3;
+/// Static fields declared by class 0 (`s0..`).
+pub const NUM_STATICS: u8 = 4;
+/// Scratch int locals per method (`t0..`), initialized in the prologue.
+pub const NUM_TEMPS: u8 = 4;
+/// Length of every generated value array; a power of two so indices
+/// can be masked in range with a single `iand`.
+pub const VALUE_ARR_LEN: i32 = 8;
+/// Length of the generated reference array (also a power of two).
+pub const REF_ARR_LEN: i32 = 4;
+/// Maximum `Stmt::Loop` nesting depth.
+pub const MAX_LOOP_DEPTH: u8 = 2;
+/// Virtual-method slots (`v0..`) in the shared vtable rooted at class 0.
+pub const NUM_VSLOTS: u8 = 2;
+
+/// Binary int operators (`Div`/`Rem` lower with a `| 1` guard on the
+/// divisor; the *unguarded* form is [`Expr::RawDiv`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Wrapping add.
+    Add,
+    /// Wrapping subtract.
+    Sub,
+    /// Wrapping multiply.
+    Mul,
+    /// Guarded divide.
+    Div,
+    /// Guarded remainder.
+    Rem,
+    /// Shift left (count masked to 5 bits by the VM).
+    Shl,
+    /// Arithmetic shift right.
+    Shr,
+    /// Logical shift right.
+    Ushr,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+}
+
+/// Operand-stack shuffle shapes; each lowers to a value-producing
+/// instruction sequence exercising one shuffle opcode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShuffleKind {
+    /// `a dup iadd` — doubles `a`.
+    Dup,
+    /// `a b dup_x1 iadd ixor` — `b ^ (a + b)`.
+    DupX1,
+    /// `a b swap isub` — `b - a`.
+    Swap,
+    /// `a b pop` — discards `b`, yields `a`.
+    Pop,
+}
+
+/// An int-valued expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Literal constant.
+    Const(i32),
+    /// Int argument `k` of the enclosing method.
+    Arg(u8),
+    /// Scratch temp `k`.
+    Temp(u8),
+    /// Binary operation (divisor guarded for `Div`/`Rem`).
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// **Unguarded** divide — fault injection; traps deterministically
+    /// when the divisor evaluates to zero.
+    RawDiv(Box<Expr>, Box<Expr>),
+    /// Negation.
+    Neg(Box<Expr>),
+    /// Stack-shuffle sequence.
+    Shuffle(ShuffleKind, Box<Expr>, Box<Expr>),
+    /// Static field `s{k}` of `Main`.
+    GetStatic(u8),
+    /// Instance field `f{k}` of the method's object.
+    GetField(u8),
+    /// Element of the method's value array of `kind`, index masked in
+    /// range.
+    ArrElem(ArrayKind, Box<Expr>),
+    /// **Unguarded** int-array element — fault injection; traps when
+    /// the index is out of bounds.
+    ArrElemRaw(Box<Expr>),
+    /// Length of the method's value array of `kind`.
+    ArrLen(ArrayKind),
+    /// Call static `m{method}` of class `class`.
+    CallStatic {
+        /// Callee class index.
+        class: u8,
+        /// Callee static-method index within the class.
+        method: u8,
+        /// Int arguments (length matches the callee's `nargs`).
+        args: Vec<Expr>,
+    },
+    /// Call virtual slot `v{vslot}` on the method's object.
+    CallVirtual {
+        /// Vtable slot.
+        vslot: u8,
+        /// The single int argument every virtual method takes.
+        arg: Box<Expr>,
+    },
+    /// Directly call class `class`'s implementation of `v{vslot}` on
+    /// the method's object (no dispatch — `invokespecial`).
+    CallSpecial {
+        /// Implementation owner (resolution walks its ancestry).
+        class: u8,
+        /// Vtable slot.
+        vslot: u8,
+        /// The single int argument.
+        arg: Box<Expr>,
+    },
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// No-op (also keeps shrinking honest: a body is never empty).
+    Nop,
+    /// `t{k} = e`.
+    StoreTemp(u8, Expr),
+    /// `t{k} += d` via `iinc`.
+    IncTemp(u8, i16),
+    /// `Main.s{k} = e`.
+    StoreStatic(u8, Expr),
+    /// `obj.f{k} = e`.
+    StoreField(u8, Expr),
+    /// `arr[idx & mask] = val` into the value array of `kind`.
+    StoreArr(ArrayKind, Expr, Expr),
+    /// `Sys.print_int(e)`.
+    Print(Expr),
+    /// `Sys.print_char(e)` (any int is printable — unmapped code
+    /// points render as `'?'`, deterministically).
+    PrintChar(Expr),
+    /// Two-armed conditional.
+    If {
+        /// Comparison condition.
+        cond: Cond,
+        /// Left operand.
+        a: Expr,
+        /// Right operand: `Some` lowers to `if_icmp<cond>`, `None`
+        /// compares `a` against zero with `if<cond>`.
+        b: Option<Expr>,
+        /// Taken-branch body.
+        then: Vec<Stmt>,
+        /// Fall-through body.
+        els: Vec<Stmt>,
+    },
+    /// Bounded counted loop: `for c in 0..n { body }`.
+    Loop {
+        /// Literal iteration count (small by construction).
+        n: u8,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `tableswitch` over `key & (arms.len()-1)`-style masked key.
+    Switch {
+        /// Switch key (masked in lowering to hit arms and default).
+        key: Expr,
+        /// Consecutive-key arms starting at 0.
+        arms: Vec<Vec<Stmt>>,
+        /// Default body.
+        default: Vec<Stmt>,
+    },
+    /// `synchronized (obj) { body }` — monitorenter/exit around the
+    /// body on the method's object.
+    Locked(Vec<Stmt>),
+    /// Composite reference-operations block: calls `Main::ref0` (which
+    /// returns `this` or null depending on `flag`), stores the result
+    /// in a reference temp, then exercises null tests, reference
+    /// comparisons, and the reference array.
+    RefOps {
+        /// Argument to `ref0`; zero ⇒ null comes back.
+        flag: Expr,
+        /// Also compare the ref against the method's object
+        /// (`if_acmpeq`/`if_acmpne`).
+        use_acmp: bool,
+        /// Also store/load the ref through the reference array.
+        use_arr: bool,
+        /// Selects `if_acmpeq` (true) vs `if_acmpne` (false).
+        acmp_eq: bool,
+        /// **Unguarded** `getfield` on the maybe-null ref — fault
+        /// injection; NPEs deterministically when `flag` is zero.
+        unchecked_field: bool,
+        /// Reference-array index seed (masked in range).
+        arr_idx: u8,
+    },
+}
+
+/// Per-method resource requirements: which locals the prologue must
+/// materialize before the body runs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Resources {
+    /// For static methods: allocate a fresh instance of this class
+    /// into the object local. Instance methods use `this` and leave
+    /// this `None`.
+    pub obj_class: Option<u8>,
+    /// Allocate the int value array.
+    pub int_arr: bool,
+    /// Allocate the char value array.
+    pub char_arr: bool,
+    /// Allocate the byte value array.
+    pub byte_arr: bool,
+    /// Allocate the reference array.
+    pub ref_arr: bool,
+    /// Reserve the reference temp local (needed by any `RefOps`).
+    pub ref_tmp: bool,
+}
+
+/// One generated method body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MethodSpec {
+    /// Int arguments (0–2 for statics; virtual methods always take 1).
+    pub nargs: u8,
+    /// Prologue resources.
+    pub res: Resources,
+    /// Initial values of the scratch temps.
+    pub temp_init: [i32; NUM_TEMPS as usize],
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Return expression.
+    pub ret: Expr,
+    /// Declare the method `synchronized`.
+    pub synchronized: bool,
+}
+
+/// One generated class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassSpec {
+    /// Virtual-slot implementations: class 0 must fill every slot;
+    /// subclasses override a subset (`None` = inherit).
+    pub overrides: Vec<Option<MethodSpec>>,
+    /// Static methods `m0..`.
+    pub statics: Vec<MethodSpec>,
+}
+
+/// A whole generated program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgramSpec {
+    /// `classes[0]` is `Main`; the rest extend it.
+    pub classes: Vec<ClassSpec>,
+    /// The static entry method (`Main::main`, no args, returns int).
+    pub main: MethodSpec,
+}
+
+impl ProgramSpec {
+    /// Visits every method spec (entry, overrides, statics) in a
+    /// canonical order.
+    pub fn for_each_method(&self, mut f: impl FnMut(&MethodSpec)) {
+        f(&self.main);
+        for c in &self.classes {
+            for m in c.overrides.iter().flatten() {
+                f(m);
+            }
+            for m in &c.statics {
+                f(m);
+            }
+        }
+    }
+
+    /// Mutable canonical-order visit of every method spec.
+    pub fn for_each_method_mut(&mut self, mut f: impl FnMut(&mut MethodSpec)) {
+        f(&mut self.main);
+        for c in &mut self.classes {
+            for m in c.overrides.iter_mut().flatten() {
+                f(m);
+            }
+            for m in &mut c.statics {
+                f(m);
+            }
+        }
+    }
+
+    /// Total statement count across all bodies (the shrinker's size
+    /// metric).
+    pub fn size(&self) -> usize {
+        fn stmts(body: &[Stmt]) -> usize {
+            body.iter()
+                .map(|s| {
+                    1 + match s {
+                        Stmt::If { then, els, .. } => stmts(then) + stmts(els),
+                        Stmt::Loop { body, .. } => stmts(body),
+                        Stmt::Switch { arms, default, .. } => {
+                            arms.iter().map(|a| stmts(a)).sum::<usize>() + stmts(default)
+                        }
+                        Stmt::Locked(body) => stmts(body),
+                        _ => 0,
+                    }
+                })
+                .sum()
+        }
+        let mut n = 0;
+        self.for_each_method(|m| n += stmts(&m.body));
+        n
+    }
+}

@@ -9,11 +9,26 @@
 //! * [`forall!`] — a fixed-seed property-test harness: runs a body
 //!   over N deterministic cases and, on failure, reports the case
 //!   index and per-case seed so the failure replays exactly;
+//! * [`minimize`] / [`run_forall_shrink`] — greedy shrinking: when a
+//!   checked property fails, the counterexample is reduced through
+//!   caller-supplied candidate mutations until no candidate still
+//!   fails, and the *minimized* value is what the panic reports;
 //! * [`mod@bench`] — a median-of-N wall-clock timer emitting JSON lines,
 //!   wired as a `cargo bench`-compatible harness (`harness = false`).
 //!
 //! Everything is deterministic: the same seed always produces the
 //! same cases, so a failure reported by CI replays locally bit-for-bit.
+//!
+//! # Environment overrides
+//!
+//! Every harness entry point re-reads its `cases`/`seed` arguments
+//! through two environment variables, so a corpus case reported by
+//! the fuzzer (or CI) replays without editing code:
+//!
+//! * `JRT_FUZZ_SEED` — overrides the seed (decimal or `0x`-hex);
+//! * `JRT_FUZZ_CASES` — overrides the case count.
+//!
+//! E.g. `JRT_FUZZ_SEED=0x5EED JRT_FUZZ_CASES=1 cargo test -q fuzz`.
 //!
 //! # Examples
 //!
@@ -25,6 +40,29 @@
 //!     let b = rng.i32();
 //!     assert_eq!(a.wrapping_add(b), b.wrapping_add(a));
 //! });
+//! ```
+//!
+//! Shrinking form — `gen` draws a value, `shrink` proposes smaller
+//! variants, `check` returns whether the property holds:
+//!
+//! ```
+//! use jrt_testkit::forall;
+//!
+//! forall!(
+//!     cases = 16,
+//!     seed = 0xD1FF,
+//!     gen = |rng| rng.vec(0..8, |r| r.i32_in(-100..100)),
+//!     shrink = |v: &Vec<i32>| {
+//!         (0..v.len())
+//!             .map(|i| {
+//!                 let mut s = v.clone();
+//!                 s.remove(i);
+//!                 s
+//!             })
+//!             .collect()
+//!     },
+//!     check = |v: &Vec<i32>| v.iter().map(|x| i64::from(*x)).sum::<i64>() < 1_000
+//! );
 //! ```
 
 #![forbid(unsafe_code)]
@@ -123,11 +161,45 @@ impl Rng {
     }
 }
 
+/// Parses an env var as `u64`, accepting decimal or `0x`-hex.
+///
+/// # Panics
+///
+/// Panics when the variable is set but unparsable — a silently
+/// ignored override would fake a successful replay.
+fn env_u64(name: &str) -> Option<u64> {
+    let raw = std::env::var(name).ok()?;
+    match parse_u64(raw.trim()) {
+        Some(v) => Some(v),
+        None => panic!("{name} must be a decimal or 0x-hex integer, got {raw:?}"),
+    }
+}
+
+/// Decimal or `0x`-hex.
+fn parse_u64(s: &str) -> Option<u64> {
+    match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => s.parse().ok(),
+    }
+}
+
+/// The `(cases, seed)` a harness should actually run: the caller's
+/// values unless `JRT_FUZZ_CASES` / `JRT_FUZZ_SEED` override them
+/// (see the crate docs).
+pub fn effective_cases_seed(cases: u64, seed: u64) -> (u64, u64) {
+    (
+        env_u64("JRT_FUZZ_CASES").unwrap_or(cases),
+        env_u64("JRT_FUZZ_SEED").unwrap_or(seed),
+    )
+}
+
 /// Runs `body` over `cases` deterministic cases. On panic, re-raises
 /// with the case index and per-case seed attached so the exact case
 /// replays via [`Rng::for_case`]. The [`forall!`] macro is sugar over
-/// this.
+/// this. `cases`/`seed` are subject to the `JRT_FUZZ_*` env
+/// overrides (crate docs).
 pub fn run_forall(cases: u64, seed: u64, mut body: impl FnMut(&mut Rng)) {
+    let (cases, seed) = effective_cases_seed(cases, seed);
     for case in 0..cases {
         let mut rng = Rng::for_case(seed, case);
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
@@ -145,15 +217,86 @@ pub fn run_forall(cases: u64, seed: u64, mut body: impl FnMut(&mut Rng)) {
     }
 }
 
+/// Greedy counterexample minimization.
+///
+/// Starting from `initial` (which must satisfy `fails`), repeatedly
+/// asks `candidates` for smaller variants and adopts the first one
+/// that still fails, until a full candidate pass yields nothing (a
+/// local minimum) or an iteration bound is hit. Deterministic: the
+/// result depends only on the inputs and the candidate order.
+pub fn minimize<T: Clone>(
+    initial: T,
+    mut fails: impl FnMut(&T) -> bool,
+    mut candidates: impl FnMut(&T) -> Vec<T>,
+) -> T {
+    let mut current = initial;
+    // The bound guards against oscillating candidate sets; real
+    // shrink sequences terminate long before it.
+    for _ in 0..1_000 {
+        let mut advanced = false;
+        for cand in candidates(&current) {
+            if fails(&cand) {
+                current = cand;
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            break;
+        }
+    }
+    current
+}
+
+/// Shrinking property harness: `gen` draws a value per case, `check`
+/// decides the property, and on failure the counterexample is
+/// [`minimize`]d through `shrink` before the panic reports it (with
+/// the case index and per-case seed, like [`run_forall`]).
+/// `cases`/`seed` are subject to the `JRT_FUZZ_*` env overrides.
+pub fn run_forall_shrink<T: Clone + std::fmt::Debug>(
+    cases: u64,
+    seed: u64,
+    mut gen: impl FnMut(&mut Rng) -> T,
+    mut shrink: impl FnMut(&T) -> Vec<T>,
+    mut check: impl FnMut(&T) -> bool,
+) {
+    let (cases, seed) = effective_cases_seed(cases, seed);
+    for case in 0..cases {
+        let mut rng = Rng::for_case(seed, case);
+        let value = gen(&mut rng);
+        if check(&value) {
+            continue;
+        }
+        let minimized = minimize(value, |v| !check(v), &mut shrink);
+        panic!(
+            "property failed at case {case}/{cases} \
+             (replay with Rng::for_case({seed:#x}, {case})); \
+             minimized counterexample: {minimized:?}"
+        );
+    }
+}
+
 /// Fixed-seed property-test harness.
 ///
 /// `forall!(cases = N, seed = S, |rng| { ... })` runs the body over
 /// `N` deterministic cases; `rng` is a fresh per-case [`Rng`]. Any
 /// panic/assert failure is re-reported with the failing case index.
+///
+/// The shrinking form
+/// `forall!(cases = N, seed = S, gen = .., shrink = .., check = ..)`
+/// is sugar over [`run_forall_shrink`]: failures are minimized
+/// through the `shrink` candidates before being reported.
+///
+/// Both forms honor the `JRT_FUZZ_SEED` / `JRT_FUZZ_CASES` env
+/// overrides (crate docs).
 #[macro_export]
 macro_rules! forall {
     (cases = $cases:expr, seed = $seed:expr, |$rng:ident| $body:block) => {
         $crate::run_forall($cases, $seed, |$rng: &mut $crate::Rng| $body)
+    };
+    (cases = $cases:expr, seed = $seed:expr,
+     gen = $gen:expr, shrink = $shrink:expr, check = $check:expr) => {
+        $crate::run_forall_shrink($cases, $seed, $gen, $shrink, $check)
     };
 }
 
@@ -204,6 +347,65 @@ mod tests {
         assert_eq!(uniq.len(), 8);
         // Each case replays in isolation.
         assert_eq!(Rng::for_case(99, 3).next_u64(), seen[3]);
+    }
+
+    #[test]
+    fn env_override_parses_decimal_and_hex() {
+        assert_eq!(parse_u64("123"), Some(123));
+        assert_eq!(parse_u64("0x7B"), Some(0x7B));
+        assert_eq!(parse_u64("0XfF"), Some(255));
+        assert_eq!(parse_u64("nope"), None);
+        // With neither JRT_FUZZ_* variable set, the caller's values
+        // pass through untouched.
+        assert_eq!(effective_cases_seed(7, 0xABC), (7, 0xABC));
+    }
+
+    #[test]
+    fn minimize_reaches_a_local_minimum() {
+        // Failing = "sum >= 10"; dropping any element is a candidate.
+        let fails = |v: &Vec<i32>| v.iter().sum::<i32>() >= 10;
+        let cands = |v: &Vec<i32>| {
+            (0..v.len())
+                .map(|i| {
+                    let mut s = v.clone();
+                    s.remove(i);
+                    s
+                })
+                .collect()
+        };
+        let min = minimize(vec![1, 9, 2, 8], fails, cands);
+        // 9 + 8 >= 10 and no single removal keeps the sum >= 10
+        // after both small elements go: greedy lands on a 2-element
+        // local minimum.
+        assert!(min.iter().sum::<i32>() >= 10);
+        assert!(min.len() <= 2, "{min:?}");
+    }
+
+    #[test]
+    fn shrinking_harness_reports_minimized_counterexample() {
+        let err = std::panic::catch_unwind(|| {
+            run_forall_shrink(
+                8,
+                0xBEEF,
+                |rng| rng.vec(4..9, |r| r.i32_in(1..100)),
+                |v: &Vec<i32>| {
+                    (0..v.len())
+                        .map(|i| {
+                            let mut s = v.clone();
+                            s.remove(i);
+                            s
+                        })
+                        .collect()
+                },
+                |v: &Vec<i32>| v.len() < 3, // fails for every generated case
+            )
+        })
+        .expect_err("must fail");
+        let msg = err.downcast_ref::<String>().expect("string panic");
+        assert!(msg.contains("minimized counterexample"), "{msg}");
+        // Greedy removal shrinks any failing vec down to exactly the
+        // 3-element boundary.
+        assert!(msg.contains("property failed at case 0/8"), "{msg}");
     }
 
     #[test]

@@ -516,6 +516,42 @@ impl Heap {
             .count()
     }
 
+    /// Deterministic 64-bit digest of the live heap: slot index, slot
+    /// kind, class / element kind, and every field and element value
+    /// are folded through a SplitMix64-style finalizer. Engines that
+    /// performed the same allocations and stores digest identically,
+    /// so the differential fuzzer can compare final heap states
+    /// without walking object graphs.
+    pub fn digest(&self) -> u64 {
+        fn fold(h: u64, v: u64) -> u64 {
+            let mut z = h ^ v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for (i, s) in self.slots.iter().enumerate() {
+            match s {
+                Slot::Free => {}
+                Slot::Object { class, fields, .. } => {
+                    h = fold(h, 1 ^ ((i as u64) << 8));
+                    h = fold(h, u64::from(class.0));
+                    for f in fields {
+                        h = fold(h, f.to_raw() as u32 as u64);
+                    }
+                }
+                Slot::Array { kind, data, .. } => {
+                    h = fold(h, 2 ^ ((i as u64) << 8));
+                    h = fold(h, *kind as u64);
+                    for v in data {
+                        h = fold(h, *v as u32 as u64);
+                    }
+                }
+            }
+        }
+        h
+    }
+
     /// Iterates over live handles and their header addresses (the GC
     /// trace generator visits these).
     pub(crate) fn live_handles(&self) -> Vec<(Handle, Addr)> {

@@ -70,4 +70,4 @@ pub use config::{
 };
 pub use heap::{Handle, Heap, HeapError, Value};
 pub use jrt_codecache::{CodeCacheStats, MethodProfile, ProfileTable};
-pub use vm::{Footprint, Output, RunResult, Vm, VmCounters, VmError};
+pub use vm::{Footprint, Observables, ObservedRun, Output, RunResult, Vm, VmCounters, VmError};

@@ -125,6 +125,17 @@ impl Linker {
         self.statics[id.0 as usize][idx] = v;
     }
 
+    /// Raw 32-bit images of every class's static slots, in class
+    /// order (unloaded classes contribute empty vectors). Part of the
+    /// engine-independent observable state the differential fuzzer
+    /// compares.
+    pub fn statics_snapshot(&self) -> Vec<Vec<i32>> {
+        self.statics
+            .iter()
+            .map(|slots| slots.iter().map(|v| v.to_raw()).collect())
+            .collect()
+    }
+
     /// Class objects of all loaded classes (GC roots; receivers of
     /// static synchronized methods).
     pub fn class_objects(&self) -> impl Iterator<Item = Handle> + '_ {

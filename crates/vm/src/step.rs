@@ -119,6 +119,13 @@ pub(crate) fn step(
         }
     };
 
+    // Differential-fuzzing observability: histogram the decoded
+    // opcode before it acts, so faulting bytecodes are counted too
+    // and engines compare at bytecode granularity.
+    if let Some(counts) = env.opcode_counts.as_mut() {
+        counts[usize::from(op.dispatch_index())] += 1;
+    }
+
     // Emitter for this bytecode.
     let addr_fn: Box<dyn Fn(u32) -> Addr> = match &cm_rc {
         Some(cm) => {

@@ -8,7 +8,7 @@ use crate::jit::{self, JitState};
 use crate::loader::Linker;
 use crate::step::{self, StepOutcome};
 use crate::thread::{ThreadState, ThreadStatus};
-use jrt_bytecode::{MethodId, Program};
+use jrt_bytecode::{MethodId, Op, Program};
 use jrt_codecache::ProfileTable;
 use jrt_sync::{FatLockEngine, OneBitLockEngine, SyncEngine, SyncStats, ThinLockEngine};
 use jrt_trace::TraceSink;
@@ -164,6 +164,46 @@ pub struct RunResult {
     pub mode: &'static str,
 }
 
+/// Engine-independent observable state of one run, extracted by
+/// [`Vm::run_observed`]. Two engine configurations executing the same
+/// program must produce `==` values here — trace costs, translation
+/// counts, and footprints may differ, but everything in this struct
+/// is program semantics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Observables {
+    /// `Ok(exit value)` or the rendered [`VmError`]. Runtime faults
+    /// are deterministic (they name the method and bytecode pc), so
+    /// errors compare across engines just like exit values.
+    pub outcome: Result<Option<i32>, String>,
+    /// Console output captured from the `Sys.print_*` intrinsics.
+    pub output: Output,
+    /// Bytecodes executed.
+    pub bytecodes: u64,
+    /// Per-opcode execution histogram indexed by
+    /// [`Op::dispatch_index`] — "same bytecode-level execution", not
+    /// just the same final state.
+    pub opcode_counts: Vec<u64>,
+    /// Raw 32-bit images of every class's static slots.
+    pub statics: Vec<Vec<i32>>,
+    /// Digest of the final heap ([`Heap::digest`]).
+    pub heap_digest: u64,
+    /// Live heap allocations at exit.
+    pub live_objects: usize,
+}
+
+/// One observed run: the cross-engine-comparable [`Observables`] plus
+/// the engine-specific [`VmCounters`] (those are *not* comparable
+/// across engines — they feed the fuzzer's transition-coverage map).
+#[derive(Debug, Clone)]
+pub struct ObservedRun {
+    /// Engine-independent observables.
+    pub observables: Observables,
+    /// Engine-specific counters (translations, evictions, …).
+    pub counters: VmCounters,
+    /// Mode label of the configuration that ran.
+    pub mode: &'static str,
+}
+
 /// Everything one [`step`](crate::step) needs, split by field so the
 /// borrow checker can see the disjointness.
 pub(crate) struct StepEnv<'a> {
@@ -178,6 +218,7 @@ pub(crate) struct StepEnv<'a> {
     pub out: &'a mut Output,
     pub classload_insts: &'a mut u64,
     pub folding: bool,
+    pub opcode_counts: &'a mut Option<Vec<u64>>,
 }
 
 /// The `javart` virtual machine. See the crate docs for the model.
@@ -192,6 +233,7 @@ pub struct Vm<'p> {
     counters: VmCounters,
     out: Output,
     threads: Vec<ThreadState>,
+    opcode_counts: Option<Vec<u64>>,
 }
 
 impl fmt::Debug for Vm<'_> {
@@ -224,6 +266,7 @@ impl<'p> Vm<'p> {
             counters: VmCounters::default(),
             out: Output::default(),
             threads: Vec::new(),
+            opcode_counts: None,
         }
     }
 
@@ -288,6 +331,41 @@ impl<'p> Vm<'p> {
         self.run_dyn(sink as &mut dyn TraceSink)
     }
 
+    /// Runs the program and extracts the engine-independent
+    /// [`Observables`] — including after a runtime fault, where the
+    /// partial output, opcode histogram, statics, and heap state up
+    /// to the fault are still well-defined and comparable. Opcode
+    /// counting is enabled only on this path, so [`Vm::run`] pays
+    /// nothing for it.
+    pub fn run_observed(mut self, sink: &mut impl TraceSink) -> ObservedRun {
+        self.opcode_counts = Some(vec![0; Op::NUM_OPCODES]);
+        let result = self.run_dyn(sink as &mut dyn TraceSink);
+        let (outcome, output, counters) = match result {
+            Ok(r) => (Ok(r.exit_value), r.output, r.counters),
+            Err(e) => {
+                self.merge_jit_counters();
+                (
+                    Err(e.to_string()),
+                    std::mem::take(&mut self.out),
+                    self.counters,
+                )
+            }
+        };
+        ObservedRun {
+            observables: Observables {
+                outcome,
+                output,
+                bytecodes: counters.bytecodes,
+                opcode_counts: self.opcode_counts.take().unwrap_or_default(),
+                statics: self.linker.statics_snapshot(),
+                heap_digest: self.heap.digest(),
+                live_objects: self.heap.live_count(),
+            },
+            counters,
+            mode: self.config.mode.label(),
+        }
+    }
+
     fn run_dyn(&mut self, sink: &mut dyn TraceSink) -> Result<RunResult, VmError> {
         // Load the entry class and start the main thread.
         let entry = self.program.entry();
@@ -345,6 +423,7 @@ impl<'p> Vm<'p> {
                             out: &mut self.out,
                             classload_insts: &mut self.counters.classload_insts,
                             folding: self.config.folding,
+                            opcode_counts: &mut self.opcode_counts,
                         };
                         step::step(&mut env, &mut self.threads[tid], sink)?
                     };
@@ -404,7 +483,9 @@ impl<'p> Vm<'p> {
         Ok(self.build_result())
     }
 
-    fn build_result(&mut self) -> RunResult {
+    /// Folds the JIT-side tallies into [`VmCounters`]; shared by the
+    /// normal result path and the fault path of [`Vm::run_observed`].
+    fn merge_jit_counters(&mut self) {
         self.counters.methods_translated = self.jit.methods_translated;
         self.counters.translate_insts = self.jit.translate_insts;
         let cache = self.jit.cache_stats();
@@ -412,6 +493,10 @@ impl<'p> Vm<'p> {
         self.counters.retranslations = cache.retranslations;
         self.counters.tier2_recompiles = self.jit.tier2_recompiles;
         self.counters.largest_method_bytes = cache.largest_install_bytes;
+    }
+
+    fn build_result(&mut self) -> RunResult {
+        self.merge_jit_counters();
 
         let translated_any = self.jit.methods_translated > 0;
         let footprint = Footprint {

@@ -29,7 +29,10 @@
 //!   in the bytecode ISA, self-checked against host-side reference
 //!   implementations;
 //! * [`experiments`] — one driver per paper table/figure and the
-//!   EXPERIMENTS.md report generator.
+//!   EXPERIMENTS.md report generator;
+//! * [`fuzz`] — the coverage-guided differential fuzzer that checks
+//!   every engine configuration against the interpreter on generated
+//!   programs, shrinking any divergence to a minimal reproducer.
 //!
 //! # Quickstart
 //!
@@ -61,6 +64,7 @@ pub use jrt_bpred as bpred;
 pub use jrt_bytecode as bytecode;
 pub use jrt_cache as cache;
 pub use jrt_experiments as experiments;
+pub use jrt_fuzz as fuzz;
 pub use jrt_ilp as ilp;
 pub use jrt_sync as sync;
 pub use jrt_trace as trace;

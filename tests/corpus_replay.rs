@@ -1,0 +1,97 @@
+//! Replays every corpus case file through the full engine matrix.
+//!
+//! Each `tests/corpus/*.case` file pins a `(seed, cases)` pair that
+//! once mattered — the CI smoke seed plus seeds kept for the engine
+//! behaviors they exercise. Replay must stay divergence-free, and
+//! the merged coverage across the corpus must remain complete, so a
+//! regression in either the engines or the generator is caught here
+//! even if the smoke seed happens to dodge it.
+
+use javart::fuzz::{fuzz, Coverage};
+use std::path::{Path, PathBuf};
+
+/// One parsed corpus entry.
+#[derive(Debug)]
+struct CorpusCase {
+    path: PathBuf,
+    seed: u64,
+    cases: u64,
+}
+
+fn parse_u64(s: &str) -> u64 {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).expect("bad hex in corpus file")
+    } else {
+        s.parse().expect("bad number in corpus file")
+    }
+}
+
+fn parse_case(path: &Path) -> CorpusCase {
+    let text = std::fs::read_to_string(path).expect("unreadable corpus file");
+    let mut seed = None;
+    let mut cases = None;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match line.split_once(' ') {
+            Some(("seed", v)) => seed = Some(parse_u64(v.trim())),
+            Some(("cases", v)) => cases = Some(parse_u64(v.trim())),
+            _ => panic!("{}: unparsable line: {line}", path.display()),
+        }
+    }
+    CorpusCase {
+        path: path.to_owned(),
+        seed: seed.unwrap_or_else(|| panic!("{}: missing seed", path.display())),
+        cases: cases.unwrap_or_else(|| panic!("{}: missing cases", path.display())),
+    }
+}
+
+fn load_corpus() -> Vec<CorpusCase> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("tests/corpus missing")
+        .map(|e| e.expect("read_dir").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "case"))
+        .collect();
+    paths.sort();
+    paths.iter().map(|p| parse_case(p)).collect()
+}
+
+fn merge(into: &mut Coverage, from: &Coverage) {
+    into.record_opcodes(&from.opcodes);
+    for (k, n) in &from.transitions {
+        *into.transitions.entry(k.clone()).or_insert(0) += n;
+    }
+    for (k, n) in &from.verifier_errors {
+        *into.verifier_errors.entry(k.clone()).or_insert(0) += n;
+    }
+    into.cases += from.cases;
+    into.error_outcomes += from.error_outcomes;
+    into.divergences += from.divergences;
+}
+
+#[test]
+fn corpus_replays_clean_with_full_merged_coverage() {
+    let corpus = load_corpus();
+    assert!(corpus.len() >= 3, "corpus unexpectedly small: {corpus:?}");
+    let mut merged = Coverage::new();
+    for case in &corpus {
+        let report = fuzz(case.seed, case.cases, 2, None);
+        assert!(
+            report.divergences.is_empty(),
+            "{} diverged:\n{}",
+            case.path.display(),
+            report.render(case.seed)
+        );
+        assert_eq!(report.coverage.cases, case.cases);
+        merge(&mut merged, &report.coverage);
+    }
+    assert!(
+        merged.is_full(),
+        "merged corpus coverage incomplete; missing opcodes {:?}, transitions {:?}",
+        merged.uncovered_opcodes(),
+        merged.missing_transitions()
+    );
+}

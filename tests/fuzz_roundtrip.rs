@@ -1,0 +1,99 @@
+//! Toolchain round-trip properties over *generated* programs, plus
+//! the asserted negative suite.
+//!
+//! Every program the fuzzer's generator emits must assemble, verify,
+//! lower deterministically, survive an encode → decode → encode
+//! round-trip byte-for-byte, and disassemble stably. And the
+//! verifier must reject each of its 13 documented error variants —
+//! asserted one by one, not sampled.
+
+use javart::bytecode::{disasm, ClassAsm, Op, Program};
+use javart::fuzz::{gen_spec, lower, neg, Coverage};
+use jrt_testkit::forall;
+
+/// Decodes a method's code stream back into ops.
+fn decode_all(code: &[u8]) -> Vec<Op> {
+    let mut ops = Vec::new();
+    let mut pc = 0;
+    while pc < code.len() {
+        let (op, len) = Op::decode(code, pc).expect("verified code must decode");
+        ops.push(op);
+        pc += len;
+    }
+    ops
+}
+
+#[test]
+fn generated_programs_roundtrip_through_the_toolchain() {
+    forall!(cases = 64, seed = 0xD1FF_0001, |rng| {
+        let spec = gen_spec(rng, &Coverage::new());
+
+        // Lowering is a pure function of the spec.
+        let once: Vec<_> = javart::fuzz::lower::lower_classes(&spec)
+            .into_iter()
+            .map(ClassAsm::finish)
+            .collect();
+        let twice: Vec<_> = javart::fuzz::lower::lower_classes(&spec)
+            .into_iter()
+            .map(ClassAsm::finish)
+            .collect();
+        assert_eq!(once, twice, "lowering is nondeterministic");
+
+        // Every generated program verifies.
+        let program = lower(&spec).expect("generated spec failed to verify");
+
+        for class in program.classes() {
+            for def in &class.methods {
+                if def.flags.is_native {
+                    continue;
+                }
+                // encode -> decode -> encode is a byte-level fixed
+                // point: decode loses nothing the encoder needs.
+                let ops = decode_all(&def.code);
+                let mut reencoded = Vec::with_capacity(def.code.len());
+                for op in &ops {
+                    op.encode(&mut reencoded);
+                }
+                assert_eq!(
+                    reencoded, def.code,
+                    "re-encoding changed {}::{}",
+                    class.name, def.name
+                );
+                // Disassembly succeeds on anything the verifier
+                // accepted, and is stable.
+                let text = disasm::disassemble(def, &class.pool)
+                    .expect("verified method failed to disassemble");
+                let again = disasm::disassemble(def, &class.pool).unwrap();
+                assert_eq!(text, again);
+                assert!(!text.is_empty());
+            }
+        }
+    });
+}
+
+#[test]
+fn reassembled_programs_link_and_verify_again() {
+    // asm -> verify -> (decode/encode) -> link again: the relink of
+    // the already-assembled classes reproduces the same program.
+    forall!(cases = 16, seed = 0xD1FF_0002, |rng| {
+        let spec = gen_spec(rng, &Coverage::new());
+        let classes: Vec<_> = javart::fuzz::lower::lower_classes(&spec)
+            .into_iter()
+            .map(ClassAsm::finish)
+            .collect();
+        let relinked = Program::link(classes, "Main", "main");
+        assert!(relinked.is_ok(), "relink failed: {:?}", relinked.err());
+    });
+}
+
+#[test]
+fn verifier_rejects_all_thirteen_error_variants() {
+    let mut cov = Coverage::new();
+    let hits = neg::exercise(&mut cov);
+    let names: Vec<&str> = hits.iter().map(|(n, _)| *n).collect();
+    assert_eq!(names, neg::VARIANTS.to_vec());
+    assert_eq!(cov.verifier_errors.len(), 13);
+    for v in neg::VARIANTS {
+        assert_eq!(cov.verifier_errors.get(v), Some(&1), "missing {v}");
+    }
+}
