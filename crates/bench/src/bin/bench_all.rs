@@ -1,16 +1,21 @@
 //! Runs both bench suites and writes `BENCH_experiments.json` — one
-//! JSON line per benchmark (suite, name, per-sample ns, median ns),
-//! plus one `_suite_total` rollup line per suite (sum of the suite's
-//! medians), so a single grep tracks whole-suite drift.
+//! JSON line per benchmark (suite, name, per-sample ns, median ns,
+//! steady-state verdict), plus one `_suite_total` rollup line per
+//! suite (sum of the suite's medians), so a single grep tracks
+//! whole-suite drift.
 //!
 //! Usage: `bench_all [filter] [output-path] [--check-against FILE [FACTOR]]`.
 //! `JRT_BENCH_SAMPLES` sets the sample count (default 5).
 //!
 //! `--check-against` compares every measured bench to the same
-//! `(suite, bench)` line in a baseline JSON file and exits 1 if any
-//! median exceeds FACTOR × its baseline median (default 2.0 — generous
-//! so shared-runner noise doesn't flake, while real regressions trip).
+//! `(suite, bench)` line in a baseline JSON file. Only *steady-state*
+//! windows gate: a steady bench fails (exit 1) when its steady median
+//! exceeds FACTOR × the baseline's steady median (default 2.0 —
+//! generous so shared-runner noise doesn't flake, while real
+//! regressions trip). A bench that never reached steady state is
+//! annotated as warm-up drift and never fails the gate.
 
+use jrt_bench::check::{check, parse_baseline};
 use jrt_bench::{bench_paper, bench_simulators};
 use jrt_testkit::bench::{BenchResult, Harness};
 
@@ -21,40 +26,17 @@ per benchmark plus a _suite_total rollup per suite (default:
 BENCH_experiments.json). JRT_BENCH_SAMPLES sets the sample count
 (default 5).
   --check-against FILE [FACTOR]  after measuring, fail (exit 1) if any
-                                 bench's median exceeds FACTOR x the
-                                 median recorded for it in FILE
-                                 (default factor: 2.0).";
-
-/// Extracts one `"key":value` field from a JSON line written by
-/// [`BenchResult::to_json`] (string or bare-number values; no escapes
-/// — the writer never emits any).
-fn json_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
-    let pat = format!("\"{key}\":");
-    let start = line.find(&pat)? + pat.len();
-    let rest = &line[start..];
-    if let Some(quoted) = rest.strip_prefix('"') {
-        quoted.split('"').next()
-    } else {
-        rest.split([',', '}']).next()
-    }
-}
-
-/// Reads `(suite, bench) -> median_ns` from a baseline JSON-lines file.
-fn read_baseline(path: &str) -> Vec<(String, String, u128)> {
-    let text = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
-    text.lines()
-        .filter_map(|l| {
-            let suite = json_field(l, "suite")?;
-            let bench = json_field(l, "bench")?;
-            let median: u128 = json_field(l, "median_ns")?.trim().parse().ok()?;
-            Some((suite.to_string(), bench.to_string(), median))
-        })
-        .collect()
-}
+                                 steady-state bench's steady median
+                                 exceeds FACTOR x the steady median
+                                 recorded for it in FILE (default
+                                 factor: 2.0). Benches that did not
+                                 reach steady state are annotated as
+                                 warm-up drift, not failed.";
 
 /// Appends the per-suite rollup lines: median sums under the
-/// `_suite_total` pseudo-bench.
+/// `_suite_total` pseudo-bench. The rollup is always marked steady so
+/// the whole-suite gate stays armed; its steady median sums the
+/// members' steady medians.
 fn add_rollups(results: &mut Vec<BenchResult>) {
     let suites: Vec<String> = {
         let mut s: Vec<String> = results.iter().map(|r| r.suite.clone()).collect();
@@ -64,50 +46,20 @@ fn add_rollups(results: &mut Vec<BenchResult>) {
     for suite in suites {
         let in_suite: Vec<&BenchResult> = results.iter().filter(|r| r.suite == suite).collect();
         let total: u128 = in_suite.iter().map(|r| r.median_ns).sum();
+        let steady_total: u128 = in_suite.iter().map(|r| r.steady_median_ns).sum();
         let rollup = BenchResult {
             suite: suite.clone(),
             name: "_suite_total".into(),
             iters: in_suite.len() as u64,
             samples_ns: vec![total],
             median_ns: total,
+            steady_state: true,
+            warmup_iters: 0,
+            steady_median_ns: steady_total,
         };
         println!("{}", rollup.to_json());
         results.push(rollup);
     }
-}
-
-/// Compares measured medians to the baseline; returns the number of
-/// regressions (measured > factor × baseline).
-fn check_against(results: &[BenchResult], baseline_path: &str, factor: f64) -> usize {
-    let baseline = read_baseline(baseline_path);
-    let mut compared = 0usize;
-    let mut regressions = 0usize;
-    for r in results {
-        let Some((_, _, base)) = baseline
-            .iter()
-            .find(|(s, b, _)| *s == r.suite && *b == r.name)
-        else {
-            continue;
-        };
-        compared += 1;
-        let limit = (*base as f64) * factor;
-        if r.median_ns as f64 > limit {
-            regressions += 1;
-            eprintln!(
-                "[bench_all] REGRESSION {}/{}: {} ns > {factor} x baseline {} ns",
-                r.suite, r.name, r.median_ns, base
-            );
-        } else {
-            eprintln!(
-                "[bench_all] ok {}/{}: {} ns vs baseline {} ns (limit {:.0})",
-                r.suite, r.name, r.median_ns, base, limit
-            );
-        }
-    }
-    eprintln!(
-        "[bench_all] checked {compared} benches against {baseline_path}: {regressions} regression(s)"
-    );
-    regressions
 }
 
 fn main() {
@@ -116,7 +68,7 @@ fn main() {
         println!("{HELP}");
         return;
     }
-    let mut check: Option<(String, f64)> = None;
+    let mut check_args: Option<(String, f64)> = None;
     if let Some(i) = args.iter().position(|a| a == "--check-against") {
         if i + 1 >= args.len() {
             eprintln!("--check-against needs a baseline path (see --help)");
@@ -133,7 +85,7 @@ fn main() {
         } else {
             None
         };
-        check = Some((path, factor.unwrap_or(2.0)));
+        check_args = Some((path, factor.unwrap_or(2.0)));
     }
     let filter = args.first().filter(|a| !a.starts_with('-')).cloned();
     let out = args
@@ -163,11 +115,28 @@ fn main() {
     std::fs::write(&out, lines.join("\n") + "\n").expect("write bench report");
     eprintln!("[bench_all] wrote {} results to {out}", results.len());
 
-    if let Some((path, factor)) = check {
+    if let Some((path, factor)) = check_args {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
         // Rollups are only comparable between full runs; under a
         // filter the partial sum can never *exceed* the full baseline,
         // so including them is safe and full runs still get checked.
-        if check_against(&results, &path, factor) > 0 {
+        let report = check(&results, &parse_baseline(&text), factor);
+        for line in report
+            .passes
+            .iter()
+            .chain(&report.annotations)
+            .chain(&report.regressions)
+        {
+            eprintln!("[bench_all] {line}");
+        }
+        eprintln!(
+            "[bench_all] checked {} benches against {path}: {} regression(s), {} warm-up annotation(s)",
+            report.compared,
+            report.regressions.len(),
+            report.annotations.len()
+        );
+        if !report.ok() {
             std::process::exit(1);
         }
     }

@@ -1,0 +1,205 @@
+//! Baseline comparison for `bench_all --check-against`, steady-state
+//! aware.
+//!
+//! The regression gate only trusts *steady-state* numbers (see
+//! [`jrt_testkit::bench::classify`]): a measured bench that never
+//! reached steady state — still compiling, bimodal, noisy — is
+//! *annotated* as warm-up drift rather than failed, because comparing
+//! its median to a steady baseline would gate on noise. Steady benches
+//! compare their `steady_median_ns` against the baseline's
+//! steady-state median (falling back to the plain median for baselines
+//! written before the schema carried steady fields).
+
+use jrt_testkit::bench::BenchResult;
+
+/// Extracts one `"key":value` field from a JSON line written by
+/// [`BenchResult::to_json`] (string or bare-value payloads; no escapes
+/// — the writer never emits any).
+pub fn json_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    if let Some(quoted) = rest.strip_prefix('"') {
+        quoted.split('"').next()
+    } else {
+        rest.split([',', '}']).next()
+    }
+}
+
+/// One baseline line. `steady_median_ns` / `steady_state` are `None`
+/// for pre-steady-schema baselines.
+#[derive(Debug, Clone)]
+pub struct BaselineEntry {
+    /// Suite name.
+    pub suite: String,
+    /// Bench name.
+    pub bench: String,
+    /// Plain median (always present).
+    pub median_ns: u128,
+    /// Steady-window median, when the baseline schema carries it.
+    pub steady_median_ns: Option<u128>,
+    /// Baseline run's steady verdict, when present.
+    pub steady_state: Option<bool>,
+}
+
+impl BaselineEntry {
+    /// The value the gate compares against: the steady-window median
+    /// when the baseline reached steady state, the plain median
+    /// otherwise (noisy or old-schema baseline).
+    pub fn gate_ns(&self) -> u128 {
+        match (self.steady_state, self.steady_median_ns) {
+            (Some(true), Some(s)) => s,
+            _ => self.median_ns,
+        }
+    }
+}
+
+/// Parses a JSON-lines baseline file's text.
+pub fn parse_baseline(text: &str) -> Vec<BaselineEntry> {
+    text.lines()
+        .filter_map(|l| {
+            let suite = json_field(l, "suite")?;
+            let bench = json_field(l, "bench")?;
+            let median_ns: u128 = json_field(l, "median_ns")?.trim().parse().ok()?;
+            let steady_median_ns =
+                json_field(l, "steady_median_ns").and_then(|v| v.trim().parse().ok());
+            let steady_state = json_field(l, "steady_state").and_then(|v| match v.trim() {
+                "true" => Some(true),
+                "false" => Some(false),
+                _ => None,
+            });
+            Some(BaselineEntry {
+                suite: suite.to_string(),
+                bench: bench.to_string(),
+                median_ns,
+                steady_median_ns,
+                steady_state,
+            })
+        })
+        .collect()
+}
+
+/// Outcome of one baseline comparison.
+#[derive(Debug, Default)]
+pub struct CheckReport {
+    /// Benches that had a matching baseline line.
+    pub compared: usize,
+    /// Steady-state regressions (these fail the gate).
+    pub regressions: Vec<String>,
+    /// Warm-up drift annotations (reported, never failed).
+    pub annotations: Vec<String>,
+    /// Steady benches within the limit.
+    pub passes: Vec<String>,
+}
+
+impl CheckReport {
+    /// Whether the gate passes (annotations don't count).
+    pub fn ok(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Compares measured results to a baseline: steady-state benches gate
+/// on `steady_median_ns` vs `factor` × the baseline's steady median;
+/// benches that did not reach steady state are annotated only.
+pub fn check(results: &[BenchResult], baseline: &[BaselineEntry], factor: f64) -> CheckReport {
+    let mut report = CheckReport::default();
+    for r in results {
+        let Some(base) = baseline
+            .iter()
+            .find(|b| b.suite == r.suite && b.bench == r.name)
+        else {
+            continue;
+        };
+        report.compared += 1;
+        let base_ns = base.gate_ns();
+        let limit = (base_ns as f64) * factor;
+        if !r.steady_state {
+            report.annotations.push(format!(
+                "warm-up drift {}/{}: run not steady (warmup_iters {}, median {} ns, baseline {} ns) — annotated, not gated",
+                r.suite, r.name, r.warmup_iters, r.median_ns, base_ns
+            ));
+        } else if r.steady_median_ns as f64 > limit {
+            report.regressions.push(format!(
+                "REGRESSION {}/{}: steady {} ns > {factor} x baseline {} ns",
+                r.suite, r.name, r.steady_median_ns, base_ns
+            ));
+        } else {
+            report.passes.push(format!(
+                "ok {}/{}: steady {} ns vs baseline {} ns (limit {:.0})",
+                r.suite, r.name, r.steady_median_ns, base_ns, limit
+            ));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(name: &str, steady: bool, steady_ns: u128) -> BenchResult {
+        BenchResult {
+            suite: "s".into(),
+            name: name.into(),
+            iters: 1,
+            samples_ns: vec![steady_ns],
+            median_ns: steady_ns,
+            steady_state: steady,
+            warmup_iters: if steady { 0 } else { 3 },
+            steady_median_ns: steady_ns,
+        }
+    }
+
+    fn baseline_line(bench: &str, median: u128, steady: &str) -> String {
+        format!(
+            "{{\"suite\":\"s\",\"bench\":\"{bench}\",\"iters\":1,\"samples_ns\":[{median}],\"median_ns\":{median},\"steady_state\":{steady},\"warmup_iters\":0,\"steady_median_ns\":{median}}}"
+        )
+    }
+
+    #[test]
+    fn steady_regression_fails() {
+        let base = parse_baseline(&baseline_line("a", 100, "true"));
+        let rep = check(&[result("a", true, 500)], &base, 2.0);
+        assert_eq!(rep.compared, 1);
+        assert_eq!(rep.regressions.len(), 1);
+        assert!(!rep.ok());
+    }
+
+    #[test]
+    fn warmup_drift_annotates_instead_of_failing() {
+        let base = parse_baseline(&baseline_line("a", 100, "true"));
+        let rep = check(&[result("a", false, 500)], &base, 2.0);
+        assert_eq!(rep.compared, 1);
+        assert!(rep.regressions.is_empty());
+        assert_eq!(rep.annotations.len(), 1);
+        assert!(rep.ok());
+    }
+
+    #[test]
+    fn old_schema_baseline_still_parses_and_gates() {
+        let old =
+            "{\"suite\":\"s\",\"bench\":\"a\",\"iters\":1,\"samples_ns\":[100],\"median_ns\":100}";
+        let base = parse_baseline(old);
+        assert_eq!(base.len(), 1);
+        assert!(base[0].steady_state.is_none());
+        assert_eq!(base[0].gate_ns(), 100);
+        let rep = check(&[result("a", true, 150)], &base, 2.0);
+        assert_eq!(rep.passes.len(), 1);
+        assert!(rep.ok());
+    }
+
+    #[test]
+    fn unsteady_baseline_gates_on_plain_median() {
+        let base = parse_baseline(&baseline_line("a", 100, "false"));
+        assert_eq!(base[0].gate_ns(), 100);
+    }
+
+    #[test]
+    fn unmatched_benches_are_skipped() {
+        let base = parse_baseline(&baseline_line("other", 100, "true"));
+        let rep = check(&[result("a", true, 500)], &base, 2.0);
+        assert_eq!(rep.compared, 0);
+        assert!(rep.ok());
+    }
+}

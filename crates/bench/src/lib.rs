@@ -18,6 +18,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod check;
+
 use jrt_bpred::{Bht, BranchEval, GAp, Gshare, TwoBit};
 use jrt_cache::{CacheConfig, SplitCaches, SplitSweep};
 use jrt_experiments::{
@@ -52,28 +54,33 @@ pub fn bench_paper(h: &mut Harness) {
 
 /// Microbenchmarks of the simulators and engines.
 pub fn bench_simulators(h: &mut Harness) {
-    // VM trace-generation throughput, both engines.
+    // VM trace-generation throughput, both engines. Per-iteration
+    // translate events feed the steady-state classifier as the
+    // still-compiling marker: a fresh VM per iteration does the same
+    // translate work in every window (matching the series minimum, so
+    // steadiness is untouched), while any window doing *extra* compile
+    // work gets flagged as warm-up.
     let program = jess::program(Size::Tiny);
-    h.bench("vm_engine/interp", || {
+    h.bench_aux("vm_engine/interp", || {
         let mut sink = CountingSink::new();
         Vm::new(&program, VmConfig::interpreter())
             .run(&mut sink)
             .unwrap();
-        sink.total()
+        (sink.total(), sink.translate())
     });
-    h.bench("vm_engine/jit", || {
+    h.bench_aux("vm_engine/jit", || {
         let mut sink = CountingSink::new();
         Vm::new(&program, VmConfig::jit()).run(&mut sink).unwrap();
-        sink.total()
+        (sink.total(), sink.translate())
     });
-    h.bench("vm_engine/jit_bounded", || {
+    h.bench_aux("vm_engine/jit_bounded", || {
         let cfg = VmConfig::jit().with_code_cache(CodeCacheConfig::bounded(
             codecache::PATHOLOGICAL_CAPACITY,
             EvictionPolicy::Lru,
         ));
         let mut sink = CountingSink::new();
         Vm::new(&program, cfg).run(&mut sink).unwrap();
-        sink.total()
+        (sink.total(), sink.translate())
     });
 
     // Record one db trace, then measure each consumer on it.

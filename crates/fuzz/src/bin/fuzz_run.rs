@@ -3,15 +3,22 @@
 //! ```text
 //! fuzz_run [--seed N|0xN] [--cases N] [--jobs N] [--out FILE]
 //!          [--require-full-coverage] [--sabotage MODE]
+//!          [--perf] [--perf-sabotage MODE]
 //! ```
 //!
 //! Prints the deterministic coverage report (same bytes at any
 //! `--jobs` count) and exits nonzero on any divergence, or — with
 //! `--require-full-coverage` — when the opcode/transition map is not
-//! fully exercised. `JRT_FUZZ_SEED` / `JRT_FUZZ_CASES` override the
-//! defaults; explicit flags override the environment.
+//! fully exercised. `--perf` turns the performance oracle on: every
+//! case also collects per-engine cost vectors under the one-pass cache
+//! sweep, checks the cost-model invariants, appends per-engine cost
+//! totals to the report, and exits nonzero on any violation.
+//! `--perf-sabotage MODE` (implies `--perf`) corrupts that engine's
+//! cost vector per case — the harness self-test. `JRT_FUZZ_SEED` /
+//! `JRT_FUZZ_CASES` override the defaults; explicit flags override the
+//! environment.
 
-use jrt_fuzz::{fuzz, Sabotage, MATRIX_LABELS};
+use jrt_fuzz::{fuzz, fuzz_perf, PerfSabotage, Sabotage, MATRIX_LABELS};
 
 fn parse_u64(s: &str) -> u64 {
     let parsed = if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
@@ -32,6 +39,8 @@ fn main() {
     let mut out: Option<String> = None;
     let mut require_full = false;
     let mut sabotage: Option<Sabotage> = None;
+    let mut perf = false;
+    let mut perf_sabotage: Option<PerfSabotage> = None;
 
     // Environment first; explicit flags below override it.
     (cases, seed) = jrt_testkit::effective_cases_seed(cases, seed);
@@ -61,6 +70,19 @@ fn main() {
                 };
                 sabotage = Some(Sabotage { mode: label });
             }
+            "--perf" => perf = true,
+            "--perf-sabotage" => {
+                let mode = value("--perf-sabotage");
+                let Some(label) = MATRIX_LABELS.iter().find(|l| **l == mode) else {
+                    eprintln!(
+                        "fuzz_run: unknown mode {mode}; matrix: {}",
+                        MATRIX_LABELS.join(" ")
+                    );
+                    std::process::exit(2);
+                };
+                perf = true;
+                perf_sabotage = Some(PerfSabotage { mode: label });
+            }
             other => {
                 eprintln!("fuzz_run: unknown argument {other}");
                 std::process::exit(2);
@@ -68,7 +90,15 @@ fn main() {
         }
     }
 
-    let report = fuzz(seed, cases, jobs, sabotage);
+    if perf && sabotage.is_some() {
+        eprintln!("fuzz_run: --sabotage and --perf are mutually exclusive");
+        std::process::exit(2);
+    }
+    let report = if perf {
+        fuzz_perf(seed, cases, jobs, perf_sabotage)
+    } else {
+        fuzz(seed, cases, jobs, sabotage)
+    };
     let text = report.render(seed);
     print!("{text}");
     if let Some(path) = out {
@@ -80,6 +110,12 @@ fn main() {
     if !report.divergences.is_empty() {
         eprintln!("fuzz_run: {} divergence(s)", report.divergences.len());
         std::process::exit(1);
+    }
+    if let Some(p) = &report.perf {
+        if !p.violations.is_empty() {
+            eprintln!("fuzz_run: {} perf violation(s)", p.violations.len());
+            std::process::exit(1);
+        }
     }
     if require_full && !report.coverage.is_full() {
         eprintln!(

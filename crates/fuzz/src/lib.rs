@@ -48,6 +48,7 @@ pub mod diff;
 pub mod gen;
 pub mod lower;
 pub mod neg;
+pub mod perf;
 pub mod shrink;
 pub mod spec;
 
@@ -55,6 +56,10 @@ pub use coverage::{Coverage, OPCODE_NAMES, TRANSITION_KEYS};
 pub use diff::{engine_configs, run_case, spec_diverges, CaseResult, Sabotage, MATRIX_LABELS};
 pub use gen::gen_spec;
 pub use lower::lower;
+pub use perf::{
+    run_perf_case, spec_perf_violates, CostVector, PerfCase, PerfFinding, PerfSabotage,
+    PERF_LABELS, SIZED_LABEL,
+};
 pub use spec::ProgramSpec;
 
 use jrt_testkit::Rng;
@@ -83,6 +88,38 @@ pub struct Divergence {
     pub minimized: ProgramSpec,
 }
 
+/// One detected cost-model violation, attributed and minimized.
+#[derive(Debug, Clone)]
+pub struct PerfViolation {
+    /// The run seed.
+    pub seed: u64,
+    /// Case index within the run; replay with
+    /// `Rng::for_case(seed, case)`.
+    pub case: u64,
+    /// Engine label the violation is attributed to.
+    pub label: &'static str,
+    /// Violated invariant name (see [`perf`] module docs).
+    pub invariant: &'static str,
+    /// Deterministic evidence string.
+    pub detail: String,
+    /// Statement/expression size of the spec as generated.
+    pub original_size: usize,
+    /// The shrunken reproducer (still violating *some* cost
+    /// invariant).
+    pub minimized: ProgramSpec,
+}
+
+/// The perf-oracle section of a [`FuzzReport`], present when the run
+/// used [`fuzz_perf`].
+#[derive(Debug)]
+pub struct PerfReport {
+    /// Per-engine cost totals over all cases, in [`PERF_LABELS`]
+    /// order.
+    pub totals: Vec<(&'static str, CostVector)>,
+    /// All cost-model violations, in case order.
+    pub violations: Vec<PerfViolation>,
+}
+
 /// Outcome of a fuzzing run.
 #[derive(Debug)]
 pub struct FuzzReport {
@@ -90,6 +127,8 @@ pub struct FuzzReport {
     pub coverage: Coverage,
     /// All divergences, in case order.
     pub divergences: Vec<Divergence>,
+    /// Cost totals and violations ([`fuzz_perf`] runs only).
+    pub perf: Option<PerfReport>,
 }
 
 impl FuzzReport {
@@ -120,6 +159,32 @@ impl FuzzReport {
             )
             .unwrap();
         }
+        if let Some(perf) = &self.perf {
+            out.push_str("perf totals:\n");
+            for (label, c) in &perf.totals {
+                write!(out, "  {label}:").unwrap();
+                for (name, value) in c.metrics() {
+                    write!(out, " {name}={value}").unwrap();
+                }
+                out.push('\n');
+            }
+            for v in &perf.violations {
+                writeln!(
+                    out,
+                    "perf violation at case {} ({}: {}): {}; replay: JRT_FUZZ_SEED={:#x} case {}",
+                    v.case, v.label, v.invariant, v.detail, v.seed, v.case
+                )
+                .unwrap();
+                writeln!(
+                    out,
+                    "  minimized ({} -> {} nodes): {:?}",
+                    v.original_size,
+                    v.minimized.size(),
+                    v.minimized
+                )
+                .unwrap();
+            }
+        }
         out
     }
 }
@@ -139,33 +204,31 @@ fn run_one(seed: u64, case: u64, spec: &ProgramSpec, sabotage: Option<&Sabotage>
     diff::run_case(&program, sabotage)
 }
 
-/// Executes one round's specs across `jobs` worker threads; results
-/// come back in case order regardless of scheduling.
-fn run_batch(
-    seed: u64,
+/// Executes one round's specs across `jobs` worker threads with an
+/// arbitrary per-case runner; results come back in case order
+/// regardless of scheduling.
+fn run_batch<R: Send>(
     specs: &[(u64, ProgramSpec)],
     jobs: usize,
-    sabotage: Option<&Sabotage>,
-) -> Vec<CaseResult> {
+    runner: impl Fn(u64, &ProgramSpec) -> R + Sync,
+) -> Vec<R> {
     let jobs = jobs.max(1).min(specs.len().max(1));
     if jobs == 1 {
-        return specs
-            .iter()
-            .map(|(case, s)| run_one(seed, *case, s, sabotage))
-            .collect();
+        return specs.iter().map(|(case, s)| runner(*case, s)).collect();
     }
     let next = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, CaseResult)>();
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
     std::thread::scope(|scope| {
         for _ in 0..jobs {
             let tx = tx.clone();
             let next = &next;
+            let runner = &runner;
             scope.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some((case, spec)) = specs.get(i) else {
                     break;
                 };
-                let result = run_one(seed, *case, spec, sabotage);
+                let result = runner(*case, spec);
                 if tx.send((i, result)).is_err() {
                     break;
                 }
@@ -173,7 +236,7 @@ fn run_batch(
         }
     });
     drop(tx);
-    let mut slots: Vec<Option<CaseResult>> = specs.iter().map(|_| None).collect();
+    let mut slots: Vec<Option<R>> = specs.iter().map(|_| None).collect();
     for (i, r) in rx {
         slots[i] = Some(r);
     }
@@ -205,7 +268,9 @@ pub fn fuzz(seed: u64, cases: u64, jobs: usize, sabotage: Option<Sabotage>) -> F
         let specs: Vec<(u64, ProgramSpec)> = (start..start + n)
             .map(|i| (i, gen_case(seed, i, &snapshot)))
             .collect();
-        let results = run_batch(seed, &specs, jobs, sabotage.as_ref());
+        let results = run_batch(&specs, jobs, |case, spec| {
+            run_one(seed, case, spec, sabotage.as_ref())
+        });
         for ((case, spec), cr) in specs.iter().zip(&results) {
             diff::record_case(&mut cov, cr);
             if !cr.divergent.is_empty() {
@@ -224,5 +289,86 @@ pub fn fuzz(seed: u64, cases: u64, jobs: usize, sabotage: Option<Sabotage>) -> F
     FuzzReport {
         coverage: cov,
         divergences,
+        perf: None,
+    }
+}
+
+/// Runs the fuzzer with the performance oracle on: every case's engine
+/// matrix is measured under the one-pass cache sweep, cost vectors are
+/// checked against the cost-model invariants (see [`perf`]), and both
+/// correctness divergences and cost violations are shrunk to minimal
+/// reproducers. The returned report carries [`FuzzReport::perf`].
+///
+/// Deterministic in `(seed, cases, perf_sabotage)` at any `jobs`
+/// count, exactly like [`fuzz`].
+pub fn fuzz_perf(
+    seed: u64,
+    cases: u64,
+    jobs: usize,
+    perf_sabotage: Option<PerfSabotage>,
+) -> FuzzReport {
+    let mut cov = Coverage::new();
+    neg::exercise(&mut cov);
+    let mut divergences = Vec::new();
+    let mut violations = Vec::new();
+    let mut totals: Vec<(&'static str, CostVector)> = PERF_LABELS
+        .iter()
+        .map(|l| (*l, CostVector::default()))
+        .collect();
+    let mut start = 0u64;
+    while start < cases {
+        let n = ROUND.min(cases - start);
+        let snapshot = cov.clone();
+        let specs: Vec<(u64, ProgramSpec)> = (start..start + n)
+            .map(|i| (i, gen_case(seed, i, &snapshot)))
+            .collect();
+        let results = run_batch(&specs, jobs, |case, spec| {
+            let program = lower::lower(spec).unwrap_or_else(|e| {
+                panic!(
+                    "seed {seed:#x} case {case}: generated spec failed to lower/verify: {e}\n{spec:?}"
+                )
+            });
+            perf::run_perf_case(&program, perf_sabotage.as_ref())
+        });
+        for ((case, spec), pc) in specs.iter().zip(&results) {
+            diff::record_case(&mut cov, &pc.base);
+            for (label, cost) in &pc.costs {
+                if let Some(slot) = totals.iter_mut().find(|(l, _)| l == label) {
+                    slot.1.add(cost);
+                }
+            }
+            if !pc.base.divergent.is_empty() {
+                let minimized = shrink::shrink(spec, None);
+                divergences.push(Divergence {
+                    seed,
+                    case: *case,
+                    modes: pc.base.divergent.clone(),
+                    original_size: spec.size(),
+                    minimized,
+                });
+            }
+            if !pc.violations.is_empty() {
+                // One shrink per case, shared by its findings: the
+                // predicate is "still violates some cost invariant".
+                let minimized = perf::shrink_perf(spec, perf_sabotage.as_ref());
+                for f in &pc.violations {
+                    violations.push(PerfViolation {
+                        seed,
+                        case: *case,
+                        label: f.label,
+                        invariant: f.invariant,
+                        detail: f.detail.clone(),
+                        original_size: spec.size(),
+                        minimized: minimized.clone(),
+                    });
+                }
+            }
+        }
+        start += n;
+    }
+    FuzzReport {
+        coverage: cov,
+        divergences,
+        perf: Some(PerfReport { totals, violations }),
     }
 }

@@ -1,0 +1,560 @@
+//! The performance-oracle layer: per-engine cost vectors and explicit
+//! cost-model invariants checked on every generated case.
+//!
+//! Correctness-differential fuzzing ([`crate::diff`]) proves the
+//! engine matrix observationally equivalent — but a tiered
+//! configuration that is semantically right and pathologically slow
+//! passes it silently. This module runs the same matrix with a
+//! measuring sink (the one-pass [`SplitSweep`] cache simulator over
+//! the paper's L1 points) and collects a [`CostVector`] per engine:
+//! executed bytecodes, emitted trace events, translate work split by
+//! tier, code-cache install/evict/re-translate churn, and simulated
+//! I-/D-cache misses. The vectors are then checked against the
+//! cost-model invariants of the paper's execution model:
+//!
+//! * **translate-attribution** — the Translate-phase events on the
+//!   trace are exactly the translator instructions the counters claim
+//!   (`translate_events == translate_insts`), on every engine. This
+//!   ties [`jrt_vm::Vm::run_observed`]'s counter path to the trace
+//!   path.
+//! * **installs-accounting** — one successful install per translation
+//!   (`code_installs == methods_translated`; the matrix is all per-VM
+//!   scope).
+//! * **interp-no-translate** — interpreters do no translate work at
+//!   all: no translator instructions, no installs, no code bytes, no
+//!   Translate-phase events.
+//! * **fold-dispatch** — picoJava-style folding shares dispatches; it
+//!   must never change the executed bytecode count and never *add*
+//!   trace events.
+//! * **thresh-subset** — a threshold policy translates a subset of the
+//!   methods first-invocation JIT translates, each at most once at
+//!   baseline, so its translate work is bounded by the JIT's.
+//! * **tiered-baseline** — a tiered policy's *baseline-tier* translate
+//!   work (`translate_insts - opt_translate_insts`) is bounded by
+//!   first-invocation JIT's; the optimizing tier adds work on top,
+//!   which is why the raw totals are not comparable.
+//! * **unbounded-no-churn** — unbounded code caches never evict,
+//!   re-translate, or fail an install.
+//! * **churn-bound** — eviction churn stays within the reuse bound:
+//!   every re-translation was preceded by an eviction of that key
+//!   (`retranslations <= code_evictions`) and every eviction happened
+//!   making room for an install
+//!   (`code_evictions <= code_installs + code_install_failures`).
+//! * **sized-capacity** — a bounded cache whose capacity equals the
+//!   total code bytes the unbounded JIT ever installed evicts nothing,
+//!   re-translates nothing, and does exactly the unbounded JIT's
+//!   translate work. This extra `cc-sized` engine is derived per case
+//!   from the measured `jit` run.
+//!
+//! Any violation is attributed to an engine label and an invariant
+//! name and shrunk to a minimal reproducer by the same greedy
+//! machinery as correctness divergences ([`crate::shrink`]), with
+//! "still violates some cost invariant" as the predicate.
+
+use crate::diff::{engine_configs, CaseResult, CASE_BUDGET};
+use jrt_bytecode::Program;
+use jrt_cache::{CacheConfig, SplitSweep};
+use jrt_vm::{CodeCacheConfig, EvictionPolicy, ExecMode, JitPolicy, ObservedRun, Vm, VmConfig};
+
+/// Label of the per-case derived engine: first-invocation JIT under a
+/// bounded cache sized to exactly the unbounded JIT's total code
+/// bytes.
+pub const SIZED_LABEL: &str = "cc-sized";
+
+/// Engine labels a perf run can produce, in report order: the
+/// correctness matrix plus [`SIZED_LABEL`].
+pub const PERF_LABELS: [&str; 9] = [
+    "interp",
+    "interp-fold",
+    "jit",
+    "thresh",
+    "tiered",
+    "cc-lru",
+    "cc-swlru",
+    "cc-hot",
+    SIZED_LABEL,
+];
+
+/// One engine's cost vector for one case.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CostVector {
+    /// Bytecodes executed.
+    pub bytecodes: u64,
+    /// Total native trace events emitted (every event fetches its pc,
+    /// so this equals the instruction-sweep reference count).
+    pub events: u64,
+    /// Translate-phase slice of `events`.
+    pub translate_events: u64,
+    /// Translator instructions per the VM counters (sum of `T_i`).
+    pub translate_insts: u64,
+    /// Optimizing-tier slice of `translate_insts`.
+    pub opt_translate_insts: u64,
+    /// Methods translated (counting re-translations and upgrades).
+    pub methods_translated: u64,
+    /// Re-translations at the optimizing tier.
+    pub tier2_recompiles: u64,
+    /// Successful code-cache installs.
+    pub code_installs: u64,
+    /// Code-cache evictions.
+    pub code_evictions: u64,
+    /// Installs abandoned because the method cannot fit at all.
+    pub code_install_failures: u64,
+    /// Installs of previously-evicted keys.
+    pub retranslations: u64,
+    /// Cumulative code bytes ever installed.
+    pub code_ever_bytes: u64,
+    /// Simulated paper-L1 instruction-cache misses.
+    pub icache_misses: u64,
+    /// Simulated paper-L1 data-cache misses.
+    pub dcache_misses: u64,
+}
+
+impl CostVector {
+    /// Extracts the vector from an observed run and its measuring
+    /// sweep.
+    pub fn collect(run: &ObservedRun, sweep: &SplitSweep) -> CostVector {
+        let i = &sweep.icache().results()[0];
+        let d = &sweep.dcache().results()[0];
+        CostVector {
+            bytecodes: run.counters.bytecodes,
+            events: i.stats().refs(),
+            translate_events: i.translate_stats().refs(),
+            translate_insts: run.counters.translate_insts,
+            opt_translate_insts: run.counters.opt_translate_insts,
+            methods_translated: u64::from(run.counters.methods_translated),
+            tier2_recompiles: u64::from(run.counters.tier2_recompiles),
+            code_installs: run.counters.code_installs,
+            code_evictions: run.counters.code_evictions,
+            code_install_failures: run.counters.code_install_failures,
+            retranslations: run.counters.retranslations,
+            code_ever_bytes: run.counters.code_ever_bytes,
+            icache_misses: i.stats().misses(),
+            dcache_misses: d.stats().misses(),
+        }
+    }
+
+    /// `(name, value)` pairs in a fixed order — the render/floor
+    /// surface.
+    pub fn metrics(&self) -> [(&'static str, u64); 14] {
+        [
+            ("bytecodes", self.bytecodes),
+            ("events", self.events),
+            ("translate_events", self.translate_events),
+            ("translate_insts", self.translate_insts),
+            ("opt_translate_insts", self.opt_translate_insts),
+            ("methods_translated", self.methods_translated),
+            ("tier2_recompiles", self.tier2_recompiles),
+            ("code_installs", self.code_installs),
+            ("code_evictions", self.code_evictions),
+            ("code_install_failures", self.code_install_failures),
+            ("retranslations", self.retranslations),
+            ("code_ever_bytes", self.code_ever_bytes),
+            ("icache_misses", self.icache_misses),
+            ("dcache_misses", self.dcache_misses),
+        ]
+    }
+
+    /// Looks a metric up by its [`CostVector::metrics`] name.
+    pub fn get(&self, name: &str) -> Option<u64> {
+        self.metrics()
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Element-wise accumulation (for per-label run totals).
+    pub fn add(&mut self, other: &CostVector) {
+        self.bytecodes += other.bytecodes;
+        self.events += other.events;
+        self.translate_events += other.translate_events;
+        self.translate_insts += other.translate_insts;
+        self.opt_translate_insts += other.opt_translate_insts;
+        self.methods_translated += other.methods_translated;
+        self.tier2_recompiles += other.tier2_recompiles;
+        self.code_installs += other.code_installs;
+        self.code_evictions += other.code_evictions;
+        self.code_install_failures += other.code_install_failures;
+        self.retranslations += other.retranslations;
+        self.code_ever_bytes += other.code_ever_bytes;
+        self.icache_misses += other.icache_misses;
+        self.dcache_misses += other.dcache_misses;
+    }
+}
+
+/// A harness self-test hook for the perf oracle: corrupt the named
+/// engine's cost vector after its run, proving the oracle detects,
+/// attributes, and shrinks a seeded perf fault. The corruption models
+/// gratuitous re-translation: a million phantom translator
+/// instructions plus one more re-translation than evictions can
+/// explain — every matrix label violates at least one invariant under
+/// it.
+#[derive(Debug, Clone, Copy)]
+pub struct PerfSabotage {
+    /// Matrix label whose cost vector gets corrupted.
+    pub mode: &'static str,
+}
+
+fn sabotage_cost(cost: &mut CostVector) {
+    cost.translate_insts += 1_000_000;
+    cost.retranslations += cost.code_evictions + 1;
+}
+
+/// One detected cost-model violation, attributed to an engine and an
+/// invariant.
+#[derive(Debug, Clone)]
+pub struct PerfFinding {
+    /// Engine label the violation is attributed to.
+    pub label: &'static str,
+    /// Invariant name (see the module docs).
+    pub invariant: &'static str,
+    /// Deterministic human-readable evidence.
+    pub detail: String,
+}
+
+/// The full perf-differential result of one case.
+#[derive(Debug)]
+pub struct PerfCase {
+    /// The correctness-differential view (observables compared against
+    /// the interpreter), including the derived `cc-sized` run when one
+    /// was made.
+    pub base: CaseResult,
+    /// Per-engine cost vectors, aligned with `base.observed`.
+    pub costs: Vec<(&'static str, CostVector)>,
+    /// All cost-model violations, in deterministic order.
+    pub violations: Vec<PerfFinding>,
+}
+
+/// Runs `program` through the matrix with measuring sinks, derives the
+/// `cc-sized` engine, and checks every cost-model invariant.
+pub fn run_perf_case(program: &Program, sabotage: Option<&PerfSabotage>) -> PerfCase {
+    let ipoints = [CacheConfig::paper_l1_inst()];
+    let dpoints = [CacheConfig::paper_l1_data()];
+    let mut observed: Vec<(&'static str, ObservedRun)> = Vec::new();
+    let mut costs: Vec<(&'static str, CostVector)> = Vec::new();
+
+    let run_one = |label: &'static str,
+                   cfg: VmConfig,
+                   observed: &mut Vec<(&'static str, ObservedRun)>,
+                   costs: &mut Vec<(&'static str, CostVector)>| {
+        let mut sweep = SplitSweep::new(&ipoints, &dpoints);
+        let run = Vm::new(program, cfg).run_observed(&mut sweep);
+        let mut cost = CostVector::collect(&run, &sweep);
+        if let Some(s) = sabotage {
+            if s.mode == label {
+                sabotage_cost(&mut cost);
+            }
+        }
+        observed.push((label, run));
+        costs.push((label, cost));
+    };
+
+    for (label, cfg) in engine_configs() {
+        run_one(label, cfg, &mut observed, &mut costs);
+    }
+
+    // The derived engine: a bounded cache with capacity equal to every
+    // code byte the unbounded JIT ever installed must behave exactly
+    // like the unbounded JIT. Skipped when the case translated nothing
+    // (the invariant is vacuous).
+    let jit_ever = lookup(&costs, "jit").map_or(0, |c| c.code_ever_bytes);
+    if jit_ever > 0 {
+        let cfg = VmConfig {
+            mode: ExecMode::Jit(JitPolicy::FirstInvocation),
+            max_bytecodes: CASE_BUDGET,
+            code_cache: CodeCacheConfig::bounded(jit_ever, EvictionPolicy::Lru),
+            ..VmConfig::default()
+        };
+        run_one(SIZED_LABEL, cfg, &mut observed, &mut costs);
+    }
+
+    let reference = observed[0].1.observables.clone();
+    let divergent: Vec<&'static str> = observed
+        .iter()
+        .skip(1)
+        .filter(|(_, run)| run.observables != reference)
+        .map(|(label, _)| *label)
+        .collect();
+    let violations = check_invariants(&costs);
+    PerfCase {
+        base: CaseResult {
+            observed,
+            divergent,
+        },
+        costs,
+        violations,
+    }
+}
+
+fn lookup<'a>(costs: &'a [(&'static str, CostVector)], label: &str) -> Option<&'a CostVector> {
+    costs.iter().find(|(l, _)| *l == label).map(|(_, c)| c)
+}
+
+/// Checks every cost-model invariant over one case's vectors. Pure and
+/// deterministic: the findings depend only on the vectors, in a fixed
+/// order.
+pub fn check_invariants(costs: &[(&'static str, CostVector)]) -> Vec<PerfFinding> {
+    let mut out = Vec::new();
+    let mut fail = |label: &'static str, invariant: &'static str, detail: String| {
+        out.push(PerfFinding {
+            label,
+            invariant,
+            detail,
+        });
+    };
+    let jit = lookup(costs, "jit").copied().unwrap_or_default();
+
+    for (label, c) in costs {
+        // Per-engine consistency: counters against the trace, installs
+        // against translations, churn against the reuse bound.
+        if c.translate_events != c.translate_insts {
+            fail(
+                label,
+                "translate-attribution",
+                format!(
+                    "translate events {} != translate_insts {}",
+                    c.translate_events, c.translate_insts
+                ),
+            );
+        }
+        if c.code_installs != c.methods_translated {
+            fail(
+                label,
+                "installs-accounting",
+                format!(
+                    "code_installs {} != methods_translated {}",
+                    c.code_installs, c.methods_translated
+                ),
+            );
+        }
+        if c.retranslations > c.code_evictions {
+            fail(
+                label,
+                "churn-bound",
+                format!(
+                    "retranslations {} > code_evictions {}",
+                    c.retranslations, c.code_evictions
+                ),
+            );
+        }
+        if c.code_evictions > c.code_installs + c.code_install_failures {
+            fail(
+                label,
+                "churn-bound",
+                format!(
+                    "code_evictions {} > installs {} + install_failures {}",
+                    c.code_evictions, c.code_installs, c.code_install_failures
+                ),
+            );
+        }
+        match *label {
+            "interp" | "interp-fold"
+                if c.translate_insts != 0
+                    || c.methods_translated != 0
+                    || c.code_ever_bytes != 0
+                    || c.translate_events != 0 =>
+            {
+                fail(
+                    label,
+                    "interp-no-translate",
+                    format!(
+                        "interpreter did translate work: insts {} methods {} bytes {} events {}",
+                        c.translate_insts,
+                        c.methods_translated,
+                        c.code_ever_bytes,
+                        c.translate_events
+                    ),
+                );
+            }
+            "jit" | "thresh" | "tiered"
+                if c.code_evictions != 0
+                    || c.retranslations != 0
+                    || c.code_install_failures != 0 =>
+            {
+                fail(
+                    label,
+                    "unbounded-no-churn",
+                    format!(
+                        "unbounded cache churned: evictions {} retranslations {} failures {}",
+                        c.code_evictions, c.retranslations, c.code_install_failures
+                    ),
+                );
+            }
+            _ => {}
+        }
+    }
+
+    // Relational invariants against the interpreter / unbounded JIT.
+    if let (Some(fold), Some(interp)) = (lookup(costs, "interp-fold"), lookup(costs, "interp")) {
+        if fold.bytecodes != interp.bytecodes || fold.events > interp.events {
+            fail(
+                "interp-fold",
+                "fold-dispatch",
+                format!(
+                    "folding changed execution: bytecodes {} vs {}, events {} vs {}",
+                    fold.bytecodes, interp.bytecodes, fold.events, interp.events
+                ),
+            );
+        }
+    }
+    if let Some(thresh) = lookup(costs, "thresh") {
+        if thresh.methods_translated > jit.methods_translated
+            || thresh.translate_insts > jit.translate_insts
+            || thresh.code_ever_bytes > jit.code_ever_bytes
+        {
+            fail(
+                "thresh",
+                "thresh-subset",
+                format!(
+                    "threshold out-translated first-invocation: methods {} vs {}, insts {} vs {}, bytes {} vs {}",
+                    thresh.methods_translated,
+                    jit.methods_translated,
+                    thresh.translate_insts,
+                    jit.translate_insts,
+                    thresh.code_ever_bytes,
+                    jit.code_ever_bytes
+                ),
+            );
+        }
+    }
+    if let Some(tiered) = lookup(costs, "tiered") {
+        let baseline = tiered
+            .translate_insts
+            .saturating_sub(tiered.opt_translate_insts);
+        if baseline > jit.translate_insts {
+            fail(
+                "tiered",
+                "tiered-baseline",
+                format!(
+                    "tiered baseline translate work {} (total {} - opt {}) > jit {}",
+                    baseline,
+                    tiered.translate_insts,
+                    tiered.opt_translate_insts,
+                    jit.translate_insts
+                ),
+            );
+        }
+    }
+    if let Some(sized) = lookup(costs, SIZED_LABEL) {
+        if sized.code_evictions != 0
+            || sized.retranslations != 0
+            || sized.code_install_failures != 0
+            || sized.translate_insts != jit.translate_insts
+            || sized.code_ever_bytes != jit.code_ever_bytes
+            || sized.methods_translated != jit.methods_translated
+        {
+            fail(
+                SIZED_LABEL,
+                "sized-capacity",
+                format!(
+                    "capacity == total code bytes still churned: evictions {} retranslations {} failures {} insts {} vs {} bytes {} vs {}",
+                    sized.code_evictions,
+                    sized.retranslations,
+                    sized.code_install_failures,
+                    sized.translate_insts,
+                    jit.translate_insts,
+                    sized.code_ever_bytes,
+                    jit.code_ever_bytes
+                ),
+            );
+        }
+    }
+    out
+}
+
+/// Whether `spec` still produces any cost-model violation (the perf
+/// shrinker's failure predicate). Specs that no longer lower/verify
+/// don't count.
+pub fn spec_perf_violates(
+    spec: &crate::spec::ProgramSpec,
+    sabotage: Option<&PerfSabotage>,
+) -> bool {
+    match crate::lower::lower(spec) {
+        Ok(program) => !run_perf_case(&program, sabotage).violations.is_empty(),
+        Err(_) => false,
+    }
+}
+
+/// Shrinks `spec` while it keeps violating a cost invariant.
+pub fn shrink_perf(
+    spec: &crate::spec::ProgramSpec,
+    sabotage: Option<&PerfSabotage>,
+) -> crate::spec::ProgramSpec {
+    jrt_testkit::minimize(
+        spec.clone(),
+        |s| spec_perf_violates(s, sabotage),
+        crate::shrink::candidates,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat(label: &'static str) -> (&'static str, CostVector) {
+        (label, CostVector::default())
+    }
+
+    #[test]
+    fn empty_matrix_has_no_findings() {
+        let costs: Vec<_> = ["interp", "interp-fold", "jit", "thresh", "tiered"]
+            .into_iter()
+            .map(flat)
+            .collect();
+        assert!(check_invariants(&costs).is_empty());
+    }
+
+    #[test]
+    fn detects_interp_translate_work() {
+        let mut costs = vec![flat("interp")];
+        costs[0].1.translate_insts = 4;
+        costs[0].1.translate_events = 4;
+        let f = check_invariants(&costs);
+        assert!(f.iter().any(|v| v.invariant == "interp-no-translate"));
+    }
+
+    #[test]
+    fn detects_counter_trace_mismatch() {
+        let mut costs = vec![flat("jit")];
+        costs[0].1.translate_insts = 10;
+        costs[0].1.translate_events = 9;
+        let f = check_invariants(&costs);
+        assert_eq!(f[0].invariant, "translate-attribution");
+        assert_eq!(f[0].label, "jit");
+    }
+
+    #[test]
+    fn detects_churn_over_reuse_bound() {
+        let mut costs = vec![flat("cc-lru")];
+        costs[0].1.retranslations = 3;
+        costs[0].1.code_evictions = 2;
+        let f = check_invariants(&costs);
+        assert!(f.iter().any(|v| v.invariant == "churn-bound"));
+    }
+
+    #[test]
+    fn sabotaged_vector_always_violates() {
+        for label in crate::MATRIX_LABELS {
+            let mut costs: Vec<_> = crate::MATRIX_LABELS.into_iter().map(flat).collect();
+            let slot = costs.iter_mut().find(|(l, _)| *l == label).unwrap();
+            sabotage_cost(&mut slot.1);
+            let f = check_invariants(&costs);
+            assert!(
+                f.iter().any(|v| v.label == label),
+                "{label}: sabotage not attributed: {f:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn metric_lookup_round_trips() {
+        let c = CostVector {
+            dcache_misses: 77,
+            ..Default::default()
+        };
+        assert_eq!(c.get("dcache_misses"), Some(77));
+        assert_eq!(c.get("nonsense"), None);
+        for (name, _) in c.metrics() {
+            assert!(c.get(name).is_some());
+        }
+    }
+}

@@ -1,4 +1,5 @@
-//! Minimal bench harness: median-of-N wall time, JSON lines to stdout.
+//! Minimal bench harness: median-of-N wall time, JSON lines to stdout,
+//! with steady-state window classification.
 //!
 //! Replaces `criterion` for this workspace's offline build. Wire it as
 //! a `cargo bench`-compatible harness by setting `harness = false` on
@@ -15,7 +16,7 @@
 //! Each bench prints one JSON line:
 //!
 //! ```text
-//! {"suite":"my_suite","bench":"add","iters":1024,"samples_ns":[..],"median_ns":12}
+//! {"suite":"my_suite","bench":"add","iters":1024,"samples_ns":[..],"median_ns":12,"steady_state":true,"warmup_iters":0,"steady_median_ns":12}
 //! ```
 //!
 //! `cargo bench` passes `--bench`, which is ignored; the first free
@@ -23,8 +24,127 @@
 //! sample count (default 5); each sample is timed over enough
 //! iterations to exceed a minimum sample duration, so both
 //! sub-microsecond and multi-second workloads produce stable medians.
+//!
+//! # Steady-state classification
+//!
+//! Microbenchmark literature (see "Misleading Microbenchmarks on the
+//! JVM" in PAPERS.md) distinguishes *warm-up* windows — still
+//! compiling, still faulting pages — from *steady-state* windows whose
+//! timings a regression gate may trust. Every bench run here is
+//! segmented into windows (the calibration pass plus each timed
+//! sample) and classified by [`classify`]: a window is steady when its
+//! per-iteration time sits within a relative band of the tail median
+//! **and** it carries no more auxiliary work (translate events, via
+//! [`Harness::bench_aux`]) than the quietest window. The run as a
+//! whole reaches steady state when every window after the leading
+//! warm-up prefix is steady and the post-warm-up coefficient of
+//! variation stays small. The verdict is recorded per bench as
+//! `steady_state` / `warmup_iters` / `steady_median_ns`, which
+//! `bench_all --check-against` uses to compare steady-state windows
+//! only and merely annotate warm-up drift.
 
 use std::time::{Duration, Instant};
+
+/// Relative deviation (percent) from the tail median within which a
+/// window counts as steady.
+const STEADY_BAND_PCT: u128 = 15;
+
+/// Maximum coefficient of variation (stddev/mean) of the post-warm-up
+/// windows for the run to count as steady overall.
+const STEADY_COV: f64 = 0.10;
+
+/// Steady-state verdict for one bench run's window series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SteadyState {
+    /// Per-window verdicts, in window order.
+    pub steady: Vec<bool>,
+    /// Number of leading non-steady (warm-up) windows.
+    pub warmup_windows: usize,
+    /// Whether the run reached steady state: every post-warm-up window
+    /// is steady and their coefficient of variation is small.
+    pub steady_state: bool,
+    /// Median per-iteration time over the steady windows (falls back
+    /// to the overall median when no window is steady).
+    pub steady_median_ns: u128,
+}
+
+fn median(sorted: &[u128]) -> u128 {
+    sorted[sorted.len() / 2]
+}
+
+/// Classifies a window series: `ns[i]` is window `i`'s per-iteration
+/// wall time and `aux[i]` its per-iteration auxiliary-event count
+/// (e.g. JIT translate events; pass zeros when not measured).
+///
+/// A window is steady when it deviates from the median of the trailing
+/// half of the series by at most 15% **and** its auxiliary count does
+/// not exceed the series minimum (translate-event presence marks a
+/// window as still-compiling). The run is steady overall when all
+/// windows after the leading warm-up prefix are steady and their
+/// coefficient of variation is at most 0.10.
+///
+/// # Panics
+///
+/// Panics if `ns` is empty or the lengths differ.
+pub fn classify(ns: &[u128], aux: &[u64]) -> SteadyState {
+    assert!(!ns.is_empty(), "classify needs at least one window");
+    assert_eq!(ns.len(), aux.len(), "one aux count per window");
+    let tail = &ns[ns.len() - ns.len().div_ceil(2)..];
+    let mut tail_sorted = tail.to_vec();
+    tail_sorted.sort_unstable();
+    let m = median(&tail_sorted);
+    let min_aux = *aux.iter().min().expect("non-empty");
+
+    let steady: Vec<bool> = ns
+        .iter()
+        .zip(aux)
+        .map(|(&t, &a)| {
+            let dev = t.abs_diff(m);
+            dev * 100 <= STEADY_BAND_PCT * m && a <= min_aux
+        })
+        .collect();
+    let warmup_windows = steady.iter().take_while(|&&s| !s).count();
+    let post = &ns[warmup_windows.min(ns.len())..];
+    let all_post_steady = warmup_windows < ns.len() && steady[warmup_windows..].iter().all(|&s| s);
+    let steady_state = all_post_steady && cov(post) <= STEADY_COV;
+
+    let mut steady_ns: Vec<u128> = ns
+        .iter()
+        .zip(&steady)
+        .filter(|(_, &s)| s)
+        .map(|(&t, _)| t)
+        .collect();
+    if steady_ns.is_empty() {
+        steady_ns = ns.to_vec();
+    }
+    steady_ns.sort_unstable();
+    SteadyState {
+        steady,
+        warmup_windows,
+        steady_state,
+        steady_median_ns: median(&steady_ns),
+    }
+}
+
+/// Coefficient of variation (stddev / mean) of a window series.
+fn cov(ns: &[u128]) -> f64 {
+    if ns.len() < 2 {
+        return 0.0;
+    }
+    let mean = ns.iter().map(|&t| t as f64).sum::<f64>() / ns.len() as f64;
+    if mean <= 0.0 {
+        return 0.0;
+    }
+    let var = ns
+        .iter()
+        .map(|&t| {
+            let d = t as f64 - mean;
+            d * d
+        })
+        .sum::<f64>()
+        / ns.len() as f64;
+    var.sqrt() / mean
+}
 
 /// One measured benchmark.
 #[derive(Debug, Clone)]
@@ -39,6 +159,13 @@ pub struct BenchResult {
     pub samples_ns: Vec<u128>,
     /// Median of `samples_ns`.
     pub median_ns: u128,
+    /// Whether the run reached steady state (see [`classify`]).
+    pub steady_state: bool,
+    /// Iterations spent in the leading warm-up windows (calibration
+    /// pass included).
+    pub warmup_iters: u64,
+    /// Median per-iteration time over the steady windows only.
+    pub steady_median_ns: u128,
 }
 
 impl BenchResult {
@@ -46,12 +173,15 @@ impl BenchResult {
     pub fn to_json(&self) -> String {
         let samples: Vec<String> = self.samples_ns.iter().map(u128::to_string).collect();
         format!(
-            "{{\"suite\":\"{}\",\"bench\":\"{}\",\"iters\":{},\"samples_ns\":[{}],\"median_ns\":{}}}",
+            "{{\"suite\":\"{}\",\"bench\":\"{}\",\"iters\":{},\"samples_ns\":[{}],\"median_ns\":{},\"steady_state\":{},\"warmup_iters\":{},\"steady_median_ns\":{}}}",
             self.suite,
             self.name,
             self.iters,
             samples.join(","),
-            self.median_ns
+            self.median_ns,
+            self.steady_state,
+            self.warmup_iters,
+            self.steady_median_ns
         )
     }
 }
@@ -111,31 +241,78 @@ impl Harness {
 
     /// Times `f`, printing one JSON line and recording the result.
     pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
+        self.bench_aux(name, || (f(), 0));
+    }
+
+    /// Times `f`, which additionally reports an auxiliary event count
+    /// per invocation (e.g. JIT translate events from a
+    /// `CountingSink`); the counts feed the per-window steady-state
+    /// classification ([`classify`]).
+    pub fn bench_aux<R>(&mut self, name: &str, mut f: impl FnMut() -> (R, u64)) {
         if let Some(filter) = &self.filter {
             if !name.contains(filter.as_str()) {
                 return;
             }
         }
         // Warmup doubles as calibration: pick an iteration count that
-        // makes one sample exceed `min_sample`.
+        // makes one sample exceed `min_sample`. The calibration pass is
+        // also the first classification window — warm-up effects land
+        // there, not in the samples.
         let warmup = Instant::now();
-        std::hint::black_box(f());
+        let (_, calib_aux) = {
+            let r = f();
+            (std::hint::black_box(r.0), r.1)
+        };
         let once = warmup.elapsed().max(Duration::from_nanos(1));
         let iters = (self.min_sample.as_nanos() / once.as_nanos()).clamp(1, 1 << 20) as u64;
 
-        let mut samples_ns: Vec<u128> = (0..self.samples)
-            .map(|_| {
-                let t = Instant::now();
-                for _ in 0..iters {
-                    std::hint::black_box(f());
-                }
-                t.elapsed().as_nanos() / iters as u128
-            })
-            .collect();
+        let mut window_ns: Vec<u128> = vec![once.as_nanos()];
+        let mut window_aux: Vec<u64> = vec![calib_aux];
+        let mut samples_ns: Vec<u128> = Vec::with_capacity(self.samples as usize);
+        for _ in 0..self.samples {
+            let mut aux = 0u64;
+            let t = Instant::now();
+            for _ in 0..iters {
+                let (r, a) = f();
+                std::hint::black_box(r);
+                aux += a;
+            }
+            let per_iter = t.elapsed().as_nanos() / iters as u128;
+            samples_ns.push(per_iter);
+            window_ns.push(per_iter);
+            // Ceiling division keeps auxiliary-event *presence* visible
+            // even when a window's total is smaller than its iteration
+            // count.
+            window_aux.push(aux.div_ceil(iters));
+        }
         let mut sorted = samples_ns.clone();
         sorted.sort_unstable();
-        let median_ns = sorted[sorted.len() / 2];
+        let median_ns = median(&sorted);
         samples_ns.shrink_to_fit();
+
+        let verdict = classify(&window_ns, &window_aux);
+        // Window 0 is the single-iteration calibration pass; each
+        // sample window runs `iters` iterations.
+        let warmup_iters: u64 = (0..verdict.warmup_windows)
+            .map(|w| if w == 0 { 1 } else { iters })
+            .sum();
+        // The calibration window is one unwarmed iteration; its
+        // steady-median contribution would skew small benches, so the
+        // reported steady median prefers steady *sample* windows.
+        let steady_median_ns = {
+            let mut steady_samples: Vec<u128> = samples_ns
+                .iter()
+                .zip(verdict.steady.iter().skip(1))
+                .filter(|(_, &s)| s)
+                .map(|(&t, _)| t)
+                .collect();
+            if steady_samples.is_empty() {
+                median_ns
+            } else {
+                steady_samples.sort_unstable();
+                median(&steady_samples)
+            }
+        };
 
         let result = BenchResult {
             suite: self.suite.clone(),
@@ -143,6 +320,9 @@ impl Harness {
             iters,
             samples_ns,
             median_ns,
+            steady_state: verdict.steady_state,
+            warmup_iters,
+            steady_median_ns,
         };
         if !self.quiet {
             println!("{}", result.to_json());
@@ -190,6 +370,9 @@ mod tests {
             "{json}"
         );
         assert!(json.contains("\"median_ns\":"), "{json}");
+        assert!(json.contains("\"steady_state\":"), "{json}");
+        assert!(json.contains("\"warmup_iters\":"), "{json}");
+        assert!(json.contains("\"steady_median_ns\":"), "{json}");
     }
 
     #[test]
@@ -202,5 +385,52 @@ mod tests {
         h.bench("yes_match", || 0);
         assert_eq!(h.results().len(), 1);
         assert_eq!(h.results()[0].name, "yes_match");
+    }
+
+    #[test]
+    fn bench_aux_counts_feed_classification() {
+        // First call (calibration window) reports heavy aux work, the
+        // rest report none: the calibration window is warm-up, the
+        // samples are steady.
+        let mut calls = 0u64;
+        let mut h = Harness::new("t").with_samples(4).quiet();
+        h.bench_aux("auxed", || {
+            calls += 1;
+            (std::hint::black_box(1 + 1), if calls == 1 { 40 } else { 0 })
+        });
+        let r = &h.results()[0];
+        assert!(r.warmup_iters >= 1, "calibration window is warm-up");
+    }
+
+    #[test]
+    fn classify_flat_series_is_steady() {
+        let v = classify(&[100, 100, 100, 100], &[0; 4]);
+        assert!(v.steady_state);
+        assert_eq!(v.warmup_windows, 0);
+        assert_eq!(v.steady_median_ns, 100);
+        assert!(v.steady.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn classify_monotone_warmup_settles() {
+        let v = classify(&[4000, 2000, 1200, 1000, 990, 1010], &[0; 6]);
+        assert!(v.steady_state);
+        assert_eq!(v.warmup_windows, 3);
+        assert!(v.steady_median_ns >= 990 && v.steady_median_ns <= 1010);
+    }
+
+    #[test]
+    fn classify_bimodal_never_settles() {
+        let v = classify(&[1000, 3000, 1000, 3000, 1000, 3000], &[0; 6]);
+        assert!(!v.steady_state);
+    }
+
+    #[test]
+    fn classify_aux_presence_marks_compiling_windows() {
+        // Flat timings, but the first window carries translate events.
+        let v = classify(&[100, 100, 100, 100], &[7, 0, 0, 0]);
+        assert!(!v.steady[0]);
+        assert_eq!(v.warmup_windows, 1);
+        assert!(v.steady_state);
     }
 }

@@ -188,6 +188,12 @@ pub(crate) struct JitState {
     pub methods_translated: u32,
     /// Total translator instructions emitted (sum of `T_i`).
     pub translate_insts: u64,
+    /// The slice of [`JitState::translate_insts`] emitted at the
+    /// optimizing tier. `translate_insts - opt_translate_insts` is the
+    /// baseline-tier translate work, which a tiered policy shares with
+    /// the translate-on-first-invocation JIT — the perf oracle's
+    /// tiered-baseline invariant compares exactly that slice.
+    pub opt_translate_insts: u64,
     /// Re-translations at the optimizing tier.
     pub tier2_recompiles: u32,
 }
@@ -206,6 +212,7 @@ impl JitState {
             translator_buffer_bytes: 0,
             methods_translated: 0,
             translate_insts: 0,
+            opt_translate_insts: 0,
             tier2_recompiles: 0,
         }
     }
@@ -431,7 +438,17 @@ impl JitState {
                 emitted += 1;
             }
         }
-        let entry = outcome.entry?;
+        let Some(entry) = outcome.entry else {
+            // Failed install: the eviction bookkeeping above still ran
+            // (and was emitted to the sink), so it must count as
+            // translator work — counters and the Translate-phase event
+            // stream stay equal even on the failure path.
+            self.translate_insts += emitted;
+            if tier >= TIER_OPT {
+                self.opt_translate_insts += emitted;
+            }
+            return None;
+        };
         let mut install = entry;
 
         let mut op_addr = HashMap::new();
@@ -531,6 +548,9 @@ impl JitState {
             .max(4 * u64::from(code_bytes) / 3 + 256);
         self.methods_translated += 1;
         self.translate_insts += emitted;
+        if tier >= TIER_OPT {
+            self.opt_translate_insts += emitted;
+        }
 
         self.compiled.insert(
             key,

@@ -97,10 +97,23 @@ pub struct VmCounters {
     pub methods_translated: u32,
     /// Trace instructions emitted by the translator (sum of `T_i`).
     pub translate_insts: u64,
+    /// The optimizing-tier slice of `translate_insts`;
+    /// `translate_insts - opt_translate_insts` is the baseline-tier
+    /// translate work a tiered policy shares with first-invocation JIT.
+    pub opt_translate_insts: u64,
     /// Threads created (including the main thread).
     pub threads_created: u32,
+    /// Successful code-cache installs (equals `methods_translated` on
+    /// every per-VM-scope configuration: one install per translation).
+    pub code_installs: u64,
     /// Installed methods evicted from the code cache.
     pub code_evictions: u64,
+    /// Installs abandoned because the method alone exceeds the cache
+    /// capacity (the key is pinned to interpretation afterwards).
+    pub code_install_failures: u64,
+    /// Cumulative code bytes ever installed (the append-only figure;
+    /// also surfaced in [`Footprint::code_ever_bytes`]).
+    pub code_ever_bytes: u64,
     /// Translations of methods that had previously been evicted —
     /// work an unbounded code cache would not have done.
     pub retranslations: u64,
@@ -488,8 +501,12 @@ impl<'p> Vm<'p> {
     fn merge_jit_counters(&mut self) {
         self.counters.methods_translated = self.jit.methods_translated;
         self.counters.translate_insts = self.jit.translate_insts;
+        self.counters.opt_translate_insts = self.jit.opt_translate_insts;
         let cache = self.jit.cache_stats();
+        self.counters.code_installs = cache.installs;
         self.counters.code_evictions = cache.evictions;
+        self.counters.code_install_failures = cache.install_failures;
+        self.counters.code_ever_bytes = self.jit.ever_bytes();
         self.counters.retranslations = cache.retranslations;
         self.counters.tier2_recompiles = self.jit.tier2_recompiles;
         self.counters.largest_method_bytes = cache.largest_install_bytes;

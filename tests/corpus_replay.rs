@@ -1,14 +1,27 @@
-//! Replays every corpus case file through the full engine matrix.
+//! Replays every corpus case file through the full engine matrix with
+//! the performance oracle on.
 //!
 //! Each `tests/corpus/*.case` file pins a `(seed, cases)` pair that
 //! once mattered — the CI smoke seed plus seeds kept for the engine
-//! behaviors they exercise. Replay must stay divergence-free, and
-//! the merged coverage across the corpus must remain complete, so a
-//! regression in either the engines or the generator is caught here
-//! even if the smoke seed happens to dodge it.
+//! behaviors they exercise (eviction thrash, tier promotion,
+//! dispatch-heavy interpretation, call-dense translation). Replay must
+//! stay divergence-free *and* cost-model-clean, the merged coverage
+//! across the corpus must remain complete, and each file's `floor`
+//! lines pin golden lower bounds on per-engine cost totals — so a
+//! regression that silently stops exercising a perf-sensitive shape
+//! (an eviction path that no longer churns, a tier that no longer
+//! promotes) is caught even while semantics stay equivalent.
 
-use javart::fuzz::{fuzz, Coverage};
+use javart::fuzz::{fuzz_perf, Coverage};
 use std::path::{Path, PathBuf};
+
+/// One golden lower bound: `totals[label].metric >= value`.
+#[derive(Debug)]
+struct Floor {
+    label: String,
+    metric: String,
+    value: u64,
+}
 
 /// One parsed corpus entry.
 #[derive(Debug)]
@@ -16,6 +29,7 @@ struct CorpusCase {
     path: PathBuf,
     seed: u64,
     cases: u64,
+    floors: Vec<Floor>,
 }
 
 fn parse_u64(s: &str) -> u64 {
@@ -30,6 +44,7 @@ fn parse_case(path: &Path) -> CorpusCase {
     let text = std::fs::read_to_string(path).expect("unreadable corpus file");
     let mut seed = None;
     let mut cases = None;
+    let mut floors = Vec::new();
     for line in text.lines() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
@@ -38,6 +53,20 @@ fn parse_case(path: &Path) -> CorpusCase {
         match line.split_once(' ') {
             Some(("seed", v)) => seed = Some(parse_u64(v.trim())),
             Some(("cases", v)) => cases = Some(parse_u64(v.trim())),
+            Some(("floor", rest)) => {
+                let (target, value) = rest
+                    .trim()
+                    .rsplit_once(' ')
+                    .unwrap_or_else(|| panic!("{}: bad floor line: {line}", path.display()));
+                let (label, metric) = target.split_once('.').unwrap_or_else(|| {
+                    panic!("{}: floor needs label.metric: {line}", path.display())
+                });
+                floors.push(Floor {
+                    label: label.to_string(),
+                    metric: metric.to_string(),
+                    value: parse_u64(value.trim()),
+                });
+            }
             _ => panic!("{}: unparsable line: {line}", path.display()),
         }
     }
@@ -45,6 +74,7 @@ fn parse_case(path: &Path) -> CorpusCase {
         path: path.to_owned(),
         seed: seed.unwrap_or_else(|| panic!("{}: missing seed", path.display())),
         cases: cases.unwrap_or_else(|| panic!("{}: missing cases", path.display())),
+        floors,
     }
 }
 
@@ -73,19 +103,59 @@ fn merge(into: &mut Coverage, from: &Coverage) {
 }
 
 #[test]
-fn corpus_replays_clean_with_full_merged_coverage() {
+fn corpus_replays_clean_with_full_merged_coverage_and_cost_floors() {
     let corpus = load_corpus();
-    assert!(corpus.len() >= 3, "corpus unexpectedly small: {corpus:?}");
+    assert!(corpus.len() >= 8, "corpus unexpectedly small: {corpus:?}");
+    assert!(
+        corpus.iter().any(|c| !c.floors.is_empty()),
+        "no corpus file pins cost floors"
+    );
     let mut merged = Coverage::new();
     for case in &corpus {
-        let report = fuzz(case.seed, case.cases, 2, None);
+        let report = fuzz_perf(case.seed, case.cases, 2, None);
         assert!(
             report.divergences.is_empty(),
             "{} diverged:\n{}",
             case.path.display(),
             report.render(case.seed)
         );
+        let perf = report.perf.as_ref().expect("perf oracle ran");
+        assert!(
+            perf.violations.is_empty(),
+            "{} violated cost invariants:\n{}",
+            case.path.display(),
+            report.render(case.seed)
+        );
         assert_eq!(report.coverage.cases, case.cases);
+        for floor in &case.floors {
+            let (_, totals) = perf
+                .totals
+                .iter()
+                .find(|(l, _)| *l == floor.label)
+                .unwrap_or_else(|| {
+                    panic!(
+                        "{}: unknown floor label {}",
+                        case.path.display(),
+                        floor.label
+                    )
+                });
+            let measured = totals.get(&floor.metric).unwrap_or_else(|| {
+                panic!(
+                    "{}: unknown floor metric {}",
+                    case.path.display(),
+                    floor.metric
+                )
+            });
+            assert!(
+                measured >= floor.value,
+                "{}: {}.{} fell below its golden floor: {} < {}",
+                case.path.display(),
+                floor.label,
+                floor.metric,
+                measured,
+                floor.value
+            );
+        }
         merge(&mut merged, &report.coverage);
     }
     assert!(

@@ -1,0 +1,145 @@
+//! Steady-state window classification and the `--check-against` gate
+//! built on it: synthetic window-series shapes through
+//! [`jrt_testkit::bench::classify`], and a JSON round-trip proving
+//! that non-steady entries are annotated as warm-up drift rather than
+//! failed while genuine steady-state regressions still trip the gate.
+
+use jrt_bench::check::{check, parse_baseline};
+use jrt_testkit::bench::{classify, BenchResult, Harness};
+
+#[test]
+fn flat_series_is_steady_from_window_zero() {
+    let v = classify(&[500, 500, 500, 500, 500], &[0; 5]);
+    assert!(v.steady_state);
+    assert_eq!(v.warmup_windows, 0);
+    assert_eq!(v.steady_median_ns, 500);
+}
+
+#[test]
+fn monotone_warmup_settles_into_steady_tail() {
+    // Classic JIT warm-up: expensive early windows converging onto a
+    // plateau. The leading windows are warm-up, the tail is steady.
+    let v = classify(&[9000, 4000, 1500, 1000, 1010, 990, 1000], &[0; 7]);
+    assert!(v.steady_state);
+    assert_eq!(v.warmup_windows, 3);
+    assert!(!v.steady[0] && !v.steady[1] && !v.steady[2]);
+    assert!(v.steady[3..].iter().all(|&s| s));
+    assert!((990..=1010).contains(&v.steady_median_ns));
+}
+
+#[test]
+fn bimodal_series_never_reaches_steady_state() {
+    // Deopt/reopt flapping: alternating fast and slow windows. No
+    // prefix removal makes the rest steady.
+    let v = classify(&[1000, 3000, 1000, 3000, 1000, 3000], &[0; 6]);
+    assert!(!v.steady_state);
+}
+
+#[test]
+fn noisy_flat_series_within_band_is_steady() {
+    // ±10% jitter around a flat mean stays inside the 15% band and
+    // under the CoV ceiling.
+    let v = classify(&[1080, 950, 1020, 980, 1050, 1000], &[0; 6]);
+    assert!(v.steady_state);
+    assert_eq!(v.warmup_windows, 0);
+}
+
+#[test]
+fn translate_events_mark_windows_as_still_compiling() {
+    // Timings alone look steady, but the first two windows carry
+    // translate events: they are still-compiling warm-up.
+    let v = classify(&[1000, 1000, 1000, 1000, 1000], &[12, 3, 0, 0, 0]);
+    assert!(!v.steady[0]);
+    assert!(!v.steady[1]);
+    assert_eq!(v.warmup_windows, 2);
+    assert!(v.steady_state);
+}
+
+fn measured(name: &str, steady: bool, steady_ns: u128, median_ns: u128) -> BenchResult {
+    BenchResult {
+        suite: "rt".into(),
+        name: name.into(),
+        iters: 8,
+        samples_ns: vec![median_ns; 3],
+        median_ns,
+        steady_state: steady,
+        warmup_iters: if steady { 0 } else { 9 },
+        steady_median_ns: steady_ns,
+    }
+}
+
+/// Round-trip: results serialized by [`BenchResult::to_json`] parse
+/// back as a baseline, non-steady measurements are annotated (never
+/// failed), and a steady regression still fails.
+#[test]
+fn check_against_annotates_warmup_drift_and_fails_steady_regressions() {
+    // The committed baseline: one steady bench, one that never
+    // stabilized when the baseline was recorded.
+    let baseline_results = [
+        measured("stable", true, 1000, 1000),
+        measured("flappy", false, 1000, 1400),
+    ];
+    let json: String = baseline_results
+        .iter()
+        .map(|r| r.to_json() + "\n")
+        .collect();
+    let baseline = parse_baseline(&json);
+    assert_eq!(baseline.len(), 2);
+    // The steady baseline gates on its steady median; the non-steady
+    // one falls back to its plain median.
+    assert_eq!(baseline[0].gate_ns(), 1000);
+    assert_eq!(baseline[1].gate_ns(), 1400);
+
+    // Scenario 1: this run's `stable` drifted but never reached steady
+    // state — warm-up drift, annotated, gate passes.
+    let rep = check(&[measured("stable", false, 5000, 5000)], &baseline, 2.0);
+    assert_eq!(rep.compared, 1);
+    assert!(rep.regressions.is_empty());
+    assert_eq!(rep.annotations.len(), 1);
+    assert!(rep.annotations[0].contains("warm-up drift"), "{rep:?}");
+    assert!(rep.ok());
+
+    // Scenario 2: `stable` reached steady state *slower* — a real
+    // regression, gate fails.
+    let rep = check(&[measured("stable", true, 5000, 5000)], &baseline, 2.0);
+    assert_eq!(rep.regressions.len(), 1);
+    assert!(!rep.ok());
+
+    // Scenario 3: both within limits — gate passes with no
+    // annotations.
+    let rep = check(
+        &[
+            measured("stable", true, 1100, 1100),
+            measured("flappy", true, 1500, 1500),
+        ],
+        &baseline,
+        2.0,
+    );
+    assert_eq!(rep.compared, 2);
+    assert!(rep.annotations.is_empty());
+    assert_eq!(rep.passes.len(), 2);
+    assert!(rep.ok());
+}
+
+/// A harness-measured bench round-trips through JSON with the steady
+/// fields intact and comparable.
+#[test]
+fn harness_results_round_trip_through_check() {
+    let mut h = Harness::new("rt").with_samples(3).quiet();
+    h.bench("busy", || {
+        let mut acc = 0u64;
+        for k in 0..4096u64 {
+            acc = acc.wrapping_add(k * k);
+        }
+        std::hint::black_box(acc)
+    });
+    let results = h.into_results();
+    let json: String = results.iter().map(|r| r.to_json() + "\n").collect();
+    let baseline = parse_baseline(&json);
+    assert_eq!(baseline.len(), 1);
+    assert_eq!(baseline[0].steady_state, Some(results[0].steady_state));
+    // Self-comparison is never a regression, whatever the verdict.
+    let rep = check(&results, &baseline, 2.0);
+    assert_eq!(rep.compared, 1);
+    assert!(rep.ok());
+}

@@ -94,6 +94,46 @@ fn tape_reproduces_vm_event_stream_for_every_workload_and_mode() {
                 "{} {mode:?}: event sequence",
                 spec.name
             );
+            // Counter/trace equivalence: the run's counters and its
+            // event stream are two views of the same execution and
+            // must agree — Translate-phase events are exactly the
+            // translator instructions the counters claim, and
+            // ClassLoad events are exactly the class-loading work.
+            let translate_events = direct
+                .events
+                .iter()
+                .filter(|e| e.phase.is_translate())
+                .count() as u64;
+            assert_eq!(
+                translate_events, r.counters.translate_insts,
+                "{} {mode:?}: translate events vs counter",
+                spec.name
+            );
+            let classload_events = direct
+                .events
+                .iter()
+                .filter(|e| e.phase == Phase::ClassLoad)
+                .count() as u64;
+            assert_eq!(
+                classload_events, r.counters.classload_insts,
+                "{} {mode:?}: classload events vs counter",
+                spec.name
+            );
+            if matches!(mode, Mode::Interp) {
+                // The non-folded dispatch loop emits exactly 6
+                // InterpDispatch events per executed bytecode.
+                let dispatches = direct
+                    .events
+                    .iter()
+                    .filter(|e| e.phase == Phase::InterpDispatch)
+                    .count() as u64;
+                assert_eq!(
+                    dispatches,
+                    6 * r.counters.bytecodes,
+                    "{} {mode:?}: dispatch events vs bytecode counter",
+                    spec.name
+                );
+            }
             // Real traces are pc-sequential and spatially local; the
             // delta encoding should stay well under the 64-byte
             // in-memory event.
