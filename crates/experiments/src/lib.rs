@@ -50,6 +50,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod folding;
 pub mod indirect;
+pub mod ir;
 pub mod jobs;
 pub mod proposal;
 pub mod report;

@@ -50,13 +50,16 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 /// Cache key: workload identity plus the stream-shaping knobs. The
 /// folding flag matters because a folding interpreter emits a
-/// genuinely different native stream than the stock one.
+/// genuinely different native stream than the stock one; the IR flag
+/// selects the register-IR tier (IR interpreter / IR-backed JIT),
+/// whose streams differ again.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct Key {
     name: &'static str,
     size: Size,
     mode: Mode,
     folding: bool,
+    ir: bool,
 }
 
 /// Everything one recording pass produces, shared immutably.
@@ -117,11 +120,14 @@ pub fn oracle(w: &Workload) -> Arc<OracleDecisions> {
         .clone()
 }
 
-fn record(w: &Workload, mode: Mode, folding: bool) -> Arc<TapeEntry> {
-    let cfg = match mode {
-        Mode::Interp => VmConfig::interpreter(),
-        Mode::Jit => VmConfig::jit(),
-        Mode::Opt => VmConfig::oracle(oracle(w).as_ref().clone()),
+fn record(w: &Workload, mode: Mode, folding: bool, ir: bool) -> Arc<TapeEntry> {
+    let cfg = match (mode, ir) {
+        (Mode::Interp, false) => VmConfig::interpreter(),
+        (Mode::Interp, true) => VmConfig::ir_interp(),
+        (Mode::Jit, false) => VmConfig::jit(),
+        (Mode::Jit, true) => VmConfig::ir_jit(),
+        (Mode::Opt, false) => VmConfig::oracle(oracle(w).as_ref().clone()),
+        (Mode::Opt, true) => unreachable!("no IR variant of the opt oracle"),
     };
     let cfg = if folding { cfg.with_folding() } else { cfg };
     let mut rec = TapeRecorder::new();
@@ -247,18 +253,19 @@ fn enforce_decoded_budget(budget: u64, keep: Option<Key>) {
         });
 }
 
-fn entry(w: &Workload, mode: Mode, folding: bool) -> Arc<TapeEntry> {
+fn entry(w: &Workload, mode: Mode, folding: bool, ir: bool) -> Arc<TapeEntry> {
     let key = Key {
         name: w.spec.name,
         size: w.size,
         mode,
         folding,
+        ir,
     };
     let slot = tape_store().lock().expect("tape cache poisoned").slot(key);
     // The record happens outside the store lock (other keys proceed
     // in parallel); the budget check runs after, so a giant fresh
     // tape can push out colder ones but is itself protected.
-    let e = slot.get_or_init(|| record(w, mode, folding)).clone();
+    let e = slot.get_or_init(|| record(w, mode, folding, ir)).clone();
     enforce_budget(budget_bytes(), Some(key));
     e
 }
@@ -266,14 +273,22 @@ fn entry(w: &Workload, mode: Mode, folding: bool) -> Arc<TapeEntry> {
 /// Returns the cached recording of `w` under `mode`, recording it on
 /// first use. The entry is shared (`Arc`) across all callers.
 pub fn recorded(w: &Workload, mode: Mode) -> Arc<TapeEntry> {
-    entry(w, mode, false)
+    entry(w, mode, false, false)
 }
 
 /// Like [`recorded`], but for the folding interpreter variant
 /// (Section 4.4's picoJava-style stack-op folding), whose native
 /// stream differs from the stock interpreter's.
 pub fn recorded_folding(w: &Workload) -> Arc<TapeEntry> {
-    entry(w, Mode::Interp, true)
+    entry(w, Mode::Interp, true, false)
+}
+
+/// Like [`recorded`], but for the register-IR tier: `Mode::Interp`
+/// records the IR interpreter, `Mode::Jit` the IR-backed JIT. Both
+/// emit genuinely different native streams than their stack-engine
+/// counterparts.
+pub fn recorded_ir(w: &Workload, mode: Mode) -> Arc<TapeEntry> {
+    entry(w, mode, false, true)
 }
 
 /// Replays the cached `(w, mode)` stream into `sink` (recording it
@@ -289,11 +304,22 @@ pub fn replay(w: &Workload, mode: Mode, sink: &mut impl TraceSink) -> Arc<TapeEn
 /// blocks are shared (`Arc`) across all callers; the sweep drivers
 /// iterate them instead of replaying the packed tape per pass.
 pub fn decoded(w: &Workload, mode: Mode) -> Arc<AccessBlocks> {
+    decoded_entry(w, mode, false)
+}
+
+/// Like [`decoded`], but over the register-IR tier's tape
+/// (see [`recorded_ir`]).
+pub fn decoded_ir(w: &Workload, mode: Mode) -> Arc<AccessBlocks> {
+    decoded_entry(w, mode, true)
+}
+
+fn decoded_entry(w: &Workload, mode: Mode, ir: bool) -> Arc<AccessBlocks> {
     let key = Key {
         name: w.spec.name,
         size: w.size,
         mode,
         folding: false,
+        ir,
     };
     let slot = decoded_store()
         .lock()
@@ -301,7 +327,7 @@ pub fn decoded(w: &Workload, mode: Mode) -> Arc<AccessBlocks> {
         .slot(key);
     // As with tapes, the expensive decode runs outside the store lock.
     let b = slot
-        .get_or_init(|| Arc::new(AccessBlocks::from_tape(&recorded(w, mode).tape)))
+        .get_or_init(|| Arc::new(AccessBlocks::from_tape(&entry(w, mode, false, ir).tape)))
         .clone();
     enforce_decoded_budget(budget_bytes(), Some(key));
     b
@@ -371,6 +397,7 @@ mod tests {
             size: w.size,
             mode: Mode::Interp,
             folding: false,
+            ir: false,
         };
         let _e = recorded(&w, Mode::Interp);
         // Even an impossible budget spares the protected key.

@@ -69,9 +69,10 @@ pub const OPCODE_NAMES: [&str; Op::NUM_OPCODES] = [
 /// can exercise; [`Coverage::missing_transitions`] reports which are
 /// still unseen. One entry per engine-specific event class:
 /// translations at each policy, evictions + post-eviction
-/// re-translations per bounded policy, and the tiered engine's
-/// optimizing recompiles.
-pub const TRANSITION_KEYS: [&str; 13] = [
+/// re-translations per bounded policy, the tiered engine's
+/// optimizing recompiles, and the register-IR tier's stack→register
+/// lowerings plus IR-backed translation and cache churn.
+pub const TRANSITION_KEYS: [&str; 20] = [
     "translate:jit",
     "translate:thresh",
     "translate:tiered",
@@ -85,6 +86,13 @@ pub const TRANSITION_KEYS: [&str; 13] = [
     "retranslate:cc-lru",
     "retranslate:cc-swlru",
     "retranslate:cc-hot",
+    "lower:ir-interp",
+    "lower:ir-jit",
+    "lower:ir-cc",
+    "translate:ir-jit",
+    "translate:ir-cc",
+    "evict:ir-cc",
+    "retranslate:ir-cc",
 ];
 
 /// Accumulated coverage over a fuzzing run.
@@ -138,6 +146,10 @@ impl Coverage {
         add(
             format!("translate:{label}"),
             u64::from(counters.methods_translated),
+        );
+        add(
+            format!("lower:{label}"),
+            u64::from(counters.methods_lowered),
         );
         add(format!("evict:{label}"), counters.code_evictions);
         add(format!("retranslate:{label}"), counters.retranslations);

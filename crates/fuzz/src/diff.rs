@@ -4,11 +4,14 @@
 //!
 //! The matrix spans the paper's engine space: pure interpretation
 //! (with and without picoJava-style folding), translate-on-first-
-//! invocation JIT, a threshold policy, the tiered policy, and the
+//! invocation JIT, a threshold policy, the tiered policy, the
 //! bounded code cache at a pathological capacity under each eviction
 //! policy — the configurations where eviction demotes running frames
 //! mid-flight and re-translation churns, which is exactly where a
-//! semantic bug would hide.
+//! semantic bug would hide — plus the register-IR tier: the IR
+//! interpreter, the IR-backed JIT, and the IR-backed JIT under the
+//! pathological bounded cache (lowering + translation + eviction all
+//! interacting).
 
 use crate::coverage::Coverage;
 use crate::lower;
@@ -27,7 +30,7 @@ pub const PATHOLOGICAL_CAPACITY: u64 = 384;
 pub const CASE_BUDGET: u64 = 150_000;
 
 /// Matrix labels in execution order; index 0 is the reference engine.
-pub const MATRIX_LABELS: [&str; 8] = [
+pub const MATRIX_LABELS: [&str; 11] = [
     "interp",
     "interp-fold",
     "jit",
@@ -36,6 +39,9 @@ pub const MATRIX_LABELS: [&str; 8] = [
     "cc-lru",
     "cc-swlru",
     "cc-hot",
+    "ir-interp",
+    "ir-jit",
+    "ir-cc",
 ];
 
 /// Builds the engine matrix. All configs share the same bytecode
@@ -67,6 +73,16 @@ pub fn engine_configs() -> Vec<(&'static str, VmConfig)> {
         ("cc-lru", bounded(EvictionPolicy::Lru)),
         ("cc-swlru", bounded(EvictionPolicy::SizeWeightedLru)),
         ("cc-hot", bounded(EvictionPolicy::HotnessDecay)),
+        ("ir-interp", base(ExecMode::IrInterp)),
+        ("ir-jit", base(ExecMode::IrJit(JitPolicy::FirstInvocation))),
+        ("ir-cc", {
+            // The IR translator installs denser code, so the bounded
+            // cache only churns at a proportionally smaller capacity.
+            let mut cfg = base(ExecMode::IrJit(JitPolicy::FirstInvocation));
+            cfg.code_cache =
+                CodeCacheConfig::bounded(PATHOLOGICAL_CAPACITY * 3 / 4, EvictionPolicy::Lru);
+            cfg
+        }),
     ]
 }
 

@@ -45,6 +45,19 @@
 //!   re-translates nothing, and does exactly the unbounded JIT's
 //!   translate work. This extra `cc-sized` engine is derived per case
 //!   from the measured `jit` run.
+//! * **ir-dispatch-bound** — the register-IR engines dispatch at most
+//!   once per executed bytecode: superinstruction fusion and
+//!   elimination can only *remove* dispatches
+//!   (`ir_dispatches <= bytecodes`, plus one for a dispatch charged to
+//!   a faulting step, whose bytecode the counters never credit).
+//! * **ir-counters-zero** — non-IR engines never lower methods or
+//!   count IR dispatches.
+//! * **ir-interp-no-install** — the IR interpreter lowers (translator
+//!   work on the trace) but never installs: no translated methods, no
+//!   code bytes, no cache churn.
+//! * **ir-density** — the IR-backed JIT translates exactly the methods
+//!   first-invocation JIT translates but installs no more code bytes:
+//!   fused and elided pcs generate nothing.
 //!
 //! Any violation is attributed to an engine label and an invariant
 //! name and shrunk to a minimal reproducer by the same greedy
@@ -63,7 +76,7 @@ pub const SIZED_LABEL: &str = "cc-sized";
 
 /// Engine labels a perf run can produce, in report order: the
 /// correctness matrix plus [`SIZED_LABEL`].
-pub const PERF_LABELS: [&str; 9] = [
+pub const PERF_LABELS: [&str; 12] = [
     "interp",
     "interp-fold",
     "jit",
@@ -72,6 +85,9 @@ pub const PERF_LABELS: [&str; 9] = [
     "cc-lru",
     "cc-swlru",
     "cc-hot",
+    "ir-interp",
+    "ir-jit",
+    "ir-cc",
     SIZED_LABEL,
 ];
 
@@ -103,10 +119,19 @@ pub struct CostVector {
     pub retranslations: u64,
     /// Cumulative code bytes ever installed.
     pub code_ever_bytes: u64,
+    /// Methods lowered to register IR (IR engines only).
+    pub methods_lowered: u64,
+    /// IR handler dispatches (IR interpreter only; fusion makes this
+    /// at most one per executed bytecode).
+    pub ir_dispatches: u64,
     /// Simulated paper-L1 instruction-cache misses.
     pub icache_misses: u64,
     /// Simulated paper-L1 data-cache misses.
     pub dcache_misses: u64,
+    /// 1 when the run ended in a runtime fault. A faulting step's
+    /// dispatch is charged but its bytecode is not, so the
+    /// ir-dispatch-bound invariant widens by exactly this much.
+    pub faulted: u64,
 }
 
 impl CostVector {
@@ -128,14 +153,17 @@ impl CostVector {
             code_install_failures: run.counters.code_install_failures,
             retranslations: run.counters.retranslations,
             code_ever_bytes: run.counters.code_ever_bytes,
+            methods_lowered: u64::from(run.counters.methods_lowered),
+            ir_dispatches: run.counters.ir_dispatches,
             icache_misses: i.stats().misses(),
             dcache_misses: d.stats().misses(),
+            faulted: u64::from(run.observables.outcome.is_err()),
         }
     }
 
     /// `(name, value)` pairs in a fixed order — the render/floor
     /// surface.
-    pub fn metrics(&self) -> [(&'static str, u64); 14] {
+    pub fn metrics(&self) -> [(&'static str, u64); 16] {
         [
             ("bytecodes", self.bytecodes),
             ("events", self.events),
@@ -149,6 +177,8 @@ impl CostVector {
             ("code_install_failures", self.code_install_failures),
             ("retranslations", self.retranslations),
             ("code_ever_bytes", self.code_ever_bytes),
+            ("methods_lowered", self.methods_lowered),
+            ("ir_dispatches", self.ir_dispatches),
             ("icache_misses", self.icache_misses),
             ("dcache_misses", self.dcache_misses),
         ]
@@ -176,8 +206,11 @@ impl CostVector {
         self.code_install_failures += other.code_install_failures;
         self.retranslations += other.retranslations;
         self.code_ever_bytes += other.code_ever_bytes;
+        self.methods_lowered += other.methods_lowered;
+        self.ir_dispatches += other.ir_dispatches;
         self.icache_misses += other.icache_misses;
         self.dcache_misses += other.dcache_misses;
+        self.faulted += other.faulted;
     }
 }
 
@@ -346,6 +379,27 @@ pub fn check_invariants(costs: &[(&'static str, CostVector)]) -> Vec<PerfFinding
                 ),
             );
         }
+        if label.starts_with("ir-") {
+            if c.ir_dispatches > c.bytecodes + c.faulted {
+                fail(
+                    label,
+                    "ir-dispatch-bound",
+                    format!(
+                        "ir_dispatches {} > bytecodes {} + faulted {}",
+                        c.ir_dispatches, c.bytecodes, c.faulted
+                    ),
+                );
+            }
+        } else if c.ir_dispatches != 0 || c.methods_lowered != 0 {
+            fail(
+                label,
+                "ir-counters-zero",
+                format!(
+                    "non-IR engine counted IR work: dispatches {} lowered {}",
+                    c.ir_dispatches, c.methods_lowered
+                ),
+            );
+        }
         match *label {
             "interp" | "interp-fold"
                 if c.translate_insts != 0
@@ -365,7 +419,29 @@ pub fn check_invariants(costs: &[(&'static str, CostVector)]) -> Vec<PerfFinding
                     ),
                 );
             }
-            "jit" | "thresh" | "tiered"
+            "ir-interp"
+                if c.methods_translated != 0
+                    || c.code_installs != 0
+                    || c.code_ever_bytes != 0
+                    || c.code_evictions != 0
+                    || c.retranslations != 0
+                    || c.code_install_failures != 0 =>
+            {
+                fail(
+                    label,
+                    "ir-interp-no-install",
+                    format!(
+                        "IR interpreter installed code: methods {} installs {} bytes {} evictions {} retranslations {} failures {}",
+                        c.methods_translated,
+                        c.code_installs,
+                        c.code_ever_bytes,
+                        c.code_evictions,
+                        c.retranslations,
+                        c.code_install_failures
+                    ),
+                );
+            }
+            "jit" | "thresh" | "tiered" | "ir-jit"
                 if c.code_evictions != 0
                     || c.retranslations != 0
                     || c.code_install_failures != 0 =>
@@ -430,6 +506,23 @@ pub fn check_invariants(costs: &[(&'static str, CostVector)]) -> Vec<PerfFinding
                     tiered.translate_insts,
                     tiered.opt_translate_insts,
                     jit.translate_insts
+                ),
+            );
+        }
+    }
+    if let Some(irj) = lookup(costs, "ir-jit") {
+        if irj.methods_translated != jit.methods_translated
+            || irj.code_ever_bytes > jit.code_ever_bytes
+        {
+            fail(
+                "ir-jit",
+                "ir-density",
+                format!(
+                    "IR-backed JIT not denser: methods {} vs {}, bytes {} vs {}",
+                    irj.methods_translated,
+                    jit.methods_translated,
+                    irj.code_ever_bytes,
+                    jit.code_ever_bytes
                 ),
             );
         }

@@ -1,0 +1,1153 @@
+//! The register IR instruction set and its packed word encoding.
+//!
+//! Every instruction encodes as a flat opcode byte followed by
+//! operand bytes, padded to a 4-byte word boundary; most fused ALU
+//! instructions fit one word (`[op][dst][a][b]`). Small immediates
+//! (-32..=31) and the first 64 locals pack into a single operand
+//! byte; wider values spill into trailing bytes. Branch targets stay
+//! bytecode pcs — the lowering plan maps them to word offsets.
+
+use jrt_bytecode::{ArrayKind, Cond};
+use std::fmt;
+
+/// Value type of a register operand, as recovered by the stack map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Ty {
+    /// 32-bit integer.
+    Int,
+    /// Object reference.
+    Ref,
+}
+
+/// A source operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Src {
+    /// Top-of-stack register (popped).
+    Stack,
+    /// Frame local `n`, read in place (a fused load).
+    Local(u16),
+    /// Immediate carried in the instruction word (a fused constant).
+    Imm(i32),
+    /// The null reference immediate.
+    Null,
+}
+
+/// A destination operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dst {
+    /// Push onto the operand stack register file.
+    Stack,
+    /// Retire straight into frame local `n` (a fused store).
+    Local(u16),
+}
+
+/// Binary ALU operation (unary negate is [`IrInst::Neg`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Wrapping add.
+    Add,
+    /// Wrapping subtract.
+    Sub,
+    /// Wrapping multiply.
+    Mul,
+    /// Wrapping divide (traps on zero divisor at execution time).
+    Div,
+    /// Wrapping remainder (traps on zero divisor at execution time).
+    Rem,
+    /// Shift left, count masked to 5 bits.
+    Shl,
+    /// Arithmetic shift right, count masked to 5 bits.
+    Shr,
+    /// Logical shift right, count masked to 5 bits.
+    Ushr,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+}
+
+impl AluOp {
+    /// Mnemonic used by the disassembler.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Mul => "mul",
+            AluOp::Div => "div",
+            AluOp::Rem => "rem",
+            AluOp::Shl => "shl",
+            AluOp::Shr => "shr",
+            AluOp::Ushr => "ushr",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+        }
+    }
+
+    fn code(self) -> u8 {
+        match self {
+            AluOp::Add => 0,
+            AluOp::Sub => 1,
+            AluOp::Mul => 2,
+            AluOp::Div => 3,
+            AluOp::Rem => 4,
+            AluOp::Shl => 5,
+            AluOp::Shr => 6,
+            AluOp::Ushr => 7,
+            AluOp::And => 8,
+            AluOp::Or => 9,
+            AluOp::Xor => 10,
+        }
+    }
+
+    fn from_code(c: u8) -> Option<Self> {
+        Some(match c {
+            0 => AluOp::Add,
+            1 => AluOp::Sub,
+            2 => AluOp::Mul,
+            3 => AluOp::Div,
+            4 => AluOp::Rem,
+            5 => AluOp::Shl,
+            6 => AluOp::Shr,
+            7 => AluOp::Ushr,
+            8 => AluOp::And,
+            9 => AluOp::Or,
+            10 => AluOp::Xor,
+            _ => return None,
+        })
+    }
+}
+
+/// Reference-comparison condition for [`IrInst::RefBr`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RefCond {
+    /// Branch when the operand is null.
+    IsNull,
+    /// Branch when the operand is non-null.
+    NonNull,
+    /// Branch when the two references are identical.
+    CmpEq,
+    /// Branch when the two references differ.
+    CmpNe,
+}
+
+/// Call kind for [`IrInst::Call`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CallKind {
+    /// Static dispatch.
+    Static,
+    /// Virtual dispatch on the receiver's class.
+    Virtual,
+    /// Direct dispatch (constructors, private methods).
+    Special,
+}
+
+/// One register IR instruction.
+///
+/// Stack-manipulation bytecodes (`pop`, `dup`, `swap`) have no IR
+/// counterpart: on a register machine they are renames and lower to
+/// nothing.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum IrInst {
+    /// Materialize an integer constant onto the stack register file.
+    LoadImm {
+        /// The constant.
+        imm: i32,
+    },
+    /// Materialize the null reference.
+    LoadNull,
+    /// Read frame local `n` onto the stack register file.
+    LoadLocal {
+        /// Operand type.
+        ty: Ty,
+        /// Local index.
+        n: u16,
+    },
+    /// Write into frame local `n`.
+    StoreLocal {
+        /// Operand type.
+        ty: Ty,
+        /// Local index.
+        n: u16,
+        /// Stored value (a fused constant or local, or the stack).
+        src: Src,
+    },
+    /// Binary ALU op.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Left operand.
+        a: Src,
+        /// Right operand.
+        b: Src,
+        /// Where the result retires.
+        dst: Dst,
+    },
+    /// Integer negate.
+    Neg {
+        /// Operand.
+        a: Src,
+        /// Where the result retires.
+        dst: Dst,
+    },
+    /// Add an immediate to a local in place.
+    Inc {
+        /// Local index.
+        n: u16,
+        /// Signed delta.
+        delta: i16,
+    },
+    /// Compare-and-branch on integers (`if<cond>` fuses `b = #0`).
+    CmpBr {
+        /// Condition.
+        cond: Cond,
+        /// Left operand.
+        a: Src,
+        /// Right operand.
+        b: Src,
+        /// Bytecode pc of the taken target.
+        target: u32,
+    },
+    /// Compare-and-branch on references.
+    RefBr {
+        /// Condition.
+        cond: RefCond,
+        /// Left operand.
+        a: Src,
+        /// Right operand (`Null` for the unary forms).
+        b: Src,
+        /// Bytecode pc of the taken target.
+        target: u32,
+    },
+    /// Unconditional branch.
+    Br {
+        /// Bytecode pc of the target.
+        target: u32,
+    },
+    /// Indexed jump table.
+    Switch {
+        /// Lowest key covered.
+        low: i32,
+        /// Out-of-range target pc.
+        default: u32,
+        /// Per-key target pcs.
+        targets: Vec<u32>,
+        /// The key operand.
+        key: Src,
+    },
+    /// Allocate an instance.
+    New {
+        /// Constant-pool class index.
+        cp: u16,
+    },
+    /// Allocate an array.
+    NewArray {
+        /// Element kind.
+        kind: ArrayKind,
+        /// Length operand.
+        len: Src,
+    },
+    /// Read an instance field.
+    GetField {
+        /// Constant-pool field index.
+        cp: u16,
+        /// Receiver operand.
+        obj: Src,
+    },
+    /// Write an instance field.
+    PutField {
+        /// Constant-pool field index.
+        cp: u16,
+        /// Receiver operand.
+        obj: Src,
+        /// Stored value.
+        val: Src,
+    },
+    /// Read a static field.
+    GetStatic {
+        /// Constant-pool field index.
+        cp: u16,
+    },
+    /// Write a static field.
+    PutStatic {
+        /// Constant-pool field index.
+        cp: u16,
+        /// Stored value.
+        val: Src,
+    },
+    /// Push an array's length.
+    ArrayLength {
+        /// Array operand.
+        arr: Src,
+    },
+    /// Array element read.
+    ArrLoad {
+        /// Element kind.
+        kind: ArrayKind,
+        /// Array operand.
+        arr: Src,
+        /// Index operand.
+        idx: Src,
+    },
+    /// Array element write.
+    ArrStore {
+        /// Element kind.
+        kind: ArrayKind,
+        /// Array operand.
+        arr: Src,
+        /// Index operand.
+        idx: Src,
+        /// Stored value.
+        val: Src,
+    },
+    /// Method call.
+    Call {
+        /// Dispatch kind.
+        kind: CallKind,
+        /// Constant-pool method index.
+        cp: u16,
+    },
+    /// Return, optionally carrying a typed value operand.
+    Ret {
+        /// Returned value, if any.
+        val: Option<(Ty, Src)>,
+    },
+    /// Monitor enter/exit.
+    Monitor {
+        /// True for enter, false for exit.
+        enter: bool,
+        /// Monitored object operand.
+        obj: Src,
+    },
+}
+
+// Flat IR opcode bytes. ALU ops get one opcode each so the common
+// fused form `[op][dst][a][b]` packs into a single word.
+const IR_LOAD_IMM: u8 = 0;
+const IR_LOAD_NULL: u8 = 1;
+const IR_LOAD_LOCAL_I: u8 = 2;
+const IR_LOAD_LOCAL_A: u8 = 3;
+const IR_STORE_LOCAL_I: u8 = 4;
+const IR_STORE_LOCAL_A: u8 = 5;
+const IR_ALU_BASE: u8 = 6; // 6..=16: Add..Xor in AluOp::code order
+const IR_NEG: u8 = 17;
+const IR_INC: u8 = 18;
+const IR_CMP_BR: u8 = 19;
+const IR_REF_BR: u8 = 20;
+const IR_BR: u8 = 21;
+const IR_SWITCH: u8 = 22;
+const IR_NEW: u8 = 23;
+const IR_NEW_ARRAY: u8 = 24;
+const IR_GET_FIELD: u8 = 25;
+const IR_PUT_FIELD: u8 = 26;
+const IR_GET_STATIC: u8 = 27;
+const IR_PUT_STATIC: u8 = 28;
+const IR_ARRAY_LENGTH: u8 = 29;
+const IR_ARR_LOAD: u8 = 30;
+const IR_ARR_STORE: u8 = 31;
+const IR_CALL_STATIC: u8 = 32;
+const IR_CALL_VIRTUAL: u8 = 33;
+const IR_CALL_SPECIAL: u8 = 34;
+const IR_RET: u8 = 35;
+const IR_RET_VAL_I: u8 = 36;
+const IR_RET_VAL_A: u8 = 37;
+const IR_MON_ENTER: u8 = 38;
+const IR_MON_EXIT: u8 = 39;
+
+// Operand byte space: [0x00] stack; [0x40..0x7F] local n < 64;
+// [0x80..0xBF] immediate -32..=31; escapes for everything wider.
+const OPB_STACK: u8 = 0x00;
+const OPB_LOCAL_BASE: u8 = 0x40;
+const OPB_IMM_BASE: u8 = 0x80;
+const OPB_WIDE_IMM: u8 = 0xC0;
+const OPB_NULL: u8 = 0xC1;
+const OPB_WIDE_LOCAL: u8 = 0xC2;
+
+fn cond_code(c: Cond) -> u8 {
+    match c {
+        Cond::Eq => 0,
+        Cond::Ne => 1,
+        Cond::Lt => 2,
+        Cond::Ge => 3,
+        Cond::Gt => 4,
+        Cond::Le => 5,
+    }
+}
+
+fn cond_from(c: u8) -> Option<Cond> {
+    Some(match c {
+        0 => Cond::Eq,
+        1 => Cond::Ne,
+        2 => Cond::Lt,
+        3 => Cond::Ge,
+        4 => Cond::Gt,
+        5 => Cond::Le,
+        _ => return None,
+    })
+}
+
+fn refcond_code(c: RefCond) -> u8 {
+    match c {
+        RefCond::IsNull => 0,
+        RefCond::NonNull => 1,
+        RefCond::CmpEq => 2,
+        RefCond::CmpNe => 3,
+    }
+}
+
+fn refcond_from(c: u8) -> Option<RefCond> {
+    Some(match c {
+        0 => RefCond::IsNull,
+        1 => RefCond::NonNull,
+        2 => RefCond::CmpEq,
+        3 => RefCond::CmpNe,
+        _ => return None,
+    })
+}
+
+fn kind_code(k: ArrayKind) -> u8 {
+    match k {
+        ArrayKind::Byte => 0,
+        ArrayKind::Char => 1,
+        ArrayKind::Int => 2,
+        ArrayKind::Ref => 3,
+    }
+}
+
+fn kind_from(c: u8) -> Option<ArrayKind> {
+    Some(match c {
+        0 => ArrayKind::Byte,
+        1 => ArrayKind::Char,
+        2 => ArrayKind::Int,
+        3 => ArrayKind::Ref,
+        _ => return None,
+    })
+}
+
+fn put_src(out: &mut Vec<u8>, s: Src) {
+    match s {
+        Src::Stack => out.push(OPB_STACK),
+        Src::Local(n) if n < 64 => out.push(OPB_LOCAL_BASE + n as u8),
+        Src::Local(n) => {
+            out.push(OPB_WIDE_LOCAL);
+            out.extend_from_slice(&n.to_le_bytes());
+        }
+        Src::Imm(v) if (-32..=31).contains(&v) => out.push(OPB_IMM_BASE + (v + 32) as u8),
+        Src::Imm(v) => {
+            out.push(OPB_WIDE_IMM);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        Src::Null => out.push(OPB_NULL),
+    }
+}
+
+fn put_dst(out: &mut Vec<u8>, d: Dst) {
+    match d {
+        Dst::Stack => put_src(out, Src::Stack),
+        Dst::Local(n) => put_src(out, Src::Local(n)),
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Reader<'_> {
+    fn u8(&mut self) -> Option<u8> {
+        let b = *self.bytes.get(self.pos)?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn u16(&mut self) -> Option<u16> {
+        Some(u16::from_le_bytes([self.u8()?, self.u8()?]))
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes([
+            self.u8()?,
+            self.u8()?,
+            self.u8()?,
+            self.u8()?,
+        ]))
+    }
+
+    fn src(&mut self) -> Option<Src> {
+        let b = self.u8()?;
+        Some(match b {
+            OPB_STACK => Src::Stack,
+            OPB_NULL => Src::Null,
+            OPB_WIDE_IMM => Src::Imm(self.u32()? as i32),
+            OPB_WIDE_LOCAL => Src::Local(self.u16()?),
+            _ if (OPB_LOCAL_BASE..OPB_IMM_BASE).contains(&b) => {
+                Src::Local(u16::from(b - OPB_LOCAL_BASE))
+            }
+            _ if (OPB_IMM_BASE..OPB_WIDE_IMM).contains(&b) => {
+                Src::Imm(i32::from(b - OPB_IMM_BASE) - 32)
+            }
+            _ => return None,
+        })
+    }
+
+    fn dst(&mut self) -> Option<Dst> {
+        Some(match self.src()? {
+            Src::Stack => Dst::Stack,
+            Src::Local(n) => Dst::Local(n),
+            _ => return None,
+        })
+    }
+}
+
+impl IrInst {
+    /// Appends the byte encoding to `out` and pads it to a 4-byte
+    /// word boundary.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let start = out.len();
+        match self {
+            IrInst::LoadImm { imm } => {
+                out.push(IR_LOAD_IMM);
+                put_src(out, Src::Imm(*imm));
+            }
+            IrInst::LoadNull => out.push(IR_LOAD_NULL),
+            IrInst::LoadLocal { ty, n } => {
+                out.push(match ty {
+                    Ty::Int => IR_LOAD_LOCAL_I,
+                    Ty::Ref => IR_LOAD_LOCAL_A,
+                });
+                put_src(out, Src::Local(*n));
+            }
+            IrInst::StoreLocal { ty, n, src } => {
+                out.push(match ty {
+                    Ty::Int => IR_STORE_LOCAL_I,
+                    Ty::Ref => IR_STORE_LOCAL_A,
+                });
+                put_src(out, Src::Local(*n));
+                put_src(out, *src);
+            }
+            IrInst::Alu { op, a, b, dst } => {
+                out.push(IR_ALU_BASE + op.code());
+                put_dst(out, *dst);
+                put_src(out, *a);
+                put_src(out, *b);
+            }
+            IrInst::Neg { a, dst } => {
+                out.push(IR_NEG);
+                put_dst(out, *dst);
+                put_src(out, *a);
+            }
+            IrInst::Inc { n, delta } => {
+                out.push(IR_INC);
+                put_src(out, Src::Local(*n));
+                out.extend_from_slice(&delta.to_le_bytes());
+            }
+            IrInst::CmpBr { cond, a, b, target } => {
+                out.push(IR_CMP_BR);
+                out.push(cond_code(*cond));
+                put_src(out, *a);
+                put_src(out, *b);
+                out.extend_from_slice(&target.to_le_bytes());
+            }
+            IrInst::RefBr { cond, a, b, target } => {
+                out.push(IR_REF_BR);
+                out.push(refcond_code(*cond));
+                put_src(out, *a);
+                put_src(out, *b);
+                out.extend_from_slice(&target.to_le_bytes());
+            }
+            IrInst::Br { target } => {
+                out.push(IR_BR);
+                out.extend_from_slice(&target.to_le_bytes());
+            }
+            IrInst::Switch {
+                low,
+                default,
+                targets,
+                key,
+            } => {
+                out.push(IR_SWITCH);
+                put_src(out, *key);
+                out.extend_from_slice(&low.to_le_bytes());
+                let count = u16::try_from(targets.len()).expect("switch table too large");
+                out.extend_from_slice(&count.to_le_bytes());
+                out.extend_from_slice(&default.to_le_bytes());
+                for t in targets {
+                    out.extend_from_slice(&t.to_le_bytes());
+                }
+            }
+            IrInst::New { cp } => {
+                out.push(IR_NEW);
+                out.extend_from_slice(&cp.to_le_bytes());
+            }
+            IrInst::NewArray { kind, len } => {
+                out.push(IR_NEW_ARRAY);
+                out.push(kind_code(*kind));
+                put_src(out, *len);
+            }
+            IrInst::GetField { cp, obj } => {
+                out.push(IR_GET_FIELD);
+                out.extend_from_slice(&cp.to_le_bytes());
+                put_src(out, *obj);
+            }
+            IrInst::PutField { cp, obj, val } => {
+                out.push(IR_PUT_FIELD);
+                out.extend_from_slice(&cp.to_le_bytes());
+                put_src(out, *obj);
+                put_src(out, *val);
+            }
+            IrInst::GetStatic { cp } => {
+                out.push(IR_GET_STATIC);
+                out.extend_from_slice(&cp.to_le_bytes());
+            }
+            IrInst::PutStatic { cp, val } => {
+                out.push(IR_PUT_STATIC);
+                out.extend_from_slice(&cp.to_le_bytes());
+                put_src(out, *val);
+            }
+            IrInst::ArrayLength { arr } => {
+                out.push(IR_ARRAY_LENGTH);
+                put_src(out, *arr);
+            }
+            IrInst::ArrLoad { kind, arr, idx } => {
+                out.push(IR_ARR_LOAD);
+                out.push(kind_code(*kind));
+                put_src(out, *arr);
+                put_src(out, *idx);
+            }
+            IrInst::ArrStore {
+                kind,
+                arr,
+                idx,
+                val,
+            } => {
+                out.push(IR_ARR_STORE);
+                out.push(kind_code(*kind));
+                put_src(out, *arr);
+                put_src(out, *idx);
+                put_src(out, *val);
+            }
+            IrInst::Call { kind, cp } => {
+                out.push(match kind {
+                    CallKind::Static => IR_CALL_STATIC,
+                    CallKind::Virtual => IR_CALL_VIRTUAL,
+                    CallKind::Special => IR_CALL_SPECIAL,
+                });
+                out.extend_from_slice(&cp.to_le_bytes());
+            }
+            IrInst::Ret { val: None } => out.push(IR_RET),
+            IrInst::Ret { val: Some((ty, s)) } => {
+                out.push(match ty {
+                    Ty::Int => IR_RET_VAL_I,
+                    Ty::Ref => IR_RET_VAL_A,
+                });
+                put_src(out, *s);
+            }
+            IrInst::Monitor { enter, obj } => {
+                out.push(if *enter { IR_MON_ENTER } else { IR_MON_EXIT });
+                put_src(out, *obj);
+            }
+        }
+        // Word-align so the next instruction starts on a word
+        // boundary; 0xFF never begins a valid operand byte.
+        while !(out.len() - start).is_multiple_of(4) {
+            out.push(0xFF);
+        }
+    }
+
+    /// Decodes the instruction starting at `off`.
+    ///
+    /// Returns the instruction and the number of bytes consumed
+    /// (including alignment padding), or `None` on malformed input.
+    pub fn decode(bytes: &[u8], off: usize) -> Option<(IrInst, usize)> {
+        let mut r = Reader { bytes, pos: off };
+        let opcode = r.u8()?;
+        let inst = match opcode {
+            IR_LOAD_IMM => match r.src()? {
+                Src::Imm(imm) => IrInst::LoadImm { imm },
+                _ => return None,
+            },
+            IR_LOAD_NULL => IrInst::LoadNull,
+            IR_LOAD_LOCAL_I | IR_LOAD_LOCAL_A => {
+                let ty = if opcode == IR_LOAD_LOCAL_I {
+                    Ty::Int
+                } else {
+                    Ty::Ref
+                };
+                match r.src()? {
+                    Src::Local(n) => IrInst::LoadLocal { ty, n },
+                    _ => return None,
+                }
+            }
+            IR_STORE_LOCAL_I | IR_STORE_LOCAL_A => {
+                let ty = if opcode == IR_STORE_LOCAL_I {
+                    Ty::Int
+                } else {
+                    Ty::Ref
+                };
+                let n = match r.src()? {
+                    Src::Local(n) => n,
+                    _ => return None,
+                };
+                IrInst::StoreLocal {
+                    ty,
+                    n,
+                    src: r.src()?,
+                }
+            }
+            c if (IR_ALU_BASE..IR_NEG).contains(&c) => IrInst::Alu {
+                op: AluOp::from_code(c - IR_ALU_BASE)?,
+                dst: r.dst()?,
+                a: r.src()?,
+                b: r.src()?,
+            },
+            IR_NEG => IrInst::Neg {
+                dst: r.dst()?,
+                a: r.src()?,
+            },
+            IR_INC => {
+                let n = match r.src()? {
+                    Src::Local(n) => n,
+                    _ => return None,
+                };
+                IrInst::Inc {
+                    n,
+                    delta: r.u16()? as i16,
+                }
+            }
+            IR_CMP_BR => IrInst::CmpBr {
+                cond: cond_from(r.u8()?)?,
+                a: r.src()?,
+                b: r.src()?,
+                target: r.u32()?,
+            },
+            IR_REF_BR => IrInst::RefBr {
+                cond: refcond_from(r.u8()?)?,
+                a: r.src()?,
+                b: r.src()?,
+                target: r.u32()?,
+            },
+            IR_BR => IrInst::Br { target: r.u32()? },
+            IR_SWITCH => {
+                let key = r.src()?;
+                let low = r.u32()? as i32;
+                let count = r.u16()? as usize;
+                let default = r.u32()?;
+                let mut targets = Vec::with_capacity(count);
+                for _ in 0..count {
+                    targets.push(r.u32()?);
+                }
+                IrInst::Switch {
+                    low,
+                    default,
+                    targets,
+                    key,
+                }
+            }
+            IR_NEW => IrInst::New { cp: r.u16()? },
+            IR_NEW_ARRAY => IrInst::NewArray {
+                kind: kind_from(r.u8()?)?,
+                len: r.src()?,
+            },
+            IR_GET_FIELD => IrInst::GetField {
+                cp: r.u16()?,
+                obj: r.src()?,
+            },
+            IR_PUT_FIELD => IrInst::PutField {
+                cp: r.u16()?,
+                obj: r.src()?,
+                val: r.src()?,
+            },
+            IR_GET_STATIC => IrInst::GetStatic { cp: r.u16()? },
+            IR_PUT_STATIC => IrInst::PutStatic {
+                cp: r.u16()?,
+                val: r.src()?,
+            },
+            IR_ARRAY_LENGTH => IrInst::ArrayLength { arr: r.src()? },
+            IR_ARR_LOAD => IrInst::ArrLoad {
+                kind: kind_from(r.u8()?)?,
+                arr: r.src()?,
+                idx: r.src()?,
+            },
+            IR_ARR_STORE => IrInst::ArrStore {
+                kind: kind_from(r.u8()?)?,
+                arr: r.src()?,
+                idx: r.src()?,
+                val: r.src()?,
+            },
+            IR_CALL_STATIC => IrInst::Call {
+                kind: CallKind::Static,
+                cp: r.u16()?,
+            },
+            IR_CALL_VIRTUAL => IrInst::Call {
+                kind: CallKind::Virtual,
+                cp: r.u16()?,
+            },
+            IR_CALL_SPECIAL => IrInst::Call {
+                kind: CallKind::Special,
+                cp: r.u16()?,
+            },
+            IR_RET => IrInst::Ret { val: None },
+            IR_RET_VAL_I => IrInst::Ret {
+                val: Some((Ty::Int, r.src()?)),
+            },
+            IR_RET_VAL_A => IrInst::Ret {
+                val: Some((Ty::Ref, r.src()?)),
+            },
+            IR_MON_ENTER => IrInst::Monitor {
+                enter: true,
+                obj: r.src()?,
+            },
+            IR_MON_EXIT => IrInst::Monitor {
+                enter: false,
+                obj: r.src()?,
+            },
+            _ => return None,
+        };
+        let mut used = r.pos - off;
+        used += (4 - used % 4) % 4;
+        Some((inst, used))
+    }
+
+    /// Encoded size in 4-byte words.
+    pub fn words(&self) -> u16 {
+        let mut buf = Vec::with_capacity(8);
+        self.encode_into(&mut buf);
+        (buf.len() / 4) as u16
+    }
+
+    /// The flat opcode byte that begins this instruction's encoding —
+    /// the IR interpreter's handler index.
+    pub fn opcode(&self) -> u8 {
+        match self {
+            IrInst::LoadImm { .. } => IR_LOAD_IMM,
+            IrInst::LoadNull => IR_LOAD_NULL,
+            IrInst::LoadLocal { ty: Ty::Int, .. } => IR_LOAD_LOCAL_I,
+            IrInst::LoadLocal { ty: Ty::Ref, .. } => IR_LOAD_LOCAL_A,
+            IrInst::StoreLocal { ty: Ty::Int, .. } => IR_STORE_LOCAL_I,
+            IrInst::StoreLocal { ty: Ty::Ref, .. } => IR_STORE_LOCAL_A,
+            IrInst::Alu { op, .. } => IR_ALU_BASE + op.code(),
+            IrInst::Neg { .. } => IR_NEG,
+            IrInst::Inc { .. } => IR_INC,
+            IrInst::CmpBr { .. } => IR_CMP_BR,
+            IrInst::RefBr { .. } => IR_REF_BR,
+            IrInst::Br { .. } => IR_BR,
+            IrInst::Switch { .. } => IR_SWITCH,
+            IrInst::New { .. } => IR_NEW,
+            IrInst::NewArray { .. } => IR_NEW_ARRAY,
+            IrInst::GetField { .. } => IR_GET_FIELD,
+            IrInst::PutField { .. } => IR_PUT_FIELD,
+            IrInst::GetStatic { .. } => IR_GET_STATIC,
+            IrInst::PutStatic { .. } => IR_PUT_STATIC,
+            IrInst::ArrayLength { .. } => IR_ARRAY_LENGTH,
+            IrInst::ArrLoad { .. } => IR_ARR_LOAD,
+            IrInst::ArrStore { .. } => IR_ARR_STORE,
+            IrInst::Call {
+                kind: CallKind::Static,
+                ..
+            } => IR_CALL_STATIC,
+            IrInst::Call {
+                kind: CallKind::Virtual,
+                ..
+            } => IR_CALL_VIRTUAL,
+            IrInst::Call {
+                kind: CallKind::Special,
+                ..
+            } => IR_CALL_SPECIAL,
+            IrInst::Ret { val: None } => IR_RET,
+            IrInst::Ret {
+                val: Some((Ty::Int, _)),
+            } => IR_RET_VAL_I,
+            IrInst::Ret {
+                val: Some((Ty::Ref, _)),
+            } => IR_RET_VAL_A,
+            IrInst::Monitor { enter: true, .. } => IR_MON_ENTER,
+            IrInst::Monitor { enter: false, .. } => IR_MON_EXIT,
+        }
+    }
+}
+
+impl fmt::Display for Src {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Src::Stack => write!(f, "s"),
+            Src::Local(n) => write!(f, "l{n}"),
+            Src::Imm(v) => write!(f, "#{v}"),
+            Src::Null => write!(f, "null"),
+        }
+    }
+}
+
+impl fmt::Display for Dst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Dst::Stack => write!(f, "s"),
+            Dst::Local(n) => write!(f, "l{n}"),
+        }
+    }
+}
+
+impl fmt::Display for IrInst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrInst::LoadImm { imm } => write!(f, "ldi #{imm}"),
+            IrInst::LoadNull => write!(f, "ldnull"),
+            IrInst::LoadLocal { ty: Ty::Int, n } => write!(f, "ld.i l{n}"),
+            IrInst::LoadLocal { ty: Ty::Ref, n } => write!(f, "ld.a l{n}"),
+            IrInst::StoreLocal {
+                ty: Ty::Int,
+                n,
+                src,
+            } => write!(f, "st.i {src} -> l{n}"),
+            IrInst::StoreLocal {
+                ty: Ty::Ref,
+                n,
+                src,
+            } => write!(f, "st.a {src} -> l{n}"),
+            IrInst::Alu { op, a, b, dst } => write!(f, "{} {a}, {b} -> {dst}", op.mnemonic()),
+            IrInst::Neg { a, dst } => write!(f, "neg {a} -> {dst}"),
+            IrInst::Inc { n, delta } => write!(f, "inc l{n}, #{delta}"),
+            IrInst::CmpBr { cond, a, b, target } => {
+                write!(f, "br.{} {a}, {b} -> @{target}", cond.suffix())
+            }
+            IrInst::RefBr { cond, a, b, target } => {
+                let name = match cond {
+                    RefCond::IsNull => "null",
+                    RefCond::NonNull => "nonnull",
+                    RefCond::CmpEq => "aeq",
+                    RefCond::CmpNe => "ane",
+                };
+                write!(f, "br.{name} {a}, {b} -> @{target}")
+            }
+            IrInst::Br { target } => write!(f, "br @{target}"),
+            IrInst::Switch {
+                low,
+                default,
+                targets,
+                key,
+            } => {
+                write!(f, "switch {key}, low #{low}, default @{default}, [")?;
+                for (i, t) in targets.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "@{t}")?;
+                }
+                write!(f, "]")
+            }
+            IrInst::New { cp } => write!(f, "new cp{cp}"),
+            IrInst::NewArray { kind, len } => write!(f, "newarr.{} {len}", kind.prefix()),
+            IrInst::GetField { cp, obj } => write!(f, "getf cp{cp}, {obj}"),
+            IrInst::PutField { cp, obj, val } => write!(f, "putf cp{cp}, {obj}, {val}"),
+            IrInst::GetStatic { cp } => write!(f, "gets cp{cp}"),
+            IrInst::PutStatic { cp, val } => write!(f, "puts cp{cp}, {val}"),
+            IrInst::ArrayLength { arr } => write!(f, "arrlen {arr}"),
+            IrInst::ArrLoad { kind, arr, idx } => {
+                write!(f, "aload.{} {arr}[{idx}]", kind.prefix())
+            }
+            IrInst::ArrStore {
+                kind,
+                arr,
+                idx,
+                val,
+            } => write!(f, "astore.{} {arr}[{idx}] <- {val}", kind.prefix()),
+            IrInst::Call { kind, cp } => {
+                let name = match kind {
+                    CallKind::Static => "static",
+                    CallKind::Virtual => "virtual",
+                    CallKind::Special => "special",
+                };
+                write!(f, "call.{name} cp{cp}")
+            }
+            IrInst::Ret { val: None } => write!(f, "ret"),
+            IrInst::Ret {
+                val: Some((Ty::Int, s)),
+            } => write!(f, "ret.i {s}"),
+            IrInst::Ret {
+                val: Some((Ty::Ref, s)),
+            } => write!(f, "ret.a {s}"),
+            IrInst::Monitor { enter: true, obj } => write!(f, "monenter {obj}"),
+            IrInst::Monitor { enter: false, obj } => write!(f, "monexit {obj}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(inst: IrInst) {
+        let mut buf = Vec::new();
+        inst.encode_into(&mut buf);
+        assert_eq!(buf.len() % 4, 0, "{inst:?} not word-aligned");
+        let (decoded, used) = IrInst::decode(&buf, 0).expect("decode");
+        assert_eq!(decoded, inst);
+        assert_eq!(used, buf.len());
+        assert_eq!(inst.words() as usize, buf.len() / 4);
+        assert_eq!(inst.opcode(), buf[0], "{inst:?} opcode mismatch");
+    }
+
+    #[test]
+    fn roundtrip_all_variants() {
+        for inst in [
+            IrInst::LoadImm { imm: 5 },
+            IrInst::LoadImm { imm: -123456 },
+            IrInst::LoadNull,
+            IrInst::LoadLocal { ty: Ty::Int, n: 3 },
+            IrInst::LoadLocal {
+                ty: Ty::Ref,
+                n: 200,
+            },
+            IrInst::StoreLocal {
+                ty: Ty::Int,
+                n: 0,
+                src: Src::Imm(31),
+            },
+            IrInst::StoreLocal {
+                ty: Ty::Ref,
+                n: 90,
+                src: Src::Null,
+            },
+            IrInst::Alu {
+                op: AluOp::Add,
+                a: Src::Local(0),
+                b: Src::Local(1),
+                dst: Dst::Local(2),
+            },
+            IrInst::Alu {
+                op: AluOp::Ushr,
+                a: Src::Stack,
+                b: Src::Imm(1 << 20),
+                dst: Dst::Stack,
+            },
+            IrInst::Neg {
+                a: Src::Imm(-32),
+                dst: Dst::Stack,
+            },
+            IrInst::Inc { n: 7, delta: -500 },
+            IrInst::CmpBr {
+                cond: Cond::Lt,
+                a: Src::Local(1),
+                b: Src::Imm(0),
+                target: 42,
+            },
+            IrInst::RefBr {
+                cond: RefCond::NonNull,
+                a: Src::Stack,
+                b: Src::Null,
+                target: 9,
+            },
+            IrInst::Br { target: 0xDEAD },
+            IrInst::Switch {
+                low: -2,
+                default: 99,
+                targets: vec![10, 20, 30],
+                key: Src::Local(4),
+            },
+            IrInst::New { cp: 12 },
+            IrInst::NewArray {
+                kind: ArrayKind::Char,
+                len: Src::Imm(16),
+            },
+            IrInst::GetField {
+                cp: 3,
+                obj: Src::Local(0),
+            },
+            IrInst::PutField {
+                cp: 4,
+                obj: Src::Stack,
+                val: Src::Imm(1),
+            },
+            IrInst::GetStatic { cp: 5 },
+            IrInst::PutStatic {
+                cp: 6,
+                val: Src::Stack,
+            },
+            IrInst::ArrayLength { arr: Src::Local(2) },
+            IrInst::ArrLoad {
+                kind: ArrayKind::Int,
+                arr: Src::Local(1),
+                idx: Src::Stack,
+            },
+            IrInst::ArrStore {
+                kind: ArrayKind::Ref,
+                arr: Src::Stack,
+                idx: Src::Imm(0),
+                val: Src::Null,
+            },
+            IrInst::Call {
+                kind: CallKind::Virtual,
+                cp: 17,
+            },
+            IrInst::Ret { val: None },
+            IrInst::Ret {
+                val: Some((Ty::Int, Src::Imm(7))),
+            },
+            IrInst::Ret {
+                val: Some((Ty::Ref, Src::Stack)),
+            },
+            IrInst::Monitor {
+                enter: true,
+                obj: Src::Local(0),
+            },
+            IrInst::Monitor {
+                enter: false,
+                obj: Src::Stack,
+            },
+        ] {
+            roundtrip(inst);
+        }
+    }
+
+    #[test]
+    fn fused_alu_packs_into_one_word() {
+        // The headline superinstruction: load+load+add+store in a
+        // single 4-byte word.
+        let inst = IrInst::Alu {
+            op: AluOp::Add,
+            a: Src::Local(0),
+            b: Src::Local(1),
+            dst: Dst::Local(2),
+        };
+        assert_eq!(inst.words(), 1);
+        // Small immediates fuse without widening.
+        let imm = IrInst::Alu {
+            op: AluOp::Mul,
+            a: Src::Stack,
+            b: Src::Imm(-32),
+            dst: Dst::Stack,
+        };
+        assert_eq!(imm.words(), 1);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(IrInst::decode(&[0xFE, 0, 0, 0], 0).is_none());
+        // ALU with an immediate destination byte is malformed.
+        assert!(IrInst::decode(&[IR_ALU_BASE, OPB_IMM_BASE, 0, 0], 0).is_none());
+        // Truncated wide immediate.
+        assert!(IrInst::decode(&[IR_LOAD_IMM, OPB_WIDE_IMM, 1, 2], 0).is_none());
+    }
+
+    #[test]
+    fn disasm_is_stable() {
+        let inst = IrInst::Alu {
+            op: AluOp::Add,
+            a: Src::Local(0),
+            b: Src::Imm(5),
+            dst: Dst::Local(2),
+        };
+        assert_eq!(inst.to_string(), "add l0, #5 -> l2");
+        assert_eq!(
+            IrInst::CmpBr {
+                cond: Cond::Ge,
+                a: Src::Stack,
+                b: Src::Imm(0),
+                target: 12,
+            }
+            .to_string(),
+            "br.ge s, #0 -> @12"
+        );
+    }
+}

@@ -16,6 +16,20 @@ pub enum ExecMode {
     /// JIT compilation governed by a [`JitPolicy`]; methods the policy
     /// declines to translate are interpreted.
     Jit(JitPolicy),
+    /// Register-IR interpretation: every method is lowered once
+    /// (stack→register superinstruction fusion, constant folding,
+    /// redundant-load elimination) and then executed by the IR
+    /// interpreter, which dispatches at most one packed IR
+    /// instruction per bytecode and keeps the operand stack in
+    /// registers.
+    IrInterp,
+    /// Register-IR JIT: methods are lowered as in
+    /// [`ExecMode::IrInterp`], and a [`JitPolicy`] decides which
+    /// lowered methods the IR-backed translator compiles into the
+    /// code cache (denser code — fused pcs generate nothing); methods
+    /// the policy declines, and evicted ones, run on the IR
+    /// interpreter.
+    IrJit(JitPolicy),
 }
 
 impl Default for ExecMode {
@@ -26,7 +40,7 @@ impl Default for ExecMode {
 
 impl ExecMode {
     /// Short label for tables ("interp" / "jit" / "opt" / "thresh" /
-    /// "tiered").
+    /// "tiered" / "ir-interp" / "ir-jit").
     pub fn label(&self) -> &'static str {
         match self {
             ExecMode::Interp => "interp",
@@ -34,7 +48,15 @@ impl ExecMode {
             ExecMode::Jit(JitPolicy::Threshold(_)) => "thresh",
             ExecMode::Jit(JitPolicy::Oracle(_)) => "opt",
             ExecMode::Jit(JitPolicy::Tiered { .. }) => "tiered",
+            ExecMode::IrInterp => "ir-interp",
+            ExecMode::IrJit(_) => "ir-jit",
         }
+    }
+
+    /// Whether this mode runs through the register-IR tier (methods
+    /// are lowered before execution).
+    pub fn is_ir(&self) -> bool {
+        matches!(self, ExecMode::IrInterp | ExecMode::IrJit(_))
     }
 }
 
@@ -115,6 +137,22 @@ impl VmConfig {
         }
     }
 
+    /// Register-IR interpreter configuration.
+    pub fn ir_interp() -> Self {
+        VmConfig {
+            mode: ExecMode::IrInterp,
+            ..VmConfig::default()
+        }
+    }
+
+    /// Register-IR JIT (translate on first invocation) configuration.
+    pub fn ir_jit() -> Self {
+        VmConfig {
+            mode: ExecMode::IrJit(JitPolicy::FirstInvocation),
+            ..VmConfig::default()
+        }
+    }
+
     /// Oracle ("opt") configuration from precomputed decisions.
     pub fn oracle(decisions: OracleDecisions) -> Self {
         VmConfig {
@@ -159,6 +197,15 @@ mod tests {
             ExecMode::Jit(JitPolicy::Tiered { t1: 4, t2: 64 }).label(),
             "tiered"
         );
+        assert_eq!(ExecMode::IrInterp.label(), "ir-interp");
+        assert_eq!(
+            ExecMode::IrJit(JitPolicy::FirstInvocation).label(),
+            "ir-jit"
+        );
+        assert!(ExecMode::IrInterp.is_ir());
+        assert!(ExecMode::IrJit(JitPolicy::Threshold(2)).is_ir());
+        assert!(!ExecMode::Interp.is_ir());
+        assert!(!ExecMode::Jit(JitPolicy::FirstInvocation).is_ir());
     }
 
     #[test]

@@ -15,12 +15,18 @@
 //!   from the method's code-cache addresses (per-method I-footprint),
 //!   operand-stack and leading locals live in registers, bytecode
 //!   branches become direct native branches, and calls are direct
-//!   when the site is monomorphic.
+//!   when the site is monomorphic;
+//! * [`IrInterpEmitter`] / [`IrJitEmitter`] — the register-IR tier
+//!   (`emit::ir`): the IR interpreter dispatches packed IR words with
+//!   the operand stack in registers, and the IR-backed JIT filter
+//!   drops the traffic fusion removed from translated code.
 
 pub(crate) mod interp;
+pub(crate) mod ir;
 pub(crate) mod jit;
 
 pub(crate) use interp::InterpEmitter;
+pub(crate) use ir::{IrInterpEmitter, IrJitEmitter};
 pub(crate) use jit::JitEmitter;
 
 use jrt_sync::LockCost;

@@ -27,6 +27,7 @@ use crate::config::ExecMode;
 use jrt_bytecode::{MethodDef, MethodId, Op};
 use jrt_codecache::{tier, CacheScope, CodeCacheConfig, CodeCacheManager, CodeCacheStats};
 use jrt_codecache::{ProfileTable, TIER_OPT};
+use jrt_ir::{lower, IrMethod, PcPlan};
 use jrt_trace::{layout, Addr, IdHashMap, NativeInst, Phase, TraceSink};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -163,6 +164,60 @@ const CODE_REGION_BASE: Addr = layout::CODE_CACHE_BASE + 0x10_0000;
 /// Translator-text address of the code-cache manager's eviction
 /// routine (past the per-opcode codegen routines).
 const EVICTOR_ROUTINE: Addr = layout::TRANSLATOR_TEXT_BASE + 0x2_0000;
+/// Translator-text address of the stack→register lowering pass
+/// (abstract interpretation, folding, fusion).
+const LOWERING_ROUTINE: Addr = layout::TRANSLATOR_TEXT_BASE + 0x3_0000;
+/// Base of the simulated IR buffer: every lowered method's packed IR
+/// words live here (VM data), and the IR interpreter's dispatch
+/// fetches them as data loads.
+const IR_BUFFER_BASE: Addr = layout::VM_DATA_BASE + 0x100_0000;
+
+/// A method lowered to register IR, with its packed words placed in
+/// the simulated IR buffer.
+#[derive(Debug)]
+pub(crate) struct LoweredMethod {
+    /// The lowering result: per-pc plans, typed IR instructions, and
+    /// pass statistics.
+    pub ir: IrMethod,
+    /// Simulated base address of this method's packed IR words.
+    pub base: Addr,
+}
+
+/// Register-IR tier state: one lowering per method (never evicted —
+/// the IR buffer is data, not code-cache real estate), plus the IR
+/// interpreter's dispatch counter.
+#[derive(Debug)]
+pub(crate) struct IrState {
+    /// Lowered methods, each lowered exactly once per VM. Keyed like
+    /// the per-VM cache key: the lookup is on the IR interpreter's
+    /// per-bytecode path, where the id hasher beats SipHash.
+    lowered: IdHashMap<u64, Arc<LoweredMethod>>,
+    /// Bump allocator over the IR buffer.
+    next_addr: Addr,
+    /// IR instructions dispatched by the IR interpreter (`Exec` pcs
+    /// of interpreted frames). The register-IR headline number: at
+    /// most one dispatch per bytecode, strictly fewer with fusion.
+    pub dispatches: u64,
+    /// Methods lowered.
+    pub methods_lowered: u32,
+}
+
+/// The [`IrState::lowered`] key for `mid` (same minting as the
+/// per-VM code-cache key).
+fn ir_key(mid: MethodId) -> u64 {
+    (u64::from(mid.class.0) << 24) | u64::from(mid.index)
+}
+
+impl IrState {
+    fn new() -> Self {
+        IrState {
+            lowered: IdHashMap::default(),
+            next_addr: IR_BUFFER_BASE,
+            dispatches: 0,
+            methods_lowered: 0,
+        }
+    }
+}
 
 /// Translator state: the managed code cache and per-method
 /// compilation records.
@@ -196,6 +251,8 @@ pub(crate) struct JitState {
     pub opt_translate_insts: u64,
     /// Re-translations at the optimizing tier.
     pub tier2_recompiles: u32,
+    /// Register-IR tier state (lowered methods, dispatch counter).
+    pub ir: IrState,
 }
 
 impl JitState {
@@ -214,6 +271,7 @@ impl JitState {
             translate_insts: 0,
             opt_translate_insts: 0,
             tier2_recompiles: 0,
+            ir: IrState::new(),
         }
     }
 
@@ -334,8 +392,18 @@ impl JitState {
             def,
             code_addr,
         } = site;
-        let ExecMode::Jit(policy) = mode else {
-            return false;
+        let (policy, ir) = match mode {
+            ExecMode::Interp => return false,
+            ExecMode::Jit(policy) => (policy, None),
+            ExecMode::IrInterp => {
+                // Lower once; the IR interpreter runs the method.
+                self.ensure_lowered(callee, def, code_addr, profile, sink);
+                return false;
+            }
+            ExecMode::IrJit(policy) => {
+                let lm = self.ensure_lowered(callee, def, code_addr, profile, sink);
+                (policy, Some(lm))
+            }
         };
         let key = self.key_for(callee, tid, def);
         let compiled_tier = self.compiled.get(&key).map(|cm| cm.tier);
@@ -355,7 +423,11 @@ impl JitState {
                     self.compiled.remove(&key);
                     self.tier2_recompiles += 1;
                 }
-                match self.translate_keyed(key, def, code_addr, want, sink) {
+                let t = match &ir {
+                    Some(lm) => self.translate_ir_keyed(key, def, want, lm, sink),
+                    None => self.translate_keyed(key, def, code_addr, want, sink),
+                };
+                match t {
                     Some(t) => {
                         profile.get_mut(callee).translate_cycles += t;
                         true
@@ -366,6 +438,82 @@ impl JitState {
                 }
             }
         }
+    }
+
+    /// The lowered-IR record for `mid`, if the method has been
+    /// lowered (always, in IR modes, by the time a frame runs it).
+    /// Borrowed, not cloned: this sits on the IR interpreter's
+    /// per-bytecode path.
+    pub fn lowered(&self, mid: MethodId) -> Option<&Arc<LoweredMethod>> {
+        self.ir.lowered.get(&ir_key(mid))
+    }
+
+    /// Lowers `mid` to register IR if it has not been lowered yet,
+    /// emitting the lowering pass's trace (bytecode reads + abstract
+    /// interpretation in translator text, packed-IR-word stores into
+    /// the IR buffer) as Translate-phase work charged to the method's
+    /// profile, like translation proper.
+    fn ensure_lowered(
+        &mut self,
+        mid: MethodId,
+        def: &MethodDef,
+        code_addr: Addr,
+        profile: &mut ProfileTable,
+        sink: &mut dyn TraceSink,
+    ) -> Arc<LoweredMethod> {
+        if let Some(lm) = self.ir.lowered.get(&ir_key(mid)) {
+            return Arc::clone(lm);
+        }
+        let ir = lower(&def.code).expect("verified code lowers");
+        let mut emitted = 0u64;
+        let mut emit = |i: NativeInst, emitted: &mut u64| {
+            sink.accept(&i);
+            *emitted += 1;
+        };
+        // One pass over the bytecode: read each instruction from the
+        // class area and run the abstract-interpretation bookkeeping
+        // (stack map, folding, fusion window).
+        let mut pc = 0usize;
+        while pc < def.code.len() {
+            let (_, len) = Op::decode(&def.code, pc).expect("verified code decodes");
+            emit(
+                NativeInst::load(
+                    LOWERING_ROUTINE,
+                    code_addr + u64::from(pc as u32),
+                    4,
+                    Phase::Translate,
+                )
+                .with_dst(4),
+                &mut emitted,
+            );
+            for k in 0..3u64 {
+                emit(
+                    NativeInst::alu(LOWERING_ROUTINE + 4 + 4 * k, Phase::Translate)
+                        .with_dst(16 + k as u8),
+                    &mut emitted,
+                );
+            }
+            pc += len;
+        }
+        // Pack the IR words into the IR buffer: data stores, not
+        // code-cache installs — the IR interpreter fetches these as
+        // data, so lowering never pays compulsory I-cache misses.
+        let base = self.ir.next_addr;
+        let words = u64::from(ir.total_words());
+        for w in 0..words {
+            emit(
+                NativeInst::store(LOWERING_ROUTINE + 0x400, base + 4 * w, 4, Phase::Translate)
+                    .with_srcs(16, None),
+                &mut emitted,
+            );
+        }
+        self.ir.next_addr = (base + 4 * words + 63) & !63;
+        self.ir.methods_lowered += 1;
+        self.translate_insts += emitted;
+        profile.get_mut(mid).translate_cycles += emitted;
+        let lm = Arc::new(LoweredMethod { ir, base });
+        self.ir.lowered.insert(ir_key(mid), Arc::clone(&lm));
+        lm
     }
 
     /// Translates `def` (whose bytecode image lives at `code_addr`)
@@ -405,39 +553,7 @@ impl JitState {
         let code_bytes = 4 * total_gen;
 
         let outcome = self.mgr.install(key, code_bytes);
-        let mut emitted = 0u64;
-        // Eviction bookkeeping: the manager walks its segment table
-        // (VM data) and unlinks each victim — runtime work that lands
-        // in the Translate phase, exactly where re-translation cost
-        // should show up.
-        for (victim, victim_entry) in &outcome.evicted {
-            self.compiled.remove(victim);
-            let tag = victim_entry & 0xFFFF;
-            let seq = [
-                NativeInst::alu(EVICTOR_ROUTINE, Phase::Translate).with_dst(20),
-                NativeInst::load(
-                    EVICTOR_ROUTINE + 4,
-                    layout::VM_DATA_BASE + 0x8000 + tag,
-                    4,
-                    Phase::Translate,
-                )
-                .with_dst(21),
-                NativeInst::alu(EVICTOR_ROUTINE + 8, Phase::Translate)
-                    .with_dst(22)
-                    .with_srcs(21, None),
-                NativeInst::store(
-                    EVICTOR_ROUTINE + 12,
-                    layout::VM_DATA_BASE + 0x8000 + tag,
-                    4,
-                    Phase::Translate,
-                )
-                .with_srcs(22, None),
-            ];
-            for i in seq {
-                sink.accept(&i);
-                emitted += 1;
-            }
-        }
+        let mut emitted = self.evict_victims(&outcome.evicted, sink);
         let Some(entry) = outcome.entry else {
             // Failed install: the eviction bookkeeping above still ran
             // (and was emitted to the sink), so it must count as
@@ -521,6 +637,214 @@ impl JitState {
             // stores into the code cache are the compulsory write
             // misses of Figure 5.
             op_addr.insert(pc, install);
+            let n = gen_insts_at(&op, tier);
+            for k in 0..n {
+                let reg = 24 + (k & 7) as u8;
+                emit(
+                    NativeInst::alu(tpc, Phase::Translate)
+                        .with_dst(reg)
+                        .with_srcs(6, None),
+                    &mut emitted,
+                );
+                tpc += 4;
+                emit(
+                    NativeInst::store(tpc, install, 4, Phase::Translate).with_srcs(reg, None),
+                    &mut emitted,
+                );
+                tpc += 4;
+                install += 4;
+            }
+
+            ops.insert(pc, (op, len));
+        }
+
+        let code_bytes = (install - entry) as u32;
+        self.translator_buffer_bytes = self
+            .translator_buffer_bytes
+            .max(4 * u64::from(code_bytes) / 3 + 256);
+        self.methods_translated += 1;
+        self.translate_insts += emitted;
+        if tier >= TIER_OPT {
+            self.opt_translate_insts += emitted;
+        }
+
+        self.compiled.insert(
+            key,
+            Arc::new(CompiledMethod {
+                entry,
+                code_bytes,
+                tier,
+                reg_locals: if tier >= TIER_OPT {
+                    TIER2_REG_LOCALS
+                } else {
+                    TIER1_REG_LOCALS
+                },
+                op_addr,
+                ops,
+            }),
+        );
+        Some(emitted)
+    }
+
+    /// Eviction bookkeeping shared by both translators: the manager
+    /// walks its segment table (VM data) and unlinks each victim —
+    /// runtime work that lands in the Translate phase, exactly where
+    /// re-translation cost should show up. Drops the victims'
+    /// compiled records and returns the instruction count emitted.
+    fn evict_victims(&mut self, evicted: &[(u64, Addr)], sink: &mut dyn TraceSink) -> u64 {
+        let mut emitted = 0u64;
+        for (victim, victim_entry) in evicted {
+            self.compiled.remove(victim);
+            let tag = victim_entry & 0xFFFF;
+            let seq = [
+                NativeInst::alu(EVICTOR_ROUTINE, Phase::Translate).with_dst(20),
+                NativeInst::load(
+                    EVICTOR_ROUTINE + 4,
+                    layout::VM_DATA_BASE + 0x8000 + tag,
+                    4,
+                    Phase::Translate,
+                )
+                .with_dst(21),
+                NativeInst::alu(EVICTOR_ROUTINE + 8, Phase::Translate)
+                    .with_dst(22)
+                    .with_srcs(21, None),
+                NativeInst::store(
+                    EVICTOR_ROUTINE + 12,
+                    layout::VM_DATA_BASE + 0x8000 + tag,
+                    4,
+                    Phase::Translate,
+                )
+                .with_srcs(22, None),
+            ];
+            for i in seq {
+                sink.accept(&i);
+                emitted += 1;
+            }
+        }
+        emitted
+    }
+
+    /// Translates from the lowered register IR at `tier`: like
+    /// [`JitState::translate_keyed`], but the generator walks the IR
+    /// plan instead of raw bytecode. Only [`PcPlan::Exec`] pcs run
+    /// the per-opcode codegen routine (reading packed IR words from
+    /// the IR buffer instead of re-decoding bytecode); covered and
+    /// elided pcs cost one cursor-advance instruction and install
+    /// nothing — their work was fused into a neighbour's sequence.
+    /// The result is denser installed code from a cheaper pass.
+    fn translate_ir_keyed(
+        &mut self,
+        key: u64,
+        def: &MethodDef,
+        tier: u8,
+        lm: &LoweredMethod,
+        sink: &mut dyn TraceSink,
+    ) -> Option<u64> {
+        assert!(!self.compiled.contains_key(&key), "method translated twice");
+        assert!(!def.flags.is_native, "native methods are not translated");
+        let bookkeeping = if tier >= TIER_OPT {
+            TIER2_BOOKKEEPING
+        } else {
+            TIER1_BOOKKEEPING
+        };
+
+        // Pre-pass: decode and size. Only Exec pcs generate code.
+        let mut decoded = Vec::new();
+        let mut total_gen = 0u64;
+        let mut pc = 0usize;
+        while pc < def.code.len() {
+            let (op, len) = Op::decode(&def.code, pc).expect("verified code decodes");
+            if matches!(lm.ir.plan_at(pc as u32), PcPlan::Exec { .. }) {
+                total_gen += u64::from(gen_insts_at(&op, tier));
+            }
+            decoded.push((pc as u32, op, len as u32));
+            pc += len;
+        }
+        let code_bytes = 4 * total_gen;
+
+        let outcome = self.mgr.install(key, code_bytes);
+        let mut emitted = self.evict_victims(&outcome.evicted, sink);
+        let Some(entry) = outcome.entry else {
+            self.translate_insts += emitted;
+            if tier >= TIER_OPT {
+                self.opt_translate_insts += emitted;
+            }
+            return None;
+        };
+        let mut install = entry;
+
+        let mut op_addr = HashMap::new();
+        let mut ops = HashMap::new();
+        for (pc, op, len) in decoded {
+            // Fused or folded pcs map to the next generated address
+            // (consistent with `CompiledMethod::addr`'s fallthrough).
+            op_addr.insert(pc, install);
+            let PcPlan::Exec { word_off, words } = lm.ir.plan_at(pc) else {
+                sink.accept(
+                    &NativeInst::alu(LOWERING_ROUTINE + 0x800, Phase::Translate).with_dst(16),
+                );
+                emitted += 1;
+                ops.insert(pc, (op, len));
+                continue;
+            };
+            let opcode = op.dispatch_index();
+            let routine = layout::TRANSLATOR_TEXT_BASE + Addr::from(opcode) * TRANSLATOR_STRIDE;
+            let mut tpc = routine;
+            let mut emit = |i: NativeInst, emitted: &mut u64| {
+                sink.accept(&i);
+                *emitted += 1;
+            };
+
+            // Read the packed IR words from the IR buffer — the
+            // lowering pass already did the bytecode decoding.
+            for k in 0..u64::from(words) {
+                emit(
+                    NativeInst::load(
+                        tpc,
+                        lm.base + 4 * (u64::from(word_off) + k),
+                        4,
+                        Phase::Translate,
+                    )
+                    .with_dst(4),
+                    &mut emitted,
+                );
+                tpc += 4;
+            }
+            // Codegen bookkeeping (register assignment reuses the
+            // lowering's typed operands; cost mirrors the baseline
+            // translator's per-op analysis).
+            for k in 0..bookkeeping {
+                emit(
+                    NativeInst::alu(tpc, Phase::Translate).with_dst(16 + (k & 7)),
+                    &mut emitted,
+                );
+                tpc += 4;
+            }
+            // Code-generation table lookups.
+            emit(
+                NativeInst::load(
+                    tpc,
+                    layout::VM_DATA_BASE + Addr::from(opcode) * 64,
+                    4,
+                    Phase::Translate,
+                )
+                .with_dst(6),
+                &mut emitted,
+            );
+            tpc += 4;
+            emit(
+                NativeInst::load(
+                    tpc,
+                    layout::VM_DATA_BASE + 0x4000 + Addr::from(opcode) * 32,
+                    4,
+                    Phase::Translate,
+                )
+                .with_dst(6),
+                &mut emitted,
+            );
+            tpc += 4;
+
+            // Generate and install.
             let n = gen_insts_at(&op, tier);
             for k in 0..n {
                 let reg = 24 + (k & 7) as u8;
@@ -857,5 +1181,90 @@ mod tests {
         assert_eq!(jit.tier2_recompiles, 1);
         assert_eq!(jit.methods_translated, 2);
         assert_eq!(jit.cache_stats().evictions, 0, "upgrade is not an eviction");
+    }
+
+    #[test]
+    fn ir_interp_mode_lowers_once_and_never_installs() {
+        let (p, mid) = sample();
+        let def = p.method_def(mid);
+        let mut jit = jit();
+        let mut profile = ProfileTable::new();
+        let mode = ExecMode::IrInterp;
+        let mut rec = RecordingSink::new();
+        let site = CalleeSite {
+            callee: mid,
+            tid: 0,
+            def,
+            code_addr: layout::CLASS_AREA_BASE,
+        };
+        assert!(!jit.ensure_compiled(&mode, &mut profile, site, &mut rec));
+        assert!(
+            !jit.is_compiled(mid, 0),
+            "IR interpretation installs nothing"
+        );
+        assert_eq!(jit.methods_translated, 0);
+        assert_eq!(jit.ir.methods_lowered, 1);
+        assert!(jit.translate_insts > 0, "lowering is translate work");
+        let lowering = jit.translate_insts;
+        assert!(rec.events.iter().all(|i| i.phase == Phase::Translate));
+        // Packed-IR stores land in the IR buffer (VM data), never the
+        // code cache.
+        assert!(rec
+            .events
+            .iter()
+            .filter(|i| i.is_write())
+            .all(|i| Region::classify(i.mem.unwrap().addr) == Some(Region::VmData)));
+        // Memoized: re-entering the method costs nothing.
+        assert!(!jit.ensure_compiled(&mode, &mut profile, site, &mut rec));
+        assert_eq!(jit.ir.methods_lowered, 1);
+        assert_eq!(jit.translate_insts, lowering);
+        let lm = jit.lowered(mid).expect("lowered record");
+        assert!(lm.ir.stats.ir_insts > 0);
+        assert!(lm.ir.stats.ir_insts < lm.ir.stats.bytecodes, "fusion won");
+        assert!(lm.base >= IR_BUFFER_BASE);
+    }
+
+    #[test]
+    fn ir_jit_installs_denser_code_than_baseline() {
+        let (p, mid) = sample();
+        let def = p.method_def(mid);
+        let mut profile = ProfileTable::new();
+        let mut sink = jrt_trace::CountingSink::new();
+        let site = CalleeSite {
+            callee: mid,
+            tid: 0,
+            def,
+            code_addr: layout::CLASS_AREA_BASE,
+        };
+
+        let mut a = jit();
+        assert!(a.ensure_compiled(
+            &ExecMode::Jit(jrt_codecache::JitPolicy::FirstInvocation),
+            &mut profile,
+            site,
+            &mut sink
+        ));
+        let stack = a.compiled(mid, 0).unwrap().clone();
+
+        let mut b = jit();
+        assert!(b.ensure_compiled(
+            &ExecMode::IrJit(jrt_codecache::JitPolicy::FirstInvocation),
+            &mut profile,
+            site,
+            &mut sink
+        ));
+        let ir = b.compiled(mid, 0).unwrap().clone();
+        assert!(
+            ir.code_bytes < stack.code_bytes,
+            "fusion installs denser code: {} vs {}",
+            ir.code_bytes,
+            stack.code_bytes
+        );
+        // Every bytecode keeps a decoded record and a native address
+        // for the stepper, fused or not.
+        assert_eq!(ir.ops.len(), stack.ops.len());
+        assert_eq!(ir.op_addr.len(), stack.op_addr.len());
+        assert_eq!(b.ir.methods_lowered, 1);
+        assert_eq!(b.methods_translated, 1);
     }
 }

@@ -2,9 +2,9 @@
 //!
 //! This crate is the synthetic stand-in for the JVMs the paper
 //! instruments (Sun JDK 1.1.6 and Kaffe 0.9.2). It executes programs
-//! in the `jrt-bytecode` format under two engines and, while doing so,
-//! emits the SPARC-like native instruction trace (`jrt-trace`) that
-//! the architectural studies consume:
+//! in the `jrt-bytecode` format under several engines and, while
+//! doing so, emits the SPARC-like native instruction trace
+//! (`jrt-trace`) that the architectural studies consume:
 //!
 //! * the **interpreter** models a C `switch`-threaded interpreter:
 //!   every bytecode costs an opcode fetch (a *data* load from the
@@ -14,9 +14,16 @@
 //!   translation walks the bytecode (data reads), generates native
 //!   instructions into the code cache (cold *write* misses), and the
 //!   installed code then runs with register-allocated operands,
-//!   per-method instruction footprints, and devirtualized calls.
+//!   per-method instruction footprints, and devirtualized calls;
+//! * the **register-IR tier** ([`ExecMode::IrInterp`] /
+//!   [`ExecMode::IrJit`]) lowers each method once through `jrt-ir`'s
+//!   stack→register pass (constant folding, redundant-load
+//!   elimination, superinstruction fusion) and then either interprets
+//!   the packed IR — at most one dispatch per bytecode, operand stack
+//!   in registers — or feeds the IR-backed translator, which installs
+//!   denser code because fused pcs generate nothing.
 //!
-//! Both engines share one semantic core (the `step` module), so they
+//! All engines share one semantic core (the `step` module), so they
 //! compute identical results by construction — only their
 //! architectural footprint differs, which is precisely the contrast
 //! the paper studies.

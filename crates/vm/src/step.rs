@@ -7,13 +7,14 @@
 //! contrast is purely architectural, and so is ours.
 
 use crate::emit::interp::invoke_helper_addr;
-use crate::emit::{Emit, InterpEmitter, InvokeKind, JitEmitter};
+use crate::emit::{Emit, InterpEmitter, InvokeKind, IrInterpEmitter, IrJitEmitter, JitEmitter};
 use crate::heap::{Handle, Value};
 use crate::intrinsics::{self, IntrinsicOutcome};
 use crate::jit::CallSite;
 use crate::thread::{ThreadState, ThreadStatus};
 use crate::vm::{StepEnv, VmError};
 use jrt_bytecode::{Op, RetKind};
+use jrt_ir::PcPlan;
 use jrt_sync::{EnterOutcome, ExitOutcome};
 use jrt_trace::{layout, Addr, InstClass, TraceSink};
 
@@ -134,14 +135,45 @@ pub(crate) fn step(
         }
         None => Box::new(|_| 0),
     };
+    // In IR modes every non-native method is lowered by
+    // `ensure_compiled` before its frame is pushed (thread starts and
+    // invokes share that decision point), so the record exists. Only
+    // Copy values leave the borrow: this runs per bytecode, so the
+    // lookup must not clone the Arc.
+    let ir_plan = if env.mode.is_ir() {
+        let lm = env
+            .jit
+            .lowered(mid)
+            .expect("IR mode lowers before stepping");
+        let plan = lm.ir.plan_at(pc);
+        let slot = match lm.ir.inst_at(pc) {
+            _ if jit_frame => 0, // translated frames never dispatch
+            Some(inst) => inst.opcode(),
+            None => op.dispatch_index(),
+        };
+        Some((plan, slot, lm.base))
+    } else {
+        None
+    };
     let mut em: Box<dyn Emit> = if jit_frame {
         let reg_locals = cm_rc.as_ref().map_or(0, |cm| cm.reg_locals);
-        Box::new(JitEmitter::new(
-            &*addr_fn,
-            pc,
-            thread.frame().stack.len(),
-            reg_locals,
-        ))
+        let inner = JitEmitter::new(&*addr_fn, pc, thread.frame().stack.len(), reg_locals);
+        match ir_plan {
+            // IR-translated code: fused register moves and elided pcs
+            // emit nothing.
+            Some((plan, _, _)) => Box::new(IrJitEmitter::new(inner, plan, reg_locals)),
+            None => Box::new(inner),
+        }
+    } else if let Some((plan, slot, ir_base)) = ir_plan {
+        // Register-IR interpreter: only `Exec` pcs dispatch (through
+        // their IR opcode's handler); covered pcs run their micro-ops
+        // inside the covering handler's text, elided pcs are free.
+        let em = IrInterpEmitter::new(plan, slot, thread.last_opcode, ir_base);
+        if matches!(plan, PcPlan::Exec { .. }) {
+            env.jit.ir.dispatches += 1;
+            thread.last_opcode = slot;
+        }
+        Box::new(em)
     } else {
         let em = InterpEmitter::new(
             env.linker.code_addr(mid),
@@ -166,7 +198,7 @@ pub(crate) fn step(
         }
         Box::new(if fold { em.folded() } else { em })
     };
-    if !jit_frame {
+    if !jit_frame && ir_plan.is_none() {
         thread.last_opcode = op.dispatch_index();
     }
     em.begin(sink);

@@ -122,6 +122,13 @@ pub struct VmCounters {
     /// Largest single translated method in code bytes (sizes the
     /// floor below which a bounded cache pins methods uncacheable).
     pub largest_method_bytes: u64,
+    /// Methods lowered to register IR (IR modes only; each method is
+    /// lowered at most once per VM).
+    pub methods_lowered: u32,
+    /// IR instructions dispatched by the register-IR interpreter.
+    /// Superinstruction fusion makes this at most one per interpreted
+    /// bytecode, and strictly fewer wherever fusion or folding won.
+    pub ir_dispatches: u64,
 }
 
 /// Memory-footprint breakdown for the Table 1 study.
@@ -510,6 +517,8 @@ impl<'p> Vm<'p> {
         self.counters.retranslations = cache.retranslations;
         self.counters.tier2_recompiles = self.jit.tier2_recompiles;
         self.counters.largest_method_bytes = cache.largest_install_bytes;
+        self.counters.methods_lowered = self.jit.ir.methods_lowered;
+        self.counters.ir_dispatches = self.jit.ir.dispatches;
     }
 
     fn build_result(&mut self) -> RunResult {

@@ -17,7 +17,12 @@
 //!   share one semantic core while emitting the distinct SPARC-like
 //!   native instruction traces a real machine would execute, plus the
 //!   paper's translate-or-interpret policies (including the Figure 1
-//!   oracle);
+//!   oracle) and a register-IR tier ([`ir`]) with its own interpreter
+//!   and JIT path;
+//! * [`ir`] — the stack-to-register lowering pass: abstract
+//!   interpretation of the operand stack, constant folding,
+//!   redundant-load elimination, and superinstruction fusion into a
+//!   packed register instruction set;
 //! * [`trace`] — the synthetic Shade: the native-instruction event
 //!   model and trace-sink plumbing;
 //! * [`cache`], [`bpred`], [`ilp`] — the architectural simulators
@@ -66,6 +71,7 @@ pub use jrt_cache as cache;
 pub use jrt_experiments as experiments;
 pub use jrt_fuzz as fuzz;
 pub use jrt_ilp as ilp;
+pub use jrt_ir as ir;
 pub use jrt_sync as sync;
 pub use jrt_trace as trace;
 pub use jrt_vm as vm;

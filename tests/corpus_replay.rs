@@ -6,18 +6,22 @@
 //! behaviors they exercise (eviction thrash, tier promotion,
 //! dispatch-heavy interpretation, call-dense translation). Replay must
 //! stay divergence-free *and* cost-model-clean, the merged coverage
-//! across the corpus must remain complete, and each file's `floor`
-//! lines pin golden lower bounds on per-engine cost totals — so a
-//! regression that silently stops exercising a perf-sensitive shape
-//! (an eviction path that no longer churns, a tier that no longer
-//! promotes) is caught even while semantics stay equivalent.
+//! across the corpus must remain complete, and each file's `floor` /
+//! `ceil` lines pin golden bounds on per-engine cost totals — floors
+//! catch a regression that silently stops exercising a perf-sensitive
+//! shape (an eviction path that no longer churns, a tier that no
+//! longer promotes), ceilings pin optimization wins that must not
+//! erode (register-IR fusion dispatching well under one dispatch per
+//! bytecode, the IR translator's code density) — even while semantics
+//! stay equivalent.
 
 use javart::fuzz::{fuzz_perf, Coverage};
 use std::path::{Path, PathBuf};
 
-/// One golden lower bound: `totals[label].metric >= value`.
+/// One golden bound on a cost total: `floor` lines require
+/// `totals[label].metric >= value`, `ceil` lines require `<= value`.
 #[derive(Debug)]
-struct Floor {
+struct Bound {
     label: String,
     metric: String,
     value: u64,
@@ -29,7 +33,8 @@ struct CorpusCase {
     path: PathBuf,
     seed: u64,
     cases: u64,
-    floors: Vec<Floor>,
+    floors: Vec<Bound>,
+    ceils: Vec<Bound>,
 }
 
 fn parse_u64(s: &str) -> u64 {
@@ -45,6 +50,21 @@ fn parse_case(path: &Path) -> CorpusCase {
     let mut seed = None;
     let mut cases = None;
     let mut floors = Vec::new();
+    let mut ceils = Vec::new();
+    let parse_bound = |kind: &str, rest: &str, line: &str| {
+        let (target, value) = rest
+            .trim()
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("{}: bad {kind} line: {line}", path.display()));
+        let (label, metric) = target
+            .split_once('.')
+            .unwrap_or_else(|| panic!("{}: {kind} needs label.metric: {line}", path.display()));
+        Bound {
+            label: label.to_string(),
+            metric: metric.to_string(),
+            value: parse_u64(value.trim()),
+        }
+    };
     for line in text.lines() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
@@ -53,20 +73,8 @@ fn parse_case(path: &Path) -> CorpusCase {
         match line.split_once(' ') {
             Some(("seed", v)) => seed = Some(parse_u64(v.trim())),
             Some(("cases", v)) => cases = Some(parse_u64(v.trim())),
-            Some(("floor", rest)) => {
-                let (target, value) = rest
-                    .trim()
-                    .rsplit_once(' ')
-                    .unwrap_or_else(|| panic!("{}: bad floor line: {line}", path.display()));
-                let (label, metric) = target.split_once('.').unwrap_or_else(|| {
-                    panic!("{}: floor needs label.metric: {line}", path.display())
-                });
-                floors.push(Floor {
-                    label: label.to_string(),
-                    metric: metric.to_string(),
-                    value: parse_u64(value.trim()),
-                });
-            }
+            Some(("floor", rest)) => floors.push(parse_bound("floor", rest, line)),
+            Some(("ceil", rest)) => ceils.push(parse_bound("ceil", rest, line)),
             _ => panic!("{}: unparsable line: {line}", path.display()),
         }
     }
@@ -75,6 +83,7 @@ fn parse_case(path: &Path) -> CorpusCase {
         seed: seed.unwrap_or_else(|| panic!("{}: missing seed", path.display())),
         cases: cases.unwrap_or_else(|| panic!("{}: missing cases", path.display())),
         floors,
+        ceils,
     }
 }
 
@@ -127,25 +136,28 @@ fn corpus_replays_clean_with_full_merged_coverage_and_cost_floors() {
             report.render(case.seed)
         );
         assert_eq!(report.coverage.cases, case.cases);
-        for floor in &case.floors {
+        let measure = |bound: &Bound, kind: &str| {
             let (_, totals) = perf
                 .totals
                 .iter()
-                .find(|(l, _)| *l == floor.label)
+                .find(|(l, _)| *l == bound.label)
                 .unwrap_or_else(|| {
                     panic!(
-                        "{}: unknown floor label {}",
+                        "{}: unknown {kind} label {}",
                         case.path.display(),
-                        floor.label
+                        bound.label
                     )
                 });
-            let measured = totals.get(&floor.metric).unwrap_or_else(|| {
+            totals.get(&bound.metric).unwrap_or_else(|| {
                 panic!(
-                    "{}: unknown floor metric {}",
+                    "{}: unknown {kind} metric {}",
                     case.path.display(),
-                    floor.metric
+                    bound.metric
                 )
-            });
+            })
+        };
+        for floor in &case.floors {
+            let measured = measure(floor, "floor");
             assert!(
                 measured >= floor.value,
                 "{}: {}.{} fell below its golden floor: {} < {}",
@@ -154,6 +166,18 @@ fn corpus_replays_clean_with_full_merged_coverage_and_cost_floors() {
                 floor.metric,
                 measured,
                 floor.value
+            );
+        }
+        for ceil in &case.ceils {
+            let measured = measure(ceil, "ceil");
+            assert!(
+                measured <= ceil.value,
+                "{}: {}.{} rose above its golden ceiling: {} > {}",
+                case.path.display(),
+                ceil.label,
+                ceil.metric,
+                measured,
+                ceil.value
             );
         }
         merge(&mut merged, &report.coverage);

@@ -1,6 +1,7 @@
 //! Cross-engine equivalence: every workload computes the same result
-//! under the interpreter, the JIT, the threshold policy, and the
-//! oracle — and matches its host-side reference implementation.
+//! under the interpreter, the JIT, the threshold policy, the oracle,
+//! and both register-IR engines — and matches its host-side reference
+//! implementation.
 
 use javart::experiments::runner::derive_oracle;
 use javart::trace::CountingSink;
@@ -24,6 +25,8 @@ fn all_workloads_agree_across_engines() {
                 },
             ),
             ("oracle", VmConfig::oracle(derive_oracle(&program))),
+            ("ir-interp", VmConfig::ir_interp()),
+            ("ir-jit", VmConfig::ir_jit()),
         ];
         for (label, cfg) in configs {
             let r = Vm::new(&program, cfg)
@@ -49,6 +52,33 @@ fn all_workloads_agree_across_sync_engines() {
                 .run(&mut CountingSink::new())
                 .unwrap_or_else(|e| panic!("{}/{sync:?}: {e}", spec.name));
             assert_eq!(r.exit_value, Some(expected), "{}/{sync:?}", spec.name);
+        }
+    }
+}
+
+#[test]
+fn ir_engines_observe_identically_to_the_stack_interpreter() {
+    // The register IR is a cost plan, never an alternate executor:
+    // every workload's full Observables — outcome, console output,
+    // bytecode count, per-opcode histogram — must be bit-identical
+    // between the stack interpreter and both IR engines.
+    for spec in suite_with_hello() {
+        let program = (spec.build)(Size::Tiny);
+        let reference = Vm::new(&program, VmConfig::interpreter())
+            .run_observed(&mut CountingSink::new())
+            .observables;
+        for (label, cfg) in [
+            ("ir-interp", VmConfig::ir_interp()),
+            ("ir-jit", VmConfig::ir_jit()),
+        ] {
+            let got = Vm::new(&program, cfg)
+                .run_observed(&mut CountingSink::new())
+                .observables;
+            assert_eq!(
+                reference, got,
+                "{}/{label}: Observables diverged from the stack interpreter",
+                spec.name
+            );
         }
     }
 }
