@@ -18,6 +18,7 @@
 use jrt_bench::check::{check, parse_baseline};
 use jrt_bench::{bench_paper, bench_simulators};
 use jrt_testkit::bench::{BenchResult, Harness};
+use jrt_testkit::stats::LatencyHistogram;
 
 const HELP: &str = "\
 usage: bench_all [filter] [output-path] [--check-against FILE [FACTOR]]
@@ -59,6 +60,31 @@ fn add_rollups(results: &mut Vec<BenchResult>) {
         };
         println!("{}", rollup.to_json());
         results.push(rollup);
+    }
+}
+
+/// Logs each suite's per-sample spread (p50/p99/p999 across every
+/// sample of every bench) — the quick read on how noisy this runner
+/// was, on the same quantile helper the serve study reports with.
+fn log_sample_spread(results: &[BenchResult]) {
+    let mut suites: Vec<&str> = results.iter().map(|r| r.suite.as_str()).collect();
+    suites.dedup();
+    for suite in suites {
+        let mut hist = LatencyHistogram::new();
+        for r in results.iter().filter(|r| r.suite == suite) {
+            for &s in &r.samples_ns {
+                hist.record(u64::try_from(s).unwrap_or(u64::MAX));
+            }
+        }
+        if let Some(q) = hist.quantiles() {
+            eprintln!(
+                "[bench_all] {suite} sample spread: p50 {} ns, p99 {} ns, p999 {} ns over {} samples",
+                q.p50,
+                q.p99,
+                q.p999,
+                hist.len()
+            );
+        }
     }
 }
 
@@ -110,6 +136,7 @@ fn main() {
         );
         std::process::exit(1);
     }
+    log_sample_spread(&results);
     add_rollups(&mut results);
     let lines: Vec<String> = results.iter().map(|r| r.to_json()).collect();
     std::fs::write(&out, lines.join("\n") + "\n").expect("write bench report");

@@ -23,7 +23,8 @@ pub mod check;
 use jrt_bpred::{Bht, BranchEval, GAp, Gshare, TwoBit};
 use jrt_cache::{CacheConfig, SplitCaches, SplitSweep};
 use jrt_experiments::{
-    codecache, fig1, fig11, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, table1, table2, table3,
+    codecache, fig1, fig11, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, serve, table1, table2,
+    table3,
 };
 use jrt_ilp::{Pipeline, PipelineConfig};
 use jrt_sync::{FatLockEngine, OneBitLockEngine, SyncEngine, ThinLockEngine};
@@ -50,6 +51,7 @@ pub fn bench_paper(h: &mut Harness) {
     h.bench("fig9_fig10_ilp", || fig9::run(Size::Tiny));
     h.bench("fig11_sync", || fig11::run(Size::Tiny));
     h.bench("codecache_study", || codecache::run(Size::Tiny));
+    h.bench("serve_study", || serve::run(Size::Tiny));
 }
 
 /// Microbenchmarks of the simulators and engines.
@@ -100,6 +102,30 @@ pub fn bench_simulators(h: &mut Harness) {
             .run(&mut sink)
             .unwrap();
         (sink.total(), sink.translate())
+    });
+
+    // The serving tier: wall-clock fleet throughput, the real
+    // work-stealing pool draining a fixed multi-tenant job list on 4
+    // resident VMs. Plain `bench` (not `bench_aux`): stealing makes
+    // the per-worker partition — and so each worker's shared-cache
+    // translate counts — schedule-dependent, which would misclassify
+    // steady-state windows even though the canonical job results are
+    // identical on every run.
+    let traffic = jrt_serve::Traffic::generate(&jrt_serve::TrafficConfig {
+        seed: 0x5EED_0042,
+        requests: 64,
+        tenants: 8,
+        fuzz_programs: 3,
+        size: Size::Tiny,
+    });
+    let fleet_jobs = jrt_serve::pool::jobs_of(&traffic);
+    h.bench("vm_engine/serve_throughput", || {
+        let cfg = jrt_serve::pool::FleetConfig {
+            workers: 4,
+            ..jrt_serve::pool::FleetConfig::default()
+        };
+        let report = jrt_serve::run_fleet(&traffic.programs, &fleet_jobs, &cfg);
+        report.results.len() as u64 + report.cache.shared_dedup_hits
     });
 
     // Record one db trace, then measure each consumer on it.

@@ -108,6 +108,29 @@ pub struct CodeCacheStats {
     /// Largest single install in (unaligned) code bytes — the floor
     /// below which a capacity starts pinning methods uncacheable.
     pub largest_install_bytes: u64,
+    /// Shared-scope content lookups: one per distinct method whose
+    /// bytecode was interned for a [`CacheScope::Shared`] key (zero
+    /// under the other scopes).
+    pub shared_lookups: u64,
+    /// The subset of [`CodeCacheStats::shared_lookups`] that resolved
+    /// to an already-interned content id — a ShareJIT-style dedup hit
+    /// where a byte-identical body (from another class, tenant, or
+    /// program) reuses the existing translation instead of paying for
+    /// its own.
+    pub shared_dedup_hits: u64,
+}
+
+impl CodeCacheStats {
+    /// Fraction of shared-scope content lookups that deduplicated
+    /// onto existing content (`0.0` when no lookups happened, e.g.
+    /// under per-VM or per-thread scope).
+    pub fn dedup_rate(&self) -> f64 {
+        if self.shared_lookups == 0 {
+            0.0
+        } else {
+            self.shared_dedup_hits as f64 / self.shared_lookups as f64
+        }
+    }
 }
 
 /// Result of an install attempt: the new segment's entry address (or
@@ -289,6 +312,18 @@ impl CodeCacheManager {
     /// Lifetime counters.
     pub fn stats(&self) -> CodeCacheStats {
         self.stats
+    }
+
+    /// Records one shared-scope content lookup (a method's bytecode
+    /// interned for a [`CacheScope::Shared`] key); `dedup` says
+    /// whether it resolved to already-interned content. The VM calls
+    /// this from its content-interning path so hit/dedup rates land
+    /// in [`CodeCacheStats`] next to the install counters.
+    pub fn note_shared_lookup(&mut self, dedup: bool) {
+        self.stats.shared_lookups += 1;
+        if dedup {
+            self.stats.shared_dedup_hits += 1;
+        }
     }
 }
 

@@ -1,0 +1,35 @@
+//! Runs the multi-tenant VM fleet study (admission control, per-
+//! tenant fuel, shared-cache dedup, throughput/latency scaling).
+//! Usage: `serve_study [tiny|s1|s10] [output-path] [--jobs N]`.
+//! Without an output path the markdown section goes to stdout.
+
+use jrt_experiments::{jobs, serve};
+use jrt_workloads::Size;
+
+fn main() {
+    let args = jobs::cli_args();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "usage: serve_study [tiny|s1|s10] [output-path] [--jobs N]\n\
+             (JRT_JOBS also sets the worker count; no output path = stdout)"
+        );
+        return;
+    }
+    let size = match args.first().map(String::as_str) {
+        Some("tiny") => Size::Tiny,
+        Some("s10") => Size::S10,
+        None | Some("s1") => Size::S1,
+        Some(other) => {
+            eprintln!("unknown size {other:?}; use tiny|s1|s10 (see --help)");
+            std::process::exit(2);
+        }
+    };
+    let md = serve::run(size).to_markdown();
+    match args.get(1) {
+        Some(path) => {
+            std::fs::write(path, &md).expect("write study output");
+            println!("wrote {path}");
+        }
+        None => print!("{md}"),
+    }
+}

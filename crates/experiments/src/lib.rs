@@ -25,6 +25,7 @@
 //! | [`proposal`] | Section 6 — the paper's install-into-I-cache proposal, implemented and measured |
 //! | [`sizes`] | Section 2 — the s1→s10 method-reuse observation |
 //! | [`codecache`] | Follow-on to Table 1/Figure 1 — managed code cache: capacity/eviction sweep, shared-vs-private caches, tiered recompilation |
+//! | [`serve`] | Beyond the paper — multi-tenant VM fleet: admission control, per-tenant fuel, shared-cache dedup, throughput/latency scaling |
 //!
 //! [`report::run_all`] executes everything and renders the
 //! `EXPERIMENTS.md` comparison document.
@@ -55,6 +56,7 @@ pub mod jobs;
 pub mod proposal;
 pub mod report;
 pub mod runner;
+pub mod serve;
 pub mod sizes;
 pub mod table;
 pub mod table1;

@@ -57,12 +57,14 @@ pub struct Report {
     pub sizes: Option<crate::sizes::Sizes>,
     /// Managed code-cache study (capacity, sharing, tiering).
     pub codecache: Option<codecache::CodeCacheStudy>,
+    /// Multi-tenant VM fleet study (admission, fuel, shared cache).
+    pub serve: Option<crate::serve::ServeStudy>,
 }
 
 /// Section names accepted by [`run_filtered`]'s filter, in run order.
 /// The filter matches by substring, so `fig` selects every figure and
 /// `table` every table.
-pub const SECTIONS: [&str; 19] = [
+pub const SECTIONS: [&str; 20] = [
     "fig1",
     "table1",
     "fig2",
@@ -82,6 +84,7 @@ pub const SECTIONS: [&str; 19] = [
     "regir",
     "sizes",
     "codecache",
+    "serve",
 ];
 
 /// Returns the sections a filter would run — the same substring rule
@@ -140,6 +143,7 @@ pub fn run_filtered(size: Size, filter: Option<&str>) -> Report {
         regir: step!("regir", crate::ir::run(size)),
         sizes: step!("sizes", crate::sizes::run()),
         codecache: step!("codecache", codecache::run(size)),
+        serve: step!("serve", crate::serve::run(size)),
     }
 }
 
@@ -550,6 +554,10 @@ impl Report {
             let _ = write!(w, "{}", cc.to_markdown());
         }
 
+        if let Some(serve) = &self.serve {
+            let _ = write!(w, "{}", serve.to_markdown());
+        }
+
         out
     }
 }
@@ -598,7 +606,7 @@ mod tests {
     /// a report run with that single filter contains something.
     #[test]
     fn sections_list_matches_report_fields() {
-        assert_eq!(SECTIONS.len(), 19);
+        assert_eq!(SECTIONS.len(), 20);
         for name in SECTIONS {
             assert!(
                 !matching_sections(name).is_empty(),

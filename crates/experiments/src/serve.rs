@@ -1,0 +1,358 @@
+//! `serve_study` — the multi-tenant VM fleet (`jrt-serve`).
+//!
+//! The paper characterizes one JVM running one program to completion.
+//! The serving study asks the ROADMAP's follow-on question: what
+//! happens when the runtime is a *fleet* — a pool of reusable VM
+//! instances draining an open-loop, multi-tenant request stream?
+//! Three paper threads meet here:
+//!
+//! * **Translation cost** (Figure 1) becomes a *fleet* cost: with a
+//!   [`CacheScope::Shared`](jrt_vm::CacheScope) content-addressed
+//!   cache, only the first request to touch a bytecode content pays
+//!   its translation; every later request — any tenant — reuses it.
+//!   The study reports that dedup rate directly.
+//! * **Where the cycles go** becomes *throughput and tail latency*:
+//!   the discrete-event model charges each job its measured
+//!   instruction counts on a virtual clock, so p50/p99/p999 sojourn
+//!   times and completions-per-virtual-second are exact and
+//!   machine-independent.
+//! * **Safety rails** become *admission control and fuel*: a bounded
+//!   queue plus per-tenant concurrency caps shed overload with a
+//!   reason, and per-tenant instruction budgets trap runaway jobs at
+//!   a deterministic bytecode index (`FuelExhausted`) — never via
+//!   wall clock.
+//!
+//! Everything is measured-cost simulation ([`jrt_serve::sim`]); the
+//! real work-stealing pool is exercised by `serve_smoke` and the
+//! `vm_engine/serve_throughput` wall-clock bench.
+
+use crate::jobs;
+use crate::report::verdict;
+use crate::table::{count, pct, Table};
+use jrt_serve::{
+    measure_job, measure_program, simulate, CostModel, SimConfig, SimResult, Traffic, TrafficConfig,
+};
+use jrt_workloads::Size;
+
+/// Fleet widths swept by the scaling study.
+pub const WORKERS: [usize; 4] = [1, 2, 4, 8];
+
+/// Bound on the admission queue in the scaling sweep. Sized below
+/// the sum of the tenant caps so the narrow-fleet rows exercise
+/// *both* shed reasons: the backlog bound binds first when few
+/// workers drain, the per-tenant caps when many do.
+pub const QUEUE_CAPACITY: usize = 8;
+
+/// Offered-load oversubscription: mean service time is this many
+/// times the mean interarrival time, so even the widest fleet stays
+/// saturated and the 1-worker fleet must shed.
+pub const OVERSUBSCRIPTION: u64 = 12;
+
+fn traffic_config(size: Size) -> TrafficConfig {
+    let requests = match size {
+        Size::Tiny => 400,
+        Size::S1 => 1200,
+        Size::S10 => 2400,
+    };
+    TrafficConfig {
+        seed: 0x5EED_0042,
+        requests,
+        tenants: 8,
+        fuzz_programs: 3,
+        size,
+    }
+}
+
+/// One program of the serving catalog, as offered.
+#[derive(Debug, Clone)]
+pub struct TrafficRow {
+    /// Program name (workload or `fuzz-N`).
+    pub name: String,
+    /// Requests offered for this program.
+    pub requests: usize,
+    /// Distinct translated bytecode contents the program contributes.
+    pub contents: usize,
+    /// Translate instructions a cold cache pays for those contents.
+    pub translate_insts: u64,
+}
+
+/// One fleet width of the scaling sweep.
+#[derive(Debug, Clone)]
+pub struct ScalingRow {
+    /// Workers (resident VMs).
+    pub workers: usize,
+    /// The simulation outcome at this width.
+    pub sim: SimResult,
+}
+
+/// The full study.
+#[derive(Debug, Clone)]
+pub struct ServeStudy {
+    /// Requests offered per sweep point.
+    pub offered: usize,
+    /// Tenants in the stream (every fourth runs fuel-metered).
+    pub tenants: usize,
+    /// Traffic mix rows, catalog order.
+    pub traffic: Vec<TrafficRow>,
+    /// Scaling rows, one per [`WORKERS`] width.
+    pub scaling: Vec<ScalingRow>,
+    /// Dedup rate of the multi-tenant same-program scenario: every
+    /// tenant requests the same program, so all cache traffic after
+    /// the first job is cross-tenant reuse.
+    pub same_program_dedup: f64,
+}
+
+/// Runs the study at `size`. The measurement phase (isolated VM runs
+/// per program and per `(program, fuel)` class) fans out on the
+/// [`jobs`] scheduler; the simulation itself is sequential and cheap.
+pub fn run(size: Size) -> ServeStudy {
+    let cfg = traffic_config(size);
+    let traffic = Traffic::generate(&cfg);
+
+    // Measured costs: programs and distinct (program, fuel) classes
+    // in parallel, assembled in canonical order.
+    let program_costs = jobs::par_map(&traffic.programs, |p| measure_program(p));
+    let pair_keys = CostModel::distinct_pairs(&traffic);
+    let pair_costs = jobs::par_map(&pair_keys, |&(pi, fuel)| {
+        measure_job(&traffic.programs[pi], fuel)
+    });
+    let costs = CostModel::from_parts(
+        program_costs,
+        pair_keys.into_iter().zip(pair_costs).collect(),
+    );
+
+    let mut per_program = vec![0usize; traffic.programs.len()];
+    for r in &traffic.requests {
+        per_program[r.program] += 1;
+    }
+    let traffic_rows = traffic
+        .names
+        .iter()
+        .zip(&costs.programs)
+        .zip(&per_program)
+        .map(|((name, cost), &requests)| TrafficRow {
+            name: name.clone(),
+            requests,
+            contents: cost.contents.len(),
+            translate_insts: cost.translate_insts(),
+        })
+        .collect();
+
+    let mean = costs.mean_service_insts(&traffic);
+    let sim_cfg = |workers| SimConfig {
+        workers,
+        queue_capacity: QUEUE_CAPACITY,
+        interarrival_unit_ns: (mean / OVERSUBSCRIPTION).max(1),
+    };
+    let scaling = WORKERS
+        .iter()
+        .map(|&workers| ScalingRow {
+            workers,
+            sim: simulate(&traffic, &costs, &sim_cfg(workers)),
+        })
+        .collect();
+
+    // The multi-tenant same-program scenario: identical stream, but
+    // every request names the most content-rich program. All dedup
+    // after the first dispatch is cross-tenant.
+    let richest = costs
+        .programs
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, c)| c.contents.len())
+        .map_or(0, |(i, _)| i);
+    let mut same = Traffic {
+        programs: traffic.programs.clone(),
+        names: traffic.names.clone(),
+        tenants: traffic.tenants.clone(),
+        requests: traffic.requests.clone(),
+    };
+    for r in &mut same.requests {
+        r.program = richest;
+    }
+    let same_sim = simulate(&same, &costs, &sim_cfg(4));
+
+    ServeStudy {
+        offered: traffic.requests.len(),
+        tenants: traffic.tenants.len(),
+        traffic: traffic_rows,
+        scaling,
+        same_program_dedup: same_sim.dedup_rate(),
+    }
+}
+
+impl ServeStudy {
+    /// Renders the traffic-mix table.
+    pub fn traffic_table(&self) -> Table {
+        let mut t = Table::new(
+            "Offered traffic (heavy-tailed program mix over 8 tenants; every 4th tenant fuel-metered)",
+            &[
+                "program",
+                "requests",
+                "share",
+                "contents",
+                "cold translate insts",
+            ],
+        );
+        for r in &self.traffic {
+            t.row(vec![
+                r.name.clone(),
+                count(r.requests as u64),
+                pct(r.requests as f64 / self.offered as f64),
+                count(r.contents as u64),
+                count(r.translate_insts),
+            ]);
+        }
+        t
+    }
+
+    /// Renders the fleet-scaling table.
+    pub fn scaling_table(&self) -> Table {
+        let mut t = Table::new(
+            "Fleet scaling at fixed offered load (virtual clock: 1 ns per traced instruction)",
+            &[
+                "workers",
+                "completed",
+                "shed (queue)",
+                "shed (cap)",
+                "shed rate",
+                "fuel-exhausted",
+                "throughput/s",
+                "p50 ms",
+                "p99 ms",
+                "p999 ms",
+                "cache dedup",
+            ],
+        );
+        for r in &self.scaling {
+            let q = r.sim.latencies.quantiles().unwrap_or_default();
+            let ms = |ns: u64| format!("{:.2}", ns as f64 / 1e6);
+            t.row(vec![
+                count(r.workers as u64),
+                count(r.sim.completed as u64),
+                count(r.sim.shed_queue_full as u64),
+                count(r.sim.shed_tenant_cap as u64),
+                pct(r.sim.shed_rate()),
+                count(r.sim.fuel_exhausted as u64),
+                format!("{:.1}", r.sim.throughput_per_sec()),
+                ms(q.p50),
+                ms(q.p99),
+                ms(q.p999),
+                pct(r.sim.dedup_rate()),
+            ]);
+        }
+        t
+    }
+
+    fn row(&self, workers: usize) -> &ScalingRow {
+        self.scaling
+            .iter()
+            .find(|r| r.workers == workers)
+            .expect("swept width present")
+    }
+
+    /// Throughput at 8 workers over throughput at 1 worker.
+    pub fn speedup_8v1(&self) -> f64 {
+        let one = self.row(1).sim.throughput_per_sec();
+        if one == 0.0 {
+            return 0.0;
+        }
+        self.row(8).sim.throughput_per_sec() / one
+    }
+
+    /// ISSUE acceptance: ≥ 3× throughput at 8 workers vs 1.
+    pub fn scales_3x(&self) -> bool {
+        self.speedup_8v1() >= 3.0
+    }
+
+    /// ISSUE acceptance: the shared cache deduplicates on the
+    /// multi-tenant same-program scenario.
+    pub fn same_program_dedups(&self) -> bool {
+        self.same_program_dedup > 0.0
+    }
+
+    /// Renders the full study as the `EXPERIMENTS.md` section (also
+    /// the `serve_study` binary's output).
+    pub fn to_markdown(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let w = &mut out;
+        let _ = writeln!(w, "## Serving tier — multi-tenant VM fleet\n");
+        let _ = writeln!(
+            w,
+            "*Beyond the paper:* one JVM, one program becomes a fleet — a pool \
+             of reusable VM instances draining an open-loop request stream of \
+             `(program, input, tenant)` jobs. Admission control is a bounded \
+             queue ({} slots) plus per-tenant concurrency caps; overload is \
+             shed at the door with a reason (`QueueFull` | `TenantCap`), never \
+             queued unboundedly. Each tenant runs under a *fuel* budget: an \
+             instruction count the VM checks before every bytecode, trapping \
+             `FuelExhausted` at a deterministic index on every engine — \
+             metering is program semantics, not wall clock. The fleet shares a \
+             content-addressed code cache, so a bytecode body translated for \
+             one tenant is reused by every other. All numbers below come from \
+             a discrete-event simulation over per-job *measured instruction \
+             counts* (1 virtual ns per traced instruction), so this section \
+             is byte-identical on any machine at any `--jobs`; the real \
+             work-stealing pool is exercised by `serve_smoke` and the \
+             `vm_engine/serve_throughput` bench.\n",
+            QUEUE_CAPACITY
+        );
+        let _ = writeln!(w, "{}", self.traffic_table().to_markdown());
+        let _ = writeln!(w, "{}", self.scaling_table().to_markdown());
+        let eight = &self.row(8).sim;
+        let _ = writeln!(
+            w,
+            "*Measured:* at {}× oversubscription a single worker saturates and \
+             sheds; widening the fleet to 8 raises throughput {:.1}× and cuts \
+             the shed rate to {} — {}. The shared cache pays once per distinct \
+             content: {} translations serve {} warm lookups at 8 workers \
+             ({} dedup). On the multi-tenant same-program scenario (every \
+             tenant requests the same program) the dedup rate is {} — \
+             {}. Metered tenants trap `FuelExhausted` in every sweep row \
+             without disturbing any other tenant's results.\n",
+            OVERSUBSCRIPTION,
+            self.speedup_8v1(),
+            pct(eight.shed_rate()),
+            verdict(self.scales_3x()),
+            count(eight.cache_misses),
+            count(eight.cache_hits),
+            pct(eight.dedup_rate()),
+            pct(self.same_program_dedup),
+            verdict(self.same_program_dedups())
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn study_holds_at_tiny() {
+        let s = run(Size::Tiny);
+        assert_eq!(s.scaling.len(), WORKERS.len());
+        assert_eq!(s.traffic.len(), 7, "4 workloads + 3 fuzz programs");
+
+        // ISSUE acceptance: ≥3× throughput at 8 workers vs 1.
+        assert!(
+            s.scales_3x(),
+            "8-worker speedup {:.2} below 3x",
+            s.speedup_8v1()
+        );
+        // ISSUE acceptance: nonzero dedup on the same-program
+        // multi-tenant scenario.
+        assert!(s.same_program_dedups());
+
+        // The overload design point: one worker sheds, the sweep
+        // dedups, metered tenants trap in every row.
+        assert!(s.row(1).sim.shed() > 0);
+        for r in &s.scaling {
+            assert!(r.sim.dedup_rate() > 0.0, "workers={}", r.workers);
+            assert!(r.sim.fuel_exhausted > 0, "workers={}", r.workers);
+            assert_eq!(r.sim.offered, s.offered);
+            assert_eq!(r.sim.completed + r.sim.shed(), s.offered);
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Admission control: a bounded queue plus per-tenant concurrency
+//! caps, shedding with a reason.
+//!
+//! The serving tier is open-loop — arrivals do not wait for
+//! capacity — so overload must be shed at the door, deterministically
+//! and with a reason the operator can act on:
+//!
+//! * [`ShedReason::QueueFull`] — the fleet-wide backlog bound was
+//!   hit. Protects latency for already-admitted jobs: a deeper queue
+//!   converts shed into tail latency.
+//! * [`ShedReason::TenantCap`] — the tenant already has its
+//!   contracted number of jobs in the system (queued + running).
+//!   Protects tenants from each other: a heavy-tailed tenant mix
+//!   would otherwise let one tenant own the queue.
+//!
+//! The queue bound is checked first: it is the cheaper, fleet-wide
+//! protection, and a full queue sheds every tenant equally.
+
+use crate::traffic::Tenant;
+
+/// Why a request was shed at admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The bounded queue was full.
+    QueueFull,
+    /// The tenant's concurrency cap (queued + running) was reached.
+    TenantCap,
+}
+
+/// Admission parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionConfig {
+    /// Fleet-wide bound on queued (admitted, not yet running) jobs.
+    pub queue_capacity: usize,
+}
+
+/// Admission state: the queue depth and per-tenant queued counts.
+/// The caller (the fleet simulator) owns the actual queue and the
+/// running-job bookkeeping; this tracks exactly what the admission
+/// decision needs.
+#[derive(Debug, Clone)]
+pub struct Admission {
+    cfg: AdmissionConfig,
+    tenants: Vec<Tenant>,
+    queued: Vec<u32>,
+    queue_len: usize,
+}
+
+impl Admission {
+    /// Creates admission state for `tenants` under `cfg`.
+    pub fn new(cfg: AdmissionConfig, tenants: &[Tenant]) -> Self {
+        Admission {
+            cfg,
+            tenants: tenants.to_vec(),
+            queued: vec![0; tenants.len()],
+            queue_len: 0,
+        }
+    }
+
+    /// Decides admission for a request from `tenant` that currently
+    /// has `running` jobs executing. On success the request is
+    /// counted as queued; the caller must pair it with
+    /// [`Admission::dequeue`] when a worker picks it up.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ShedReason`] when the request must be shed.
+    pub fn try_admit(&mut self, tenant: u16, running: u32) -> Result<(), ShedReason> {
+        if self.queue_len >= self.cfg.queue_capacity {
+            return Err(ShedReason::QueueFull);
+        }
+        let t = usize::from(tenant);
+        if self.queued[t] + running >= self.tenants[t].cap {
+            return Err(ShedReason::TenantCap);
+        }
+        self.queued[t] += 1;
+        self.queue_len += 1;
+        Ok(())
+    }
+
+    /// Records that a queued request of `tenant` was handed to a
+    /// worker (it is now `running`, no longer queued).
+    pub fn dequeue(&mut self, tenant: u16) {
+        let t = usize::from(tenant);
+        debug_assert!(self.queued[t] > 0 && self.queue_len > 0);
+        self.queued[t] -= 1;
+        self.queue_len -= 1;
+    }
+
+    /// Current queue depth.
+    pub fn queue_len(&self) -> usize {
+        self.queue_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_tenants() -> Vec<Tenant> {
+        vec![Tenant { fuel: 1000, cap: 2 }, Tenant { fuel: 1000, cap: 1 }]
+    }
+
+    #[test]
+    fn queue_bound_sheds_everyone() {
+        let mut a = Admission::new(AdmissionConfig { queue_capacity: 1 }, &two_tenants());
+        assert!(a.try_admit(0, 0).is_ok());
+        assert_eq!(a.try_admit(0, 0), Err(ShedReason::QueueFull));
+        assert_eq!(a.try_admit(1, 0), Err(ShedReason::QueueFull));
+        a.dequeue(0);
+        assert_eq!(a.queue_len(), 0);
+        assert!(a.try_admit(1, 0).is_ok());
+    }
+
+    #[test]
+    fn tenant_cap_counts_queued_plus_running() {
+        let mut a = Admission::new(AdmissionConfig { queue_capacity: 10 }, &two_tenants());
+        // Tenant 0, cap 2: one running + one queued = at cap.
+        assert!(a.try_admit(0, 1).is_ok());
+        assert_eq!(a.try_admit(0, 1), Err(ShedReason::TenantCap));
+        // Other tenants are unaffected.
+        assert!(a.try_admit(1, 0).is_ok());
+        assert_eq!(a.try_admit(1, 1), Err(ShedReason::TenantCap));
+        // Once the running job finishes, tenant 0 fits again.
+        assert!(a.try_admit(0, 0).is_ok());
+    }
+
+    #[test]
+    fn queue_full_takes_precedence_over_tenant_cap() {
+        let mut a = Admission::new(AdmissionConfig { queue_capacity: 1 }, &two_tenants());
+        assert!(a.try_admit(0, 0).is_ok());
+        // Tenant 1 at cap AND queue full: the fleet-wide reason wins.
+        assert_eq!(a.try_admit(1, 1), Err(ShedReason::QueueFull));
+    }
+}

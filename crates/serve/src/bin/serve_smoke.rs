@@ -1,0 +1,61 @@
+//! CI smoke check for the real (wall-clock) VM fleet: drains a tiny
+//! multi-tenant traffic stream through the work-stealing pool at 1
+//! and 8 workers and asserts the canonical per-job results are
+//! identical — VM reuse plus stealing must not change any outcome.
+
+use jrt_serve::pool::{jobs_of, run_fleet, FleetConfig};
+use jrt_serve::{Traffic, TrafficConfig};
+use jrt_workloads::Size;
+
+fn main() {
+    let traffic = Traffic::generate(&TrafficConfig {
+        seed: 0x5EED_0042,
+        requests: 64,
+        tenants: 8,
+        fuzz_programs: 3,
+        size: Size::Tiny,
+    });
+    let jobs = jobs_of(&traffic);
+
+    let one = run_fleet(&traffic.programs, &jobs, &FleetConfig::default());
+    let eight = run_fleet(
+        &traffic.programs,
+        &jobs,
+        &FleetConfig {
+            workers: 8,
+            ..FleetConfig::default()
+        },
+    );
+    assert_eq!(
+        one.results, eight.results,
+        "fleet results must be schedule-independent"
+    );
+
+    let ok = one.results.iter().filter(|r| r.outcome.is_ok()).count();
+    let exhausted = one.results.iter().filter(|r| r.fuel_exhausted).count();
+    assert!(ok > 0, "smoke traffic must complete some jobs");
+    assert!(
+        one.cache.shared_dedup_hits > 0,
+        "single resident worker must dedup repeated contents: {:?}",
+        one.cache
+    );
+
+    println!(
+        "serve smoke: {} jobs | ok {} | fuel-exhausted {} | other traps {}",
+        jobs.len(),
+        ok,
+        exhausted,
+        jobs.len() - ok - exhausted
+    );
+    println!(
+        "  1-worker cache: lookups {} dedup hits {} ({:.1}% dedup)",
+        one.cache.shared_lookups,
+        one.cache.shared_dedup_hits,
+        one.cache.dedup_rate() * 100.0
+    );
+    println!(
+        "  8-worker cache: lookups {} dedup hits {}",
+        eight.cache.shared_lookups, eight.cache.shared_dedup_hits
+    );
+    println!("serve smoke: PASS (1-worker and 8-worker results identical)");
+}

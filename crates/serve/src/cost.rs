@@ -1,0 +1,262 @@
+//! Deterministic per-job cost measurement for the fleet simulator.
+//!
+//! The serving study's clock is *virtual*: one simulated nanosecond
+//! per trace instruction. Costs therefore come from isolated,
+//! deterministic VM runs — never from wall time — and split along
+//! the paper's own line:
+//!
+//! * **execute** work ([`JobCost::exec_insts`]): everything a job
+//!   emits outside the Translate phase. Every job of the same
+//!   `(program, fuel)` pair pays this in full.
+//! * **translate** work ([`ProgramCost::contents`]): the per-method
+//!   translation costs, keyed by a hash of the method's bytecode
+//!   *content*. Under the fleet's shared code cache, only the first
+//!   job to touch a content pays its translation; later jobs — any
+//!   tenant, any program with a byte-identical body — hit the warm
+//!   install. The simulator replays exactly that accounting against
+//!   a fleet-wide content set.
+
+use crate::serve_config;
+use crate::traffic::Traffic;
+use jrt_bytecode::Program;
+use jrt_trace::CountingSink;
+use jrt_vm::Vm;
+
+/// FNV-1a over bytecode bytes: the content identity used for
+/// cross-tenant dedup accounting (the simulator's analog of the
+/// shared cache's content interning).
+pub fn content_hash(code: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in code {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// A program's translation cost profile: every method the serving
+/// configuration translates, as `(content hash, translate
+/// instructions)`, sorted by hash and deduplicated (byte-identical
+/// bodies within one program already collapse in the shared cache).
+#[derive(Debug, Clone, Default)]
+pub struct ProgramCost {
+    /// `(content hash, translate instructions)`, sorted by hash.
+    pub contents: Vec<(u64, u64)>,
+}
+
+impl ProgramCost {
+    /// Total translate instructions across contents.
+    pub fn translate_insts(&self) -> u64 {
+        self.contents.iter().map(|&(_, t)| t).sum()
+    }
+}
+
+/// Measured cost and outcome of one `(program, fuel)` job class.
+#[derive(Debug, Clone)]
+pub struct JobCost {
+    /// The job's engine-independent outcome (exit value or rendered
+    /// trap), identical for every job of the class.
+    pub outcome: Result<Option<i32>, String>,
+    /// Whether the job trapped on its fuel budget.
+    pub fuel_exhausted: bool,
+    /// Bytecodes executed.
+    pub bytecodes: u64,
+    /// Non-translate trace instructions — the virtual service time
+    /// every job of this class pays (translate costs are charged by
+    /// the simulator only on shared-cache misses).
+    pub exec_insts: u64,
+}
+
+/// Measures a program's translation content profile: one full run
+/// under the serving configuration (fuel-capped at the generous
+/// tenant budget), reading per-method translate costs from the
+/// profile table and interning them by bytecode content.
+pub fn measure_program(program: &Program) -> ProgramCost {
+    let cfg = serve_config().with_fuel(crate::traffic::AMPLE_FUEL);
+    let mut vm = Vm::new(program, cfg);
+    let mut sink = CountingSink::new();
+    let profile = match vm.run(&mut sink) {
+        Ok(r) => r.profile,
+        // A trapping program (fuzz tail, metered tenants) still
+        // translated methods on the way; the table is intact on the
+        // fault path.
+        Err(_) => vm.profile().clone(),
+    };
+    let mut contents: Vec<(u64, u64)> = profile
+        .iter()
+        .filter(|(_, p)| p.translate_cycles > 0)
+        .map(|(mid, p)| {
+            (
+                content_hash(&program.method_def(mid).code),
+                p.translate_cycles,
+            )
+        })
+        .collect();
+    contents.sort_unstable();
+    contents.dedup_by_key(|&mut (h, _)| h);
+    ProgramCost { contents }
+}
+
+/// Measures one `(program, fuel)` job class in an isolated VM:
+/// deterministic observables plus the execute-phase instruction
+/// count. Scheduling never touches this — the same pair always
+/// measures identically, which is what makes the study's report
+/// byte-stable at any `--jobs`.
+pub fn measure_job(program: &Program, fuel: u64) -> JobCost {
+    let cfg = serve_config().with_fuel(fuel);
+    let mut vm = Vm::new(program, cfg);
+    let mut sink = CountingSink::new();
+    let run = vm.run_observed(&mut sink);
+    let fuel_exhausted = run
+        .observables
+        .outcome
+        .as_ref()
+        .err()
+        .is_some_and(|e| e.starts_with("fuel exhausted"));
+    JobCost {
+        outcome: run.observables.outcome,
+        fuel_exhausted,
+        bytecodes: run.observables.bytecodes,
+        exec_insts: sink.total() - sink.translate(),
+    }
+}
+
+/// The complete cost model a traffic stream needs: per-program
+/// content costs plus per-`(program, fuel)` job costs.
+#[derive(Debug, Clone, Default)]
+pub struct CostModel {
+    /// Parallel to [`Traffic::programs`].
+    pub programs: Vec<ProgramCost>,
+    /// `((program index, fuel), cost)`, sorted by key.
+    pairs: Vec<((usize, u64), JobCost)>,
+}
+
+impl CostModel {
+    /// The distinct `(program, fuel)` classes appearing in
+    /// `traffic`, sorted — the measurement work list (callers may
+    /// fan the measurements out in parallel; results are
+    /// per-class-deterministic).
+    pub fn distinct_pairs(traffic: &Traffic) -> Vec<(usize, u64)> {
+        let mut pairs: Vec<(usize, u64)> = traffic
+            .requests
+            .iter()
+            .map(|r| (r.program, traffic.fuel_of(r)))
+            .collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        pairs
+    }
+
+    /// Measures everything sequentially. For a parallel measurement
+    /// phase, measure [`CostModel::distinct_pairs`] and the programs
+    /// yourself and assemble with [`CostModel::from_parts`].
+    pub fn build(traffic: &Traffic) -> CostModel {
+        let programs = traffic
+            .programs
+            .iter()
+            .map(|p| measure_program(p))
+            .collect();
+        let pairs = Self::distinct_pairs(traffic)
+            .into_iter()
+            .map(|(pi, fuel)| ((pi, fuel), measure_job(&traffic.programs[pi], fuel)))
+            .collect();
+        CostModel { programs, pairs }
+    }
+
+    /// Assembles a model from externally measured parts. `pairs`
+    /// must be keyed by `(program index, fuel)`; they are sorted
+    /// here.
+    pub fn from_parts(programs: Vec<ProgramCost>, mut pairs: Vec<((usize, u64), JobCost)>) -> Self {
+        pairs.sort_unstable_by_key(|&(k, _)| k);
+        CostModel { programs, pairs }
+    }
+
+    /// The measured cost of job class `(program, fuel)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the class was not measured.
+    pub fn job(&self, program: usize, fuel: u64) -> &JobCost {
+        let i = self
+            .pairs
+            .binary_search_by_key(&(program, fuel), |&(k, _)| k)
+            .expect("job class measured");
+        &self.pairs[i].1
+    }
+
+    /// Mean execute-phase service instructions over the requests of
+    /// `traffic` (the simulator's arrival-rate calibration input).
+    pub fn mean_service_insts(&self, traffic: &Traffic) -> u64 {
+        if traffic.requests.is_empty() {
+            return 1;
+        }
+        let sum: u128 = traffic
+            .requests
+            .iter()
+            .map(|r| u128::from(self.job(r.program, traffic.fuel_of(r)).exec_insts))
+            .sum();
+        (sum / traffic.requests.len() as u128).max(1) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::{TrafficConfig, AMPLE_FUEL, STINGY_FUEL};
+    use jrt_workloads::{db, Size};
+
+    #[test]
+    fn content_hash_is_stable_and_content_sensitive() {
+        assert_eq!(content_hash(b"abc"), content_hash(b"abc"));
+        assert_ne!(content_hash(b"abc"), content_hash(b"abd"));
+        assert_ne!(content_hash(b""), content_hash(b"\0"));
+    }
+
+    #[test]
+    fn job_measurement_is_deterministic_and_splits_translate() {
+        let p = db::program(Size::Tiny);
+        let a = measure_job(&p, AMPLE_FUEL);
+        let b = measure_job(&p, AMPLE_FUEL);
+        assert_eq!(a.outcome, b.outcome);
+        assert_eq!(a.exec_insts, b.exec_insts);
+        assert!(a.outcome.is_ok());
+        assert!(!a.fuel_exhausted);
+        assert!(a.exec_insts > 0);
+        // A metered run traps at exactly the budget.
+        let m = measure_job(&p, STINGY_FUEL);
+        assert!(m.fuel_exhausted);
+        assert_eq!(m.bytecodes, STINGY_FUEL);
+        assert!(m.exec_insts < a.exec_insts);
+    }
+
+    #[test]
+    fn program_costs_name_translated_contents() {
+        let p = db::program(Size::Tiny);
+        let c = measure_program(&p);
+        assert!(!c.contents.is_empty());
+        assert!(c.translate_insts() > 0);
+        // Sorted and unique by hash.
+        for w in c.contents.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+    }
+
+    #[test]
+    fn model_covers_every_request_class() {
+        let cfg = TrafficConfig {
+            seed: 0x5EED_0042,
+            requests: 48,
+            tenants: 6,
+            fuzz_programs: 2,
+            size: Size::Tiny,
+        };
+        let t = crate::Traffic::generate(&cfg);
+        let m = CostModel::build(&t);
+        for r in &t.requests {
+            let j = m.job(r.program, t.fuel_of(r));
+            assert!(j.exec_insts > 0);
+        }
+        assert!(m.mean_service_insts(&t) > 0);
+        assert_eq!(m.programs.len(), t.programs.len());
+    }
+}

@@ -1,0 +1,67 @@
+//! `jrt-serve`: a multi-tenant VM fleet.
+//!
+//! The paper characterizes one JVM running one program; the
+//! ROADMAP's north star is a runtime *service*: thousands of small
+//! programs from many tenants draining through a bounded pool of VM
+//! instances. This crate is that serving tier, built from the
+//! workspace's own pieces:
+//!
+//! * [`pool`] — a work-stealing thread pool executing `(program,
+//!   fuel, tenant)` jobs on **reusable** [`Vm`](jrt_vm::Vm)
+//!   instances: one VM per worker, [`Vm::reset_for`](jrt_vm::Vm)
+//!   between jobs (the rwasm `reusable_pool` pattern), with a
+//!   [`CacheScope::Shared`](jrt_vm::CacheScope) code cache that
+//!   stays warm across jobs so byte-identical method bodies from
+//!   different tenants reuse one translation (ShareJIT-style
+//!   cross-tenant dedup).
+//! * [`traffic`] — a seeded synthetic traffic generator: a
+//!   heavy-tailed mix of the paper's workloads plus fuzzer-generated
+//!   programs, assigned to tenants with per-tenant fuel budgets and
+//!   concurrency caps.
+//! * [`admission`] — the shed policy: a bounded queue plus
+//!   per-tenant concurrency caps, with a [`ShedReason`] for every
+//!   rejected request.
+//! * [`cost`] — deterministic per-job cost measurement: trace
+//!   instruction counts (never wall clock) from isolated runs, split
+//!   into execute vs translate work, plus per-content translation
+//!   costs keyed by bytecode-content hash.
+//! * [`sim`] — a discrete-event fleet simulation on a **virtual
+//!   clock** driven by those measured costs: open-loop arrivals,
+//!   admission, FIFO dispatch to `W` simulated workers, and
+//!   fleet-wide shared-cache accounting. Because every input is a
+//!   deterministic instruction count, the reported throughput,
+//!   latency quantiles, shed rates, and dedup rates are
+//!   byte-identical on every machine and at any `--jobs` setting —
+//!   wall-clock serving throughput lives in `jrt-bench` instead.
+//!
+//! Fuel semantics: a tenant's budget is an instruction count,
+//! enforced by the VM before every bytecode
+//! ([`VmConfig::fuel`](jrt_vm::VmConfig)). A job that runs out traps
+//! with `FuelExhausted` after exactly `budget` bytecodes on every
+//! engine configuration — metering is part of program semantics, not
+//! of the host's clock.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod cost;
+pub mod pool;
+pub mod sim;
+pub mod traffic;
+
+pub use admission::{AdmissionConfig, ShedReason};
+pub use cost::{measure_job, measure_program, CostModel, JobCost, ProgramCost};
+pub use pool::{run_fleet, FleetConfig, FleetReport, Job, JobResult};
+pub use sim::{simulate, SimConfig, SimResult};
+pub use traffic::{Request, Tenant, Traffic, TrafficConfig};
+
+use jrt_vm::{CacheScope, CodeCacheConfig, VmConfig};
+
+/// The serving tier's VM configuration: first-invocation JIT over a
+/// [`CacheScope::Shared`] code cache, so a pooled VM keeps installed
+/// code across [`Vm::reset_for`](jrt_vm::Vm) and byte-identical
+/// method bodies deduplicate across jobs, programs, and tenants.
+pub fn serve_config() -> VmConfig {
+    VmConfig::jit().with_code_cache(CodeCacheConfig::default().with_scope(CacheScope::Shared))
+}

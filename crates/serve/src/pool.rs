@@ -1,0 +1,274 @@
+//! A work-stealing fleet of reusable VM workers.
+//!
+//! This is the *real-execution* half of the serving tier (the
+//! virtual-clock half lives in [`crate::sim`]): `W` OS threads, each
+//! owning one long-lived [`Vm`] that is [`Vm::reset_for`]-reused
+//! across jobs instead of rebuilt — arena reuse, the cheap-reset
+//! pattern. Each worker keeps its own deque of job indices; when its
+//! deque drains it steals from the fronts of the others, so a skewed
+//! job mix cannot idle the fleet.
+//!
+//! Correctness invariant (tested here and over the committed fuzz
+//! corpus in `tests/`): a reused VM is observationally equal to a
+//! fresh one. Whatever worker runs a job, and in whatever order, the
+//! per-job [`JobResult`]s land in canonical job order and match a
+//! fresh-VM sequential reference exactly.
+
+use crate::traffic::Traffic;
+use jrt_bytecode::Program;
+use jrt_trace::CountingSink;
+use jrt_vm::{CodeCacheStats, Vm, VmConfig};
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// One unit of fleet work.
+#[derive(Debug, Clone, Copy)]
+pub struct Job {
+    /// Index into the program catalog passed to [`run_fleet`].
+    pub program: usize,
+    /// The tenant's fuel budget for this job, in bytecodes.
+    pub fuel: u64,
+    /// Owning tenant (carried through for reporting).
+    pub tenant: u16,
+}
+
+/// What one job produced, independent of worker and schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobResult {
+    /// Exit value or rendered trap.
+    pub outcome: Result<Option<i32>, String>,
+    /// Bytecodes the job executed.
+    pub bytecodes: u64,
+    /// Whether the job trapped on its fuel budget.
+    pub fuel_exhausted: bool,
+}
+
+/// Fleet parameters.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Worker threads (and resident VMs).
+    pub workers: usize,
+    /// VM configuration for every worker (fuel is overridden
+    /// per-job).
+    pub vm: VmConfig,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            workers: 1,
+            vm: crate::serve_config(),
+        }
+    }
+}
+
+/// What a fleet run produced: per-job results in canonical job
+/// order, plus the summed per-worker code-cache statistics.
+#[derive(Debug)]
+pub struct FleetReport {
+    /// `results[i]` is job `i`'s result, regardless of which worker
+    /// ran it.
+    pub results: Vec<JobResult>,
+    /// Code-cache statistics summed across the workers' resident
+    /// VMs (each worker's shared cache deduplicates across the jobs
+    /// *it* ran).
+    pub cache: CodeCacheStats,
+}
+
+fn sum_stats(into: &mut CodeCacheStats, s: &CodeCacheStats) {
+    into.installs += s.installs;
+    into.evictions += s.evictions;
+    into.retranslations += s.retranslations;
+    into.install_failures += s.install_failures;
+    into.largest_install_bytes = into.largest_install_bytes.max(s.largest_install_bytes);
+    into.shared_lookups += s.shared_lookups;
+    into.shared_dedup_hits += s.shared_dedup_hits;
+}
+
+fn run_one(vm: &mut Vm<'_>, job: Job) -> JobResult {
+    vm.set_fuel(Some(job.fuel));
+    let mut sink = CountingSink::new();
+    let run = vm.run_observed(&mut sink);
+    let fuel_exhausted = run
+        .observables
+        .outcome
+        .as_ref()
+        .err()
+        .is_some_and(|e| e.starts_with("fuel exhausted"));
+    JobResult {
+        outcome: run.observables.outcome,
+        bytecodes: run.observables.bytecodes,
+        fuel_exhausted,
+    }
+}
+
+/// Drains `jobs` through a work-stealing pool of `cfg.workers`
+/// resident VMs over the `programs` catalog. Results come back in
+/// canonical job order; scheduling affects only which worker's
+/// shared cache serves which job.
+///
+/// # Panics
+///
+/// Panics if `cfg.workers` is zero or a job names a program outside
+/// the catalog.
+pub fn run_fleet(programs: &[Arc<Program>], jobs: &[Job], cfg: &FleetConfig) -> FleetReport {
+    assert!(cfg.workers > 0, "fleet needs at least one worker");
+    let workers = cfg.workers.min(jobs.len()).max(1);
+
+    // Seed the deques round-robin so every worker starts with a
+    // slice of the stream; stealing rebalances from there.
+    let deques: Vec<Mutex<VecDeque<usize>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (i, _) in jobs.iter().enumerate() {
+        deques[i % workers].lock().unwrap().push_back(i);
+    }
+    let slots: Vec<Mutex<Option<JobResult>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+
+    let stats = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for w in 0..workers {
+            let deques = &deques;
+            let slots = &slots;
+            handles.push(scope.spawn(move || {
+                let mut vm: Option<Vm<'_>> = None;
+                loop {
+                    // Own deque first (LIFO back for locality), then
+                    // sweep the others' fronts.
+                    let job_idx = {
+                        let own = deques[w].lock().unwrap().pop_back();
+                        match own {
+                            Some(i) => Some(i),
+                            None => (0..workers)
+                                .filter(|&v| v != w)
+                                .find_map(|v| deques[v].lock().unwrap().pop_front()),
+                        }
+                    };
+                    let Some(i) = job_idx else { break };
+                    let job = jobs[i];
+                    let program = &programs[job.program];
+                    let vm = match &mut vm {
+                        Some(vm) => {
+                            vm.reset_for(program);
+                            vm
+                        }
+                        None => vm.insert(Vm::new(program, cfg.vm.clone())),
+                    };
+                    *slots[i].lock().unwrap() = Some(run_one(vm, job));
+                }
+                vm.map(|vm| vm.cache_stats())
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("fleet worker panicked"))
+            .collect::<Vec<_>>()
+    });
+
+    let mut cache = CodeCacheStats::default();
+    for s in stats.iter().flatten() {
+        sum_stats(&mut cache, s);
+    }
+    let results = slots
+        .into_iter()
+        .map(|s| s.into_inner().unwrap().expect("every job ran"))
+        .collect();
+    FleetReport { results, cache }
+}
+
+/// Builds the fleet job list for a traffic stream (arrival order,
+/// admission not applied — the real pool drains everything; shed
+/// policy is exercised by the open-loop simulator).
+pub fn jobs_of(traffic: &Traffic) -> Vec<Job> {
+    traffic
+        .requests
+        .iter()
+        .map(|r| Job {
+            program: r.program,
+            fuel: traffic.fuel_of(r),
+            tenant: r.tenant,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::{Traffic, TrafficConfig, STINGY_FUEL};
+    use jrt_workloads::Size;
+
+    fn tiny_traffic() -> Traffic {
+        Traffic::generate(&TrafficConfig {
+            seed: 0x5EED_0042,
+            requests: 40,
+            tenants: 8,
+            fuzz_programs: 2,
+            size: Size::Tiny,
+        })
+    }
+
+    /// Fresh-VM sequential reference: what every job must produce.
+    fn reference(programs: &[Arc<Program>], jobs: &[Job]) -> Vec<JobResult> {
+        jobs.iter()
+            .map(|&job| {
+                let mut vm = Vm::new(&programs[job.program], crate::serve_config());
+                run_one(&mut vm, job)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fleet_matches_fresh_vm_reference_at_any_width() {
+        let t = tiny_traffic();
+        let jobs = jobs_of(&t);
+        assert!(jobs.iter().any(|j| j.fuel == STINGY_FUEL));
+        let want = reference(&t.programs, &jobs);
+        for workers in [1, 3, 8] {
+            let cfg = FleetConfig {
+                workers,
+                ..FleetConfig::default()
+            };
+            let report = run_fleet(&t.programs, &jobs, &cfg);
+            assert_eq!(report.results, want, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn single_worker_shared_cache_deduplicates_across_jobs() {
+        let t = tiny_traffic();
+        let jobs = jobs_of(&t);
+        let report = run_fleet(&t.programs, &jobs, &FleetConfig::default());
+        // The Zipf head repeats programs constantly: the resident
+        // worker's shared cache must observe content dedup.
+        assert!(report.cache.shared_lookups > 0);
+        assert!(
+            report.cache.shared_dedup_hits > 0,
+            "repeated programs on one worker must dedup: {:?}",
+            report.cache
+        );
+        assert!(report.cache.dedup_rate() > 0.0);
+    }
+
+    #[test]
+    fn fuel_exhaustion_is_reported_per_job() {
+        let t = tiny_traffic();
+        let jobs = jobs_of(&t);
+        let report = run_fleet(
+            &t.programs,
+            &jobs,
+            &FleetConfig {
+                workers: 4,
+                ..FleetConfig::default()
+            },
+        );
+        let exhausted: Vec<_> = report
+            .results
+            .iter()
+            .zip(&jobs)
+            .filter(|(r, _)| r.fuel_exhausted)
+            .collect();
+        assert!(!exhausted.is_empty(), "metered tenants must trap");
+        for (r, j) in exhausted {
+            assert_eq!(r.bytecodes, j.fuel, "trap lands exactly on the budget");
+        }
+    }
+}

@@ -1,0 +1,326 @@
+//! Discrete-event fleet simulation on a virtual clock.
+//!
+//! The study question — "what does a fleet of `W` VM workers do to
+//! throughput, tail latency, shed rate, and cache dedup?" — must be
+//! answered *deterministically* (the report is golden-pinned and
+//! diffed across `--jobs` settings in CI), so wall time is banned
+//! from the model. Instead:
+//!
+//! * One **virtual nanosecond** per measured trace instruction
+//!   ([`crate::cost`]). A job's base service time is its
+//!   execute-phase instruction count.
+//! * Arrivals are **open-loop**: the traffic stream's abstract
+//!   arrival units are scaled by [`SimConfig::interarrival_unit_ns`]
+//!   and never wait for capacity — overload is shed at admission,
+//!   exactly as [`crate::admission`] specifies.
+//! * Dispatch is non-preemptive FIFO to the earliest-free of `W`
+//!   workers (lowest index breaking ties). The real pool steals
+//!   rather than FIFOs, but the modeled fleet and the real fleet
+//!   agree on everything the report claims: per-job outcomes,
+//!   admission decisions, and cache accounting.
+//! * The shared code cache is modeled as one fleet-wide set of
+//!   translated bytecode contents, charged in **dispatch order**: the
+//!   first job to touch a content pays its translate instructions as
+//!   extra service time; every later job — any tenant — hits.
+//!
+//! Same `(traffic, costs, config)` in, byte-identical [`SimResult`]
+//! out, on every machine, at any `--jobs`.
+
+use crate::admission::{Admission, AdmissionConfig, ShedReason};
+use crate::cost::CostModel;
+use crate::traffic::Traffic;
+use jrt_testkit::stats::LatencyHistogram;
+use std::collections::{HashSet, VecDeque};
+
+/// Simulation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Simulated workers (resident VMs).
+    pub workers: usize,
+    /// Bound on queued (admitted, not yet dispatched) jobs.
+    pub queue_capacity: usize,
+    /// Virtual nanoseconds per 1000 abstract arrival units — the
+    /// knob that sets offered load against the measured service
+    /// times.
+    pub interarrival_unit_ns: u64,
+}
+
+/// What the simulated fleet did.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Requests offered (the whole arrival stream).
+    pub offered: usize,
+    /// Requests that ran to an outcome.
+    pub completed: usize,
+    /// Requests shed because the bounded queue was full.
+    pub shed_queue_full: usize,
+    /// Requests shed at the tenant's concurrency cap.
+    pub shed_tenant_cap: usize,
+    /// Completed requests whose outcome was a fuel trap.
+    pub fuel_exhausted: usize,
+    /// Translated-content lookups served by the fleet-wide cache.
+    pub cache_hits: u64,
+    /// Contents translated (charged to the first toucher).
+    pub cache_misses: u64,
+    /// Virtual time of the last completion.
+    pub makespan_ns: u64,
+    /// Sojourn times (completion − arrival) of completed requests.
+    pub latencies: LatencyHistogram,
+}
+
+impl SimResult {
+    /// Completions per virtual second.
+    pub fn throughput_per_sec(&self) -> f64 {
+        if self.makespan_ns == 0 {
+            return 0.0;
+        }
+        self.completed as f64 * 1e9 / self.makespan_ns as f64
+    }
+
+    /// Shed requests (both reasons).
+    pub fn shed(&self) -> usize {
+        self.shed_queue_full + self.shed_tenant_cap
+    }
+
+    /// Fraction of offered requests shed.
+    pub fn shed_rate(&self) -> f64 {
+        if self.offered == 0 {
+            return 0.0;
+        }
+        self.shed() as f64 / self.offered as f64
+    }
+
+    /// Fraction of cache lookups served warm (cross-job,
+    /// cross-tenant content dedup).
+    pub fn dedup_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.cache_hits as f64 / total as f64
+    }
+}
+
+/// A dispatched job's bookkeeping.
+struct Running {
+    tenant: u16,
+    completion_ns: u64,
+}
+
+/// Runs the fleet model over `traffic` with measured `costs`.
+///
+/// # Panics
+///
+/// Panics if `cfg.workers` is zero.
+pub fn simulate(traffic: &Traffic, costs: &CostModel, cfg: &SimConfig) -> SimResult {
+    assert!(cfg.workers > 0, "simulated fleet needs a worker");
+    let mut admission = Admission::new(
+        AdmissionConfig {
+            queue_capacity: cfg.queue_capacity,
+        },
+        &traffic.tenants,
+    );
+    let mut worker_free = vec![0u64; cfg.workers];
+    // Queue of admitted request indices, FIFO.
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    let mut running: Vec<Running> = Vec::new();
+    let mut translated: HashSet<u64> = HashSet::new();
+
+    let mut result = SimResult {
+        offered: traffic.requests.len(),
+        completed: 0,
+        shed_queue_full: 0,
+        shed_tenant_cap: 0,
+        fuel_exhausted: 0,
+        cache_hits: 0,
+        cache_misses: 0,
+        makespan_ns: 0,
+        latencies: LatencyHistogram::new(),
+    };
+
+    let arrival_ns = |unit: u64| -> u64 {
+        (u128::from(unit) * u128::from(cfg.interarrival_unit_ns) / 1000) as u64
+    };
+
+    // Dispatches queued jobs to workers that are (or become) free no
+    // later than `now`. Charges the shared cache in dispatch order.
+    let dispatch = |now: u64,
+                    queue: &mut VecDeque<usize>,
+                    worker_free: &mut [u64],
+                    admission: &mut Admission,
+                    running: &mut Vec<Running>,
+                    translated: &mut HashSet<u64>,
+                    result: &mut SimResult| {
+        while let Some(&req_idx) = queue.front() {
+            let (w, free) = worker_free
+                .iter()
+                .copied()
+                .enumerate()
+                .min_by_key(|&(i, f)| (f, i))
+                .expect("workers > 0");
+            if free > now {
+                break;
+            }
+            queue.pop_front();
+            let r = &traffic.requests[req_idx];
+            admission.dequeue(r.tenant);
+            let fuel = traffic.fuel_of(r);
+            let job = costs.job(r.program, fuel);
+            let mut service = job.exec_insts.max(1);
+            for &(hash, tcost) in &costs.programs[r.program].contents {
+                if translated.insert(hash) {
+                    service += tcost;
+                    result.cache_misses += 1;
+                } else {
+                    result.cache_hits += 1;
+                }
+            }
+            let start = free.max(arrival_ns(r.arrival_unit));
+            let completion = start + service;
+            worker_free[w] = completion;
+            running.push(Running {
+                tenant: r.tenant,
+                completion_ns: completion,
+            });
+            result.completed += 1;
+            if job.fuel_exhausted {
+                result.fuel_exhausted += 1;
+            }
+            result.makespan_ns = result.makespan_ns.max(completion);
+            result
+                .latencies
+                .record(completion - arrival_ns(r.arrival_unit));
+        }
+    };
+
+    for (i, r) in traffic.requests.iter().enumerate() {
+        let now = arrival_ns(r.arrival_unit);
+        dispatch(
+            now,
+            &mut queue,
+            &mut worker_free,
+            &mut admission,
+            &mut running,
+            &mut translated,
+            &mut result,
+        );
+        let in_flight = running
+            .iter()
+            .filter(|j| j.tenant == r.tenant && j.completion_ns > now)
+            .count() as u32;
+        match admission.try_admit(r.tenant, in_flight) {
+            Ok(()) => {
+                queue.push_back(i);
+                // A free worker takes the job immediately.
+                dispatch(
+                    now,
+                    &mut queue,
+                    &mut worker_free,
+                    &mut admission,
+                    &mut running,
+                    &mut translated,
+                    &mut result,
+                );
+            }
+            Err(ShedReason::QueueFull) => result.shed_queue_full += 1,
+            Err(ShedReason::TenantCap) => result.shed_tenant_cap += 1,
+        }
+    }
+    // No further arrivals: drain the backlog.
+    dispatch(
+        u64::MAX,
+        &mut queue,
+        &mut worker_free,
+        &mut admission,
+        &mut running,
+        &mut translated,
+        &mut result,
+    );
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::TrafficConfig;
+    use jrt_workloads::Size;
+
+    fn study_inputs() -> (Traffic, CostModel) {
+        let t = Traffic::generate(&TrafficConfig {
+            seed: 0x5EED_0042,
+            requests: 120,
+            tenants: 8,
+            fuzz_programs: 2,
+            size: Size::Tiny,
+        });
+        let m = CostModel::build(&t);
+        (t, m)
+    }
+
+    fn cfg(workers: usize, traffic: &Traffic, costs: &CostModel) -> SimConfig {
+        // Oversubscribe: mean service ≈ 12× the scaled mean
+        // interarrival, so even 8 workers stay saturated.
+        let mean = costs.mean_service_insts(traffic);
+        SimConfig {
+            workers,
+            queue_capacity: 16,
+            interarrival_unit_ns: (mean / 12).max(1),
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let (t, m) = study_inputs();
+        let c = cfg(4, &t, &m);
+        let a = simulate(&t, &m, &c);
+        let b = simulate(&t, &m, &c);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.shed_queue_full, b.shed_queue_full);
+        assert_eq!(a.shed_tenant_cap, b.shed_tenant_cap);
+        assert_eq!(a.makespan_ns, b.makespan_ns);
+        assert_eq!(a.cache_hits, b.cache_hits);
+        assert_eq!(a.latencies.quantiles(), b.latencies.quantiles());
+    }
+
+    #[test]
+    fn more_workers_complete_more_under_overload() {
+        let (t, m) = study_inputs();
+        let one = simulate(&t, &m, &cfg(1, &t, &m));
+        let eight = simulate(&t, &m, &cfg(8, &t, &m));
+        assert!(one.shed() > 0, "one worker must shed under 12x load");
+        assert!(eight.completed >= one.completed);
+        assert!(
+            eight.throughput_per_sec() > one.throughput_per_sec() * 2.0,
+            "8 workers: {:.1}/s vs 1 worker: {:.1}/s",
+            eight.throughput_per_sec(),
+            one.throughput_per_sec()
+        );
+    }
+
+    #[test]
+    fn shared_cache_dedups_across_jobs_and_tenants() {
+        let (t, m) = study_inputs();
+        let r = simulate(&t, &m, &cfg(4, &t, &m));
+        assert!(r.cache_misses > 0, "first touch translates");
+        assert!(r.cache_hits > 0, "the Zipf head repeats contents");
+        assert!(r.dedup_rate() > 0.0);
+        // Misses are bounded by the distinct contents in the catalog.
+        let distinct: std::collections::HashSet<u64> = m
+            .programs
+            .iter()
+            .flat_map(|p| p.contents.iter().map(|&(h, _)| h))
+            .collect();
+        assert!(r.cache_misses <= distinct.len() as u64);
+    }
+
+    #[test]
+    fn conservation_offered_equals_completed_plus_shed() {
+        let (t, m) = study_inputs();
+        for workers in [1, 2, 8] {
+            let r = simulate(&t, &m, &cfg(workers, &t, &m));
+            assert_eq!(r.offered, r.completed + r.shed());
+            assert_eq!(r.latencies.len(), r.completed);
+            assert!(r.makespan_ns > 0);
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Seeded synthetic traffic: a heavy-tailed program mix over
+//! multiple tenants.
+//!
+//! Real serving traffic is skewed twice over: a few *programs*
+//! receive most requests (which is what makes a shared code cache
+//! pay — the popular program's methods are translated once and hit
+//! forever after), and a few *tenants* send most requests (which is
+//! what admission control's per-tenant caps exist to contain). The
+//! generator reproduces both skews with Zipf-like integer weights
+//! from a seeded [`Rng`], so the same `(seed, config)` always yields
+//! the same request stream, byte for byte.
+//!
+//! The program catalog mixes the paper's workloads with
+//! fuzzer-generated programs ([`jrt_fuzz::gen_case`]): the former
+//! model the popular, method-reusing services; the latter model the
+//! long tail of one-off tenant code.
+
+use jrt_bytecode::Program;
+use jrt_fuzz::{gen_case, lower, Coverage};
+use jrt_testkit::Rng;
+use jrt_workloads::{suite_with_hello, Size};
+use std::sync::Arc;
+
+/// Fuel budget of an ordinary tenant: effectively unmetered for the
+/// workload sizes served here, but still enforced — every tenant
+/// runs under a budget.
+pub const AMPLE_FUEL: u64 = 200_000_000;
+/// Fuel budget of a metered ("stingy") tenant: enough to make real
+/// progress, small enough that full workload runs trap
+/// `FuelExhausted` mid-flight.
+pub const STINGY_FUEL: u64 = 3_000;
+
+/// Workload programs in the serving catalog, in popularity order
+/// (the head of the Zipf distribution).
+const CATALOG: [&str; 4] = ["hello", "compress", "db", "jess"];
+
+/// Traffic generator parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TrafficConfig {
+    /// Seed for every random draw.
+    pub seed: u64,
+    /// Number of requests in the open-loop arrival stream.
+    pub requests: usize,
+    /// Number of tenants.
+    pub tenants: u16,
+    /// Fuzzer-generated programs appended to the catalog tail.
+    pub fuzz_programs: usize,
+    /// Scale of the workload programs.
+    pub size: Size,
+}
+
+/// One tenant's serving contract.
+#[derive(Debug, Clone, Copy)]
+pub struct Tenant {
+    /// Per-request fuel budget in bytecodes.
+    pub fuel: u64,
+    /// Concurrency cap: the tenant's requests queued + running may
+    /// not exceed this; excess arrivals are shed with
+    /// [`ShedReason::TenantCap`](crate::ShedReason).
+    pub cap: u32,
+}
+
+/// One request in the open-loop arrival stream.
+#[derive(Debug, Clone, Copy)]
+pub struct Request {
+    /// Arrival time in abstract units (mean interarrival = 1000
+    /// units); the simulator scales units to virtual nanoseconds
+    /// against the measured service costs.
+    pub arrival_unit: u64,
+    /// Index into [`Traffic::programs`].
+    pub program: usize,
+    /// Index into [`Traffic::tenants`].
+    pub tenant: u16,
+}
+
+/// A generated request stream plus the catalog it draws from.
+pub struct Traffic {
+    /// The program catalog, popularity order.
+    pub programs: Vec<Arc<Program>>,
+    /// Display names parallel to [`Traffic::programs`].
+    pub names: Vec<String>,
+    /// Tenant contracts.
+    pub tenants: Vec<Tenant>,
+    /// Requests in arrival order (`arrival_unit` nondecreasing).
+    pub requests: Vec<Request>,
+}
+
+/// Draws an index from Zipf-like integer weights `w_i = 1000/(i+1)`
+/// over `n` items.
+fn zipf(rng: &mut Rng, n: usize) -> usize {
+    let weights: Vec<u64> = (0..n).map(|i| 1000 / (i as u64 + 1)).collect();
+    let total: u64 = weights.iter().sum();
+    let mut r = rng.u64_in(0..total);
+    for (i, w) in weights.iter().enumerate() {
+        if r < *w {
+            return i;
+        }
+        r -= w;
+    }
+    n - 1
+}
+
+impl Traffic {
+    /// Generates the catalog, tenants, and request stream for `cfg`.
+    /// Deterministic in `cfg` (including the seed).
+    pub fn generate(cfg: &TrafficConfig) -> Traffic {
+        let suite = suite_with_hello();
+        let mut programs = Vec::new();
+        let mut names = Vec::new();
+        for name in CATALOG {
+            let spec = suite
+                .iter()
+                .find(|s| s.name == name)
+                .expect("catalog workload exists");
+            programs.push(Arc::new((spec.build)(cfg.size)));
+            names.push(name.to_string());
+        }
+        // The long tail: fuzzer-generated one-off tenant programs.
+        // Each is generated from its own case index of the traffic
+        // seed, exactly like a fuzzing round, then lowered through
+        // the ordinary pipeline.
+        let cov = Coverage::new();
+        for i in 0..cfg.fuzz_programs {
+            let spec = gen_case(cfg.seed ^ 0x5EED_CAFE, i as u64, &cov);
+            programs.push(Arc::new(lower(&spec).expect("generated specs lower")));
+            names.push(format!("fuzz-{i}"));
+        }
+
+        // Tenants: every fourth runs metered; caps cycle 1..=3 so
+        // the admission study sees heterogeneous contracts.
+        let tenants: Vec<Tenant> = (0..cfg.tenants)
+            .map(|t| Tenant {
+                fuel: if t % 4 == 3 { STINGY_FUEL } else { AMPLE_FUEL },
+                cap: 1 + u32::from(t % 3),
+            })
+            .collect();
+
+        // Open-loop arrivals: uniform interarrivals in [500, 1500)
+        // units (mean 1000), program and tenant drawn heavy-tailed.
+        let mut rng = Rng::for_case(cfg.seed, 0);
+        let mut clock = 0u64;
+        let requests = (0..cfg.requests)
+            .map(|_| {
+                clock += rng.u64_in(500..1500);
+                Request {
+                    arrival_unit: clock,
+                    program: zipf(&mut rng, programs.len()),
+                    tenant: zipf(&mut rng, tenants.len()) as u16,
+                }
+            })
+            .collect();
+
+        Traffic {
+            programs,
+            names,
+            tenants,
+            requests,
+        }
+    }
+
+    /// The fuel budget governing `r` (its tenant's contract).
+    pub fn fuel_of(&self, r: &Request) -> u64 {
+        self.tenants[usize::from(r.tenant)].fuel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> TrafficConfig {
+        TrafficConfig {
+            seed: 0x5EED_0042,
+            requests: 64,
+            tenants: 8,
+            fuzz_programs: 3,
+            size: Size::Tiny,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Traffic::generate(&tiny_cfg());
+        let b = Traffic::generate(&tiny_cfg());
+        assert_eq!(a.names, b.names);
+        assert_eq!(a.requests.len(), 64);
+        for (x, y) in a.requests.iter().zip(&b.requests) {
+            assert_eq!(
+                (x.arrival_unit, x.program, x.tenant),
+                (y.arrival_unit, y.program, y.tenant)
+            );
+        }
+    }
+
+    #[test]
+    fn arrivals_are_open_loop_and_sorted() {
+        let t = Traffic::generate(&tiny_cfg());
+        let mut prev = 0;
+        for r in &t.requests {
+            assert!(r.arrival_unit > prev, "strictly increasing arrivals");
+            prev = r.arrival_unit;
+            assert!(r.program < t.programs.len());
+            assert!(usize::from(r.tenant) < t.tenants.len());
+        }
+    }
+
+    #[test]
+    fn mix_is_heavy_tailed_with_metered_tenants() {
+        let cfg = TrafficConfig {
+            requests: 512,
+            ..tiny_cfg()
+        };
+        let t = Traffic::generate(&cfg);
+        let mut per_program = vec![0usize; t.programs.len()];
+        for r in &t.requests {
+            per_program[r.program] += 1;
+        }
+        // The head of the catalog dominates the tail.
+        assert!(per_program[0] > per_program[t.programs.len() - 1]);
+        assert!(
+            per_program[0] * 3 > t.requests.len(),
+            "the most popular program draws over a third of traffic"
+        );
+        // Both tenant classes are present.
+        assert!(t.tenants.iter().any(|x| x.fuel == STINGY_FUEL));
+        assert!(t.tenants.iter().any(|x| x.fuel == AMPLE_FUEL));
+        assert!(t.tenants.iter().all(|x| (1..=3).contains(&x.cap)));
+    }
+}

@@ -69,6 +69,7 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod stats;
 
 use std::ops::Range;
 

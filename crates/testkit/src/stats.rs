@@ -1,0 +1,201 @@
+//! Deterministic latency statistics: nearest-rank quantiles over
+//! `u64` nanosecond samples.
+//!
+//! The serving-tier experiments report p50/p99/p999 latency out of a
+//! *virtual*-clock simulation, so the numbers must be byte-identical
+//! on every machine and at any `--jobs` setting. This helper is
+//! therefore pure integer arithmetic: no floating-point interpolation
+//! between ranks (the classic p99 estimator), no histogram bucketing
+//! error — the reported quantile is always an actual sample, picked
+//! by the nearest-rank rule `x_sorted[ceil(q·n) − 1]`.
+//!
+//! The wall-clock bench harness reuses the same helper for its
+//! cross-suite sample summaries, so "p99" means one thing everywhere
+//! in the workspace.
+
+/// The three tail quantiles the serving experiments report, plus the
+/// extremes. All fields are nanoseconds drawn from actual samples.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Quantiles {
+    /// Smallest sample.
+    pub min: u64,
+    /// Median (nearest-rank p50).
+    pub p50: u64,
+    /// Nearest-rank 99th percentile.
+    pub p99: u64,
+    /// Nearest-rank 99.9th percentile.
+    pub p999: u64,
+    /// Largest sample.
+    pub max: u64,
+}
+
+/// An order-insensitive accumulator of `u64` nanosecond samples with
+/// nearest-rank quantile queries.
+///
+/// "Histogram" in the latency-report sense: it answers quantile
+/// queries over everything recorded. Samples are kept exactly (the
+/// serving studies record at most a few thousand), so there is no
+/// bucketing error, and recording order never affects any query —
+/// which is what lets a parallel measurement phase feed one of these
+/// and still produce byte-identical reports.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyHistogram {
+    samples: Vec<u64>,
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, ns: u64) {
+        self.samples.push(ns);
+    }
+
+    /// Records every sample in `ns`.
+    pub fn record_all(&mut self, ns: impl IntoIterator<Item = u64>) {
+        self.samples.extend(ns);
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The nearest-rank `num/den` quantile: the sample at sorted
+    /// index `ceil(num·n/den) − 1`. Pure integer arithmetic, so the
+    /// answer is identical on every platform. Returns `None` on an
+    /// empty histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < num <= den` (quantiles outside `(0, 1]` are
+    /// meaningless under nearest-rank).
+    pub fn quantile(&self, num: u64, den: u64) -> Option<u64> {
+        assert!(num > 0 && num <= den, "quantile {num}/{den} not in (0, 1]");
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let n = sorted.len() as u64;
+        let rank = (num * n).div_ceil(den); // in 1..=n since num <= den
+        Some(sorted[(rank - 1) as usize])
+    }
+
+    /// Arithmetic mean, rounded down. `None` on an empty histogram.
+    pub fn mean(&self) -> Option<u64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let sum: u128 = self.samples.iter().map(|&s| u128::from(s)).sum();
+        Some((sum / self.samples.len() as u128) as u64)
+    }
+
+    /// The standard latency summary (min / p50 / p99 / p999 / max),
+    /// computed with one sort. `None` on an empty histogram.
+    pub fn quantiles(&self) -> Option<Quantiles> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let n = sorted.len() as u64;
+        let at = |num: u64, den: u64| sorted[((num * n).div_ceil(den) - 1) as usize];
+        Some(Quantiles {
+            min: sorted[0],
+            p50: at(1, 2),
+            p99: at(99, 100),
+            p999: at(999, 1000),
+            max: sorted[n as usize - 1],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_answers_none() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.len(), 0);
+        assert_eq!(h.quantile(1, 2), None);
+        assert_eq!(h.quantiles(), None);
+        assert_eq!(h.mean(), None);
+    }
+
+    #[test]
+    fn single_sample_is_every_quantile() {
+        let mut h = LatencyHistogram::new();
+        h.record(42);
+        let q = h.quantiles().unwrap();
+        assert_eq!(
+            q,
+            Quantiles {
+                min: 42,
+                p50: 42,
+                p99: 42,
+                p999: 42,
+                max: 42
+            }
+        );
+        assert_eq!(h.mean(), Some(42));
+    }
+
+    #[test]
+    fn nearest_rank_on_one_to_hundred() {
+        // The textbook nearest-rank example: 1..=100, where the
+        // q-quantile is exactly ceil(100q).
+        let mut h = LatencyHistogram::new();
+        h.record_all(1..=100u64);
+        assert_eq!(h.quantile(1, 2), Some(50));
+        assert_eq!(h.quantile(99, 100), Some(99));
+        assert_eq!(h.quantile(999, 1000), Some(100));
+        assert_eq!(h.quantile(1, 100), Some(1));
+        assert_eq!(h.quantile(1, 1), Some(100));
+        assert_eq!(h.mean(), Some(50)); // 50.5 rounded down
+    }
+
+    #[test]
+    fn order_insensitive() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let samples = [5u64, 1, 900, 3, 77, 77, 2];
+        a.record_all(samples);
+        b.record_all(samples.iter().rev().copied());
+        assert_eq!(a.quantiles(), b.quantiles());
+        assert_eq!(a.quantiles().unwrap().min, 1);
+        assert_eq!(a.quantiles().unwrap().max, 900);
+    }
+
+    #[test]
+    fn p999_separates_from_p99_past_a_thousand_samples() {
+        // 998 fast samples plus two slow outliers (n = 1000): p99
+        // stays fast, p999 catches the tail.
+        let mut h = LatencyHistogram::new();
+        h.record_all(std::iter::repeat_n(10u64, 998));
+        h.record_all([1000u64, 2000]);
+        let q = h.quantiles().unwrap();
+        assert_eq!(q.p50, 10);
+        assert_eq!(q.p99, 10);
+        assert_eq!(q.p999, 1000);
+        assert_eq!(q.max, 2000);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in (0, 1]")]
+    fn zero_quantile_panics() {
+        let mut h = LatencyHistogram::new();
+        h.record(1);
+        h.quantile(0, 100);
+    }
+}

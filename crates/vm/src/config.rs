@@ -98,6 +98,15 @@ pub struct VmConfig {
     /// Upper bound on executed bytecodes (guards against runaway
     /// programs; `u64::MAX` = unlimited).
     pub max_bytecodes: u64,
+    /// Per-tenant fuel budget in bytecodes; `None` = unmetered. Fuel
+    /// is deterministic instruction-count metering — never wall
+    /// clock — checked before every bytecode, so a run with fuel `F`
+    /// traps with [`VmError::FuelExhausted`](crate::VmError) after
+    /// exactly `F` bytecodes on every engine configuration. Unlike
+    /// [`VmConfig::max_bytecodes`] (a safety rail against runaway
+    /// programs), fuel models a serving-tier admission contract and
+    /// is settable per job via `Vm::set_fuel`.
+    pub fuel: Option<u64>,
     /// picoJava-style folding in the interpreter (Section 4.4): runs
     /// of up to four simple bytecodes (constants, local moves,
     /// arithmetic, stack shuffles) share one dispatch, mitigating the
@@ -115,6 +124,7 @@ impl Default for VmConfig {
             quantum: 200,
             profiling: true,
             max_bytecodes: u64::MAX,
+            fuel: None,
             folding: false,
         }
     }
@@ -176,6 +186,13 @@ impl VmConfig {
     /// Sets the code-cache management configuration (builder style).
     pub fn with_code_cache(mut self, code_cache: CodeCacheConfig) -> Self {
         self.code_cache = code_cache;
+        self
+    }
+
+    /// Sets a per-tenant fuel budget in bytecodes (builder style).
+    /// See [`VmConfig::fuel`] for the semantics.
+    pub fn with_fuel(mut self, fuel: u64) -> Self {
+        self.fuel = Some(fuel);
         self
     }
 }

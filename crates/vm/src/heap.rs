@@ -188,6 +188,18 @@ impl Heap {
         }
     }
 
+    /// Clears the heap back to its initial state, retaining the slot
+    /// table's allocation (arena reuse for pooled VMs: a reset heap
+    /// costs no reallocation on the next run's allocations).
+    pub fn reset(&mut self) {
+        self.slots.clear();
+        self.slots.push(Slot::Free); // slot 0 unused: handle 0 reserved
+        self.free.clear();
+        self.cursor = layout::HEAP_BASE;
+        self.stats = HeapStats::default();
+        self.allocated_since_gc = 0;
+    }
+
     fn take_handle(&mut self) -> Handle {
         if let Some(h) = self.free.pop() {
             h

@@ -291,12 +291,45 @@ impl JitState {
                 if let Some(&id) = self.content_of.get(&mid) {
                     return (1 << 62) | id;
                 }
-                let next = self.content_ids.len() as u64;
-                let id = *self.content_ids.entry(def.code.clone()).or_insert(next);
+                // First time this method is considered: intern its
+                // bytecode. A hit on already-interned content is the
+                // ShareJIT dedup event the manager's stats report.
+                let (id, dedup) = match self.content_ids.get(&def.code) {
+                    Some(&id) => (id, true),
+                    None => {
+                        let next = self.content_ids.len() as u64;
+                        self.content_ids.insert(def.code.clone(), next);
+                        (next, false)
+                    }
+                };
+                self.mgr.note_shared_lookup(dedup);
                 self.content_of.insert(mid, id);
                 (1 << 62) | id
             }
         }
+    }
+
+    /// Resets per-run and program-relative state while keeping the
+    /// shared code cache warm: installed segments, their compiled
+    /// records, and the content-id interning table survive, so a
+    /// later job whose method bodies are byte-identical (same
+    /// program, or another tenant's copy of it) resolves to the
+    /// existing translation without paying for its own. Everything
+    /// keyed by [`MethodId`] — the method→content map, call-site
+    /// devirtualization state, lowered IR — is dropped, because ids
+    /// name methods of one specific program. Only meaningful under
+    /// [`CacheScope::Shared`]; per-VM and per-thread caches must be
+    /// rebuilt from scratch instead (their keys are method ids too).
+    pub fn reset_for_reuse(&mut self) {
+        debug_assert_eq!(self.scope, CacheScope::Shared);
+        self.content_of.clear();
+        self.call_sites.clear();
+        self.translator_buffer_bytes = 0;
+        self.methods_translated = 0;
+        self.translate_insts = 0;
+        self.opt_translate_insts = 0;
+        self.tier2_recompiles = 0;
+        self.ir = IrState::new();
     }
 
     /// Read-only key lookup: `None` if the shared-scope content id

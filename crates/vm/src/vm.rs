@@ -46,6 +46,14 @@ pub enum VmError {
     Deadlock,
     /// The configured `max_bytecodes` budget was exhausted.
     BudgetExceeded,
+    /// The per-tenant fuel budget ([`VmConfig::fuel`]) was exhausted.
+    /// Deterministic by construction: every engine configuration
+    /// traps after exactly `budget` bytecodes, so the partial
+    /// [`Observables`] still compare across engines.
+    FuelExhausted {
+        /// The fuel budget that ran out, in bytecodes.
+        budget: u64,
+    },
     /// Invariant violation inside the VM (a bug).
     Internal(String),
 }
@@ -65,6 +73,9 @@ impl fmt::Display for VmError {
             VmError::StackOverflow { method } => write!(f, "stack overflow in {method}"),
             VmError::Deadlock => write!(f, "deadlock: all threads blocked"),
             VmError::BudgetExceeded => write!(f, "bytecode execution budget exceeded"),
+            VmError::FuelExhausted { budget } => {
+                write!(f, "fuel exhausted after {budget} bytecodes")
+            }
             VmError::Internal(e) => write!(f, "vm internal error: {e}"),
         }
     }
@@ -290,6 +301,74 @@ impl<'p> Vm<'p> {
         }
     }
 
+    /// Resets the VM for another run of the same program. Equivalent
+    /// to [`Vm::reset_for`] with the current program.
+    pub fn reset(&mut self) {
+        self.reset_for(self.program);
+    }
+
+    /// Resets the VM to run `program` from scratch, reusing the
+    /// instance's allocations instead of constructing a new VM (the
+    /// pooled-VM pattern of the serving tier: one `Vm` per worker,
+    /// reset per job).
+    ///
+    /// All per-run state is cleared — heap, loaded classes, statics,
+    /// monitors, profile, counters, output, threads — so a
+    /// subsequent [`Vm::run`] observes exactly what a fresh
+    /// [`Vm::new`] would. Under [`crate::CacheScope::Shared`] the installed
+    /// code cache survives the reset: shared-scope keys are interned
+    /// from bytecode *content*, so byte-identical method bodies from
+    /// a later job (even of a different program or tenant) reuse the
+    /// existing translation — the cross-tenant dedup the shared
+    /// scope exists for. Under the per-VM and per-thread scopes,
+    /// whose keys name methods of one specific program, the code
+    /// cache is discarded with the rest.
+    pub fn reset_for(&mut self, program: &'p Program) {
+        self.program = program;
+        self.heap.reset();
+        self.linker = Linker::new(program.num_classes());
+        self.sync = match self.config.sync {
+            SyncKind::MonitorCache => Box::new(FatLockEngine::new()),
+            SyncKind::ThinLock => Box::new(ThinLockEngine::new()),
+            SyncKind::OneBit => Box::new(OneBitLockEngine::new()),
+        };
+        self.profile = ProfileTable::new();
+        self.counters = VmCounters::default();
+        self.out.ints.clear();
+        self.out.chars.clear();
+        self.threads.clear();
+        self.opcode_counts = None;
+        if self.config.code_cache.scope == crate::config::CacheScope::Shared {
+            self.jit.reset_for_reuse();
+        } else {
+            self.jit = JitState::new(self.config.code_cache);
+        }
+    }
+
+    /// Sets the per-job fuel budget (`None` = unmetered); see
+    /// [`VmConfig::fuel`]. Takes effect on the next run, so a pooled
+    /// VM can serve tenants with different budgets.
+    pub fn set_fuel(&mut self, fuel: Option<u64>) {
+        self.config.fuel = fuel;
+    }
+
+    /// The per-method cost profiles collected so far. The successful
+    /// [`Vm::run`] path moves the table into [`RunResult::profile`];
+    /// this accessor is for the fault path, where translate costs
+    /// accrued before the trap (e.g. under a fuel budget) are still
+    /// meaningful to a caller building a cost model.
+    pub fn profile(&self) -> &ProfileTable {
+        &self.profile
+    }
+
+    /// The code cache's lifetime counters. On a pooled VM under
+    /// [`CacheScope::Shared`](crate::config::CacheScope) these span
+    /// every job served since construction (resets keep the cache),
+    /// including the shared-scope content hit/dedup rates.
+    pub fn cache_stats(&self) -> jrt_codecache::CodeCacheStats {
+        self.jit.cache_stats()
+    }
+
     /// Starts a thread whose root activation is `method(args)`.
     fn start_thread(
         &mut self,
@@ -344,10 +423,14 @@ impl<'p> Vm<'p> {
     /// Runs the program to completion, streaming the native trace into
     /// `sink`.
     ///
+    /// A `Vm` runs once; to reuse the instance (the serving tier's
+    /// pooled-VM pattern), call [`Vm::reset`] or [`Vm::reset_for`]
+    /// between runs.
+    ///
     /// # Errors
     ///
     /// Returns the first runtime fault; see [`VmError`].
-    pub fn run(mut self, sink: &mut impl TraceSink) -> Result<RunResult, VmError> {
+    pub fn run(&mut self, sink: &mut impl TraceSink) -> Result<RunResult, VmError> {
         self.run_dyn(sink as &mut dyn TraceSink)
     }
 
@@ -357,7 +440,7 @@ impl<'p> Vm<'p> {
     /// to the fault are still well-defined and comparable. Opcode
     /// counting is enabled only on this path, so [`Vm::run`] pays
     /// nothing for it.
-    pub fn run_observed(mut self, sink: &mut impl TraceSink) -> ObservedRun {
+    pub fn run_observed(&mut self, sink: &mut impl TraceSink) -> ObservedRun {
         self.opcode_counts = Some(vec![0; Op::NUM_OPCODES]);
         let result = self.run_dyn(sink as &mut dyn TraceSink);
         let (outcome, output, counters) = match result {
@@ -387,6 +470,11 @@ impl<'p> Vm<'p> {
     }
 
     fn run_dyn(&mut self, sink: &mut dyn TraceSink) -> Result<RunResult, VmError> {
+        if !self.threads.is_empty() {
+            return Err(VmError::Internal(
+                "Vm::run called again without Vm::reset".into(),
+            ));
+        }
         // Load the entry class and start the main thread.
         let entry = self.program.entry();
         self.counters.classload_insts +=
@@ -427,6 +515,11 @@ impl<'p> Vm<'p> {
                 }
 
                 for _ in 0..self.config.quantum {
+                    if let Some(fuel) = self.config.fuel {
+                        if self.counters.bytecodes >= fuel {
+                            return Err(VmError::FuelExhausted { budget: fuel });
+                        }
+                    }
                     if self.counters.bytecodes >= self.config.max_bytecodes {
                         return Err(VmError::BudgetExceeded);
                     }

@@ -2,7 +2,10 @@
 
 use jrt_bytecode::{ArrayKind, ClassAsm, MethodAsm, Program, RetKind};
 use jrt_trace::{CountingSink, InstMix, Phase, RecordingSink};
-use jrt_vm::{ExecMode, JitPolicy, OracleDecisions, SyncKind, Vm, VmConfig, VmError};
+use jrt_vm::{
+    CacheScope, CodeCacheConfig, ExecMode, JitPolicy, OracleDecisions, SyncKind, Vm, VmConfig,
+    VmError,
+};
 
 /// The `Sys` class with the VM's native intrinsics.
 fn sys_class() -> ClassAsm {
@@ -552,4 +555,104 @@ fn jit_executes_fewer_instructions_on_hot_loops() {
         interp_exec > 2 * jit_exec,
         "interp {interp_exec} vs jit {jit_exec}"
     );
+}
+
+#[test]
+fn fuel_traps_at_exact_bytecode_index() {
+    let p = loop_program();
+    let full = Vm::new(&p, VmConfig::interpreter())
+        .run(&mut CountingSink::new())
+        .unwrap();
+    let budget = full.counters.bytecodes / 2;
+    let cfg = VmConfig::interpreter().with_fuel(budget);
+    let mut vm = Vm::new(&p, cfg);
+    let run = vm.run_observed(&mut CountingSink::new());
+    assert_eq!(
+        run.observables.outcome,
+        Err(format!("fuel exhausted after {budget} bytecodes"))
+    );
+    assert_eq!(run.observables.bytecodes, budget);
+    // A budget past the program's end never fires.
+    let generous = VmConfig::interpreter().with_fuel(full.counters.bytecodes + 1);
+    let r = Vm::new(&p, generous).run(&mut CountingSink::new()).unwrap();
+    assert_eq!(r.exit_value, Some(5050));
+}
+
+#[test]
+fn fuel_wins_ties_against_max_bytecodes() {
+    let p = loop_program();
+    let cfg = VmConfig {
+        max_bytecodes: 50,
+        ..VmConfig::interpreter().with_fuel(50)
+    };
+    assert_eq!(
+        Vm::new(&p, cfg).run(&mut CountingSink::new()).unwrap_err(),
+        VmError::FuelExhausted { budget: 50 }
+    );
+}
+
+#[test]
+fn reset_vm_reproduces_fresh_observables() {
+    let p = loop_program();
+    let q = shapes_program();
+    for cfg in [
+        VmConfig::interpreter(),
+        VmConfig::jit(),
+        VmConfig::ir_jit(),
+        VmConfig::jit().with_code_cache(CodeCacheConfig::default().with_scope(CacheScope::Shared)),
+    ] {
+        let fresh_p = Vm::new(&p, cfg.clone()).run_observed(&mut CountingSink::new());
+        let fresh_q = Vm::new(&q, cfg.clone()).run_observed(&mut CountingSink::new());
+        let mut vm = Vm::new(&p, cfg);
+        let first = vm.run_observed(&mut CountingSink::new());
+        assert_eq!(first.observables, fresh_p.observables);
+        // Same program again.
+        vm.reset();
+        let again = vm.run_observed(&mut CountingSink::new());
+        assert_eq!(again.observables, fresh_p.observables);
+        // Cross-program reuse.
+        vm.reset_for(&q);
+        let other = vm.run_observed(&mut CountingSink::new());
+        assert_eq!(other.observables, fresh_q.observables);
+        // And back.
+        vm.reset_for(&p);
+        let back = vm.run_observed(&mut CountingSink::new());
+        assert_eq!(back.observables, fresh_p.observables);
+    }
+}
+
+#[test]
+fn rerun_without_reset_is_an_error() {
+    let p = loop_program();
+    let mut vm = Vm::new(&p, VmConfig::interpreter());
+    vm.run(&mut CountingSink::new()).unwrap();
+    assert!(matches!(
+        vm.run(&mut CountingSink::new()).unwrap_err(),
+        VmError::Internal(_)
+    ));
+}
+
+#[test]
+fn shared_scope_reset_keeps_cache_warm_and_counts_dedup() {
+    let p = loop_program();
+    let cfg =
+        VmConfig::jit().with_code_cache(CodeCacheConfig::default().with_scope(CacheScope::Shared));
+    let mut vm = Vm::new(&p, cfg);
+    let first = vm.run(&mut CountingSink::new()).unwrap();
+    assert!(first.counters.methods_translated > 0);
+    vm.reset();
+    let second = vm.run(&mut CountingSink::new()).unwrap();
+    // Byte-identical bodies resolve to the warm install: no second
+    // translation, and the manager counted the dedup hits.
+    assert_eq!(second.counters.methods_translated, 0);
+    assert!(second.counters.code_installs >= first.counters.code_installs);
+    let stats = &second.counters;
+    assert_eq!(stats.code_evictions, 0);
+    // Per-VM scope rebuilds instead: the second run translates again.
+    let mut pv = Vm::new(&p, VmConfig::jit());
+    let a = pv.run(&mut CountingSink::new()).unwrap();
+    pv.reset();
+    let b = pv.run(&mut CountingSink::new()).unwrap();
+    assert_eq!(a.counters.methods_translated, b.counters.methods_translated);
+    assert!(b.counters.methods_translated > 0);
 }

@@ -37,7 +37,11 @@
 //!   EXPERIMENTS.md report generator;
 //! * [`fuzz`] — the coverage-guided differential fuzzer that checks
 //!   every engine configuration against the interpreter on generated
-//!   programs, shrinking any divergence to a minimal reproducer.
+//!   programs, shrinking any divergence to a minimal reproducer;
+//! * [`serve`] — the multi-tenant serving tier: a work-stealing fleet
+//!   of reusable VM instances with admission control, per-tenant fuel
+//!   budgets, a shared deduplicating code cache, and a deterministic
+//!   virtual-clock fleet simulator.
 //!
 //! # Quickstart
 //!
@@ -72,6 +76,7 @@ pub use jrt_experiments as experiments;
 pub use jrt_fuzz as fuzz;
 pub use jrt_ilp as ilp;
 pub use jrt_ir as ir;
+pub use jrt_serve as serve;
 pub use jrt_sync as sync;
 pub use jrt_trace as trace;
 pub use jrt_vm as vm;

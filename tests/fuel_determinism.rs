@@ -1,0 +1,81 @@
+//! Fuel metering is deterministic program semantics, not a wall-clock
+//! guard: the same `(program, budget)` must trap `FuelExhausted` at
+//! exactly the budgeted bytecode index on every engine configuration
+//! in the differential matrix, and the result must not depend on how
+//! many measurement workers ran the matrix.
+
+use javart::experiments::jobs;
+use javart::fuzz::{engine_configs, gen_case, lower, Coverage};
+use javart::trace::NullSink;
+use javart::vm::{Vm, VmConfig};
+use javart::workloads::{compress, Size};
+use jrt_bytecode::Program;
+
+fn observables_under_fuel(program: &Program, cfg: &VmConfig, fuel: u64) -> javart::vm::Observables {
+    let mut cfg = cfg.clone();
+    cfg.fuel = Some(fuel);
+    Vm::new(program, cfg)
+        .run_observed(&mut NullSink)
+        .observables
+}
+
+/// Asserts the whole engine matrix traps identically on `program`
+/// with `budget`, at measurement worker counts 1 and 8.
+fn assert_matrix_traps_identically(program: &Program, budget: u64) {
+    let expected_msg = format!("fuel exhausted after {budget} bytecodes");
+    let mut reference = None;
+    for workers in [1usize, 8] {
+        jobs::set_jobs(workers);
+        let configs = engine_configs();
+        let observed = jobs::par_map(&configs, |(label, cfg)| {
+            (*label, observables_under_fuel(program, cfg, budget))
+        });
+        jobs::set_jobs(0);
+        for (label, obs) in &observed {
+            assert_eq!(
+                obs.outcome.as_ref().err().map(String::as_str),
+                Some(expected_msg.as_str()),
+                "{label} (workers={workers}): wrong outcome {:?}",
+                obs.outcome
+            );
+            assert_eq!(
+                obs.bytecodes, budget,
+                "{label} (workers={workers}): trapped at the wrong index"
+            );
+            match &reference {
+                None => reference = Some(obs.clone()),
+                Some(r) => assert_eq!(obs, r, "{label} (workers={workers}): observables diverged"),
+            }
+        }
+    }
+}
+
+#[test]
+fn fuel_traps_at_identical_index_across_all_engines() {
+    // A real workload: compress runs far past this budget on every
+    // engine, so all eleven must cut it off at the same bytecode.
+    let program = compress::program(Size::Tiny);
+    assert_matrix_traps_identically(&program, 10_000);
+}
+
+#[test]
+fn fuel_traps_identically_on_a_generated_program() {
+    // A fuzzer-generated program (the serving tier's long-tail tenant
+    // code): scan the seed's cases for one that executes past the
+    // budget, then pin the whole matrix to the same trap index.
+    let budget = 1_000u64;
+    let cov = Coverage::new();
+    let program = (0..64)
+        .find_map(|i| {
+            let spec = gen_case(0x5EED_0001, i, &cov);
+            let program = lower(&spec).ok()?;
+            let cfg = VmConfig {
+                max_bytecodes: 150_000,
+                ..VmConfig::default()
+            };
+            let probe = Vm::new(&program, cfg).run_observed(&mut NullSink);
+            (probe.observables.bytecodes > budget).then_some(program)
+        })
+        .expect("some corpus-seed case runs past the budget");
+    assert_matrix_traps_identically(&program, budget);
+}

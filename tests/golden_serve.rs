@@ -1,0 +1,32 @@
+//! Golden-snapshot test for the multi-tenant fleet study.
+//!
+//! `tests/golden/serve_tiny.md` is the committed output of
+//! `serve_study` at `Tiny` scale. Regenerating it must be
+//! byte-identical — at one worker (the sequential path) and at
+//! several worker counts — which pins down the traffic mix, the
+//! measured cost model, the fleet-scaling simulation (throughput,
+//! p50/p99/p999, shed counts, dedup rates), and the parallel
+//! measurement phase's canonical-order merge.
+
+use javart::experiments::{jobs, serve};
+use javart::workloads::Size;
+
+const GOLDEN: &str = include_str!("golden/serve_tiny.md");
+
+#[test]
+fn serve_study_tiny_is_byte_identical_at_any_worker_count() {
+    for workers in [1, 2, 8] {
+        jobs::set_jobs(workers);
+        let md = serve::run(Size::Tiny).to_markdown();
+        assert!(
+            md == GOLDEN,
+            "serve_study(Tiny) with {workers} worker(s) diverged from \
+             tests/golden/serve_tiny.md (lengths: got {}, golden {}); \
+             first differing byte at offset {:?}",
+            md.len(),
+            GOLDEN.len(),
+            md.bytes().zip(GOLDEN.bytes()).position(|(a, b)| a != b),
+        );
+    }
+    jobs::set_jobs(0);
+}

@@ -1,0 +1,102 @@
+//! VM reuse correctness over the committed fuzz corpus.
+//!
+//! The serving pool's whole premise is that `Vm::reset_for` is
+//! observationally free: a worker's resident VM, reset and pointed at
+//! the next job's program, must produce exactly the `Observables` a
+//! fresh VM would — across programs, traps, and the shared code
+//! cache staying warm between jobs. This test replays the committed
+//! corpus seeds (`tests/corpus/*.case`) through one long-lived VM
+//! under the serving configuration and diffs every run against a
+//! fresh-VM reference.
+
+use javart::fuzz::{gen_case, lower, Coverage};
+use javart::serve::serve_config;
+use javart::trace::NullSink;
+use javart::vm::Vm;
+use std::path::{Path, PathBuf};
+
+/// Matches the fuzzer matrix budget: runaway generated programs end
+/// in the same deterministic `BudgetExceeded` on both VMs.
+const CASE_BUDGET: u64 = 150_000;
+
+/// Cap per corpus file so the full sweep stays test-suite friendly;
+/// the corpus files themselves pin up to 96 cases.
+const MAX_CASES_PER_FILE: u64 = 32;
+
+fn corpus_seeds() -> Vec<(PathBuf, u64, u64)> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("tests/corpus missing")
+        .map(|e| e.expect("read_dir").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "case"))
+        .collect();
+    paths.sort();
+    paths
+        .iter()
+        .map(|p| {
+            let text = std::fs::read_to_string(p).expect("unreadable corpus file");
+            let field = |name: &str| {
+                text.lines()
+                    .filter_map(|l| l.trim().strip_prefix(name))
+                    .map(str::trim)
+                    .find(|v| !v.is_empty())
+                    .map(|v| {
+                        v.strip_prefix("0x")
+                            .or_else(|| v.strip_prefix("0X"))
+                            .map_or_else(
+                                || v.parse().expect("bad number in corpus file"),
+                                |hex| u64::from_str_radix(hex, 16).expect("bad hex"),
+                            )
+                    })
+                    .unwrap_or_else(|| panic!("{}: missing {name}", p.display()))
+            };
+            (p.clone(), field("seed "), field("cases "))
+        })
+        .collect()
+}
+
+#[test]
+fn reused_vm_reproduces_fresh_observables_across_the_corpus() {
+    let cov = Coverage::new();
+    let mut programs = Vec::new();
+    for (_, seed, cases) in corpus_seeds() {
+        for i in 0..cases.min(MAX_CASES_PER_FILE) {
+            let spec = gen_case(seed, i, &cov);
+            if let Ok(p) = lower(&spec) {
+                programs.push(p);
+            }
+        }
+    }
+    assert!(
+        programs.len() > 100,
+        "corpus unexpectedly thin: {} programs",
+        programs.len()
+    );
+
+    let mut cfg = serve_config();
+    cfg.max_bytecodes = CASE_BUDGET;
+
+    // One resident VM, reset between every case — the pool's exact
+    // reuse pattern, shared cache warming across programs included.
+    let mut resident = Vm::new(&programs[0], cfg.clone());
+    let mut trapped = 0usize;
+    for (i, p) in programs.iter().enumerate() {
+        if i > 0 {
+            resident.reset_for(p);
+        }
+        let reused = resident.run_observed(&mut NullSink);
+        let fresh = Vm::new(p, cfg.clone()).run_observed(&mut NullSink);
+        assert_eq!(
+            reused.observables, fresh.observables,
+            "case {i}: reused VM diverged from fresh VM"
+        );
+        if reused.observables.outcome.is_err() {
+            trapped += 1;
+        }
+    }
+    // The corpus must exercise the fault path of the reset too.
+    assert!(
+        trapped > 0,
+        "corpus never trapped; reuse-after-error untested"
+    );
+}
