@@ -23,14 +23,15 @@ pub mod check;
 use jrt_bpred::{Bht, BranchEval, GAp, Gshare, TwoBit};
 use jrt_cache::{CacheConfig, SplitCaches, SplitSweep};
 use jrt_experiments::{
-    codecache, fig1, fig11, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, serve, table1, table2,
-    table3,
+    codecache, fig1, fig11, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, scale, serve, table1,
+    table2, table3,
 };
 use jrt_ilp::{Pipeline, PipelineConfig};
 use jrt_sync::{FatLockEngine, OneBitLockEngine, SyncEngine, ThinLockEngine};
 use jrt_testkit::bench::Harness;
 use jrt_trace::{
-    AccessBlocks, CountingSink, InstMix, NativeInst, Phase, RecordingSink, Tape, TraceSink,
+    AccessBlocks, CountingSink, DiskTape, InstMix, NativeInst, Phase, RecordingSink, Tape,
+    TraceSink,
 };
 use jrt_vm::{CodeCacheConfig, EvictionPolicy, Vm, VmConfig};
 use jrt_workloads::{db, jess, Size};
@@ -52,6 +53,7 @@ pub fn bench_paper(h: &mut Harness) {
     h.bench("fig11_sync", || fig11::run(Size::Tiny));
     h.bench("codecache_study", || codecache::run(Size::Tiny));
     h.bench("serve_study", || serve::run(Size::Tiny));
+    h.bench("scale_study", || scale::run(Size::Tiny));
 }
 
 /// Microbenchmarks of the simulators and engines.
@@ -183,6 +185,20 @@ pub fn bench_simulators(h: &mut Harness) {
         let mut c = CountingSink::new();
         tape.replay(&mut c);
         c.total()
+    });
+
+    // Streamed replay from the on-disk segment store: the out-of-core
+    // path every spilled tape pays — decode straight from disk into
+    // 64K-event blocks, nothing materialized. Compare
+    // tape/replay_counting for the in-RAM cost of the same stream.
+    let spill_dir = std::env::temp_dir().join(format!("jrt-bench-spill-{}", std::process::id()));
+    std::fs::create_dir_all(&spill_dir).expect("bench spill dir");
+    let disk = DiskTape::write(&spill_dir.join("db-tiny.tape"), &tape).expect("persist bench tape");
+    h.bench("consumer/stream_replay", || {
+        let mut events = 0u64;
+        disk.replay_stream(|b| events += b.len() as u64)
+            .expect("streamed replay");
+        events
     });
 
     // The one-pass stack-distance sweep over the decoded blocks: the

@@ -45,5 +45,5 @@ mod timeline;
 pub use config::CacheConfig;
 pub use sim::{AccessOutcome, Cache, CacheStats};
 pub use split::SplitCaches;
-pub use sweep::{CacheSweep, SplitSweep, SweepResult};
+pub use sweep::{CacheSweep, SplitSweep, SplitSweepShard, SweepResult, SweepShard};
 pub use timeline::{Timeline, TimelineSample};

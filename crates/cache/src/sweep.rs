@@ -55,7 +55,9 @@
 use crate::config::CacheConfig;
 use crate::sim::CacheStats;
 use jrt_trace::blocks::{KIND_NONE, KIND_WRITE, REGION_NONE};
-use jrt_trace::{AccessBlocks, AccessKind, Addr, IdHashSet, NativeInst, Phase, Region, TraceSink};
+use jrt_trace::{
+    AccessBlock, AccessBlocks, AccessKind, Addr, IdHashSet, NativeInst, Phase, Region, TraceSink,
+};
 
 /// Attribution slices: translate, rest (everything else), then one per
 /// region. The overall figures are derived as translate + rest.
@@ -90,6 +92,73 @@ impl SetGroup {
             depth,
             stacks: vec![EMPTY; num_sets as usize * depth],
             hist: vec![0; NSLICES * 2 * (depth + 1)],
+        }
+    }
+
+    /// Number of occupied (non-[`EMPTY`]) slots in `line`'s set —
+    /// exact while below `depth`, clamped at `depth` once full.
+    /// Occupied slots always form a prefix, so the first empty slot
+    /// ends the count.
+    #[inline]
+    fn occupancy(&self, line: u64) -> usize {
+        let set = (line & self.set_mask) as usize;
+        let stack = &self.stacks[set * self.depth..(set + 1) * self.depth];
+        stack.iter().position(|&v| v == EMPTY).unwrap_or(self.depth)
+    }
+
+    /// Reconciliation step for one shard-cold access (see
+    /// [`SweepShard`]): `occ` is the shard-local occupancy before the
+    /// access. Removes `line` from this (carried, pre-shard) stack if
+    /// present at position `p` and returns the exact global bucket
+    /// `min(occ + p, depth)` — or `depth` when absent, because a line
+    /// evicted from (or never in) a depth-truncated stack has at least
+    /// `depth` distinct more-recent lines in front of it.
+    #[inline]
+    fn consume_cold(&mut self, line: u64, occ: usize) -> usize {
+        let set = (line & self.set_mask) as usize;
+        let stack = &mut self.stacks[set * self.depth..(set + 1) * self.depth];
+        match stack.iter().position(|&v| v == line) {
+            Some(p) => {
+                // Remove the consumed line so (a) later cold accesses
+                // in this shard don't double-count it and (b) the
+                // final splice doesn't duplicate it.
+                stack.copy_within(p + 1.., p);
+                stack[self.depth - 1] = EMPTY;
+                (occ + p).min(self.depth)
+            }
+            None => self.depth,
+        }
+    }
+
+    /// Installs the post-shard stacks and merges the shard's (exact,
+    /// warm-access) histogram rows. For every set, the true post-shard
+    /// LRU order is the shard-local stack (all lines touched in the
+    /// shard, MRU first) followed by whatever survives of the carried
+    /// pre-shard stack — every carried line also touched in the shard
+    /// was already removed by [`SetGroup::consume_cold`], so the
+    /// concatenation is duplicate-free.
+    fn splice(&mut self, shard: &SetGroup) {
+        debug_assert_eq!(self.set_mask, shard.set_mask);
+        debug_assert_eq!(self.depth, shard.depth);
+        let mut merged = vec![EMPTY; self.depth];
+        for set in 0..=(self.set_mask as usize) {
+            let span = set * self.depth..(set + 1) * self.depth;
+            {
+                let local = &shard.stacks[span.clone()];
+                let carried = &self.stacks[span.clone()];
+                let mut it = local
+                    .iter()
+                    .chain(carried.iter())
+                    .filter(|&&v| v != EMPTY)
+                    .copied();
+                for slot in merged.iter_mut() {
+                    *slot = it.next().unwrap_or(EMPTY);
+                }
+            }
+            self.stacks[span].copy_from_slice(&merged);
+        }
+        for (h, sh) in self.hist.iter_mut().zip(&shard.hist) {
+            *h += sh;
         }
     }
 
@@ -218,6 +287,185 @@ impl Family {
                 self.compulsory[rs] += 1;
             }
         }
+    }
+
+    /// Reconciles one shard into this (serial, carried) family state.
+    /// See [`SweepShard`] for the algorithm.
+    fn absorb(&mut self, shard: &ShardFamily) {
+        debug_assert_eq!(self.line_shift, shard.line_shift);
+        debug_assert_eq!(self.groups.len(), shard.groups.len());
+        let ngroups = self.groups.len();
+        for (k, cold) in shard.cold.iter().enumerate() {
+            // `seen` holds every line ever accessed before this point
+            // (pre-shard lines plus this shard's earlier cold lines),
+            // so a successful insert is exactly a first-ever access.
+            if self.seen.insert(cold.line) {
+                self.compulsory[usize::from(cold.phase_slice)] += 1;
+                if cold.region_slice != SLICE_NONE {
+                    self.compulsory[usize::from(cold.region_slice)] += 1;
+                }
+            }
+            for (gi, g) in self.groups.iter_mut().enumerate() {
+                let occ = shard.cold_before[k * ngroups + gi] as usize;
+                let bucket = g.consume_cold(cold.line, occ);
+                g.record(
+                    usize::from(cold.phase_slice),
+                    usize::from(cold.is_write),
+                    bucket,
+                );
+                if cold.region_slice != SLICE_NONE {
+                    g.record(
+                        usize::from(cold.region_slice),
+                        usize::from(cold.is_write),
+                        bucket,
+                    );
+                }
+            }
+        }
+        for (g, sg) in self.groups.iter_mut().zip(&shard.groups) {
+            g.splice(sg);
+        }
+    }
+}
+
+/// `region_slice` byte value for "no region" in [`ColdMeta`]; real
+/// slice indices are tiny (`NSLICES` ≤ a dozen), so `u8::MAX` is free.
+const SLICE_NONE: u8 = u8::MAX;
+
+/// One shard-cold access (first in-shard touch of its line), queued
+/// for serial reconciliation: the access's classification plus — in
+/// the parallel `cold_before` array — each group's shard-local set
+/// occupancy at the time of the access.
+#[derive(Debug, Clone, Copy)]
+struct ColdMeta {
+    line: u64,
+    is_write: u8,
+    phase_slice: u8,
+    /// Region slice index, or [`SLICE_NONE`].
+    region_slice: u8,
+}
+
+/// Per-family shard state: shard-local stacks/histograms plus the
+/// cold-access queue.
+#[derive(Debug, Clone)]
+struct ShardFamily {
+    line_shift: u32,
+    groups: Vec<SetGroup>,
+    /// Lines touched in this shard.
+    seen: IdHashSet<u64>,
+    cold: Vec<ColdMeta>,
+    /// `cold.len() * groups.len()` occupancies, cold-access-major.
+    cold_before: Vec<u32>,
+}
+
+impl ShardFamily {
+    #[inline]
+    fn access(
+        &mut self,
+        addr: Addr,
+        is_write: usize,
+        phase_slice: usize,
+        region_slice: Option<usize>,
+    ) {
+        let line = addr >> self.line_shift;
+        if self.seen.insert(line) {
+            // Cold: the global stack distance depends on pre-shard
+            // state, so defer the histogram update to reconciliation.
+            // The touch still installs the line — later warm accesses
+            // measure against it.
+            for g in &mut self.groups {
+                let occ = g.occupancy(line) as u32;
+                self.cold_before.push(occ);
+                g.touch(line);
+            }
+            self.cold.push(ColdMeta {
+                line,
+                is_write: is_write as u8,
+                phase_slice: phase_slice as u8,
+                region_slice: region_slice.map_or(SLICE_NONE, |rs| rs as u8),
+            });
+        } else {
+            // Warm: every line accessed since this line's previous
+            // touch lives in this shard, so the shard-local stack
+            // distance *is* the global stack distance — record it
+            // directly, exactly as the serial sweep would.
+            for g in &mut self.groups {
+                let bucket = g.touch(line);
+                g.record(phase_slice, is_write, bucket);
+                if let Some(rs) = region_slice {
+                    g.record(rs, is_write, bucket);
+                }
+            }
+        }
+    }
+}
+
+/// Resumable shard state for one [`CacheSweep`]: the parallel half of
+/// exact sharded single-tape simulation.
+///
+/// N workers each stream a disjoint contiguous run of tape segments
+/// through their own `SweepShard` (no shared state, no locks). The
+/// trick that keeps the result *exact* rather than approximate: an
+/// access whose line was touched earlier in the same shard ("warm")
+/// has a shard-local stack distance equal to its global one — every
+/// intervening distinct line is in-shard by definition — so warm
+/// accesses (the overwhelming majority) are histogrammed in parallel
+/// with zero coordination. Only each line's *first* in-shard touch
+/// ("cold") depends on pre-shard state; shards queue those (with the
+/// shard-local set occupancy at access time) and
+/// [`CacheSweep::absorb`] later replays the queue serially against
+/// the carried pre-shard stacks:
+///
+/// * cold line found at position `p` of the carried set stack →
+///   exact distance `occupancy + p` (the carried entry is removed so
+///   later cold accesses and the final stack splice never count it
+///   twice);
+/// * cold line absent (or occupancy already at `depth`) → at least
+///   `depth` distinct lines intervened, which is bucket `depth`
+///   ("miss at every swept associativity") exactly;
+/// * first-*ever* accesses are the compulsory misses, decided against
+///   the carried seen-set.
+///
+/// Afterwards each set's stack becomes shard-local lines (MRU first)
+/// followed by surviving carried lines — exactly the serial stack —
+/// so absorption chains across any number of shards. Absorb shards
+/// **in tape order**; results then equal the serial sweep bit for bit
+/// at any worker count.
+#[derive(Debug, Clone)]
+pub struct SweepShard {
+    families: Vec<ShardFamily>,
+}
+
+impl SweepShard {
+    /// Performs one access, exactly like [`CacheSweep::access`].
+    #[inline]
+    pub fn access(&mut self, addr: Addr, kind: AccessKind, phase: Phase) {
+        let is_write = usize::from(kind == AccessKind::Write);
+        let phase_slice = if phase.is_translate() {
+            SLICE_TRANSLATE
+        } else {
+            SLICE_REST
+        };
+        let region_slice = Region::classify(addr).map(|r| SLICE_REGION0 + r as usize);
+        self.access_classified(addr, is_write, phase_slice, region_slice);
+    }
+
+    #[inline]
+    fn access_classified(
+        &mut self,
+        addr: Addr,
+        is_write: usize,
+        phase_slice: usize,
+        region_slice: Option<usize>,
+    ) {
+        for f in &mut self.families {
+            f.access(addr, is_write, phase_slice, region_slice);
+        }
+    }
+
+    /// Accesses recorded as cold (deferred to reconciliation).
+    pub fn cold_accesses(&self) -> u64 {
+        self.families.iter().map(|f| f.cold.len() as u64).sum()
     }
 }
 
@@ -350,6 +598,44 @@ impl CacheSweep {
     pub fn is_empty(&self) -> bool {
         self.points.is_empty()
     }
+
+    /// Creates an empty [`SweepShard`] with this sweep's geometry,
+    /// ready for a worker to stream one contiguous run of the trace
+    /// into.
+    pub fn shard(&self) -> SweepShard {
+        SweepShard {
+            families: self
+                .families
+                .iter()
+                .map(|f| ShardFamily {
+                    line_shift: f.line_shift,
+                    groups: f
+                        .groups
+                        .iter()
+                        .map(|g| SetGroup::new(g.set_mask + 1, g.depth))
+                        .collect(),
+                    seen: IdHashSet::default(),
+                    cold: Vec::new(),
+                    cold_before: Vec::new(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Reconciles `shard` into this sweep. Shards must be created by
+    /// [`CacheSweep::shard`] on this sweep (same geometry) and
+    /// absorbed in trace order; the result then equals running the
+    /// whole trace through this sweep serially — see [`SweepShard`].
+    pub fn absorb(&mut self, shard: &SweepShard) {
+        assert_eq!(
+            self.families.len(),
+            shard.families.len(),
+            "shard geometry must come from this sweep"
+        );
+        for (f, sf) in self.families.iter_mut().zip(&shard.families) {
+            f.absorb(sf);
+        }
+    }
 }
 
 /// An L1 I-cache + D-cache sweep pair: the one-pass counterpart of
@@ -372,41 +658,35 @@ impl SplitSweep {
         }
     }
 
-    /// Drives the whole decoded stream through both sweeps. Region
-    /// classification comes straight off the blocks' memoized region
-    /// bytes and the translate test off a hoisted per-phase table, so
-    /// the per-event work is just the stack touches.
+    /// Drives the whole decoded stream through both sweeps.
     pub fn consume(&mut self, blocks: &AccessBlocks) {
-        let translate: [bool; Phase::ALL.len()] =
-            std::array::from_fn(|k| Phase::ALL[k].is_translate());
-        let slice_of =
-            |region: u8| (region != REGION_NONE).then(|| SLICE_REGION0 + usize::from(region));
         for b in blocks.blocks() {
-            let rows =
-                b.pc.iter()
-                    .zip(&b.phase)
-                    .zip(&b.pc_region)
-                    .zip(&b.kind)
-                    .zip(&b.addr)
-                    .zip(&b.addr_region);
-            for (((((&pc, &phase), &pc_region), &kind), &addr), &addr_region) in rows {
-                let phase_slice = if translate[usize::from(phase)] {
-                    SLICE_TRANSLATE
-                } else {
-                    SLICE_REST
-                };
-                self.icache
-                    .access_classified(pc, 0, phase_slice, slice_of(pc_region));
-                if kind != KIND_NONE {
-                    self.dcache.access_classified(
-                        addr,
-                        usize::from(kind == KIND_WRITE),
-                        phase_slice,
-                        slice_of(addr_region),
-                    );
-                }
-            }
+            self.consume_block(b);
         }
+    }
+
+    /// Drives one decoded block through both sweeps — the streaming
+    /// unit: out-of-core replay hands blocks here one at a time.
+    /// Region classification comes straight off the block's memoized
+    /// region bytes and the translate test off a hoisted per-phase
+    /// table, so the per-event work is just the stack touches.
+    pub fn consume_block(&mut self, block: &AccessBlock) {
+        consume_block_into(&mut self.icache, &mut self.dcache, block);
+    }
+
+    /// Creates an empty shard pair with this sweep's geometry.
+    pub fn shard(&self) -> SplitSweepShard {
+        SplitSweepShard {
+            icache: self.icache.shard(),
+            dcache: self.dcache.shard(),
+        }
+    }
+
+    /// Reconciles a shard pair (in trace order) — see
+    /// [`CacheSweep::absorb`].
+    pub fn absorb(&mut self, shard: &SplitSweepShard) {
+        self.icache.absorb(&shard.icache);
+        self.dcache.absorb(&shard.dcache);
     }
 
     /// The instruction-side sweep.
@@ -417,6 +697,108 @@ impl SplitSweep {
     /// The data-side sweep.
     pub fn dcache(&self) -> &CacheSweep {
         &self.dcache
+    }
+}
+
+/// The shared block-row walk behind [`SplitSweep::consume_block`] and
+/// [`SplitSweepShard::consume_block`]: every event fetches its pc
+/// through `icache`, data accesses additionally drive `dcache`.
+fn consume_block_into<S: ClassifiedAccess>(icache: &mut S, dcache: &mut S, b: &AccessBlock) {
+    let translate: [bool; Phase::ALL.len()] = std::array::from_fn(|k| Phase::ALL[k].is_translate());
+    let slice_of =
+        |region: u8| (region != REGION_NONE).then(|| SLICE_REGION0 + usize::from(region));
+    let rows =
+        b.pc.iter()
+            .zip(&b.phase)
+            .zip(&b.pc_region)
+            .zip(&b.kind)
+            .zip(&b.addr)
+            .zip(&b.addr_region);
+    for (((((&pc, &phase), &pc_region), &kind), &addr), &addr_region) in rows {
+        let phase_slice = if translate[usize::from(phase)] {
+            SLICE_TRANSLATE
+        } else {
+            SLICE_REST
+        };
+        icache.classified(pc, 0, phase_slice, slice_of(pc_region));
+        if kind != KIND_NONE {
+            dcache.classified(
+                addr,
+                usize::from(kind == KIND_WRITE),
+                phase_slice,
+                slice_of(addr_region),
+            );
+        }
+    }
+}
+
+/// Internal dispatch letting the block walk drive either the serial
+/// sweep or a shard.
+trait ClassifiedAccess {
+    fn classified(
+        &mut self,
+        addr: Addr,
+        is_write: usize,
+        phase_slice: usize,
+        region_slice: Option<usize>,
+    );
+}
+
+impl ClassifiedAccess for CacheSweep {
+    #[inline]
+    fn classified(
+        &mut self,
+        addr: Addr,
+        is_write: usize,
+        phase_slice: usize,
+        region_slice: Option<usize>,
+    ) {
+        self.access_classified(addr, is_write, phase_slice, region_slice);
+    }
+}
+
+impl ClassifiedAccess for SweepShard {
+    #[inline]
+    fn classified(
+        &mut self,
+        addr: Addr,
+        is_write: usize,
+        phase_slice: usize,
+        region_slice: Option<usize>,
+    ) {
+        self.access_classified(addr, is_write, phase_slice, region_slice);
+    }
+}
+
+/// Shard state for a [`SplitSweep`]: an instruction-side and a
+/// data-side [`SweepShard`]. Stream a contiguous run of the trace in
+/// (via [`TraceSink`] or [`SplitSweepShard::consume_block`]), then
+/// hand it to [`SplitSweep::absorb`] in trace order.
+#[derive(Debug, Clone)]
+pub struct SplitSweepShard {
+    icache: SweepShard,
+    dcache: SweepShard,
+}
+
+impl SplitSweepShard {
+    /// Drives one decoded block through both shard sweeps.
+    pub fn consume_block(&mut self, block: &AccessBlock) {
+        consume_block_into(&mut self.icache, &mut self.dcache, block);
+    }
+
+    /// Accesses deferred to reconciliation (first in-shard line
+    /// touches), across both sides.
+    pub fn cold_accesses(&self) -> u64 {
+        self.icache.cold_accesses() + self.dcache.cold_accesses()
+    }
+}
+
+impl TraceSink for SplitSweepShard {
+    fn accept(&mut self, inst: &NativeInst) {
+        self.icache.access(inst.pc, AccessKind::Read, inst.phase);
+        if let Some(m) = inst.mem {
+            self.dcache.access(m.addr, m.kind, inst.phase);
+        }
     }
 }
 
@@ -616,5 +998,175 @@ mod tests {
     #[should_panic(expected = "write-allocate")]
     fn rejects_no_write_allocate() {
         CacheSweep::new(&[CacheConfig::new(1024, 16, 1).no_write_allocate()]);
+    }
+
+    /// A deterministic access pattern with plenty of reuse across any
+    /// shard boundary: strided conflicts, revisits, phase and region
+    /// variety.
+    fn shard_torture_accesses(n: u64) -> Vec<(Addr, AccessKind, Phase)> {
+        let mut accesses = Vec::with_capacity(n as usize);
+        let mut x = 0x9e37_79b9u64;
+        for k in 0..n {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let addr = match k % 4 {
+                // Tight reuse: revisits within a few accesses.
+                0 => jrt_trace::layout::HEAP_BASE + (k % 64) * 32,
+                // Way-stride conflicts.
+                1 => jrt_trace::layout::HEAP_BASE + (x % 24) * 8 * 1024,
+                // Long-distance reuse across shard boundaries.
+                2 => jrt_trace::layout::CODE_CACHE_BASE + (k % 4096) * 16,
+                // Cold-heavy tail: mostly-new lines.
+                _ => jrt_trace::layout::STACK_BASE + k * 128 + (x % 8),
+            };
+            let kind = if x.is_multiple_of(3) {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
+            let phase = Phase::ALL[(x % Phase::ALL.len() as u64) as usize];
+            accesses.push((addr, kind, phase));
+        }
+        accesses
+    }
+
+    fn assert_results_equal(a: &CacheSweep, b: &CacheSweep) {
+        for (ra, rb) in a.results().iter().zip(b.results()) {
+            assert_eq!(ra.stats(), rb.stats(), "overall {}", ra.config());
+            assert_eq!(ra.translate_stats(), rb.translate_stats(), "translate");
+            assert_eq!(ra.rest_stats(), rb.rest_stats(), "rest");
+            for region in Region::ALL {
+                assert_eq!(ra.region_stats(region), rb.region_stats(region), "{region}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_sweep_equals_serial_at_any_split() {
+        let points: Vec<CacheConfig> = [1, 2, 4, 8].map(CacheConfig::paper_assoc_sweep).to_vec();
+        let accesses = shard_torture_accesses(6000);
+
+        let mut serial = CacheSweep::new(&points);
+        for &(addr, kind, phase) in &accesses {
+            serial.access(addr, kind, phase);
+        }
+
+        for nshards in [1usize, 2, 3, 4, 8] {
+            let mut sharded = CacheSweep::new(&points);
+            let chunk = accesses.len().div_ceil(nshards);
+            for part in accesses.chunks(chunk) {
+                let mut shard = sharded.shard();
+                for &(addr, kind, phase) in part {
+                    shard.access(addr, kind, phase);
+                }
+                sharded.absorb(&shard);
+            }
+            assert_results_equal(&serial, &sharded);
+        }
+    }
+
+    #[test]
+    fn sharding_preserves_state_for_later_serial_use() {
+        // Absorbing must leave the sweep's stacks exactly as the
+        // serial run would, so accesses *after* absorption also agree.
+        let points = [CacheConfig::paper_l1_data()];
+        let accesses = shard_torture_accesses(2000);
+        let (head, tail) = accesses.split_at(1200);
+
+        let mut serial = CacheSweep::new(&points);
+        for &(addr, kind, phase) in &accesses {
+            serial.access(addr, kind, phase);
+        }
+
+        let mut mixed = CacheSweep::new(&points);
+        let mut shard = mixed.shard();
+        for &(addr, kind, phase) in head {
+            shard.access(addr, kind, phase);
+        }
+        mixed.absorb(&shard);
+        for &(addr, kind, phase) in tail {
+            mixed.access(addr, kind, phase);
+        }
+        assert_results_equal(&serial, &mixed);
+    }
+
+    #[test]
+    fn sharded_mixed_line_sizes_equal_serial() {
+        let points: Vec<CacheConfig> = [16, 32, 64, 128]
+            .map(CacheConfig::paper_line_sweep)
+            .to_vec();
+        let accesses = shard_torture_accesses(3000);
+
+        let mut serial = CacheSweep::new(&points);
+        for &(addr, kind, phase) in &accesses {
+            serial.access(addr, kind, phase);
+        }
+        let mut sharded = CacheSweep::new(&points);
+        for part in accesses.chunks(700) {
+            let mut shard = sharded.shard();
+            for &(addr, kind, phase) in part {
+                shard.access(addr, kind, phase);
+            }
+            sharded.absorb(&shard);
+        }
+        assert_results_equal(&serial, &sharded);
+    }
+
+    #[test]
+    fn split_sweep_shards_consume_blocks_exactly() {
+        use jrt_trace::Tape;
+        let tape = Tape::record(|rec| {
+            for (addr, kind, phase) in shard_torture_accesses(4000) {
+                let pc = 0x1_0000 + (addr % 509) * 4;
+                rec.accept(&match kind {
+                    AccessKind::Write => NativeInst::store(pc, addr, 4, phase),
+                    AccessKind::Read => NativeInst::load(pc, addr, 4, phase),
+                });
+            }
+        });
+        let points = [CacheConfig::paper_l1_data()];
+        let blocks = AccessBlocks::from_tape(&tape);
+
+        let mut serial = SplitSweep::new(&points, &points);
+        serial.consume(&blocks);
+
+        let mut sharded = SplitSweep::new(&points, &points);
+        for chunk in blocks.blocks().chunks(1) {
+            let mut shard = sharded.shard();
+            for b in chunk {
+                shard.consume_block(b);
+            }
+            sharded.absorb(&shard);
+        }
+        assert_eq!(
+            serial.icache().results()[0].stats(),
+            sharded.icache().results()[0].stats()
+        );
+        assert_eq!(
+            serial.dcache().results()[0].stats(),
+            sharded.dcache().results()[0].stats()
+        );
+        for region in Region::ALL {
+            assert_eq!(
+                serial.dcache().results()[0].region_stats(region),
+                sharded.dcache().results()[0].region_stats(region)
+            );
+        }
+    }
+
+    #[test]
+    fn empty_shard_absorbs_as_noop() {
+        let points = [CacheConfig::paper_l1_data()];
+        let mut a = CacheSweep::new(&points);
+        let mut b = CacheSweep::new(&points);
+        for &(addr, kind, phase) in &shard_torture_accesses(500) {
+            a.access(addr, kind, phase);
+            b.access(addr, kind, phase);
+        }
+        let shard = b.shard();
+        assert_eq!(shard.cold_accesses(), 0);
+        b.absorb(&shard);
+        assert_results_equal(&a, &b);
     }
 }

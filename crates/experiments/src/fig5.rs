@@ -70,7 +70,7 @@ fn run_one(w: &Workload) -> Fig5Row {
         &[CacheConfig::paper_l1_inst()],
         &[CacheConfig::paper_l1_data()],
     );
-    sweep.consume(&tape::decoded(w, Mode::Jit));
+    tape::for_each_block(w, Mode::Jit, |b| sweep.consume_block(b));
     let i = &sweep.icache().results()[0];
     let d = &sweep.dcache().results()[0];
     Fig5Row {

@@ -70,7 +70,7 @@ fn run_one(w: &Workload, mode: Mode) -> [(u64, u64, u64, u64); 4] {
         .map(|&a| CacheConfig::paper_assoc_sweep(a))
         .collect();
     let mut sweep = SplitSweep::new(&points, &points);
-    sweep.consume(&tape::decoded(w, mode));
+    tape::for_each_block(w, mode, |b| sweep.consume_block(b));
     let mut out = [(0, 0, 0, 0); 4];
     for (k, (i, d)) in sweep
         .icache()

@@ -94,7 +94,7 @@ fn run_one(w: &Workload, mode: Mode) -> [(u64, u64, u64, u64); 4] {
         .map(|&l| CacheConfig::paper_line_sweep(l))
         .collect();
     let mut sweep = SplitSweep::new(&points, &points);
-    sweep.consume(&tape::decoded(w, mode));
+    tape::for_each_block(w, mode, |b| sweep.consume_block(b));
     let iresults = sweep.icache().results();
     let dresults = sweep.dcache().results();
     let mut out = [(0, 0, 0, 0); 4];

@@ -26,6 +26,7 @@
 //! | [`sizes`] | Section 2 — the s1→s10 method-reuse observation |
 //! | [`codecache`] | Follow-on to Table 1/Figure 1 — managed code cache: capacity/eviction sweep, shared-vs-private caches, tiered recompilation |
 //! | [`serve`] | Beyond the paper — multi-tenant VM fleet: admission control, per-tenant fuel, shared-cache dedup, throughput/latency scaling |
+//! | [`scale`] | Beyond the paper — out-of-core tape store: s10-class tapes streamed from disk, sharded 1→8-worker replay stitched exactly |
 //!
 //! [`report::run_all`] executes everything and renders the
 //! `EXPERIMENTS.md` comparison document.
@@ -56,6 +57,7 @@ pub mod jobs;
 pub mod proposal;
 pub mod report;
 pub mod runner;
+pub mod scale;
 pub mod serve;
 pub mod sizes;
 pub mod table;

@@ -59,12 +59,14 @@ pub struct Report {
     pub codecache: Option<codecache::CodeCacheStudy>,
     /// Multi-tenant VM fleet study (admission, fuel, shared cache).
     pub serve: Option<crate::serve::ServeStudy>,
+    /// Out-of-core scale study (disk-tier tapes, sharded replay).
+    pub scale: Option<crate::scale::ScaleStudy>,
 }
 
 /// Section names accepted by [`run_filtered`]'s filter, in run order.
 /// The filter matches by substring, so `fig` selects every figure and
 /// `table` every table.
-pub const SECTIONS: [&str; 20] = [
+pub const SECTIONS: [&str; 21] = [
     "fig1",
     "table1",
     "fig2",
@@ -85,6 +87,7 @@ pub const SECTIONS: [&str; 20] = [
     "sizes",
     "codecache",
     "serve",
+    "scale",
 ];
 
 /// Returns the sections a filter would run — the same substring rule
@@ -144,6 +147,7 @@ pub fn run_filtered(size: Size, filter: Option<&str>) -> Report {
         sizes: step!("sizes", crate::sizes::run()),
         codecache: step!("codecache", codecache::run(size)),
         serve: step!("serve", crate::serve::run(size)),
+        scale: step!("scale", crate::scale::run(size)),
     }
 }
 
@@ -558,6 +562,10 @@ impl Report {
             let _ = write!(w, "{}", serve.to_markdown());
         }
 
+        if let Some(scale) = &self.scale {
+            let _ = write!(w, "{}", scale.to_markdown());
+        }
+
         out
     }
 }
@@ -606,7 +614,7 @@ mod tests {
     /// a report run with that single filter contains something.
     #[test]
     fn sections_list_matches_report_fields() {
-        assert_eq!(SECTIONS.len(), 20);
+        assert_eq!(SECTIONS.len(), 21);
         for name in SECTIONS {
             assert!(
                 !matching_sections(name).is_empty(),

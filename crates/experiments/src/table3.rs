@@ -76,7 +76,7 @@ fn run_one(w: &Workload, mode: Mode) -> Table3Row {
         &[CacheConfig::paper_l1_inst()],
         &[CacheConfig::paper_l1_data()],
     );
-    sweep.consume(&tape::decoded(w, mode));
+    tape::for_each_block(w, mode, |b| sweep.consume_block(b));
     Table3Row {
         name: w.spec.name,
         mode,

@@ -24,12 +24,18 @@
 //! interpreter/JIT profiles instead of two fresh profiling runs per
 //! call site.
 //!
-//! The tape store is bounded: cached tapes are charged against a byte
-//! budget (`JRT_TAPE_BUDGET` bytes, default 4 GiB) and the
-//! least-recently-used entries are dropped when it overflows. Eviction
-//! only changes *when* a stream is re-recorded, never its contents —
-//! recording is deterministic, so a dropped tape re-records
-//! byte-identically (a property the tests pin down).
+//! The tape store is bounded and tiered: cached tapes are charged
+//! against a byte budget (`JRT_TAPE_BUDGET` bytes, default 4 GiB,
+//! clamped to a 1 MiB floor — a zero budget would thrash re-records)
+//! and the least-recently-used entries are **demoted to disk** when it
+//! overflows (segment files under `JRT_TAPE_DIR`, default a per-process
+//! temp directory, written and validated by content hash via
+//! [`DiskTape`]). A later request for a demoted key promotes it back
+//! from disk instead of re-recording; if the file fails validation the
+//! store falls back to a fresh recording and counts the event
+//! ([`disk_fallbacks`]) — recording is deterministic, so either path
+//! reproduces the stream byte-identically (a property the tests pin
+//! down).
 //!
 //! On top of the packed tapes sits a second memo layer: [`decoded`]
 //! expands a tape once into flat structure-of-arrays
@@ -42,10 +48,14 @@
 use crate::jobs::Workload;
 use crate::runner::Mode;
 use jrt_bytecode::Program;
-use jrt_trace::{AccessBlocks, CountingSink, FanoutSink, Tape, TapeRecorder, TraceSink};
+use jrt_trace::{
+    AccessBlock, AccessBlocks, CountingSink, DiskTape, FanoutSink, Tape, TapeRecorder, TraceSink,
+};
 use jrt_vm::{OracleDecisions, RunResult, Vm, VmConfig};
 use jrt_workloads::{Size, Spec};
 use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// Cache key: workload identity plus the stream-shaping knobs. The
@@ -182,10 +192,16 @@ impl<V> Store<V> {
 
     /// Drops least-recently-used initialized entries until the store
     /// fits in `budget`, never touching `keep` (the entry the caller
-    /// is about to hand out). Uninitialized slots (work in flight) are
-    /// free and never dropped. Holders of an evicted `Arc` keep it
-    /// alive; the store just forgets it, so the next request rebuilds.
-    fn enforce(&mut self, budget: u64, keep: Option<Key>, cost: impl Fn(&V) -> u64) {
+    /// is about to hand out), and returns the evicted `(key, value)`
+    /// pairs so the caller can demote them to a lower tier.
+    /// Uninitialized slots (work in flight) are free and never
+    /// dropped. Holders of an evicted `Arc` keep it alive; the store
+    /// just forgets it, so the next request rebuilds.
+    fn enforce(&mut self, budget: u64, keep: Option<Key>, cost: impl Fn(&V) -> u64) -> Vec<(Key, V)>
+    where
+        V: Clone,
+    {
+        let mut evicted = Vec::new();
         loop {
             let mut total = 0u64;
             let mut victim: Option<(u64, Key)> = None;
@@ -197,10 +213,14 @@ impl<V> Store<V> {
                 }
             }
             if total <= budget {
-                return;
+                return evicted;
             }
-            let Some((_, k)) = victim else { return };
-            self.map.remove(&k);
+            let Some((_, k)) = victim else { return evicted };
+            if let Some(ts) = self.map.remove(&k) {
+                if let Some(v) = ts.slot.get() {
+                    evicted.push((k, v.clone()));
+                }
+            }
         }
     }
 }
@@ -219,31 +239,66 @@ fn decoded_store() -> &'static Mutex<Store<Arc<AccessBlocks>>> {
 /// run result, profile, counting snapshot, map slot).
 const ENTRY_OVERHEAD_BYTES: u64 = 4096;
 
-/// The tape-store byte budget: `JRT_TAPE_BUDGET` (bytes), default
-/// 4 GiB.
-fn budget_bytes() -> u64 {
+/// Default tape-store byte budget: 4 GiB.
+const DEFAULT_BUDGET_BYTES: u64 = 4 * 1024 * 1024 * 1024;
+
+/// Budget floor. A zero (or near-zero) budget would evict every tape
+/// the moment it lands and thrash demote/promote (or, historically,
+/// re-record) cycles; requests below the floor are clamped, loudly.
+const MIN_BUDGET_BYTES: u64 = 1024 * 1024;
+
+/// Parses a `JRT_TAPE_BUDGET` override. Unset uses the default;
+/// unparsable values warn and use the default; parsable values below
+/// [`MIN_BUDGET_BYTES`] (including 0) warn and clamp to the floor.
+fn parse_budget(raw: Option<&str>) -> u64 {
+    let Some(raw) = raw else {
+        return DEFAULT_BUDGET_BYTES;
+    };
+    match raw.trim().parse::<u64>() {
+        Ok(v) if v >= MIN_BUDGET_BYTES => v,
+        Ok(v) => {
+            eprintln!(
+                "warning: JRT_TAPE_BUDGET={v} is below the {MIN_BUDGET_BYTES}-byte floor; \
+                 clamping to {MIN_BUDGET_BYTES} (a zero budget would thrash the tape store)"
+            );
+            MIN_BUDGET_BYTES
+        }
+        Err(_) => {
+            eprintln!(
+                "warning: JRT_TAPE_BUDGET={raw:?} is not a byte count; \
+                 using the default {DEFAULT_BUDGET_BYTES}"
+            );
+            DEFAULT_BUDGET_BYTES
+        }
+    }
+}
+
+/// The tape-store byte budget: `JRT_TAPE_BUDGET` (bytes, clamped to
+/// the 1 MiB floor), default 4 GiB.
+pub fn budget_bytes() -> u64 {
     static BUDGET: OnceLock<u64> = OnceLock::new();
-    *BUDGET.get_or_init(|| {
-        std::env::var("JRT_TAPE_BUDGET")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(4 * 1024 * 1024 * 1024)
-    })
+    *BUDGET.get_or_init(|| parse_budget(std::env::var("JRT_TAPE_BUDGET").ok().as_deref()))
 }
 
 fn entry_cost(e: &TapeEntry) -> u64 {
     e.tape.size_bytes() as u64 + ENTRY_OVERHEAD_BYTES
 }
 
-/// Enforces the byte budget on the packed-tape store.
+/// Enforces the byte budget on the packed-tape store; evicted entries
+/// are demoted to the disk tier (outside the store lock).
 fn enforce_budget(budget: u64, keep: Option<Key>) {
-    tape_store()
+    let evicted = tape_store()
         .lock()
         .expect("tape cache poisoned")
         .enforce(budget, keep, |e| entry_cost(e));
+    for (key, e) in evicted {
+        demote(key, &e);
+    }
 }
 
-/// Enforces the byte budget on the decoded-block store.
+/// Enforces the byte budget on the decoded-block store. Evicted
+/// decodes are simply dropped — they rebuild from the (RAM- or
+/// disk-tier) packed tape, which is far cheaper than re-recording.
 fn enforce_decoded_budget(budget: u64, keep: Option<Key>) {
     decoded_store()
         .lock()
@@ -251,6 +306,151 @@ fn enforce_decoded_budget(budget: u64, keep: Option<Key>) {
         .enforce(budget, keep, |b| {
             b.size_bytes() as u64 + ENTRY_OVERHEAD_BYTES
         });
+}
+
+/// One demoted entry: the on-disk tape plus the cheap side metadata
+/// that promotion must restore (results and counts are tiny next to
+/// the tape bytes).
+#[derive(Debug, Clone)]
+struct DiskEntry {
+    disk: DiskTape,
+    /// Logical-content fingerprint taken at demotion; promotion
+    /// re-derives it from what it read back and refuses a mismatch.
+    expect: u64,
+    result: RunResult,
+    counts: CountingSink,
+}
+
+fn disk_map() -> &'static Mutex<HashMap<Key, DiskEntry>> {
+    static DISK: OnceLock<Mutex<HashMap<Key, DiskEntry>>> = OnceLock::new();
+    DISK.get_or_init(Default::default)
+}
+
+/// Times an evicted tape was written to the disk tier.
+static DISK_DEMOTIONS: AtomicU64 = AtomicU64::new(0);
+/// Times a tape was promoted back from the disk tier.
+static DISK_PROMOTIONS: AtomicU64 = AtomicU64::new(0);
+/// Times a disk-tier read failed validation and fell back to a fresh
+/// recording.
+static DISK_FALLBACKS: AtomicU64 = AtomicU64::new(0);
+
+/// Evicted tapes written to the disk tier so far.
+pub fn disk_demotions() -> u64 {
+    DISK_DEMOTIONS.load(Ordering::Relaxed)
+}
+
+/// Tapes promoted back from the disk tier so far.
+pub fn disk_promotions() -> u64 {
+    DISK_PROMOTIONS.load(Ordering::Relaxed)
+}
+
+/// Disk-tier reads that failed validation (corrupt or unreadable
+/// files) and fell back to re-recording. The fallback is counted, not
+/// fatal: a damaged spill file can never poison results.
+pub fn disk_fallbacks() -> u64 {
+    DISK_FALLBACKS.load(Ordering::Relaxed)
+}
+
+/// The disk-tier directory: `JRT_TAPE_DIR`, default a per-process
+/// directory under the system temp dir. `None` if it cannot be
+/// created (the store then degrades to evict-and-re-record).
+pub(crate) fn disk_dir() -> Option<&'static PathBuf> {
+    static DIR: OnceLock<Option<PathBuf>> = OnceLock::new();
+    DIR.get_or_init(|| {
+        let dir = std::env::var_os("JRT_TAPE_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| {
+                std::env::temp_dir().join(format!("jrt-tapes-{}", std::process::id()))
+            });
+        match std::fs::create_dir_all(&dir) {
+            Ok(()) => Some(dir),
+            Err(e) => {
+                eprintln!(
+                    "warning: cannot create tape spill dir {}: {e}; \
+                     evicted tapes will re-record instead",
+                    dir.display()
+                );
+                None
+            }
+        }
+    })
+    .as_ref()
+}
+
+fn spill_file(key: Key) -> String {
+    format!(
+        "{}-{:?}-{:?}-fold{}-ir{}.tape",
+        key.name, key.size, key.mode, key.folding as u8, key.ir as u8
+    )
+}
+
+/// Writes an evicted entry to the disk tier. Holding the disk-map
+/// lock across the write serializes concurrent demotions of the same
+/// key; a failed write only warns — the entry just re-records later.
+fn demote(key: Key, e: &TapeEntry) {
+    let Some(dir) = disk_dir() else { return };
+    let path = dir.join(spill_file(key));
+    let mut map = disk_map().lock().expect("disk tier poisoned");
+    match DiskTape::write(&path, &e.tape) {
+        Ok(disk) => {
+            DISK_DEMOTIONS.fetch_add(1, Ordering::Relaxed);
+            map.insert(
+                key,
+                DiskEntry {
+                    disk,
+                    expect: jrt_trace::store::fingerprint(e.tape.len(), e.tape.segments()),
+                    result: e.result.clone(),
+                    counts: e.counts.clone(),
+                },
+            );
+        }
+        Err(err) => eprintln!(
+            "warning: tape demotion to {} failed: {err}; will re-record on next use",
+            path.display()
+        ),
+    }
+}
+
+/// Tries to promote a demoted entry back from disk. Validation
+/// failures (corrupt segment, truncated index, fingerprint mismatch)
+/// drop the spill entry, bump the fallback counter, and return `None`
+/// so the caller re-records.
+fn promote(key: Key) -> Option<Arc<TapeEntry>> {
+    let entry = disk_map()
+        .lock()
+        .expect("disk tier poisoned")
+        .get(&key)
+        .cloned()?;
+    let read = entry
+        .disk
+        .to_tape()
+        .map_err(|e| e.to_string())
+        .and_then(|t| {
+            if jrt_trace::store::fingerprint(t.len(), t.segments()) == entry.expect {
+                Ok(t)
+            } else {
+                Err("content fingerprint mismatch".into())
+            }
+        });
+    match read {
+        Ok(tape) => {
+            DISK_PROMOTIONS.fetch_add(1, Ordering::Relaxed);
+            Some(Arc::new(TapeEntry {
+                tape,
+                result: entry.result,
+                counts: entry.counts,
+            }))
+        }
+        Err(err) => {
+            DISK_FALLBACKS.fetch_add(1, Ordering::Relaxed);
+            disk_map().lock().expect("disk tier poisoned").remove(&key);
+            eprintln!(
+                "warning: disk-tier tape {} failed validation ({err}); re-recording",
+                entry.disk.path().display()
+            );
+            None
+        }
+    }
 }
 
 fn entry(w: &Workload, mode: Mode, folding: bool, ir: bool) -> Arc<TapeEntry> {
@@ -262,10 +462,12 @@ fn entry(w: &Workload, mode: Mode, folding: bool, ir: bool) -> Arc<TapeEntry> {
         ir,
     };
     let slot = tape_store().lock().expect("tape cache poisoned").slot(key);
-    // The record happens outside the store lock (other keys proceed
-    // in parallel); the budget check runs after, so a giant fresh
-    // tape can push out colder ones but is itself protected.
-    let e = slot.get_or_init(|| record(w, mode, folding, ir)).clone();
+    // The promote/record happens outside the store lock (other keys
+    // proceed in parallel); the budget check runs after, so a giant
+    // fresh tape can push out colder ones but is itself protected.
+    let e = slot
+        .get_or_init(|| promote(key).unwrap_or_else(|| record(w, mode, folding, ir)))
+        .clone();
     enforce_budget(budget_bytes(), Some(key));
     e
 }
@@ -311,6 +513,32 @@ pub fn decoded(w: &Workload, mode: Mode) -> Arc<AccessBlocks> {
 /// (see [`recorded_ir`]).
 pub fn decoded_ir(w: &Workload, mode: Mode) -> Arc<AccessBlocks> {
     decoded_entry(w, mode, true)
+}
+
+/// Decoded-expansion cost per event: pc + addr (8 bytes each) plus
+/// kind/phase/pc-region/addr-region bytes.
+const DECODED_BYTES_PER_EVENT: u64 = 20;
+
+/// Streams the `(w, mode)` access stream to `f` one decoded
+/// [`AccessBlock`] at a time — the out-of-core consumer entry point
+/// every sweep driver goes through.
+///
+/// When the full decoded expansion comfortably fits the tape budget
+/// the blocks come from the shared [`decoded`] memo (repeated sweeps
+/// over the same workload pay the decode once); otherwise the packed
+/// tape is streamed block-by-block with O(one block) decoded state
+/// ([`Tape::replay_stream`]). Both paths deliver byte-identical
+/// blocks in the same order — the budget only picks the cheaper one.
+pub fn for_each_block(w: &Workload, mode: Mode, mut f: impl FnMut(&AccessBlock)) {
+    let e = recorded(w, mode);
+    let decoded_est = e.tape.len().saturating_mul(DECODED_BYTES_PER_EVENT);
+    if decoded_est.saturating_mul(2) <= budget_bytes() {
+        for b in decoded(w, mode).blocks() {
+            f(b);
+        }
+    } else {
+        e.tape.replay_stream(f);
+    }
 }
 
 fn decoded_entry(w: &Workload, mode: Mode, ir: bool) -> Arc<AccessBlocks> {
@@ -454,6 +682,127 @@ mod tests {
             assert_eq!(ba.addr, bb.addr);
             assert_eq!(ba.kind, bb.kind);
             assert_eq!(ba.phase, bb.phase);
+        }
+    }
+
+    #[test]
+    fn budget_parsing_clamps_and_defaults() {
+        // Unset: default.
+        assert_eq!(parse_budget(None), DEFAULT_BUDGET_BYTES);
+        // Zero (the historical thrash case) clamps to the floor.
+        assert_eq!(parse_budget(Some("0")), MIN_BUDGET_BYTES);
+        // Below-floor values clamp too.
+        assert_eq!(parse_budget(Some("1")), MIN_BUDGET_BYTES);
+        assert_eq!(parse_budget(Some("1048575")), MIN_BUDGET_BYTES);
+        // At or above the floor: taken literally.
+        assert_eq!(parse_budget(Some("1048576")), MIN_BUDGET_BYTES);
+        assert_eq!(parse_budget(Some("2097152")), 2 * 1024 * 1024);
+        // Whitespace tolerated; garbage falls back to the default.
+        assert_eq!(parse_budget(Some(" 4194304 ")), 4 * 1024 * 1024);
+        assert_eq!(parse_budget(Some("4GiB")), DEFAULT_BUDGET_BYTES);
+        assert_eq!(parse_budget(Some("")), DEFAULT_BUDGET_BYTES);
+        assert_eq!(parse_budget(Some("-1")), DEFAULT_BUDGET_BYTES);
+    }
+
+    #[test]
+    fn eviction_demotes_to_disk_and_promotes_back() {
+        let _g = store_lock();
+        let w = hello_workload();
+        let key = Key {
+            name: w.spec.name,
+            size: w.size,
+            mode: Mode::Interp,
+            folding: false,
+            ir: false,
+        };
+        let a = recorded(&w, Mode::Interp);
+        let mut before = RecordingSink::new();
+        a.tape.replay(&mut before);
+
+        let demotions_0 = disk_demotions();
+        let promotions_0 = disk_promotions();
+        enforce_budget(0, None);
+        assert!(disk_demotions() > demotions_0, "eviction must spill");
+        assert!(
+            disk_map()
+                .lock()
+                .expect("disk tier poisoned")
+                .contains_key(&key),
+            "spilled entry must be indexed"
+        );
+
+        let b = recorded(&w, Mode::Interp);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert!(disk_promotions() > promotions_0, "reload must promote");
+        let mut after = RecordingSink::new();
+        b.tape.replay(&mut after);
+        assert_eq!(before.events, after.events);
+        assert_eq!(a.result.exit_value, b.result.exit_value);
+        assert_eq!(a.counts, b.counts);
+    }
+
+    #[test]
+    fn corrupt_spill_falls_back_to_rerecord() {
+        let _g = store_lock();
+        let w = hello_workload();
+        let key = Key {
+            name: w.spec.name,
+            size: w.size,
+            mode: Mode::Jit,
+            folding: false,
+            ir: false,
+        };
+        let a = recorded(&w, Mode::Jit);
+        let mut before = RecordingSink::new();
+        a.tape.replay(&mut before);
+        enforce_budget(0, None);
+
+        // Damage the spilled payload.
+        let path = disk_map()
+            .lock()
+            .expect("disk tier poisoned")
+            .get(&key)
+            .expect("entry spilled")
+            .disk
+            .path()
+            .to_path_buf();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let fallbacks_0 = disk_fallbacks();
+        let b = recorded(&w, Mode::Jit);
+        assert!(disk_fallbacks() > fallbacks_0, "fallback must be counted");
+        assert!(
+            !disk_map()
+                .lock()
+                .expect("disk tier poisoned")
+                .contains_key(&key),
+            "damaged spill entry must be forgotten"
+        );
+        let mut after = RecordingSink::new();
+        b.tape.replay(&mut after);
+        assert_eq!(
+            before.events, after.events,
+            "re-recording must reproduce the stream exactly"
+        );
+    }
+
+    #[test]
+    fn for_each_block_matches_decoded_blocks() {
+        let w = hello_workload();
+        let want = decoded(&w, Mode::Interp);
+        let mut got: Vec<AccessBlock> = Vec::new();
+        for_each_block(&w, Mode::Interp, |b| got.push(b.clone()));
+        assert_eq!(got.len(), want.blocks().len());
+        for (g, m) in got.iter().zip(want.blocks()) {
+            assert_eq!(g.pc, m.pc);
+            assert_eq!(g.addr, m.addr);
+            assert_eq!(g.kind, m.kind);
+            assert_eq!(g.phase, m.phase);
+            assert_eq!(g.pc_region, m.pc_region);
+            assert_eq!(g.addr_region, m.addr_region);
         }
     }
 

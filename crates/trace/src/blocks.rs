@@ -218,6 +218,65 @@ impl TraceSink for AccessBlocksBuilder {
     }
 }
 
+/// A [`TraceSink`] that decodes the stream into [`AccessBlock`]s of
+/// [`BLOCK_EVENTS`] events and hands each finished block to a callback
+/// — the out-of-core counterpart of [`AccessBlocksBuilder`]: one block
+/// (~1.3 MB decoded) is alive at a time, its buffers reused, so a
+/// consumer can stream a tape far larger than RAM through
+/// [`Tape::replay_stream`] without materializing [`AccessBlocks`].
+#[derive(Debug)]
+pub struct AccessBlockSink<F: FnMut(&AccessBlock)> {
+    current: AccessBlock,
+    emit: F,
+}
+
+impl<F: FnMut(&AccessBlock)> AccessBlockSink<F> {
+    /// Creates a sink that calls `emit` once per decoded block
+    /// (and once more from [`TraceSink::finish`] for a trailing
+    /// partial block).
+    pub fn new(emit: F) -> Self {
+        AccessBlockSink {
+            current: AccessBlock::with_capacity(BLOCK_EVENTS),
+            emit,
+        }
+    }
+}
+
+impl<F: FnMut(&AccessBlock)> TraceSink for AccessBlockSink<F> {
+    fn accept(&mut self, inst: &NativeInst) {
+        self.current.push(inst);
+        if self.current.len() == BLOCK_EVENTS {
+            (self.emit)(&self.current);
+            self.current.pc.clear();
+            self.current.addr.clear();
+            self.current.kind.clear();
+            self.current.phase.clear();
+            self.current.pc_region.clear();
+            self.current.addr_region.clear();
+        }
+    }
+
+    fn finish(&mut self) {
+        if !self.current.is_empty() {
+            (self.emit)(&self.current);
+            self.current = AccessBlock::with_capacity(BLOCK_EVENTS);
+        }
+    }
+}
+
+impl Tape {
+    /// Streams the tape through block-at-a-time decode: every
+    /// [`BLOCK_EVENTS`]-event chunk (the last may be shorter) is
+    /// decoded into a reused [`AccessBlock`] and passed to `f` in
+    /// stream order. Equivalent to iterating
+    /// [`AccessBlocks::from_tape`]`.blocks()` but with O(1) decoded
+    /// state instead of the whole tape.
+    pub fn replay_stream(&self, f: impl FnMut(&AccessBlock)) {
+        let mut sink = AccessBlockSink::new(f);
+        self.replay(&mut sink);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -295,6 +354,27 @@ mod tests {
         let blocks = AccessBlocks::from_tape(&Tape::default());
         assert!(blocks.is_empty());
         assert!(blocks.blocks().is_empty());
+    }
+
+    #[test]
+    fn replay_stream_matches_materialized_blocks() {
+        // Spills into a second (partial) block to exercise finish().
+        let n = (BLOCK_EVENTS / 2 + 7) as u64;
+        let tape = sample_tape(n);
+        let materialized = AccessBlocks::from_tape(&tape);
+
+        let mut streamed: Vec<AccessBlock> = Vec::new();
+        tape.replay_stream(|b| streamed.push(b.clone()));
+
+        assert_eq!(streamed.len(), materialized.blocks().len());
+        for (s, m) in streamed.iter().zip(materialized.blocks()) {
+            assert_eq!(s.pc, m.pc);
+            assert_eq!(s.addr, m.addr);
+            assert_eq!(s.kind, m.kind);
+            assert_eq!(s.phase, m.phase);
+            assert_eq!(s.pc_region, m.pc_region);
+            assert_eq!(s.addr_region, m.addr_region);
+        }
     }
 
     #[test]

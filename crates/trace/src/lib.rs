@@ -44,9 +44,10 @@ pub mod inst;
 pub mod mix;
 pub mod region;
 pub mod sink;
+pub mod store;
 pub mod tape;
 
-pub use blocks::{AccessBlock, AccessBlocks, AccessBlocksBuilder, BLOCK_EVENTS};
+pub use blocks::{AccessBlock, AccessBlockSink, AccessBlocks, AccessBlocksBuilder, BLOCK_EVENTS};
 pub use hash::{IdBuildHasher, IdHashMap, IdHashSet, IdHasher};
 pub use inst::{AccessKind, CtrlInfo, InstClass, MemRef, NativeInst, Phase, Reg, NUM_REGS};
 pub use mix::{InstMix, MixSummary};
@@ -54,7 +55,8 @@ pub use region::{layout, Region};
 pub use sink::{
     merge_shards, CountingSink, MergeSink, NullSink, PhaseFilter, RecordingSink, TraceSink,
 };
-pub use tape::{FanoutSink, Tape, TapeRecorder};
+pub use store::{DiskTape, StoreError};
+pub use tape::{content_hash, FanoutSink, Segment, Tape, TapeRecorder, SEGMENT_EVENTS};
 
 /// A simulated memory address.
 ///

@@ -1,0 +1,37 @@
+//! Golden-snapshot test for the out-of-core scale study.
+//!
+//! `tests/golden/scale_tiny.md` is the committed output of
+//! `scale_study` at `Tiny` scale. Regenerating it must be
+//! byte-identical — at one worker (the sequential path) and at
+//! several worker counts — which pins down the tape tiling, the
+//! on-disk segment layout (event and byte counts), and the sharded
+//! replay's exact stitch at every shard count. Throughput numbers go
+//! to stderr only, so nothing schedule-dependent reaches the report.
+
+use javart::experiments::{jobs, scale};
+use javart::workloads::Size;
+
+const GOLDEN: &str = include_str!("golden/scale_tiny.md");
+
+#[test]
+fn scale_study_tiny_is_byte_identical_at_any_worker_count() {
+    for workers in [1, 2, 8] {
+        jobs::set_jobs(workers);
+        let study = scale::run(Size::Tiny);
+        assert!(
+            study.rows.iter().all(|r| r.shards.iter().all(|p| p.exact)),
+            "sharded replay diverged from the serial reference"
+        );
+        let md = study.to_markdown();
+        assert!(
+            md == GOLDEN,
+            "scale_study(Tiny) with {workers} worker(s) diverged from \
+             tests/golden/scale_tiny.md (lengths: got {}, golden {}); \
+             first differing byte at offset {:?}",
+            md.len(),
+            GOLDEN.len(),
+            md.bytes().zip(GOLDEN.bytes()).position(|(a, b)| a != b),
+        );
+    }
+    jobs::set_jobs(0);
+}
