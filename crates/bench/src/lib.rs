@@ -23,8 +23,8 @@ pub mod check;
 use jrt_bpred::{Bht, BranchEval, GAp, Gshare, TwoBit};
 use jrt_cache::{CacheConfig, SplitCaches, SplitSweep};
 use jrt_experiments::{
-    codecache, fig1, fig11, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, scale, serve, table1,
-    table2, table3,
+    codecache, fig1, fig11, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, gc_study, scale, serve,
+    table1, table2, table3,
 };
 use jrt_ilp::{Pipeline, PipelineConfig};
 use jrt_sync::{FatLockEngine, OneBitLockEngine, SyncEngine, ThinLockEngine};
@@ -33,8 +33,8 @@ use jrt_trace::{
     AccessBlocks, CountingSink, DiskTape, InstMix, NativeInst, Phase, RecordingSink, Tape,
     TraceSink,
 };
-use jrt_vm::{CodeCacheConfig, EvictionPolicy, Vm, VmConfig};
-use jrt_workloads::{db, jess, Size};
+use jrt_vm::{CodeCacheConfig, EvictionPolicy, GcConfig, Vm, VmConfig};
+use jrt_workloads::{churn, db, jess, Size};
 
 /// One bench per paper table/figure at `Tiny` scale.
 pub fn bench_paper(h: &mut Harness) {
@@ -54,6 +54,7 @@ pub fn bench_paper(h: &mut Harness) {
     h.bench("codecache_study", || codecache::run(Size::Tiny));
     h.bench("serve_study", || serve::run(Size::Tiny));
     h.bench("scale_study", || scale::run(Size::Tiny));
+    h.bench("gc_study", || gc_study::run(Size::Tiny));
 }
 
 /// Microbenchmarks of the simulators and engines.
@@ -128,6 +129,23 @@ pub fn bench_simulators(h: &mut Harness) {
         };
         let report = jrt_serve::run_fleet(&traffic.programs, &fleet_jobs, &cfg);
         report.results.len() as u64 + report.cache.shared_dedup_hits
+    });
+
+    // Allocation-heavy execution under the forcing tiny nursery: the
+    // generational collector's end-to-end cost — bump allocation,
+    // card barriers, nursery evacuations — on the churn workload at
+    // s1. Translate events mark still-compiling windows for the
+    // steady-state classifier, same as the other vm_engine entries.
+    let gc_program = churn::program(Size::S1);
+    h.bench_aux("vm_engine/gc_churn", || {
+        let mut sink = CountingSink::new();
+        Vm::new(
+            &gc_program,
+            VmConfig::jit().with_gc(GcConfig::tiny_nursery()),
+        )
+        .run(&mut sink)
+        .unwrap();
+        (sink.total(), sink.translate())
     });
 
     // Record one db trace, then measure each consumer on it.

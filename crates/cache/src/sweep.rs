@@ -59,12 +59,33 @@ use jrt_trace::{
     AccessBlock, AccessBlocks, AccessKind, Addr, IdHashSet, NativeInst, Phase, Region, TraceSink,
 };
 
-/// Attribution slices: translate, rest (everything else), then one per
-/// region. The overall figures are derived as translate + rest.
+/// Attribution slices: translate, rest (everything else), one per
+/// region, then the two collector slices ([`Phase::Gc`] evacuation and
+/// [`Phase::GcBarrier`] write-barrier traffic). The overall figures
+/// are derived as translate + rest, where the reported "rest" folds
+/// the collector slices back in — so adding the GC split changed no
+/// pre-existing number.
 const SLICE_TRANSLATE: usize = 0;
 const SLICE_REST: usize = 1;
 const SLICE_REGION0: usize = 2;
-const NSLICES: usize = SLICE_REGION0 + Region::ALL.len();
+const SLICE_GC: usize = SLICE_REGION0 + Region::ALL.len();
+const SLICE_GCBARRIER: usize = SLICE_GC + 1;
+const NSLICES: usize = SLICE_GCBARRIER + 1;
+
+/// Phase-slice classification shared by every entry point: translate
+/// phases, the two collector phases, and everything else.
+#[inline]
+fn phase_slice_of(phase: Phase) -> usize {
+    if phase.is_translate() {
+        SLICE_TRANSLATE
+    } else {
+        match phase {
+            Phase::Gc => SLICE_GC,
+            Phase::GcBarrier => SLICE_GCBARRIER,
+            _ => SLICE_REST,
+        }
+    }
+}
 
 /// Sentinel for an empty stack slot. Line ids are `addr >> line_shift`
 /// with `line >= 2`, so a real line id can never equal it.
@@ -217,6 +238,8 @@ pub struct SweepResult {
     stats: CacheStats,
     translate: CacheStats,
     rest: CacheStats,
+    gc: CacheStats,
+    gc_barrier: CacheStats,
     region: [CacheStats; Region::ALL.len()],
 }
 
@@ -236,9 +259,24 @@ impl SweepResult {
         &self.translate
     }
 
-    /// Statistics attributed to everything except translation.
+    /// Statistics attributed to everything except translation. GC
+    /// evacuation and barrier traffic are included here (they are
+    /// subsets, broken out by [`SweepResult::gc_stats`] and
+    /// [`SweepResult::gc_barrier_stats`]).
     pub fn rest_stats(&self) -> &CacheStats {
         &self.rest
+    }
+
+    /// Statistics attributed to [`Phase::Gc`] (collector mark and
+    /// evacuation traffic). A subset of [`SweepResult::rest_stats`].
+    pub fn gc_stats(&self) -> &CacheStats {
+        &self.gc
+    }
+
+    /// Statistics attributed to [`Phase::GcBarrier`] (card-marking
+    /// write barriers). A subset of [`SweepResult::rest_stats`].
+    pub fn gc_barrier_stats(&self) -> &CacheStats {
+        &self.gc_barrier
     }
 
     /// Statistics for accesses falling into `region`.
@@ -441,11 +479,7 @@ impl SweepShard {
     #[inline]
     pub fn access(&mut self, addr: Addr, kind: AccessKind, phase: Phase) {
         let is_write = usize::from(kind == AccessKind::Write);
-        let phase_slice = if phase.is_translate() {
-            SLICE_TRANSLATE
-        } else {
-            SLICE_REST
-        };
+        let phase_slice = phase_slice_of(phase);
         let region_slice = Region::classify(addr).map(|r| SLICE_REGION0 + r as usize);
         self.access_classified(addr, is_write, phase_slice, region_slice);
     }
@@ -536,11 +570,7 @@ impl CacheSweep {
     #[inline]
     pub fn access(&mut self, addr: Addr, kind: AccessKind, phase: Phase) {
         let is_write = usize::from(kind == AccessKind::Write);
-        let phase_slice = if phase.is_translate() {
-            SLICE_TRANSLATE
-        } else {
-            SLICE_REST
-        };
+        let phase_slice = phase_slice_of(phase);
         let region_slice = Region::classify(addr).map(|r| SLICE_REGION0 + r as usize);
         self.access_classified(addr, is_write, phase_slice, region_slice);
     }
@@ -571,7 +601,14 @@ impl CacheSweep {
                 let ways = config.assoc as usize;
                 let slice = |s: usize| g.slice_stats(s, ways, f.compulsory[s]);
                 let translate = slice(SLICE_TRANSLATE);
-                let rest = slice(SLICE_REST);
+                let gc = slice(SLICE_GC);
+                let gc_barrier = slice(SLICE_GCBARRIER);
+                // "Rest" keeps its historical meaning — everything
+                // that is not translation — so the collector slices
+                // fold back into it.
+                let mut rest = slice(SLICE_REST);
+                rest.merge(&gc);
+                rest.merge(&gc_barrier);
                 let mut stats = translate;
                 stats.merge(&rest);
                 let mut region = [CacheStats::default(); Region::ALL.len()];
@@ -583,6 +620,8 @@ impl CacheSweep {
                     stats,
                     translate,
                     rest,
+                    gc,
+                    gc_barrier,
                     region,
                 }
             })
@@ -704,7 +743,8 @@ impl SplitSweep {
 /// [`SplitSweepShard::consume_block`]: every event fetches its pc
 /// through `icache`, data accesses additionally drive `dcache`.
 fn consume_block_into<S: ClassifiedAccess>(icache: &mut S, dcache: &mut S, b: &AccessBlock) {
-    let translate: [bool; Phase::ALL.len()] = std::array::from_fn(|k| Phase::ALL[k].is_translate());
+    let phase_slices: [usize; Phase::ALL.len()] =
+        std::array::from_fn(|k| phase_slice_of(Phase::ALL[k]));
     let slice_of =
         |region: u8| (region != REGION_NONE).then(|| SLICE_REGION0 + usize::from(region));
     let rows =
@@ -715,11 +755,7 @@ fn consume_block_into<S: ClassifiedAccess>(icache: &mut S, dcache: &mut S, b: &A
             .zip(&b.addr)
             .zip(&b.addr_region);
     for (((((&pc, &phase), &pc_region), &kind), &addr), &addr_region) in rows {
-        let phase_slice = if translate[usize::from(phase)] {
-            SLICE_TRANSLATE
-        } else {
-            SLICE_REST
-        };
+        let phase_slice = phase_slices[usize::from(phase)];
         icache.classified(pc, 0, phase_slice, slice_of(pc_region));
         if kind != KIND_NONE {
             dcache.classified(
@@ -1036,10 +1072,33 @@ mod tests {
             assert_eq!(ra.stats(), rb.stats(), "overall {}", ra.config());
             assert_eq!(ra.translate_stats(), rb.translate_stats(), "translate");
             assert_eq!(ra.rest_stats(), rb.rest_stats(), "rest");
+            assert_eq!(ra.gc_stats(), rb.gc_stats(), "gc");
+            assert_eq!(ra.gc_barrier_stats(), rb.gc_barrier_stats(), "gc-barrier");
             for region in Region::ALL {
                 assert_eq!(ra.region_stats(region), rb.region_stats(region), "{region}");
             }
         }
+    }
+
+    #[test]
+    fn gc_slices_split_out_of_rest() {
+        let points = [CacheConfig::paper_assoc_sweep(1)];
+        let mut sweep = CacheSweep::new(&points);
+        let base = jrt_trace::layout::HEAP_BASE;
+        sweep.access(base, AccessKind::Read, Phase::Gc);
+        sweep.access(base + 64, AccessKind::Write, Phase::GcBarrier);
+        sweep.access(base, AccessKind::Read, Phase::NativeExec);
+        sweep.access(base, AccessKind::Read, Phase::Translate);
+        let r = &sweep.results()[0];
+        assert_eq!(r.gc_stats().refs(), 1);
+        assert_eq!(r.gc_stats().reads, 1);
+        assert_eq!(r.gc_barrier_stats().refs(), 1);
+        assert_eq!(r.gc_barrier_stats().writes, 1);
+        // The collector slices stay subsets of "rest": rest covers the
+        // three non-translate accesses, overall covers all four.
+        assert_eq!(r.rest_stats().refs(), 3);
+        assert_eq!(r.translate_stats().refs(), 1);
+        assert_eq!(r.stats().refs(), 4);
     }
 
     #[test]

@@ -1,0 +1,61 @@
+//! Runs the generational-GC study: collection counts, survival,
+//! write-barrier overhead, and Gc/GcBarrier cache-slice misses on the
+//! allocation-heavy workload suite, with a cross-collector
+//! observational-equivalence check. Exits nonzero when any workload
+//! fails its self-check or the equivalence check — the
+//! `--sabotage-drop-barrier N` flag arms the collector's seeded
+//! missed-write-barrier hook on the measured engine so CI can prove
+//! the check actually fires (a must-fail harness self-test).
+//! Usage: `gc_study [tiny|s1|s10] [output-path] [--jobs N]
+//! [--sabotage-drop-barrier N]`.
+
+use jrt_experiments::{gc_study, jobs};
+use jrt_workloads::Size;
+
+fn main() {
+    let mut args = jobs::cli_args();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "usage: gc_study [tiny|s1|s10] [output-path] [--jobs N] \
+             [--sabotage-drop-barrier N]\n\
+             (--sabotage-drop-barrier arms the seeded missed-write-barrier\n\
+             bug on the measured engine; the run must then exit nonzero;\n\
+             no output path = stdout)"
+        );
+        return;
+    }
+    let mut sabotage = None;
+    if let Some(pos) = args.iter().position(|a| a == "--sabotage-drop-barrier") {
+        args.remove(pos);
+        let Some(n) = args.get(pos).and_then(|v| v.parse::<u64>().ok()) else {
+            eprintln!("--sabotage-drop-barrier needs a numeric drop index");
+            std::process::exit(2);
+        };
+        args.remove(pos);
+        sabotage = Some(n);
+    }
+    let size = match args.first().map(String::as_str) {
+        Some("tiny") => Size::Tiny,
+        Some("s10") => Size::S10,
+        None | Some("s1") => Size::S1,
+        Some(other) => {
+            eprintln!("unknown size {other:?}; use tiny|s1|s10 (see --help)");
+            std::process::exit(2);
+        }
+    };
+    let study = gc_study::run_sabotaged(size, sabotage);
+    if !study.all_equivalent() {
+        eprintln!("ERROR: a collector configuration leaked into observables");
+        let md = study.to_markdown();
+        eprint!("{md}");
+        std::process::exit(1);
+    }
+    let md = study.to_markdown();
+    match args.get(1) {
+        Some(path) => {
+            std::fs::write(path, &md).expect("write study output");
+            println!("wrote {path}");
+        }
+        None => print!("{md}"),
+    }
+}

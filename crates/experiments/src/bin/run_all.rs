@@ -7,7 +7,7 @@ use jrt_workloads::Size;
 const HELP: &str = "\
 usage: run_all [tiny|s1|s10] [output-path] [--jobs N] [--filter SUBSTR] [--list]
 
-Runs all 19 experiment drivers and writes the EXPERIMENTS.md report
+Runs all 22 experiment drivers and writes the EXPERIMENTS.md report
 (default path: EXPERIMENTS.md in the current directory).
 
 Each experiment fans its (workload, mode) cross-product out over a

@@ -27,6 +27,7 @@
 //! | [`codecache`] | Follow-on to Table 1/Figure 1 — managed code cache: capacity/eviction sweep, shared-vs-private caches, tiered recompilation |
 //! | [`serve`] | Beyond the paper — multi-tenant VM fleet: admission control, per-tenant fuel, shared-cache dedup, throughput/latency scaling |
 //! | [`scale`] | Beyond the paper — out-of-core tape store: s10-class tapes streamed from disk, sharded 1→8-worker replay stitched exactly |
+//! | [`gc_study`] | Beyond the paper — generational copying GC: collection counts, survival, write-barrier overhead, Gc/GcBarrier cache slices, cross-collector equivalence |
 //!
 //! [`report::run_all`] executes everything and renders the
 //! `EXPERIMENTS.md` comparison document.
@@ -51,6 +52,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod folding;
+pub mod gc_study;
 pub mod indirect;
 pub mod ir;
 pub mod jobs;

@@ -61,12 +61,14 @@ pub struct Report {
     pub serve: Option<crate::serve::ServeStudy>,
     /// Out-of-core scale study (disk-tier tapes, sharded replay).
     pub scale: Option<crate::scale::ScaleStudy>,
+    /// Generational-GC study (collections, barriers, equivalence).
+    pub gc: Option<crate::gc_study::GcStudy>,
 }
 
 /// Section names accepted by [`run_filtered`]'s filter, in run order.
 /// The filter matches by substring, so `fig` selects every figure and
 /// `table` every table.
-pub const SECTIONS: [&str; 21] = [
+pub const SECTIONS: [&str; 22] = [
     "fig1",
     "table1",
     "fig2",
@@ -88,6 +90,7 @@ pub const SECTIONS: [&str; 21] = [
     "codecache",
     "serve",
     "scale",
+    "gc",
 ];
 
 /// Returns the sections a filter would run — the same substring rule
@@ -148,6 +151,7 @@ pub fn run_filtered(size: Size, filter: Option<&str>) -> Report {
         codecache: step!("codecache", codecache::run(size)),
         serve: step!("serve", crate::serve::run(size)),
         scale: step!("scale", crate::scale::run(size)),
+        gc: step!("gc", crate::gc_study::run(size)),
     }
 }
 
@@ -565,6 +569,9 @@ impl Report {
         if let Some(scale) = &self.scale {
             let _ = write!(w, "{}", scale.to_markdown());
         }
+        if let Some(gc) = &self.gc {
+            let _ = write!(w, "{}", gc.to_markdown());
+        }
 
         out
     }
@@ -614,7 +621,7 @@ mod tests {
     /// a report run with that single filter contains something.
     #[test]
     fn sections_list_matches_report_fields() {
-        assert_eq!(SECTIONS.len(), 21);
+        assert_eq!(SECTIONS.len(), 22);
         for name in SECTIONS {
             assert!(
                 !matching_sections(name).is_empty(),

@@ -4,6 +4,7 @@
 //! fuzz_run [--seed N|0xN] [--cases N] [--jobs N] [--out FILE]
 //!          [--require-full-coverage] [--sabotage MODE]
 //!          [--perf] [--perf-sabotage MODE]
+//!          [--gc] [--gc-sabotage MODE:N]
 //! ```
 //!
 //! Prints the deterministic coverage report (same bytes at any
@@ -14,11 +15,15 @@
 //! sweep, checks the cost-model invariants, appends per-engine cost
 //! totals to the report, and exits nonzero on any violation.
 //! `--perf-sabotage MODE` (implies `--perf`) corrupts that engine's
-//! cost vector per case — the harness self-test. `JRT_FUZZ_SEED` /
-//! `JRT_FUZZ_CASES` override the defaults; explicit flags override the
-//! environment.
+//! cost vector per case — the harness self-test. `--gc` runs the
+//! matrix under the forcing tiny nursery instead (every engine
+//! collecting, observables still compared); `--gc-sabotage MODE:N`
+//! (implies `--gc`) drops that engine's `N`-th remembered-set
+//! enrollment — a real injected collector bug the differential must
+//! catch. `JRT_FUZZ_SEED` / `JRT_FUZZ_CASES` override the defaults;
+//! explicit flags override the environment.
 
-use jrt_fuzz::{fuzz, fuzz_perf, PerfSabotage, Sabotage, MATRIX_LABELS};
+use jrt_fuzz::{fuzz, fuzz_gc, fuzz_perf, GcSabotage, PerfSabotage, Sabotage, MATRIX_LABELS};
 
 fn parse_u64(s: &str) -> u64 {
     let parsed = if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
@@ -41,6 +46,8 @@ fn main() {
     let mut sabotage: Option<Sabotage> = None;
     let mut perf = false;
     let mut perf_sabotage: Option<PerfSabotage> = None;
+    let mut gc = false;
+    let mut gc_sabotage: Option<GcSabotage> = None;
 
     // Environment first; explicit flags below override it.
     (cases, seed) = jrt_testkit::effective_cases_seed(cases, seed);
@@ -83,6 +90,26 @@ fn main() {
                 perf = true;
                 perf_sabotage = Some(PerfSabotage { mode: label });
             }
+            "--gc" => gc = true,
+            "--gc-sabotage" => {
+                let spec = value("--gc-sabotage");
+                let Some((mode, n)) = spec.split_once(':') else {
+                    eprintln!("fuzz_run: --gc-sabotage wants MODE:N (e.g. jit:0)");
+                    std::process::exit(2);
+                };
+                let Some(label) = MATRIX_LABELS.iter().find(|l| **l == mode) else {
+                    eprintln!(
+                        "fuzz_run: unknown mode {mode}; matrix: {}",
+                        MATRIX_LABELS.join(" ")
+                    );
+                    std::process::exit(2);
+                };
+                gc = true;
+                gc_sabotage = Some(GcSabotage {
+                    mode: label,
+                    drop: parse_u64(n),
+                });
+            }
             other => {
                 eprintln!("fuzz_run: unknown argument {other}");
                 std::process::exit(2);
@@ -94,7 +121,13 @@ fn main() {
         eprintln!("fuzz_run: --sabotage and --perf are mutually exclusive");
         std::process::exit(2);
     }
-    let report = if perf {
+    if gc && (perf || sabotage.is_some()) {
+        eprintln!("fuzz_run: --gc excludes --perf and --sabotage");
+        std::process::exit(2);
+    }
+    let report = if gc {
+        fuzz_gc(seed, cases, jobs, gc_sabotage)
+    } else if perf {
         fuzz_perf(seed, cases, jobs, perf_sabotage)
     } else {
         fuzz(seed, cases, jobs, sabotage)

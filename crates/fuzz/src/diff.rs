@@ -18,7 +18,9 @@ use crate::lower;
 use crate::spec::ProgramSpec;
 use jrt_bytecode::Program;
 use jrt_trace::NullSink;
-use jrt_vm::{CodeCacheConfig, EvictionPolicy, ExecMode, JitPolicy, ObservedRun, Vm, VmConfig};
+use jrt_vm::{
+    CodeCacheConfig, EvictionPolicy, ExecMode, GcConfig, JitPolicy, ObservedRun, Vm, VmConfig,
+};
 
 /// Pathological code-cache capacity in bytes — small enough that a
 /// handful of translated methods already evict each other (mirrors
@@ -86,12 +88,41 @@ pub fn engine_configs() -> Vec<(&'static str, VmConfig)> {
     ]
 }
 
+/// The same engine matrix under the forcing tiny nursery
+/// ([`GcConfig::tiny_nursery`]): every engine runs the generational
+/// collector with collections every couple of KiB of allocation, so
+/// each engine interleaves minor/major collections at *different*
+/// allocation-driven points — and the observables must still all
+/// match the interpreter's. Same labels as [`MATRIX_LABELS`], so
+/// coverage and reports stay comparable.
+pub fn engine_configs_gc() -> Vec<(&'static str, VmConfig)> {
+    engine_configs()
+        .into_iter()
+        .map(|(label, cfg)| (label, cfg.with_gc(GcConfig::tiny_nursery())))
+        .collect()
+}
+
 /// A harness self-test hook: corrupt the named engine's observables
 /// after its run, proving the oracle detects a seeded divergence.
 #[derive(Debug, Clone, Copy)]
 pub struct Sabotage {
     /// Matrix label whose result gets corrupted.
     pub mode: &'static str,
+}
+
+/// The GC-matrix self-test hook: a *real* seeded collector bug, not a
+/// result corruption. The named engine's VM silently drops its
+/// `drop`-th remembered-set enrollment
+/// ([`jrt_vm::VmConfig::gc_sabotage_drop_barrier`]), so a minor
+/// collection can reclaim a live nursery object — the differential
+/// must surface that as an observable divergence against the
+/// (unsabotaged) interpreter reference.
+#[derive(Debug, Clone, Copy)]
+pub struct GcSabotage {
+    /// Matrix label whose VM loses a write barrier.
+    pub mode: &'static str,
+    /// Which remembered-set enrollment (0-based) to drop.
+    pub drop: u64,
 }
 
 /// The full differential result of one case.
@@ -146,6 +177,47 @@ pub fn run_case(program: &Program, sabotage: Option<&Sabotage>) -> CaseResult {
 pub fn spec_diverges(spec: &ProgramSpec, sabotage: Option<&Sabotage>) -> bool {
     match lower::lower(spec) {
         Ok(program) => !run_case(&program, sabotage).divergent.is_empty(),
+        Err(_) => false,
+    }
+}
+
+/// Runs `program` through the GC matrix ([`engine_configs_gc`]) and
+/// compares observables, optionally dropping one write barrier on one
+/// engine ([`GcSabotage`]). A dropped barrier is a real VM fault
+/// injected *before* the run, so whether it diverges depends on
+/// whether a minor collection actually exploits the missing
+/// remembered-set entry — exactly the property the must-fail CI job
+/// pins down with a known-diverging `(seed, case, drop)`.
+pub fn run_case_gc(program: &Program, sabotage: Option<&GcSabotage>) -> CaseResult {
+    let mut observed = Vec::new();
+    for (label, mut cfg) in engine_configs_gc() {
+        if let Some(s) = sabotage {
+            if s.mode == label {
+                cfg.gc_sabotage_drop_barrier = Some(s.drop);
+            }
+        }
+        let mut sink = NullSink;
+        let run = Vm::new(program, cfg).run_observed(&mut sink);
+        observed.push((label, run));
+    }
+    let reference = observed[0].1.observables.clone();
+    let divergent = observed
+        .iter()
+        .skip(1)
+        .filter(|(_, run)| run.observables != reference)
+        .map(|(label, _)| *label)
+        .collect();
+    CaseResult {
+        observed,
+        divergent,
+    }
+}
+
+/// Whether `spec` still diverges under the GC matrix (the GC
+/// shrinker's failure predicate).
+pub fn spec_diverges_gc(spec: &ProgramSpec, sabotage: Option<&GcSabotage>) -> bool {
+    match lower::lower(spec) {
+        Ok(program) => !run_case_gc(&program, sabotage).divergent.is_empty(),
         Err(_) => false,
     }
 }

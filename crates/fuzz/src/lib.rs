@@ -53,11 +53,14 @@ pub mod shrink;
 pub mod spec;
 
 pub use coverage::{Coverage, OPCODE_NAMES, TRANSITION_KEYS};
-pub use diff::{engine_configs, run_case, spec_diverges, CaseResult, Sabotage, MATRIX_LABELS};
+pub use diff::{
+    engine_configs, engine_configs_gc, run_case, run_case_gc, spec_diverges, spec_diverges_gc,
+    CaseResult, GcSabotage, Sabotage, MATRIX_LABELS,
+};
 pub use gen::gen_spec;
 pub use lower::lower;
 pub use perf::{
-    run_perf_case, spec_perf_violates, CostVector, PerfCase, PerfFinding, PerfSabotage,
+    run_perf_case, spec_perf_violates, CostVector, PerfCase, PerfFinding, PerfSabotage, GC_LABEL,
     PERF_LABELS, SIZED_LABEL,
 };
 pub use spec::ProgramSpec;
@@ -275,6 +278,61 @@ pub fn fuzz(seed: u64, cases: u64, jobs: usize, sabotage: Option<Sabotage>) -> F
             diff::record_case(&mut cov, cr);
             if !cr.divergent.is_empty() {
                 let minimized = shrink::shrink(spec, sabotage.as_ref());
+                divergences.push(Divergence {
+                    seed,
+                    case: *case,
+                    modes: cr.divergent.clone(),
+                    original_size: spec.size(),
+                    minimized,
+                });
+            }
+        }
+        start += n;
+    }
+    FuzzReport {
+        coverage: cov,
+        divergences,
+        perf: None,
+    }
+}
+
+/// Runs the fuzzer over the GC engine matrix: every generated program
+/// through all eleven engines under the forcing tiny nursery
+/// ([`diff::engine_configs_gc`]), observables compared against the
+/// (equally GC-stressed) interpreter. `gc_sabotage` injects a real
+/// collector bug — one silently dropped remembered-set enrollment on
+/// one engine — which must surface as a divergence for the must-fail
+/// CI job's pinned parameters.
+///
+/// Deterministic in `(seed, cases, gc_sabotage)` at any `jobs` count,
+/// exactly like [`fuzz`].
+pub fn fuzz_gc(seed: u64, cases: u64, jobs: usize, gc_sabotage: Option<GcSabotage>) -> FuzzReport {
+    let mut cov = Coverage::new();
+    neg::exercise(&mut cov);
+    let mut divergences = Vec::new();
+    let mut start = 0u64;
+    while start < cases {
+        let n = ROUND.min(cases - start);
+        let snapshot = cov.clone();
+        let specs: Vec<(u64, ProgramSpec)> = (start..start + n)
+            .map(|i| (i, gen_case(seed, i, &snapshot)))
+            .collect();
+        let results = run_batch(&specs, jobs, |case, spec| {
+            let program = lower::lower(spec).unwrap_or_else(|e| {
+                panic!(
+                    "seed {seed:#x} case {case}: generated spec failed to lower/verify: {e}\n{spec:?}"
+                )
+            });
+            diff::run_case_gc(&program, gc_sabotage.as_ref())
+        });
+        for ((case, spec), cr) in specs.iter().zip(&results) {
+            diff::record_case(&mut cov, cr);
+            if !cr.divergent.is_empty() {
+                let minimized = jrt_testkit::minimize(
+                    spec.clone(),
+                    |s| diff::spec_diverges_gc(s, gc_sabotage.as_ref()),
+                    shrink::candidates,
+                );
                 divergences.push(Divergence {
                     seed,
                     case: *case,

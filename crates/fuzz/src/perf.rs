@@ -59,24 +59,52 @@
 //!   first-invocation JIT translates but installs no more code bytes:
 //!   fused and elided pcs generate nothing.
 //!
+//! The generational collector adds its own cost-model invariants,
+//! checked against the derived `gc-tiny` engine (first-invocation JIT
+//! under the forcing tiny nursery) and against every other engine's
+//! obligation to do *no* generational work:
+//!
+//! * **gc-attribution** — the `Gc`/`GcBarrier` phase slices on the
+//!   trace are exactly the collector/barrier instructions the
+//!   counters claim, on every engine (the GC analog of
+//!   translate-attribution).
+//! * **gc-off** — engines without the generational collector run no
+//!   minor or major collections, copy no bytes, and emit no barrier
+//!   instructions. (Legacy threshold mark-sweep may still emit
+//!   `Phase::Gc` work, so `gc_insts` itself is *not* required zero.)
+//! * **gc-barrier-bound** — the card barrier is two instructions per
+//!   reference store, so barrier work is bounded by the executed
+//!   `putfield`/`putstatic`/`arrstore` count
+//!   (`gc_barrier_insts <= 2 * ref_store_ops`).
+//! * **gc-copy-bound** — a copying collector can never move more
+//!   bytes than the program ever allocated
+//!   (`gc_copied_bytes <= heap_alloc_bytes`).
+//!
 //! Any violation is attributed to an engine label and an invariant
 //! name and shrunk to a minimal reproducer by the same greedy
 //! machinery as correctness divergences ([`crate::shrink`]), with
 //! "still violates some cost invariant" as the predicate.
 
 use crate::diff::{engine_configs, CaseResult, CASE_BUDGET};
-use jrt_bytecode::Program;
+use jrt_bytecode::{ArrayKind, CpIndex, Op, Program};
 use jrt_cache::{CacheConfig, SplitSweep};
-use jrt_vm::{CodeCacheConfig, EvictionPolicy, ExecMode, JitPolicy, ObservedRun, Vm, VmConfig};
+use jrt_vm::{
+    CodeCacheConfig, EvictionPolicy, ExecMode, GcConfig, JitPolicy, ObservedRun, Vm, VmConfig,
+};
 
 /// Label of the per-case derived engine: first-invocation JIT under a
 /// bounded cache sized to exactly the unbounded JIT's total code
 /// bytes.
 pub const SIZED_LABEL: &str = "cc-sized";
 
+/// Label of the per-case derived GC engine: first-invocation JIT under
+/// the forcing tiny nursery ([`GcConfig::tiny_nursery`]), the only
+/// perf engine that runs the generational collector.
+pub const GC_LABEL: &str = "gc-tiny";
+
 /// Engine labels a perf run can produce, in report order: the
-/// correctness matrix plus [`SIZED_LABEL`].
-pub const PERF_LABELS: [&str; 12] = [
+/// correctness matrix plus [`SIZED_LABEL`] and [`GC_LABEL`].
+pub const PERF_LABELS: [&str; 13] = [
     "interp",
     "interp-fold",
     "jit",
@@ -89,6 +117,7 @@ pub const PERF_LABELS: [&str; 12] = [
     "ir-jit",
     "ir-cc",
     SIZED_LABEL,
+    GC_LABEL,
 ];
 
 /// One engine's cost vector for one case.
@@ -128,6 +157,28 @@ pub struct CostVector {
     pub icache_misses: u64,
     /// Simulated paper-L1 data-cache misses.
     pub dcache_misses: u64,
+    /// `Phase::Gc` slice of `events` (collection work on the trace).
+    pub gc_events: u64,
+    /// `Phase::GcBarrier` slice of `events` (card barriers on the
+    /// trace).
+    pub gc_barrier_events: u64,
+    /// Collector instructions per the VM counters.
+    pub gc_insts: u64,
+    /// Write-barrier instructions per the VM counters.
+    pub gc_barrier_insts: u64,
+    /// Minor (nursery) collections.
+    pub gc_minor: u64,
+    /// Major (full) collections.
+    pub gc_major: u64,
+    /// Bytes moved by GC evacuation/compaction.
+    pub gc_copied_bytes: u64,
+    /// Total bytes the program ever allocated on the Java heap.
+    pub heap_alloc_bytes: u64,
+    /// Executed `putfield`/`putstatic`/`arrstore` bytecodes — every
+    /// opcode that *can* take a card barrier (the `arrstore` dispatch
+    /// index is shared across element kinds, so this over-counts:
+    /// safe for the upper bound).
+    pub ref_store_ops: u64,
     /// 1 when the run ended in a runtime fault. A faulting step's
     /// dispatch is charged but its bytecode is not, so the
     /// ir-dispatch-bound invariant widens by exactly this much.
@@ -140,6 +191,13 @@ impl CostVector {
     pub fn collect(run: &ObservedRun, sweep: &SplitSweep) -> CostVector {
         let i = &sweep.icache().results()[0];
         let d = &sweep.dcache().results()[0];
+        let opcount = |op: Op| {
+            run.observables
+                .opcode_counts
+                .get(usize::from(op.dispatch_index()))
+                .copied()
+                .unwrap_or(0)
+        };
         CostVector {
             bytecodes: run.counters.bytecodes,
             events: i.stats().refs(),
@@ -157,13 +215,24 @@ impl CostVector {
             ir_dispatches: run.counters.ir_dispatches,
             icache_misses: i.stats().misses(),
             dcache_misses: d.stats().misses(),
+            gc_events: i.gc_stats().refs(),
+            gc_barrier_events: i.gc_barrier_stats().refs(),
+            gc_insts: run.counters.gc_insts,
+            gc_barrier_insts: run.counters.gc_barrier_insts,
+            gc_minor: run.counters.gc_minor,
+            gc_major: run.counters.gc_major,
+            gc_copied_bytes: run.counters.gc_copied_bytes,
+            heap_alloc_bytes: run.counters.heap_alloc_bytes,
+            ref_store_ops: opcount(Op::PutField(CpIndex(0)))
+                + opcount(Op::PutStatic(CpIndex(0)))
+                + opcount(Op::ArrStore(ArrayKind::Ref)),
             faulted: u64::from(run.observables.outcome.is_err()),
         }
     }
 
     /// `(name, value)` pairs in a fixed order — the render/floor
     /// surface.
-    pub fn metrics(&self) -> [(&'static str, u64); 16] {
+    pub fn metrics(&self) -> [(&'static str, u64); 25] {
         [
             ("bytecodes", self.bytecodes),
             ("events", self.events),
@@ -181,6 +250,15 @@ impl CostVector {
             ("ir_dispatches", self.ir_dispatches),
             ("icache_misses", self.icache_misses),
             ("dcache_misses", self.dcache_misses),
+            ("gc_events", self.gc_events),
+            ("gc_barrier_events", self.gc_barrier_events),
+            ("gc_insts", self.gc_insts),
+            ("gc_barrier_insts", self.gc_barrier_insts),
+            ("gc_minor", self.gc_minor),
+            ("gc_major", self.gc_major),
+            ("gc_copied_bytes", self.gc_copied_bytes),
+            ("heap_alloc_bytes", self.heap_alloc_bytes),
+            ("ref_store_ops", self.ref_store_ops),
         ]
     }
 
@@ -210,6 +288,15 @@ impl CostVector {
         self.ir_dispatches += other.ir_dispatches;
         self.icache_misses += other.icache_misses;
         self.dcache_misses += other.dcache_misses;
+        self.gc_events += other.gc_events;
+        self.gc_barrier_events += other.gc_barrier_events;
+        self.gc_insts += other.gc_insts;
+        self.gc_barrier_insts += other.gc_barrier_insts;
+        self.gc_minor += other.gc_minor;
+        self.gc_major += other.gc_major;
+        self.gc_copied_bytes += other.gc_copied_bytes;
+        self.heap_alloc_bytes += other.heap_alloc_bytes;
+        self.ref_store_ops += other.ref_store_ops;
         self.faulted += other.faulted;
     }
 }
@@ -300,6 +387,18 @@ pub fn run_perf_case(program: &Program, sabotage: Option<&PerfSabotage>) -> Perf
         run_one(SIZED_LABEL, cfg, &mut observed, &mut costs);
     }
 
+    // The GC engine: first-invocation JIT under the forcing tiny
+    // nursery. Always run — its observables join the differential
+    // (collection schedules must be invisible) and its cost vector is
+    // the only one allowed nonzero generational work.
+    let gc_cfg = VmConfig {
+        mode: ExecMode::Jit(JitPolicy::FirstInvocation),
+        max_bytecodes: CASE_BUDGET,
+        ..VmConfig::default()
+    }
+    .with_gc(GcConfig::tiny_nursery());
+    run_one(GC_LABEL, gc_cfg, &mut observed, &mut costs);
+
     let reference = observed[0].1.observables.clone();
     let divergent: Vec<&'static str> = observed
         .iter()
@@ -356,6 +455,56 @@ pub fn check_invariants(costs: &[(&'static str, CostVector)]) -> Vec<PerfFinding
                 format!(
                     "code_installs {} != methods_translated {}",
                     c.code_installs, c.methods_translated
+                ),
+            );
+        }
+        if c.gc_events != c.gc_insts || c.gc_barrier_events != c.gc_barrier_insts {
+            fail(
+                label,
+                "gc-attribution",
+                format!(
+                    "gc events {} != gc_insts {} or barrier events {} != gc_barrier_insts {}",
+                    c.gc_events, c.gc_insts, c.gc_barrier_events, c.gc_barrier_insts
+                ),
+            );
+        }
+        if c.gc_barrier_insts > 2 * c.ref_store_ops {
+            fail(
+                label,
+                "gc-barrier-bound",
+                format!(
+                    "gc_barrier_insts {} > 2 * ref_store_ops {}",
+                    c.gc_barrier_insts, c.ref_store_ops
+                ),
+            );
+        }
+        if c.gc_copied_bytes > c.heap_alloc_bytes {
+            fail(
+                label,
+                "gc-copy-bound",
+                format!(
+                    "gc_copied_bytes {} > heap_alloc_bytes {}",
+                    c.gc_copied_bytes, c.heap_alloc_bytes
+                ),
+            );
+        }
+        if *label != GC_LABEL
+            && (c.gc_minor != 0
+                || c.gc_major != 0
+                || c.gc_copied_bytes != 0
+                || c.gc_barrier_insts != 0
+                || c.gc_barrier_events != 0)
+        {
+            fail(
+                label,
+                "gc-off",
+                format!(
+                    "non-GC engine did generational work: minors {} majors {} copied {} barriers {}/{}",
+                    c.gc_minor,
+                    c.gc_major,
+                    c.gc_copied_bytes,
+                    c.gc_barrier_insts,
+                    c.gc_barrier_events
                 ),
             );
         }
@@ -636,6 +785,44 @@ mod tests {
                 "{label}: sabotage not attributed: {f:?}"
             );
         }
+    }
+
+    #[test]
+    fn detects_generational_work_on_non_gc_engine() {
+        let mut costs = vec![flat("jit")];
+        costs[0].1.gc_minor = 1;
+        let f = check_invariants(&costs);
+        assert!(f.iter().any(|v| v.invariant == "gc-off"));
+    }
+
+    #[test]
+    fn detects_gc_counter_trace_mismatch() {
+        let mut costs = vec![flat(GC_LABEL)];
+        costs[0].1.gc_insts = 10;
+        costs[0].1.gc_events = 9;
+        let f = check_invariants(&costs);
+        assert!(f
+            .iter()
+            .any(|v| v.invariant == "gc-attribution" && v.label == GC_LABEL));
+    }
+
+    #[test]
+    fn detects_barrier_work_over_ref_store_bound() {
+        let mut costs = vec![flat(GC_LABEL)];
+        costs[0].1.ref_store_ops = 3;
+        costs[0].1.gc_barrier_insts = 7;
+        costs[0].1.gc_barrier_events = 7;
+        let f = check_invariants(&costs);
+        assert!(f.iter().any(|v| v.invariant == "gc-barrier-bound"));
+    }
+
+    #[test]
+    fn detects_copying_more_than_allocated() {
+        let mut costs = vec![flat(GC_LABEL)];
+        costs[0].1.heap_alloc_bytes = 100;
+        costs[0].1.gc_copied_bytes = 101;
+        let f = check_invariants(&costs);
+        assert!(f.iter().any(|v| v.invariant == "gc-copy-bound"));
     }
 
     #[test]

@@ -189,11 +189,18 @@ pub enum Phase {
     /// Ahead-of-time compiled "C-like" application code (used by the
     /// native comparison mode for Figure 4).
     NativeApp,
+    /// Generational-GC write barrier (card mark) work, emitted inline
+    /// at reference stores. Kept separate from [`Phase::Gc`] so the
+    /// cache studies can attribute mutator barrier overhead apart
+    /// from collection work.
+    GcBarrier,
 }
 
 impl Phase {
-    /// All phases, in display order.
-    pub const ALL: [Phase; 9] = [
+    /// All phases, in display order. `GcBarrier` stays last: the tape
+    /// format encodes a phase as its index in this array, so new
+    /// phases must append.
+    pub const ALL: [Phase; 10] = [
         Phase::InterpDispatch,
         Phase::InterpHandler,
         Phase::Translate,
@@ -203,6 +210,7 @@ impl Phase {
         Phase::Sync,
         Phase::ClassLoad,
         Phase::NativeApp,
+        Phase::GcBarrier,
     ];
 
     /// Returns `true` if this phase belongs to the JIT translator
@@ -223,6 +231,7 @@ impl Phase {
             Phase::Sync => "sync",
             Phase::ClassLoad => "classload",
             Phase::NativeApp => "nativeapp",
+            Phase::GcBarrier => "gcbarrier",
         }
     }
 }

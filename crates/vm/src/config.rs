@@ -77,6 +77,68 @@ impl SyncKind {
     pub const ALL: [SyncKind; 3] = [SyncKind::MonitorCache, SyncKind::ThinLock, SyncKind::OneBit];
 }
 
+/// Garbage-collection configuration.
+///
+/// The default ([`GcConfig::Legacy`]) reproduces the original
+/// single-space heap: allocation bumps from the heap base and a full
+/// stop-the-world collection runs only when
+/// [`VmConfig::gc_threshold`] bytes have been allocated since the
+/// last collection — which the paper-suite workloads never reach, so
+/// every pre-existing experiment trace is byte-identical.
+/// [`GcConfig::Generational`] switches the heap to a nursery +
+/// tenured layout with card-marking write barriers
+/// ([`Phase::GcBarrier`](jrt_trace::Phase) trace events at every
+/// reference store), copying minor collections driven by the
+/// remembered set, and copying-compaction major collections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GcConfig {
+    /// Original growth-only heap with threshold-triggered mark-sweep.
+    #[default]
+    Legacy,
+    /// Generational copying GC: bump-allocating nursery evacuated
+    /// into tenured space on minor collections, card-marking write
+    /// barriers, remembered-set scanning, copying compaction of
+    /// tenured space on major collections.
+    Generational {
+        /// Nursery capacity in bytes; a minor collection triggers
+        /// when a nursery allocation would not fit. Tiny nurseries
+        /// force frequent collections (the GC-equivalence tests use
+        /// this).
+        nursery_bytes: u64,
+        /// Tenured-space budget in bytes allocated since the last
+        /// major collection before a full collection triggers.
+        tenured_bytes: u64,
+    },
+}
+
+impl GcConfig {
+    /// The generational configuration with production-shaped defaults
+    /// (256 KiB nursery, 8 MiB tenured budget).
+    pub fn generational() -> Self {
+        GcConfig::Generational {
+            nursery_bytes: 256 << 10,
+            tenured_bytes: 8 << 20,
+        }
+    }
+
+    /// A deliberately tiny nursery that forces frequent minor
+    /// collections even on tiny workloads — the GC-stress
+    /// configuration used by the equivalence tests and the gc-smoke
+    /// CI job.
+    pub fn tiny_nursery() -> Self {
+        GcConfig::Generational {
+            nursery_bytes: 2 << 10,
+            tenured_bytes: 64 << 10,
+        }
+    }
+
+    /// Whether this configuration enables the generational collector
+    /// (and therefore write-barrier emission).
+    pub fn is_generational(&self) -> bool {
+        matches!(self, GcConfig::Generational { .. })
+    }
+}
+
 /// Full VM configuration.
 #[derive(Debug, Clone)]
 pub struct VmConfig {
@@ -90,6 +152,9 @@ pub struct VmConfig {
     pub code_cache: CodeCacheConfig,
     /// Heap budget in bytes before a GC is triggered.
     pub gc_threshold: u64,
+    /// Garbage-collector choice; the default keeps the original
+    /// growth-only heap (no barriers, no moving collections).
+    pub gc: GcConfig,
     /// Scheduler quantum in bytecodes.
     pub quantum: u32,
     /// Whether to enable per-method profiling (needed to derive the
@@ -112,6 +177,14 @@ pub struct VmConfig {
     /// arithmetic, stack shuffles) share one dispatch, mitigating the
     /// dispatch jump's target misprediction.
     pub folding: bool,
+    /// Harness self-test hook (sabotage): when `Some(n)`, the
+    /// generational heap silently drops its `n`-th remembered-set
+    /// enrollment — a seeded "missed write barrier" that a correct
+    /// collector turns into premature reclamation of a live nursery
+    /// object. Used only by the GC differential fuzzer's must-fail CI
+    /// job to prove the equivalence layer catches a single lost
+    /// barrier. `None` (the default) for every real run.
+    pub gc_sabotage_drop_barrier: Option<u64>,
 }
 
 impl Default for VmConfig {
@@ -121,11 +194,13 @@ impl Default for VmConfig {
             sync: SyncKind::default(),
             code_cache: CodeCacheConfig::default(),
             gc_threshold: 24 << 20,
+            gc: GcConfig::default(),
             quantum: 200,
             profiling: true,
             max_bytecodes: u64::MAX,
             fuel: None,
             folding: false,
+            gc_sabotage_drop_barrier: None,
         }
     }
 }
@@ -193,6 +268,12 @@ impl VmConfig {
     /// See [`VmConfig::fuel`] for the semantics.
     pub fn with_fuel(mut self, fuel: u64) -> Self {
         self.fuel = Some(fuel);
+        self
+    }
+
+    /// Sets the garbage-collector configuration (builder style).
+    pub fn with_gc(mut self, gc: GcConfig) -> Self {
+        self.gc = gc;
         self
     }
 }

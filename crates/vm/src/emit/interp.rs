@@ -257,6 +257,25 @@ impl Emit for InterpEmitter {
         self.handler_store(sink, addr, size);
     }
 
+    fn ref_store_barrier(&mut self, sink: &mut dyn TraceSink, card: Addr) -> u64 {
+        // Address-to-card shift, then the unconditional dirty-byte
+        // store (the classic two-instruction card barrier).
+        let pc = self.step_pc();
+        let src = self.last_dst;
+        self.emit(
+            sink,
+            NativeInst::alu(pc, Phase::GcBarrier)
+                .with_dst(24)
+                .with_srcs(src, None),
+        );
+        let pc = self.step_pc();
+        self.emit(
+            sink,
+            NativeInst::store(pc, card, 1, Phase::GcBarrier).with_srcs(24, None),
+        );
+        2
+    }
+
     fn alu(&mut self, sink: &mut dyn TraceSink, class: InstClass) {
         let pc = self.step_pc();
         let (s1, s2) = (self.last_dst, self.next_reg);

@@ -209,6 +209,28 @@ impl Emit for IrInterpEmitter {
         }
     }
 
+    fn ref_store_barrier(&mut self, sink: &mut dyn TraceSink, card: Addr) -> u64 {
+        // Fusion cannot remove a barrier whose store survived, but an
+        // elided pc has no store and therefore no barrier either.
+        if self.elided() {
+            return 0;
+        }
+        let pc = self.step_pc();
+        let src = self.last_dst;
+        self.emit(
+            sink,
+            NativeInst::alu(pc, Phase::GcBarrier)
+                .with_dst(24)
+                .with_srcs(src, None),
+        );
+        let pc = self.step_pc();
+        self.emit(
+            sink,
+            NativeInst::store(pc, card, 1, Phase::GcBarrier).with_srcs(24, None),
+        );
+        2
+    }
+
     fn alu(&mut self, sink: &mut dyn TraceSink, class: InstClass) {
         if !self.elided() {
             self.handler_alu(sink, class);
@@ -409,6 +431,14 @@ impl Emit for IrJitEmitter<'_> {
     fn heap_store(&mut self, sink: &mut dyn TraceSink, addr: Addr, size: u8) {
         if !self.elided() {
             self.inner.heap_store(sink, addr, size);
+        }
+    }
+
+    fn ref_store_barrier(&mut self, sink: &mut dyn TraceSink, card: Addr) -> u64 {
+        if self.elided() {
+            0
+        } else {
+            self.inner.ref_store_barrier(sink, card)
         }
     }
 

@@ -141,6 +141,25 @@ impl Emit for JitEmitter<'_> {
         );
     }
 
+    fn ref_store_barrier(&mut self, sink: &mut dyn TraceSink, card: Addr) -> u64 {
+        // Translated code inlines the same two-instruction card
+        // barrier after every reference store.
+        let pc = self.step_pc();
+        let src = stack_reg(self.depth.saturating_sub(1));
+        self.emit(
+            sink,
+            NativeInst::alu(pc, Phase::GcBarrier)
+                .with_dst(24)
+                .with_srcs(src, None),
+        );
+        let pc = self.step_pc();
+        self.emit(
+            sink,
+            NativeInst::store(pc, card, 1, Phase::GcBarrier).with_srcs(24, None),
+        );
+        2
+    }
+
     fn alu(&mut self, sink: &mut dyn TraceSink, class: InstClass) {
         let pc = self.step_pc();
         // Binary op over the two top stack registers: a real

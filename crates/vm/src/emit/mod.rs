@@ -77,6 +77,14 @@ pub(crate) trait Emit {
     /// A data store.
     fn heap_store(&mut self, sink: &mut dyn TraceSink, addr: Addr, size: u8);
 
+    /// Card-marking write barrier following a reference store: the
+    /// address-to-card shift and the one-byte dirty store to `card`,
+    /// emitted under [`Phase::GcBarrier`](jrt_trace::Phase). Returns
+    /// the number of instructions emitted, so the VM's
+    /// `gc_barrier_insts` counter matches the trace exactly (the IR
+    /// tier emits nothing at elided pcs).
+    fn ref_store_barrier(&mut self, sink: &mut dyn TraceSink, card: Addr) -> u64;
+
     /// An arithmetic operation of the given class.
     fn alu(&mut self, sink: &mut dyn TraceSink, class: InstClass);
 

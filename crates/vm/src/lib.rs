@@ -72,9 +72,9 @@ pub mod thread;
 mod vm;
 
 pub use config::{
-    CacheScope, CodeCacheConfig, EvictionPolicy, ExecMode, JitPolicy, OracleDecisions, SyncKind,
-    VmConfig,
+    CacheScope, CodeCacheConfig, EvictionPolicy, ExecMode, GcConfig, JitPolicy, OracleDecisions,
+    SyncKind, VmConfig,
 };
-pub use heap::{Handle, Heap, HeapError, Value};
+pub use heap::{GenStats, Handle, Heap, HeapError, Value};
 pub use jrt_codecache::{CodeCacheStats, MethodProfile, ProfileTable};
 pub use vm::{Footprint, Observables, ObservedRun, Output, RunResult, Vm, VmCounters, VmError};

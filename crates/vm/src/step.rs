@@ -460,6 +460,9 @@ pub(crate) fn step(
             let addr = env.heap.field_addr(h, slot).map_err(VmError::Heap)?;
             em.heap_store(sink, addr, 4);
             env.heap.set_field(h, slot, v).map_err(VmError::Heap)?;
+            if env.gc_barriers && matches!(v, Value::Ref(_)) {
+                *env.gc_barrier_insts += em.ref_store_barrier(sink, crate::heap::card_addr(addr));
+            }
         }
         Op::GetStatic(cp) | Op::PutStatic(cp) => {
             let (cname, fname) = pool
@@ -481,6 +484,10 @@ pub(crate) fn step(
                 let v = pop!();
                 em.heap_store(sink, addr, 4);
                 env.linker.set_static(owner, slot, v);
+                if env.gc_barriers && matches!(v, Value::Ref(_)) {
+                    *env.gc_barrier_insts +=
+                        em.ref_store_barrier(sink, crate::heap::card_addr(addr));
+                }
             }
         }
         Op::NewArray(kind) => {
@@ -523,6 +530,12 @@ pub(crate) fn step(
             env.heap
                 .array_set(h, idx, v.to_raw())
                 .map_err(VmError::Heap)?;
+            if env.gc_barriers
+                && matches!(kind, jrt_bytecode::ArrayKind::Ref)
+                && matches!(v, Value::Ref(_))
+            {
+                *env.gc_barrier_insts += em.ref_store_barrier(sink, crate::heap::card_addr(addr));
+            }
         }
         Op::InvokeStatic(cp) | Op::InvokeVirtual(cp) | Op::InvokeSpecial(cp) => {
             let (cname, mname, nargs, ret_kind) = {

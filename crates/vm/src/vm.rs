@@ -99,10 +99,36 @@ pub struct VmCounters {
     pub bytecodes: u64,
     /// Trace instructions emitted by class loading.
     pub classload_insts: u64,
-    /// Garbage collections run.
+    /// Garbage collections run (legacy full collections plus
+    /// generational minor and major collections).
     pub gc_runs: u64,
     /// Bytes reclaimed by GC.
     pub gc_freed_bytes: u64,
+    /// Minor (nursery) collections run by the generational GC.
+    pub gc_minor: u64,
+    /// Major (full, copy-compacting) collections run by the
+    /// generational GC.
+    pub gc_major: u64,
+    /// Bytes copied by GC evacuation/compaction (zero under the
+    /// legacy non-moving collector).
+    pub gc_copied_bytes: u64,
+    /// Write-barrier trace instructions emitted at reference stores
+    /// ([`Phase::GcBarrier`](jrt_trace::Phase) events; the tape
+    /// round-trip tests assert the two match exactly).
+    pub gc_barrier_insts: u64,
+    /// Collection-work trace instructions emitted
+    /// ([`Phase::Gc`](jrt_trace::Phase) events; tape-checked like
+    /// `gc_barrier_insts`).
+    pub gc_insts: u64,
+    /// Collections whose trace emission hit `MAX_GC_EMISSION` and was
+    /// capped. Heap accounting stays exact on capped collections —
+    /// this counter is the honest record that the *trace* under-
+    /// reports the collection work.
+    pub gc_emission_truncated: u64,
+    /// Total bytes allocated on the Java heap over the run. Bounds
+    /// `gc_copied_bytes`: a collector can never copy more than was
+    /// ever allocated.
+    pub heap_alloc_bytes: u64,
     /// Methods translated by the JIT (counting re-translations and
     /// tier upgrades).
     pub methods_translated: u32,
@@ -216,9 +242,12 @@ pub struct Observables {
     pub opcode_counts: Vec<u64>,
     /// Raw 32-bit images of every class's static slots.
     pub statics: Vec<Vec<i32>>,
-    /// Digest of the final heap ([`Heap::digest`]).
+    /// Digest of the final heap's *reachable* objects
+    /// ([`Heap::reachable_digest`] from thread + static + class
+    /// roots) — invariant under GC schedule, so it compares across
+    /// GC on/off/forced as well as across engines.
     pub heap_digest: u64,
-    /// Live heap allocations at exit.
+    /// Reachable heap allocations at exit.
     pub live_objects: usize,
 }
 
@@ -250,6 +279,10 @@ pub(crate) struct StepEnv<'a> {
     pub classload_insts: &'a mut u64,
     pub folding: bool,
     pub opcode_counts: &'a mut Option<Vec<u64>>,
+    /// Whether reference stores emit card-marking write barriers
+    /// (true exactly when the generational GC is configured).
+    pub gc_barriers: bool,
+    pub gc_barrier_insts: &'a mut u64,
 }
 
 /// The `javart` virtual machine. See the crate docs for the model.
@@ -286,10 +319,14 @@ impl<'p> Vm<'p> {
             SyncKind::OneBit => Box::new(OneBitLockEngine::new()),
         };
         let jit = JitState::new(config.code_cache);
+        let mut heap = Heap::with_config(config.gc);
+        if let Some(n) = config.gc_sabotage_drop_barrier {
+            heap.sabotage_drop_barrier(n);
+        }
         Vm {
             program,
             config,
-            heap: Heap::new(),
+            heap,
             linker: Linker::new(program.num_classes()),
             jit,
             sync,
@@ -326,6 +363,9 @@ impl<'p> Vm<'p> {
     pub fn reset_for(&mut self, program: &'p Program) {
         self.program = program;
         self.heap.reset();
+        if let Some(n) = self.config.gc_sabotage_drop_barrier {
+            self.heap.sabotage_drop_barrier(n);
+        }
         self.linker = Linker::new(program.num_classes());
         self.sync = match self.config.sync {
             SyncKind::MonitorCache => Box::new(FatLockEngine::new()),
@@ -367,6 +407,13 @@ impl<'p> Vm<'p> {
     /// including the shared-scope content hit/dedup rates.
     pub fn cache_stats(&self) -> jrt_codecache::CodeCacheStats {
         self.jit.cache_stats()
+    }
+
+    /// Generational-heap statistics (allocation, promotion, and
+    /// pretenure volumes — the survival-rate inputs of the
+    /// `gc_study` report). `None` under the legacy collector.
+    pub fn gen_stats(&self) -> Option<crate::heap::GenStats> {
+        self.heap.gen_stats()
     }
 
     /// Starts a thread whose root activation is `method(args)`.
@@ -416,8 +463,41 @@ impl<'p> Vm<'p> {
 
     fn run_gc(&mut self, sink: &mut dyn TraceSink) {
         let r = gc::collect(&mut self.heap, &self.threads, &self.linker, sink);
+        self.count_gc(&r);
+    }
+
+    fn count_gc(&mut self, r: &gc::GcResult) {
         self.counters.gc_runs += 1;
         self.counters.gc_freed_bytes += r.freed_bytes;
+        self.counters.gc_copied_bytes += r.copied_bytes;
+        self.counters.gc_insts += r.emitted;
+        if r.truncated {
+            self.counters.gc_emission_truncated += 1;
+        }
+    }
+
+    /// Drains the generational heap's pending-collection requests.
+    /// Allocation never collects mid-bytecode (a nursery overflow
+    /// pretenures and *requests* a collection); the scheduler calls
+    /// this at the next bytecode boundary, where thread roots are
+    /// coherent. A minor collection that overflows the tenured budget
+    /// chains into a major one, which is why this drains a loop.
+    fn run_pending_gc(&mut self, sink: &mut dyn TraceSink) -> Result<(), VmError> {
+        while let Some(kind) = self.heap.take_gc_pending() {
+            let r = match kind {
+                crate::heap::GcKind::Minor => {
+                    self.counters.gc_minor += 1;
+                    gc::minor_collect(&mut self.heap, &self.threads, &self.linker, sink)
+                        .map_err(VmError::Heap)?
+                }
+                crate::heap::GcKind::Major => {
+                    self.counters.gc_major += 1;
+                    gc::major_collect(&mut self.heap, &self.threads, &self.linker, sink)
+                }
+            };
+            self.count_gc(&r);
+        }
+        Ok(())
     }
 
     /// Runs the program to completion, streaming the native trace into
@@ -454,6 +534,21 @@ impl<'p> Vm<'p> {
                 )
             }
         };
+        // The digest covers *reachable* objects only, walked in
+        // handle order from the same roots a collection would use.
+        // That makes it GC-schedule-invariant: a generational heap
+        // that has already swept its garbage and a legacy heap still
+        // holding it digest identically, which is what lets the
+        // GC-equivalence tests compare byte-for-byte across
+        // GC on/off/forced × every engine.
+        let roots: Vec<crate::heap::Handle> = self
+            .threads
+            .iter()
+            .flat_map(|t| t.roots())
+            .chain(self.linker.static_roots())
+            .chain(self.linker.class_objects())
+            .collect();
+        let (heap_digest, live_objects) = self.heap.reachable_digest(roots);
         ObservedRun {
             observables: Observables {
                 outcome,
@@ -461,8 +556,8 @@ impl<'p> Vm<'p> {
                 bytecodes: counters.bytecodes,
                 opcode_counts: self.opcode_counts.take().unwrap_or_default(),
                 statics: self.linker.statics_snapshot(),
-                heap_digest: self.heap.digest(),
-                live_objects: self.heap.live_count(),
+                heap_digest,
+                live_objects,
             },
             counters,
             mode: self.config.mode.label(),
@@ -537,10 +632,15 @@ impl<'p> Vm<'p> {
                             classload_insts: &mut self.counters.classload_insts,
                             folding: self.config.folding,
                             opcode_counts: &mut self.opcode_counts,
+                            gc_barriers: self.config.gc.is_generational(),
+                            gc_barrier_insts: &mut self.counters.gc_barrier_insts,
                         };
                         step::step(&mut env, &mut self.threads[tid], sink)?
                     };
                     self.counters.bytecodes += 1;
+                    if self.heap.is_generational() {
+                        self.run_pending_gc(sink)?;
+                    }
                     match outcome {
                         StepOutcome::Continue => {
                             progressed = true;
@@ -612,6 +712,7 @@ impl<'p> Vm<'p> {
         self.counters.largest_method_bytes = cache.largest_install_bytes;
         self.counters.methods_lowered = self.jit.ir.methods_lowered;
         self.counters.ir_dispatches = self.jit.ir.dispatches;
+        self.counters.heap_alloc_bytes = self.heap.stats().allocated_bytes;
     }
 
     fn build_result(&mut self) -> RunResult {

@@ -1,0 +1,167 @@
+//! `churn` — allocation churn with a small survivor window.
+//!
+//! The generational-GC stress profile the paper's heap study motivates:
+//! a tight loop allocates a short-lived two-field `Cell` per iteration,
+//! reads it back immediately, and then drops it — the overwhelming
+//! majority of objects die in the nursery. Roughly one in seven cells
+//! is parked in a small static window (an `aastore` write barrier),
+//! so every minor collection copies a thin survivor tail while the
+//! rest of the nursery is reclaimed for free. Survival rate is the
+//! lowest of the three GC workloads; minor-collection count is the
+//! highest.
+
+use crate::common::{add_rng, host_lib_checksum, library, HostRng, Size};
+use jrt_bytecode::{ArrayKind, ClassAsm, MethodAsm, Program, RetKind};
+
+const SEED: i32 = 29;
+const WINDOW: i32 = 16;
+
+fn num_ops(size: Size) -> i32 {
+    size.scale(8192)
+}
+
+/// Builds the program.
+pub fn program(size: Size) -> Program {
+    let ops = num_ops(size);
+
+    let mut cell = ClassAsm::new("Cell");
+    cell.add_field("a");
+    cell.add_field("b");
+
+    let mut c = ClassAsm::new("Churn");
+    add_rng(&mut c);
+    c.add_static_field("window");
+    c.add_static_field("acc");
+
+    // fold(): acc ^= window[i].a + i for every occupied window slot
+    {
+        let mut m = MethodAsm::new("fold", 0);
+        let i = 0u8;
+        let top = m.new_label();
+        let done = m.new_label();
+        let skip = m.new_label();
+        m.iconst(0).istore(i);
+        m.bind(top);
+        m.iload(i).iconst(WINDOW).if_icmp_ge(done);
+        m.getstatic("Churn", "window").iload(i).aaload();
+        m.ifnull(skip);
+        m.getstatic("Churn", "acc");
+        m.getstatic("Churn", "window")
+            .iload(i)
+            .aaload()
+            .getfield("Cell", "a");
+        m.iload(i).iadd().ixor().putstatic("Churn", "acc");
+        m.bind(skip);
+        m.iinc(i, 1).goto(top);
+        m.bind(done);
+        m.ret();
+        c.add_method(m);
+    }
+
+    // main: the churn loop
+    {
+        let mut m = MethodAsm::new("main", 0).returns(RetKind::Int);
+        let (k, v, r, lib) = (0u8, 1u8, 2u8, 3u8);
+        m.invokestatic("LibInit", "boot", 0, RetKind::Int)
+            .istore(lib);
+        m.iconst(WINDOW)
+            .newarray(ArrayKind::Ref)
+            .putstatic("Churn", "window");
+        m.iconst(SEED)
+            .invokestatic("Churn", "srand", 1, RetKind::Void);
+        let top = m.new_label();
+        let done = m.new_label();
+        let no_keep = m.new_label();
+        let no_fold = m.new_label();
+        m.iconst(0).istore(k);
+        m.bind(top);
+        m.iload(k).iconst(ops).if_icmp_ge(done);
+        m.iconst(1000)
+            .invokestatic("Churn", "next", 1, RetKind::Int)
+            .istore(v);
+        // r = new Cell { a: v, b: k & 255 }
+        m.new_obj("Cell").astore(r);
+        m.aload(r).iload(v).putfield("Cell", "a");
+        m.aload(r).iload(k).iconst(255).iand().putfield("Cell", "b");
+        // acc = acc * 31 + r.a + r.b — the cell is live only here
+        m.getstatic("Churn", "acc").iconst(31).imul();
+        m.aload(r).getfield("Cell", "a").iadd();
+        m.aload(r).getfield("Cell", "b").iadd();
+        m.putstatic("Churn", "acc");
+        // ~1/7 of cells survive into the window (aastore barrier)
+        m.iload(v).iconst(7).irem().if_ne(no_keep);
+        m.getstatic("Churn", "window");
+        m.iload(k).iconst(WINDOW).irem();
+        m.aload(r).aastore();
+        m.bind(no_keep);
+        // periodic window fold keeps survivors genuinely live
+        m.iload(k).iconst(63).iand().if_ne(no_fold);
+        m.invokestatic("Churn", "fold", 0, RetKind::Void);
+        m.bind(no_fold);
+        m.iinc(k, 1).goto(top);
+        m.bind(done);
+        m.invokestatic("Churn", "fold", 0, RetKind::Void);
+        m.getstatic("Churn", "acc").iload(lib).ixor().ireturn();
+        c.add_method(m);
+    }
+
+    let mut classes = vec![cell, c];
+    classes.extend(library(size));
+    Program::build(classes, "Churn", "main").expect("churn assembles")
+}
+
+/// Host-side reference implementation.
+pub fn expected(size: Size) -> i32 {
+    let ops = num_ops(size);
+    let mut rng = HostRng::new(SEED);
+    let mut window: Vec<Option<i32>> = vec![None; WINDOW as usize]; // slot -> a
+    let mut acc = 0i32;
+
+    let fold = |window: &[Option<i32>], acc: &mut i32| {
+        for (i, slot) in window.iter().enumerate() {
+            if let Some(a) = slot {
+                *acc ^= a.wrapping_add(i as i32);
+            }
+        }
+    };
+
+    for k in 0..ops {
+        let v = rng.next(1000);
+        let (a, b) = (v, k & 255);
+        acc = acc.wrapping_mul(31).wrapping_add(a).wrapping_add(b);
+        if v % 7 == 0 {
+            window[(k % WINDOW) as usize] = Some(a);
+        }
+        if k & 63 == 0 {
+            fold(&window, &mut acc);
+        }
+    }
+    fold(&window, &mut acc);
+    acc ^ host_lib_checksum(size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jrt_trace::CountingSink;
+    use jrt_vm::{GcConfig, Vm, VmConfig};
+
+    #[test]
+    fn matches_reference_in_both_modes() {
+        let p = program(Size::Tiny);
+        let want = expected(Size::Tiny);
+        for cfg in [VmConfig::interpreter(), VmConfig::jit()] {
+            let r = Vm::new(&p, cfg).run(&mut CountingSink::new()).unwrap();
+            assert_eq!(r.exit_value, Some(want));
+        }
+    }
+
+    #[test]
+    fn triggers_minor_collections_under_tiny_nursery() {
+        let p = program(Size::Tiny);
+        let cfg = VmConfig::interpreter().with_gc(GcConfig::tiny_nursery());
+        let r = Vm::new(&p, cfg).run(&mut CountingSink::new()).unwrap();
+        assert_eq!(r.exit_value, Some(expected(Size::Tiny)));
+        assert!(r.counters.gc_minor > 0, "churn must stress the nursery");
+    }
+}

@@ -1,0 +1,211 @@
+//! `graphmut` — pointer-chasing graph mutation.
+//!
+//! A ring of `Node` objects is built up front and survives the whole
+//! run — after the first minor collection it lives in the old space.
+//! The mutation loop then splices freshly allocated (young) nodes into
+//! the ring: every splice writes an old-object `next` field to point
+//! at a nursery node, which is exactly the old→young edge the
+//! card-marking write barrier and remembered set exist to catch. The
+//! interleaved pointer-chasing walks read through those edges, so a
+//! missed barrier is not a silent slowdown but a wrong checksum. This
+//! is the adversarial workload for remembered-set correctness; it also
+//! has the highest barrier-per-bytecode ratio of the three GC
+//! workloads.
+
+use crate::common::{add_rng, host_lib_checksum, library, HostRng, Size};
+use jrt_bytecode::{ArrayKind, ClassAsm, MethodAsm, Program, RetKind};
+
+const SEED: i32 = 43;
+const HOPS: i32 = 8;
+
+fn ring_size(size: Size) -> i32 {
+    size.scale(128)
+}
+
+fn num_ops(size: Size) -> i32 {
+    size.scale(4096)
+}
+
+/// Builds the program.
+pub fn program(size: Size) -> Program {
+    let n = ring_size(size);
+    let ops = num_ops(size);
+
+    let mut node = ClassAsm::new("Node");
+    node.add_field("next");
+    node.add_field("val");
+
+    let mut c = ClassAsm::new("Graph");
+    add_rng(&mut c);
+    c.add_static_field("nodes");
+    c.add_static_field("acc");
+
+    // walk(start): chase `next` for HOPS hops, folding val into acc
+    {
+        let mut m = MethodAsm::new("walk", 1);
+        let (p, i) = (0u8, 1u8);
+        let top = m.new_label();
+        let done = m.new_label();
+        m.iconst(0).istore(i);
+        m.bind(top);
+        m.iload(i).iconst(HOPS).if_icmp_ge(done);
+        m.getstatic("Graph", "acc").iconst(31).imul();
+        m.aload(p).getfield("Node", "val").iadd();
+        m.putstatic("Graph", "acc");
+        m.aload(p).getfield("Node", "next").astore(p);
+        m.iinc(i, 1).goto(top);
+        m.bind(done);
+        m.ret();
+        c.add_method(m);
+    }
+
+    // main: build the ring, then mutate and walk it
+    {
+        let mut m = MethodAsm::new("main", 0).returns(RetKind::Int);
+        let (k, i, fresh, lib) = (0u8, 1u8, 2u8, 3u8);
+        m.invokestatic("LibInit", "boot", 0, RetKind::Int)
+            .istore(lib);
+        m.iconst(n)
+            .newarray(ArrayKind::Ref)
+            .putstatic("Graph", "nodes");
+        m.iconst(SEED)
+            .invokestatic("Graph", "srand", 1, RetKind::Void);
+        // build: nodes[i] = new Node { val: i * 3 }
+        let btop = m.new_label();
+        let bdone = m.new_label();
+        m.iconst(0).istore(i);
+        m.bind(btop);
+        m.iload(i).iconst(n).if_icmp_ge(bdone);
+        m.getstatic("Graph", "nodes").iload(i);
+        m.new_obj("Node").dup();
+        m.iload(i).iconst(3).imul().putfield("Node", "val");
+        m.aastore();
+        m.iinc(i, 1).goto(btop);
+        m.bind(bdone);
+        // link the ring: nodes[i].next = nodes[(i + 1) % n]
+        let ltop = m.new_label();
+        let ldone = m.new_label();
+        m.iconst(0).istore(i);
+        m.bind(ltop);
+        m.iload(i).iconst(n).if_icmp_ge(ldone);
+        m.getstatic("Graph", "nodes").iload(i).aaload();
+        m.getstatic("Graph", "nodes");
+        m.iload(i).iconst(1).iadd().iconst(n).irem();
+        m.aaload();
+        m.putfield("Node", "next");
+        m.iinc(i, 1).goto(ltop);
+        m.bind(ldone);
+        // mutate: splice young nodes behind random ring anchors
+        let top = m.new_label();
+        let done = m.new_label();
+        let no_unlink = m.new_label();
+        m.iconst(0).istore(k);
+        m.bind(top);
+        m.iload(k).iconst(ops).if_icmp_ge(done);
+        m.iconst(n)
+            .invokestatic("Graph", "next", 1, RetKind::Int)
+            .istore(i);
+        // fresh = new Node { val: k ^ (i * 5) }
+        m.new_obj("Node").astore(fresh);
+        m.aload(fresh);
+        m.iload(k).iload(i).iconst(5).imul().ixor();
+        m.putfield("Node", "val");
+        // fresh.next = nodes[i].next (young→old: no remset needed)
+        m.aload(fresh);
+        m.getstatic("Graph", "nodes")
+            .iload(i)
+            .aaload()
+            .getfield("Node", "next");
+        m.putfield("Node", "next");
+        // nodes[i].next = fresh (old→young: THE barrier edge)
+        m.getstatic("Graph", "nodes").iload(i).aaload();
+        m.aload(fresh);
+        m.putfield("Node", "next");
+        // walk from the anchor, crossing the spliced edge
+        m.getstatic("Graph", "nodes").iload(i).aaload();
+        m.invokestatic("Graph", "walk", 1, RetKind::Void);
+        // every 4th iteration unlinks the young node again
+        m.iload(k).iconst(3).iand().if_ne(no_unlink);
+        m.getstatic("Graph", "nodes").iload(i).aaload();
+        m.aload(fresh).getfield("Node", "next");
+        m.putfield("Node", "next");
+        m.bind(no_unlink);
+        m.iinc(k, 1).goto(top);
+        m.bind(done);
+        m.getstatic("Graph", "acc").iload(lib).ixor().ireturn();
+        c.add_method(m);
+    }
+
+    let mut classes = vec![node, c];
+    classes.extend(library(size));
+    Program::build(classes, "Graph", "main").expect("graphmut assembles")
+}
+
+/// Host-side reference implementation. Nodes live in an arena indexed
+/// by allocation order; `ring[i]` holds the arena index of ring slot
+/// `i`, mirroring the bytecode's object graph exactly.
+pub fn expected(size: Size) -> i32 {
+    let n = ring_size(size);
+    let ops = num_ops(size);
+    let mut rng = HostRng::new(SEED);
+    let mut acc = 0i32;
+
+    // arena of (next, val)
+    let mut next: Vec<usize> = Vec::new();
+    let mut val: Vec<i32> = Vec::new();
+    for i in 0..n {
+        next.push(0); // linked below
+        val.push(i.wrapping_mul(3));
+    }
+    for (i, slot) in next.iter_mut().enumerate() {
+        *slot = (i + 1) % n as usize;
+    }
+
+    for k in 0..ops {
+        let i = rng.next(n) as usize;
+        let fresh = next.len();
+        val.push(k ^ (i as i32).wrapping_mul(5));
+        next.push(next[i]);
+        next[i] = fresh;
+        // walk
+        let mut p = i;
+        for _ in 0..HOPS {
+            acc = acc.wrapping_mul(31).wrapping_add(val[p]);
+            p = next[p];
+        }
+        if k & 3 == 0 {
+            next[i] = next[fresh];
+        }
+    }
+    acc ^ host_lib_checksum(size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jrt_trace::CountingSink;
+    use jrt_vm::{GcConfig, Vm, VmConfig};
+
+    #[test]
+    fn matches_reference_in_both_modes() {
+        let p = program(Size::Tiny);
+        let want = expected(Size::Tiny);
+        for cfg in [VmConfig::interpreter(), VmConfig::jit()] {
+            let r = Vm::new(&p, cfg).run(&mut CountingSink::new()).unwrap();
+            assert_eq!(r.exit_value, Some(want));
+        }
+    }
+
+    #[test]
+    fn survives_tiny_nursery_with_barrier_traffic() {
+        let p = program(Size::Tiny);
+        let cfg = VmConfig::interpreter().with_gc(GcConfig::tiny_nursery());
+        let r = Vm::new(&p, cfg).run(&mut CountingSink::new()).unwrap();
+        assert_eq!(r.exit_value, Some(expected(Size::Tiny)));
+        assert!(r.counters.gc_minor > 0, "graphmut must trigger minors");
+        assert!(
+            r.counters.gc_barrier_insts > 0,
+            "ref stores must emit barriers"
+        );
+    }
+}

@@ -41,9 +41,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod churn;
 mod common;
 pub mod compress;
 pub mod db;
+pub mod graphmut;
 pub mod hello;
 pub mod jack;
 pub mod javac;
@@ -51,6 +53,7 @@ pub mod jess;
 pub mod mpeg;
 pub mod mtrt;
 pub mod multi;
+pub mod stream;
 
 pub use common::{
     add_rng, host_lib_checksum, library, sys_class, HostRng, Size, LIB_CLASSES_S1, LIB_METHODS,
@@ -129,4 +132,38 @@ pub fn suite_with_hello() -> Vec<Spec> {
     }];
     v.extend(suite());
     v
+}
+
+/// The allocation-heavy GC stress workloads (the `gc_study` inputs).
+/// Deliberately *not* part of [`suite`]: the paper's tables iterate
+/// the seven SpecJVM98 analogs, and the pinned experiment goldens
+/// depend on that set staying fixed.
+///
+/// * `churn` — object churn: peak minor-collection rate, thin
+///   survivor tail;
+/// * `stream` — large-array streaming: copy-cost heavy, pretenuring,
+///   low barrier traffic;
+/// * `graphmut` — pointer-graph mutation: old→young edges on every
+///   splice, the remembered-set adversary.
+pub fn gc_suite() -> Vec<Spec> {
+    vec![
+        Spec {
+            name: "churn",
+            build: churn::program,
+            expected: churn::expected,
+            multithreaded: false,
+        },
+        Spec {
+            name: "stream",
+            build: stream::program,
+            expected: stream::expected,
+            multithreaded: false,
+        },
+        Spec {
+            name: "graphmut",
+            build: graphmut::program,
+            expected: graphmut::expected,
+            multithreaded: false,
+        },
+    ]
 }

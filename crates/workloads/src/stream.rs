@@ -1,0 +1,183 @@
+//! `stream` — large-array streaming allocation.
+//!
+//! Each round allocates a fresh integer array, fills it from the
+//! seeded LCG, folds it into a running checksum, and drops it; every
+//! eighth array is parked in a small static `keep` table instead. The
+//! arrays are large relative to a generational nursery, so this
+//! workload exercises the allocator's size spectrum: rounds that fit
+//! bump-allocate and die young, rounds that overflow mid-step are
+//! pretenured straight into the old space, and the `keep` survivors
+//! measure copy cost for bulky objects. Barrier traffic is low (one
+//! `aastore`/`putstatic` per kept array) — the contrast with
+//! [`churn`](crate::churn) separates copy cost from barrier cost in
+//! the `gc_study` report.
+
+use crate::common::{add_rng, host_lib_checksum, library, HostRng, Size};
+use jrt_bytecode::{ArrayKind, ClassAsm, MethodAsm, Program, RetKind};
+
+const SEED: i32 = 37;
+const KEEP: i32 = 4;
+
+fn num_rounds(size: Size) -> i32 {
+    size.scale(512)
+}
+
+fn len_of(r: i32) -> i32 {
+    16 + (r * 11) % 48
+}
+
+/// Builds the program.
+pub fn program(size: Size) -> Program {
+    let rounds = num_rounds(size);
+
+    let mut c = ClassAsm::new("Stream");
+    add_rng(&mut c);
+    c.add_static_field("keep");
+    c.add_static_field("acc");
+
+    // sum(arr) -> folded contents
+    {
+        let mut m = MethodAsm::new("sum", 1).returns(RetKind::Int);
+        let (a, s, i) = (0u8, 1u8, 2u8);
+        let top = m.new_label();
+        let done = m.new_label();
+        m.iconst(0).istore(s).iconst(0).istore(i);
+        m.bind(top);
+        m.iload(i).aload(a).arraylength().if_icmp_ge(done);
+        m.iload(s).iconst(31).imul();
+        m.aload(a).iload(i).iaload().iadd().istore(s);
+        m.iinc(i, 1).goto(top);
+        m.bind(done);
+        m.iload(s).ireturn();
+        c.add_method(m);
+    }
+
+    // main: the streaming loop
+    {
+        let mut m = MethodAsm::new("main", 0).returns(RetKind::Int);
+        let (r, i, a, len, lib) = (0u8, 1u8, 2u8, 3u8, 4u8);
+        m.invokestatic("LibInit", "boot", 0, RetKind::Int)
+            .istore(lib);
+        m.iconst(KEEP)
+            .newarray(ArrayKind::Ref)
+            .putstatic("Stream", "keep");
+        m.iconst(SEED)
+            .invokestatic("Stream", "srand", 1, RetKind::Void);
+        let top = m.new_label();
+        let done = m.new_label();
+        let fill = m.new_label();
+        let fill_done = m.new_label();
+        let no_keep = m.new_label();
+        m.iconst(0).istore(r);
+        m.bind(top);
+        m.iload(r).iconst(rounds).if_icmp_ge(done);
+        // len = 16 + (r * 11) % 48; a = new int[len]
+        m.iload(r)
+            .iconst(11)
+            .imul()
+            .iconst(48)
+            .irem()
+            .iconst(16)
+            .iadd()
+            .istore(len);
+        m.iload(len).newarray(ArrayKind::Int).astore(a);
+        // fill from the LCG
+        m.iconst(0).istore(i);
+        m.bind(fill);
+        m.iload(i).iload(len).if_icmp_ge(fill_done);
+        m.aload(a).iload(i);
+        m.iconst(256)
+            .invokestatic("Stream", "next", 1, RetKind::Int);
+        m.iastore();
+        m.iinc(i, 1).goto(fill);
+        m.bind(fill_done);
+        // acc = acc * 17 ^ sum(a)
+        m.getstatic("Stream", "acc").iconst(17).imul();
+        m.aload(a).invokestatic("Stream", "sum", 1, RetKind::Int);
+        m.ixor().putstatic("Stream", "acc");
+        // every 8th array survives in the keep table
+        m.iload(r).iconst(7).iand().if_ne(no_keep);
+        m.getstatic("Stream", "keep");
+        m.iload(r).iconst(3).ishr().iconst(KEEP).irem();
+        m.aload(a).aastore();
+        m.bind(no_keep);
+        m.iinc(r, 1).goto(top);
+        m.bind(done);
+        // fold the kept arrays once more — they must survive collection
+        let ktop = m.new_label();
+        let kdone = m.new_label();
+        let kskip = m.new_label();
+        m.iconst(0).istore(i);
+        m.bind(ktop);
+        m.iload(i).iconst(KEEP).if_icmp_ge(kdone);
+        m.getstatic("Stream", "keep").iload(i).aaload();
+        m.ifnull(kskip);
+        m.getstatic("Stream", "acc");
+        m.getstatic("Stream", "keep")
+            .iload(i)
+            .aaload()
+            .invokestatic("Stream", "sum", 1, RetKind::Int);
+        m.ixor().putstatic("Stream", "acc");
+        m.bind(kskip);
+        m.iinc(i, 1).goto(ktop);
+        m.bind(kdone);
+        m.getstatic("Stream", "acc").iload(lib).ixor().ireturn();
+        c.add_method(m);
+    }
+
+    let mut classes = vec![c];
+    classes.extend(library(size));
+    Program::build(classes, "Stream", "main").expect("stream assembles")
+}
+
+/// Host-side reference implementation.
+pub fn expected(size: Size) -> i32 {
+    let rounds = num_rounds(size);
+    let mut rng = HostRng::new(SEED);
+    let mut keep: Vec<Option<Vec<i32>>> = vec![None; KEEP as usize];
+    let mut acc = 0i32;
+
+    let sum = |a: &[i32]| {
+        a.iter()
+            .fold(0i32, |s, &v| s.wrapping_mul(31).wrapping_add(v))
+    };
+
+    for r in 0..rounds {
+        let len = len_of(r);
+        let a: Vec<i32> = (0..len).map(|_| rng.next(256)).collect();
+        acc = acc.wrapping_mul(17) ^ sum(&a);
+        if r & 7 == 0 {
+            keep[((r >> 3) % KEEP) as usize] = Some(a);
+        }
+    }
+    for a in keep.iter().flatten() {
+        acc ^= sum(a);
+    }
+    acc ^ host_lib_checksum(size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jrt_trace::CountingSink;
+    use jrt_vm::{GcConfig, Vm, VmConfig};
+
+    #[test]
+    fn matches_reference_in_both_modes() {
+        let p = program(Size::Tiny);
+        let want = expected(Size::Tiny);
+        for cfg in [VmConfig::interpreter(), VmConfig::jit()] {
+            let r = Vm::new(&p, cfg).run(&mut CountingSink::new()).unwrap();
+            assert_eq!(r.exit_value, Some(want));
+        }
+    }
+
+    #[test]
+    fn copies_bytes_under_tiny_nursery() {
+        let p = program(Size::Tiny);
+        let cfg = VmConfig::interpreter().with_gc(GcConfig::tiny_nursery());
+        let r = Vm::new(&p, cfg).run(&mut CountingSink::new()).unwrap();
+        assert_eq!(r.exit_value, Some(expected(Size::Tiny)));
+        assert!(r.counters.gc_minor > 0, "stream must overflow the nursery");
+    }
+}

@@ -1,0 +1,41 @@
+//! Golden-snapshot test for the generational-GC study.
+//!
+//! `tests/golden/gc_tiny.md` is the committed output of `gc_study` at
+//! `Tiny` scale. Regenerating it must be byte-identical at several
+//! worker counts, which pins down the collection schedule (minor
+//! counts, copied bytes), the card-barrier instruction overhead, the
+//! Gc/GcBarrier cache-slice miss attribution, and the cross-collector
+//! equivalence verdict. The study's rows must also show real
+//! collector work — a golden file full of zeros would pin nothing.
+
+use javart::experiments::{gc_study, jobs};
+use javart::workloads::Size;
+
+const GOLDEN: &str = include_str!("golden/gc_tiny.md");
+
+#[test]
+fn gc_study_tiny_is_byte_identical_at_any_worker_count() {
+    for workers in [1, 2, 8] {
+        jobs::set_jobs(workers);
+        let study = gc_study::run(Size::Tiny);
+        for r in &study.rows {
+            assert!(r.minors > 0, "{}: no minor collections", r.name);
+            assert!(r.barrier_insts > 0, "{}: no write-barrier traffic", r.name);
+        }
+        assert!(
+            study.all_equivalent(),
+            "a collector configuration leaked into observables"
+        );
+        let md = study.to_markdown();
+        assert!(
+            md == GOLDEN,
+            "gc_study(Tiny) with {workers} worker(s) diverged from \
+             tests/golden/gc_tiny.md (lengths: got {}, golden {}); \
+             first differing byte at offset {:?}",
+            md.len(),
+            GOLDEN.len(),
+            md.bytes().zip(GOLDEN.bytes()).position(|(a, b)| a != b),
+        );
+    }
+    jobs::set_jobs(0);
+}

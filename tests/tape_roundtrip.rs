@@ -6,7 +6,8 @@ use javart::experiments::runner::{run_mode, Mode};
 use javart::trace::{
     AccessKind, CtrlInfo, InstClass, MemRef, NativeInst, Phase, RecordingSink, Tape, TraceSink,
 };
-use javart::workloads::{suite_with_hello, Size};
+use javart::vm::{GcConfig, Vm, VmConfig};
+use javart::workloads::{gc_suite, suite_with_hello, Size};
 use jrt_testkit::forall;
 
 /// Draws a fully random instruction event: any class/phase pairing,
@@ -141,6 +142,69 @@ fn tape_reproduces_vm_event_stream_for_every_workload_and_mode() {
             assert!(
                 bytes_per_event < 8.0,
                 "{} {mode:?}: {bytes_per_event} bytes/event",
+                spec.name
+            );
+        }
+    }
+}
+
+/// GC trace/counter equivalence: [`Phase::Gc`] events are exactly the
+/// collector instructions the counters claim, [`Phase::GcBarrier`]
+/// events exactly the barrier instructions — for every GC workload
+/// under a forcing nursery, across the emitter families. The tape
+/// must also round-trip the collector phases losslessly.
+#[test]
+fn gc_events_match_counters_and_round_trip() {
+    for spec in gc_suite() {
+        let program = (spec.build)(Size::Tiny);
+        for (label, cfg) in [
+            ("interp", VmConfig::interpreter()),
+            ("jit", VmConfig::jit()),
+            ("ir-interp", VmConfig::ir_interp()),
+            ("ir-jit", VmConfig::ir_jit()),
+        ] {
+            let cfg = cfg.with_gc(GcConfig::tiny_nursery());
+            let mut direct = RecordingSink::new();
+            let r = Vm::new(&program, cfg.clone())
+                .run(&mut direct)
+                .unwrap_or_else(|e| panic!("{}/{label}: {e}", spec.name));
+            assert_eq!(r.exit_value, Some((spec.expected)(Size::Tiny)));
+
+            let gc_events = direct
+                .events
+                .iter()
+                .filter(|e| e.phase == Phase::Gc)
+                .count() as u64;
+            let barrier_events = direct
+                .events
+                .iter()
+                .filter(|e| e.phase == Phase::GcBarrier)
+                .count() as u64;
+            assert_eq!(
+                gc_events, r.counters.gc_insts,
+                "{}/{label}: Gc events vs counter",
+                spec.name
+            );
+            assert_eq!(
+                barrier_events, r.counters.gc_barrier_insts,
+                "{}/{label}: GcBarrier events vs counter",
+                spec.name
+            );
+            assert!(
+                gc_events > 0 && barrier_events > 0,
+                "{}/{label}: the tiny nursery must exercise both phases",
+                spec.name
+            );
+            assert!(r.counters.gc_minor > 0, "{}/{label}: minors", spec.name);
+
+            let tape = Tape::record(|rec| {
+                Vm::new(&program, cfg.clone()).run(rec).unwrap();
+            });
+            let mut replayed = RecordingSink::new();
+            tape.replay(&mut replayed);
+            assert_eq!(
+                replayed.events, direct.events,
+                "{}/{label}: GC-phase events must survive the tape",
                 spec.name
             );
         }
